@@ -1,0 +1,318 @@
+package adaptivelink
+
+import (
+	"fmt"
+
+	"adaptivelink/internal/adaptive"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/simfn"
+	"adaptivelink/internal/stream"
+)
+
+// Side identifies a join input.
+type Side int
+
+const (
+	// Left is the left input, conventionally the parent (referenced)
+	// table.
+	Left Side = iota
+	// Right is the right input, conventionally the child (referencing)
+	// table.
+	Right
+)
+
+// String returns "left" or "right".
+func (s Side) String() string { return stream.Side(s).String() }
+
+// Measure selects the token similarity coefficient used by approximate
+// matching.
+type Measure int
+
+const (
+	// Jaccard is |A∩B|/|A∪B| over q-gram sets (the paper's measure).
+	Jaccard Measure = iota
+	// Dice is 2|A∩B|/(|A|+|B|).
+	Dice
+	// Cosine is |A∩B|/√(|A|·|B|).
+	Cosine
+	// Overlap is |A∩B|/min(|A|,|B|).
+	Overlap
+)
+
+// String names the measure.
+func (m Measure) String() string { return simfn.TokenMeasure(m).String() }
+
+// Strategy selects how the join matches tuples.
+type Strategy int
+
+const (
+	// Adaptive starts exact and lets the MAR control loop switch
+	// operators as variant evidence accumulates (the paper's hybrid
+	// algorithm; default).
+	Adaptive Strategy = iota
+	// ExactOnly runs the pure symmetric hash join SHJoin — the fast,
+	// possibly incomplete baseline.
+	ExactOnly
+	// ApproximateOnly runs the pure symmetric set hash join SSHJoin —
+	// the complete, expensive baseline.
+	ApproximateOnly
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Adaptive:
+		return "adaptive"
+	case ExactOnly:
+		return "exact"
+	case ApproximateOnly:
+		return "approximate"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a Join. The zero value selects the paper's
+// defaults for everything except ParentSize, which adaptive joins
+// require when the parent source cannot estimate its own cardinality.
+type Options struct {
+	// Q is the q-gram width (default 3).
+	Q int
+	// Theta is the similarity threshold θsim in (0,1] above which an
+	// approximate pair is reported (default 0.75, calibrated so
+	// one-character variants of realistic join keys qualify).
+	Theta float64
+	// Measure is the similarity coefficient (default Jaccard).
+	Measure Measure
+	// Strategy selects adaptive, exact-only or approximate-only
+	// execution (default Adaptive).
+	Strategy Strategy
+	// ParentSide says which input is the parent table of the expected
+	// parent–child relationship (default Left).
+	ParentSide Side
+	// ParentSize is the expected parent cardinality |R|, which the
+	// statistical monitor needs. 0 means "ask the parent source"; an
+	// adaptive join fails to construct if neither is available, unless
+	// CalibratedEstimator is set.
+	ParentSize int
+	// CalibratedEstimator replaces the parent–child result-size model
+	// (which needs |R|) with a self-calibrating one: the match rate
+	// observed over the first calibration activations becomes the
+	// baseline, and deficits are measured against it. Use it when the
+	// parent cardinality is unknown, e.g. for open-ended feeds.
+	CalibratedEstimator bool
+	// RetainWindow, when positive, gives the join sliding-window
+	// stream semantics: a new tuple is matched only against the most
+	// recent RetainWindow tuples of the opposite side, and older
+	// tuples' payloads are released. 0 retains everything.
+	RetainWindow int
+
+	// W is the perturbation sliding-window size in steps (default 100).
+	W int
+	// DeltaAdapt is the number of steps between control-loop
+	// activations (default 100).
+	DeltaAdapt int
+	// ThetaOut is the outlier significance level (default 0.05).
+	ThetaOut float64
+	// ThetaCurPert is the maximum windowed approximate-match rate for a
+	// side to count as unperturbed (default 0.02).
+	ThetaCurPert float64
+	// ThetaPastPert is the maximum number of past perturbed assessments
+	// for a side to count as historically clean (default 3).
+	ThetaPastPert int
+
+	// FutilityK, when positive, reverts to exact matching after K
+	// consecutive assessments in an approximate state that produced no
+	// new approximate matches — the assessor extension the paper
+	// sketches in §3.5 for wrong result-size estimates. 0 disables it
+	// (the paper's behaviour).
+	FutilityK int
+	// CostBudget, when positive, pins the join to exact matching once
+	// its modelled execution cost (measured in all-exact steps under
+	// the paper's weight model) reaches the budget: completeness stops
+	// improving but cost stays predictable. 0 disables it.
+	CostBudget float64
+
+	// TraceActivations records every control-loop activation for
+	// inspection via Activations.
+	TraceActivations bool
+}
+
+// withDefaults fills unset fields with the paper's settings.
+func (o Options) withDefaults() Options {
+	if o.Q == 0 {
+		o.Q = 3
+	}
+	if o.Theta == 0 {
+		o.Theta = join.DefaultTheta
+	}
+	def := adaptive.DefaultParams()
+	if o.W == 0 {
+		o.W = def.W
+	}
+	if o.DeltaAdapt == 0 {
+		o.DeltaAdapt = def.DeltaAdapt
+	}
+	if o.ThetaOut == 0 {
+		o.ThetaOut = def.ThetaOut
+	}
+	if o.ThetaCurPert == 0 {
+		o.ThetaCurPert = def.ThetaCurPert
+	}
+	if o.ThetaPastPert == 0 {
+		o.ThetaPastPert = def.ThetaPastPert
+	}
+	return o
+}
+
+// Match is one joined pair.
+type Match struct {
+	// Left and Right are the matched tuples.
+	Left  Tuple
+	Right Tuple
+	// Similarity is 1 for key-equal pairs, otherwise the verified
+	// similarity of the two keys under the configured measure.
+	Similarity float64
+	// Exact reports key equality.
+	Exact bool
+	// Step is the engine step at which the pair was found.
+	Step int
+}
+
+// Join is the public join operator: an iterator over matches.
+type Join struct {
+	engine *join.Engine
+	ctl    *adaptive.Controller
+	opts   Options
+}
+
+// New constructs a join over the two sources. For adaptive joins the
+// parent cardinality must be known: set Options.ParentSize or supply a
+// parent source with a size estimate (FromTuples, FromKeys and CSV
+// sources with a size hint all provide one).
+func New(left, right Source, opts Options) (*Join, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("adaptivelink: nil source")
+	}
+	opts = opts.withDefaults()
+
+	cfg := join.Config{
+		Q:            opts.Q,
+		Theta:        opts.Theta,
+		Measure:      simfn.TokenMeasure(opts.Measure),
+		Initial:      join.LexRex,
+		RetainWindow: opts.RetainWindow,
+	}
+	switch opts.Strategy {
+	case Adaptive, ExactOnly:
+		cfg.Initial = join.LexRex
+	case ApproximateOnly:
+		cfg.Initial = join.LapRap
+	default:
+		return nil, fmt.Errorf("adaptivelink: unknown strategy %d", int(opts.Strategy))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptivelink: %w", err)
+	}
+
+	ls, rs := adaptSource(left), adaptSource(right)
+	engine, err := join.New(cfg, ls, rs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: %w", err)
+	}
+	j := &Join{engine: engine, opts: opts}
+
+	if opts.Strategy == Adaptive {
+		parentSide := stream.Side(opts.ParentSide)
+		parentSrc := ls
+		if parentSide == stream.Right {
+			parentSrc = rs
+		}
+		size := opts.ParentSize
+		if size == 0 {
+			size = stream.EstimateSize(parentSrc, 0)
+		}
+		if size <= 0 && !opts.CalibratedEstimator {
+			return nil, fmt.Errorf("adaptivelink: adaptive strategy needs the parent cardinality: set Options.ParentSize, use a sized source, or set CalibratedEstimator")
+		}
+		params := adaptive.Params{
+			W:             opts.W,
+			DeltaAdapt:    opts.DeltaAdapt,
+			ThetaOut:      opts.ThetaOut,
+			ThetaCurPert:  opts.ThetaCurPert,
+			ThetaPastPert: opts.ThetaPastPert,
+			FutilityK:     opts.FutilityK,
+		}
+		if opts.CalibratedEstimator {
+			params.Estimator = adaptive.EstimatorCalibrated
+			params.CalibrationActivations = adaptive.DefaultParams().CalibrationActivations
+		}
+		var copts []adaptive.Option
+		if opts.TraceActivations {
+			copts = append(copts, adaptive.WithTrace())
+		}
+		if opts.CostBudget > 0 {
+			copts = append(copts, adaptive.WithCostBudget(metrics.PaperWeights(), opts.CostBudget))
+		}
+		ctl, err := adaptive.Attach(engine, parentSide, size, params, copts...)
+		if err != nil {
+			return nil, fmt.Errorf("adaptivelink: %w", err)
+		}
+		j.ctl = ctl
+	}
+	return j, nil
+}
+
+// Open prepares the join for iteration.
+func (j *Join) Open() error { return j.engine.Open() }
+
+// Next returns the next match, with ok=false once both inputs are
+// exhausted and every match has been delivered.
+func (j *Join) Next() (m Match, ok bool, err error) {
+	im, ok, err := j.engine.Next()
+	if err != nil || !ok {
+		return Match{}, ok, err
+	}
+	return j.publicMatch(im), true, nil
+}
+
+// Close releases the join's resources.
+func (j *Join) Close() error { return j.engine.Close() }
+
+// All opens (if needed), drains and closes the join, returning every
+// match.
+func (j *Join) All() ([]Match, error) {
+	if err := j.Open(); err != nil {
+		return nil, err
+	}
+	var out []Match
+	for {
+		m, ok, err := j.Next()
+		if err != nil {
+			j.Close()
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, m)
+	}
+	return out, j.Close()
+}
+
+// State returns the current processor state name ("lex/rex", "lap/rex",
+// "lex/rap" or "lap/rap").
+func (j *Join) State() string { return j.engine.State().String() }
+
+func (j *Join) publicMatch(im join.Match) Match {
+	lt := j.engine.StoredTuple(stream.Left, im.LeftRef)
+	rt := j.engine.StoredTuple(stream.Right, im.RightRef)
+	return Match{
+		Left:       Tuple{ID: lt.ID, Key: lt.Key, Attrs: lt.Attrs},
+		Right:      Tuple{ID: rt.ID, Key: rt.Key, Attrs: rt.Attrs},
+		Similarity: im.Similarity,
+		Exact:      im.Exact,
+		Step:       im.Step,
+	}
+}

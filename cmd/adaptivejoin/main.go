@@ -1,0 +1,21 @@
+// Command adaptivejoin joins two CSV files on a string column using the
+// adaptive record-linkage engine (or one of the pure baselines) and
+// writes the matched pairs as CSV to stdout, with execution statistics
+// on stderr.
+//
+// Usage:
+//
+//	adaptivejoin -left locations.csv -right accidents.csv \
+//	             -left-key location -right-key location \
+//	             -strategy adaptive -theta 0.75
+package main
+
+import (
+	"os"
+
+	"adaptivelink/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunAdaptiveJoin(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,20 @@
+// Command datagen synthesises the paper's evaluation datasets (§4.1): a
+// parent table of unique location strings and a child table of accident
+// records referencing them, with 1-character variants injected following
+// one of the Fig. 5 perturbation patterns.
+//
+// Usage:
+//
+//	datagen -parent-out locations.csv -child-out accidents.csv \
+//	        -parents 8082 -children 8082 -pattern few-high -rate 0.10 -both
+package main
+
+import (
+	"os"
+
+	"adaptivelink/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunDatagen(os.Args[1:], os.Stdout, os.Stderr))
+}

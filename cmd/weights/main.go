@@ -1,0 +1,37 @@
+// Command weights reproduces the cost-weight calibration of §4.3 on this
+// host: it measures the per-step wall-clock cost of the engine pinned in
+// each of the four states and the cost of switching into each state at
+// the scan midpoint, then normalises everything by the lex/rex step
+// cost. The output places the measured weights next to the paper's.
+//
+// Usage:
+//
+//	weights -parents 4000 -children 4000 -reps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptivelink/internal/exp"
+)
+
+func main() {
+	var (
+		parents  = flag.Int("parents", 4000, "parent table size")
+		children = flag.Int("children", 4000, "child table size")
+		seed     = flag.Int64("seed", 1, "dataset seed")
+		reps     = flag.Int("reps", 3, "measurement repetitions to average")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "calibrating on |R|=%d |S|=%d, %d repetition(s) ...\n",
+		*parents, *children, *reps)
+	m, err := exp.MeasureWeights(*parents, *children, *seed, *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weights: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(exp.WeightsText(m))
+}

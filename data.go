@@ -1,0 +1,266 @@
+package adaptivelink
+
+import (
+	"io"
+
+	"adaptivelink/internal/datagen"
+	"adaptivelink/internal/normalize"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/stream"
+)
+
+// Tuple is a record flowing through a join: a join key plus optional
+// payload attributes. ID is assigned by sources in arrival order.
+type Tuple struct {
+	ID    int
+	Key   string
+	Attrs []string
+}
+
+// Source yields tuples one at a time. Implementations that additionally
+// implement interface{ EstimatedSize() int } let adaptive joins infer
+// the parent cardinality.
+type Source interface {
+	// Next returns the next tuple, with ok=false on exhaustion.
+	Next() (t Tuple, ok bool, err error)
+}
+
+// sourceAdapter bridges the public Source to the internal stream.Source.
+type sourceAdapter struct {
+	src Source
+}
+
+func adaptSource(s Source) stream.Source {
+	// Unwrap our own wrappers so size estimates pass through untouched.
+	if w, ok := s.(*wrappedSource); ok {
+		return w.inner
+	}
+	return &sourceAdapter{src: s}
+}
+
+func (a *sourceAdapter) Next() (relation.Tuple, bool, error) {
+	t, ok, err := a.src.Next()
+	if !ok || err != nil {
+		return relation.Tuple{}, ok, err
+	}
+	return relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}, true, nil
+}
+
+func (a *sourceAdapter) EstimatedSize() int {
+	if sized, ok := a.src.(interface{ EstimatedSize() int }); ok {
+		return sized.EstimatedSize()
+	}
+	return -1
+}
+
+// wrappedSource exposes an internal stream.Source as a public Source.
+type wrappedSource struct {
+	inner stream.Source
+}
+
+func (w *wrappedSource) Next() (Tuple, bool, error) {
+	t, ok, err := w.inner.Next()
+	if !ok || err != nil {
+		return Tuple{}, ok, err
+	}
+	return Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}, true, nil
+}
+
+func (w *wrappedSource) EstimatedSize() int { return stream.EstimateSize(w.inner, -1) }
+
+// FromTuples returns a sized source over the given tuples, assigning
+// sequential IDs.
+func FromTuples(tuples []Tuple) Source {
+	rel := relation.New("tuples", relation.NewSchema("key"))
+	for _, t := range tuples {
+		rel.Append(t.Key, t.Attrs...)
+	}
+	return &wrappedSource{inner: stream.FromRelation(rel)}
+}
+
+// FromKeys returns a sized source of payload-free tuples with the given
+// join keys.
+func FromKeys(keys ...string) Source {
+	rel := relation.New("keys", relation.NewSchema("key"))
+	for _, k := range keys {
+		rel.Append(k)
+	}
+	return &wrappedSource{inner: stream.FromRelation(rel)}
+}
+
+// FromChannel returns a source fed by a channel; close the channel to
+// end the stream. sizeHint is the expected tuple count (pass a positive
+// value when this side is the parent of an adaptive join); use -1 when
+// unknown.
+func FromChannel(ch <-chan Tuple, sizeHint int) Source {
+	inner := make(chan relation.Tuple)
+	go func() {
+		defer close(inner)
+		for t := range ch {
+			inner <- relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+		}
+	}()
+	return &wrappedSource{inner: stream.FromChannel(inner, sizeHint)}
+}
+
+// NormalizeKey applies the standard key normalisation (accent folding,
+// upper-casing, punctuation removal, whitespace collapsing) used by
+// record-linkage data preparation. Apply it to both inputs so the
+// similarity budget is spent on genuine typos rather than formatting.
+func NormalizeKey(key string) string { return normalize.Standard().Apply(key) }
+
+// NormalizeSource wraps a source, normalising every tuple's join key
+// with NormalizeKey. Payload attributes are untouched. Size estimates
+// pass through.
+func NormalizeSource(src Source) Source { return &normalizingSource{src: src} }
+
+type normalizingSource struct {
+	src  Source
+	norm *normalize.Normalizer
+}
+
+func (n *normalizingSource) Next() (Tuple, bool, error) {
+	t, ok, err := n.src.Next()
+	if !ok || err != nil {
+		return t, ok, err
+	}
+	if n.norm == nil {
+		n.norm = normalize.Standard()
+	}
+	t.Key = n.norm.Apply(t.Key)
+	return t, true, nil
+}
+
+func (n *normalizingSource) EstimatedSize() int {
+	if sized, ok := n.src.(interface{ EstimatedSize() int }); ok {
+		return sized.EstimatedSize()
+	}
+	return -1
+}
+
+// CSVRecordReader matches encoding/csv.Reader's Read method.
+type CSVRecordReader interface {
+	Read() ([]string, error)
+}
+
+// FromCSV returns a streaming source over CSV records whose header
+// contains keyColumn; remaining columns become payload attributes.
+// sizeHint is the expected row count, -1 when unknown.
+func FromCSV(r CSVRecordReader, keyColumn string, sizeHint int) (Source, error) {
+	src, err := stream.FromCSV(r, keyColumn, sizeHint)
+	if err != nil {
+		return nil, err
+	}
+	return &wrappedSource{inner: src}, nil
+}
+
+// LoadRelationCSV reads a whole CSV file into memory and returns it as
+// tuples plus a sized Source factory (each call to the returned function
+// yields a fresh source over the same data, so the relation can be
+// joined multiple times).
+func LoadRelationCSV(r io.Reader, name, keyColumn string) ([]Tuple, func() Source, error) {
+	rel, err := relation.ReadCSV(name, r, keyColumn)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples := make([]Tuple, rel.Len())
+	for i := range tuples {
+		t := rel.At(i)
+		tuples[i] = Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+	}
+	factory := func() Source { return &wrappedSource{inner: stream.FromRelation(rel)} }
+	return tuples, factory, nil
+}
+
+// Pattern names a perturbation placement for test-data generation.
+type Pattern string
+
+// Perturbation patterns of the paper's Fig. 5.
+const (
+	PatternUniform        Pattern = "uniform"
+	PatternInterleavedLow Pattern = "interleaved-low"
+	PatternFewHigh        Pattern = "few-high"
+	PatternManyHigh       Pattern = "many-high"
+)
+
+func (p Pattern) internal() (datagen.Pattern, bool) {
+	switch p {
+	case PatternUniform:
+		return datagen.Uniform, true
+	case PatternInterleavedLow:
+		return datagen.InterleavedLow, true
+	case PatternFewHigh:
+		return datagen.FewHighIntensity, true
+	case PatternManyHigh:
+		return datagen.ManyHighIntensity, true
+	default:
+		return 0, false
+	}
+}
+
+// TestData is a generated parent/child table pair with ground truth,
+// mirroring the paper's evaluation datasets.
+type TestData struct {
+	// Parent holds unique location tuples; Child references them.
+	Parent []Tuple
+	Child  []Tuple
+	// ChildParent[i] is the index in Parent that Child[i] represents,
+	// regardless of perturbation.
+	ChildParent []int
+	// ChildVariant/ParentVariant flag perturbed tuples.
+	ChildVariant  []bool
+	ParentVariant []bool
+}
+
+// ParentSource returns a fresh sized source over the parent table.
+func (d *TestData) ParentSource() Source { return FromTuples(d.Parent) }
+
+// ChildSource returns a fresh sized source over the child table.
+func (d *TestData) ChildSource() Source { return FromTuples(d.Child) }
+
+// GenerateTestData synthesises a parent/child dataset in the style of
+// the paper's evaluation (§4.1): parentSize unique location strings, a
+// child of childSize tuples each referencing a uniformly random parent,
+// and 1-character variants injected at the given overall rate following
+// the pattern. perturbParent additionally perturbs the parent table.
+// Generation is deterministic in seed.
+func GenerateTestData(seed int64, parentSize, childSize int, pattern Pattern, variantRate float64, perturbParent bool) (*TestData, error) {
+	ip, ok := pattern.internal()
+	if !ok {
+		return nil, errUnknownPattern(pattern)
+	}
+	spec := datagen.Spec{
+		Seed:          seed,
+		ParentSize:    parentSize,
+		ChildSize:     childSize,
+		VariantRate:   variantRate,
+		Pattern:       ip,
+		PerturbParent: perturbParent,
+	}
+	ds, err := datagen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &TestData{
+		ChildParent:   ds.ChildParent,
+		ChildVariant:  ds.ChildVariant,
+		ParentVariant: ds.ParentVariant,
+	}
+	out.Parent = make([]Tuple, ds.Parent.Len())
+	for i := range out.Parent {
+		t := ds.Parent.At(i)
+		out.Parent[i] = Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+	}
+	out.Child = make([]Tuple, ds.Child.Len())
+	for i := range out.Child {
+		t := ds.Child.At(i)
+		out.Child[i] = Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+	}
+	return out, nil
+}
+
+type errUnknownPattern Pattern
+
+func (e errUnknownPattern) Error() string {
+	return "adaptivelink: unknown pattern " + string(e) + ` (want "uniform", "interleaved-low", "few-high" or "many-high")`
+}

@@ -1,0 +1,42 @@
+// Package adaptivelink performs record linkage at query time with an
+// adaptive trade-off between result completeness and execution cost,
+// implementing Lengu, Missier, Fernandes, Guerrini and Mesiti,
+// "Time-completeness trade-offs in record linkage using Adaptive Query
+// Processing" (EDBT 2009).
+//
+// # Problem
+//
+// When two independently maintained tables are joined on a string
+// attribute (a mashup joining an accidents feed against a street atlas,
+// two merged customer databases, ...), some values are variants of each
+// other — near-duplicates at small edit distance — and an exact join
+// silently drops them. A similarity join recovers them but costs orders
+// of magnitude more per tuple. Classic record-linkage pipelines resolve
+// this offline; in on-the-fly integration the tables are only available
+// at query time.
+//
+// # Approach
+//
+// adaptivelink runs a single pipelined symmetric hash join whose two
+// sides can each be matched exactly (hash lookup on the join key) or
+// approximately (q-gram similarity above a threshold). A
+// Monitor–Assess–Respond control loop watches the observed result size:
+// under a parent–child join expectation the result size after n child
+// tuples is binomially distributed, so a statistically significant
+// deficit is evidence of variants. The loop then switches the affected
+// side(s) to approximate matching — safely, at operator quiescent
+// points, with lazy index catch-up — and switches back once recent
+// matches show variants have stopped.
+//
+// # Usage
+//
+//	left := adaptivelink.FromKeys("alpha centauri b", "beta pictoris c")
+//	right := adaptivelink.FromKeys("alpha centauri b", "beta pictoris d")
+//	j, err := adaptivelink.New(left, right, adaptivelink.Options{ParentSize: 2})
+//	if err != nil { ... }
+//	matches, err := j.All()
+//
+// See the examples directory for streaming inputs, the accidents-mashup
+// scenario and parameter tuning, and EXPERIMENTS.md for the full
+// reproduction of the paper's evaluation.
+package adaptivelink

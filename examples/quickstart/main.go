@@ -1,0 +1,84 @@
+// Quickstart: join an accident feed against a reference atlas and watch
+// the adaptive engine notice misspelled keys and recover them.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptivelink"
+)
+
+func main() {
+	// A reference table of locations (the "parent" side).
+	atlasRows := []adaptivelink.Tuple{
+		{Key: "TAA BZ SANTA CRISTINA VALGARDENA", Attrs: []string{"46.55", "11.72"}},
+		{Key: "LIG GE GENOVA CORNIGLIANO PONENTE", Attrs: []string{"44.41", "8.88"}},
+		{Key: "LOM MI MILANO NAVIGLI DARSENA SUD", Attrs: []string{"45.45", "9.17"}},
+		{Key: "VEN VE VENEZIA MESTRE CENTRO NORD", Attrs: []string{"45.49", "12.24"}},
+		{Key: "PIE TO TORINO MIRAFIORI BORGATA", Attrs: []string{"45.03", "7.61"}},
+		{Key: "TOS FI FIRENZE RIFREDI CAREGGI", Attrs: []string{"43.80", "11.25"}},
+		{Key: "CAM NA NAPOLI VOMERO ARENELLA", Attrs: []string{"40.85", "14.22"}},
+		{Key: "SIC PA PALERMO MONDELLO VALDESI", Attrs: []string{"38.20", "13.32"}},
+	}
+
+	// A feed of 48 accident records that reference the atlas. A batch in
+	// the middle was keyed by a sloppier source: one character wrong in
+	// every location (positions 20-27).
+	var accidents []adaptivelink.Tuple
+	misspell := func(s string) string { return s[:len(s)-1] + "x" }
+	for i := 0; i < 48; i++ {
+		key := atlasRows[i%len(atlasRows)].Key
+		if i >= 20 && i < 28 {
+			key = misspell(key)
+		}
+		accidents = append(accidents, adaptivelink.Tuple{
+			Key:   key,
+			Attrs: []string{fmt.Sprintf("A%03d", i)},
+		})
+	}
+
+	j, err := adaptivelink.New(
+		adaptivelink.FromTuples(atlasRows),
+		adaptivelink.FromTuples(accidents),
+		adaptivelink.Options{
+			ParentSide: adaptivelink.Left, // the atlas is the parent table
+			// Assess frequently: this input is tiny. Real workloads keep
+			// the defaults (every 100 steps).
+			DeltaAdapt: 4, W: 8,
+			TraceActivations: true,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	matches, err := j.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	recovered := 0
+	for _, m := range matches {
+		if !m.Exact {
+			recovered++
+			fmt.Printf("recovered misspelling: %s %q -> %q (sim %.3f)\n",
+				m.Right.Attrs[0], m.Right.Key, m.Left.Key, m.Similarity)
+		}
+	}
+
+	st := j.Stats()
+	fmt.Printf("\n%d of %d accidents matched (%d exact, %d recovered), %d operator switches\n",
+		st.Matches, len(accidents), st.ExactMatches, st.ApproxMatches, st.Switches)
+	fmt.Println("\nwhat the control loop saw:")
+	for _, a := range j.Activations() {
+		if a.From == a.To && !a.Sigma {
+			continue
+		}
+		fmt.Printf("  step %2d: observed=%2d matches (tail p=%.3f) %s -> %s\n",
+			a.Step, a.Observed, a.Tail, a.From, a.To)
+	}
+}

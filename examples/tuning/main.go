@@ -1,0 +1,70 @@
+// Tuning: explore the time-completeness trade-off surface (§4.2). The
+// MAR thresholds control how eagerly the engine goes approximate; this
+// example sweeps the activation period δadapt and the outlier threshold
+// θout over one dataset and prints how completeness and modelled cost
+// move, reproducing the kind of exploration the paper used to pick its
+// settings.
+//
+// Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptivelink"
+)
+
+func main() {
+	data, err := adaptivelink.GenerateTestData(
+		5, 2000, 2000, adaptivelink.PatternManyHigh, 0.10, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baselines bracket the achievable range.
+	exactN := runCount(data, adaptivelink.Options{Strategy: adaptivelink.ExactOnly})
+	approxN := runCount(data, adaptivelink.Options{Strategy: adaptivelink.ApproximateOnly})
+	fmt.Printf("exact join matches %d; approximate join matches %d (gap %d)\n\n",
+		exactN, approxN, approxN-exactN)
+
+	fmt.Printf("%8s %8s %10s %12s %14s\n", "δadapt", "θout", "matches", "gain%", "modelled cost")
+	for _, da := range []int{25, 50, 100, 200, 400} {
+		for _, thetaOut := range []float64{0.01, 0.05, 0.20} {
+			j, err := adaptivelink.New(data.ParentSource(), data.ChildSource(), adaptivelink.Options{
+				DeltaAdapt: da,
+				ThetaOut:   thetaOut,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms, err := j.All()
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := j.Stats()
+			gain := 0.0
+			if approxN > exactN {
+				gain = 100 * float64(len(ms)-exactN) / float64(approxN-exactN)
+			}
+			fmt.Printf("%8d %8.2f %10d %11.1f%% %14.0f\n",
+				da, thetaOut, len(ms), gain, st.ModelledCost)
+		}
+	}
+	fmt.Println("\nreading the table: small δadapt and strict θout react faster (more gain,")
+	fmt.Println("more cost); large δadapt or lax θout can miss short bursts entirely.")
+}
+
+func runCount(data *adaptivelink.TestData, opts adaptivelink.Options) int {
+	j, err := adaptivelink.New(data.ParentSource(), data.ChildSource(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := j.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return len(ms)
+}

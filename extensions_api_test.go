@@ -1,0 +1,101 @@
+package adaptivelink
+
+import "testing"
+
+func TestCostBudgetOption(t *testing.T) {
+	td, err := GenerateTestData(13, 800, 800, PatternUniform, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := New(td.ParentSource(), td.ChildSource(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeMs, err := free.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := New(td.ParentSource(), td.ChildSource(), Options{CostBudget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cappedMs, err := capped.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Stats().ModelledCost >= free.Stats().ModelledCost {
+		t.Errorf("budgeted cost %v not below unconstrained %v",
+			capped.Stats().ModelledCost, free.Stats().ModelledCost)
+	}
+	if len(cappedMs) > len(freeMs) {
+		t.Errorf("budgeted run found more matches (%d) than unconstrained (%d)",
+			len(cappedMs), len(freeMs))
+	}
+	exact, err := New(td.ParentSource(), td.ChildSource(), Options{Strategy: ExactOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactMs, err := exact.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cappedMs) < len(exactMs) {
+		t.Errorf("budgeted run below the exact floor: %d < %d", len(cappedMs), len(exactMs))
+	}
+}
+
+func TestBudgetMonotoneProgression(t *testing.T) {
+	td, err := GenerateTestData(29, 900, 900, PatternUniform, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, budget := range []float64{3000, 20000, 130000} {
+		j, err := New(td.ParentSource(), td.ChildSource(), Options{CostBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := j.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) < prev {
+			t.Errorf("budget %v found %d matches, fewer than a smaller budget's %d",
+				budget, len(ms), prev)
+		}
+		prev = len(ms)
+	}
+}
+
+func TestFutilityOption(t *testing.T) {
+	td, err := GenerateTestData(31, 600, 600, PatternUniform, 0, false) // clean data
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately wrong (halved) parent size makes the monitor see a
+	// phantom deficit; futility must pull the engine back to exact.
+	j, err := New(td.ParentSource(), td.ChildSource(), Options{
+		ParentSize: 300,
+		FutilityK:  3,
+		DeltaAdapt: 20, W: 20,
+		TraceActivations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.All(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.State(); got != "lex/rex" {
+		t.Errorf("final state %q, want lex/rex after futility revert", got)
+	}
+	st := j.Stats()
+	if st.Switches == 0 {
+		t.Skip("phantom deficit never triggered a switch at this scale")
+	}
+	// The engine must not have spent the whole run approximate.
+	if st.StepsInState["lex/rex"] < st.Steps/2 {
+		t.Errorf("only %d of %d steps exact despite futility rule",
+			st.StepsInState["lex/rex"], st.Steps)
+	}
+}

@@ -1,0 +1,149 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/stats"
+)
+
+// Observation is what the monitor hands to the assessor at an
+// activation: the raw observable quantities of §3.5.
+type Observation struct {
+	// Step is the engine step t at which the control loop activated.
+	Step int
+	// Observed is the result size O̅ₜ (matches computed so far).
+	Observed int
+	// ChildSeen and ParentSeen are the tuples scanned from each input.
+	ChildSeen  int
+	ParentSeen int
+	// ParentSize is the expected parent cardinality |R| (used by
+	// EstimatorParentChild).
+	ParentSize int
+	// CalibratedKappa is the learned per-(child·parent) match rate 1/|R̂|
+	// (used by EstimatorCalibrated; 0 means still calibrating, which
+	// yields no σ evidence).
+	CalibratedKappa float64
+	// PrevObserved/PrevChildSeen/PrevParentSeen are the same counters a
+	// lag window earlier. The calibrated estimator tests the *recent*
+	// match rate (the deltas) against the baseline — a frozen baseline
+	// with a few percent of estimation error cannot support an absolute
+	// test once n grows, but stays accurate for bounded windows.
+	PrevObserved   int
+	PrevChildSeen  int
+	PrevParentSeen int
+	// WindowLeft and WindowRight are A_{t,W} per side: approximate
+	// matches within the last W steps attributed to that side.
+	WindowLeft  int
+	WindowRight int
+	// PastPerturbedLeft/Right count earlier assessments at which the
+	// side appeared perturbed (the history feeding π).
+	PastPerturbedLeft  int
+	PastPerturbedRight int
+}
+
+// Assessment is the assessor's predicate vector (Table 2) plus the
+// evidence behind σ.
+type Assessment struct {
+	// Tail is Pₙ,ₚ₍ₙ₎(X ≤ O̅ₜ), the binomial tail probability.
+	Tail float64
+	// P is the per-trial match probability p(n) = ParentSeen/|R|.
+	P float64
+	// Sigma is the outlier predicate σ: significant result-size deficit.
+	Sigma bool
+	// MuLeft/MuRight are µᵢ: side i unlikely to be currently perturbed.
+	MuLeft  bool
+	MuRight bool
+	// PiLeft/PiRight are πᵢ: side i significantly free of past
+	// perturbations.
+	PiLeft  bool
+	PiRight bool
+}
+
+// Assess evaluates the Table 2 predicates on an observation.
+func Assess(p Params, o Observation) (Assessment, error) {
+	if err := p.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	if o.ChildSeen < 0 || o.ParentSeen < 0 || o.Observed < 0 {
+		return Assessment{}, fmt.Errorf("adaptive: negative observation %+v", o)
+	}
+	var prob float64
+	trials, observed := o.ChildSeen, o.Observed
+	calibrating := false
+	switch p.Estimator {
+	case EstimatorParentChild:
+		if o.ParentSize <= 0 {
+			return Assessment{}, fmt.Errorf("adaptive: parent size %d must be positive", o.ParentSize)
+		}
+		prob = float64(o.ParentSeen) / float64(o.ParentSize)
+	case EstimatorCalibrated:
+		if o.CalibratedKappa <= 0 {
+			calibrating = true
+			break
+		}
+		// Windowed change detection: trials and successes are the
+		// deltas since the lagged observation, and the per-trial match
+		// probability uses the window's midpoint parent progress.
+		trials = o.ChildSeen - o.PrevChildSeen
+		observed = o.Observed - o.PrevObserved
+		midParent := float64(o.ParentSeen+o.PrevParentSeen) / 2
+		prob = o.CalibratedKappa * midParent
+		if trials < 0 || observed < 0 {
+			return Assessment{}, fmt.Errorf("adaptive: lagged observation ahead of current: %+v", o)
+		}
+	}
+	if prob > 1 {
+		// More parents scanned than the (estimated or learned) parent
+		// cardinality: every child's parent may already be present.
+		prob = 1
+	}
+	a := Assessment{P: prob}
+	if trials == 0 || calibrating {
+		// No trials yet, or the estimator is still learning its
+		// baseline: no evidence of anything.
+		a.Tail = 1
+	} else {
+		if observed > trials {
+			// Duplicates or false positives pushed the observed size
+			// past the trial count; clamp — certainly not a low outlier.
+			observed = trials
+		}
+		a.Tail = stats.BinomialCDF(observed, trials, prob)
+	}
+	a.Sigma = a.Tail <= p.ThetaOut
+
+	rate := func(n int) float64 { return float64(n) / float64(p.W) }
+	a.MuLeft = rate(o.WindowLeft) <= p.ThetaCurPert
+	a.MuRight = rate(o.WindowRight) <= p.ThetaCurPert
+	a.PiLeft = o.PastPerturbedLeft <= p.ThetaPastPert
+	a.PiRight = o.PastPerturbedRight <= p.ThetaPastPert
+	return a, nil
+}
+
+// Decide is the responder: it maps the current state and the assessment
+// to the next state per the transition rules ϕ₀..ϕ₃ of §3.5. Rules are
+// tried in order of specificity; when none fires the state is kept.
+func Decide(cur join.State, a Assessment) join.State {
+	switch {
+	case a.Sigma && !a.MuLeft && a.MuRight && a.PiLeft:
+		// ϕ₂: variants present, left currently perturbed, right clean,
+		// left historically mostly clean.
+		return join.LapRex
+	case a.Sigma && a.MuLeft && !a.MuRight && a.PiRight:
+		// ϕ₃: symmetric to ϕ₂.
+		return join.LexRap
+	case a.Sigma && !a.MuLeft && !a.MuRight:
+		// ϕ₁: variants present, origin undeterminable.
+		return join.LapRap
+	case a.Sigma && cur == join.LexRex:
+		// ϕ₁ from lex/rex: the windows are structurally empty (no
+		// approximate operator runs), so σ alone forces the exit.
+		return join.LapRap
+	case !a.Sigma && a.MuLeft && a.MuRight:
+		// ϕ₀: no deficit, both sides recently clean — exact everywhere.
+		return join.LexRex
+	default:
+		return cur
+	}
+}

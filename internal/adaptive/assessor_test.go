@@ -1,0 +1,211 @@
+package adaptive
+
+import (
+	"testing"
+
+	"adaptivelink/internal/join"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{W: 0, DeltaAdapt: 1, ThetaOut: 0.05},
+		{W: 1, DeltaAdapt: 0, ThetaOut: 0.05},
+		{W: 1, DeltaAdapt: 1, ThetaOut: 0},
+		{W: 1, DeltaAdapt: 1, ThetaOut: 1},
+		{W: 1, DeltaAdapt: 1, ThetaOut: 0.05, ThetaCurPert: -1},
+		{W: 1, DeltaAdapt: 1, ThetaOut: 0.05, ThetaPastPert: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated: %+v", i, p)
+		}
+	}
+}
+
+func obsBase() Observation {
+	return Observation{
+		Step: 200, ChildSeen: 100, ParentSeen: 100, ParentSize: 1000,
+	}
+}
+
+func TestAssessSigmaDetectsDeficit(t *testing.T) {
+	p := DefaultParams()
+	// p(n) = 0.1, n = 100 trials: expected ~10 matches. Zero observed is
+	// a blatant outlier; ten observed is not.
+	o := obsBase()
+	o.Observed = 0
+	a, err := Assess(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sigma {
+		t.Errorf("0/100 at p=0.1 not flagged: tail=%v", a.Tail)
+	}
+	o.Observed = 10
+	a, _ = Assess(p, o)
+	if a.Sigma {
+		t.Errorf("10/100 at p=0.1 flagged: tail=%v", a.Tail)
+	}
+}
+
+func TestAssessNoTrialsNoEvidence(t *testing.T) {
+	o := obsBase()
+	o.ChildSeen = 0
+	a, err := Assess(DefaultParams(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sigma || a.Tail != 1 {
+		t.Errorf("no trials produced evidence: %+v", a)
+	}
+}
+
+func TestAssessClampsProbAndObserved(t *testing.T) {
+	o := obsBase()
+	o.ParentSeen = 2000 // beyond the estimated |R|
+	o.Observed = 150    // more matches than trials (duplicates)
+	a, err := Assess(DefaultParams(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P != 1 {
+		t.Errorf("p not clamped: %v", a.P)
+	}
+	if a.Sigma {
+		t.Error("over-full result flagged as deficit")
+	}
+}
+
+func TestAssessMuThresholds(t *testing.T) {
+	p := DefaultParams() // W=100, ThetaCurPert=0.02 → boundary at 2 events
+	o := obsBase()
+	o.WindowLeft, o.WindowRight = 2, 3
+	a, err := Assess(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MuLeft {
+		t.Error("2 events in window of 100 should still be unperturbed (boundary)")
+	}
+	if a.MuRight {
+		t.Error("3 events in window of 100 should be perturbed")
+	}
+}
+
+func TestAssessPiThresholds(t *testing.T) {
+	p := DefaultParams() // ThetaPastPert=3
+	o := obsBase()
+	o.PastPerturbedLeft, o.PastPerturbedRight = 3, 4
+	a, err := Assess(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.PiLeft {
+		t.Error("3 past perturbations at threshold 3 should pass")
+	}
+	if a.PiRight {
+		t.Error("4 past perturbations at threshold 3 should fail")
+	}
+}
+
+func TestAssessRejectsBadInputs(t *testing.T) {
+	o := obsBase()
+	o.ParentSize = 0
+	if _, err := Assess(DefaultParams(), o); err == nil {
+		t.Error("ParentSize=0 accepted")
+	}
+	o = obsBase()
+	o.Observed = -1
+	if _, err := Assess(DefaultParams(), o); err == nil {
+		t.Error("negative Observed accepted")
+	}
+	if _, err := Assess(Params{}, obsBase()); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func asmt(sigma, muL, muR, piL, piR bool) Assessment {
+	return Assessment{Sigma: sigma, MuLeft: muL, MuRight: muR, PiLeft: piL, PiRight: piR}
+}
+
+func TestDecideTransitions(t *testing.T) {
+	cases := []struct {
+		name string
+		cur  join.State
+		a    Assessment
+		want join.State
+	}{
+		// ϕ0: no variants, both clean → exact everywhere.
+		{"phi0 self-loop", join.LexRex, asmt(false, true, true, true, true), join.LexRex},
+		{"phi0 from lap/rap", join.LapRap, asmt(false, true, true, true, true), join.LexRex},
+		{"phi0 from lap/rex", join.LapRex, asmt(false, true, true, false, false), join.LexRex},
+		// ϕ1: variants, origin unknown → both approximate.
+		{"phi1 both perturbed", join.LexRex, asmt(true, false, false, true, true), join.LapRap},
+		{"phi1 from hybrid", join.LapRex, asmt(true, false, false, false, false), join.LapRap},
+		// ϕ1 from lex/rex with empty windows: σ alone forces the exit.
+		{"phi1 lex/rex no evidence", join.LexRex, asmt(true, true, true, true, true), join.LapRap},
+		// ϕ2: left currently perturbed, right clean, left past-clean.
+		{"phi2", join.LexRex, asmt(true, false, true, true, true), join.LapRex},
+		{"phi2 needs piLeft", join.LapRap, asmt(true, false, true, false, true), join.LapRap},
+		// ϕ3: symmetric.
+		{"phi3", join.LexRex, asmt(true, true, false, true, true), join.LexRap},
+		{"phi3 needs piRight", join.LapRap, asmt(true, true, false, true, false), join.LapRap},
+		// No rule: keep state.
+		{"no rule keeps state", join.LapRap, asmt(true, true, true, true, true), join.LapRap},
+		{"no sigma one side dirty keeps state", join.LexRap, asmt(false, false, true, true, true), join.LexRap},
+	}
+	for _, c := range cases {
+		if got := Decide(c.cur, c.a); got != c.want {
+			t.Errorf("%s: Decide(%v, %+v) = %v, want %v", c.name, c.cur, c.a, got, c.want)
+		}
+	}
+}
+
+// Exhaustive sanity: Decide always returns a valid state and is a pure
+// function of its inputs.
+func TestDecideTotal(t *testing.T) {
+	bools := []bool{false, true}
+	for _, cur := range join.AllStates {
+		for _, s := range bools {
+			for _, ml := range bools {
+				for _, mr := range bools {
+					for _, pl := range bools {
+						for _, pr := range bools {
+							a := asmt(s, ml, mr, pl, pr)
+							got := Decide(cur, a)
+							valid := false
+							for _, st := range join.AllStates {
+								if got == st {
+									valid = true
+								}
+							}
+							if !valid {
+								t.Fatalf("Decide(%v, %+v) = %v invalid", cur, a, got)
+							}
+							if got != Decide(cur, a) {
+								t.Fatal("Decide not deterministic")
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The paper's guarantee: when in a non-exact state and recent matches
+// show no variants, with no size deficit, the algorithm reverts to
+// lex/rex (the "long sequence of consistently high similarities" rule).
+func TestDecideRevertsToExact(t *testing.T) {
+	for _, cur := range []join.State{join.LapRap, join.LapRex, join.LexRap} {
+		if got := Decide(cur, asmt(false, true, true, true, true)); got != join.LexRex {
+			t.Errorf("from %v: got %v, want lex/rex", cur, got)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/stats"
+	"adaptivelink/internal/stream"
+)
+
+// Activation records one control-loop firing, for experiment reporting
+// and diagnosis.
+type Activation struct {
+	Observation Observation
+	Assessment  Assessment
+	From        join.State
+	To          join.State
+	// CaughtUp is the number of tuples the switch-time index catch-up
+	// inserted (0 for self-transitions).
+	CaughtUp int
+	// Forced explains a decision that overrode the ϕ rules: "" (none),
+	// "budget" (cost budget exhausted, pinned to lex/rex) or "futility"
+	// (approximate matching produced nothing, reverted to lex/rex).
+	Forced string
+}
+
+// Controller wires the MAR loop onto a join engine. Create it with
+// Attach before opening the engine; it drives itself through the
+// engine's hooks, so the caller just pulls matches from the engine (or
+// wraps it in the public API's operator).
+type Controller struct {
+	engine     *join.Engine
+	params     Params
+	parentSide stream.Side
+	parentSize int
+
+	win            [2]*stats.SlidingWindow
+	pastPerturbed  [2]int
+	lastActivation int
+
+	// Futility extension (Params.FutilityK): approxSeen counts every
+	// non-exact match so far; futileStreak counts consecutive
+	// activations in a non-exact state that added none; suppressSigma
+	// gates σ after a futility revert until it clears naturally.
+	approxSeen     int
+	approxSeenPrev int
+	futileStreak   int
+	suppressSigma  bool
+
+	// Cost-budget extension (WithCostBudget): once the modelled cost
+	// reaches budget, the responder pins lex/rex.
+	budgetWeights metrics.Weights
+	budget        float64
+	hasBudget     bool
+
+	// Calibrated-estimator state: activations observed while
+	// calibrating, the frozen κ̂ once calibration ends, and a ring of
+	// recent (observed, childSeen, parentSeen) triples providing the
+	// lagged window the change detector tests against.
+	calibrationSeen int
+	kappa           float64
+	history         [][3]int
+
+	trace     []Activation
+	keepTrace bool
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithTrace makes the controller record every activation; retrieve them
+// with Activations. Traces grow with join length, so they default off.
+func WithTrace() Option { return func(c *Controller) { c.keepTrace = true } }
+
+// WithCostBudget implements the user-controlled trade-off the paper's
+// conclusions call for (§4.4: "the algorithm may be tuned, possibly
+// under user control, for a target gain ... while keeping the marginal
+// cost over the exact join baseline within a predictable limit"). Once
+// the run's modelled cost under the given weights reaches budget, the
+// responder pins the engine to lex/rex: completeness stops improving
+// but cost grows only at the exact join's unit rate. Budget is in the
+// weight model's units (one all-exact step = 1).
+func WithCostBudget(w metrics.Weights, budget float64) Option {
+	return func(c *Controller) {
+		c.budgetWeights = w
+		c.budget = budget
+		c.hasBudget = true
+	}
+}
+
+// Attach installs a controller on the engine. parentSide identifies the
+// input expected to behave as the parent table R of the parent-child
+// relationship (§3.2); parentSize is its expected cardinality |R|.
+// Existing OnStep/OnMatch hooks on the engine are preserved and chained
+// after the controller's.
+func Attach(e *join.Engine, parentSide stream.Side, parentSize int, p Params, opts ...Option) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return nil, fmt.Errorf("adaptive: nil engine")
+	}
+	if parentSize <= 0 && p.Estimator != EstimatorCalibrated {
+		return nil, fmt.Errorf("adaptive: parent size %d must be positive (or use EstimatorCalibrated)", parentSize)
+	}
+	c := &Controller{
+		engine:     e,
+		params:     p,
+		parentSide: parentSide,
+		parentSize: parentSize,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.hasBudget {
+		if err := c.budgetWeights.Validate(); err != nil {
+			return nil, fmt.Errorf("adaptive: cost budget: %w", err)
+		}
+		if c.budget <= 0 {
+			return nil, fmt.Errorf("adaptive: cost budget %v must be positive", c.budget)
+		}
+	}
+	c.win[stream.Left] = stats.NewSlidingWindow(p.W)
+	c.win[stream.Right] = stats.NewSlidingWindow(p.W)
+
+	prevStep, prevMatch := e.OnStep, e.OnMatch
+	e.OnMatch = func(m join.Match) {
+		c.onMatch(m)
+		if prevMatch != nil {
+			prevMatch(m)
+		}
+	}
+	e.OnStep = func(en *join.Engine) {
+		c.onStep(en)
+		if prevStep != nil {
+			prevStep(en)
+		}
+	}
+	return c, nil
+}
+
+// Params returns the controller's thresholds.
+func (c *Controller) Params() Params { return c.params }
+
+// Activations returns the recorded trace (nil unless WithTrace).
+func (c *Controller) Activations() []Activation { return c.trace }
+
+// PastPerturbed returns how many assessments have judged the side
+// currently perturbed so far (the π history).
+func (c *Controller) PastPerturbed(side stream.Side) int { return c.pastPerturbed[side] }
+
+// WindowCount returns the side's current A_{t,W}.
+func (c *Controller) WindowCount(side stream.Side) int { return c.win[side].Count() }
+
+// onMatch feeds the perturbation windows: every non-exact match is an
+// "approximate match observed", attributed to one or both sides by the
+// flag mechanism of §3.3.
+func (c *Controller) onMatch(m join.Match) {
+	if m.Exact {
+		return
+	}
+	c.approxSeen++
+	if m.Attribution.Blames(stream.Left) {
+		c.win[stream.Left].Record(1)
+	}
+	if m.Attribution.Blames(stream.Right) {
+		c.win[stream.Right].Record(1)
+	}
+}
+
+// onStep advances the windows and, every δadapt steps, runs one MAR
+// activation. It executes at a quiescent point, so SetState is safe.
+func (c *Controller) onStep(e *join.Engine) {
+	step := e.Step()
+	c.win[stream.Left].AdvanceTo(step)
+	c.win[stream.Right].AdvanceTo(step)
+	if step-c.lastActivation < c.params.DeltaAdapt {
+		return
+	}
+	c.lastActivation = step
+	c.activate(e)
+}
+
+// activate runs monitor → assess → respond once.
+func (c *Controller) activate(e *join.Engine) {
+	childSide := c.parentSide.Other()
+	st := e.Stats()
+	obs := Observation{
+		Step:               e.Step(),
+		Observed:           st.Matches,
+		ChildSeen:          st.Read[childSide],
+		ParentSeen:         st.Read[c.parentSide],
+		ParentSize:         c.parentSize,
+		CalibratedKappa:    c.kappa,
+		WindowLeft:         c.win[stream.Left].Count(),
+		WindowRight:        c.win[stream.Right].Count(),
+		PastPerturbedLeft:  c.pastPerturbed[stream.Left],
+		PastPerturbedRight: c.pastPerturbed[stream.Right],
+	}
+	if c.params.Estimator == EstimatorCalibrated {
+		// The change detector compares against the observation from
+		// CalibrationActivations activations ago (or the oldest held).
+		lag := c.params.CalibrationActivations
+		if n := len(c.history); n > 0 {
+			i := n - lag
+			if i < 0 {
+				i = 0
+			}
+			prev := c.history[i]
+			obs.PrevObserved, obs.PrevChildSeen, obs.PrevParentSeen = prev[0], prev[1], prev[2]
+		}
+		c.history = append(c.history, [3]int{obs.Observed, obs.ChildSeen, obs.ParentSeen})
+		if len(c.history) > lag+1 {
+			c.history = c.history[len(c.history)-lag-1:]
+		}
+		if c.kappa == 0 {
+			// Still calibrating. κ = O/(childSeen·parentSeen) estimates
+			// 1/|R|; early activations carry few matches and huge
+			// relative variance, so calibration runs until both the
+			// configured activation count and a minimum match mass have
+			// accumulated. The windowed test tolerates the residual
+			// estimation error, unlike an absolute test.
+			c.calibrationSeen++
+			const minCalibrationMatches = 30
+			if c.calibrationSeen >= c.params.CalibrationActivations &&
+				obs.Observed >= minCalibrationMatches &&
+				obs.ChildSeen > 0 && obs.ParentSeen > 0 {
+				c.kappa = float64(obs.Observed) / (float64(obs.ChildSeen) * float64(obs.ParentSeen))
+			}
+		}
+	}
+	a, err := Assess(c.params, obs)
+	if err != nil {
+		// Inputs were validated at Attach time; an error here is a
+		// programming bug, not a data condition.
+		panic(fmt.Sprintf("adaptive: assess: %v", err))
+	}
+	// Update the π history with this activation's µ verdicts.
+	if !a.MuLeft {
+		c.pastPerturbed[stream.Left]++
+	}
+	if !a.MuRight {
+		c.pastPerturbed[stream.Right]++
+	}
+
+	from := e.State()
+	to, forced := c.respond(e, from, a)
+	caught := 0
+	if to != from {
+		caught, err = e.SetState(to)
+		if err != nil {
+			panic(fmt.Sprintf("adaptive: switch to %v: %v", to, err))
+		}
+		c.futileStreak = 0
+	}
+	if c.keepTrace {
+		c.trace = append(c.trace, Activation{
+			Observation: obs, Assessment: a, From: from, To: to,
+			CaughtUp: caught, Forced: forced,
+		})
+	}
+}
+
+// respond applies the ϕ rules plus the two opt-in overrides (futility
+// revert and cost budget).
+func (c *Controller) respond(e *join.Engine, from join.State, a Assessment) (join.State, string) {
+	// Futility bookkeeping: a streak of activations in a non-exact
+	// state during which approximate matching produced nothing.
+	if c.params.FutilityK > 0 {
+		if from != join.LexRex && c.approxSeen == c.approxSeenPrev {
+			c.futileStreak++
+		} else {
+			c.futileStreak = 0
+		}
+		c.approxSeenPrev = c.approxSeen
+		// σ stays suppressed after a futility revert until the deficit
+		// estimate clears on its own.
+		if !a.Sigma {
+			c.suppressSigma = false
+		}
+	}
+
+	if c.hasBudget {
+		cost := metrics.Cost(e.Stats(), c.budgetWeights).Total
+		if cost >= c.budget {
+			return join.LexRex, "budget"
+		}
+	}
+	if c.params.FutilityK > 0 {
+		if c.futileStreak >= c.params.FutilityK && from != join.LexRex {
+			c.futileStreak = 0
+			c.suppressSigma = true
+			return join.LexRex, "futility"
+		}
+		if c.suppressSigma {
+			a.Sigma = false
+		}
+	}
+	return Decide(from, a), ""
+}

@@ -1,0 +1,153 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"adaptivelink"
+)
+
+// RunAdaptiveJoin implements cmd/adaptivejoin. It returns the process
+// exit code.
+func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adaptivejoin", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		leftPath  = fs.String("left", "", "left (parent) CSV path")
+		rightPath = fs.String("right", "", "right (child) CSV path")
+		leftKey   = fs.String("left-key", "location", "left join-key column")
+		rightKey  = fs.String("right-key", "location", "right join-key column")
+		strategy  = fs.String("strategy", "adaptive", "adaptive, exact or approximate")
+		theta     = fs.Float64("theta", 0.75, "similarity threshold θsim")
+		q         = fs.Int("q", 3, "q-gram width")
+		budget    = fs.Float64("budget", 0, "cost budget in all-exact-step units (0 = unlimited)")
+		normalise = fs.Bool("normalize", false, "normalise join keys (case, accents, punctuation, whitespace)")
+		trace     = fs.Bool("trace", false, "print control-loop activations to stderr")
+		stats     = fs.Bool("stats", true, "print execution statistics to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *leftPath == "" || *rightPath == "" {
+		fmt.Fprintln(stderr, "adaptivejoin: -left and -right are required")
+		fs.Usage()
+		return 2
+	}
+
+	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, TraceActivations: *trace}
+	switch *strategy {
+	case "adaptive":
+		opts.Strategy = adaptivelink.Adaptive
+	case "exact":
+		opts.Strategy = adaptivelink.ExactOnly
+	case "approximate":
+		opts.Strategy = adaptivelink.ApproximateOnly
+	default:
+		fmt.Fprintf(stderr, "adaptivejoin: unknown strategy %q\n", *strategy)
+		return 2
+	}
+
+	left, err := loadSource(*leftPath, *leftKey, *normalise)
+	if err != nil {
+		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+		return 1
+	}
+	right, err := loadSource(*rightPath, *rightKey, *normalise)
+	if err != nil {
+		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+		return 1
+	}
+
+	j, err := adaptivelink.New(left, right, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+		return 1
+	}
+	matches, err := j.All()
+	if err != nil {
+		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+		return 1
+	}
+
+	bw := bufio.NewWriter(stdout)
+	out := csv.NewWriter(bw)
+	if err := out.Write([]string{"left_key", "right_key", "similarity", "exact"}); err != nil {
+		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+		return 1
+	}
+	for _, m := range matches {
+		rec := []string{
+			m.Left.Key, m.Right.Key,
+			strconv.FormatFloat(m.Similarity, 'f', 4, 64),
+			strconv.FormatBool(m.Exact),
+		}
+		if err := out.Write(rec); err != nil {
+			fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+			return 1
+		}
+	}
+	out.Flush()
+	if err := out.Error(); err != nil {
+		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+		return 1
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+		return 1
+	}
+
+	if *stats {
+		st := j.Stats()
+		fmt.Fprintf(stderr, "matches: %d (%d exact, %d approximate)\n",
+			st.Matches, st.ExactMatches, st.ApproxMatches)
+		fmt.Fprintf(stderr, "steps: %d (left %d, right %d), switches: %d, catch-up tuples: %d\n",
+			st.Steps, st.LeftRead, st.RightRead, st.Switches, st.CatchUpTuples)
+		names := make([]string, 0, len(st.StepsInState))
+		for name := range st.StepsInState {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if st.StepsInState[name] > 0 {
+				fmt.Fprintf(stderr, "  %-8s %d steps\n", name, st.StepsInState[name])
+			}
+		}
+		fmt.Fprintf(stderr, "modelled cost (all-exact step = 1): %.0f\n", st.ModelledCost)
+	}
+	if *trace {
+		for _, a := range j.Activations() {
+			mark := " "
+			if a.Sigma {
+				mark = "!"
+			}
+			fmt.Fprintf(stderr, "step %6d %s observed=%6d tail=%.4f %s -> %s (caught up %d)\n",
+				a.Step, mark, a.Observed, a.Tail, a.From, a.To, a.CaughtUp)
+		}
+	}
+	return 0
+}
+
+// loadSource reads a whole CSV into memory and returns a fresh source
+// over it, optionally normalising the join keys.
+func loadSource(path, key string, normalise bool) (adaptivelink.Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, factory, err := adaptivelink.LoadRelationCSV(bufio.NewReader(f), path, key)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	src := factory()
+	if normalise {
+		src = adaptivelink.NormalizeSource(src)
+	}
+	return src, nil
+}

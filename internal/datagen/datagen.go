@@ -1,0 +1,202 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivelink/internal/relation"
+)
+
+// DefaultParentSize matches the paper's parent table: all 8082 Italian
+// municipalities.
+const DefaultParentSize = 8082
+
+// DefaultVariantRate is the paper's fixed variant proportion: "we have
+// set the proportion of variants within an input at a fixed 10%".
+const DefaultVariantRate = 0.10
+
+// Spec describes one generated dataset.
+type Spec struct {
+	// Seed drives all randomness; equal specs generate equal datasets.
+	Seed int64
+	// ParentSize is |R| (default 8082 via Defaults).
+	ParentSize int
+	// ChildSize is |S|; every child references exactly one parent.
+	ChildSize int
+	// VariantRate is the overall proportion of variants within each
+	// perturbed input.
+	VariantRate float64
+	// Pattern places the variants (Fig. 5).
+	Pattern Pattern
+	// PerturbParent additionally perturbs the parent input with the
+	// same pattern ("variants in both tables"); the child input is
+	// always perturbed.
+	PerturbParent bool
+}
+
+// Defaults returns the paper's evaluation configuration for the given
+// pattern and perturbation sides.
+func Defaults(pattern Pattern, both bool) Spec {
+	return Spec{
+		Seed:          1,
+		ParentSize:    DefaultParentSize,
+		ChildSize:     DefaultParentSize,
+		VariantRate:   DefaultVariantRate,
+		Pattern:       pattern,
+		PerturbParent: both,
+	}
+}
+
+// Validate reports the first invalid field, if any.
+func (s Spec) Validate() error {
+	if s.ParentSize < 1 {
+		return fmt.Errorf("datagen: parent size %d < 1", s.ParentSize)
+	}
+	if s.ChildSize < 0 {
+		return fmt.Errorf("datagen: child size %d < 0", s.ChildSize)
+	}
+	if s.VariantRate < 0 || s.VariantRate > 1 {
+		return fmt.Errorf("datagen: variant rate %v outside [0,1]", s.VariantRate)
+	}
+	switch s.Pattern {
+	case Uniform, InterleavedLow, FewHighIntensity, ManyHighIntensity:
+	default:
+		return fmt.Errorf("datagen: unknown pattern %d", int(s.Pattern))
+	}
+	return nil
+}
+
+// Name returns a compact test-case label, e.g. "few-high/child-only".
+func (s Spec) Name() string {
+	side := "child-only"
+	if s.PerturbParent {
+		side = "both"
+	}
+	return s.Pattern.String() + "/" + side
+}
+
+// Dataset is a generated parent/child table pair with ground truth.
+type Dataset struct {
+	Spec   Spec
+	Parent *relation.Relation
+	Child  *relation.Relation
+	// ChildParent[i] is the parent ref that child i represents — the
+	// ground-truth linkage, independent of any perturbation.
+	ChildParent []int
+	// ParentVariant[j] / ChildVariant[i] flag perturbed tuples.
+	ParentVariant []bool
+	ChildVariant  []bool
+	// ParentRegions / ChildRegions are the perturbation layouts applied.
+	ParentRegions []Region
+	ChildRegions  []Region
+}
+
+// Generate builds a dataset from a spec. Generation is deterministic in
+// the seed.
+func Generate(spec Spec) (*Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	names := NewNameGen(rng.Int63())
+
+	cleanParent := make([]string, spec.ParentSize)
+	for j := range cleanParent {
+		cleanParent[j] = names.Next()
+	}
+
+	ds := &Dataset{
+		Spec:          spec,
+		ChildParent:   make([]int, spec.ChildSize),
+		ParentVariant: make([]bool, spec.ParentSize),
+		ChildVariant:  make([]bool, spec.ChildSize),
+	}
+
+	// Lay out perturbation regions.
+	childRegions, err := Regions(spec.Pattern, spec.ChildSize, spec.VariantRate)
+	if err != nil {
+		return nil, err
+	}
+	ds.ChildRegions = childRegions
+	if spec.PerturbParent {
+		parentRegions, err := Regions(spec.Pattern, spec.ParentSize, spec.VariantRate)
+		if err != nil {
+			return nil, err
+		}
+		ds.ParentRegions = parentRegions
+	}
+
+	// Parent table: location key plus a synthetic map coordinate, the
+	// "street atlas" payload of the motivating scenario.
+	ds.Parent = relation.New("locations", relation.NewSchema("location", "lat", "lon"))
+	for j, key := range cleanParent {
+		stored := key
+		if spec.PerturbParent && perturbed(rng, ds.ParentRegions, j) {
+			stored = Mutate(rng, key)
+			ds.ParentVariant[j] = true
+		}
+		ds.Parent.Append(stored,
+			fmt.Sprintf("%.5f", 36.0+rng.Float64()*11.0),
+			fmt.Sprintf("%.5f", 6.6+rng.Float64()*11.9),
+		)
+	}
+
+	// Child table: accidents referencing uniformly random locations (the
+	// uniform reference is what makes the observed result size binomial,
+	// §3.2), with a date payload.
+	ds.Child = relation.New("accidents", relation.NewSchema("location", "accident_id", "date"))
+	for i := 0; i < spec.ChildSize; i++ {
+		p := rng.Intn(spec.ParentSize)
+		ds.ChildParent[i] = p
+		key := cleanParent[p]
+		if perturbed(rng, childRegions, i) {
+			key = Mutate(rng, key)
+			ds.ChildVariant[i] = true
+		}
+		ds.Child.Append(key,
+			fmt.Sprintf("A%07d", i),
+			fmt.Sprintf("2008-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+		)
+	}
+	return ds, nil
+}
+
+// perturbed decides whether position i, covered by some region, is
+// turned into a variant.
+func perturbed(rng *rand.Rand, regions []Region, i int) bool {
+	for _, r := range regions {
+		if r.Contains(i) {
+			return rng.Float64() < r.Intensity
+		}
+	}
+	return false
+}
+
+// VariantCount returns the number of variant tuples in the child and
+// parent inputs.
+func (d *Dataset) VariantCount() (child, parent int) {
+	for _, v := range d.ChildVariant {
+		if v {
+			child++
+		}
+	}
+	for _, v := range d.ParentVariant {
+		if v {
+			parent++
+		}
+	}
+	return child, parent
+}
+
+// TrueMatches returns the number of ground-truth child–parent links
+// whose keys still match exactly after perturbation — the exact join's
+// attainable result size.
+func (d *Dataset) TrueMatches() int {
+	n := 0
+	for i, p := range d.ChildParent {
+		if d.Child.At(i).Key == d.Parent.At(p).Key {
+			n++
+		}
+	}
+	return n
+}

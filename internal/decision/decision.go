@@ -1,0 +1,158 @@
+// Package decision implements multi-attribute match classification —
+// the "decision rules" of the record-linkage formulation in §1 of the
+// paper ("if sim(r1,r2) > θ then match"), generalised from the engine's
+// single-key threshold rule to weighted multi-attribute scoring with a
+// three-way verdict (match / possible match / non-match), in the spirit
+// of the Fellegi–Sunter framework the surveys cited by the paper build
+// on.
+//
+// The join engine classifies on the join key alone, which is what the
+// adaptive machinery needs; this package is the post-processing layer a
+// linkage application puts behind it: re-score each candidate pair on
+// all shared attributes and route the "possible" band to clerical
+// review.
+package decision
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivelink/internal/simfn"
+)
+
+// Class is a three-way linkage verdict.
+type Class int
+
+const (
+	// NonMatch means the pair is rejected.
+	NonMatch Class = iota
+	// Possible means the pair falls in the clerical-review band.
+	Possible
+	// Match means the pair is accepted.
+	Match
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case NonMatch:
+		return "non-match"
+	case Possible:
+		return "possible"
+	case Match:
+		return "match"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Attribute scores one attribute of a record pair.
+type Attribute struct {
+	// Name labels the attribute in explanations.
+	Name string
+	// Sim measures the attribute's value similarity (default: q=3
+	// padded Jaccard via simfn.JaccardQGram).
+	Sim simfn.Func
+	// Weight is the attribute's relative importance; must be positive.
+	Weight float64
+	// Missing is the similarity assumed when either value is empty
+	// (record linkage practice: a neutral prior, not a disagreement).
+	Missing float64
+}
+
+// Classifier scores record pairs over a set of attributes.
+type Classifier struct {
+	attrs       []Attribute
+	totalWeight float64
+	lower       float64
+	upper       float64
+}
+
+// NewClassifier builds a classifier with the given review band: pairs
+// scoring below lower are NonMatch, at or above upper Match, otherwise
+// Possible.
+func NewClassifier(attrs []Attribute, lower, upper float64) (*Classifier, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("decision: no attributes")
+	}
+	if lower < 0 || upper > 1 || lower > upper {
+		return nil, fmt.Errorf("decision: invalid band [%v, %v]", lower, upper)
+	}
+	c := &Classifier{lower: lower, upper: upper}
+	for _, a := range attrs {
+		if a.Weight <= 0 {
+			return nil, fmt.Errorf("decision: attribute %q weight %v must be positive", a.Name, a.Weight)
+		}
+		if a.Missing < 0 || a.Missing > 1 {
+			return nil, fmt.Errorf("decision: attribute %q missing score %v outside [0,1]", a.Name, a.Missing)
+		}
+		if a.Sim == nil {
+			a.Sim = simfn.JaccardQGram(3)
+		}
+		c.attrs = append(c.attrs, a)
+		c.totalWeight += a.Weight
+	}
+	return c, nil
+}
+
+// Evidence is one attribute's contribution to a verdict.
+type Evidence struct {
+	Name       string
+	Similarity float64
+	Weight     float64
+	// MissingValue reports that the Missing prior was used.
+	MissingValue bool
+}
+
+// Verdict is a scored classification with its per-attribute breakdown.
+type Verdict struct {
+	Score    float64
+	Class    Class
+	Evidence []Evidence
+}
+
+// Classify scores the attribute value vectors a and b, which must both
+// have one value per classifier attribute, in order.
+func (c *Classifier) Classify(a, b []string) (Verdict, error) {
+	if len(a) != len(c.attrs) || len(b) != len(c.attrs) {
+		return Verdict{}, fmt.Errorf("decision: got %d/%d values, want %d", len(a), len(b), len(c.attrs))
+	}
+	v := Verdict{Evidence: make([]Evidence, len(c.attrs))}
+	for i, attr := range c.attrs {
+		ev := Evidence{Name: attr.Name, Weight: attr.Weight}
+		if a[i] == "" || b[i] == "" {
+			ev.Similarity = attr.Missing
+			ev.MissingValue = true
+		} else {
+			ev.Similarity = attr.Sim(a[i], b[i])
+		}
+		v.Evidence[i] = ev
+		v.Score += ev.Similarity * attr.Weight
+	}
+	v.Score /= c.totalWeight
+	switch {
+	case v.Score >= c.upper:
+		v.Class = Match
+	case v.Score < c.lower:
+		v.Class = NonMatch
+	default:
+		v.Class = Possible
+	}
+	return v, nil
+}
+
+// Explain renders a verdict's strongest disagreements first, for
+// clerical review.
+func (v Verdict) Explain() string {
+	evs := append([]Evidence(nil), v.Evidence...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Similarity < evs[j].Similarity })
+	out := fmt.Sprintf("%s (score %.3f)", v.Class, v.Score)
+	for _, e := range evs {
+		flag := ""
+		if e.MissingValue {
+			flag = " [missing]"
+		}
+		out += fmt.Sprintf("\n  %-16s sim %.3f weight %.1f%s", e.Name, e.Similarity, e.Weight, flag)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package decision
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adaptivelink/internal/simfn"
+)
+
+func mkClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	c, err := NewClassifier([]Attribute{
+		{Name: "name", Weight: 2},
+		{Name: "street", Weight: 1},
+		{Name: "city", Weight: 1, Missing: 0.5},
+	}, 0.5, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassString(t *testing.T) {
+	if Match.String() != "match" || Possible.String() != "possible" ||
+		NonMatch.String() != "non-match" || Class(9).String() != "Class(9)" {
+		t.Error("Class strings wrong")
+	}
+}
+
+func TestNewClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(nil, 0.3, 0.8); err == nil {
+		t.Error("empty attributes accepted")
+	}
+	if _, err := NewClassifier([]Attribute{{Name: "a", Weight: 0}}, 0.3, 0.8); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewClassifier([]Attribute{{Name: "a", Weight: 1}}, 0.8, 0.3); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := NewClassifier([]Attribute{{Name: "a", Weight: 1, Missing: 2}}, 0.3, 0.8); err == nil {
+		t.Error("missing score > 1 accepted")
+	}
+}
+
+func TestClassifyIdenticalIsMatch(t *testing.T) {
+	c := mkClassifier(t)
+	v, err := c.Classify(
+		[]string{"MARIO ROSSI", "VIA GARIBALDI 10", "GENOVA"},
+		[]string{"MARIO ROSSI", "VIA GARIBALDI 10", "GENOVA"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != Match || v.Score != 1 {
+		t.Errorf("identical records: %+v", v)
+	}
+}
+
+func TestClassifyDisjointIsNonMatch(t *testing.T) {
+	c := mkClassifier(t)
+	v, err := c.Classify(
+		[]string{"MARIO ROSSI", "VIA GARIBALDI 10", "GENOVA"},
+		[]string{"QWXZKJ PFLT", "BCDGHM 99", "ZZZZZZ"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != NonMatch {
+		t.Errorf("disjoint records: %+v", v)
+	}
+}
+
+func TestClassifyTypoLandsInBandOrMatch(t *testing.T) {
+	c := mkClassifier(t)
+	v, err := c.Classify(
+		[]string{"MARIO ROSSI", "VIA GARIBALDI 10", "GENOVA"},
+		[]string{"MARIO ROSSO", "VIA GARIBALDI 10", "GENOVA"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class == NonMatch {
+		t.Errorf("one-typo pair rejected outright: %+v", v)
+	}
+}
+
+func TestMissingValueUsesPrior(t *testing.T) {
+	c := mkClassifier(t)
+	v, err := c.Classify(
+		[]string{"MARIO ROSSI", "VIA GARIBALDI 10", ""},
+		[]string{"MARIO ROSSI", "VIA GARIBALDI 10", "GENOVA"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := v.Evidence[2]
+	if !ev.MissingValue || ev.Similarity != 0.5 {
+		t.Errorf("missing city evidence: %+v", ev)
+	}
+	// 2*1 + 1*1 + 1*0.5 over weight 4 = 0.875 -> Match at upper 0.85.
+	if v.Class != Match {
+		t.Errorf("verdict with neutral missing prior: %+v", v)
+	}
+}
+
+func TestWeightsMatter(t *testing.T) {
+	heavy, _ := NewClassifier([]Attribute{
+		{Name: "key", Weight: 10},
+		{Name: "note", Weight: 1},
+	}, 0.4, 0.8)
+	light, _ := NewClassifier([]Attribute{
+		{Name: "key", Weight: 1},
+		{Name: "note", Weight: 10},
+	}, 0.4, 0.8)
+	a := []string{"IDENTICAL KEY VALUE", "completely different annotation"}
+	b := []string{"IDENTICAL KEY VALUE", "nothing shared here at all"}
+	vh, _ := heavy.Classify(a, b)
+	vl, _ := light.Classify(a, b)
+	if vh.Score <= vl.Score {
+		t.Errorf("key-weighted score %v not above note-weighted %v", vh.Score, vl.Score)
+	}
+}
+
+func TestClassifyArityChecked(t *testing.T) {
+	c := mkClassifier(t)
+	if _, err := c.Classify([]string{"a"}, []string{"a", "b", "c"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestCustomSimFunc(t *testing.T) {
+	c, err := NewClassifier([]Attribute{
+		{Name: "exact-only", Weight: 1, Sim: simfn.Exact},
+	}, 0.5, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Classify([]string{"almost same"}, []string{"almost samE"})
+	if v.Score != 0 {
+		t.Errorf("exact sim scored %v for unequal strings", v.Score)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	c := mkClassifier(t)
+	v, _ := c.Classify(
+		[]string{"MARIO ROSSI", "VIA GARIBALDI 10", ""},
+		[]string{"MARIO ROSSI", "XXXXXXX 99", "GENOVA"},
+	)
+	out := v.Explain()
+	for _, want := range []string{"street", "name", "city", "[missing]", "score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Most dissonant attribute first.
+	if !strings.Contains(strings.SplitN(out, "\n", 3)[1], "street") {
+		t.Errorf("strongest disagreement not listed first:\n%s", out)
+	}
+}
+
+// Property: scores are bounded, symmetric, and monotone in any single
+// attribute's similarity.
+func TestScoreProperties(t *testing.T) {
+	c := mkClassifier(t)
+	f := func(a1, a2, b1, b2, c1, c2 string) bool {
+		va, err1 := c.Classify([]string{a1, b1, c1}, []string{a2, b2, c2})
+		vb, err2 := c.Classify([]string{a2, b2, c2}, []string{a1, b1, c1})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if va.Score < 0 || va.Score > 1+1e-9 {
+			return false
+		}
+		return va.Score == vb.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

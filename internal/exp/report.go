@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptivelink/internal/datagen"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+)
+
+// Fig5Maps renders the perturbation-pattern layouts of Fig. 5 as ASCII
+// maps over an input of n positions.
+func Fig5Maps(n, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — perturbation patterns (input length %d, 10%% variants)\n", n)
+	labels := map[datagen.Pattern]string{
+		datagen.Uniform:           "(a) uniform",
+		datagen.InterleavedLow:    "(b) interleaved low-intensity",
+		datagen.FewHighIntensity:  "(c) few high-intensity",
+		datagen.ManyHighIntensity: "(d) many high-intensity",
+	}
+	for _, p := range datagen.AllPatterns {
+		regions, err := datagen.Regions(p, n, datagen.DefaultVariantRate)
+		if err != nil {
+			fmt.Fprintf(&b, "%-32s <error: %v>\n", labels[p], err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-32s |%s|\n", labels[p], datagen.Render(regions, n, width))
+	}
+	b.WriteString("legend: '.' none  '-' <25%  '+' <60%  '#' high intensity\n")
+	return b.String()
+}
+
+// Fig6Table renders the headline gain/cost/efficiency comparison of
+// Fig. 6, one row per test case.
+func Fig6Table(results []*Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — relative gain and cost across test cases\n")
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s %8s %8s %8s\n",
+		"test case", "r(exact)", "R(apx)", "r_abs", "g_rel", "c_rel", "e")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-26s %8d %8d %8d %8.3f %8.3f %8.2f\n",
+			r.Case.ID, r.R, r.RApx, r.RAbs,
+			r.GainCost.Grel, r.GainCost.Crel, r.GainCost.Efficiency)
+	}
+	return b.String()
+}
+
+// Fig7Table renders the breakdown of steps spent per state and the
+// number of transitions (Fig. 7). State columns follow the paper's
+// abbreviations: EE = lex/rex, AE = lap/rex, EA = lex/rap, AA = lap/rap.
+func Fig7Table(results []*Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — share of steps per state and transition counts\n")
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s %8s %8s\n", "test case", "EE%", "AE%", "EA%", "AA%", "trans")
+	for _, r := range results {
+		sh := metrics.StepShares(r.AdaptiveStats)
+		fmt.Fprintf(&b, "%-26s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8d\n",
+			r.Case.ID,
+			100*sh[join.LexRex.Index()], 100*sh[join.LapRex.Index()],
+			100*sh[join.LexRap.Index()], 100*sh[join.LapRap.Index()],
+			r.AdaptiveStats.Switches)
+	}
+	return b.String()
+}
+
+// Fig8Table renders the breakdown of modelled execution cost per state
+// plus the aggregate transition cost (Fig. 8).
+func Fig8Table(results []*Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — share of weighted execution cost per state\n")
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s %8s %8s %10s\n",
+		"test case", "EE%", "AE%", "EA%", "AA%", "trans%", "c_abs")
+	for _, r := range results {
+		states, trans := metrics.CostShares(r.Breakdown)
+		fmt.Fprintf(&b, "%-26s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %10.0f\n",
+			r.Case.ID,
+			100*states[join.LexRex.Index()], 100*states[join.LapRex.Index()],
+			100*states[join.LexRap.Index()], 100*states[join.LapRap.Index()],
+			100*trans, r.Breakdown.Total)
+	}
+	return b.String()
+}
+
+// SummaryChecks verifies the qualitative claims of §4.4 on a result set
+// and reports each as a pass/fail line: positive efficiency everywhere,
+// adaptive cost below the all-approximate cost, a substantial share of
+// steps still exact, and child-only cases at least as efficient as their
+// both-perturbed siblings on average.
+func SummaryChecks(results []*Result, w metrics.Weights) string {
+	var b strings.Builder
+	b.WriteString("§4.4 qualitative checks\n")
+	check := func(name string, ok bool, detail string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %-46s %s\n", status, name, detail)
+	}
+
+	allPositive, belowC, exactShare := true, true, 0.0
+	var childEff, bothEff []float64
+	for _, r := range results {
+		if r.GainCost.Efficiency <= 0 {
+			allPositive = false
+		}
+		if r.Breakdown.Total > metrics.PureCost(r.Steps, join.LapRap, w) {
+			belowC = false
+		}
+		exactShare += metrics.StepShares(r.AdaptiveStats)[join.LexRex.Index()]
+		if strings.HasSuffix(r.Case.ID, "/child-only") {
+			childEff = append(childEff, r.GainCost.Efficiency)
+		} else {
+			bothEff = append(bothEff, r.GainCost.Efficiency)
+		}
+	}
+	n := float64(len(results))
+	check("efficiency e > 0 in every case", allPositive, "")
+	check("adaptive cost never exceeds all-approximate C", belowC, "")
+	if n > 0 {
+		avg := exactShare / n
+		check("substantial share of steps remains exact", avg >= 0.15,
+			fmt.Sprintf("avg EE share %.1f%%", 100*avg))
+	}
+	if len(childEff) > 0 && len(bothEff) > 0 {
+		check("child-only cases more efficient on average",
+			mean(childEff) >= mean(bothEff),
+			fmt.Sprintf("child-only %.2f vs both %.2f", mean(childEff), mean(bothEff)))
+	}
+	return b.String()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"testing"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+)
+
+// TestShapeStableAcrossSeeds re-runs a subset of the Fig. 6 cases with
+// different dataset seeds and checks that the reproduction's headline
+// claims (§4.4) are not artifacts of one random draw: efficiency stays
+// positive, cost stays below the all-approximate ceiling, and the
+// completeness ordering holds.
+func TestShapeStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed stability sweep")
+	}
+	rc := DefaultRunConfig()
+	rc.Params.DeltaAdapt, rc.Params.W = 50, 50
+	for _, seed := range []int64{101, 202, 303} {
+		cases := PaperTestCases(seed, 600, 600)
+		// One child-only and one both-perturbed case per seed.
+		for _, tc := range []TestCase{cases[0], cases[5]} {
+			res, err := RunCase(tc, rc)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tc.ID, err)
+			}
+			if !(res.R <= res.RAbs && res.RAbs <= res.RApx) {
+				t.Errorf("seed %d %s: ordering r=%d rabs=%d R=%d",
+					seed, tc.ID, res.R, res.RAbs, res.RApx)
+			}
+			if res.GainCost.Efficiency <= 0 {
+				t.Errorf("seed %d %s: efficiency %v", seed, tc.ID, res.GainCost.Efficiency)
+			}
+			ceiling := metrics.PureCost(res.Steps, join.LapRap, rc.Weights)
+			if res.Breakdown.Total > ceiling {
+				t.Errorf("seed %d %s: cost %v above ceiling %v",
+					seed, tc.ID, res.Breakdown.Total, ceiling)
+			}
+			if res.AdaptiveStats.Switches == 0 {
+				t.Errorf("seed %d %s: never adapted on 10%% variants", seed, tc.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adaptivelink/internal/datagen"
+	"adaptivelink/internal/hashidx"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/qgram"
+)
+
+// Table1Row is one operation's measured cost for the two operators.
+// Operations follow Table 1 of the paper; a nil (NaN-free) zero means
+// the operation does not exist for that operator.
+type Table1Row struct {
+	Operation string
+	// SHJoinNs and SSHJoinNs are average nanoseconds per operation;
+	// -1 marks "not applicable" (the paper's "–").
+	SHJoinNs  float64
+	SSHJoinNs float64
+}
+
+// MeasureTable1 times the four per-tuple operations of Table 1 on a
+// corpus of n generated location keys: (1) obtain q-grams, (2) update
+// the hash table, (3) compute the candidate set T(t) with counters,
+// (4) find matches. For SHJoin, (1) and (3) do not apply and (2)/(4)
+// are the single-key insert/lookup; for SSHJoin, (3) is the optimised
+// reverse-frequency probe and (4) the threshold filter + similarity
+// verification over T(t).
+func MeasureTable1(n int, seed int64, cfg join.Config) ([]Table1Row, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("exp: table1 corpus size %d too small", n)
+	}
+	names := datagen.NewNameGen(seed)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = names.Next()
+	}
+	ex := qgram.New(cfg.Q)
+
+	rows := make([]Table1Row, 4)
+	rows[0] = Table1Row{Operation: "1. obtain q-grams", SHJoinNs: -1}
+	rows[1] = Table1Row{Operation: "2. update hash table"}
+	rows[2] = Table1Row{Operation: "3. compute T(t) and counters", SHJoinNs: -1}
+	rows[3] = Table1Row{Operation: "4. find matches"}
+
+	// (1) obtain q-grams — SSHJoin only.
+	start := time.Now()
+	var gramSink int
+	for _, k := range keys {
+		gramSink += len(ex.Grams(k))
+	}
+	rows[0].SSHJoinNs = perOp(start, n)
+
+	// (2) update hash table.
+	exIdx := hashidx.NewExactIndex()
+	start = time.Now()
+	for i, k := range keys {
+		exIdx.Insert(i, k)
+	}
+	rows[1].SHJoinNs = perOp(start, n)
+
+	qgIdx := hashidx.NewQGramIndex(ex)
+	start = time.Now()
+	for i, k := range keys {
+		qgIdx.Insert(i, k)
+	}
+	rows[1].SSHJoinNs = perOp(start, n)
+
+	// (3) compute T(t) and counters — SSHJoin only. Probe every key
+	// against the loaded index with the configured overlap bound.
+	probes := keys
+	if len(probes) > 2000 {
+		probes = probes[:2000]
+	}
+	var candSink int
+	start = time.Now()
+	for _, k := range probes {
+		g := len(ex.Grams(k))
+		k2 := cfg.Measure.MinOverlap(g, cfg.Theta)
+		candSink += len(qgIdx.Probe(k, k2))
+	}
+	rows[2].SSHJoinNs = perOp(start, len(probes))
+
+	// (4) find matches: exact lookup vs candidate verification.
+	var lookupSink int
+	start = time.Now()
+	for _, k := range probes {
+		lookupSink += len(exIdx.Lookup(k))
+	}
+	rows[3].SHJoinNs = perOp(start, len(probes))
+
+	// For SSHJoin, verification re-scores every candidate of T(t).
+	type probeSet struct {
+		g     int
+		cands []hashidx.Candidate
+	}
+	sets := make([]probeSet, len(probes))
+	for i, k := range probes {
+		g := len(ex.Grams(k))
+		sets[i] = probeSet{g: g, cands: qgIdx.Probe(k, cfg.Measure.MinOverlap(g, cfg.Theta))}
+	}
+	var simSink float64
+	start = time.Now()
+	for _, ps := range sets {
+		for _, c := range ps.cands {
+			simSink += cfg.Measure.Coefficient(ps.g, qgIdx.GramSize(c.Ref), c.Overlap)
+		}
+	}
+	rows[3].SSHJoinNs = perOp(start, len(probes))
+
+	// Keep the sinks alive so the compiler cannot elide the loops.
+	if gramSink < 0 || candSink < 0 || lookupSink < 0 || simSink < 0 {
+		return nil, fmt.Errorf("exp: impossible sink state")
+	}
+	return rows, nil
+}
+
+func perOp(start time.Time, n int) float64 {
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+// Table1Text renders measured rows in the layout of Table 1, with the
+// SSHJoin/SHJoin cost ratio where both sides exist.
+func Table1Text(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1 — measured cost of SSHJoin and SHJoin operations (ns/op)\n")
+	fmt.Fprintf(&b, "%-32s %12s %12s %8s\n", "operation", "SHJoin", "SSHJoin", "ratio")
+	for _, r := range rows {
+		sh, ap := "–", "–"
+		if r.SHJoinNs >= 0 {
+			sh = fmt.Sprintf("%.0f", r.SHJoinNs)
+		}
+		if r.SSHJoinNs >= 0 {
+			ap = fmt.Sprintf("%.0f", r.SSHJoinNs)
+		}
+		ratio := ""
+		if r.SHJoinNs > 0 && r.SSHJoinNs > 0 {
+			ratio = fmt.Sprintf("%.1fx", r.SSHJoinNs/r.SHJoinNs)
+		}
+		fmt.Fprintf(&b, "%-32s %12s %12s %8s\n", r.Operation, sh, ap, ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+// Package hashidx implements the two hash data structures of Fig. 3 in
+// the paper: the exact attribute-value hash table used by SHJoin and the
+// q-gram inverted index used by SSHJoin.
+//
+// Both index one side of a symmetric join. Tuples are identified by
+// their dense position ("ref") in the side's tuple store, which the join
+// engine owns. Each index remembers how many tuples of its side it has
+// absorbed (Indexed); the hybrid engine exploits this for the lazy
+// catch-up of §2.3 — only the index needed by the currently active
+// operator is kept up to date, and a switch pays only for the tuples
+// read since the previous switch.
+package hashidx
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivelink/internal/qgram"
+)
+
+// ExactIndex is a hash table from join-key value to the refs of the
+// tuples carrying that value (SHJoin's per-operand state).
+type ExactIndex struct {
+	buckets map[string][]int
+	indexed int
+}
+
+// NewExactIndex returns an empty exact index.
+func NewExactIndex() *ExactIndex {
+	return &ExactIndex{buckets: make(map[string][]int)}
+}
+
+// Insert registers the tuple at position ref with the given key. Refs
+// must be inserted densely in order; this invariant is what makes lazy
+// catch-up a pure suffix operation.
+func (x *ExactIndex) Insert(ref int, key string) {
+	if ref != x.indexed {
+		panic(fmt.Sprintf("hashidx: ExactIndex.Insert ref %d, want %d (dense order)", ref, x.indexed))
+	}
+	x.buckets[key] = append(x.buckets[key], ref)
+	x.indexed++
+}
+
+// Lookup returns the refs of all tuples whose key equals key. The
+// returned slice is owned by the index; callers must not mutate it.
+func (x *ExactIndex) Lookup(key string) []int {
+	return x.buckets[key]
+}
+
+// Indexed returns how many tuples of the side have been absorbed.
+func (x *ExactIndex) Indexed() int { return x.indexed }
+
+// CatchUp absorbs keys[Indexed():], bringing the index up to date with a
+// side whose tuples have the given join keys, and returns the number of
+// tuples inserted. This is the switch-time update of §2.3.
+func (x *ExactIndex) CatchUp(keys []string) int {
+	start := x.indexed
+	for ref := start; ref < len(keys); ref++ {
+		x.Insert(ref, keys[ref])
+	}
+	return len(keys) - start
+}
+
+// Buckets returns the number of distinct key values indexed.
+func (x *ExactIndex) Buckets() int { return len(x.buckets) }
+
+// AvgBucketLen returns the mean bucket length B_ex used by the cost
+// analysis of Table 1 (0 for an empty index).
+func (x *ExactIndex) AvgBucketLen() float64 {
+	if len(x.buckets) == 0 {
+		return 0
+	}
+	return float64(x.indexed) / float64(len(x.buckets))
+}
+
+// Candidate is a probe result: a stored tuple sharing Overlap distinct
+// q-grams with the probe value (the set T(t) with counters c(t′) of
+// §2.2).
+type Candidate struct {
+	Ref     int
+	Overlap int
+}
+
+// QGramIndex is an inverted index from q-gram to the refs of tuples
+// whose join key contains that gram. Posting-list lengths double as the
+// gram frequencies that drive the reverse-frequency probe optimisation.
+type QGramIndex struct {
+	ex       *qgram.Extractor
+	postings map[string][]int
+	sizes    []int // sizes[ref] = |q(key(ref))|, needed to verify similarity
+	indexed  int
+	entries  int // total postings, for the space accounting of §2.3
+}
+
+// NewQGramIndex returns an empty inverted index using the extractor's
+// gram definition.
+func NewQGramIndex(ex *qgram.Extractor) *QGramIndex {
+	return &QGramIndex{ex: ex, postings: make(map[string][]int)}
+}
+
+// Extractor exposes the gram definition shared with callers.
+func (x *QGramIndex) Extractor() *qgram.Extractor { return x.ex }
+
+// Insert decomposes key into q-grams and registers ref under each
+// (operation 2 of §2.2: one pointer insertion per gram). Refs must be
+// inserted densely in order.
+func (x *QGramIndex) Insert(ref int, key string) {
+	if ref != x.indexed {
+		panic(fmt.Sprintf("hashidx: QGramIndex.Insert ref %d, want %d (dense order)", ref, x.indexed))
+	}
+	grams := x.ex.Grams(key)
+	for _, g := range grams {
+		x.postings[g] = append(x.postings[g], ref)
+	}
+	x.sizes = append(x.sizes, len(grams))
+	x.entries += len(grams)
+	x.indexed++
+}
+
+// Indexed returns how many tuples of the side have been absorbed.
+func (x *QGramIndex) Indexed() int { return x.indexed }
+
+// CatchUp absorbs keys[Indexed():] and returns the number inserted.
+func (x *QGramIndex) CatchUp(keys []string) int {
+	start := x.indexed
+	for ref := start; ref < len(keys); ref++ {
+		x.Insert(ref, keys[ref])
+	}
+	return len(keys) - start
+}
+
+// GramSize returns |q(key)| for the stored tuple at ref.
+func (x *QGramIndex) GramSize(ref int) int { return x.sizes[ref] }
+
+// Frequency returns the number of indexed tuples containing gram g.
+func (x *QGramIndex) Frequency(g string) int { return len(x.postings[g]) }
+
+// Entries returns the total number of posting entries, i.e. the
+// n·(|jA|+q−1) pointer count of the space analysis in §2.3.
+func (x *QGramIndex) Entries() int { return x.entries }
+
+// AvgBucketLen returns the mean posting-list length B_ap of Table 1.
+func (x *QGramIndex) AvgBucketLen() float64 {
+	if len(x.postings) == 0 {
+		return 0
+	}
+	return float64(x.entries) / float64(len(x.postings))
+}
+
+// Probe computes the candidate set T(t) for a probe key, returning every
+// stored tuple that shares at least minOverlap distinct q-grams with it.
+// minOverlap is the count threshold k of §2.2, derived by the caller
+// from the similarity measure and threshold (simfn.MinOverlap).
+//
+// The implementation follows the paper's optimisation: probe grams are
+// considered in reverse frequency order (rarest first); candidates are
+// admitted into T(t) only while scanning the first g−k+1 grams, after
+// which the remaining k−1 grams may only increment existing counters.
+// Any tuple sharing ≥ k grams must share at least one of the first
+// g−k+1, so no qualifying candidate is missed.
+func (x *QGramIndex) Probe(key string, minOverlap int) []Candidate {
+	grams := x.ex.Grams(key)
+	return x.probeGrams(grams, minOverlap, true)
+}
+
+// ProbeGrams is Probe for a pre-decomposed key. The engine uses it to
+// avoid decomposing the probe value twice (it already needs the gram
+// count for the overlap bound). Ownership of grams passes to the index,
+// which may reorder the slice.
+func (x *QGramIndex) ProbeGrams(grams []string, minOverlap int) []Candidate {
+	return x.probeGrams(grams, minOverlap, true)
+}
+
+// ProbeNaive is the unoptimised variant that admits candidates from
+// every gram; used by the ablation benchmarks and as a correctness
+// oracle for Probe.
+func (x *QGramIndex) ProbeNaive(key string, minOverlap int) []Candidate {
+	grams := x.ex.Grams(key)
+	return x.probeGrams(grams, minOverlap, false)
+}
+
+func (x *QGramIndex) probeGrams(grams []string, minOverlap int, optimised bool) []Candidate {
+	g := len(grams)
+	if g == 0 || minOverlap < 1 {
+		return nil
+	}
+	k := minOverlap
+	if k > g {
+		// No stored set can share more distinct grams than the probe has.
+		return nil
+	}
+	if optimised {
+		// Rarest grams first: the admission prefix then generates the
+		// fewest candidates.
+		sort.Slice(grams, func(i, j int) bool {
+			fi, fj := len(x.postings[grams[i]]), len(x.postings[grams[j]])
+			if fi != fj {
+				return fi < fj
+			}
+			return grams[i] < grams[j] // deterministic tie-break
+		})
+	}
+	admitUpTo := g - k + 1
+	if !optimised {
+		admitUpTo = g
+	}
+	counts := make(map[int]int)
+	for i, gram := range grams {
+		for _, ref := range x.postings[gram] {
+			if i < admitUpTo {
+				counts[ref]++
+			} else if _, seen := counts[ref]; seen {
+				counts[ref]++
+			}
+		}
+	}
+	cands := make([]Candidate, 0, len(counts))
+	for ref, c := range counts {
+		if c >= k {
+			cands = append(cands, Candidate{Ref: ref, Overlap: c})
+		}
+	}
+	// Deterministic output order: by ref.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Ref < cands[j].Ref })
+	return cands
+}

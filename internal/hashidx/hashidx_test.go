@@ -1,0 +1,251 @@
+package hashidx
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"adaptivelink/internal/qgram"
+)
+
+func TestExactIndexInsertLookup(t *testing.T) {
+	x := NewExactIndex()
+	x.Insert(0, "rome")
+	x.Insert(1, "milan")
+	x.Insert(2, "rome")
+	if got := x.Lookup("rome"); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Lookup(rome) = %v", got)
+	}
+	if got := x.Lookup("milan"); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Lookup(milan) = %v", got)
+	}
+	if got := x.Lookup("missing"); len(got) != 0 {
+		t.Errorf("Lookup(missing) = %v", got)
+	}
+	if x.Indexed() != 3 || x.Buckets() != 2 {
+		t.Errorf("Indexed=%d Buckets=%d", x.Indexed(), x.Buckets())
+	}
+	if got := x.AvgBucketLen(); got != 1.5 {
+		t.Errorf("AvgBucketLen = %v", got)
+	}
+}
+
+func TestExactIndexDenseOrderEnforced(t *testing.T) {
+	x := NewExactIndex()
+	x.Insert(0, "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Insert did not panic")
+		}
+	}()
+	x.Insert(2, "b")
+}
+
+func TestExactIndexCatchUp(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	x := NewExactIndex()
+	if n := x.CatchUp(keys[:2]); n != 2 {
+		t.Errorf("first CatchUp inserted %d", n)
+	}
+	if n := x.CatchUp(keys); n != 2 {
+		t.Errorf("second CatchUp inserted %d, want 2 (suffix only)", n)
+	}
+	if n := x.CatchUp(keys); n != 0 {
+		t.Errorf("idempotent CatchUp inserted %d", n)
+	}
+	if got := x.Lookup("d"); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("Lookup(d) = %v", got)
+	}
+}
+
+func TestExactIndexEmptyAvgBucket(t *testing.T) {
+	if got := NewExactIndex().AvgBucketLen(); got != 0 {
+		t.Errorf("empty AvgBucketLen = %v", got)
+	}
+}
+
+func newQIdx() *QGramIndex { return NewQGramIndex(qgram.New(3)) }
+
+func TestQGramIndexInsertAndFrequency(t *testing.T) {
+	x := newQIdx()
+	x.Insert(0, "rome")
+	x.Insert(1, "romeo")
+	// "##r", "#ro", "rom", "ome" are shared by both keys.
+	for _, g := range []string{"##r", "#ro", "rom", "ome"} {
+		if got := x.Frequency(g); got != 2 {
+			t.Errorf("Frequency(%q) = %d, want 2", g, got)
+		}
+	}
+	if x.Indexed() != 2 {
+		t.Errorf("Indexed = %d", x.Indexed())
+	}
+	if x.GramSize(0) != 6 { // |rome|+q-1 = 4+2, all distinct
+		t.Errorf("GramSize(0) = %d, want 6", x.GramSize(0))
+	}
+	if x.Entries() != x.GramSize(0)+x.GramSize(1) {
+		t.Errorf("Entries = %d", x.Entries())
+	}
+	if x.AvgBucketLen() <= 0 {
+		t.Error("AvgBucketLen should be positive")
+	}
+}
+
+func TestQGramIndexDenseOrderEnforced(t *testing.T) {
+	x := newQIdx()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Insert did not panic")
+		}
+	}()
+	x.Insert(1, "a")
+}
+
+func TestQGramIndexCatchUp(t *testing.T) {
+	x := newQIdx()
+	keys := []string{"rome", "milan", "turin"}
+	x.CatchUp(keys[:1])
+	if n := x.CatchUp(keys); n != 2 {
+		t.Errorf("CatchUp inserted %d, want 2", n)
+	}
+	if x.Indexed() != 3 {
+		t.Errorf("Indexed = %d", x.Indexed())
+	}
+}
+
+func TestProbeFindsExactDuplicate(t *testing.T) {
+	x := newQIdx()
+	x.Insert(0, "SANTA CRISTINA")
+	x.Insert(1, "GENOVA")
+	g := x.GramSize(0)
+	cands := x.Probe("SANTA CRISTINA", g) // require full overlap
+	if len(cands) != 1 || cands[0].Ref != 0 || cands[0].Overlap != g {
+		t.Errorf("Probe = %v, want ref 0 with overlap %d", cands, g)
+	}
+}
+
+func TestProbeFindsOneEditVariant(t *testing.T) {
+	x := newQIdx()
+	orig := "TAA BZ SANTA CRISTINA VALGARDENA"
+	x.Insert(0, orig)
+	variant := "TAA BZ SANTA CRISTINx VALGARDENA"
+	// A 1-char substitution disturbs at most q=3 grams.
+	gv := len(qgram.New(3).Grams(variant))
+	cands := x.Probe(variant, gv-3)
+	if len(cands) != 1 || cands[0].Ref != 0 {
+		t.Errorf("Probe(variant) = %v, want original", cands)
+	}
+}
+
+func TestProbeRespectsMinOverlap(t *testing.T) {
+	x := newQIdx()
+	x.Insert(0, "abcdef")
+	x.Insert(1, "uvwxyz")
+	cands := x.Probe("abcdef", 4)
+	if len(cands) != 1 || cands[0].Ref != 0 {
+		t.Errorf("Probe = %v", cands)
+	}
+	// Nothing shares 4 grams with a disjoint string.
+	if cands := x.Probe("zzzzzz", 2); len(cands) != 0 {
+		t.Errorf("Probe(zzzzzz) = %v, want none", cands)
+	}
+}
+
+func TestProbeDegenerateInputs(t *testing.T) {
+	x := newQIdx()
+	x.Insert(0, "abc")
+	if got := x.Probe("", 1); got != nil {
+		t.Errorf("Probe(empty) = %v", got)
+	}
+	if got := x.Probe("abc", 0); got != nil {
+		t.Errorf("Probe(minOverlap=0) = %v", got)
+	}
+	// minOverlap larger than the probe's gram count can never be met.
+	if got := x.Probe("ab", 100); got != nil {
+		t.Errorf("Probe(k>g) = %v", got)
+	}
+}
+
+func TestProbeOnEmptyIndex(t *testing.T) {
+	x := newQIdx()
+	if got := x.Probe("anything", 1); len(got) != 0 {
+		t.Errorf("Probe on empty index = %v", got)
+	}
+	if x.AvgBucketLen() != 0 {
+		t.Error("empty AvgBucketLen != 0")
+	}
+}
+
+// Property: the optimised probe returns exactly the same candidate set
+// (refs and overlap counts) as the naive probe, for random corpora of
+// short synthetic keys and all feasible thresholds.
+func TestProbeMatchesNaiveProperty(t *testing.T) {
+	syllables := []string{"mon", "te", "ro", "sa", "vi", "la", "ber", "go", "ne", "ca"}
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := newQIdx()
+		n := 5 + rng.Intn(30)
+		keys := make([]string, n)
+		for i := range keys {
+			s := ""
+			for w := 0; w < 2+rng.Intn(4); w++ {
+				s += syllables[rng.Intn(len(syllables))]
+			}
+			keys[i] = s
+			x.Insert(i, s)
+		}
+		probe := keys[rng.Intn(n)]
+		g := len(qgram.New(3).Grams(probe))
+		k := 1 + int(kRaw)%g
+		got := x.Probe(probe, k)
+		want := x.ProbeNaive(probe, k)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every candidate's overlap is the true number of shared
+// distinct grams between probe and stored key.
+func TestProbeOverlapIsTrueIntersectionProperty(t *testing.T) {
+	ex := qgram.New(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := NewQGramIndex(ex)
+		keys := make([]string, 12)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("loc%d-%d", rng.Intn(4), rng.Intn(4))
+			x.Insert(i, keys[i])
+		}
+		probe := keys[rng.Intn(len(keys))]
+		for _, c := range x.Probe(probe, 2) {
+			want := qgram.Intersection(ex.Grams(probe), ex.Grams(keys[c.Ref]))
+			if c.Overlap != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeDeterministicOrder(t *testing.T) {
+	x := newQIdx()
+	for i, k := range []string{"aaa", "aab", "aac", "aad"} {
+		x.Insert(i, k)
+	}
+	a := x.Probe("aaa", 2)
+	b := x.Probe("aaa", 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("non-deterministic probe: %v vs %v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Ref <= a[i-1].Ref {
+			t.Errorf("candidates not sorted by ref: %v", a)
+		}
+	}
+}

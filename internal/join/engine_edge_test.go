@@ -1,0 +1,239 @@
+package join
+
+import (
+	"reflect"
+	"testing"
+
+	"adaptivelink/internal/iterator"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/simfn"
+	"adaptivelink/internal/stream"
+)
+
+func TestEmptyInputs(t *testing.T) {
+	cases := []struct {
+		name        string
+		left, right *relation.Relation
+	}{
+		{"both empty", relation.FromKeys("L"), relation.FromKeys("R")},
+		{"left empty", relation.FromKeys("L"), relation.FromKeys("R", "a", "b")},
+		{"right empty", relation.FromKeys("L", "a", "b"), relation.FromKeys("R")},
+	}
+	for _, c := range cases {
+		for _, initial := range AllStates {
+			cfg := Defaults()
+			cfg.Initial = initial
+			e := mkEngine(t, cfg, c.left, c.right)
+			ms := run(t, e)
+			if len(ms) != 0 {
+				t.Errorf("%s/%v: got %d matches", c.name, initial, len(ms))
+			}
+			if e.Stats().Steps != c.left.Len()+c.right.Len() {
+				t.Errorf("%s/%v: steps %d", c.name, initial, e.Stats().Steps)
+			}
+		}
+	}
+}
+
+func TestManyToManyJoin(t *testing.T) {
+	// 3 x 4 duplicate keys must produce 12 pairs in every state.
+	left := relation.FromKeys("L", "dupdup", "dupdup", "dupdup")
+	right := relation.FromKeys("R", "dupdup", "dupdup", "dupdup", "dupdup")
+	for _, initial := range AllStates {
+		cfg := Defaults()
+		cfg.Initial = initial
+		e := mkEngine(t, cfg, left, right)
+		ms := run(t, e)
+		if len(ms) != 12 {
+			t.Errorf("state %v: got %d pairs, want 12", initial, len(ms))
+		}
+	}
+}
+
+func TestUnicodeKeys(t *testing.T) {
+	left := relation.FromKeys("L", "COMUNE DI FORLÌ CENTRO STORICO")
+	right := relation.FromKeys("R", "COMUNE DI FORLÌ CENTRO STORICO", "COMUNE DI FORLÌ CENTRO STORICT")
+	cfg := Defaults()
+	cfg.Initial = LapRap
+	e := mkEngine(t, cfg, left, right)
+	ms := run(t, e)
+	if len(ms) != 2 {
+		t.Fatalf("got %d matches, want exact + variant", len(ms))
+	}
+}
+
+func TestEmptyKeysExactOnly(t *testing.T) {
+	// Empty keys join exactly but cannot be probed approximately (no
+	// grams) — the documented degenerate case.
+	left := relation.FromKeys("L", "")
+	right := relation.FromKeys("R", "")
+	e := mkEngine(t, Defaults(), left, right)
+	if got := run(t, e); len(got) != 1 {
+		t.Errorf("exact empty-key join: %d matches, want 1", len(got))
+	}
+	cfg := Defaults()
+	cfg.Initial = LapRap
+	e2 := mkEngine(t, cfg, left, right)
+	if got := run(t, e2); len(got) != 0 {
+		t.Errorf("approximate empty-key join: %d matches, want 0 (no grams)", len(got))
+	}
+}
+
+func TestAlternativeMeasures(t *testing.T) {
+	left := relation.FromKeys("L", "CASTEL DEL MONTE ANDRIA", "PORTO CERVO MARINA SARDA")
+	right := relation.FromKeys("R", "CASTEL DEL MONTE ANDRIX", "PORTO CERVO MARINA SARDA")
+	for _, m := range []simfn.TokenMeasure{simfn.Jaccard, simfn.Dice, simfn.Cosine, simfn.Overlap} {
+		cfg := Defaults()
+		cfg.Measure = m
+		cfg.Initial = LapRap
+		if m == simfn.Dice || m == simfn.Cosine || m == simfn.Overlap {
+			cfg.Theta = 0.85 // these run higher than Jaccard for the same pair
+		}
+		e := mkEngine(t, cfg, left, right)
+		got := PairsOf(run(t, e))
+		want, err := NestedLoopApprox(cfg, left, right)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("measure %v: engine %v != oracle %v", m, got, want)
+		}
+		if len(got) < 1 {
+			t.Errorf("measure %v found nothing", m)
+		}
+	}
+}
+
+func TestSequentialInterleave(t *testing.T) {
+	// Build-then-probe order must produce the same pairs as round-robin.
+	left := relation.FromKeys("L", "monte rosa vetta alta", "porto cervo marina blu")
+	right := relation.FromKeys("R", "monte rosa vetta alta", "porto cervo marina blu")
+	e1, _ := New(Defaults(), stream.FromRelation(left), stream.FromRelation(right), stream.Sequential{First: stream.Left})
+	m1, err := iterator.Drain[Match](e1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := New(Defaults(), stream.FromRelation(left), stream.FromRelation(right), nil)
+	m2, err := iterator.Drain[Match](e2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(PairsOf(m1), PairsOf(m2)) {
+		t.Errorf("interleaving changed the result: %v vs %v", PairsOf(m1), PairsOf(m2))
+	}
+	// Under sequential order, no match can appear before the second
+	// side starts: every probe side must be Right.
+	for _, m := range m1 {
+		if m.ProbeSide != stream.Right {
+			t.Errorf("sequential scan produced a left-probe match: %+v", m)
+		}
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	left := relation.FromKeys("L", "monte rosa vetta alta", "porto cervo marina blu")
+	right := relation.FromKeys("R", "monte rosa vetta alta")
+	e := mkEngine(t, Defaults(), left, right) // lex/rex: only exact indexes
+	run(t, e)
+	s := e.Space()
+	if s.Tuples != [2]int{2, 1} {
+		t.Errorf("tuples %v", s.Tuples)
+	}
+	if s.ExactEntries != [2]int{2, 1} {
+		t.Errorf("exact entries %v", s.ExactEntries)
+	}
+	// Lazy maintenance: the q-gram indexes were never needed.
+	if s.QGramEntries != [2]int{0, 0} {
+		t.Errorf("q-gram entries %v, want lazily empty", s.QGramEntries)
+	}
+}
+
+func TestSpaceAccountingApprox(t *testing.T) {
+	// In lap/rap the q-gram entries per side must equal the sum of the
+	// keys' distinct gram counts (the n·(|jA|+q−1) pointer analysis of
+	// §2.3, minus duplicate grams).
+	keys := []string{"monte rosa vetta alta", "porto cervo marina blu", "castel del monte andria"}
+	left := relation.FromKeys("L", keys...)
+	right := relation.FromKeys("R", keys[0])
+	cfg := Defaults()
+	cfg.Initial = LapRap
+	e := mkEngine(t, cfg, left, right)
+	run(t, e)
+	s := e.Space()
+	if s.ExactEntries != [2]int{0, 0} {
+		t.Errorf("exact entries %v, want lazily empty", s.ExactEntries)
+	}
+	if s.QGramEntries[stream.Left] <= len(keys)*15 {
+		t.Errorf("left q-gram entries %d suspiciously low", s.QGramEntries[stream.Left])
+	}
+	// Switching to lex/rex catches the exact indexes up; space reflects it.
+	if _, err := e.SetState(LexRex); err != nil {
+		t.Fatal(err)
+	}
+	s = e.Space()
+	if s.ExactEntries != [2]int{3, 1} {
+		t.Errorf("exact entries after switch %v", s.ExactEntries)
+	}
+}
+
+func TestCatchUpCostProportionalToLag(t *testing.T) {
+	// §2.3: "the switch cost only depends on the number of tuples seen
+	// since the last switch". Switch to lap/rap early, back, then again
+	// late: the second approximate catch-up must pay only the delta.
+	n := 40
+	left := relation.New("L", relation.NewSchema("key"))
+	right := relation.New("R", relation.NewSchema("key"))
+	for i := 0; i < n; i++ {
+		left.Append(uniqueKey(i, "LEFT"))
+		right.Append(uniqueKey(i, "RIGHT"))
+	}
+	e := mkEngine(t, Defaults(), left, right)
+	var caught []int
+	e.OnStep = func(en *Engine) {
+		switch en.Step() {
+		case 10:
+			c, _ := en.SetState(LapRap)
+			caught = append(caught, c)
+		case 20:
+			c, _ := en.SetState(LexRex)
+			caught = append(caught, c)
+		case 30:
+			c, _ := en.SetState(LapRap)
+			caught = append(caught, c)
+		}
+	}
+	run(t, e)
+	if len(caught) != 3 {
+		t.Fatalf("switches recorded: %v", caught)
+	}
+	// First: the q-gram indexes absorb all 10 tuples seen so far.
+	// Second: the exact indexes absorb the 10 read while approximate
+	// (steps 11-20). Third: the q-gram indexes lag only by the exact
+	// stretch 21-30 — they already hold everything up to step 20 — so
+	// the cost is again 10, never the full 30: exactly §2.3's "switch
+	// cost only depends on the number of tuples seen since the last
+	// switch".
+	if caught[0] != 10 || caught[1] != 10 || caught[2] != 10 {
+		t.Errorf("catch-up sizes %v, want [10 10 10]", caught)
+	}
+}
+
+func uniqueKey(i int, side string) string {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	a, b := letters[i%26], letters[(i/26)%26]
+	return "KEY " + side + " " + string(a) + string(b) + " LOCATION ROW"
+}
+
+func TestNestedLoopApproxValidates(t *testing.T) {
+	bad := Defaults()
+	bad.Theta = 0
+	if _, err := NestedLoopApprox(bad, relation.FromKeys("L", "a"), relation.FromKeys("R", "a")); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPairsOfEmpty(t *testing.T) {
+	if PairsOf(nil) != nil {
+		t.Error("PairsOf(nil) should be nil")
+	}
+}

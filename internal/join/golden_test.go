@@ -1,0 +1,58 @@
+package join
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptivelink/internal/relation"
+)
+
+// TestGoldenTrace pins the exact behaviour of the engine on a small
+// fixed scenario: the full match sequence with metadata. Any change to
+// scan order, probe semantics, attribution or switch mechanics shows up
+// here first, with a readable diff.
+func TestGoldenTrace(t *testing.T) {
+	left := relation.FromKeys("L",
+		"VEN VE VENEZIA MESTRE CENTRO",
+		"LIG GE GENOVA CORNIGLIANO",
+		"PIE TO TORINO MIRAFIORI SUD",
+	)
+	right := relation.FromKeys("R",
+		"VEN VE VENEZIA MESTRE CENTRO", // exact, found in lex/rex
+		"LIG GE GENOVA CORNIGLIANx",    // variant, found after the switch
+		"PIE TO TORINO MIRAFIORI SUD",  // exact, found by approx probe post-switch
+	)
+	e := mkEngine(t, Defaults(), left, right)
+	e.OnStep = func(en *Engine) {
+		if en.Step() == 3 {
+			if _, err := en.SetState(LapRap); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var got []string
+	for _, m := range run(t, e) {
+		got = append(got, fmt.Sprintf("L%d~R%d exact=%v sim=%.4f probe=%v mode=%v attr=%v step=%d",
+			m.LeftRef, m.RightRef, m.Exact, m.Similarity, m.ProbeSide, m.ProbeMode, m.Attribution, m.Step))
+	}
+	want := []string{
+		"L0~R0 exact=true sim=1.0000 probe=right mode=ex attr=none step=1",
+		"L1~R1 exact=false sim=0.7931 probe=right mode=ap attr=both step=3",
+		"L2~R2 exact=true sim=1.0000 probe=right mode=ap attr=none step=5",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches:\n%v\nwant %d:\n%v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("match %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	st := e.Stats()
+	if st.Switches != 1 || st.TransitionsInto[LapRap.Index()] != 1 {
+		t.Errorf("switch accounting: %+v", st)
+	}
+	if st.StepsInState[LexRex.Index()] != 3 || st.StepsInState[LapRap.Index()] != 3 {
+		t.Errorf("per-state steps: %+v", st.StepsInState)
+	}
+}

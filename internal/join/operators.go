@@ -1,0 +1,110 @@
+package join
+
+import (
+	"sort"
+
+	"adaptivelink/internal/qgram"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/stream"
+)
+
+// NewSHJoin returns the pure exact operator of §2.1: a pipelined
+// symmetric hash join fixed in state lex/rex. It is the completeness
+// baseline r of §4.3 ("exact join throughout").
+func NewSHJoin(left, right stream.Source, il stream.Interleaver) (*Engine, error) {
+	cfg := Defaults()
+	cfg.Initial = LexRex
+	return New(cfg, left, right, il)
+}
+
+// NewSSHJoin returns the pure approximate operator of §2.2: a pipelined
+// symmetric set hash join fixed in state lap/rap. It is the result-size
+// baseline R and the cost baseline C of §4.3 ("approximate join
+// throughout"). The caller's cfg supplies q, measure and θsim; the
+// initial state is overridden.
+func NewSSHJoin(cfg Config, left, right stream.Source, il stream.Interleaver) (*Engine, error) {
+	cfg.Initial = LapRap
+	return New(cfg, left, right, il)
+}
+
+// Pair is a result of the nested-loop oracle: refs are positions in the
+// respective relations.
+type Pair struct {
+	LeftRef    int
+	RightRef   int
+	Similarity float64
+	Exact      bool
+}
+
+// NestedLoopExact computes the exact join of two relations by brute
+// force: every key-equal pair. It is the correctness oracle for SHJoin.
+func NestedLoopExact(left, right *relation.Relation) []Pair {
+	var out []Pair
+	for i := 0; i < left.Len(); i++ {
+		for j := 0; j < right.Len(); j++ {
+			if left.At(i).Key == right.At(j).Key {
+				out = append(out, Pair{LeftRef: i, RightRef: j, Similarity: 1, Exact: true})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// NestedLoopApprox computes the approximate join of two relations by
+// brute force under the given configuration: every pair whose verified
+// similarity reaches θsim (key-equal pairs always qualify with
+// similarity 1). It is the O(n²) comparison baseline the paper's
+// blocking discussion motivates, and the correctness oracle for SSHJoin.
+func NestedLoopApprox(cfg Config, left, right *relation.Relation) ([]Pair, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ex := qgram.New(cfg.Q)
+	rg := make([][]string, right.Len())
+	for j := 0; j < right.Len(); j++ {
+		rg[j] = ex.Grams(right.At(j).Key)
+	}
+	var out []Pair
+	for i := 0; i < left.Len(); i++ {
+		lk := left.At(i).Key
+		lg := ex.Grams(lk)
+		for j := 0; j < right.Len(); j++ {
+			if lk == right.At(j).Key {
+				out = append(out, Pair{LeftRef: i, RightRef: j, Similarity: 1, Exact: true})
+				continue
+			}
+			inter := qgram.Intersection(lg, rg[j])
+			sim := cfg.Measure.Coefficient(len(lg), len(rg[j]), inter)
+			if sim >= cfg.Theta {
+				out = append(out, Pair{LeftRef: i, RightRef: j, Similarity: sim})
+			}
+		}
+	}
+	sortPairs(out)
+	return out, nil
+}
+
+// PairsOf projects engine matches to oracle-comparable pairs, sorted.
+// An empty match set yields nil so results compare cleanly against the
+// nested-loop oracles, which build their outputs by appending.
+func PairsOf(matches []Match) []Pair {
+	if len(matches) == 0 {
+		return nil
+	}
+	out := make([]Pair, len(matches))
+	for i, m := range matches {
+		out[i] = Pair{LeftRef: m.LeftRef, RightRef: m.RightRef, Similarity: m.Similarity, Exact: m.Exact}
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].LeftRef != ps[j].LeftRef {
+			return ps[i].LeftRef < ps[j].LeftRef
+		}
+		return ps[i].RightRef < ps[j].RightRef
+	})
+}

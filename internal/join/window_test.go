@@ -1,0 +1,133 @@
+package join
+
+import (
+	"testing"
+
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/stream"
+)
+
+func TestRetainWindowValidation(t *testing.T) {
+	cfg := Defaults()
+	cfg.RetainWindow = -1
+	if cfg.Validate() == nil {
+		t.Error("negative retain window accepted")
+	}
+	cfg.RetainWindow = 10
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid retain window rejected: %v", err)
+	}
+}
+
+func TestWindowLimitsMatchingScope(t *testing.T) {
+	// Right tuple "target" arrives after more than RetainWindow left
+	// tuples have passed, so the matching left tuple (read first) has
+	// been evicted: no match. A second occurrence inside the window
+	// must still match.
+	left := relation.FromKeys("L",
+		"target location alpha beta", // ref 0: will be evicted
+		"filler location one xx", "filler location two xx", "filler location three",
+		"filler location four xx", "filler location five x",
+		"target location alpha beta", // ref 6: inside the window
+	)
+	right := relation.FromKeys("R",
+		"nothing matches this aa", "nothing matches this bb", "nothing matches this cc",
+		"nothing matches this dd", "nothing matches this ee", "nothing matches this ff",
+		"target location alpha beta", // probes after left ref 6 stored
+	)
+	cfg := Defaults()
+	cfg.RetainWindow = 3
+	e := mkEngine(t, cfg, left, right)
+	ms := run(t, e)
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1 (evicted copy must not match): %v", len(ms), ms)
+	}
+	if ms[0].LeftRef != 6 {
+		t.Errorf("matched left ref %d, want the in-window copy 6", ms[0].LeftRef)
+	}
+}
+
+func TestWindowEvictsPayloads(t *testing.T) {
+	left := relation.New("L", relation.NewSchema("key", "payload"))
+	for i := 0; i < 10; i++ {
+		left.Append(uniqueKey(i, "LEFT"), "payload-data")
+	}
+	right := relation.FromKeys("R", "no match here at all")
+	cfg := Defaults()
+	cfg.RetainWindow = 3
+	e := mkEngine(t, cfg, left, right)
+	run(t, e)
+	// The oldest left tuples must have had their payloads released.
+	if got := e.StoredTuple(stream.Left, 0); got.Attrs != nil {
+		t.Errorf("evicted tuple kept payload: %+v", got)
+	}
+	// The last three are live and intact.
+	if got := e.StoredTuple(stream.Left, 9); len(got.Attrs) != 1 {
+		t.Errorf("live tuple lost payload: %+v", got)
+	}
+}
+
+func TestWindowWithApproximateMatching(t *testing.T) {
+	// The same eviction semantics must hold for the q-gram path.
+	left := relation.FromKeys("L",
+		"monte rosa vetta alpina", // will be evicted
+		"filler uno due tre qua", "filler quattro cinque sei", "filler sette otto nove",
+	)
+	right := relation.FromKeys("R",
+		"zzz yyy xxx www unmatched", "zzz yyy xxx www unmatchee", "zzz yyy xxx www unmatchef",
+		"monte rosa vetta alpinx", // variant of the evicted tuple
+	)
+	cfg := Defaults()
+	cfg.RetainWindow = 2
+	cfg.Initial = LapRap
+	e := mkEngine(t, cfg, left, right)
+	ms := run(t, e)
+	for _, m := range ms {
+		if m.LeftRef == 0 {
+			t.Errorf("matched evicted tuple: %+v", m)
+		}
+	}
+}
+
+func TestWindowUnsetRetainsEverything(t *testing.T) {
+	left := relation.FromKeys("L", "shared key value here")
+	right := relation.New("R", relation.NewSchema("key"))
+	for i := 0; i < 50; i++ {
+		right.Append(uniqueKey(i, "RIGHT"))
+	}
+	right.Append("shared key value here")
+	e := mkEngine(t, Defaults(), left, right)
+	ms := run(t, e)
+	if len(ms) != 1 {
+		t.Errorf("unbounded engine lost an old match: %d", len(ms))
+	}
+}
+
+func TestWindowSurvivesSwitches(t *testing.T) {
+	// Catch-up after a switch indexes evicted keys too (tombstones);
+	// probes must still skip them.
+	left := relation.FromKeys("L",
+		"monte rosa vetta alpina",
+		"filler uno due tre qua", "filler quattro cinque sei",
+		"filler sette otto nove", "filler dieci undici dodi",
+	)
+	right := relation.FromKeys("R",
+		"aaa bbb ccc ddd eee fff", "ggg hhh iii jjj kkk lll",
+		"mmm nnn ooo ppp qqq rrr", "sss ttt uuu vvv www xyz",
+		"monte rosa vetta alpina", // exact text of the evicted left ref 0
+	)
+	cfg := Defaults()
+	cfg.RetainWindow = 2
+	e := mkEngine(t, cfg, left, right)
+	e.OnStep = func(en *Engine) {
+		if en.Step() == 6 {
+			en.SetState(LapRap)
+		}
+	}
+	ms := run(t, e)
+	for _, m := range ms {
+		if m.LeftRef == 0 {
+			t.Errorf("post-switch probe matched evicted tuple: %+v", m)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package metrics implements the gain and cost model of §4.3.
+//
+// Completeness gain is measured relative to the exact-join baseline r
+// and the approximate-join ceiling R: the adaptive run's result size
+// r_abs recovers a fraction g_rel = (r_abs - r)/(R - r) of the gap.
+//
+// Cost is a weighted count of engine activity: one step in state i costs
+// w_i units, one transition into state i costs v_i units, both
+// normalised so that a step of the all-exact state lex/rex costs 1. The
+// paper reports empirically measured weights (reproduced in
+// PaperWeights); cmd/weights re-measures them on this implementation.
+// The total c_abs is reported relative to the gap between the all-exact
+// cost c and the all-approximate cost C: c_rel = c_abs/(C - c).
+package metrics
+
+import (
+	"fmt"
+
+	"adaptivelink/internal/join"
+)
+
+// Weights holds the per-state step weights w_i and per-state transition
+// weights v_i, indexed by join.State.Index() order (EE, AE, EA, AA).
+type Weights struct {
+	Step       [4]float64
+	Transition [4]float64
+}
+
+// PaperWeights returns the weights measured by the paper's testbed
+// (§4.3): w = [1, 22.14, 51.8, 70.2], v = [122.48, 37.96, 84.99, 173.42].
+func PaperWeights() Weights {
+	return Weights{
+		Step:       [4]float64{1, 22.14, 51.8, 70.2},
+		Transition: [4]float64{122.48, 37.96, 84.99, 173.42},
+	}
+}
+
+// Validate checks the weights are usable: the baseline step weight must
+// be positive and the approximate step weight must exceed the exact one
+// (otherwise the trade-off the model prices does not exist).
+func (w Weights) Validate() error {
+	for i, s := range w.Step {
+		if s <= 0 {
+			return fmt.Errorf("metrics: step weight %d is %v, must be positive", i, s)
+		}
+	}
+	for i, v := range w.Transition {
+		if v < 0 {
+			return fmt.Errorf("metrics: transition weight %d is %v, must be non-negative", i, v)
+		}
+	}
+	if w.Step[join.LapRap.Index()] <= w.Step[join.LexRex.Index()] {
+		return fmt.Errorf("metrics: approximate step weight %v not above exact %v",
+			w.Step[join.LapRap.Index()], w.Step[join.LexRex.Index()])
+	}
+	return nil
+}
+
+// CostBreakdown itemises an execution's cost under a weight vector: the
+// sc_i and tc_i of §4.3 plus their sum c_abs.
+type CostBreakdown struct {
+	// StateCosts[i] = steps in state i × w_i.
+	StateCosts [4]float64
+	// TransitionCosts[i] = transitions into state i × v_i.
+	TransitionCosts [4]float64
+	// Total is c_abs.
+	Total float64
+}
+
+// StepTotal returns the summed state (step) costs.
+func (c CostBreakdown) StepTotal() float64 {
+	t := 0.0
+	for _, v := range c.StateCosts {
+		t += v
+	}
+	return t
+}
+
+// TransitionTotal returns the summed transition costs.
+func (c CostBreakdown) TransitionTotal() float64 {
+	t := 0.0
+	for _, v := range c.TransitionCosts {
+		t += v
+	}
+	return t
+}
+
+// Cost prices an engine execution under the weights.
+func Cost(st join.Stats, w Weights) CostBreakdown {
+	var out CostBreakdown
+	for i := 0; i < 4; i++ {
+		out.StateCosts[i] = float64(st.StepsInState[i]) * w.Step[i]
+		out.TransitionCosts[i] = float64(st.TransitionsInto[i]) * w.Transition[i]
+		out.Total += out.StateCosts[i] + out.TransitionCosts[i]
+	}
+	return out
+}
+
+// PureCost returns the cost of running the same number of steps entirely
+// in one state with no transitions — the baselines c (state lex/rex) and
+// C (state lap/rap) of §4.3.
+func PureCost(steps int, state join.State, w Weights) float64 {
+	return float64(steps) * w.Step[state.Index()]
+}
+
+// RelativeGain returns g_rel = (rabs - r)/(R - r), the recovered share
+// of the completeness gap. When the gap is empty (R == r) there is
+// nothing to recover and the gain is defined as 0.
+func RelativeGain(rabs, r, R int) float64 {
+	if R <= r {
+		return 0
+	}
+	return float64(rabs-r) / float64(R-r)
+}
+
+// RelativeCost returns c_rel = c_abs/(C - c) as printed in §4.3. When
+// the cost gap is empty the trade-off is undefined and 0 is returned.
+func RelativeCost(cabs, c, C float64) float64 {
+	if C <= c {
+		return 0
+	}
+	return cabs / (C - c)
+}
+
+// GainCost is one test case's headline numbers (a Fig. 6 column).
+type GainCost struct {
+	Grel       float64
+	Crel       float64
+	Efficiency float64 // e = g_rel / c_rel
+}
+
+// Evaluate computes the Fig. 6 metrics for an adaptive run against its
+// two baselines. steps is the total step count (identical across the
+// three runs: one step per input tuple).
+func Evaluate(adaptive join.Stats, rabs, r, R, steps int, w Weights) GainCost {
+	gc := GainCost{
+		Grel: RelativeGain(rabs, r, R),
+	}
+	cabs := Cost(adaptive, w).Total
+	c := PureCost(steps, join.LexRex, w)
+	C := PureCost(steps, join.LapRap, w)
+	gc.Crel = RelativeCost(cabs, c, C)
+	if gc.Crel > 0 {
+		gc.Efficiency = gc.Grel / gc.Crel
+	}
+	return gc
+}
+
+// StepShares returns each state's share of total steps (the Fig. 7
+// breakdown), or zeros when no steps ran.
+func StepShares(st join.Stats) [4]float64 {
+	var out [4]float64
+	if st.Steps == 0 {
+		return out
+	}
+	for i, s := range st.StepsInState {
+		out[i] = float64(s) / float64(st.Steps)
+	}
+	return out
+}
+
+// CostShares returns each cost component's share of the total (the
+// Fig. 8 breakdown): four state shares followed by the aggregate
+// transition share, as the paper lumps transitions together.
+func CostShares(c CostBreakdown) (states [4]float64, transitions float64) {
+	if c.Total == 0 {
+		return states, 0
+	}
+	for i, s := range c.StateCosts {
+		states[i] = s / c.Total
+	}
+	return states, c.TransitionTotal() / c.Total
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adaptivelink/internal/join"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPaperWeightsValid(t *testing.T) {
+	w := PaperWeights()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("paper weights invalid: %v", err)
+	}
+	if w.Step[join.LexRex.Index()] != 1 {
+		t.Error("baseline weight must be 1")
+	}
+	if w.Step[join.LapRap.Index()] != 70.2 {
+		t.Errorf("lap/rap weight %v", w.Step[join.LapRap.Index()])
+	}
+	if w.Transition[join.LapRap.Index()] != 173.42 {
+		t.Errorf("lap/rap transition weight %v", w.Transition[join.LapRap.Index()])
+	}
+}
+
+func TestWeightsValidate(t *testing.T) {
+	bad := PaperWeights()
+	bad.Step[0] = 0
+	if bad.Validate() == nil {
+		t.Error("zero step weight accepted")
+	}
+	bad = PaperWeights()
+	bad.Transition[1] = -1
+	if bad.Validate() == nil {
+		t.Error("negative transition weight accepted")
+	}
+	bad = PaperWeights()
+	bad.Step[join.LapRap.Index()] = 0.5
+	if bad.Validate() == nil {
+		t.Error("approx cheaper than exact accepted")
+	}
+}
+
+func TestCostItemises(t *testing.T) {
+	var st join.Stats
+	st.StepsInState = [4]int{100, 10, 5, 20}
+	st.TransitionsInto = [4]int{1, 2, 0, 3}
+	w := PaperWeights()
+	c := Cost(st, w)
+	if !almost(c.StateCosts[0], 100) {
+		t.Errorf("EE cost %v", c.StateCosts[0])
+	}
+	if !almost(c.StateCosts[1], 10*22.14) {
+		t.Errorf("AE cost %v", c.StateCosts[1])
+	}
+	if !almost(c.TransitionCosts[3], 3*173.42) {
+		t.Errorf("AA transition cost %v", c.TransitionCosts[3])
+	}
+	want := 100 + 10*22.14 + 5*51.8 + 20*70.2 + 1*122.48 + 2*37.96 + 3*173.42
+	if !almost(c.Total, want) {
+		t.Errorf("Total %v, want %v", c.Total, want)
+	}
+	if !almost(c.StepTotal()+c.TransitionTotal(), c.Total) {
+		t.Error("components do not sum to total")
+	}
+}
+
+func TestPureCost(t *testing.T) {
+	w := PaperWeights()
+	if got := PureCost(1000, join.LexRex, w); !almost(got, 1000) {
+		t.Errorf("pure exact = %v", got)
+	}
+	if got := PureCost(1000, join.LapRap, w); !almost(got, 70200) {
+		t.Errorf("pure approx = %v", got)
+	}
+}
+
+func TestRelativeGain(t *testing.T) {
+	if got := RelativeGain(75, 50, 100); !almost(got, 0.5) {
+		t.Errorf("gain = %v, want 0.5", got)
+	}
+	if got := RelativeGain(50, 50, 100); got != 0 {
+		t.Errorf("no recovery gain = %v", got)
+	}
+	if got := RelativeGain(100, 50, 100); !almost(got, 1) {
+		t.Errorf("full recovery gain = %v", got)
+	}
+	if got := RelativeGain(80, 100, 100); got != 0 {
+		t.Errorf("empty gap gain = %v", got)
+	}
+}
+
+func TestRelativeCost(t *testing.T) {
+	if got := RelativeCost(500, 100, 1100); !almost(got, 0.5) {
+		t.Errorf("crel = %v, want 0.5", got)
+	}
+	if got := RelativeCost(500, 100, 100); got != 0 {
+		t.Errorf("empty gap crel = %v", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	var st join.Stats
+	st.Steps = 1000
+	st.StepsInState = [4]int{700, 0, 0, 300}
+	st.TransitionsInto = [4]int{1, 0, 0, 1}
+	w := PaperWeights()
+	gc := Evaluate(st, 90, 80, 100, 1000, w)
+	if !almost(gc.Grel, 0.5) {
+		t.Errorf("Grel = %v", gc.Grel)
+	}
+	cabs := 700 + 300*70.2 + 122.48 + 173.42
+	wantCrel := cabs / (70200 - 1000)
+	if !almost(gc.Crel, wantCrel) {
+		t.Errorf("Crel = %v, want %v", gc.Crel, wantCrel)
+	}
+	if !almost(gc.Efficiency, 0.5/wantCrel) {
+		t.Errorf("Efficiency = %v", gc.Efficiency)
+	}
+}
+
+func TestEvaluateDegenerateCost(t *testing.T) {
+	var st join.Stats
+	gc := Evaluate(st, 0, 0, 0, 0, PaperWeights())
+	if gc.Grel != 0 || gc.Crel != 0 || gc.Efficiency != 0 {
+		t.Errorf("degenerate Evaluate = %+v", gc)
+	}
+}
+
+func TestStepShares(t *testing.T) {
+	var st join.Stats
+	st.Steps = 10
+	st.StepsInState = [4]int{5, 3, 0, 2}
+	sh := StepShares(st)
+	if !almost(sh[0], 0.5) || !almost(sh[1], 0.3) || sh[2] != 0 || !almost(sh[3], 0.2) {
+		t.Errorf("shares = %v", sh)
+	}
+	if got := StepShares(join.Stats{}); got != [4]float64{} {
+		t.Errorf("empty shares = %v", got)
+	}
+}
+
+func TestCostShares(t *testing.T) {
+	var st join.Stats
+	st.StepsInState = [4]int{100, 0, 0, 10}
+	st.TransitionsInto = [4]int{0, 0, 0, 1}
+	c := Cost(st, PaperWeights())
+	states, trans := CostShares(c)
+	sum := trans
+	for _, s := range states {
+		sum += s
+	}
+	if !almost(sum, 1) {
+		t.Errorf("shares sum to %v", sum)
+	}
+	if trans <= 0 {
+		t.Error("transition share should be positive")
+	}
+	if s, tr := CostShares(CostBreakdown{}); s != [4]float64{} || tr != 0 {
+		t.Error("empty cost shares not zero")
+	}
+}
+
+// Property: cost is linear — doubling every count doubles the total.
+func TestCostLinearityProperty(t *testing.T) {
+	w := PaperWeights()
+	f := func(a, b, c, d, e, g, h, i uint8) bool {
+		var st, st2 join.Stats
+		st.StepsInState = [4]int{int(a), int(b), int(c), int(d)}
+		st.TransitionsInto = [4]int{int(e), int(g), int(h), int(i)}
+		for k := 0; k < 4; k++ {
+			st2.StepsInState[k] = 2 * st.StepsInState[k]
+			st2.TransitionsInto[k] = 2 * st.TransitionsInto[k]
+		}
+		return almost(2*Cost(st, w).Total, Cost(st2, w).Total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an adaptive run's cost under any valid weights sits between
+// the pure-exact and pure-approximate costs plus transition overhead.
+func TestCostBoundsProperty(t *testing.T) {
+	w := PaperWeights()
+	f := func(a, b, c, d uint8) bool {
+		var st join.Stats
+		st.StepsInState = [4]int{int(a), int(b), int(c), int(d)}
+		steps := int(a) + int(b) + int(c) + int(d)
+		st.Steps = steps
+		total := Cost(st, w).Total
+		return total >= PureCost(steps, join.LexRex, w)-1e-9 &&
+			total <= PureCost(steps, join.LapRap, w)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package normalize
+
+import "testing"
+
+// FuzzNormalize asserts that the standard pipeline never panics, is
+// idempotent, and emits only letters, digits and single spaces.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{"", "Forlì-Cesena", "  a  b ", "Sant'Agata", "日本", "\x00\t\n"} {
+		f.Add(seed)
+	}
+	n := Standard()
+	f.Fuzz(func(t *testing.T, s string) {
+		out := n.Apply(s)
+		if n.Apply(out) != out {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, out, n.Apply(out))
+		}
+		prevSpace := true // leading space illegal
+		for _, r := range out {
+			if r == ' ' {
+				if prevSpace {
+					t.Fatalf("run of spaces in %q", out)
+				}
+				prevSpace = true
+				continue
+			}
+			prevSpace = false
+		}
+		if len(out) > 0 && out[len(out)-1] == ' ' {
+			t.Fatalf("trailing space in %q", out)
+		}
+		if code := Soundex(s); code != "" && len(code) != 4 {
+			t.Fatalf("Soundex(%q) = %q", s, code)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package normalize provides the record-normalisation utilities that
+// classic record-linkage toolkits (Potter's Wheel, Ajax, Tailor — see
+// §5 of the paper) apply before matching. The adaptive engine does not
+// require normalisation, but real join keys benefit from it: applying a
+// Normalizer to both inputs before joining removes spurious variants
+// (case, whitespace, accents, token order) so the similarity budget is
+// spent on genuine typos.
+package normalize
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Step is a single normalisation transform.
+type Step func(string) string
+
+// Normalizer is an ordered pipeline of steps.
+type Normalizer struct {
+	steps []Step
+}
+
+// NewNormalizer builds a pipeline; steps run in the given order.
+func NewNormalizer(steps ...Step) *Normalizer {
+	return &Normalizer{steps: append([]Step(nil), steps...)}
+}
+
+// Apply runs the pipeline on s.
+func (n *Normalizer) Apply(s string) string {
+	for _, st := range n.steps {
+		s = st(s)
+	}
+	return s
+}
+
+// Standard returns the pipeline suitable for location-style join keys:
+// accent folding, upper-casing, punctuation removal and whitespace
+// collapsing.
+func Standard() *Normalizer {
+	return NewNormalizer(FoldAccents, Uppercase, StripPunct, CollapseSpaces)
+}
+
+// Uppercase maps the string to upper case.
+func Uppercase(s string) string { return strings.ToUpper(s) }
+
+// Lowercase maps the string to lower case.
+func Lowercase(s string) string { return strings.ToLower(s) }
+
+// CollapseSpaces trims the ends and squeezes internal whitespace runs
+// to single spaces.
+func CollapseSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// StripPunct removes every rune that is neither letter, digit nor
+// whitespace (run CollapseSpaces afterwards to canonicalise the
+// whitespace it leaves behind).
+func StripPunct(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || unicode.IsSpace(r) {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// accentMap folds the Latin-1/Latin-Extended letters common in
+// European place names to their ASCII base letters.
+var accentMap = map[rune]rune{
+	'à': 'a', 'á': 'a', 'â': 'a', 'ã': 'a', 'ä': 'a', 'å': 'a',
+	'è': 'e', 'é': 'e', 'ê': 'e', 'ë': 'e',
+	'ì': 'i', 'í': 'i', 'î': 'i', 'ï': 'i',
+	'ò': 'o', 'ó': 'o', 'ô': 'o', 'õ': 'o', 'ö': 'o',
+	'ù': 'u', 'ú': 'u', 'û': 'u', 'ü': 'u',
+	'ç': 'c', 'ñ': 'n', 'ý': 'y',
+	'À': 'A', 'Á': 'A', 'Â': 'A', 'Ã': 'A', 'Ä': 'A', 'Å': 'A',
+	'È': 'E', 'É': 'E', 'Ê': 'E', 'Ë': 'E',
+	'Ì': 'I', 'Í': 'I', 'Î': 'I', 'Ï': 'I',
+	'Ò': 'O', 'Ó': 'O', 'Ô': 'O', 'Õ': 'O', 'Ö': 'O',
+	'Ù': 'U', 'Ú': 'U', 'Û': 'U', 'Ü': 'U',
+	'Ç': 'C', 'Ñ': 'N', 'Ý': 'Y',
+}
+
+// FoldAccents replaces accented Latin letters with their base letters.
+func FoldAccents(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if base, ok := accentMap[r]; ok {
+			b.WriteRune(base)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SortTokens orders the whitespace-separated tokens lexicographically,
+// neutralising word-order differences ("GENOVA LIG" vs "LIG GENOVA").
+func SortTokens(s string) string {
+	fields := strings.Fields(s)
+	sort.Strings(fields)
+	return strings.Join(fields, " ")
+}
+
+// Soundex returns the classic four-character American Soundex code of
+// the first word-like run of letters in s ("" for strings without
+// letters). Blocking on Soundex groups names that sound alike, the
+// standard cheap blocking key of the record-linkage literature.
+func Soundex(s string) string {
+	code := func(r rune) byte {
+		switch r {
+		case 'B', 'F', 'P', 'V':
+			return '1'
+		case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+			return '2'
+		case 'D', 'T':
+			return '3'
+		case 'L':
+			return '4'
+		case 'M', 'N':
+			return '5'
+		case 'R':
+			return '6'
+		default:
+			return 0 // vowels, H, W, Y and non-letters
+		}
+	}
+	up := strings.ToUpper(FoldAccents(s))
+	runes := []rune(up)
+	// Find the first letter.
+	start := -1
+	for i, r := range runes {
+		if r >= 'A' && r <= 'Z' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return ""
+	}
+	out := []byte{byte(runes[start])}
+	prev := code(runes[start])
+	for _, r := range runes[start+1:] {
+		if r < 'A' || r > 'Z' {
+			break // end of the first word
+		}
+		c := code(r)
+		if c != 0 && c != prev {
+			out = append(out, c)
+			if len(out) == 4 {
+				break
+			}
+		}
+		if r == 'H' || r == 'W' {
+			// H and W are transparent: they do not reset the previous
+			// code, so letters with equal codes around them collapse.
+			continue
+		}
+		prev = c
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}

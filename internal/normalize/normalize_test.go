@@ -1,0 +1,136 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardPipeline(t *testing.T) {
+	n := Standard()
+	cases := []struct{ in, want string }{
+		{"  Forlì -  Cesena  ", "FORLI CESENA"},
+		{"Sant'Agata", "SANTAGATA"},
+		{"ROMA", "ROMA"},
+		{"", ""},
+		{"a\tb\nc", "A B C"},
+	}
+	for _, c := range cases {
+		if got := n.Apply(c.in); got != c.want {
+			t.Errorf("Apply(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepOrderMatters(t *testing.T) {
+	a := NewNormalizer(Uppercase, SortTokens).Apply("b a")
+	if a != "A B" {
+		t.Errorf("got %q", a)
+	}
+	empty := NewNormalizer().Apply("unchanged")
+	if empty != "unchanged" {
+		t.Errorf("empty pipeline changed input: %q", empty)
+	}
+}
+
+func TestCollapseSpaces(t *testing.T) {
+	if got := CollapseSpaces("  a   b \t c  "); got != "a b c" {
+		t.Errorf("got %q", got)
+	}
+	if got := CollapseSpaces("   "); got != "" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStripPunct(t *testing.T) {
+	if got := StripPunct("a-b'c.d,e(f)1 2"); got != "abcdef1 2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFoldAccents(t *testing.T) {
+	if got := FoldAccents("Forlì è città"); got != "Forli e citta" {
+		t.Errorf("got %q", got)
+	}
+	// Unmapped runes survive.
+	if got := FoldAccents("日本 ok"); got != "日本 ok" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSortTokens(t *testing.T) {
+	if got := SortTokens("GENOVA LIG GE"); got != "GE GENOVA LIG" {
+		t.Errorf("got %q", got)
+	}
+	if got := SortTokens(""); got != "" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSoundexKnownValues(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // H is transparent
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", ""},
+		{"123", ""},
+		{"  Éclair", "E246"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexFirstWordOnly(t *testing.T) {
+	if Soundex("Robert Smith") != Soundex("Robert Jones") {
+		t.Error("Soundex should key on the first word")
+	}
+}
+
+// Property: normalisation is idempotent for the standard pipeline.
+func TestStandardIdempotentProperty(t *testing.T) {
+	n := Standard()
+	f := func(s string) bool {
+		once := n.Apply(s)
+		return n.Apply(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Soundex output is always "" or a letter plus three digits.
+func TestSoundexShapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		c := Soundex(s)
+		if c == "" {
+			return true
+		}
+		if len(c) != 4 {
+			return false
+		}
+		if c[0] < 'A' || c[0] > 'Z' {
+			return false
+		}
+		return strings.IndexFunc(c[1:], func(r rune) bool { return r < '0' || r > '6' }) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equal strings keep equal codes under case variation.
+func TestSoundexCaseInsensitiveProperty(t *testing.T) {
+	f := func(s string) bool {
+		return Soundex(strings.ToLower(s)) == Soundex(strings.ToUpper(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

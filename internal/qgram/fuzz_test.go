@@ -1,0 +1,43 @@
+package qgram
+
+import "testing"
+
+// FuzzGrams asserts the structural invariants of padded decomposition
+// on arbitrary inputs: no panic, every gram exactly q runes, multiset
+// count equal to runeLen+q-1, set a subset of the multiset.
+func FuzzGrams(f *testing.F) {
+	for _, seed := range []string{"", "a", "TAA BZ SANTA CRISTINA", "日本語テキスト", "\x00\xff", "   ", "aaaaaaaa"} {
+		f.Add(seed)
+	}
+	set := New(3)
+	multi := New(3, AsMultiset())
+	f.Fuzz(func(t *testing.T, s string) {
+		ms := multi.Grams(s)
+		runes := len([]rune(s))
+		if runes == 0 {
+			if len(ms) != 0 {
+				t.Fatalf("empty input produced grams %v", ms)
+			}
+			return
+		}
+		if len(ms) != runes+2 {
+			t.Fatalf("multiset count %d, want %d", len(ms), runes+2)
+		}
+		seen := map[string]struct{}{}
+		for _, g := range ms {
+			if len([]rune(g)) != 3 {
+				t.Fatalf("gram %q not width 3", g)
+			}
+			seen[g] = struct{}{}
+		}
+		ss := set.Grams(s)
+		if len(ss) != len(seen) {
+			t.Fatalf("set size %d, distinct multiset grams %d", len(ss), len(seen))
+		}
+		for _, g := range ss {
+			if _, ok := seen[g]; !ok {
+				t.Fatalf("set gram %q absent from multiset", g)
+			}
+		}
+	})
+}

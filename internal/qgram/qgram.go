@@ -1,0 +1,185 @@
+// Package qgram implements q-gram decomposition of strings, the token
+// representation used by the approximate join operator SSHJoin and by the
+// token-based similarity functions in package simfn.
+//
+// The set of q-grams of a string s, q(s), is the set of all substrings
+// obtained by sliding a window of width q over s (the paper uses q = 3).
+// A string of length L yields L - q + 1 grams without padding, or
+// L + q - 1 grams with the conventional '#'/'$' padding that gives
+// positional weight to prefixes and suffixes. The paper's cost analysis
+// counts |jA| + q - 1 grams per value, which corresponds to the padded
+// variant; Extract therefore pads by default, and ExtractRaw is available
+// for unpadded decomposition.
+package qgram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultQ is the gram width used throughout the paper ("typically q=3").
+const DefaultQ = 3
+
+// PadLeft and PadRight are the sentinel runes used to pad string ends so
+// that prefixes and suffixes contribute q grams each.
+const (
+	PadLeft  = '#'
+	PadRight = '$'
+)
+
+// Extractor decomposes strings into q-grams with a fixed configuration.
+// The zero value is not usable; construct with New.
+type Extractor struct {
+	q       int
+	padded  bool
+	fold    bool // fold to upper case before decomposition
+	multiset bool
+}
+
+// Option configures an Extractor.
+type Option func(*Extractor)
+
+// WithoutPadding disables the '#'/'$' end padding.
+func WithoutPadding() Option { return func(e *Extractor) { e.padded = false } }
+
+// WithCaseFolding makes decomposition case-insensitive by upper-casing
+// input first.
+func WithCaseFolding() Option { return func(e *Extractor) { e.fold = true } }
+
+// AsMultiset keeps duplicate grams instead of deduplicating. The paper's
+// Jaccard coefficient is defined on sets, so the default deduplicates.
+func AsMultiset() Option { return func(e *Extractor) { e.multiset = true } }
+
+// New returns an extractor for width q. It panics if q < 1, which is a
+// programming error rather than a data error.
+func New(q int, opts ...Option) *Extractor {
+	if q < 1 {
+		panic(fmt.Sprintf("qgram: invalid gram width %d", q))
+	}
+	e := &Extractor{q: q, padded: true}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Q returns the configured gram width.
+func (e *Extractor) Q() int { return e.q }
+
+// Padded reports whether end padding is enabled.
+func (e *Extractor) Padded() bool { return e.padded }
+
+// Grams returns the q-grams of s under the extractor's configuration.
+// With padding, a non-empty string of rune-length L yields L + q - 1
+// grams before deduplication; the empty string yields none. Without
+// padding, strings shorter than q yield a single gram holding the whole
+// string, so that short values still participate in similarity.
+func (e *Extractor) Grams(s string) []string {
+	if e.fold {
+		s = strings.ToUpper(s)
+	}
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return nil
+	}
+	if e.padded {
+		padded := make([]rune, 0, len(runes)+2*(e.q-1))
+		for i := 0; i < e.q-1; i++ {
+			padded = append(padded, PadLeft)
+		}
+		padded = append(padded, runes...)
+		for i := 0; i < e.q-1; i++ {
+			padded = append(padded, PadRight)
+		}
+		runes = padded
+	}
+	var grams []string
+	if len(runes) < e.q {
+		grams = []string{string(runes)}
+	} else {
+		grams = make([]string, 0, len(runes)-e.q+1)
+		for i := 0; i+e.q <= len(runes); i++ {
+			grams = append(grams, string(runes[i:i+e.q]))
+		}
+	}
+	if e.multiset {
+		return grams
+	}
+	return dedup(grams)
+}
+
+// GramSet returns the q-grams of s as a set.
+func (e *Extractor) GramSet(s string) map[string]struct{} {
+	grams := e.Grams(s)
+	set := make(map[string]struct{}, len(grams))
+	for _, g := range grams {
+		set[g] = struct{}{}
+	}
+	return set
+}
+
+// Count returns the number of grams Grams(s) would produce, without
+// allocating them. For multiset extractors this is exact and cheap; for
+// set extractors it must deduplicate and costs the same as Grams.
+func (e *Extractor) Count(s string) int {
+	if e.multiset {
+		if e.fold {
+			s = strings.ToUpper(s)
+		}
+		l := len([]rune(s))
+		if l == 0 {
+			return 0
+		}
+		if e.padded {
+			return l + e.q - 1
+		}
+		if l < e.q {
+			return 1
+		}
+		return l - e.q + 1
+	}
+	return len(e.Grams(s))
+}
+
+// dedup removes duplicates preserving first-occurrence order.
+func dedup(grams []string) []string {
+	seen := make(map[string]struct{}, len(grams))
+	out := grams[:0]
+	for _, g := range grams {
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Intersection returns |a ∩ b| for two gram sets given as slices. Inputs
+// need not be sorted or deduplicated; duplicates are counted once.
+func Intersection(a, b []string) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, g := range a {
+		set[g] = struct{}{}
+	}
+	n := 0
+	for _, g := range b {
+		if _, ok := set[g]; ok {
+			n++
+			delete(set, g) // count each distinct gram once
+		}
+	}
+	return n
+}
+
+// Sorted returns a lexicographically sorted copy of grams; used by tests
+// and by deterministic diagnostics.
+func Sorted(grams []string) []string {
+	out := append([]string(nil), grams...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,231 @@
+package qgram
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGramsPaddedCount(t *testing.T) {
+	// Padded multiset decomposition of a length-L string yields L+q-1 grams
+	// (the paper's |jA|+q-1 accounting).
+	e := New(3, AsMultiset())
+	cases := []struct {
+		s    string
+		want int
+	}{
+		{"", 0},
+		{"a", 3},     // ##a, #a$, a$$
+		{"ab", 4},    // ##a #ab ab$ b$$
+		{"abcde", 7}, // 5+3-1
+	}
+	for _, c := range cases {
+		got := e.Grams(c.s)
+		if len(got) != c.want {
+			t.Errorf("Grams(%q) = %v (%d grams), want %d", c.s, got, len(got), c.want)
+		}
+		if n := e.Count(c.s); n != c.want {
+			t.Errorf("Count(%q) = %d, want %d", c.s, n, c.want)
+		}
+	}
+}
+
+func TestGramsContent(t *testing.T) {
+	e := New(2, AsMultiset())
+	got := e.Grams("ab")
+	want := []string{"#a", "ab", "b$"}
+	if len(got) != len(want) {
+		t.Fatalf("Grams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("gram %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGramsUnpadded(t *testing.T) {
+	e := New(3, WithoutPadding(), AsMultiset())
+	got := e.Grams("abcd")
+	want := []string{"abc", "bcd"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Grams = %v, want %v", got, want)
+	}
+}
+
+func TestGramsUnpaddedShortString(t *testing.T) {
+	e := New(3, WithoutPadding())
+	got := e.Grams("ab")
+	if len(got) != 1 || got[0] != "ab" {
+		t.Errorf("short unpadded Grams = %v, want [ab]", got)
+	}
+	if n := e.Count("ab"); n != 1 {
+		t.Errorf("Count = %d, want 1", n)
+	}
+}
+
+func TestGramsDedup(t *testing.T) {
+	e := New(1, WithoutPadding())
+	got := e.Grams("aaa")
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("set Grams(aaa) = %v, want [a]", got)
+	}
+	m := New(1, WithoutPadding(), AsMultiset())
+	if got := m.Grams("aaa"); len(got) != 3 {
+		t.Errorf("multiset Grams(aaa) = %v, want 3 grams", got)
+	}
+}
+
+func TestCaseFolding(t *testing.T) {
+	plain := New(3)
+	fold := New(3, WithCaseFolding())
+	if Intersection(plain.Grams("rome"), plain.Grams("ROME")) != 0 {
+		t.Skip("unexpected case-insensitive plain grams")
+	}
+	a, b := fold.Grams("rome"), fold.Grams("ROME")
+	if Intersection(a, b) != len(a) {
+		t.Errorf("folded grams of rome/ROME differ: %v vs %v", a, b)
+	}
+}
+
+func TestGramsUnicode(t *testing.T) {
+	e := New(2, WithoutPadding(), AsMultiset())
+	got := e.Grams("héllo")
+	// 5 runes -> 4 bigrams; multi-byte é must not be split.
+	if len(got) != 4 || got[0] != "hé" || got[1] != "él" {
+		t.Errorf("Grams(héllo) = %v", got)
+	}
+}
+
+func TestGramSet(t *testing.T) {
+	e := New(3)
+	set := e.GramSet("abc")
+	for _, g := range e.Grams("abc") {
+		if _, ok := set[g]; !ok {
+			t.Errorf("GramSet missing %q", g)
+		}
+	}
+}
+
+func TestNewPanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestIntersection(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"x"}, nil, 0},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 3},
+		{[]string{"a", "a"}, []string{"a", "a", "a"}, 1}, // distinct grams counted once
+	}
+	for _, c := range cases {
+		if got := Intersection(c.a, c.b); got != c.want {
+			t.Errorf("Intersection(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Intersection(c.b, c.a); got != c.want {
+			t.Errorf("Intersection(%v,%v) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSorted(t *testing.T) {
+	in := []string{"c", "a", "b"}
+	got := Sorted(in)
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Sorted = %v", got)
+	}
+	if in[0] != "c" {
+		t.Error("Sorted mutated its input")
+	}
+}
+
+// Property: identical strings share all grams; gram count matches the
+// |jA|+q-1 formula for padded multisets over ASCII inputs.
+func TestGramsProperties(t *testing.T) {
+	e := New(3, AsMultiset())
+	f := func(s string) bool {
+		g1, g2 := e.Grams(s), e.Grams(s)
+		if len(g1) != len(g2) {
+			return false
+		}
+		runes := len([]rune(s))
+		if runes == 0 {
+			return len(g1) == 0
+		}
+		return len(g1) == runes+3-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every gram of a padded decomposition has rune-length q.
+func TestGramWidthProperty(t *testing.T) {
+	e := New(3, AsMultiset())
+	f := func(s string) bool {
+		for _, g := range e.Grams(s) {
+			if len([]rune(g)) != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single-character edit changes at most q grams of the
+// padded multiset decomposition (the classic q-gram edit bound),
+// so Intersection >= len - q for the set variant on substitution edits.
+func TestEditBoundProperty(t *testing.T) {
+	e := New(3, AsMultiset())
+	f := func(s string, pos uint8) bool {
+		if len(s) == 0 {
+			return true
+		}
+		rs := []rune(s)
+		i := int(pos) % len(rs)
+		mutated := append([]rune(nil), rs...)
+		mutated[i] = 'ж' // guaranteed different from itself? ensure differs
+		if mutated[i] == rs[i] {
+			mutated[i] = 'q'
+		}
+		a, b := e.Grams(string(rs)), e.Grams(string(mutated))
+		// Multiset intersection lower bound: at most q grams touched.
+		inter := Intersection(a, b)
+		return inter >= len(dedupForTest(a))-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupForTest(grams []string) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, g := range grams {
+		if _, ok := seen[g]; !ok {
+			seen[g] = struct{}{}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func TestLongString(t *testing.T) {
+	e := New(3, AsMultiset())
+	s := strings.Repeat("abcdefghij", 100)
+	if n := e.Count(s); n != 1000+2 {
+		t.Errorf("Count(long) = %d, want 1002", n)
+	}
+}

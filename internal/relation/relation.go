@@ -1,0 +1,264 @@
+// Package relation provides the tuple and relation model used throughout
+// the adaptive linkage engine.
+//
+// The engine joins two inputs (conventionally called the parent table R
+// and the child table S) on a single string attribute. Tuples therefore
+// carry a join key plus an arbitrary payload of named attributes. A
+// Relation is an ordered, in-memory collection of tuples with a Schema;
+// it supports CSV round-trips so that the command-line tools can operate
+// on files, and it can be viewed as a stream by the stream package.
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Tuple is a single record. The engine joins on Key; Attrs holds the
+// remaining attribute values positionally, interpreted via the owning
+// relation's Schema. ID is unique within its relation and is assigned at
+// append time; it is stable across streaming and is used to identify
+// tuples in join results.
+type Tuple struct {
+	ID    int
+	Key   string
+	Attrs []string
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	attrs := make([]string, len(t.Attrs))
+	copy(attrs, t.Attrs)
+	return Tuple{ID: t.ID, Key: t.Key, Attrs: attrs}
+}
+
+// String renders the tuple compactly for diagnostics.
+func (t Tuple) String() string {
+	if len(t.Attrs) == 0 {
+		return fmt.Sprintf("#%d[%s]", t.ID, t.Key)
+	}
+	return fmt.Sprintf("#%d[%s|%s]", t.ID, t.Key, strings.Join(t.Attrs, ","))
+}
+
+// Schema names the columns of a relation. The join key column is named
+// explicitly; attribute columns are positional.
+type Schema struct {
+	// KeyName is the name of the join-key column.
+	KeyName string
+	// AttrNames are the names of the payload columns, in Tuple.Attrs order.
+	AttrNames []string
+}
+
+// NewSchema builds a schema from a key column name and payload names.
+func NewSchema(keyName string, attrNames ...string) Schema {
+	return Schema{KeyName: keyName, AttrNames: append([]string(nil), attrNames...)}
+}
+
+// Columns returns all column names, key first.
+func (s Schema) Columns() []string {
+	cols := make([]string, 0, 1+len(s.AttrNames))
+	cols = append(cols, s.KeyName)
+	cols = append(cols, s.AttrNames...)
+	return cols
+}
+
+// AttrIndex returns the position of the named payload attribute, or -1.
+func (s Schema) AttrIndex(name string) int {
+	for i, n := range s.AttrNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have identical column names.
+func (s Schema) Equal(o Schema) bool {
+	if s.KeyName != o.KeyName || len(s.AttrNames) != len(o.AttrNames) {
+		return false
+	}
+	for i := range s.AttrNames {
+		if s.AttrNames[i] != o.AttrNames[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is an ordered in-memory table.
+type Relation struct {
+	Name   string
+	Schema Schema
+	tuples []Tuple
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Append adds a tuple built from a key and payload values, assigning the
+// next sequential ID. It returns the assigned ID.
+func (r *Relation) Append(key string, attrs ...string) int {
+	id := len(r.tuples)
+	r.tuples = append(r.tuples, Tuple{ID: id, Key: key, Attrs: append([]string(nil), attrs...)})
+	return id
+}
+
+// AppendTuple adds a pre-built tuple, overwriting its ID with the next
+// sequential ID, and returns the assigned ID.
+func (r *Relation) AppendTuple(t Tuple) int {
+	id := len(r.tuples)
+	t.ID = id
+	r.tuples = append(r.tuples, t)
+	return id
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// At returns the tuple at position i (which equals its ID).
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple slice. Callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Keys returns the join keys of all tuples, in order.
+func (r *Relation) Keys() []string {
+	keys := make([]string, len(r.tuples))
+	for i, t := range r.tuples {
+		keys[i] = t.Key
+	}
+	return keys
+}
+
+// KeySet returns the set of distinct join keys.
+func (r *Relation) KeySet() map[string]struct{} {
+	set := make(map[string]struct{}, len(r.tuples))
+	for _, t := range r.tuples {
+		set[t.Key] = struct{}{}
+	}
+	return set
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.Name, r.Schema)
+	c.tuples = make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		c.tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// SortByKey sorts tuples lexicographically by join key, reassigning IDs
+// to match the new order. Useful for deterministic golden tests.
+func (r *Relation) SortByKey() {
+	sort.SliceStable(r.tuples, func(i, j int) bool { return r.tuples[i].Key < r.tuples[j].Key })
+	for i := range r.tuples {
+		r.tuples[i].ID = i
+	}
+}
+
+// WriteCSV emits the relation as CSV with a header row (key column first).
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.Columns()); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	row := make([]string, 1+len(r.Schema.AttrNames))
+	for _, t := range r.tuples {
+		row = row[:0]
+		row = append(row, t.Key)
+		row = append(row, t.Attrs...)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write tuple %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the relation to the named file.
+func (r *Relation) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses a relation from CSV. The first row is the header; the
+// column named keyName becomes the join key (it may appear at any
+// position), and all remaining columns become payload attributes in
+// header order.
+func ReadCSV(name string, rd io.Reader, keyName string) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	keyCol := -1
+	attrNames := make([]string, 0, len(header)-1)
+	for i, h := range header {
+		if h == keyName && keyCol < 0 {
+			keyCol = i
+		} else {
+			attrNames = append(attrNames, h)
+		}
+	}
+	if keyCol < 0 {
+		return nil, fmt.Errorf("key column %q not found in header %v", keyName, header)
+	}
+	rel := New(name, NewSchema(keyName, attrNames...))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("line %d: got %d fields, want %d", line, len(rec), len(header))
+		}
+		attrs := make([]string, 0, len(rec)-1)
+		for i, v := range rec {
+			if i == keyCol {
+				continue
+			}
+			attrs = append(attrs, v)
+		}
+		rel.Append(rec[keyCol], attrs...)
+	}
+	return rel, nil
+}
+
+// LoadCSV reads a relation from the named file.
+func LoadCSV(name, path, keyName string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f, keyName)
+}
+
+// FromKeys builds a relation with no payload columns from a key list.
+// Convenient for tests.
+func FromKeys(name string, keys ...string) *Relation {
+	rel := New(name, NewSchema("key"))
+	for _, k := range keys {
+		rel.Append(k)
+	}
+	return rel
+}

@@ -1,0 +1,238 @@
+package relation
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaColumns(t *testing.T) {
+	s := NewSchema("location", "date", "severity")
+	got := s.Columns()
+	want := []string{"location", "date", "severity"}
+	if len(got) != len(want) {
+		t.Fatalf("Columns() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Columns()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSchemaAttrIndex(t *testing.T) {
+	s := NewSchema("k", "a", "b", "c")
+	cases := []struct {
+		name string
+		want int
+	}{{"a", 0}, {"b", 1}, {"c", 2}, {"k", -1}, {"missing", -1}}
+	for _, c := range cases {
+		if got := s.AttrIndex(c.name); got != c.want {
+			t.Errorf("AttrIndex(%q) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := NewSchema("k", "x", "y")
+	if !a.Equal(NewSchema("k", "x", "y")) {
+		t.Error("identical schemas reported unequal")
+	}
+	if a.Equal(NewSchema("k2", "x", "y")) {
+		t.Error("different key names reported equal")
+	}
+	if a.Equal(NewSchema("k", "x")) {
+		t.Error("different attr counts reported equal")
+	}
+	if a.Equal(NewSchema("k", "x", "z")) {
+		t.Error("different attr names reported equal")
+	}
+}
+
+func TestAppendAssignsSequentialIDs(t *testing.T) {
+	r := New("r", NewSchema("k", "v"))
+	for i := 0; i < 10; i++ {
+		id := r.Append("key", "val")
+		if id != i {
+			t.Fatalf("Append #%d returned id %d", i, id)
+		}
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len() = %d, want 10", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if r.At(i).ID != i {
+			t.Errorf("At(%d).ID = %d", i, r.At(i).ID)
+		}
+	}
+}
+
+func TestAppendTupleOverwritesID(t *testing.T) {
+	r := New("r", NewSchema("k"))
+	id := r.AppendTuple(Tuple{ID: 999, Key: "a"})
+	if id != 0 || r.At(0).ID != 0 {
+		t.Errorf("AppendTuple kept stale ID: returned %d, stored %d", id, r.At(0).ID)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := Tuple{ID: 3, Key: "k", Attrs: []string{"a", "b"}}
+	c := orig.Clone()
+	c.Attrs[0] = "mutated"
+	if orig.Attrs[0] != "a" {
+		t.Error("Clone shares Attrs backing array")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if got := (Tuple{ID: 1, Key: "x"}).String(); got != "#1[x]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Tuple{ID: 2, Key: "x", Attrs: []string{"a", "b"}}).String(); got != "#2[x|a,b]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRelationClone(t *testing.T) {
+	r := New("r", NewSchema("k", "v"))
+	r.Append("a", "1")
+	c := r.Clone()
+	c.Tuples()[0].Attrs[0] = "mutated"
+	if r.At(0).Attrs[0] != "1" {
+		t.Error("Clone shares tuple payloads")
+	}
+}
+
+func TestKeysAndKeySet(t *testing.T) {
+	r := FromKeys("r", "a", "b", "a")
+	keys := r.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "a" {
+		t.Errorf("Keys() = %v", keys)
+	}
+	set := r.KeySet()
+	if len(set) != 2 {
+		t.Errorf("KeySet() has %d entries, want 2", len(set))
+	}
+}
+
+func TestSortByKeyReassignsIDs(t *testing.T) {
+	r := FromKeys("r", "c", "a", "b")
+	r.SortByKey()
+	want := []string{"a", "b", "c"}
+	for i, k := range want {
+		if r.At(i).Key != k || r.At(i).ID != i {
+			t.Errorf("after sort At(%d) = %v, want key %q id %d", i, r.At(i), k, i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New("accidents", NewSchema("location", "date", "severity"))
+	r.Append("TAA BZ BOLZANO", "2008-01-02", "minor")
+	r.Append("LIG GE GENOVA", "2008-03-04", "major")
+	r.Append("has,comma", "with \"quotes\"", "x")
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV("accidents", strings.NewReader(buf.String()), "location")
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("round trip lost tuples: %d vs %d", back.Len(), r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		a, b := r.At(i), back.At(i)
+		if a.Key != b.Key {
+			t.Errorf("tuple %d key %q != %q", i, a.Key, b.Key)
+		}
+		for j := range a.Attrs {
+			if a.Attrs[j] != b.Attrs[j] {
+				t.Errorf("tuple %d attr %d %q != %q", i, j, a.Attrs[j], b.Attrs[j])
+			}
+		}
+	}
+	if !back.Schema.Equal(r.Schema) {
+		t.Errorf("schema changed: %v vs %v", back.Schema, r.Schema)
+	}
+}
+
+func TestReadCSVKeyNotFirstColumn(t *testing.T) {
+	in := "date,location\n2008,ROME\n"
+	r, err := ReadCSV("r", strings.NewReader(in), "location")
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if r.At(0).Key != "ROME" || r.At(0).Attrs[0] != "2008" {
+		t.Errorf("got %v", r.At(0))
+	}
+}
+
+func TestReadCSVMissingKeyColumn(t *testing.T) {
+	_, err := ReadCSV("r", strings.NewReader("a,b\n1,2\n"), "location")
+	if err == nil {
+		t.Fatal("expected error for missing key column")
+	}
+}
+
+func TestReadCSVRaggedRow(t *testing.T) {
+	_, err := ReadCSV("r", strings.NewReader("a,b\n1\n"), "a")
+	if err == nil {
+		t.Fatal("expected error for ragged row")
+	}
+}
+
+func TestSaveLoadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rel.csv")
+	r := FromKeys("r", "x", "y")
+	if err := r.SaveCSV(path); err != nil {
+		t.Fatalf("SaveCSV: %v", err)
+	}
+	back, err := LoadCSV("r", path, "key")
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if back.Len() != 2 || back.At(1).Key != "y" {
+		t.Errorf("LoadCSV got %v", back.Tuples())
+	}
+}
+
+// Property: CSV round-trips preserve arbitrary key strings.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		r := New("r", NewSchema("k"))
+		for _, k := range keys {
+			// csv cannot represent lone \r cleanly across writers/readers,
+			// and a record whose only field is empty serialises to a blank
+			// line that csv.Reader skips. Join keys are non-empty
+			// single-line values, so constrain inputs accordingly.
+			k = strings.ReplaceAll(k, "\r", "")
+			if k == "" {
+				continue
+			}
+			r.Append(k)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV("r", bytes.NewReader(buf.Bytes()), "k")
+		if err != nil || back.Len() != r.Len() {
+			return false
+		}
+		for i := 0; i < r.Len(); i++ {
+			if back.At(i).Key != r.At(i).Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package simfn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSimilarities asserts that every similarity function stays within
+// [0,1], is symmetric, and scores identical inputs as 1.
+func FuzzSimilarities(f *testing.F) {
+	f.Add("SANTA CRISTINA", "SANTA CRISTINx")
+	f.Add("", "")
+	f.Add("a", "")
+	f.Add("日本", "日本語")
+	jac := JaccardQGram(3)
+	f.Fuzz(func(t *testing.T, a, b string) {
+		for name, fn := range map[string]Func{
+			"jaccard": jac, "lev": LevenshteinSim, "jw": JaroWinkler,
+		} {
+			s1, s2 := fn(a, b), fn(b, a)
+			if math.Abs(s1-s2) > 1e-9 {
+				t.Fatalf("%s asymmetric: %v vs %v", name, s1, s2)
+			}
+			if s1 < 0 || s1 > 1+1e-9 || math.IsNaN(s1) {
+				t.Fatalf("%s out of range: %v", name, s1)
+			}
+			if self := fn(a, a); math.Abs(self-1) > 1e-9 {
+				t.Fatalf("%s self-similarity %v", name, self)
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package simfn provides the string similarity functions used by the
+// approximate join operator and the data generator.
+//
+// The paper measures string similarity with the Jaccard coefficient over
+// q-gram sets:
+//
+//	sim(s1, s2) = |q(s1) ∩ q(s2)| / |q(s1) ∪ q(s2)|
+//
+// and notes that other q-gram-based functions can be substituted. This
+// package therefore exposes Jaccard as the default alongside Dice, cosine
+// and overlap coefficients on the same token representation, plus the
+// edit-based Levenshtein and Jaro–Winkler measures, which the data
+// generator uses to validate that synthesised variants sit at edit
+// distance one from their originals.
+package simfn
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivelink/internal/qgram"
+)
+
+// Func scores the similarity of two strings in [0, 1], where 1 means
+// identical under the measure.
+type Func func(a, b string) float64
+
+// TokenMeasure identifies one of the supported set-based coefficients.
+type TokenMeasure int
+
+const (
+	// Jaccard is |A∩B| / |A∪B| — the paper's measure.
+	Jaccard TokenMeasure = iota
+	// Dice is 2|A∩B| / (|A|+|B|).
+	Dice
+	// Cosine is |A∩B| / sqrt(|A|·|B|).
+	Cosine
+	// Overlap is |A∩B| / min(|A|,|B|).
+	Overlap
+)
+
+// String returns the measure name.
+func (m TokenMeasure) String() string {
+	switch m {
+	case Jaccard:
+		return "jaccard"
+	case Dice:
+		return "dice"
+	case Cosine:
+		return "cosine"
+	case Overlap:
+		return "overlap"
+	default:
+		return fmt.Sprintf("TokenMeasure(%d)", int(m))
+	}
+}
+
+// Coefficient computes the measure from precomputed set sizes and the
+// intersection size. It is the kernel shared by the Func constructors and
+// by SSHJoin, which already has the sizes and candidate overlap counts at
+// hand. Degenerate cases: two empty sets are identical (1); one empty set
+// matches nothing (0).
+func (m TokenMeasure) Coefficient(sizeA, sizeB, inter int) float64 {
+	if sizeA == 0 && sizeB == 0 {
+		return 1
+	}
+	if sizeA == 0 || sizeB == 0 {
+		return 0
+	}
+	switch m {
+	case Jaccard:
+		union := sizeA + sizeB - inter
+		return float64(inter) / float64(union)
+	case Dice:
+		return 2 * float64(inter) / float64(sizeA+sizeB)
+	case Cosine:
+		return float64(inter) / math.Sqrt(float64(sizeA)*float64(sizeB))
+	case Overlap:
+		return float64(inter) / float64(min(sizeA, sizeB))
+	default:
+		panic(fmt.Sprintf("simfn: unknown measure %d", int(m)))
+	}
+}
+
+// MinOverlap returns the smallest intersection size c such that a pair of
+// gram sets with |A| = g (probe side) can still reach similarity ≥ theta
+// under the measure, regardless of |B|. SSHJoin uses this as the count
+// threshold k of §2.2 ("tuples retrieved at least k times"): candidates
+// below the bound cannot qualify and are pruned before verification.
+//
+// For Jaccard: sim = c/(g+|B|-c) ≥ θ together with |B| ≥ c gives c ≥ θ·g.
+// For Dice: 2c/(g+|B|) ≥ θ with |B| ≥ c gives c ≥ θ·g/(2-θ).
+// For Cosine: c/sqrt(g·|B|) ≥ θ with |B| ≥ c gives c ≥ θ²·g.
+// Overlap admits no probe-only bound beyond c ≥ 1.
+func (m TokenMeasure) MinOverlap(g int, theta float64) int {
+	if g <= 0 {
+		return 0
+	}
+	if theta <= 0 {
+		return 1
+	}
+	var bound float64
+	switch m {
+	case Jaccard:
+		bound = theta * float64(g)
+	case Dice:
+		bound = theta * float64(g) / (2 - theta)
+	case Cosine:
+		bound = theta * theta * float64(g)
+	case Overlap:
+		bound = 1
+	default:
+		panic(fmt.Sprintf("simfn: unknown measure %d", int(m)))
+	}
+	k := int(math.Ceil(bound - 1e-9))
+	if k < 1 {
+		k = 1
+	}
+	if k > g {
+		k = g
+	}
+	return k
+}
+
+// TokenSim builds a Func that decomposes both strings with the extractor
+// and applies the measure to the resulting gram sets.
+func TokenSim(m TokenMeasure, e *qgram.Extractor) Func {
+	return func(a, b string) float64 {
+		ga, gb := e.Grams(a), e.Grams(b)
+		inter := qgram.Intersection(ga, gb)
+		return m.Coefficient(len(ga), len(gb), inter)
+	}
+}
+
+// JaccardQGram returns the paper's similarity function: Jaccard over
+// padded q-gram sets of width q.
+func JaccardQGram(q int) Func {
+	return TokenSim(Jaccard, qgram.New(q))
+}
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete, substitute), computed over runes with a two-row DP in
+// O(len(a)·len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min(prev[j]+1, min(curr[j-1]+1, prev[j-1]+cost))
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim normalises edit distance into a similarity in [0,1]:
+// 1 - dist/max(len). Two empty strings are identical.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	return 1 - float64(d)/float64(max(la, lb))
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i], matchB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro–Winkler similarity with the standard
+// prefix scale of 0.1 over at most 4 common prefix runes.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Exact is the trivial similarity: 1 for equal strings, 0 otherwise.
+func Exact(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,232 @@
+package stream
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adaptivelink/internal/relation"
+)
+
+func drain(t *testing.T, s Source) []relation.Tuple {
+	t.Helper()
+	var out []relation.Tuple
+	for {
+		tu, ok, err := s.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, tu)
+	}
+	return out
+}
+
+func TestSideOtherAndString(t *testing.T) {
+	if Left.Other() != Right || Right.Other() != Left {
+		t.Error("Other() wrong")
+	}
+	if Left.String() != "left" || Right.String() != "right" {
+		t.Error("String() wrong")
+	}
+	if Side(7).String() != "Side(7)" {
+		t.Errorf("unknown side String() = %q", Side(7).String())
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	rel := relation.FromKeys("r", "a", "b", "c")
+	s := FromRelation(rel)
+	if s.EstimatedSize() != 3 {
+		t.Errorf("EstimatedSize = %d", s.EstimatedSize())
+	}
+	got := drain(t, s)
+	if len(got) != 3 || got[0].Key != "a" || got[2].Key != "c" {
+		t.Errorf("drained %v", got)
+	}
+	// Exhausted source stays exhausted.
+	if _, ok, _ := s.Next(); ok {
+		t.Error("Next after exhaustion returned ok")
+	}
+	s.Reset()
+	if got := drain(t, s); len(got) != 3 {
+		t.Errorf("after Reset drained %d", len(got))
+	}
+}
+
+func TestChanSource(t *testing.T) {
+	ch := make(chan relation.Tuple, 2)
+	ch <- relation.Tuple{ID: 0, Key: "x"}
+	ch <- relation.Tuple{ID: 1, Key: "y"}
+	close(ch)
+	s := FromChannel(ch, 2)
+	if s.EstimatedSize() != 2 {
+		t.Errorf("EstimatedSize = %d", s.EstimatedSize())
+	}
+	got := drain(t, s)
+	if len(got) != 2 || got[1].Key != "y" {
+		t.Errorf("drained %v", got)
+	}
+}
+
+func TestCSVSource(t *testing.T) {
+	in := "date,location\n2008,ROME\n2009,MILAN\n"
+	src, err := FromCSV(csv.NewReader(strings.NewReader(in)), "location", -1)
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	got := drain(t, src)
+	if len(got) != 2 {
+		t.Fatalf("drained %d tuples", len(got))
+	}
+	if got[0].Key != "ROME" || got[0].Attrs[0] != "2008" || got[0].ID != 0 {
+		t.Errorf("tuple 0 = %v", got[0])
+	}
+	if got[1].Key != "MILAN" || got[1].ID != 1 {
+		t.Errorf("tuple 1 = %v", got[1])
+	}
+	if src.EstimatedSize() != -1 {
+		t.Errorf("EstimatedSize = %d, want -1", src.EstimatedSize())
+	}
+}
+
+func TestCSVSourceMissingKey(t *testing.T) {
+	_, err := FromCSV(csv.NewReader(strings.NewReader("a,b\n1,2\n")), "location", -1)
+	if err == nil {
+		t.Fatal("expected error for missing key column")
+	}
+}
+
+func TestCSVSourceMalformedRow(t *testing.T) {
+	in := "a,b\n1,2\n\"unterminated\n"
+	src, err := FromCSV(csv.NewReader(strings.NewReader(in)), "a", -1)
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	if _, ok, err := src.Next(); !ok || err != nil {
+		t.Fatalf("first row: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := src.Next(); ok || err == nil {
+		t.Fatalf("malformed row: ok=%v err=%v, want error", ok, err)
+	}
+	// After an error the source is done.
+	if _, ok, _ := src.Next(); ok {
+		t.Error("source yielded tuples after error")
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	rel := relation.FromKeys("r", "a")
+	if got := EstimateSize(FromRelation(rel), 99); got != 1 {
+		t.Errorf("EstimateSize(slice) = %d", got)
+	}
+	ch := make(chan relation.Tuple)
+	close(ch)
+	if got := EstimateSize(FromChannel(ch, -1), 99); got != 99 {
+		t.Errorf("EstimateSize(unknown) = %d, want fallback 99", got)
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	rr := NewRoundRobin(Left)
+	want := []Side{Left, Right, Left, Right}
+	for i, w := range want {
+		if got := rr.Pick(false, false); got != w {
+			t.Errorf("pick %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRoundRobinFallsBackWhenExhausted(t *testing.T) {
+	rr := NewRoundRobin(Left)
+	if got := rr.Pick(true, false); got != Right {
+		t.Errorf("left exhausted but picked %v", got)
+	}
+	if got := rr.Pick(true, false); got != Right {
+		t.Errorf("left exhausted but picked %v", got)
+	}
+}
+
+func TestRoundRobinStartRight(t *testing.T) {
+	rr := NewRoundRobin(Right)
+	if got := rr.Pick(false, false); got != Right {
+		t.Errorf("first pick = %v, want right", got)
+	}
+}
+
+func TestSequential(t *testing.T) {
+	s := Sequential{First: Left}
+	if got := s.Pick(false, false); got != Left {
+		t.Errorf("pick = %v", got)
+	}
+	if got := s.Pick(true, false); got != Right {
+		t.Errorf("pick after left done = %v", got)
+	}
+}
+
+func TestRandomInterleaveDeterministicAndValid(t *testing.T) {
+	a := NewRandomInterleave(42, 0.5)
+	b := NewRandomInterleave(42, 0.5)
+	counts := map[Side]int{}
+	for i := 0; i < 1000; i++ {
+		sa, sb := a.Pick(false, false), b.Pick(false, false)
+		if sa != sb {
+			t.Fatal("same seed diverged")
+		}
+		counts[sa]++
+	}
+	if counts[Left] < 400 || counts[Left] > 600 {
+		t.Errorf("unbalanced picks: %v", counts)
+	}
+}
+
+func TestRandomInterleaveExtremeBias(t *testing.T) {
+	r := NewRandomInterleave(1, 1.0)
+	for i := 0; i < 100; i++ {
+		if r.Pick(false, false) != Left {
+			t.Fatal("leftProb=1 picked right")
+		}
+	}
+}
+
+func TestRandomInterleaveBadProbPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRandomInterleave(1, 1.5)
+}
+
+func TestPickBothExhaustedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRoundRobin(Left).Pick(true, true)
+}
+
+// Property: interleavers never return an exhausted side.
+func TestInterleaverNeverPicksExhaustedProperty(t *testing.T) {
+	f := func(seed int64, picks []bool) bool {
+		rr := NewRoundRobin(Left)
+		ri := NewRandomInterleave(seed, 0.3)
+		for _, leftDone := range picks {
+			// one side done, the other not
+			if rr.Pick(leftDone, !leftDone) == Left == leftDone {
+				return false
+			}
+			if ri.Pick(leftDone, !leftDone) == Left == leftDone {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

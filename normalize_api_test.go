@@ -1,0 +1,48 @@
+package adaptivelink
+
+import "testing"
+
+func TestNormalizeKey(t *testing.T) {
+	if got := NormalizeKey("  Forlì -  Cesena  "); got != "FORLI CESENA" {
+		t.Errorf("NormalizeKey = %q", got)
+	}
+}
+
+func TestNormalizeSource(t *testing.T) {
+	src := NormalizeSource(FromTuples([]Tuple{
+		{Key: " via  Garibaldi ", Attrs: []string{"payload, untouched"}},
+	}))
+	tup, ok, err := src.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	if tup.Key != "VIA GARIBALDI" {
+		t.Errorf("key = %q", tup.Key)
+	}
+	if tup.Attrs[0] != "payload, untouched" {
+		t.Errorf("payload changed: %q", tup.Attrs[0])
+	}
+	// Size estimate passes through, so adaptive joins still work.
+	sized, ok := src.(interface{ EstimatedSize() int })
+	if !ok || sized.EstimatedSize() != 1 {
+		t.Error("size estimate lost through NormalizeSource")
+	}
+}
+
+func TestNormalizeSourceInJoin(t *testing.T) {
+	// Formatting differences disappear; only the genuine typo remains,
+	// to be caught by the approximate path.
+	left := NormalizeSource(FromKeys("Monte Rosa   Vetta Alta", "Porto Cervo, Marina Blu"))
+	right := NormalizeSource(FromKeys("MONTE ROSA VETTA ALTA", "porto cervo marina blu"))
+	j, err := New(left, right, Options{Strategy: ExactOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := j.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Errorf("normalised exact join found %d matches, want 2", len(ms))
+	}
+}

@@ -1,0 +1,96 @@
+package adaptivelink
+
+import (
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+)
+
+// Stats summarises a join execution.
+type Stats struct {
+	// Steps is the number of input tuples fully processed.
+	Steps int
+	// LeftRead/RightRead count tuples consumed per input.
+	LeftRead  int
+	RightRead int
+	// Matches is the number of result pairs; Exact + Approx = Matches.
+	Matches       int
+	ExactMatches  int
+	ApproxMatches int
+	// Switches counts operator switches; CatchUpTuples the tuples
+	// re-indexed by switch-time catch-ups.
+	Switches      int
+	CatchUpTuples int
+	// StepsInState maps state name ("lex/rex", ...) to steps spent there.
+	StepsInState map[string]int
+	// TransitionsInto maps state name to the number of switches into it.
+	TransitionsInto map[string]int
+	// ModelledCost is the execution cost under the paper's normalised
+	// weight model (one all-exact step = 1).
+	ModelledCost float64
+}
+
+// Stats returns a snapshot of the join's counters.
+func (j *Join) Stats() Stats {
+	st := j.engine.Stats()
+	out := Stats{
+		Steps:           st.Steps,
+		LeftRead:        st.Read[0],
+		RightRead:       st.Read[1],
+		Matches:         st.Matches,
+		ExactMatches:    st.ExactMatches,
+		ApproxMatches:   st.ApproxMatches,
+		Switches:        st.Switches,
+		CatchUpTuples:   st.CatchUpTuples,
+		StepsInState:    make(map[string]int, 4),
+		TransitionsInto: make(map[string]int, 4),
+	}
+	for _, s := range join.AllStates {
+		out.StepsInState[s.String()] = st.StepsInState[s.Index()]
+		out.TransitionsInto[s.String()] = st.TransitionsInto[s.Index()]
+	}
+	out.ModelledCost = metrics.Cost(st, metrics.PaperWeights()).Total
+	return out
+}
+
+// Activation is one recorded control-loop firing (TraceActivations).
+type Activation struct {
+	// Step is the engine step at which the loop activated.
+	Step int
+	// Observed is the result size at activation; Tail its binomial tail
+	// probability under the no-variants model.
+	Observed int
+	Tail     float64
+	// Sigma reports whether the deficit was significant.
+	Sigma bool
+	// From and To are the state names before and after responding; equal
+	// strings mean no switch.
+	From string
+	To   string
+	// CaughtUp is the number of tuples the switch re-indexed.
+	CaughtUp int
+}
+
+// Activations returns the recorded control-loop trace. It is nil unless
+// Options.TraceActivations was set and the strategy is Adaptive.
+func (j *Join) Activations() []Activation {
+	if j.ctl == nil {
+		return nil
+	}
+	acts := j.ctl.Activations()
+	if acts == nil {
+		return nil
+	}
+	out := make([]Activation, len(acts))
+	for i, a := range acts {
+		out[i] = Activation{
+			Step:     a.Observation.Step,
+			Observed: a.Observation.Observed,
+			Tail:     a.Assessment.Tail,
+			Sigma:    a.Assessment.Sigma,
+			From:     a.From.String(),
+			To:       a.To.String(),
+			CaughtUp: a.CaughtUp,
+		}
+	}
+	return out
+}
