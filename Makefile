@@ -1,0 +1,34 @@
+# Local dev and CI run the same targets: `make check` is exactly what
+# .github/workflows/ci.yml executes.
+
+GO ?= go
+
+.PHONY: all build vet fmt test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: a smoke test that the bench harness
+# still compiles and runs, not a measurement.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# `race` runs the whole suite, so plain `test` would be redundant here.
+check: build vet fmt race bench

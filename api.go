@@ -2,10 +2,12 @@ package adaptivelink
 
 import (
 	"fmt"
+	"runtime"
 
 	"adaptivelink/internal/adaptive"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/pjoin"
 	"adaptivelink/internal/simfn"
 	"adaptivelink/internal/stream"
 )
@@ -137,6 +139,23 @@ type Options struct {
 	// TraceActivations records every control-loop activation for
 	// inspection via Activations.
 	TraceActivations bool
+
+	// Parallelism is the number of hash partitions (shards) the join
+	// executes concurrently. 0 (default) uses runtime.GOMAXPROCS(0);
+	// 1 selects the exact sequential engine (the legacy path). With
+	// P > 1 both inputs are co-partitioned — q-gram-prefix routing
+	// keeps approximate matches shard-local — P engines run on their
+	// own goroutines, and the match streams are merged with
+	// deduplication; for fixed strategies the result set is identical
+	// to the sequential engine's. Adaptive joins aggregate per-shard
+	// observations into one deficit test and broadcast switches to all
+	// shards at their quiescent points (see doc.go, Concurrency).
+	//
+	// Two features require the sequential engine's global view and
+	// force Parallelism back to 1: RetainWindow (eviction follows the
+	// global arrival order) and CostBudget (the cost model is defined
+	// on a single engine's step accounting).
+	Parallelism int
 }
 
 // withDefaults fills unset fields with the paper's settings.
@@ -176,15 +195,21 @@ type Match struct {
 	Similarity float64
 	// Exact reports key equality.
 	Exact bool
-	// Step is the engine step at which the pair was found.
+	// Step is the engine step at which the pair was found. On a
+	// parallel join it is the computing shard's local step counter.
 	Step int
 }
 
 // Join is the public join operator: an iterator over matches.
 type Join struct {
+	// Sequential path (Parallelism == 1).
 	engine *join.Engine
 	ctl    *adaptive.Controller
-	opts   Options
+	// Partition-parallel path (Parallelism > 1).
+	pexec *pjoin.Executor
+	sctl  *adaptive.ShardedController
+	par   int
+	opts  Options
 }
 
 // New constructs a join over the two sources. For adaptive joins the
@@ -216,27 +241,39 @@ func New(left, right Source, opts Options) (*Join, error) {
 		return nil, fmt.Errorf("adaptivelink: %w", err)
 	}
 
-	ls, rs := adaptSource(left), adaptSource(right)
-	engine, err := join.New(cfg, ls, rs, nil)
-	if err != nil {
-		return nil, fmt.Errorf("adaptivelink: %w", err)
+	par := opts.Parallelism
+	if par < 0 {
+		return nil, fmt.Errorf("adaptivelink: negative parallelism %d", par)
 	}
-	j := &Join{engine: engine, opts: opts}
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if opts.RetainWindow > 0 || opts.CostBudget > 0 {
+		// Both features are defined on the sequential engine's global
+		// view; see Options.Parallelism.
+		par = 1
+	}
 
+	ls, rs := adaptSource(left), adaptSource(right)
+
+	// Resolve the adaptive control-loop inputs once for both paths.
+	var params adaptive.Params
+	var parentSide stream.Side
+	var parentSize int
 	if opts.Strategy == Adaptive {
-		parentSide := stream.Side(opts.ParentSide)
+		parentSide = stream.Side(opts.ParentSide)
 		parentSrc := ls
 		if parentSide == stream.Right {
 			parentSrc = rs
 		}
-		size := opts.ParentSize
-		if size == 0 {
-			size = stream.EstimateSize(parentSrc, 0)
+		parentSize = opts.ParentSize
+		if parentSize == 0 {
+			parentSize = stream.EstimateSize(parentSrc, 0)
 		}
-		if size <= 0 && !opts.CalibratedEstimator {
+		if parentSize <= 0 && !opts.CalibratedEstimator {
 			return nil, fmt.Errorf("adaptivelink: adaptive strategy needs the parent cardinality: set Options.ParentSize, use a sized source, or set CalibratedEstimator")
 		}
-		params := adaptive.Params{
+		params = adaptive.Params{
 			W:             opts.W,
 			DeltaAdapt:    opts.DeltaAdapt,
 			ThetaOut:      opts.ThetaOut,
@@ -248,6 +285,42 @@ func New(left, right Source, opts Options) (*Join, error) {
 			params.Estimator = adaptive.EstimatorCalibrated
 			params.CalibrationActivations = adaptive.DefaultParams().CalibrationActivations
 		}
+	}
+
+	if par > 1 {
+		pcfg := pjoin.Config{Join: cfg, Shards: par}
+		if opts.Strategy == ExactOnly {
+			// No shard can ever probe approximately: hash-by-key
+			// partitioning is lossless and replication-free.
+			pcfg.Router = pjoin.NewKeyRouter(par)
+		}
+		j := &Join{par: par, opts: opts}
+		if opts.Strategy == Adaptive {
+			sctl, err := adaptive.NewSharded(par, parentSide, parentSize, params)
+			if err != nil {
+				return nil, fmt.Errorf("adaptivelink: %w", err)
+			}
+			if opts.TraceActivations {
+				sctl.EnableTrace()
+			}
+			j.sctl = sctl
+			pcfg.Controller = sctl
+		}
+		exec, err := pjoin.New(pcfg, ls, rs)
+		if err != nil {
+			return nil, fmt.Errorf("adaptivelink: %w", err)
+		}
+		j.pexec = exec
+		return j, nil
+	}
+
+	engine, err := join.New(cfg, ls, rs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: %w", err)
+	}
+	j := &Join{engine: engine, par: 1, opts: opts}
+
+	if opts.Strategy == Adaptive {
 		var copts []adaptive.Option
 		if opts.TraceActivations {
 			copts = append(copts, adaptive.WithTrace())
@@ -255,7 +328,7 @@ func New(left, right Source, opts Options) (*Join, error) {
 		if opts.CostBudget > 0 {
 			copts = append(copts, adaptive.WithCostBudget(metrics.PaperWeights(), opts.CostBudget))
 		}
-		ctl, err := adaptive.Attach(engine, parentSide, size, params, copts...)
+		ctl, err := adaptive.Attach(engine, parentSide, parentSize, params, copts...)
 		if err != nil {
 			return nil, fmt.Errorf("adaptivelink: %w", err)
 		}
@@ -264,12 +337,36 @@ func New(left, right Source, opts Options) (*Join, error) {
 	return j, nil
 }
 
-// Open prepares the join for iteration.
-func (j *Join) Open() error { return j.engine.Open() }
+// Parallelism returns the number of shards the join executes on (1 for
+// the sequential engine).
+func (j *Join) Parallelism() int { return j.par }
+
+// Open prepares the join for iteration. On a parallel join it starts
+// the splitter, shard and merger goroutines.
+func (j *Join) Open() error {
+	if j.pexec != nil {
+		return j.pexec.Open()
+	}
+	return j.engine.Open()
+}
 
 // Next returns the next match, with ok=false once both inputs are
-// exhausted and every match has been delivered.
+// exhausted and every match has been delivered. On a parallel join the
+// match *set* is deterministic but the delivery order is not.
 func (j *Join) Next() (m Match, ok bool, err error) {
+	if j.pexec != nil {
+		pm, ok, err := j.pexec.Next()
+		if err != nil || !ok {
+			return Match{}, ok, err
+		}
+		return Match{
+			Left:       Tuple{ID: pm.Left.ID, Key: pm.Left.Key, Attrs: pm.Left.Attrs},
+			Right:      Tuple{ID: pm.Right.ID, Key: pm.Right.Key, Attrs: pm.Right.Attrs},
+			Similarity: pm.Similarity,
+			Exact:      pm.Exact,
+			Step:       pm.Step,
+		}, true, nil
+	}
 	im, ok, err := j.engine.Next()
 	if err != nil || !ok {
 		return Match{}, ok, err
@@ -277,8 +374,14 @@ func (j *Join) Next() (m Match, ok bool, err error) {
 	return j.publicMatch(im), true, nil
 }
 
-// Close releases the join's resources.
-func (j *Join) Close() error { return j.engine.Close() }
+// Close releases the join's resources. On a parallel join it cancels
+// and reaps every goroutine.
+func (j *Join) Close() error {
+	if j.pexec != nil {
+		return j.pexec.Close()
+	}
+	return j.engine.Close()
+}
 
 // All opens (if needed), drains and closes the join, returning every
 // match.
@@ -302,8 +405,23 @@ func (j *Join) All() ([]Match, error) {
 }
 
 // State returns the current processor state name ("lex/rex", "lap/rex",
-// "lex/rap" or "lap/rap").
-func (j *Join) State() string { return j.engine.State().String() }
+// "lex/rap" or "lap/rap"). On a parallel adaptive join it is the
+// broadcast target state, which every shard converges to at its next
+// quiescent point.
+func (j *Join) State() string {
+	if j.pexec != nil {
+		if j.sctl != nil {
+			return j.sctl.State().String()
+		}
+		switch j.opts.Strategy {
+		case ApproximateOnly:
+			return join.LapRap.String()
+		default:
+			return join.LexRex.String()
+		}
+	}
+	return j.engine.State().String()
+}
 
 func (j *Join) publicMatch(im join.Match) Match {
 	lt := j.engine.StoredTuple(stream.Left, im.LeftRef)

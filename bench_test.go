@@ -549,6 +549,78 @@ func BenchmarkPublicAPI_AdaptiveJoin(b *testing.B) {
 	}
 }
 
+// --- Partition-parallel executor: 1 shard vs P shards ----------------
+//
+// The workload is a ≥50k-tuple datagen pair per side; the comparison
+// BenchmarkParallel*_P1 vs _P4 is the scale-out measurement recorded in
+// CHANGES.md. Throughput is reported as tuples/s (input tuples
+// consumed, not replicated shard work). On a single-core host the P>1
+// numbers mostly show the coordination overhead; the speedup target
+// needs ≥4 hardware threads.
+
+var benchTestDataCache = map[string]*TestData{}
+
+func benchTestData(b *testing.B, seed int64, size int, pattern Pattern) *TestData {
+	key := fmt.Sprintf("%d-%d-%v", seed, size, pattern)
+	if td, ok := benchTestDataCache[key]; ok {
+		return td
+	}
+	td, err := GenerateTestData(seed, size, size, pattern, 0.10, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTestDataCache[key] = td
+	return td
+}
+
+func benchParallelJoin(b *testing.B, size, par int, strategy Strategy) {
+	td := benchTestData(b, 55, size, PatternUniform)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := New(td.ParentSource(), td.ChildSource(), Options{
+			Strategy:    strategy,
+			Parallelism: par,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Open(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, ok, err := j.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tuples := float64(2*size) * float64(b.N)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(tuples/s, "tuples/s")
+	}
+}
+
+func BenchmarkParallelExact_50k_P1(b *testing.B) { benchParallelJoin(b, 50_000, 1, ExactOnly) }
+func BenchmarkParallelExact_50k_P2(b *testing.B) { benchParallelJoin(b, 50_000, 2, ExactOnly) }
+func BenchmarkParallelExact_50k_P4(b *testing.B) { benchParallelJoin(b, 50_000, 4, ExactOnly) }
+
+// The adaptive and approximate-only strategies spend long stretches in
+// q-gram probing, orders of magnitude costlier per tuple; sized down so
+// the bench smoke stays tractable. Per-tuple cost is size-dependent, so
+// compare P variants within a family only.
+func BenchmarkParallelAdaptive_5k_P1(b *testing.B) { benchParallelJoin(b, 5_000, 1, Adaptive) }
+func BenchmarkParallelAdaptive_5k_P4(b *testing.B) { benchParallelJoin(b, 5_000, 4, Adaptive) }
+
+func BenchmarkParallelApprox_3k_P1(b *testing.B) { benchParallelJoin(b, 3_000, 1, ApproximateOnly) }
+func BenchmarkParallelApprox_3k_P4(b *testing.B) { benchParallelJoin(b, 3_000, 4, ApproximateOnly) }
+
 // Experiment harness entry point used by EXPERIMENTS.md at small scale
 // (the full-scale run lives in cmd/experiments).
 func BenchmarkExpRunCase(b *testing.B) {

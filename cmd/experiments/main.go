@@ -39,6 +39,7 @@ func main() {
 		caseID   = flag.String("case", "few-high/child-only", "test case for -tuning and -offline")
 		topK     = flag.Int("top", 10, "tuning configurations to print")
 		csvPath  = flag.String("csv", "", "also write the fig6/7/8 result table as CSV to this path")
+		parallel = flag.Int("parallel", 1, "shards for the adaptive runs (1 = the paper's sequential engine)")
 	)
 	flag.Parse()
 	if *all {
@@ -51,6 +52,7 @@ func main() {
 	}
 
 	rc := exp.DefaultRunConfig()
+	rc.Parallelism = *parallel
 
 	if *fig5 {
 		fmt.Println(exp.Fig5Maps(*children, 72))

@@ -28,6 +28,37 @@
 // points, with lazy index catch-up — and switches back once recent
 // matches show variants have stopped.
 //
+// # Concurrency
+//
+// Options.Parallelism shards the join across P concurrent engines
+// (default runtime.GOMAXPROCS(0); 1 selects the exact sequential
+// engine). A single splitter goroutine reads both inputs in the
+// canonical alternating order and hash-partitions them so that every
+// pair of keys that can match — by equality or by q-gram similarity at
+// the configured threshold — lands in at least one common shard: keys
+// are routed to the shards owning the q-grams of their prefix-filter
+// signature (for exact-only joins, plain hash-by-key suffices and is
+// replication-free). Each shard runs an independent switchable engine
+// on its own goroutine; a merger fans the match streams into one,
+// deduplicating pairs that replication placed in several shards. For
+// the fixed strategies the resulting match set is identical to the
+// sequential engine's.
+//
+// Adaptive parallel joins keep one aggregate Monitor–Assess–Respond
+// loop over all shards (the same binomial deficit statistics, over
+// summed counts). Every δadapt dispatched tuples the splitter emits a
+// barrier mark behind the tuples sent so far; when every shard has
+// echoed it — and therefore holds no work from before the barrier —
+// the loop assesses a consistent cut and broadcasts any mode switch,
+// which each shard applies at its own quiescent point before touching
+// the next interval's tuples. Per-shard switching thus preserves the
+// sequential engine's quiescent-point guarantee: no shard ever changes
+// operators mid-probe, and switch-time index catch-up runs per shard
+// exactly as in §2.3.
+//
+// Two options force the sequential path because they are defined on the
+// global scan order: RetainWindow and CostBudget.
+//
 // # Usage
 //
 //	left := adaptivelink.FromKeys("alpha centauri b", "beta pictoris c")

@@ -1,0 +1,3 @@
+module adaptivelink
+
+go 1.24

@@ -40,13 +40,10 @@ type Controller struct {
 	lastActivation int
 
 	// Futility extension (Params.FutilityK): approxSeen counts every
-	// non-exact match so far; futileStreak counts consecutive
-	// activations in a non-exact state that added none; suppressSigma
-	// gates σ after a futility revert until it clears naturally.
-	approxSeen     int
-	approxSeenPrev int
-	futileStreak   int
-	suppressSigma  bool
+	// non-exact match so far; fut holds the shared streak/suppression
+	// state machine (see futilityGate).
+	approxSeen int
+	fut        futilityGate
 
 	// Cost-budget extension (WithCostBudget): once the modelled cost
 	// reaches budget, the responder pins lex/rex.
@@ -54,13 +51,8 @@ type Controller struct {
 	budget        float64
 	hasBudget     bool
 
-	// Calibrated-estimator state: activations observed while
-	// calibrating, the frozen κ̂ once calibration ends, and a ring of
-	// recent (observed, childSeen, parentSeen) triples providing the
-	// lagged window the change detector tests against.
-	calibrationSeen int
-	kappa           float64
-	history         [][3]int
+	// cal is the calibrated-estimator state (see calibrator).
+	cal calibrator
 
 	trace     []Activation
 	keepTrace bool
@@ -192,44 +184,12 @@ func (c *Controller) activate(e *join.Engine) {
 		ChildSeen:          st.Read[childSide],
 		ParentSeen:         st.Read[c.parentSide],
 		ParentSize:         c.parentSize,
-		CalibratedKappa:    c.kappa,
 		WindowLeft:         c.win[stream.Left].Count(),
 		WindowRight:        c.win[stream.Right].Count(),
 		PastPerturbedLeft:  c.pastPerturbed[stream.Left],
 		PastPerturbedRight: c.pastPerturbed[stream.Right],
 	}
-	if c.params.Estimator == EstimatorCalibrated {
-		// The change detector compares against the observation from
-		// CalibrationActivations activations ago (or the oldest held).
-		lag := c.params.CalibrationActivations
-		if n := len(c.history); n > 0 {
-			i := n - lag
-			if i < 0 {
-				i = 0
-			}
-			prev := c.history[i]
-			obs.PrevObserved, obs.PrevChildSeen, obs.PrevParentSeen = prev[0], prev[1], prev[2]
-		}
-		c.history = append(c.history, [3]int{obs.Observed, obs.ChildSeen, obs.ParentSeen})
-		if len(c.history) > lag+1 {
-			c.history = c.history[len(c.history)-lag-1:]
-		}
-		if c.kappa == 0 {
-			// Still calibrating. κ = O/(childSeen·parentSeen) estimates
-			// 1/|R|; early activations carry few matches and huge
-			// relative variance, so calibration runs until both the
-			// configured activation count and a minimum match mass have
-			// accumulated. The windowed test tolerates the residual
-			// estimation error, unlike an absolute test.
-			c.calibrationSeen++
-			const minCalibrationMatches = 30
-			if c.calibrationSeen >= c.params.CalibrationActivations &&
-				obs.Observed >= minCalibrationMatches &&
-				obs.ChildSeen > 0 && obs.ParentSeen > 0 {
-				c.kappa = float64(obs.Observed) / (float64(obs.ChildSeen) * float64(obs.ParentSeen))
-			}
-		}
-	}
+	c.cal.observe(c.params, &obs)
 	a, err := Assess(c.params, obs)
 	if err != nil {
 		// Inputs were validated at Attach time; an error here is a
@@ -252,7 +212,7 @@ func (c *Controller) activate(e *join.Engine) {
 		if err != nil {
 			panic(fmt.Sprintf("adaptive: switch to %v: %v", to, err))
 		}
-		c.futileStreak = 0
+		c.fut.noteSwitch()
 	}
 	if c.keepTrace {
 		c.trace = append(c.trace, Activation{
@@ -263,39 +223,11 @@ func (c *Controller) activate(e *join.Engine) {
 }
 
 // respond applies the ϕ rules plus the two opt-in overrides (futility
-// revert and cost budget).
+// revert and cost budget) through the shared gate.
 func (c *Controller) respond(e *join.Engine, from join.State, a Assessment) (join.State, string) {
-	// Futility bookkeeping: a streak of activations in a non-exact
-	// state during which approximate matching produced nothing.
-	if c.params.FutilityK > 0 {
-		if from != join.LexRex && c.approxSeen == c.approxSeenPrev {
-			c.futileStreak++
-		} else {
-			c.futileStreak = 0
-		}
-		c.approxSeenPrev = c.approxSeen
-		// σ stays suppressed after a futility revert until the deficit
-		// estimate clears on its own.
-		if !a.Sigma {
-			c.suppressSigma = false
-		}
-	}
-
+	overBudget := false
 	if c.hasBudget {
-		cost := metrics.Cost(e.Stats(), c.budgetWeights).Total
-		if cost >= c.budget {
-			return join.LexRex, "budget"
-		}
+		overBudget = metrics.Cost(e.Stats(), c.budgetWeights).Total >= c.budget
 	}
-	if c.params.FutilityK > 0 {
-		if c.futileStreak >= c.params.FutilityK && from != join.LexRex {
-			c.futileStreak = 0
-			c.suppressSigma = true
-			return join.LexRex, "futility"
-		}
-		if c.suppressSigma {
-			a.Sigma = false
-		}
-	}
-	return Decide(from, a), ""
+	return c.fut.respond(c.params, from, a, c.approxSeen, overBudget)
 }

@@ -1,0 +1,54 @@
+package adaptive
+
+import "adaptivelink/internal/join"
+
+// futilityGate holds the state of the §3.5 futility extension
+// (Params.FutilityK) shared by the sequential Controller and the
+// ShardedController, and runs the responder around the ϕ rules so the
+// revert/suppression semantics cannot drift between the two loops.
+type futilityGate struct {
+	approxSeenPrev int
+	streak         int
+	suppress       bool
+}
+
+// respond applies the futility bookkeeping, the caller's budget verdict
+// and the ϕ rules, in the responder's canonical order: streak
+// accounting first, then the budget pin (which preempts everything),
+// then the futility revert and σ suppression, then Decide. approxSeen
+// is the running count of non-exact matches; overBudget is false for
+// controllers without a cost budget.
+func (f *futilityGate) respond(p Params, from join.State, a Assessment, approxSeen int, overBudget bool) (join.State, string) {
+	if p.FutilityK > 0 {
+		// A streak of activations in a non-exact state during which
+		// approximate matching produced nothing.
+		if from != join.LexRex && approxSeen == f.approxSeenPrev {
+			f.streak++
+		} else {
+			f.streak = 0
+		}
+		f.approxSeenPrev = approxSeen
+		// σ stays suppressed after a futility revert until the deficit
+		// estimate clears on its own.
+		if !a.Sigma {
+			f.suppress = false
+		}
+	}
+	if overBudget {
+		return join.LexRex, "budget"
+	}
+	if p.FutilityK > 0 {
+		if f.streak >= p.FutilityK && from != join.LexRex {
+			f.streak = 0
+			f.suppress = true
+			return join.LexRex, "futility"
+		}
+		if f.suppress {
+			a.Sigma = false
+		}
+	}
+	return Decide(from, a), ""
+}
+
+// noteSwitch resets the streak after an enacted state change.
+func (f *futilityGate) noteSwitch() { f.streak = 0 }

@@ -1,0 +1,274 @@
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/stats"
+	"adaptivelink/internal/stream"
+)
+
+// ShardedController runs one MAR control loop over a partition-parallel
+// join (internal/pjoin): the per-shard Monitor observations are
+// aggregated into a single binomial deficit test — the same statistics
+// as the sequential Controller, over summed counts — and the responder's
+// mode switches are broadcast to every shard, each of which applies them
+// at its next quiescent point.
+//
+// The aggregate observation is exactly the sequential one because it is
+// taken at executor barriers: every δadapt dispatched tuples the
+// controller snapshots the dispatch clock and asks the splitter to emit
+// a barrier mark; when the merger has collected the mark's echo from
+// every shard it calls Activate, at which point the deduplicated match
+// count covers exactly the tuples of the snapshot — the same consistent
+// cut a sequential engine sees at an activation. The binomial model of
+// §3.2 therefore transfers unchanged: after n dispatched child tuples
+// the expected result size is still n·p(n) with p(n) = parentSeen/|R|.
+// Only the perturbation windows are approximated: matches merged within
+// a barrier interval are attributed to the interval's end step rather
+// than their exact interior step, a sub-δadapt coarsening of A_{t,W}.
+//
+// Switching is eventually consistent across shards: a broadcast switch
+// reaches shard i when its worker next calls Sync, i.e. at that shard's
+// next quiescent point, mirroring how the sequential controller defers
+// switches to the engine's quiescent points. Between broadcast and
+// application different shards may briefly run in different states —
+// which only affects which matches are found during the transition
+// window, never their correctness, exactly as the sequential engine
+// finds different matches depending on when it switches.
+//
+// The cost-budget option of the sequential controller is not supported:
+// its modelled cost is defined on a single engine's step accounting,
+// which replication distorts. Futility reverts and the calibrated
+// estimator are supported.
+type ShardedController struct {
+	params     Params
+	parentSide stream.Side
+	parentSize int
+
+	// gen is the broadcast generation, incremented on every aggregate
+	// switch decision; shard workers compare it against their applied
+	// generation lock-free on the hot path.
+	gen atomic.Uint64
+
+	mu            sync.Mutex
+	state         join.State // current broadcast target
+	steps         int        // global step clock: tuples dispatched
+	read          [2]int     // tuples dispatched per side
+	observed      int        // deduplicated matches up to the last barrier
+	win           [2]*stats.SlidingWindow
+	pendingWin    [2]int // window events since the last completed barrier
+	pastPerturbed [2]int
+	lastBarrier   int           // dispatch step of the last emitted barrier
+	barriers      []barrierSnap // emitted but not yet completed barriers
+
+	approxSeen int
+	fut        futilityGate
+
+	cal calibrator
+
+	trace     []Activation
+	keepTrace bool
+
+	// applied[i] is the generation shard i has applied; only shard i's
+	// worker touches it (from Sync), so no lock is needed.
+	applied []uint64
+}
+
+// barrierSnap is the dispatch-clock snapshot taken when a barrier is
+// emitted; Activate consumes them in FIFO order.
+type barrierSnap struct {
+	step int
+	read [2]int
+}
+
+// NewSharded builds a controller aggregating the given number of shards.
+// parentSide and parentSize have the same meaning as in Attach. Wire the
+// result into pjoin.Config.Controller before opening the executor. The
+// loop starts from the paper's optimistic lex/rex and every shard is
+// snapped to the controller's state at its first quiescent point, so a
+// divergent Config.Initial on the shard engines cannot outlive the
+// first tuple.
+func NewSharded(shards int, parentSide stream.Side, parentSize int, p Params) (*ShardedController, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("adaptive: shard count %d < 1", shards)
+	}
+	if parentSize <= 0 && p.Estimator != EstimatorCalibrated {
+		return nil, fmt.Errorf("adaptive: parent size %d must be positive (or use EstimatorCalibrated)", parentSize)
+	}
+	c := &ShardedController{
+		params:     p,
+		parentSide: parentSide,
+		parentSize: parentSize,
+		state:      join.LexRex,
+		applied:    make([]uint64, shards),
+	}
+	// Sentinel: every shard's first Sync takes the slow path and snaps
+	// the engine to the controller's state, so a shard configured with
+	// a different initial state cannot silently diverge from the state
+	// the aggregate loop assesses from (the paper's optimistic lex/rex).
+	for i := range c.applied {
+		c.applied[i] = ^uint64(0)
+	}
+	c.win[stream.Left] = stats.NewSlidingWindow(p.W)
+	c.win[stream.Right] = stats.NewSlidingWindow(p.W)
+	return c, nil
+}
+
+// EnableTrace makes the controller record every activation; retrieve
+// them with Activations. Call before the join starts.
+func (c *ShardedController) EnableTrace() { c.keepTrace = true }
+
+// Params returns the controller's thresholds.
+func (c *ShardedController) Params() Params { return c.params }
+
+// State returns the current broadcast target state. Individual shards
+// converge to it at their next quiescent points.
+func (c *ShardedController) State() join.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Activations returns the recorded trace (nil unless EnableTrace was
+// called). Unlike the sequential trace, CaughtUp is always 0 here:
+// catch-up happens per shard as the broadcast lands and is accounted in
+// the executor's aggregate CatchUpTuples instead.
+func (c *ShardedController) Activations() []Activation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trace
+}
+
+// NoteDispatch implements pjoin.Controller: it advances the global step
+// clock and, every DeltaAdapt dispatches, snapshots it and requests a
+// barrier.
+func (c *ShardedController) NoteDispatch(side stream.Side) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.read[side]++
+	c.steps++
+	if c.steps-c.lastBarrier < c.params.DeltaAdapt {
+		return false
+	}
+	c.lastBarrier = c.steps
+	c.barriers = append(c.barriers, barrierSnap{step: c.steps, read: c.read})
+	return true
+}
+
+// NoteMatch implements pjoin.Controller: it feeds the aggregate result
+// size and, for non-exact matches, the per-side perturbation windows.
+// The merger calls it in barrier-consistent order, so by the time
+// Activate fires the counters cover exactly the barrier's dispatches.
+func (c *ShardedController) NoteMatch(exact bool, attr join.Attribution) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observed++
+	if exact {
+		return
+	}
+	c.approxSeen++
+	if attr.Blames(stream.Left) {
+		c.pendingWin[stream.Left]++
+	}
+	if attr.Blames(stream.Right) {
+		c.pendingWin[stream.Right]++
+	}
+}
+
+// Activate implements pjoin.Controller: the merger calls it when every
+// shard has echoed the oldest outstanding barrier. It consumes that
+// barrier's snapshot and runs one monitor → assess → respond pass over
+// the consistent cut.
+func (c *ShardedController) Activate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.barriers) == 0 {
+		// A barrier the controller did not request (foreign controller
+		// mixup); nothing coherent to assess.
+		return
+	}
+	snap := c.barriers[0]
+	c.barriers = c.barriers[1:]
+	for _, side := range []stream.Side{stream.Left, stream.Right} {
+		c.win[side].AdvanceTo(snap.step)
+		c.win[side].Record(c.pendingWin[side])
+		c.pendingWin[side] = 0
+	}
+	c.activateLocked(snap)
+}
+
+// Sync implements pjoin.Controller: shard workers call it between
+// tuples, at a per-shard quiescent point, and it applies any broadcast
+// switch the shard has not seen yet. The fast path is a single atomic
+// load.
+func (c *ShardedController) Sync(shard int, e *join.Engine) {
+	g := c.gen.Load()
+	if g == c.applied[shard] {
+		return
+	}
+	c.mu.Lock()
+	target := c.state
+	g = c.gen.Load()
+	c.mu.Unlock()
+	c.applied[shard] = g
+	if target == e.State() {
+		return
+	}
+	if _, err := e.SetState(target); err != nil {
+		// Targets come from Decide over validated states; an error here
+		// is a programming bug, not a data condition.
+		panic(fmt.Sprintf("adaptive: sharded switch to %v: %v", target, err))
+	}
+}
+
+// activateLocked runs monitor → assess → respond once over the
+// aggregate counters at the given barrier snapshot. Callers hold c.mu.
+func (c *ShardedController) activateLocked(snap barrierSnap) {
+	childSide := c.parentSide.Other()
+	obs := Observation{
+		Step:               snap.step,
+		Observed:           c.observed,
+		ChildSeen:          snap.read[childSide],
+		ParentSeen:         snap.read[c.parentSide],
+		ParentSize:         c.parentSize,
+		WindowLeft:         c.win[stream.Left].Count(),
+		WindowRight:        c.win[stream.Right].Count(),
+		PastPerturbedLeft:  c.pastPerturbed[stream.Left],
+		PastPerturbedRight: c.pastPerturbed[stream.Right],
+	}
+	c.cal.observe(c.params, &obs)
+	a, err := Assess(c.params, obs)
+	if err != nil {
+		// Inputs were validated at construction time; an error here is
+		// a programming bug, not a data condition.
+		panic(fmt.Sprintf("adaptive: sharded assess: %v", err))
+	}
+	if !a.MuLeft {
+		c.pastPerturbed[stream.Left]++
+	}
+	if !a.MuRight {
+		c.pastPerturbed[stream.Right]++
+	}
+
+	from := c.state
+	// The shared responder, without a cost budget (unsupported here —
+	// see the type comment).
+	to, forced := c.fut.respond(c.params, from, a, c.approxSeen, false)
+	if to != from {
+		c.state = to
+		c.gen.Add(1)
+		c.fut.noteSwitch()
+	}
+	if c.keepTrace {
+		c.trace = append(c.trace, Activation{
+			Observation: obs, Assessment: a, From: from, To: to,
+			Forced: forced,
+		})
+	}
+}

@@ -27,6 +27,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		theta     = fs.Float64("theta", 0.75, "similarity threshold θsim")
 		q         = fs.Int("q", 3, "q-gram width")
 		budget    = fs.Float64("budget", 0, "cost budget in all-exact-step units (0 = unlimited)")
+		parallel  = fs.Int("parallel", 1, "shard count (1 = sequential engine with stable output order, 0 = one per CPU; >1 delivers rows in nondeterministic order)")
 		normalise = fs.Bool("normalize", false, "normalise join keys (case, accents, punctuation, whitespace)")
 		trace     = fs.Bool("trace", false, "print control-loop activations to stderr")
 		stats     = fs.Bool("stats", true, "print execution statistics to stderr")
@@ -40,7 +41,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, TraceActivations: *trace}
+	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, TraceActivations: *trace, Parallelism: *parallel}
 	switch *strategy {
 	case "adaptive":
 		opts.Strategy = adaptivelink.Adaptive
@@ -108,6 +109,10 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 			st.Matches, st.ExactMatches, st.ApproxMatches)
 		fmt.Fprintf(stderr, "steps: %d (left %d, right %d), switches: %d, catch-up tuples: %d\n",
 			st.Steps, st.LeftRead, st.RightRead, st.Switches, st.CatchUpTuples)
+		if st.Parallelism > 1 {
+			fmt.Fprintf(stderr, "parallelism: %d shards, %d shard steps (replication ×%.2f), %d duplicate pairs suppressed\n",
+				st.Parallelism, st.ShardSteps, float64(st.ShardSteps)/float64(max(st.Steps, 1)), st.DuplicatesSuppressed)
+		}
 		names := make([]string, 0, len(st.StepsInState))
 		for name := range st.StepsInState {
 			names = append(names, name)

@@ -192,3 +192,26 @@ func TestAdaptiveJoinErrors(t *testing.T) {
 		t.Error("missing key column accepted")
 	}
 }
+
+func TestAdaptiveJoinParallel(t *testing.T) {
+	pOut, cOut := genPair(t)
+	// Sequential and 4-shard runs over the same inputs: same match
+	// count for the exact strategy (strict parity), and the parallel
+	// stats block must appear.
+	_, seqOut, _ := runJoin(t, "-left", pOut, "-right", cOut, "-strategy", "exact", "-stats=false", "-parallel", "1")
+	code, parOut, errb := runJoin(t, "-left", pOut, "-right", cOut, "-strategy", "exact", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if seqN, parN := strings.Count(seqOut, "\n"), strings.Count(parOut, "\n"); seqN != parN {
+		t.Errorf("parallel run returned %d rows, sequential %d", parN, seqN)
+	}
+	if !strings.Contains(errb, "parallelism: 4 shards") {
+		t.Errorf("stats missing parallelism block:\n%s", errb)
+	}
+	// Adaptive across shards stays runnable end to end.
+	code, _, errb = runJoin(t, "-left", pOut, "-right", cOut, "-strategy", "adaptive", "-parallel", "4", "-trace")
+	if code != 0 {
+		t.Fatalf("adaptive parallel exit %d: %s", code, errb)
+	}
+}

@@ -12,8 +12,10 @@ import (
 
 	"adaptivelink/internal/adaptive"
 	"adaptivelink/internal/datagen"
+	"adaptivelink/internal/iterator"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/pjoin"
 	"adaptivelink/internal/stream"
 )
 
@@ -48,6 +50,11 @@ type RunConfig struct {
 	Weights metrics.Weights
 	// Trace records controller activations on the adaptive run.
 	Trace bool
+	// Parallelism shards the adaptive run across this many concurrent
+	// engines with an aggregate control loop (internal/pjoin); 0 or 1
+	// keeps the paper's sequential engine. The baselines always run
+	// sequentially — they anchor r and R.
+	Parallelism int
 }
 
 // DefaultRunConfig returns the paper's best settings (§4.2) with the
@@ -114,7 +121,7 @@ func RunCase(tc TestCase, rc RunConfig) (*Result, error) {
 			return nil, err
 		}
 		start := time.Now()
-		n, err := drainCount(e)
+		n, err := drainCount[join.Match](e)
 		if err != nil {
 			return nil, fmt.Errorf("exp: exact run %s: %w", tc.ID, err)
 		}
@@ -129,7 +136,7 @@ func RunCase(tc TestCase, rc RunConfig) (*Result, error) {
 			return nil, err
 		}
 		start := time.Now()
-		n, err := drainCount(e)
+		n, err := drainCount[join.Match](e)
 		if err != nil {
 			return nil, fmt.Errorf("exp: approximate run %s: %w", tc.ID, err)
 		}
@@ -137,8 +144,46 @@ func RunCase(tc TestCase, rc RunConfig) (*Result, error) {
 		res.RApx = n
 	}
 
-	// Adaptive run.
-	{
+	// Adaptive run: sequential engine, or the partition-parallel
+	// executor with the aggregate control loop when Parallelism > 1.
+	if rc.Parallelism > 1 {
+		ctl, err := adaptive.NewSharded(rc.Parallelism, stream.Left, ds.Parent.Len(), rc.Params)
+		if err != nil {
+			return nil, err
+		}
+		if rc.Trace {
+			ctl.EnableTrace()
+		}
+		ex, err := pjoin.New(pjoin.Config{Join: rc.Join, Shards: rc.Parallelism, Controller: ctl},
+			stream.FromRelation(ds.Parent), stream.FromRelation(ds.Child))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		n, err := drainCount[pjoin.Match](ex)
+		if err != nil {
+			return nil, fmt.Errorf("exp: parallel adaptive run %s: %w", tc.ID, err)
+		}
+		res.WallAdaptive = time.Since(start)
+		res.RAbs = n
+		ps := ex.Stats()
+		// Steps is the shard-step total so the struct keeps the engine
+		// invariant Steps == ΣStepsInState; with replication it exceeds
+		// the scan length, and the §4.4 cost checks then report the
+		// genuine replication overhead of the parallel run.
+		res.AdaptiveStats = join.Stats{
+			Steps:           ps.ShardSteps,
+			Read:            ps.Read,
+			Matches:         ps.Matches,
+			ExactMatches:    ps.ExactMatches,
+			ApproxMatches:   ps.ApproxMatches,
+			StepsInState:    ps.StepsInState,
+			TransitionsInto: ps.TransitionsInto,
+			Switches:        ps.Switches,
+			CatchUpTuples:   ps.CatchUpTuples,
+		}
+		res.Activations = ctl.Activations()
+	} else {
 		e, err := join.New(rc.Join, stream.FromRelation(ds.Parent), stream.FromRelation(ds.Child), nil)
 		if err != nil {
 			return nil, err
@@ -152,7 +197,7 @@ func RunCase(tc TestCase, rc RunConfig) (*Result, error) {
 			return nil, err
 		}
 		start := time.Now()
-		n, err := drainCount(e)
+		n, err := drainCount[join.Match](e)
 		if err != nil {
 			return nil, fmt.Errorf("exp: adaptive run %s: %w", tc.ID, err)
 		}
@@ -180,17 +225,17 @@ func RunAll(cases []TestCase, rc RunConfig) ([]*Result, error) {
 	return results, nil
 }
 
-// drainCount pulls an engine to exhaustion, counting matches without
-// retaining them.
-func drainCount(e *join.Engine) (int, error) {
-	if err := e.Open(); err != nil {
+// drainCount pulls an operator (sequential engine or parallel
+// executor) to exhaustion, counting matches without retaining them.
+func drainCount[T any](op iterator.Operator[T]) (int, error) {
+	if err := op.Open(); err != nil {
 		return 0, err
 	}
 	n := 0
 	for {
-		_, ok, err := e.Next()
+		_, ok, err := op.Next()
 		if err != nil {
-			e.Close()
+			op.Close()
 			return n, err
 		}
 		if !ok {
@@ -198,5 +243,5 @@ func drainCount(e *join.Engine) (int, error) {
 		}
 		n++
 	}
-	return n, e.Close()
+	return n, op.Close()
 }

@@ -308,3 +308,38 @@ func TestDefaultGridBracketsPaperSettings(t *testing.T) {
 		t.Error("default grid does not include the paper's best settings")
 	}
 }
+
+func TestRunCaseParallel(t *testing.T) {
+	// The sharded adaptive run must stay between the sequential
+	// baselines and carry a usable trace, like the sequential run.
+	cases := PaperTestCases(5, 400, 400)
+	rc := DefaultRunConfig()
+	rc.Parallelism = 4
+	rc.Trace = true
+	res, err := RunCase(cases[4], rc) // few-high/child-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RAbs < res.R || res.RAbs > res.RApx {
+		t.Errorf("parallel adaptive result %d outside [r=%d, R=%d]", res.RAbs, res.R, res.RApx)
+	}
+	if got := res.AdaptiveStats.Read; got[0] != 400 || got[1] != 400 {
+		t.Errorf("aggregate reads %v, want [400 400]", got)
+	}
+	if res.AdaptiveStats.Steps < 800 {
+		t.Errorf("shard steps %d < 800 dispatched tuples", res.AdaptiveStats.Steps)
+	}
+	inState := 0
+	for _, s := range res.AdaptiveStats.StepsInState {
+		inState += s
+	}
+	if inState != res.AdaptiveStats.Steps {
+		t.Errorf("steps-in-state %d != steps %d (engine invariant)", inState, res.AdaptiveStats.Steps)
+	}
+	if len(res.Activations) == 0 {
+		t.Error("no activations traced on the parallel run")
+	}
+	if res.GainCost.Grel < 0 || res.GainCost.Grel > 1 {
+		t.Errorf("relative gain %v outside [0,1]", res.GainCost.Grel)
+	}
+}

@@ -54,7 +54,7 @@ func CompareOfflineOnline(tc TestCase, rc RunConfig) ([]OfflineResult, error) {
 			return nil, err
 		}
 		start := time.Now()
-		n, err := drainCount(e)
+		n, err := drainCount[join.Match](e)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +75,7 @@ func CompareOfflineOnline(tc TestCase, rc RunConfig) ([]OfflineResult, error) {
 			return nil, err
 		}
 		start := time.Now()
-		n, err := drainCount(e)
+		n, err := drainCount[join.Match](e)
 		if err != nil {
 			return nil, err
 		}

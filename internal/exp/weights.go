@@ -53,7 +53,7 @@ func MeasureWeights(parentSize, childSize int, seed int64, reps int) (MeasuredWe
 				return MeasuredWeights{}, err
 			}
 			start := time.Now()
-			if _, err := drainCount(e); err != nil {
+			if _, err := drainCount[join.Match](e); err != nil {
 				return MeasuredWeights{}, err
 			}
 			elapsed := time.Since(start)
@@ -94,7 +94,7 @@ func MeasureWeights(parentSize, childSize int, seed int64, reps int) (MeasuredWe
 					switchDur = time.Since(start)
 				}
 			}
-			if _, err := drainCount(e); err != nil {
+			if _, err := drainCount[join.Match](e); err != nil {
 				return MeasuredWeights{}, err
 			}
 			transNs[target.Index()].Add(float64(switchDur.Nanoseconds()))

@@ -206,6 +206,32 @@ func (e *Engine) Next() (Match, bool, error) {
 	}
 }
 
+// Push processes one tuple from the given side as one full engine step,
+// bypassing the engine's own sources. It is the push-mode complement to
+// Next for drivers that own the scan order themselves (the partition-
+// parallel executor feeds each shard engine from a channel this way).
+// Matches computed by the step accumulate until TakePending or Next
+// collects them. The engine must be open and not exhausted.
+func (e *Engine) Push(side stream.Side, t relation.Tuple) error {
+	if err := e.lc.CheckNext(); err != nil {
+		return err
+	}
+	e.processTuple(side, t)
+	return nil
+}
+
+// TakePending returns the matches computed but not yet delivered and
+// clears the pending queue. Push-mode drivers call it after every Push;
+// pull-mode callers never need it because Next drains the same queue.
+func (e *Engine) TakePending() []Match {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	out := e.pending
+	e.pending = nil
+	return out
+}
+
 // processTuple runs one full step: store the tuple, insert it into its
 // side's active index, probe the opposite side under the reading side's
 // mode, and fire the step hook at the resulting quiescent point.

@@ -1,0 +1,557 @@
+package pjoin
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adaptivelink/internal/iterator"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/stream"
+)
+
+// Controller is the aggregate adaptivity hook the executor reports to.
+// adaptive.ShardedController implements it; a nil Controller runs the
+// shards at their configured initial state for the whole join.
+//
+// The executor and controller share a barrier-punctuation protocol that
+// makes the aggregate observations causally consistent with the
+// dispatch clock, exactly like a sequential engine's activation at step
+// t sees every match of the first t tuples: when NoteDispatch returns
+// true the splitter broadcasts a barrier mark to every shard behind the
+// tuples dispatched so far; each shard echoes the mark after processing
+// everything before it, then blocks until the barrier completes; and
+// once the merger has collected the mark from every shard it calls
+// Activate, at which point the controller has seen exactly the matches
+// produced by the dispatches up to the barrier.
+type Controller interface {
+	// NoteDispatch observes one input tuple leaving the splitter for
+	// side. It is the global step clock: dispatch order defines the
+	// aggregate scan position exactly as a sequential engine's step
+	// counter does. A true return asks the splitter to emit a barrier
+	// mark behind this tuple.
+	NoteDispatch(side stream.Side) (barrier bool)
+	// NoteMatch observes one deduplicated result pair, in
+	// barrier-consistent order.
+	NoteMatch(exact bool, attr join.Attribution)
+	// Activate fires when a barrier has been echoed by every shard: the
+	// controller's counters now describe a consistent cut of the join.
+	Activate()
+	// Sync is called by shard workers between tuples — at a per-shard
+	// quiescent point — so pending aggregate mode switches can be
+	// applied via e.SetState.
+	Sync(shard int, e *join.Engine)
+}
+
+// Config parameterises an Executor.
+type Config struct {
+	// Join is the per-shard engine configuration.
+	Join join.Config
+	// Shards is the partition count P (≥ 1).
+	Shards int
+	// Router co-partitions the inputs. Nil defaults to the
+	// similarity-preserving PrefixRouter for Join's q, measure and θ.
+	// Supply a KeyRouter only when no shard can ever probe
+	// approximately.
+	Router Router
+	// Controller, when non-nil, receives aggregate observations and
+	// broadcasts mode switches (see adaptive.ShardedController).
+	Controller Controller
+	// Buffer is the capacity of each inter-goroutine channel (default
+	// 256).
+	Buffer int
+}
+
+// Match is one deduplicated result pair of the parallel join. Refs are
+// global per-side arrival sequence numbers assigned by the splitter, so
+// they identify tuples independently of shard-local storage.
+type Match struct {
+	// Left and Right are the matched tuples.
+	Left, Right relation.Tuple
+	// LeftSeq and RightSeq are the tuples' global arrival positions on
+	// their sides.
+	LeftSeq, RightSeq int
+	// Similarity, Exact, ProbeSide, ProbeMode and Attribution carry the
+	// shard engine's verdict, identical to the sequential join.Match.
+	Similarity  float64
+	Exact       bool
+	ProbeSide   stream.Side
+	ProbeMode   join.Mode
+	Attribution join.Attribution
+	// Shard is the index of the shard that computed (and won) the pair.
+	Shard int
+	// Step is the computing shard's local step count at probe time.
+	Step int
+}
+
+// Stats aggregates the executor's counters. Per-shard engine counters
+// (ShardSteps, StepsInState, ...) are summed over shards and therefore
+// count replicated work; Read and Matches are global (each input tuple
+// and each result pair counted once).
+type Stats struct {
+	// Shards is the partition count.
+	Shards int
+	// Read counts input tuples consumed per side (pre-replication).
+	Read [2]int
+	// Routed counts tuple copies dispatched to shards per side; the
+	// replication factor is Routed/Read.
+	Routed [2]int
+	// Matches is the number of deduplicated result pairs;
+	// Exact + Approx = Matches.
+	Matches       int
+	ExactMatches  int
+	ApproxMatches int
+	// Duplicates counts pairs found by more than one shard and
+	// suppressed by the merger.
+	Duplicates int
+	// ShardSteps sums the per-shard engine step counters (≥ Read totals
+	// under replication).
+	ShardSteps int
+	// Switches, CatchUpTuples, StepsInState and TransitionsInto sum the
+	// shard engines' counters, in shard-step units.
+	Switches        int
+	CatchUpTuples   int
+	StepsInState    [4]int
+	TransitionsInto [4]int
+}
+
+type routed struct {
+	side stream.Side
+	seq  int
+	t    relation.Tuple
+	mark bool // barrier mark: no tuple, echo to the merger
+}
+
+// rawItem is what shard workers hand to the merger: a match or a barrier
+// mark echo.
+type rawItem struct {
+	m     Match
+	mark  bool
+	shard int
+}
+
+type pairKey struct{ l, r int }
+
+// Executor is the partition-parallel join operator. Construct with New,
+// then drive like any iterator: Open, Next until ok=false, Close. Next
+// must be called from a single goroutine; Open spawns the splitter, the
+// shard workers and the merger.
+type Executor struct {
+	cfg Config
+	src [2]stream.Source
+	il  stream.Interleaver
+
+	lc       iterator.Lifecycle
+	in       []chan routed
+	raw      chan rawItem
+	out      chan Match
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	// Barrier rendezvous: after echoing mark k a worker blocks until
+	// the merger has completed barrier k (and the controller has
+	// broadcast any switch), so every tuple of interval k+1 is
+	// processed under the state decided at barrier k in every shard —
+	// the same switch placement a sequential engine gets from
+	// activating at step k·δadapt.
+	barMu    sync.Mutex
+	barCond  *sync.Cond
+	released int
+	stopped  bool
+
+	bg      sync.WaitGroup // splitter + merger + closer
+	workers sync.WaitGroup
+
+	mu         sync.Mutex
+	firstErr   error
+	shardStats []join.Stats
+
+	read    [2]atomic.Int64
+	routedN [2]atomic.Int64
+	matches atomic.Int64
+	exact   atomic.Int64
+	approx  atomic.Int64
+	dups    atomic.Int64
+}
+
+// New builds a partition-parallel executor over the two sources. A nil
+// interleaver in spirit: the splitter always uses the canonical
+// alternating scan starting from the left input, matching the
+// sequential engine's default and the paper's result-size model.
+func New(cfg Config, left, right stream.Source) (*Executor, error) {
+	if err := cfg.Join.Validate(); err != nil {
+		return nil, err
+	}
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("pjoin: nil source")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("pjoin: shard count %d < 1", cfg.Shards)
+	}
+	if cfg.Join.RetainWindow > 0 {
+		// Sliding-window eviction is defined on the global arrival
+		// order, which shards cannot observe; refusing is better than
+		// silently changing semantics.
+		return nil, fmt.Errorf("pjoin: RetainWindow is incompatible with partition-parallel execution")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	if cfg.Router == nil {
+		cfg.Router = NewPrefixRouter(cfg.Shards, cfg.Join.Q, cfg.Join.Measure, cfg.Join.Theta)
+	}
+	e := &Executor{
+		cfg:        cfg,
+		src:        [2]stream.Source{left, right},
+		il:         stream.NewRoundRobin(stream.Left),
+		shardStats: make([]join.Stats, cfg.Shards),
+	}
+	e.barCond = sync.NewCond(&e.barMu)
+	return e, nil
+}
+
+// Open implements iterator.Operator: it validates the lifecycle and
+// starts the pipeline goroutines.
+func (e *Executor) Open() error {
+	if err := e.lc.CheckOpen(); err != nil {
+		return err
+	}
+	e.quit = make(chan struct{})
+	e.in = make([]chan routed, e.cfg.Shards)
+	for i := range e.in {
+		e.in[i] = make(chan routed, e.cfg.Buffer)
+	}
+	e.raw = make(chan rawItem, e.cfg.Buffer)
+	e.out = make(chan Match, e.cfg.Buffer)
+
+	e.workers.Add(e.cfg.Shards)
+	for i := 0; i < e.cfg.Shards; i++ {
+		go e.work(i)
+	}
+	e.bg.Add(3)
+	go e.split()
+	go func() { // closer: workers drained their inputs → no more raw matches
+		defer e.bg.Done()
+		e.workers.Wait()
+		close(e.raw)
+	}()
+	go e.merge()
+	return nil
+}
+
+// Next implements iterator.Operator. Matches arrive in shard completion
+// order, which is nondeterministic; the match *set* is deterministic for
+// fixed inputs and states.
+func (e *Executor) Next() (Match, bool, error) {
+	if err := e.lc.CheckNext(); err != nil {
+		return Match{}, false, err
+	}
+	m, ok := <-e.out
+	if !ok {
+		e.lc.MarkExhausted()
+		if err := e.err(); err != nil {
+			return Match{}, false, err
+		}
+		return Match{}, false, nil
+	}
+	return m, true, nil
+}
+
+// Close implements iterator.Operator: it cancels the pipeline, waits for
+// every goroutine and reports the first error the run hit.
+func (e *Executor) Close() error {
+	if err := e.lc.CheckClose(); err != nil {
+		return err
+	}
+	if e.quit == nil {
+		return nil // never opened
+	}
+	e.stop()
+	e.workers.Wait()
+	e.bg.Wait()
+	return e.err()
+}
+
+// Stats returns the executor's aggregate counters. It is fully
+// consistent once Next has returned ok=false (or after Close); mid-run
+// it returns a best-effort snapshot in which the per-shard engine sums
+// cover only finished shards.
+func (e *Executor) Stats() Stats {
+	s := Stats{
+		Shards:        e.cfg.Shards,
+		Matches:       int(e.matches.Load()),
+		ExactMatches:  int(e.exact.Load()),
+		ApproxMatches: int(e.approx.Load()),
+		Duplicates:    int(e.dups.Load()),
+	}
+	for side := 0; side < 2; side++ {
+		s.Read[side] = int(e.read[side].Load())
+		s.Routed[side] = int(e.routedN[side].Load())
+	}
+	e.mu.Lock()
+	for _, st := range e.shardStats {
+		s.ShardSteps += st.Steps
+		s.Switches += st.Switches
+		s.CatchUpTuples += st.CatchUpTuples
+		for i := 0; i < 4; i++ {
+			s.StepsInState[i] += st.StepsInState[i]
+			s.TransitionsInto[i] += st.TransitionsInto[i]
+		}
+	}
+	e.mu.Unlock()
+	return s
+}
+
+// stop cancels the pipeline; safe to call repeatedly.
+func (e *Executor) stop() {
+	e.quitOnce.Do(func() {
+		close(e.quit)
+		e.barMu.Lock()
+		e.stopped = true
+		e.barCond.Broadcast()
+		e.barMu.Unlock()
+	})
+}
+
+// releaseBarrier lets workers waiting on barrier k (and earlier) resume.
+func (e *Executor) releaseBarrier(k int) {
+	e.barMu.Lock()
+	e.released = k
+	e.barCond.Broadcast()
+	e.barMu.Unlock()
+}
+
+// awaitBarrier blocks the calling worker until barrier k has been
+// released (or the pipeline is cancelled).
+func (e *Executor) awaitBarrier(k int) {
+	e.barMu.Lock()
+	for e.released < k && !e.stopped {
+		e.barCond.Wait()
+	}
+	e.barMu.Unlock()
+}
+
+// setErr records the first error; later ones are dropped.
+func (e *Executor) setErr(err error) {
+	e.mu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.mu.Unlock()
+}
+
+// fail records an error and cancels the pipeline, so the consumer's
+// Next unblocks and reports it.
+func (e *Executor) fail(err error) {
+	e.setErr(err)
+	e.stop()
+}
+
+func (e *Executor) err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstErr
+}
+
+// split is the single reader of both sources: it assigns global per-side
+// sequence numbers, feeds the aggregate step clock, and fans each tuple
+// out to the shards its key routes to.
+func (e *Executor) split() {
+	defer e.bg.Done()
+	defer func() {
+		for _, ch := range e.in {
+			close(ch)
+		}
+	}()
+	var done [2]bool
+	var seq [2]int
+	var routes []int
+	for {
+		if done[stream.Left] && done[stream.Right] {
+			return
+		}
+		side := e.il.Pick(done[stream.Left], done[stream.Right])
+		t, ok, err := e.src[side].Next()
+		if err != nil {
+			e.fail(fmt.Errorf("pjoin: reading %v input: %w", side, err))
+			return
+		}
+		if !ok {
+			done[side] = true
+			continue
+		}
+		rt := routed{side: side, seq: seq[side], t: t}
+		seq[side]++
+		e.read[side].Add(1)
+		barrier := false
+		if e.cfg.Controller != nil {
+			barrier = e.cfg.Controller.NoteDispatch(side)
+		}
+		routes = e.cfg.Router.Routes(routes[:0], t.Key)
+		for _, s := range routes {
+			select {
+			case e.in[s] <- rt:
+				e.routedN[side].Add(1)
+			case <-e.quit:
+				return
+			}
+		}
+		if barrier {
+			// The mark trails every tuple dispatched so far on every
+			// shard's FIFO queue, including shards this tuple skipped.
+			mark := routed{mark: true}
+			for s := range e.in {
+				select {
+				case e.in[s] <- mark:
+				case <-e.quit:
+					return
+				}
+			}
+		}
+	}
+}
+
+// work drives one shard: a private engine fed in dispatch order, with a
+// quiescent-point controller sync before every tuple.
+func (e *Executor) work(i int) {
+	defer e.workers.Done()
+	eng, err := join.New(e.cfg.Join, emptySource{}, emptySource{}, nil)
+	if err != nil {
+		e.fail(fmt.Errorf("pjoin: shard %d: %w", i, err))
+		return
+	}
+	if err := eng.Open(); err != nil {
+		e.fail(fmt.Errorf("pjoin: shard %d: %w", i, err))
+		return
+	}
+	// Record the shard's accounting on every exit path — cancellation
+	// included — so Stats() keeps its after-Close consistency promise.
+	defer func() {
+		eng.Close()
+		e.mu.Lock()
+		e.shardStats[i] = eng.Stats()
+		e.mu.Unlock()
+	}()
+	var seqs [2][]int // shard-local ref -> global sequence number
+	myMarks := 0
+	for rt := range e.in[i] {
+		if rt.mark {
+			myMarks++
+			select {
+			case e.raw <- rawItem{mark: true, shard: i}:
+			case <-e.quit:
+				return
+			}
+			e.awaitBarrier(myMarks)
+			continue
+		}
+		if e.cfg.Controller != nil {
+			e.cfg.Controller.Sync(i, eng)
+		}
+		seqs[rt.side] = append(seqs[rt.side], rt.seq)
+		if err := eng.Push(rt.side, rt.t); err != nil {
+			e.fail(fmt.Errorf("pjoin: shard %d: %w", i, err))
+			return
+		}
+		for _, m := range eng.TakePending() {
+			pm := Match{
+				Left:        eng.StoredTuple(stream.Left, m.LeftRef),
+				Right:       eng.StoredTuple(stream.Right, m.RightRef),
+				LeftSeq:     seqs[stream.Left][m.LeftRef],
+				RightSeq:    seqs[stream.Right][m.RightRef],
+				Similarity:  m.Similarity,
+				Exact:       m.Exact,
+				ProbeSide:   m.ProbeSide,
+				ProbeMode:   m.ProbeMode,
+				Attribution: m.Attribution,
+				Shard:       i,
+				Step:        m.Step,
+			}
+			select {
+			case e.raw <- rawItem{m: pm, shard: i}:
+			case <-e.quit:
+				return
+			}
+		}
+	}
+}
+
+// merge deduplicates the shard streams and completes barriers.
+// Replication can place a pair in several shards, each of which finds
+// it independently; the first arrival wins and later copies only bump
+// the duplicate counter. Barrier consistency needs no buffering here:
+// a worker that has echoed mark k blocks in awaitBarrier until the
+// merger has collected every shard's echo and run Activate, so by
+// construction no post-barrier match can reach the merger before the
+// barrier's activation — Activate always observes exactly the matches
+// produced by the dispatches up to the barrier.
+func (e *Executor) merge() {
+	defer e.bg.Done()
+	defer close(e.out)
+	// A non-replicating router places every pair in exactly one shard,
+	// so duplicate tracking (O(result) memory) is skipped entirely.
+	var seen map[pairKey]struct{}
+	if e.cfg.Router.Replicates() {
+		seen = make(map[pairKey]struct{})
+	}
+	marks := make([]int, e.cfg.Shards)
+	completed := 0
+
+	deliver := func(m Match) bool {
+		if seen != nil {
+			k := pairKey{m.LeftSeq, m.RightSeq}
+			if _, dup := seen[k]; dup {
+				e.dups.Add(1)
+				return true
+			}
+			seen[k] = struct{}{}
+		}
+		e.matches.Add(1)
+		if m.Exact {
+			e.exact.Add(1)
+		} else {
+			e.approx.Add(1)
+		}
+		if e.cfg.Controller != nil {
+			e.cfg.Controller.NoteMatch(m.Exact, m.Attribution)
+		}
+		select {
+		case e.out <- m:
+			return true
+		case <-e.quit:
+			return false
+		}
+	}
+	barrierDone := func() bool {
+		for _, m := range marks {
+			if m <= completed {
+				return false
+			}
+		}
+		return true
+	}
+
+	for it := range e.raw {
+		if it.mark {
+			marks[it.shard]++
+			if barrierDone() {
+				completed++
+				if e.cfg.Controller != nil {
+					e.cfg.Controller.Activate()
+				}
+				e.releaseBarrier(completed)
+			}
+			continue
+		}
+		if !deliver(it.m) {
+			return
+		}
+	}
+}
+
+// emptySource satisfies stream.Source for push-mode shard engines, which
+// never pull from their sources.
+type emptySource struct{}
+
+func (emptySource) Next() (relation.Tuple, bool, error) { return relation.Tuple{}, false, nil }

@@ -1,0 +1,129 @@
+package pjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivelink/internal/datagen"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/qgram"
+	"adaptivelink/internal/simfn"
+)
+
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestPrefixRouterCoPartitions is the property behind parallel
+// correctness: any two keys whose similarity reaches θ under the join's
+// measure must share at least one shard, at every shard count.
+func TestPrefixRouterCoPartitions(t *testing.T) {
+	cfg := join.Defaults()
+	sim := simfn.TokenSim(cfg.Measure, qgram.New(cfg.Q))
+
+	// Perturbed child keys vs their parents give a dense supply of pairs
+	// right at the threshold; random unrelated pairs rarely qualify, so
+	// mix both.
+	spec := datagen.Defaults(datagen.Uniform, true)
+	spec.Seed, spec.ParentSize, spec.ChildSize = 7, 300, 300
+	ds, err := datagen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, shards := range []int{2, 4, 8, 13} {
+		r := NewPrefixRouter(shards, cfg.Q, cfg.Measure, cfg.Theta)
+		checked := 0
+		check := func(a, b string) {
+			s := sim(a, b)
+			if a != b && s < cfg.Theta {
+				return
+			}
+			checked++
+			ra := r.Routes(nil, a)
+			rb := r.Routes(nil, b)
+			if !intersects(ra, rb) {
+				t.Errorf("shards=%d: qualifying pair (%q, %q) sim=%.3f routed apart: %v vs %v",
+					shards, a, b, s, ra, rb)
+			}
+		}
+		for i := 0; i < ds.Child.Len(); i++ {
+			child := ds.Child.At(i).Key
+			parent := ds.Parent.At(ds.ChildParent[i]).Key
+			check(child, parent)
+		}
+		for i := 0; i < 300; i++ {
+			a := ds.Parent.At(rng.Intn(ds.Parent.Len())).Key
+			b := ds.Parent.At(rng.Intn(ds.Parent.Len())).Key
+			check(a, b)
+		}
+		if checked < 100 {
+			t.Fatalf("shards=%d: only %d qualifying pairs checked; dataset too clean for the property to bite", shards, checked)
+		}
+	}
+}
+
+// TestPrefixRouterDeterministic: equal keys route identically and the
+// route list is deduplicated and sorted.
+func TestPrefixRouterDeterministic(t *testing.T) {
+	r := NewPrefixRouter(8, 3, simfn.Jaccard, 0.75)
+	for _, key := range []string{"", "a", "main street 12", "Ω≠ascii"} {
+		r1 := r.Routes(nil, key)
+		r2 := r.Routes(nil, key)
+		if len(r1) == 0 {
+			t.Fatalf("key %q routed nowhere", key)
+		}
+		if len(r1) != len(r2) {
+			t.Fatalf("key %q nondeterministic: %v vs %v", key, r1, r2)
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("key %q nondeterministic: %v vs %v", key, r1, r2)
+			}
+			if i > 0 && r1[i] <= r1[i-1] {
+				t.Fatalf("key %q routes not sorted/deduped: %v", key, r1)
+			}
+			if r1[i] < 0 || r1[i] >= 8 {
+				t.Fatalf("key %q route out of range: %v", key, r1)
+			}
+		}
+	}
+}
+
+// TestKeyRouterSingleShard: exactly one shard per key, stable for equal
+// keys.
+func TestKeyRouterSingleShard(t *testing.T) {
+	r := NewKeyRouter(5)
+	for _, key := range []string{"", "x", "main street 12"} {
+		rs := r.Routes(nil, key)
+		if len(rs) != 1 || rs[0] < 0 || rs[0] >= 5 {
+			t.Fatalf("key %q routes %v, want exactly one shard in [0,5)", key, rs)
+		}
+		if again := r.Routes(nil, key); again[0] != rs[0] {
+			t.Fatalf("key %q unstable: %v vs %v", key, rs, again)
+		}
+	}
+}
+
+// TestRoutesReuse: the dst slice is reused without cross-call leakage.
+func TestRoutesReuse(t *testing.T) {
+	r := NewPrefixRouter(4, 3, simfn.Jaccard, 0.75)
+	buf := r.Routes(nil, "first avenue")
+	want := append([]int(nil), r.Routes(nil, "second boulevard")...)
+	got := r.Routes(buf[:0], "second boulevard")
+	if len(got) != len(want) {
+		t.Fatalf("reused buffer changed routes: %v vs %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reused buffer changed routes: %v vs %v", got, want)
+		}
+	}
+}

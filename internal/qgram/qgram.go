@@ -31,9 +31,9 @@ const (
 // Extractor decomposes strings into q-grams with a fixed configuration.
 // The zero value is not usable; construct with New.
 type Extractor struct {
-	q       int
-	padded  bool
-	fold    bool // fold to upper case before decomposition
+	q        int
+	padded   bool
+	fold     bool // fold to upper case before decomposition
 	multiset bool
 }
 

@@ -1,0 +1,175 @@
+package adaptivelink
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// goldenData returns a fixed-seed perturbed dataset; every test using
+// the same arguments sees byte-identical tuples.
+func goldenData(t testing.TB, seed int64, size int) *TestData {
+	t.Helper()
+	td, err := GenerateTestData(seed, size, size, PatternFewHigh, 0.10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return td
+}
+
+func matchSet(t testing.TB, td *TestData, opts Options) []string {
+	t.Helper()
+	j, err := New(td.ParentSource(), td.ChildSource(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := j.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make([]string, len(ms))
+	for i, m := range ms {
+		sigs[i] = fmt.Sprintf("%d|%d|%.9f|%v", m.Left.ID, m.Right.ID, m.Similarity, m.Exact)
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+func assertSameSet(t *testing.T, want, got []string, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: match sets diverge at %d: %s vs %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelParityFixedStrategies is the public-API golden parity
+// test: for fixed seeds, a 4-way parallel join returns exactly the same
+// match set (order-insensitive) as the sequential engine under both
+// fixed strategies.
+func TestParallelParityFixedStrategies(t *testing.T) {
+	td := goldenData(t, 99, 400)
+	for _, strat := range []Strategy{ExactOnly, ApproximateOnly} {
+		seq := matchSet(t, td, Options{Strategy: strat, Parallelism: 1})
+		par := matchSet(t, td, Options{Strategy: strat, Parallelism: 4})
+		assertSameSet(t, seq, par, strat.String())
+		if len(seq) == 0 {
+			t.Fatalf("%v: golden dataset produced no matches", strat)
+		}
+	}
+}
+
+// TestParallelAdaptive exercises the sharded control loop end to end
+// through the facade: the aggregate deficit test must recover variant
+// matches beyond the exact baseline, and the trace must be observable.
+func TestParallelAdaptive(t *testing.T) {
+	td := goldenData(t, 7, 600)
+	exact := matchSet(t, td, Options{Strategy: ExactOnly, Parallelism: 1})
+	approx := matchSet(t, td, Options{Strategy: ApproximateOnly, Parallelism: 1})
+
+	j, err := New(td.ParentSource(), td.ChildSource(), Options{
+		Strategy:         Adaptive,
+		Parallelism:      4,
+		TraceActivations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", got)
+	}
+	ms, err := j.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) <= len(exact) {
+		t.Errorf("parallel adaptive found %d matches, exact baseline %d — no gain", len(ms), len(exact))
+	}
+	if len(ms) > len(approx) {
+		t.Errorf("parallel adaptive found %d matches, above the approximate ceiling %d", len(ms), len(approx))
+	}
+
+	st := j.Stats()
+	if st.Parallelism != 4 {
+		t.Errorf("Stats.Parallelism = %d, want 4", st.Parallelism)
+	}
+	if st.Matches != len(ms) {
+		t.Errorf("Stats.Matches = %d, stream delivered %d", st.Matches, len(ms))
+	}
+	if st.LeftRead != 600 || st.RightRead != 600 {
+		t.Errorf("read counts (%d,%d), want (600,600)", st.LeftRead, st.RightRead)
+	}
+	if st.Steps != 1200 {
+		t.Errorf("Steps = %d, want 1200 (each input tuple once)", st.Steps)
+	}
+	if st.ShardSteps < st.Steps {
+		t.Errorf("ShardSteps = %d < Steps = %d", st.ShardSteps, st.Steps)
+	}
+	if st.Switches == 0 {
+		t.Error("no shard switches despite 10% variants")
+	}
+	if len(j.Activations()) == 0 {
+		t.Error("no activations traced")
+	}
+	if s := j.State(); s == "" {
+		t.Error("empty state name")
+	}
+}
+
+// TestParallelDefaultsAndFallbacks pins the Parallelism option
+// semantics: 0 resolves to GOMAXPROCS, negatives are rejected, and the
+// sequential-only features force the legacy path.
+func TestParallelDefaultsAndFallbacks(t *testing.T) {
+	td := goldenData(t, 11, 60)
+	if _, err := New(td.ParentSource(), td.ChildSource(), Options{Parallelism: -1}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	j, err := New(td.ParentSource(), td.ChildSource(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Parallelism() < 1 {
+		t.Errorf("default parallelism %d < 1", j.Parallelism())
+	}
+	j.Close()
+
+	for name, opts := range map[string]Options{
+		"retain-window": {Parallelism: 4, RetainWindow: 50, Strategy: ExactOnly},
+		"cost-budget":   {Parallelism: 4, CostBudget: 1000},
+	} {
+		j, err := New(td.ParentSource(), td.ChildSource(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if j.Parallelism() != 1 {
+			t.Errorf("%s: parallelism %d, want sequential fallback 1", name, j.Parallelism())
+		}
+		if _, err := j.All(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestParallelStrategiesMatchSequentialCounts runs every strategy at
+// P=3 and P=1 over the same golden data and compares result sizes — a
+// cheap smoke across the full strategy surface (the adaptive count is
+// checked against bounds, not equality: switch timing differs).
+func TestParallelStrategiesMatchSequentialCounts(t *testing.T) {
+	td := goldenData(t, 21, 300)
+	exactN := len(matchSet(t, td, Options{Strategy: ExactOnly, Parallelism: 1}))
+	approxN := len(matchSet(t, td, Options{Strategy: ApproximateOnly, Parallelism: 1}))
+	if n := len(matchSet(t, td, Options{Strategy: ExactOnly, Parallelism: 3})); n != exactN {
+		t.Errorf("exact P=3: %d matches, want %d", n, exactN)
+	}
+	if n := len(matchSet(t, td, Options{Strategy: ApproximateOnly, Parallelism: 3})); n != approxN {
+		t.Errorf("approximate P=3: %d matches, want %d", n, approxN)
+	}
+	n := len(matchSet(t, td, Options{Strategy: Adaptive, Parallelism: 3}))
+	if n < exactN || n > approxN {
+		t.Errorf("adaptive P=3: %d matches outside [%d, %d]", n, exactN, approxN)
+	}
+}

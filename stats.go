@@ -1,6 +1,7 @@
 package adaptivelink
 
 import (
+	"adaptivelink/internal/adaptive"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/metrics"
 )
@@ -25,25 +26,58 @@ type Stats struct {
 	// TransitionsInto maps state name to the number of switches into it.
 	TransitionsInto map[string]int
 	// ModelledCost is the execution cost under the paper's normalised
-	// weight model (one all-exact step = 1).
+	// weight model (one all-exact step = 1). On a parallel join it
+	// models the total work across shards, including replication.
 	ModelledCost float64
+
+	// Parallelism is the shard count the join ran on (1 = sequential).
+	Parallelism int
+	// ShardSteps sums the per-shard engine step counters on a parallel
+	// join; it exceeds Steps by the replication overhead. 0 on the
+	// sequential path.
+	ShardSteps int
+	// DuplicatesSuppressed counts result pairs found by more than one
+	// shard and removed by the parallel merger. 0 on the sequential
+	// path.
+	DuplicatesSuppressed int
 }
 
-// Stats returns a snapshot of the join's counters.
+// Stats returns a snapshot of the join's counters. For a parallel join
+// the snapshot is fully consistent once the join is exhausted or
+// closed; Steps counts each input tuple once, while ShardSteps and the
+// per-state accounting sum the shard engines (and so include
+// replicated work).
 func (j *Join) Stats() Stats {
-	st := j.engine.Stats()
-	out := Stats{
-		Steps:           st.Steps,
-		LeftRead:        st.Read[0],
-		RightRead:       st.Read[1],
-		Matches:         st.Matches,
-		ExactMatches:    st.ExactMatches,
-		ApproxMatches:   st.ApproxMatches,
-		Switches:        st.Switches,
-		CatchUpTuples:   st.CatchUpTuples,
-		StepsInState:    make(map[string]int, 4),
-		TransitionsInto: make(map[string]int, 4),
+	var st join.Stats
+	out := Stats{Parallelism: j.par}
+	if j.pexec != nil {
+		ps := j.pexec.Stats()
+		st = join.Stats{
+			Steps:           ps.Read[0] + ps.Read[1],
+			Read:            ps.Read,
+			Matches:         ps.Matches,
+			ExactMatches:    ps.ExactMatches,
+			ApproxMatches:   ps.ApproxMatches,
+			StepsInState:    ps.StepsInState,
+			TransitionsInto: ps.TransitionsInto,
+			Switches:        ps.Switches,
+			CatchUpTuples:   ps.CatchUpTuples,
+		}
+		out.ShardSteps = ps.ShardSteps
+		out.DuplicatesSuppressed = ps.Duplicates
+	} else {
+		st = j.engine.Stats()
 	}
+	out.Steps = st.Steps
+	out.LeftRead = st.Read[0]
+	out.RightRead = st.Read[1]
+	out.Matches = st.Matches
+	out.ExactMatches = st.ExactMatches
+	out.ApproxMatches = st.ApproxMatches
+	out.Switches = st.Switches
+	out.CatchUpTuples = st.CatchUpTuples
+	out.StepsInState = make(map[string]int, 4)
+	out.TransitionsInto = make(map[string]int, 4)
 	for _, s := range join.AllStates {
 		out.StepsInState[s.String()] = st.StepsInState[s.Index()]
 		out.TransitionsInto[s.String()] = st.TransitionsInto[s.Index()]
@@ -71,12 +105,20 @@ type Activation struct {
 }
 
 // Activations returns the recorded control-loop trace. It is nil unless
-// Options.TraceActivations was set and the strategy is Adaptive.
+// Options.TraceActivations was set and the strategy is Adaptive. On a
+// parallel join the trace holds the aggregate (sharded) controller's
+// activations; CaughtUp is always 0 there, catch-up being accounted per
+// shard in Stats.CatchUpTuples instead.
 func (j *Join) Activations() []Activation {
-	if j.ctl == nil {
+	var acts []adaptive.Activation
+	switch {
+	case j.ctl != nil:
+		acts = j.ctl.Activations()
+	case j.sctl != nil:
+		acts = j.sctl.Activations()
+	default:
 		return nil
 	}
-	acts := j.ctl.Activations()
 	if acts == nil {
 		return nil
 	}
