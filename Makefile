@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test race bench check
+# Coverage ratchet: fail when total statement coverage drops below this.
+# Raise it (never lower it) when a PR lifts coverage.
+COVER_MIN ?= 84.0
+
+.PHONY: all build vet fmt test race bench cover check
 
 all: check
 
@@ -30,5 +34,16 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# `race` runs the whole suite, so plain `test` would be redundant here.
-check: build vet fmt race bench
+# Total statement coverage with a ratchet threshold: CI fails when a
+# change drops coverage below COVER_MIN. Runs under -race so one pass
+# of the suite yields both guarantees.
+cover:
+	$(GO) test -race -coverprofile=coverage.out -covermode=atomic ./...
+	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) '\
+		/^total:/ { sub(/%/, "", $$3); \
+			if ($$3 + 0 < min + 0) { printf "FAIL: coverage %.1f%% below ratchet %.1f%%\n", $$3, min; exit 1 } \
+			else { printf "coverage %.1f%% (ratchet %.1f%%)\n", $$3, min } }'
+
+# `cover` runs the whole suite under -race, so the `race` and `test`
+# targets would be redundant here.
+check: build vet fmt cover bench

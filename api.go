@@ -151,10 +151,14 @@ type Options struct {
 	// observations into one deficit test and broadcast switches to all
 	// shards at their quiescent points (see doc.go, Concurrency).
 	//
-	// Two features require the sequential engine's global view and
-	// force Parallelism back to 1: RetainWindow (eviction follows the
-	// global arrival order) and CostBudget (the cost model is defined
-	// on a single engine's step accounting).
+	// RetainWindow and CostBudget compose with any Parallelism: the
+	// splitter stamps every tuple with its global arrival sequence
+	// number, so each shard applies the exact sequential window filter
+	// at probe time and evicts index entries on consistent cuts, and
+	// the aggregate controller enforces the budget against a global
+	// spend counter on the same logical step clock as the sequential
+	// engine. Both features produce match sets identical to the
+	// sequential engine's (delivery order aside); see doc.go.
 	Parallelism int
 }
 
@@ -220,6 +224,12 @@ func New(left, right Source, opts Options) (*Join, error) {
 	if left == nil || right == nil {
 		return nil, fmt.Errorf("adaptivelink: nil source")
 	}
+	if opts.RetainWindow < 0 {
+		return nil, fmt.Errorf("adaptivelink: negative retain window %d (0 retains everything, positive keeps the most recent tuples per side)", opts.RetainWindow)
+	}
+	if opts.CostBudget < 0 {
+		return nil, fmt.Errorf("adaptivelink: negative cost budget %v (0 disables the budget, positive pins to exact matching once the modelled spend reaches it)", opts.CostBudget)
+	}
 	opts = opts.withDefaults()
 
 	cfg := join.Config{
@@ -243,15 +253,10 @@ func New(left, right Source, opts Options) (*Join, error) {
 
 	par := opts.Parallelism
 	if par < 0 {
-		return nil, fmt.Errorf("adaptivelink: negative parallelism %d", par)
+		return nil, fmt.Errorf("adaptivelink: negative parallelism %d (0 uses one shard per CPU, 1 the sequential engine)", par)
 	}
 	if par == 0 {
 		par = runtime.GOMAXPROCS(0)
-	}
-	if opts.RetainWindow > 0 || opts.CostBudget > 0 {
-		// Both features are defined on the sequential engine's global
-		// view; see Options.Parallelism.
-		par = 1
 	}
 
 	ls, rs := adaptSource(left), adaptSource(right)
@@ -302,6 +307,11 @@ func New(left, right Source, opts Options) (*Join, error) {
 			}
 			if opts.TraceActivations {
 				sctl.EnableTrace()
+			}
+			if opts.CostBudget > 0 {
+				if err := sctl.EnableCostBudget(metrics.PaperWeights(), opts.CostBudget); err != nil {
+					return nil, fmt.Errorf("adaptivelink: %w", err)
+				}
 			}
 			j.sctl = sctl
 			pcfg.Controller = sctl

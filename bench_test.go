@@ -574,13 +574,14 @@ func benchTestData(b *testing.B, seed int64, size int, pattern Pattern) *TestDat
 }
 
 func benchParallelJoin(b *testing.B, size, par int, strategy Strategy) {
+	benchParallelJoinOpts(b, size, Options{Strategy: strategy, Parallelism: par})
+}
+
+func benchParallelJoinOpts(b *testing.B, size int, opts Options) {
 	td := benchTestData(b, 55, size, PatternUniform)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		j, err := New(td.ParentSource(), td.ChildSource(), Options{
-			Strategy:    strategy,
-			Parallelism: par,
-		})
+		j, err := New(td.ParentSource(), td.ChildSource(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -620,6 +621,24 @@ func BenchmarkParallelAdaptive_5k_P4(b *testing.B) { benchParallelJoin(b, 5_000,
 
 func BenchmarkParallelApprox_3k_P1(b *testing.B) { benchParallelJoin(b, 3_000, 1, ApproximateOnly) }
 func BenchmarkParallelApprox_3k_P4(b *testing.B) { benchParallelJoin(b, 3_000, 4, ApproximateOnly) }
+
+// Sliding-window and cost-budget runs on the parallel path: the window
+// bounds index memory (global-clock eviction + consistent-cut
+// compaction), the budget bounds adaptive spend via the aggregated
+// counter. Compare against the corresponding unwindowed family member
+// to read the safety valves' overhead.
+func BenchmarkParallelWindowedExact_50k_P1(b *testing.B) {
+	benchParallelJoinOpts(b, 50_000, Options{Strategy: ExactOnly, Parallelism: 1, RetainWindow: 1_000})
+}
+func BenchmarkParallelWindowedExact_50k_P4(b *testing.B) {
+	benchParallelJoinOpts(b, 50_000, Options{Strategy: ExactOnly, Parallelism: 4, RetainWindow: 1_000})
+}
+func BenchmarkParallelWindowedAdaptive_5k_P4(b *testing.B) {
+	benchParallelJoinOpts(b, 5_000, Options{Strategy: Adaptive, Parallelism: 4, RetainWindow: 1_000})
+}
+func BenchmarkParallelBudgetAdaptive_5k_P4(b *testing.B) {
+	benchParallelJoinOpts(b, 5_000, Options{Strategy: Adaptive, Parallelism: 4, CostBudget: 50_000})
+}
 
 // Experiment harness entry point used by EXPERIMENTS.md at small scale
 // (the full-scale run lives in cmd/experiments).

@@ -40,6 +40,8 @@ func main() {
 		topK     = flag.Int("top", 10, "tuning configurations to print")
 		csvPath  = flag.String("csv", "", "also write the fig6/7/8 result table as CSV to this path")
 		parallel = flag.Int("parallel", 1, "shards for the adaptive runs (1 = the paper's sequential engine)")
+		window   = flag.Int("window", 0, "sliding-window retention per side (0 = retain everything); composes with -parallel")
+		budget   = flag.Float64("budget", 0, "cost budget in all-exact-step units (0 = unlimited); composes with -parallel")
 	)
 	flag.Parse()
 	if *all {
@@ -53,6 +55,8 @@ func main() {
 
 	rc := exp.DefaultRunConfig()
 	rc.Parallelism = *parallel
+	rc.Join.RetainWindow = *window
+	rc.CostBudget = *budget
 
 	if *fig5 {
 		fmt.Println(exp.Fig5Maps(*children, 72))

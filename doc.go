@@ -54,10 +54,40 @@
 // the next interval's tuples. Per-shard switching thus preserves the
 // sequential engine's quiescent-point guarantee: no shard ever changes
 // operators mid-probe, and switch-time index catch-up runs per shard
-// exactly as in §2.3.
+// exactly as in §2.3. Each merged match carries its probing tuple's
+// global dispatch position, so the controller replays the perturbation
+// windows at the exact steps a sequential controller would have
+// recorded them: observations, assessments and switch decisions are
+// identical activation-for-activation, for any W and δadapt.
 //
-// Two options force the sequential path because they are defined on the
-// global scan order: RetainWindow and CostBudget.
+// RetainWindow and CostBudget — the safety valves that bound memory and
+// cost on unbounded or hostile inputs — compose with any Parallelism:
+//
+//   - Sliding-window eviction follows the global arrival order, not
+//     shard-local arrival: the splitter stamps every tuple with its
+//     per-side arrival sequence number and the opposite side's progress,
+//     and each shard translates those stamps into the exact window floor
+//     a sequential engine would apply at that probe. The match set is
+//     therefore identical to the sequential windowed engine's at every
+//     shard count. Physical reclamation piggybacks on punctuation: at
+//     each barrier mark (or, without a controller, at eviction-only
+//     marks the splitter emits every RetainWindow dispatches) every
+//     shard drops the index entries behind its floor, so a replicated
+//     q-gram posting is evicted everywhere at the same consistent cut
+//     and index memory stays bounded at ~2·RetainWindow entries per
+//     side per shard.
+//
+//   - The cost budget is enforced against one global spend counter kept
+//     on the logical step clock: at each barrier the interval's
+//     dispatches accrue at the broadcast state's step weight and each
+//     broadcast switch accrues its transition weight, which equals the
+//     sequential engine's own modelled cost at the same step (the
+//     barrier rendezvous pins every interval to a single state). The
+//     budget therefore pins the join to exact matching at the same
+//     activation a sequential run would, and budgeted parallel match
+//     sets are golden-identical to sequential ones. The spend prices
+//     the logical scan, not the replicated shard work; Stats reports
+//     both (BudgetSpend vs ModelledCost).
 //
 // # Usage
 //

@@ -2,10 +2,12 @@ package adaptive
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
 	"adaptivelink/internal/stats"
 	"adaptivelink/internal/stream"
 )
@@ -26,23 +28,32 @@ import (
 // cut a sequential engine sees at an activation. The binomial model of
 // §3.2 therefore transfers unchanged: after n dispatched child tuples
 // the expected result size is still n·p(n) with p(n) = parentSeen/|R|.
-// Only the perturbation windows are approximated: matches merged within
-// a barrier interval are attributed to the interval's end step rather
-// than their exact interior step, a sub-δadapt coarsening of A_{t,W}.
+// The perturbation windows are exact too: each merged match carries its
+// probing tuple's global dispatch step, and Activate replays the
+// interval's matches onto the sliding windows in dispatch order at the
+// positions a sequential controller would have recorded them, so
+// A_{t,W} is identical at every activation for any W and δadapt.
 //
 // Switching is eventually consistent across shards: a broadcast switch
 // reaches shard i when its worker next calls Sync, i.e. at that shard's
-// next quiescent point, mirroring how the sequential controller defers
-// switches to the engine's quiescent points. Between broadcast and
-// application different shards may briefly run in different states —
-// which only affects which matches are found during the transition
-// window, never their correctness, exactly as the sequential engine
-// finds different matches depending on when it switches.
+// next quiescent point. The executor's barrier rendezvous holds every
+// shard at the barrier until the switch is broadcast, so all tuples of
+// the next interval are processed under the state decided at the
+// barrier — the same switch placement a sequential engine gets from
+// activating at step k·δadapt.
 //
-// The cost-budget option of the sequential controller is not supported:
-// its modelled cost is defined on a single engine's step accounting,
-// which replication distorts. Futility reverts and the calibrated
-// estimator are supported.
+// The cost budget (EnableCostBudget) is enforced against a modelled
+// global spend counter maintained on the same broadcast timeline: at
+// each barrier the interval's dispatches accrue at the broadcast
+// state's step weight, and each broadcast switch accrues its transition
+// weight. Because the barrier rendezvous pins every interval to one
+// state, this spend equals the modelled cost of the sequential engine's
+// own accounting at the same logical step — the budget trips at the
+// same activation it would sequentially. (The executor's physical
+// shard-step total exceeds it by the replication factor; the budget is
+// a statement about the logical scan, not about replicated work.)
+// Futility reverts and the calibrated estimator are supported as in the
+// sequential controller.
 type ShardedController struct {
 	params     Params
 	parentSide stream.Side
@@ -59,13 +70,23 @@ type ShardedController struct {
 	read          [2]int     // tuples dispatched per side
 	observed      int        // deduplicated matches up to the last barrier
 	win           [2]*stats.SlidingWindow
-	pendingWin    [2]int // window events since the last completed barrier
+	pendingEvents map[int]*[2]int // dispatch step -> per-side window events since the last barrier
 	pastPerturbed [2]int
 	lastBarrier   int           // dispatch step of the last emitted barrier
 	barriers      []barrierSnap // emitted but not yet completed barriers
 
 	approxSeen int
 	fut        futilityGate
+
+	// Cost budget (EnableCostBudget): seqModel is the logical
+	// (sequential-equivalent) execution — interval steps accrued in the
+	// broadcast state plus broadcast transitions — and costedStep the
+	// dispatch step up to which it has accrued.
+	budgetWeights metrics.Weights
+	budget        float64
+	hasBudget     bool
+	seqModel      join.Stats
+	costedStep    int
 
 	cal calibrator
 
@@ -102,11 +123,12 @@ func NewSharded(shards int, parentSide stream.Side, parentSize int, p Params) (*
 		return nil, fmt.Errorf("adaptive: parent size %d must be positive (or use EstimatorCalibrated)", parentSize)
 	}
 	c := &ShardedController{
-		params:     p,
-		parentSide: parentSide,
-		parentSize: parentSize,
-		state:      join.LexRex,
-		applied:    make([]uint64, shards),
+		params:        p,
+		parentSide:    parentSide,
+		parentSize:    parentSize,
+		state:         join.LexRex,
+		pendingEvents: make(map[int]*[2]int),
+		applied:       make([]uint64, shards),
 	}
 	// Sentinel: every shard's first Sync takes the slow path and snaps
 	// the engine to the controller's state, so a shard configured with
@@ -124,6 +146,22 @@ func NewSharded(shards int, parentSide stream.Side, parentSize int, p Params) (*
 // them with Activations. Call before the join starts.
 func (c *ShardedController) EnableTrace() { c.keepTrace = true }
 
+// EnableCostBudget arms the §4.4 user-controlled trade-off on the
+// aggregate loop, mirroring the sequential WithCostBudget option: once
+// the modelled spend of the logical scan reaches budget (in the weight
+// model's units, one all-exact step = 1), the responder pins every
+// shard to lex/rex. Call before the join starts.
+func (c *ShardedController) EnableCostBudget(w metrics.Weights, budget float64) error {
+	if err := w.Validate(); err != nil {
+		return fmt.Errorf("adaptive: cost budget: %w", err)
+	}
+	if budget <= 0 {
+		return fmt.Errorf("adaptive: cost budget %v must be positive", budget)
+	}
+	c.budgetWeights, c.budget, c.hasBudget = w, budget, true
+	return nil
+}
+
 // Params returns the controller's thresholds.
 func (c *ShardedController) Params() Params { return c.params }
 
@@ -133,6 +171,20 @@ func (c *ShardedController) State() join.State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.state
+}
+
+// Spend returns the modelled sequential-equivalent cost accrued up to
+// the last completed barrier — the global spend counter a cost budget
+// is enforced against. Without EnableCostBudget it is priced under the
+// paper's weights.
+func (c *ShardedController) Spend() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.budgetWeights
+	if !c.hasBudget {
+		w = metrics.PaperWeights()
+	}
+	return metrics.Cost(c.seqModel, w).Total
 }
 
 // Activations returns the recorded trace (nil unless EnableTrace was
@@ -162,10 +214,11 @@ func (c *ShardedController) NoteDispatch(side stream.Side) bool {
 }
 
 // NoteMatch implements pjoin.Controller: it feeds the aggregate result
-// size and, for non-exact matches, the per-side perturbation windows.
-// The merger calls it in barrier-consistent order, so by the time
-// Activate fires the counters cover exactly the barrier's dispatches.
-func (c *ShardedController) NoteMatch(exact bool, attr join.Attribution) {
+// size and, for non-exact matches, buffers the per-side perturbation
+// events keyed by the probe's global dispatch step. The merger calls it
+// in barrier-consistent order, so by the time Activate fires the
+// counters cover exactly the barrier's dispatches.
+func (c *ShardedController) NoteMatch(step int, exact bool, attr join.Attribution) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.observed++
@@ -173,18 +226,24 @@ func (c *ShardedController) NoteMatch(exact bool, attr join.Attribution) {
 		return
 	}
 	c.approxSeen++
+	ev := c.pendingEvents[step]
+	if ev == nil {
+		ev = new([2]int)
+		c.pendingEvents[step] = ev
+	}
 	if attr.Blames(stream.Left) {
-		c.pendingWin[stream.Left]++
+		ev[stream.Left]++
 	}
 	if attr.Blames(stream.Right) {
-		c.pendingWin[stream.Right]++
+		ev[stream.Right]++
 	}
 }
 
 // Activate implements pjoin.Controller: the merger calls it when every
 // shard has echoed the oldest outstanding barrier. It consumes that
-// barrier's snapshot and runs one monitor → assess → respond pass over
-// the consistent cut.
+// barrier's snapshot, replays the interval's window events at their
+// exact dispatch positions, and runs one monitor → assess → respond
+// pass over the consistent cut.
 func (c *ShardedController) Activate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -195,10 +254,30 @@ func (c *ShardedController) Activate() {
 	}
 	snap := c.barriers[0]
 	c.barriers = c.barriers[1:]
+	// Replay in dispatch order. A sequential controller records a match
+	// of dispatch step s while its window still sits at position s-1
+	// (the window advances after the step completes), so the replay
+	// lands every event at the identical position and A_{t,W} matches
+	// the sequential count exactly, for any W and δadapt.
+	if len(c.pendingEvents) > 0 {
+		steps := make([]int, 0, len(c.pendingEvents))
+		for s := range c.pendingEvents {
+			steps = append(steps, s)
+		}
+		sort.Ints(steps)
+		for _, s := range steps {
+			ev := c.pendingEvents[s]
+			for _, side := range []stream.Side{stream.Left, stream.Right} {
+				if ev[side] > 0 {
+					c.win[side].AdvanceTo(s - 1)
+					c.win[side].Record(ev[side])
+				}
+			}
+		}
+		clear(c.pendingEvents)
+	}
 	for _, side := range []stream.Side{stream.Left, stream.Right} {
 		c.win[side].AdvanceTo(snap.step)
-		c.win[side].Record(c.pendingWin[side])
-		c.pendingWin[side] = 0
 	}
 	c.activateLocked(snap)
 }
@@ -256,14 +335,27 @@ func (c *ShardedController) activateLocked(snap barrierSnap) {
 		c.pastPerturbed[stream.Right]++
 	}
 
+	// Accrue the logical spend through this barrier — the interval's
+	// dispatches all ran under the current broadcast state thanks to
+	// the executor's barrier rendezvous — before the budget verdict,
+	// exactly as the sequential responder prices the engine's stats
+	// including the activation step itself.
+	c.seqModel.StepsInState[c.state.Index()] += snap.step - c.costedStep
+	c.seqModel.Steps = snap.step
+	c.costedStep = snap.step
+	overBudget := false
+	if c.hasBudget {
+		overBudget = metrics.Cost(c.seqModel, c.budgetWeights).Total >= c.budget
+	}
+
 	from := c.state
-	// The shared responder, without a cost budget (unsupported here —
-	// see the type comment).
-	to, forced := c.fut.respond(c.params, from, a, c.approxSeen, false)
+	to, forced := c.fut.respond(c.params, from, a, c.approxSeen, overBudget)
 	if to != from {
 		c.state = to
 		c.gen.Add(1)
 		c.fut.noteSwitch()
+		c.seqModel.TransitionsInto[to.Index()]++
+		c.seqModel.Switches++
 	}
 	if c.keepTrace {
 		c.trace = append(c.trace, Activation{

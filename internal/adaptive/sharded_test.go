@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
 	"adaptivelink/internal/pjoin"
 	"adaptivelink/internal/relation"
 	"adaptivelink/internal/stream"
@@ -161,5 +162,108 @@ func TestShardedSingleShardDegenerate(t *testing.T) {
 	exact := join.NestedLoopExact(parent, child)
 	if len(ms) <= len(exact) {
 		t.Errorf("P=1 adaptive found %d matches, exact baseline %d — no gain", len(ms), len(exact))
+	}
+}
+
+// runShardedBudget is runSharded with a cost budget armed.
+func runShardedBudget(t *testing.T, parent, child *relation.Relation, p Params, shards int, budget float64) (*ShardedController, pjoin.Stats, []pjoin.Match) {
+	t.Helper()
+	ctl, err := NewSharded(shards, stream.Left, parent.Len(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.EnableTrace()
+	if err := ctl.EnableCostBudget(metrics.PaperWeights(), budget); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := pjoin.New(pjoin.Config{Join: join.Defaults(), Shards: shards, Controller: ctl},
+		stream.FromRelation(parent), stream.FromRelation(child))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var ms []pjoin.Match
+	for {
+		m, ok, err := ex.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		ms = append(ms, m)
+	}
+	st := ex.Stats()
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ctl, st, ms
+}
+
+func TestShardedCostBudgetValidation(t *testing.T) {
+	ctl, err := NewSharded(2, stream.Left, 10, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.EnableCostBudget(metrics.PaperWeights(), 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if err := ctl.EnableCostBudget(metrics.PaperWeights(), -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if err := ctl.EnableCostBudget(metrics.Weights{}, 100); err == nil {
+		t.Error("invalid weights accepted")
+	}
+	if err := ctl.EnableCostBudget(metrics.PaperWeights(), 100); err != nil {
+		t.Errorf("valid budget rejected: %v", err)
+	}
+}
+
+// TestShardedBudgetTripsLikeSequential is the decision-parity check for
+// the aggregated spend counter: over the same scenario and thresholds,
+// the sharded controller's trace — every activation's observation,
+// σ/µ verdicts, from/to states and forced overrides, budget pin
+// included — must be identical to the sequential controller's, because
+// the logical spend accrues on the same step clock.
+func TestShardedBudgetTripsLikeSequential(t *testing.T) {
+	parent, child := buildScenario(17, 500, 50, 200) // heavy perturbation
+	w := metrics.PaperWeights()
+	const budget = 3000.0
+
+	_, seqCtl := runWithOpts(t, parent, child, testParams(), WithCostBudget(w, budget))
+	for _, shards := range []int{2, 4} {
+		ctl, _, _ := runShardedBudget(t, parent, child, testParams(), shards, budget)
+		seqActs, parActs := seqCtl.Activations(), ctl.Activations()
+		if len(seqActs) != len(parActs) {
+			t.Fatalf("P=%d: %d activations, sequential %d", shards, len(parActs), len(seqActs))
+		}
+		sawBudget := false
+		for i := range seqActs {
+			s, p := seqActs[i], parActs[i]
+			if s.Observation != p.Observation {
+				t.Errorf("P=%d activation %d: observation %+v, sequential %+v", shards, i, p.Observation, s.Observation)
+			}
+			if s.Assessment != p.Assessment {
+				t.Errorf("P=%d activation %d: assessment %+v, sequential %+v", shards, i, p.Assessment, s.Assessment)
+			}
+			if s.From != p.From || s.To != p.To || s.Forced != p.Forced {
+				t.Errorf("P=%d activation %d: decision %v->%v (%q), sequential %v->%v (%q)",
+					shards, i, p.From, p.To, p.Forced, s.From, s.To, s.Forced)
+			}
+			if p.Forced == "budget" {
+				sawBudget = true
+			}
+		}
+		if !sawBudget {
+			t.Fatalf("P=%d: budget never engaged", shards)
+		}
+		if got := ctl.State(); got != join.LexRex {
+			t.Errorf("P=%d: final broadcast state %v, want lex/rex", shards, got)
+		}
+		if sp := ctl.Spend(); sp < budget {
+			t.Errorf("P=%d: final spend %v below the budget it tripped", shards, sp)
+		}
 	}
 }

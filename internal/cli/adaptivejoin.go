@@ -26,7 +26,8 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		strategy  = fs.String("strategy", "adaptive", "adaptive, exact or approximate")
 		theta     = fs.Float64("theta", 0.75, "similarity threshold θsim")
 		q         = fs.Int("q", 3, "q-gram width")
-		budget    = fs.Float64("budget", 0, "cost budget in all-exact-step units (0 = unlimited)")
+		budget    = fs.Float64("budget", 0, "cost budget in all-exact-step units (0 = unlimited); composes with -parallel")
+		window    = fs.Int("window", 0, "sliding-window retention per side (0 = retain everything); composes with -parallel")
 		parallel  = fs.Int("parallel", 1, "shard count (1 = sequential engine with stable output order, 0 = one per CPU; >1 delivers rows in nondeterministic order)")
 		normalise = fs.Bool("normalize", false, "normalise join keys (case, accents, punctuation, whitespace)")
 		trace     = fs.Bool("trace", false, "print control-loop activations to stderr")
@@ -41,7 +42,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, TraceActivations: *trace, Parallelism: *parallel}
+	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, RetainWindow: *window, TraceActivations: *trace, Parallelism: *parallel}
 	switch *strategy {
 	case "adaptive":
 		opts.Strategy = adaptivelink.Adaptive
@@ -112,6 +113,13 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		if st.Parallelism > 1 {
 			fmt.Fprintf(stderr, "parallelism: %d shards, %d shard steps (replication ×%.2f), %d duplicate pairs suppressed\n",
 				st.Parallelism, st.ShardSteps, float64(st.ShardSteps)/float64(max(st.Steps, 1)), st.DuplicatesSuppressed)
+		}
+		if *window > 0 {
+			fmt.Fprintf(stderr, "window: %d tuples retained per side, %d evicted, %d index entries dropped\n",
+				*window, st.TuplesEvicted, st.IndexEntriesDropped)
+		}
+		if *budget > 0 {
+			fmt.Fprintf(stderr, "budget: %.0f units, modelled spend %.0f\n", *budget, st.BudgetSpend)
 		}
 		names := make([]string, 0, len(st.StepsInState))
 		for name := range st.StepsInState {

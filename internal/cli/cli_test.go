@@ -215,3 +215,33 @@ func TestAdaptiveJoinParallel(t *testing.T) {
 		t.Fatalf("adaptive parallel exit %d: %s", code, errb)
 	}
 }
+
+func TestAdaptiveJoinWindowBudgetParallel(t *testing.T) {
+	pOut, cOut := genPair(t)
+	// -window and -budget now compose with -parallel; windowed parallel
+	// output must match windowed sequential output row-for-row (exact
+	// strategy: strict parity, order-insensitive by construction of the
+	// dataset's unique rows).
+	_, seqOut, _ := runJoin(t, "-left", pOut, "-right", cOut, "-strategy", "exact", "-stats=false", "-window", "80", "-parallel", "1")
+	code, parOut, errb := runJoin(t, "-left", pOut, "-right", cOut, "-strategy", "exact", "-window", "80", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if seqN, parN := strings.Count(seqOut, "\n"), strings.Count(parOut, "\n"); seqN != parN {
+		t.Errorf("windowed parallel returned %d rows, sequential %d", parN, seqN)
+	}
+	if !strings.Contains(errb, "window: 80 tuples retained") {
+		t.Errorf("stats missing window block:\n%s", errb)
+	}
+	// Budgeted adaptive on shards: runnable end to end, spend reported.
+	code, _, errb = runJoin(t, "-left", pOut, "-right", cOut, "-strategy", "adaptive", "-budget", "2000", "-parallel", "4")
+	if code != 0 {
+		t.Fatalf("budgeted parallel exit %d: %s", code, errb)
+	}
+	if !strings.Contains(errb, "modelled spend") {
+		t.Errorf("stats missing budget block:\n%s", errb)
+	}
+	if code, _, _ := runJoin(t, "-left", pOut, "-right", cOut, "-window", "-3"); code != 1 {
+		t.Error("negative window accepted")
+	}
+}

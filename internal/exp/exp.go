@@ -53,8 +53,16 @@ type RunConfig struct {
 	// Parallelism shards the adaptive run across this many concurrent
 	// engines with an aggregate control loop (internal/pjoin); 0 or 1
 	// keeps the paper's sequential engine. The baselines always run
-	// sequentially — they anchor r and R.
+	// sequentially — they anchor r and R. Join.RetainWindow and
+	// CostBudget compose with any Parallelism: windowed shards evict
+	// against the global scan clock and the budget is enforced on the
+	// aggregated spend counter, so the adaptive result is identical to
+	// the sequential engine's.
 	Parallelism int
+	// CostBudget, when positive, pins the adaptive run to exact
+	// matching once the modelled spend (under Weights) reaches it — the
+	// §4.4 user-controlled trade-off. 0 disables it.
+	CostBudget float64
 }
 
 // DefaultRunConfig returns the paper's best settings (§4.2) with the
@@ -154,6 +162,11 @@ func RunCase(tc TestCase, rc RunConfig) (*Result, error) {
 		if rc.Trace {
 			ctl.EnableTrace()
 		}
+		if rc.CostBudget > 0 {
+			if err := ctl.EnableCostBudget(rc.Weights, rc.CostBudget); err != nil {
+				return nil, err
+			}
+		}
 		ex, err := pjoin.New(pjoin.Config{Join: rc.Join, Shards: rc.Parallelism, Controller: ctl},
 			stream.FromRelation(ds.Parent), stream.FromRelation(ds.Child))
 		if err != nil {
@@ -172,15 +185,17 @@ func RunCase(tc TestCase, rc RunConfig) (*Result, error) {
 		// the scan length, and the §4.4 cost checks then report the
 		// genuine replication overhead of the parallel run.
 		res.AdaptiveStats = join.Stats{
-			Steps:           ps.ShardSteps,
-			Read:            ps.Read,
-			Matches:         ps.Matches,
-			ExactMatches:    ps.ExactMatches,
-			ApproxMatches:   ps.ApproxMatches,
-			StepsInState:    ps.StepsInState,
-			TransitionsInto: ps.TransitionsInto,
-			Switches:        ps.Switches,
-			CatchUpTuples:   ps.CatchUpTuples,
+			Steps:               ps.ShardSteps,
+			Read:                ps.Read,
+			Matches:             ps.Matches,
+			ExactMatches:        ps.ExactMatches,
+			ApproxMatches:       ps.ApproxMatches,
+			StepsInState:        ps.StepsInState,
+			TransitionsInto:     ps.TransitionsInto,
+			Switches:            ps.Switches,
+			CatchUpTuples:       ps.CatchUpTuples,
+			Evicted:             ps.Evicted,
+			IndexEntriesDropped: ps.IndexEntriesDropped,
 		}
 		res.Activations = ctl.Activations()
 	} else {
@@ -191,6 +206,9 @@ func RunCase(tc TestCase, rc RunConfig) (*Result, error) {
 		var opts []adaptive.Option
 		if rc.Trace {
 			opts = append(opts, adaptive.WithTrace())
+		}
+		if rc.CostBudget > 0 {
+			opts = append(opts, adaptive.WithCostBudget(rc.Weights, rc.CostBudget))
 		}
 		ctl, err := adaptive.Attach(e, stream.Left, ds.Parent.Len(), rc.Params, opts...)
 		if err != nil {

@@ -343,3 +343,34 @@ func TestRunCaseParallel(t *testing.T) {
 		t.Errorf("relative gain %v outside [0,1]", res.GainCost.Grel)
 	}
 }
+
+func TestRunCaseParallelWindowBudget(t *testing.T) {
+	// The safety valves compose with sharding in the harness: a
+	// windowed, budgeted, 4-shard adaptive run must return exactly the
+	// sequential engine's result size under the same knobs (the parity
+	// the executor's sequence stamps and the aggregated spend counter
+	// guarantee), and stay within the unwindowed baselines.
+	cases := PaperTestCases(5, 400, 400)
+	rc := DefaultRunConfig()
+	rc.Join.RetainWindow = 150
+	rc.CostBudget = 5_000
+	rc.Parallelism = 1
+	seq, err := RunCase(cases[4], rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Parallelism = 4
+	par, err := RunCase(cases[4], rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.RAbs != seq.RAbs {
+		t.Errorf("windowed+budgeted parallel result %d, sequential %d", par.RAbs, seq.RAbs)
+	}
+	if par.RAbs > par.RApx {
+		t.Errorf("windowed result %d above the unwindowed approximate ceiling %d", par.RAbs, par.RApx)
+	}
+	if par.AdaptiveStats.Evicted[0]+par.AdaptiveStats.Evicted[1] == 0 {
+		t.Error("no evictions recorded on the windowed parallel run")
+	}
+}

@@ -23,6 +23,7 @@ import (
 type ExactIndex struct {
 	buckets map[string][]int
 	indexed int
+	entries int // live entries: indexed minus evicted
 }
 
 // NewExactIndex returns an empty exact index.
@@ -39,6 +40,7 @@ func (x *ExactIndex) Insert(ref int, key string) {
 	}
 	x.buckets[key] = append(x.buckets[key], ref)
 	x.indexed++
+	x.entries++
 }
 
 // Lookup returns the refs of all tuples whose key equals key. The
@@ -47,8 +49,12 @@ func (x *ExactIndex) Lookup(key string) []int {
 	return x.buckets[key]
 }
 
-// Indexed returns how many tuples of the side have been absorbed.
+// Indexed returns how many tuples of the side have been absorbed (the
+// dense insertion clock; eviction does not rewind it).
 func (x *ExactIndex) Indexed() int { return x.indexed }
+
+// Entries returns the number of live entries: insertions minus evicted.
+func (x *ExactIndex) Entries() int { return x.entries }
 
 // CatchUp absorbs keys[Indexed():], bringing the index up to date with a
 // side whose tuples have the given join keys, and returns the number of
@@ -61,6 +67,38 @@ func (x *ExactIndex) CatchUp(keys []string) int {
 	return len(keys) - start
 }
 
+// evictPrefix removes every ref below minRef from each bucket of a
+// ref-list map. Dense insertion keeps the lists sorted ascending, so
+// eviction is a prefix cut per list; emptied lists are deleted and
+// surviving tails are copied so the evicted prefixes become garbage
+// immediately. Returns the number of entries dropped.
+func evictPrefix(buckets map[string][]int, minRef int) int {
+	dropped := 0
+	for key, refs := range buckets {
+		cut := sort.SearchInts(refs, minRef)
+		if cut == 0 {
+			continue
+		}
+		dropped += cut
+		if cut == len(refs) {
+			delete(buckets, key)
+			continue
+		}
+		buckets[key] = append([]int(nil), refs[cut:]...)
+	}
+	return dropped
+}
+
+// EvictBelow physically removes every entry whose ref is below minRef,
+// returning the number of entries dropped. Indexed() is unchanged:
+// eviction frees memory but does not rewind the dense insertion clock,
+// so Insert and CatchUp keep working after evictions.
+func (x *ExactIndex) EvictBelow(minRef int) int {
+	dropped := evictPrefix(x.buckets, minRef)
+	x.entries -= dropped
+	return dropped
+}
+
 // Buckets returns the number of distinct key values indexed.
 func (x *ExactIndex) Buckets() int { return len(x.buckets) }
 
@@ -70,7 +108,7 @@ func (x *ExactIndex) AvgBucketLen() float64 {
 	if len(x.buckets) == 0 {
 		return 0
 	}
-	return float64(x.indexed) / float64(len(x.buckets))
+	return float64(x.entries) / float64(len(x.buckets))
 }
 
 // Candidate is a probe result: a stored tuple sharing Overlap distinct
@@ -127,6 +165,17 @@ func (x *QGramIndex) CatchUp(keys []string) int {
 		x.Insert(ref, keys[ref])
 	}
 	return len(keys) - start
+}
+
+// EvictBelow physically removes every posting whose ref is below
+// minRef, returning the number of postings dropped. The per-ref gram
+// sizes are retained (an int per absorbed tuple — the same footprint as
+// the engine's key store), and Indexed() is unchanged so Insert and
+// CatchUp keep working after evictions.
+func (x *QGramIndex) EvictBelow(minRef int) int {
+	dropped := evictPrefix(x.postings, minRef)
+	x.entries -= dropped
+	return dropped
 }
 
 // GramSize returns |q(key)| for the stored tuple at ref.

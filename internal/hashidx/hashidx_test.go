@@ -249,3 +249,69 @@ func TestProbeDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestExactIndexEvictBelow(t *testing.T) {
+	x := NewExactIndex()
+	for i, k := range []string{"rome", "milan", "rome", "turin", "rome"} {
+		x.Insert(i, k)
+	}
+	if got := x.EvictBelow(3); got != 3 { // rome:0, milan:1, rome:2
+		t.Errorf("EvictBelow(3) dropped %d entries, want 3", got)
+	}
+	if got := x.Lookup("rome"); !reflect.DeepEqual(got, []int{4}) {
+		t.Errorf("Lookup(rome) after eviction = %v, want [4]", got)
+	}
+	if got := x.Lookup("milan"); len(got) != 0 {
+		t.Errorf("emptied bucket survived: %v", got)
+	}
+	if x.Indexed() != 5 {
+		t.Errorf("Indexed changed to %d, want 5 (eviction must not rewind the insertion clock)", x.Indexed())
+	}
+	// Dense insertion continues after eviction.
+	x.Insert(5, "milan")
+	if got := x.Lookup("milan"); !reflect.DeepEqual(got, []int{5}) {
+		t.Errorf("post-eviction Insert broken: %v", got)
+	}
+	// Idempotent: nothing below the floor remains.
+	if got := x.EvictBelow(3); got != 0 {
+		t.Errorf("second EvictBelow(3) dropped %d", got)
+	}
+}
+
+func TestQGramIndexEvictBelow(t *testing.T) {
+	x := newQIdx()
+	keys := []string{"monte rosa", "monte bianco", "gran paradiso"}
+	for i, k := range keys {
+		x.Insert(i, k)
+	}
+	before := x.Entries()
+	dropped := x.EvictBelow(2)
+	if dropped <= 0 {
+		t.Fatalf("EvictBelow(2) dropped %d entries", dropped)
+	}
+	if got := x.Entries(); got != before-dropped {
+		t.Errorf("Entries = %d, want %d", got, before-dropped)
+	}
+	// Probing the evicted keys must surface only live refs.
+	for _, k := range keys[:2] {
+		for _, c := range x.Probe(k, 1) {
+			if c.Ref < 2 {
+				t.Errorf("probe %q returned evicted ref %d", k, c.Ref)
+			}
+		}
+	}
+	// The survivor still probes fine and gram sizes are retained.
+	if got := x.Probe("gran paradiso", 2); len(got) != 1 || got[0].Ref != 2 {
+		t.Errorf("live ref lost after eviction: %v", got)
+	}
+	if x.GramSize(0) == 0 {
+		t.Error("gram-size bookkeeping lost for evicted ref")
+	}
+	if x.Indexed() != 3 {
+		t.Errorf("Indexed changed to %d", x.Indexed())
+	}
+	// CatchUp keeps working from the insertion clock.
+	if n := x.CatchUp([]string{"monte rosa", "monte bianco", "gran paradiso", "cervino"}); n != 1 {
+		t.Errorf("CatchUp inserted %d, want 1", n)
+	}
+}

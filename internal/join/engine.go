@@ -38,6 +38,12 @@ type Stats struct {
 	// CatchUpTuples is the total number of tuple insertions performed by
 	// switch-time index catch-ups (the switch overhead driver of §2.3).
 	CatchUpTuples int
+	// Evicted counts tuples evicted from the sliding window per side
+	// (payload released, excluded from future probes).
+	Evicted [2]int
+	// IndexEntriesDropped counts index entries (exact refs plus q-gram
+	// postings) physically removed by eviction compaction.
+	IndexEntriesDropped int
 }
 
 // Engine is the hybrid switchable symmetric join operator. It implements
@@ -66,8 +72,13 @@ type Engine struct {
 	ex    *qgram.Extractor
 
 	// minLive[s] is the oldest live (non-evicted) ref of side s under
-	// sliding-window retention; 0 when RetainWindow is unset.
+	// sliding-window retention; 0 when RetainWindow is unset. Advanced
+	// by EvictBelow — either from the engine's own RetainWindow logic or
+	// by an external driver that owns the global scan order.
 	minLive [2]int
+	// compacted[s] is the floor up to which side s's index entries have
+	// been physically dropped; compaction lags minLive and is amortised.
+	compacted [2]int
 
 	state   State
 	pending []Match
@@ -154,7 +165,7 @@ func (e *Engine) Space() SpaceEstimate {
 	var s SpaceEstimate
 	for _, side := range []stream.Side{stream.Left, stream.Right} {
 		s.Tuples[side] = len(e.store[side])
-		s.ExactEntries[side] = e.exIdx[side].Indexed()
+		s.ExactEntries[side] = e.exIdx[side].Entries()
 		s.QGramEntries[side] = e.qgIdx[side].Entries()
 	}
 	return s
@@ -168,6 +179,59 @@ func (e *Engine) StoredTuple(side stream.Side, i int) relation.Tuple {
 // MatchedFlag reports whether the i-th stored tuple of side has ever
 // matched exactly.
 func (e *Engine) MatchedFlag(side stream.Side, i int) bool { return e.flags[side][i] }
+
+// LiveFloor returns the oldest live (non-evicted) ref of side: probes
+// skip stored tuples below it. 0 when nothing has been evicted.
+func (e *Engine) LiveFloor(side stream.Side) int { return e.minLive[side] }
+
+// EvictBelow advances side's live floor to ref: stored tuples below the
+// floor leave the match scope — every subsequent probe skips them — and
+// their payloads are released. The floor is monotonic (a smaller ref is
+// a no-op) and clamped to the store length. It returns the number of
+// tuples newly evicted.
+//
+// This is the engine's evictor hook. On the sequential path the
+// engine's own RetainWindow logic drives it, one call per arriving
+// tuple; external drivers that own the global scan order — the
+// partition-parallel executor, which translates global arrival
+// sequence numbers into shard-local floors — drive it directly and
+// leave Config.RetainWindow unset on the engine.
+func (e *Engine) EvictBelow(side stream.Side, ref int) int {
+	if ref > len(e.store[side]) {
+		ref = len(e.store[side])
+	}
+	n := 0
+	for e.minLive[side] < ref {
+		e.store[side][e.minLive[side]].Attrs = nil
+		e.minLive[side]++
+		n++
+	}
+	e.stats.Evicted[side] += n
+	return n
+}
+
+// CompactEvicted physically drops the index entries of evicted tuples
+// on both sides — exact refs and q-gram postings below the live floors
+// — returning the number of entries removed. Compaction never changes
+// the match set (probes already skip evicted refs); it reclaims the
+// memory the floor made dead. The sequential engine calls it
+// periodically from its RetainWindow logic; the partition-parallel
+// executor calls it on barrier punctuation so every shard drops a
+// replicated posting at the same consistent cut.
+func (e *Engine) CompactEvicted() int {
+	dropped := 0
+	for _, side := range []stream.Side{stream.Left, stream.Right} {
+		fl := e.minLive[side]
+		if fl == e.compacted[side] {
+			continue
+		}
+		dropped += e.exIdx[side].EvictBelow(fl)
+		dropped += e.qgIdx[side].EvictBelow(fl)
+		e.compacted[side] = fl
+	}
+	e.stats.IndexEntriesDropped += dropped
+	return dropped
+}
 
 // Open implements iterator.Operator.
 func (e *Engine) Open() error { return e.lc.CheckOpen() }
@@ -242,11 +306,14 @@ func (e *Engine) processTuple(side stream.Side, t relation.Tuple) {
 	e.flags[side] = append(e.flags[side], false)
 	e.stats.Read[side]++
 	if w := e.cfg.RetainWindow; w > 0 {
-		for len(e.store[side])-e.minLive[side] > w {
-			// Evict the oldest tuple: release its payload; its key stays
-			// behind as an index tombstone that probes skip.
-			e.store[side][e.minLive[side]].Attrs = nil
-			e.minLive[side]++
+		// Evict everything older than the most recent w arrivals of this
+		// side: payloads released, probes skip the evicted refs.
+		e.EvictBelow(side, len(e.store[side])-w)
+		if e.minLive[side]-e.compacted[side] >= w {
+			// Amortised index compaction: at most one full window of dead
+			// entries per side, so index memory is bounded by ~2w entries
+			// instead of growing with stream length.
+			e.CompactEvicted()
 		}
 	}
 

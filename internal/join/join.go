@@ -198,11 +198,12 @@ type Config struct {
 	// semantics for unbounded streams (Kang et al., which the paper
 	// builds on for asymmetric operator combinations): a new tuple
 	// matches only the most recent RetainWindow tuples of the opposite
-	// side, and evicted tuples' payloads are released. 0 (default)
-	// retains everything — the paper's finite-table setting. Note that
-	// per-tuple index bookkeeping still grows with stream length; the
-	// window bounds live match state and payload memory, not the
-	// tombstoned index skeleton.
+	// side, evicted tuples' payloads are released, and their index
+	// entries are dropped by amortised compaction (Engine.EvictBelow /
+	// CompactEvicted), bounding index memory at ~2·RetainWindow entries
+	// per side. 0 (default) retains everything — the paper's
+	// finite-table setting. A small per-tuple residue (key string and
+	// gram-size bookkeeping) still grows with stream length.
 	RetainWindow int
 }
 

@@ -131,3 +131,105 @@ func TestWindowSurvivesSwitches(t *testing.T) {
 		}
 	}
 }
+
+func TestEvictBelowHook(t *testing.T) {
+	// External drivers (the partition-parallel executor) drive eviction
+	// directly against an engine with RetainWindow unset.
+	left := relation.FromKeys("L",
+		"target location alpha beta", "filler location one xx", "filler location two xx")
+	right := relation.FromKeys("R", "target location alpha beta")
+	e := mkEngine(t, Defaults(), left, right)
+	if err := e.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(stream.Left, left.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(stream.Left, left.At(1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.EvictBelow(stream.Left, 1); n != 1 {
+		t.Fatalf("EvictBelow evicted %d, want 1", n)
+	}
+	if got := e.LiveFloor(stream.Left); got != 1 {
+		t.Fatalf("LiveFloor = %d, want 1", got)
+	}
+	// Monotonic: a smaller floor is a no-op.
+	if n := e.EvictBelow(stream.Left, 0); n != 0 || e.LiveFloor(stream.Left) != 1 {
+		t.Errorf("EvictBelow went backwards: n=%d floor=%d", n, e.LiveFloor(stream.Left))
+	}
+	// Clamped to the store length.
+	if n := e.EvictBelow(stream.Left, 99); n != 1 || e.LiveFloor(stream.Left) != 2 {
+		t.Errorf("EvictBelow clamp: n=%d floor=%d, want 1, 2", n, e.LiveFloor(stream.Left))
+	}
+	// The probing right tuple must not match the evicted left ref 0.
+	if err := e.Push(stream.Right, right.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	if ms := e.TakePending(); len(ms) != 0 {
+		t.Errorf("probe matched evicted tuples: %v", ms)
+	}
+	st := e.Stats()
+	if st.Evicted[stream.Left] != 2 {
+		t.Errorf("Stats.Evicted = %v, want 2 left evictions", st.Evicted)
+	}
+	e.Close()
+}
+
+func TestWindowCompactsIndexes(t *testing.T) {
+	// The sequential window drops evicted index entries by amortised
+	// compaction, bounding index memory instead of growing a tombstone
+	// skeleton with stream length.
+	left := relation.New("L", relation.NewSchema("key"))
+	for i := 0; i < 60; i++ {
+		left.Append(uniqueKey(i, "LEFT"))
+	}
+	right := relation.FromKeys("R", "no match here at all")
+	cfg := Defaults()
+	cfg.RetainWindow = 5
+	e := mkEngine(t, cfg, left, right)
+	run(t, e)
+	st := e.Stats()
+	if st.Evicted[stream.Left] == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if st.IndexEntriesDropped == 0 {
+		t.Fatal("no index entries dropped")
+	}
+	sp := e.Space()
+	// At most ~2w live-plus-dead exact entries may remain on the left.
+	if sp.ExactEntries[stream.Left] > 2*cfg.RetainWindow {
+		t.Errorf("exact index kept %d entries, window is %d", sp.ExactEntries[stream.Left], cfg.RetainWindow)
+	}
+}
+
+func TestCompactEvictedPreservesMatches(t *testing.T) {
+	// Compaction must never change the match set: run the windowed
+	// approximate scenario with compaction forced at every step and
+	// compare against the plain windowed engine.
+	mk := func(force bool) []Match {
+		left := relation.FromKeys("L",
+			"monte rosa vetta alpina", "filler uno due tre qua",
+			"filler quattro cinque sei", "monte rosa vetta alpinb")
+		right := relation.FromKeys("R",
+			"zzz yyy xxx www unmatched", "monte rosa vetta alpinx",
+			"monte rosa vetta alpiny", "monte rosa vetta alpinz")
+		cfg := Defaults()
+		cfg.RetainWindow = 2
+		cfg.Initial = LapRap
+		e := mkEngine(t, cfg, left, right)
+		if force {
+			e.OnStep = func(en *Engine) { en.CompactEvicted() }
+		}
+		return run(t, e)
+	}
+	plain, forced := mk(false), mk(true)
+	if len(plain) != len(forced) {
+		t.Fatalf("compaction changed the match set: %d vs %d matches", len(plain), len(forced))
+	}
+	for i := range plain {
+		if plain[i] != forced[i] {
+			t.Errorf("match %d differs: %+v vs %+v", i, plain[i], forced[i])
+		}
+	}
+}

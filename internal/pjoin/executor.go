@@ -33,8 +33,12 @@ type Controller interface {
 	// mark behind this tuple.
 	NoteDispatch(side stream.Side) (barrier bool)
 	// NoteMatch observes one deduplicated result pair, in
-	// barrier-consistent order.
-	NoteMatch(exact bool, attr join.Attribution)
+	// barrier-consistent order. step is the probing tuple's global
+	// dispatch position (1-based) — the step a sequential engine would
+	// have found the pair at — so the controller can attribute the match
+	// to its exact position on the dispatch clock even though merge
+	// order within a barrier interval is nondeterministic.
+	NoteMatch(step int, exact bool, attr join.Attribution)
 	// Activate fires when a barrier has been echoed by every shard: the
 	// controller's counters now describe a consistent cut of the join.
 	Activate()
@@ -83,6 +87,10 @@ type Match struct {
 	Shard int
 	// Step is the computing shard's local step count at probe time.
 	Step int
+	// DispatchStep is the probing tuple's global dispatch position
+	// (1-based): the step at which a sequential engine scanning in the
+	// same order would have probed this pair.
+	DispatchStep int
 }
 
 // Stats aggregates the executor's counters. Per-shard engine counters
@@ -114,13 +122,43 @@ type Stats struct {
 	CatchUpTuples   int
 	StepsInState    [4]int
 	TransitionsInto [4]int
+	// Evicted sums the shard engines' sliding-window eviction counters
+	// per side; a tuple replicated to several shards counts once per
+	// replica, mirroring the replicated index work it frees.
+	Evicted [2]int
+	// IndexEntriesDropped sums the index entries physically removed by
+	// consistent-cut compaction across shards.
+	IndexEntriesDropped int
 }
 
 type routed struct {
 	side stream.Side
-	seq  int
-	t    relation.Tuple
-	mark bool // barrier mark: no tuple, echo to the merger
+	// seq is the tuple's global arrival position on its side; opp is the
+	// opposite side's dispatch count at dispatch time and gstep the
+	// global dispatch position over both sides (1-based). Together they
+	// let a shard reconstruct the sequential engine's scan clock: the
+	// sliding-window floor a sequential probe would apply at this step
+	// is seq+1-w on the tuple's own side and opp-w on the opposite side.
+	seq, opp, gstep int
+	t               relation.Tuple
+	mark            bool // barrier mark: no tuple, echo to the merger
+	evict           bool // eviction-only punctuation: compact, no echo
+}
+
+// stamper assigns the splitter's global dispatch stamps. It is the
+// serial heart of the scan-order contract and is kept separate from
+// split() so tests and fuzzers can drive the exact production stamping
+// logic without goroutines.
+type stamper struct {
+	seq   [2]int
+	gstep int
+}
+
+func (s *stamper) stamp(side stream.Side, t relation.Tuple) routed {
+	s.gstep++
+	rt := routed{side: side, seq: s.seq[side], opp: s.seq[side.Other()], gstep: s.gstep, t: t}
+	s.seq[side]++
+	return rt
 }
 
 // rawItem is what shard workers hand to the merger: a match or a barrier
@@ -188,12 +226,6 @@ func New(cfg Config, left, right stream.Source) (*Executor, error) {
 	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("pjoin: shard count %d < 1", cfg.Shards)
-	}
-	if cfg.Join.RetainWindow > 0 {
-		// Sliding-window eviction is defined on the global arrival
-		// order, which shards cannot observe; refusing is better than
-		// silently changing semantics.
-		return nil, fmt.Errorf("pjoin: RetainWindow is incompatible with partition-parallel execution")
 	}
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 256
@@ -298,6 +330,9 @@ func (e *Executor) Stats() Stats {
 			s.StepsInState[i] += st.StepsInState[i]
 			s.TransitionsInto[i] += st.TransitionsInto[i]
 		}
+		s.Evicted[0] += st.Evicted[0]
+		s.Evicted[1] += st.Evicted[1]
+		s.IndexEntriesDropped += st.IndexEntriesDropped
 	}
 	e.mu.Unlock()
 	return s
@@ -354,9 +389,12 @@ func (e *Executor) err() error {
 	return e.firstErr
 }
 
-// split is the single reader of both sources: it assigns global per-side
-// sequence numbers, feeds the aggregate step clock, and fans each tuple
-// out to the shards its key routes to.
+// split is the single reader of both sources: it assigns global
+// sequence stamps (per-side arrival position, opposite-side progress,
+// global dispatch position), feeds the aggregate step clock, and fans
+// each tuple out to the shards its key routes to. With RetainWindow set
+// and no controller requesting barriers, it emits its own eviction-only
+// punctuation so shard index memory stays bounded.
 func (e *Executor) split() {
 	defer e.bg.Done()
 	defer func() {
@@ -365,8 +403,16 @@ func (e *Executor) split() {
 		}
 	}()
 	var done [2]bool
-	var seq [2]int
+	var st stamper
 	var routes []int
+	// Eviction cadence: one full window between eviction-only marks
+	// bounds dead index entries at roughly one window per side while
+	// keeping punctuation overhead at one mark per shard per w tuples.
+	evictEvery := 0
+	if e.cfg.Join.RetainWindow > 0 {
+		evictEvery = e.cfg.Join.RetainWindow
+	}
+	sinceMark := 0
 	for {
 		if done[stream.Left] && done[stream.Right] {
 			return
@@ -381,8 +427,7 @@ func (e *Executor) split() {
 			done[side] = true
 			continue
 		}
-		rt := routed{side: side, seq: seq[side], t: t}
-		seq[side]++
+		rt := st.stamp(side, t)
 		e.read[side].Add(1)
 		barrier := false
 		if e.cfg.Controller != nil {
@@ -397,10 +442,30 @@ func (e *Executor) split() {
 				return
 			}
 		}
-		if barrier {
+		sinceMark++
+		switch {
+		case barrier:
 			// The mark trails every tuple dispatched so far on every
 			// shard's FIFO queue, including shards this tuple skipped.
+			// Shards also compact their evicted index entries when the
+			// mark arrives, so barrier punctuation doubles as the
+			// consistent eviction cut.
+			sinceMark = 0
 			mark := routed{mark: true}
+			for s := range e.in {
+				select {
+				case e.in[s] <- mark:
+				case <-e.quit:
+					return
+				}
+			}
+		case evictEvery > 0 && sinceMark >= evictEvery:
+			// Eviction-only punctuation: every shard compacts at the same
+			// position of the dispatch stream (a consistent cut), but no
+			// echo or rendezvous is needed — compaction never affects the
+			// match set, only reclaims memory behind the window floor.
+			sinceMark = 0
+			mark := routed{mark: true, evict: true}
 			for s := range e.in {
 				select {
 				case e.in[s] <- mark:
@@ -414,9 +479,25 @@ func (e *Executor) split() {
 
 // work drives one shard: a private engine fed in dispatch order, with a
 // quiescent-point controller sync before every tuple.
+//
+// Sliding-window retention is driven from here, not from the shard
+// engine's own RetainWindow logic (which would count shard-local
+// arrivals): the splitter's stamps carry the global scan clock, so
+// before each probe the worker translates the exact global floors a
+// sequential engine would apply at this dispatch — seq+1-w on the
+// tuple's own side, opp-w on the opposite side — into shard-local refs
+// and advances the engine's live floors. Probe-time filtering is
+// therefore globally exact at every step; physical index compaction
+// happens at punctuation marks, where every shard sits at the same
+// consistent cut of the dispatch stream.
 func (e *Executor) work(i int) {
 	defer e.workers.Done()
-	eng, err := join.New(e.cfg.Join, emptySource{}, emptySource{}, nil)
+	// The shard engine must not run its own shard-local window logic;
+	// the worker owns eviction against the global clock.
+	cfg := e.cfg.Join
+	w := cfg.RetainWindow
+	cfg.RetainWindow = 0
+	eng, err := join.New(cfg, emptySource{}, emptySource{}, nil)
 	if err != nil {
 		e.fail(fmt.Errorf("pjoin: shard %d: %w", i, err))
 		return
@@ -434,9 +515,31 @@ func (e *Executor) work(i int) {
 		e.mu.Unlock()
 	}()
 	var seqs [2][]int // shard-local ref -> global sequence number
+	var floor [2]int  // shard-local ref floor mirroring the global window
+	// evictTo advances side's floor to the first local ref whose global
+	// sequence number is inside the window [gf, ...). seqs are strictly
+	// increasing (dispatch order), so the floor only moves forward.
+	evictTo := func(side stream.Side, gf int) {
+		if gf <= 0 {
+			return
+		}
+		for floor[side] < len(seqs[side]) && seqs[side][floor[side]] < gf {
+			floor[side]++
+		}
+		eng.EvictBelow(side, floor[side])
+	}
 	myMarks := 0
 	for rt := range e.in[i] {
 		if rt.mark {
+			if w > 0 {
+				// All shards receive this mark at the same position of the
+				// dispatch stream, so a replicated posting is dropped
+				// everywhere at the same consistent cut.
+				eng.CompactEvicted()
+			}
+			if rt.evict {
+				continue // punctuation only: no echo, no rendezvous
+			}
 			myMarks++
 			select {
 			case e.raw <- rawItem{mark: true, shard: i}:
@@ -450,23 +553,28 @@ func (e *Executor) work(i int) {
 			e.cfg.Controller.Sync(i, eng)
 		}
 		seqs[rt.side] = append(seqs[rt.side], rt.seq)
+		if w > 0 {
+			evictTo(rt.side, rt.seq+1-w)
+			evictTo(rt.side.Other(), rt.opp-w)
+		}
 		if err := eng.Push(rt.side, rt.t); err != nil {
 			e.fail(fmt.Errorf("pjoin: shard %d: %w", i, err))
 			return
 		}
 		for _, m := range eng.TakePending() {
 			pm := Match{
-				Left:        eng.StoredTuple(stream.Left, m.LeftRef),
-				Right:       eng.StoredTuple(stream.Right, m.RightRef),
-				LeftSeq:     seqs[stream.Left][m.LeftRef],
-				RightSeq:    seqs[stream.Right][m.RightRef],
-				Similarity:  m.Similarity,
-				Exact:       m.Exact,
-				ProbeSide:   m.ProbeSide,
-				ProbeMode:   m.ProbeMode,
-				Attribution: m.Attribution,
-				Shard:       i,
-				Step:        m.Step,
+				Left:         eng.StoredTuple(stream.Left, m.LeftRef),
+				Right:        eng.StoredTuple(stream.Right, m.RightRef),
+				LeftSeq:      seqs[stream.Left][m.LeftRef],
+				RightSeq:     seqs[stream.Right][m.RightRef],
+				Similarity:   m.Similarity,
+				Exact:        m.Exact,
+				ProbeSide:    m.ProbeSide,
+				ProbeMode:    m.ProbeMode,
+				Attribution:  m.Attribution,
+				Shard:        i,
+				Step:         m.Step,
+				DispatchStep: rt.gstep,
 			}
 			select {
 			case e.raw <- rawItem{m: pm, shard: i}:
@@ -514,7 +622,7 @@ func (e *Executor) merge() {
 			e.approx.Add(1)
 		}
 		if e.cfg.Controller != nil {
-			e.cfg.Controller.NoteMatch(m.Exact, m.Attribution)
+			e.cfg.Controller.NoteMatch(m.DispatchStep, m.Exact, m.Attribution)
 		}
 		select {
 		case e.out <- m:

@@ -229,7 +229,7 @@ func (s *switchStorm) NoteDispatch(side stream.Side) bool {
 	return barrier
 }
 
-func (s *switchStorm) NoteMatch(exact bool, attr join.Attribution) {}
+func (s *switchStorm) NoteMatch(step int, exact bool, attr join.Attribution) {}
 
 // Activate rotates the broadcast target at every completed barrier, so
 // shards flip states throughout the run.
@@ -383,8 +383,8 @@ func TestExecutorConfigErrors(t *testing.T) {
 		t.Error("nil source accepted")
 	}
 	wcfg := join.Defaults()
-	wcfg.RetainWindow = 10
+	wcfg.RetainWindow = -1
 	if _, err := New(Config{Join: wcfg, Shards: 2}, l, r); err == nil {
-		t.Error("RetainWindow accepted")
+		t.Error("negative RetainWindow accepted")
 	}
 }

@@ -2,7 +2,9 @@ package adaptivelink
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -120,14 +122,11 @@ func TestParallelAdaptive(t *testing.T) {
 	}
 }
 
-// TestParallelDefaultsAndFallbacks pins the Parallelism option
-// semantics: 0 resolves to GOMAXPROCS, negatives are rejected, and the
-// sequential-only features force the legacy path.
-func TestParallelDefaultsAndFallbacks(t *testing.T) {
+// TestParallelDefaults pins the Parallelism option semantics: 0
+// resolves to GOMAXPROCS and the formerly sequential-only features —
+// RetainWindow and CostBudget — now keep the requested shard count.
+func TestParallelDefaults(t *testing.T) {
 	td := goldenData(t, 11, 60)
-	if _, err := New(td.ParentSource(), td.ChildSource(), Options{Parallelism: -1}); err == nil {
-		t.Error("negative parallelism accepted")
-	}
 	j, err := New(td.ParentSource(), td.ChildSource(), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -140,13 +139,14 @@ func TestParallelDefaultsAndFallbacks(t *testing.T) {
 	for name, opts := range map[string]Options{
 		"retain-window": {Parallelism: 4, RetainWindow: 50, Strategy: ExactOnly},
 		"cost-budget":   {Parallelism: 4, CostBudget: 1000},
+		"both":          {Parallelism: 4, RetainWindow: 50, CostBudget: 1000},
 	} {
 		j, err := New(td.ParentSource(), td.ChildSource(), opts)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if j.Parallelism() != 1 {
-			t.Errorf("%s: parallelism %d, want sequential fallback 1", name, j.Parallelism())
+		if j.Parallelism() != 4 {
+			t.Errorf("%s: parallelism %d, want the requested 4 (no sequential fallback)", name, j.Parallelism())
 		}
 		if _, err := j.All(); err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -154,22 +154,138 @@ func TestParallelDefaultsAndFallbacks(t *testing.T) {
 	}
 }
 
-// TestParallelStrategiesMatchSequentialCounts runs every strategy at
-// P=3 and P=1 over the same golden data and compares result sizes — a
-// cheap smoke across the full strategy surface (the adaptive count is
-// checked against bounds, not equality: switch timing differs).
-func TestParallelStrategiesMatchSequentialCounts(t *testing.T) {
+// TestOptionsValidation pins the descriptive rejection of nonsense
+// option values that previously misbehaved silently or opaquely.
+func TestOptionsValidation(t *testing.T) {
+	td := goldenData(t, 11, 40)
+	for name, tc := range map[string]struct {
+		opts Options
+		want string
+	}{
+		"negative-parallelism": {Options{Parallelism: -1}, "negative parallelism"},
+		"negative-window":      {Options{RetainWindow: -5}, "negative retain window"},
+		"negative-budget":      {Options{CostBudget: -0.5}, "negative cost budget"},
+	} {
+		_, err := New(td.ParentSource(), td.ChildSource(), tc.opts)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// parityOptions enumerates the windowed, budgeted and windowed+budgeted
+// configurations of the public parity harness. Budgets only bind under
+// the adaptive strategy; windows apply everywhere.
+func parityOptions() map[string]Options {
+	return map[string]Options{
+		"windowed-exact":    {Strategy: ExactOnly, RetainWindow: 80},
+		"windowed-approx":   {Strategy: ApproximateOnly, RetainWindow: 80},
+		"windowed-adaptive": {Strategy: Adaptive, RetainWindow: 120},
+		"budgeted-tight":    {Strategy: Adaptive, CostBudget: 500},
+		"budgeted-mid":      {Strategy: Adaptive, CostBudget: 8_000},
+		"budgeted-loose":    {Strategy: Adaptive, CostBudget: 1e9},
+		"windowed+budgeted": {Strategy: Adaptive, RetainWindow: 120, CostBudget: 8_000},
+	}
+}
+
+// TestParallelWindowBudgetParity is the public-API golden parity test
+// for the two formerly sequential-only safety valves: windowed,
+// budgeted and windowed+budgeted joins at P∈{2,4} must return exactly
+// the sequential engine's match set. For the budgeted adaptive runs
+// this also exercises decision parity: the aggregate controller's
+// window replay and logical spend counter must fire the same switches
+// (including the budget pin) at the same consistent cuts the sequential
+// controller activates at.
+func TestParallelWindowBudgetParity(t *testing.T) {
+	td := goldenData(t, 99, 400)
+	for name, opts := range parityOptions() {
+		t.Run(name, func(t *testing.T) {
+			opts.Parallelism = 1
+			seq := matchSet(t, td, opts)
+			for _, p := range []int{2, 4} {
+				opts.Parallelism = p
+				par := matchSet(t, td, opts)
+				assertSameSet(t, seq, par, fmt.Sprintf("%s/P=%d", name, p))
+			}
+			if len(seq) == 0 {
+				t.Fatalf("%s: golden dataset produced no matches", name)
+			}
+		})
+	}
+}
+
+// TestParallelWindowBudgetParityRandom is the randomized property: any
+// seed, any window, any budget, P vs sequential — identical match sets.
+// Run under -race by CI.
+func TestParallelWindowBudgetParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		seed := rng.Int63()
+		size := 150 + rng.Intn(250)
+		td := goldenData(t, seed, size)
+		opts := Options{Strategy: Adaptive}
+		if rng.Intn(2) == 0 {
+			opts.RetainWindow = 20 + rng.Intn(2*size)
+		}
+		if opts.RetainWindow == 0 || rng.Intn(2) == 0 {
+			opts.CostBudget = 200 + 400*rng.Float64()*float64(size)
+		}
+		p := 2 + rng.Intn(3)
+		name := fmt.Sprintf("trial%d/seed=%d/size=%d/w=%d/b=%.0f/P=%d",
+			trial, seed, size, opts.RetainWindow, opts.CostBudget, p)
+		t.Run(name, func(t *testing.T) {
+			opts.Parallelism = 1
+			seq := matchSet(t, td, opts)
+			opts.Parallelism = p
+			par := matchSet(t, td, opts)
+			assertSameSet(t, seq, par, name)
+		})
+	}
+}
+
+// TestParallelBudgetStats checks the budget surface of Stats: the
+// parallel spend counter tracks the logical scan (not replicated shard
+// work) and a tight budget actually pins the run.
+func TestParallelBudgetStats(t *testing.T) {
+	td := goldenData(t, 7, 600)
+	j, err := New(td.ParentSource(), td.ChildSource(), Options{
+		Strategy:         Adaptive,
+		Parallelism:      4,
+		CostBudget:       600,
+		TraceActivations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.All(); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.BudgetSpend <= 0 {
+		t.Errorf("BudgetSpend = %v, want > 0", st.BudgetSpend)
+	}
+	if st.BudgetSpend > st.ModelledCost {
+		t.Errorf("logical spend %v exceeds the replicated modelled cost %v", st.BudgetSpend, st.ModelledCost)
+	}
+	if got := j.State(); got != "lex/rex" {
+		t.Errorf("state after exhausting a tight budget = %s, want lex/rex", got)
+	}
+}
+
+// TestParallelStrategiesMatchSequential runs every strategy at P=3 and
+// P=1 over the same golden data and demands full match-set equality —
+// including the adaptive strategy: the aggregate controller's window
+// replay gives it the sequential controller's decisions
+// activation-for-activation, so even switch placement is identical.
+func TestParallelStrategiesMatchSequential(t *testing.T) {
 	td := goldenData(t, 21, 300)
-	exactN := len(matchSet(t, td, Options{Strategy: ExactOnly, Parallelism: 1}))
-	approxN := len(matchSet(t, td, Options{Strategy: ApproximateOnly, Parallelism: 1}))
-	if n := len(matchSet(t, td, Options{Strategy: ExactOnly, Parallelism: 3})); n != exactN {
-		t.Errorf("exact P=3: %d matches, want %d", n, exactN)
-	}
-	if n := len(matchSet(t, td, Options{Strategy: ApproximateOnly, Parallelism: 3})); n != approxN {
-		t.Errorf("approximate P=3: %d matches, want %d", n, approxN)
-	}
-	n := len(matchSet(t, td, Options{Strategy: Adaptive, Parallelism: 3}))
-	if n < exactN || n > approxN {
-		t.Errorf("adaptive P=3: %d matches outside [%d, %d]", n, exactN, approxN)
+	for _, strat := range []Strategy{ExactOnly, ApproximateOnly, Adaptive} {
+		seq := matchSet(t, td, Options{Strategy: strat, Parallelism: 1})
+		par := matchSet(t, td, Options{Strategy: strat, Parallelism: 3})
+		assertSameSet(t, seq, par, strat.String())
 	}
 }

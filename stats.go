@@ -30,6 +30,24 @@ type Stats struct {
 	// models the total work across shards, including replication.
 	ModelledCost float64
 
+	// TuplesEvicted counts sliding-window evictions (payload releases,
+	// exclusion from future probes). On a parallel join a tuple
+	// replicated to several shards counts once per replica, mirroring
+	// the replicated index work its eviction frees. 0 unless
+	// RetainWindow is set.
+	TuplesEvicted int
+	// IndexEntriesDropped counts index entries (exact refs plus q-gram
+	// postings) physically removed by window compaction; on a parallel
+	// join every shard drops its replicas at the same consistent cut.
+	IndexEntriesDropped int
+	// BudgetSpend is the modelled spend counter a CostBudget is
+	// enforced against, in all-exact-step units. On the sequential path
+	// it equals ModelledCost; on a parallel adaptive join it is the
+	// aggregated sequential-equivalent spend as of the last barrier —
+	// the logical scan's cost, excluding replication overhead. 0 for
+	// parallel fixed-strategy joins (no controller, no spend clock).
+	BudgetSpend float64
+
 	// Parallelism is the shard count the join ran on (1 = sequential).
 	Parallelism int
 	// ShardSteps sums the per-shard engine step counters on a parallel
@@ -53,18 +71,23 @@ func (j *Join) Stats() Stats {
 	if j.pexec != nil {
 		ps := j.pexec.Stats()
 		st = join.Stats{
-			Steps:           ps.Read[0] + ps.Read[1],
-			Read:            ps.Read,
-			Matches:         ps.Matches,
-			ExactMatches:    ps.ExactMatches,
-			ApproxMatches:   ps.ApproxMatches,
-			StepsInState:    ps.StepsInState,
-			TransitionsInto: ps.TransitionsInto,
-			Switches:        ps.Switches,
-			CatchUpTuples:   ps.CatchUpTuples,
+			Steps:               ps.Read[0] + ps.Read[1],
+			Read:                ps.Read,
+			Matches:             ps.Matches,
+			ExactMatches:        ps.ExactMatches,
+			ApproxMatches:       ps.ApproxMatches,
+			StepsInState:        ps.StepsInState,
+			TransitionsInto:     ps.TransitionsInto,
+			Switches:            ps.Switches,
+			CatchUpTuples:       ps.CatchUpTuples,
+			Evicted:             ps.Evicted,
+			IndexEntriesDropped: ps.IndexEntriesDropped,
 		}
 		out.ShardSteps = ps.ShardSteps
 		out.DuplicatesSuppressed = ps.Duplicates
+		if j.sctl != nil {
+			out.BudgetSpend = j.sctl.Spend()
+		}
 	} else {
 		st = j.engine.Stats()
 	}
@@ -76,6 +99,8 @@ func (j *Join) Stats() Stats {
 	out.ApproxMatches = st.ApproxMatches
 	out.Switches = st.Switches
 	out.CatchUpTuples = st.CatchUpTuples
+	out.TuplesEvicted = st.Evicted[0] + st.Evicted[1]
+	out.IndexEntriesDropped = st.IndexEntriesDropped
 	out.StepsInState = make(map[string]int, 4)
 	out.TransitionsInto = make(map[string]int, 4)
 	for _, s := range join.AllStates {
@@ -83,6 +108,11 @@ func (j *Join) Stats() Stats {
 		out.TransitionsInto[s.String()] = st.TransitionsInto[s.Index()]
 	}
 	out.ModelledCost = metrics.Cost(st, metrics.PaperWeights()).Total
+	if j.pexec == nil {
+		// One engine: the spend the budget is enforced against IS the
+		// modelled cost.
+		out.BudgetSpend = out.ModelledCost
+	}
 	return out
 }
 
