@@ -124,14 +124,21 @@ func TestAdaptiveNeedsParentSize(t *testing.T) {
 	ch := make(chan Tuple)
 	close(ch)
 	// Channel source with unknown size and no explicit ParentSize.
-	_, err := New(FromChannel(ch, -1), FromKeys("a"), Options{})
-	if err == nil {
+	src, err := FromChannel(ch, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(src, FromKeys("a"), Options{}); err == nil {
 		t.Fatal("adaptive join constructed without parent cardinality")
 	}
 	// Explicit ParentSize fixes it.
 	ch2 := make(chan Tuple)
 	close(ch2)
-	if _, err := New(FromChannel(ch2, -1), FromKeys("a"), Options{ParentSize: 10}); err != nil {
+	src2, err := FromChannel(ch2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(src2, FromKeys("a"), Options{ParentSize: 10}); err != nil {
 		t.Fatalf("explicit ParentSize rejected: %v", err)
 	}
 }
@@ -195,7 +202,11 @@ func TestFromChannelStreamsAndJoins(t *testing.T) {
 	ch <- Tuple{Key: "monte bianco nord"}
 	ch <- Tuple{Key: "lago di como est"}
 	close(ch)
-	j, err := New(FromKeys("monte bianco nord", "lago di como est"), FromChannel(ch, 2),
+	src, err := FromChannel(ch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := New(FromKeys("monte bianco nord", "lago di como est"), src,
 		Options{Strategy: ExactOnly})
 	if err != nil {
 		t.Fatal(err)

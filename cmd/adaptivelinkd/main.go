@@ -1,0 +1,26 @@
+// Command adaptivelinkd serves the resident linkage service over
+// HTTP/JSON: named reference indexes built once (exact + q-gram hash
+// structures), probed by many concurrent clients with per-session
+// adaptive exact→approximate escalation, incremental upserts applied at
+// quiescent points, bounded-pool admission control, per-request
+// deadlines, Prometheus-style /metrics, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	adaptivelinkd -addr 127.0.0.1:8080 \
+//	              -preload atlas=locations.csv -preload-key location
+//
+// Endpoints: POST/GET /v1/indexes, GET /v1/indexes/{name},
+// POST /v1/indexes/{name}/upsert, DELETE /v1/indexes/{name},
+// POST /v1/link, GET /v1/stats, GET /metrics, GET /healthz.
+package main
+
+import (
+	"os"
+
+	"adaptivelink/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunAdaptiveLinkd(os.Args[1:], os.Stdout, os.Stderr))
+}

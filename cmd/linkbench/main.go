@@ -1,0 +1,21 @@
+// Command linkbench is a closed-loop load generator for adaptivelinkd:
+// it creates a benchmark index from generated test data, fires link
+// requests from concurrent clients, and reports throughput and latency
+// percentiles, optionally appending the measurement to
+// BENCH_service.json. A non-zero exit means at least one request failed.
+//
+// Usage:
+//
+//	linkbench -addr http://127.0.0.1:8080 -n 1000 -c 64 -batch 4 \
+//	          -strategy adaptive -out BENCH_service.json
+package main
+
+import (
+	"os"
+
+	"adaptivelink/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunLinkBench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,6 +1,7 @@
 package adaptivelink
 
 import (
+	"fmt"
 	"io"
 
 	"adaptivelink/internal/datagen"
@@ -91,8 +92,19 @@ func FromKeys(keys ...string) Source {
 // FromChannel returns a source fed by a channel; close the channel to
 // end the stream. sizeHint is the expected tuple count (pass a positive
 // value when this side is the parent of an adaptive join); use -1 when
-// unknown.
-func FromChannel(ch <-chan Tuple, sizeHint int) Source {
+// unknown. A nil channel, a zero hint (a feed expected to yield nothing
+// cannot be joined) or a negative hint other than -1 is rejected with a
+// descriptive error.
+func FromChannel(ch <-chan Tuple, sizeHint int) (Source, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("adaptivelink: FromChannel: nil channel")
+	}
+	if sizeHint == 0 {
+		return nil, fmt.Errorf("adaptivelink: FromChannel: size hint 0 declares an empty feed; pass the expected tuple count, or -1 when unknown")
+	}
+	if sizeHint < -1 {
+		return nil, fmt.Errorf("adaptivelink: FromChannel: negative size hint %d; pass the expected tuple count, or -1 when unknown", sizeHint)
+	}
 	inner := make(chan relation.Tuple)
 	go func() {
 		defer close(inner)
@@ -100,7 +112,7 @@ func FromChannel(ch <-chan Tuple, sizeHint int) Source {
 			inner <- relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
 		}
 	}()
-	return &wrappedSource{inner: stream.FromChannel(inner, sizeHint)}
+	return &wrappedSource{inner: stream.FromChannel(inner, sizeHint)}, nil
 }
 
 // NormalizeKey applies the standard key normalisation (accent folding,
@@ -157,11 +169,19 @@ func FromCSV(r CSVRecordReader, keyColumn string, sizeHint int) (Source, error) 
 // LoadRelationCSV reads a whole CSV file into memory and returns it as
 // tuples plus a sized Source factory (each call to the returned function
 // yields a fresh source over the same data, so the relation can be
-// joined multiple times).
+// joined multiple times). Errors — a nil reader, an empty key column
+// name, a header without the key column, ragged or malformed rows —
+// carry the relation name and, where applicable, the line number.
 func LoadRelationCSV(r io.Reader, name, keyColumn string) ([]Tuple, func() Source, error) {
+	if r == nil {
+		return nil, nil, fmt.Errorf("adaptivelink: LoadRelationCSV %s: nil reader", name)
+	}
+	if keyColumn == "" {
+		return nil, nil, fmt.Errorf("adaptivelink: LoadRelationCSV %s: empty key column name; name the header column holding the join key", name)
+	}
 	rel, err := relation.ReadCSV(name, r, keyColumn)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("adaptivelink: LoadRelationCSV %s: %w", name, err)
 	}
 	tuples := make([]Tuple, rel.Len())
 	for i := range tuples {

@@ -1,0 +1,125 @@
+package adaptivelink
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromChannelSizeHintValidation(t *testing.T) {
+	if _, err := FromChannel(nil, 5); err == nil || !strings.Contains(err.Error(), "nil channel") {
+		t.Errorf("nil channel: %v", err)
+	}
+	ch := make(chan Tuple)
+	close(ch)
+	if _, err := FromChannel(ch, 0); err == nil || !strings.Contains(err.Error(), "size hint 0") {
+		t.Errorf("zero hint: %v", err)
+	}
+	if _, err := FromChannel(ch, -7); err == nil || !strings.Contains(err.Error(), "-7") {
+		t.Errorf("negative hint: %v", err)
+	}
+	// -1 (unknown) and positive hints are valid.
+	ch2 := make(chan Tuple)
+	close(ch2)
+	src, err := FromChannel(ch2, -1)
+	if err != nil {
+		t.Fatalf("-1 hint rejected: %v", err)
+	}
+	if _, ok, err := src.Next(); ok || err != nil {
+		t.Fatalf("closed feed: ok=%v err=%v", ok, err)
+	}
+	ch3 := make(chan Tuple, 1)
+	ch3 <- Tuple{Key: "k"}
+	close(ch3)
+	src, err = FromChannel(ch3, 1)
+	if err != nil {
+		t.Fatalf("positive hint rejected: %v", err)
+	}
+	if sized, ok := src.(interface{ EstimatedSize() int }); !ok || sized.EstimatedSize() != 1 {
+		t.Fatal("positive hint lost")
+	}
+}
+
+func TestLoadRelationCSVErrorPaths(t *testing.T) {
+	cases := []struct {
+		name      string
+		input     string
+		keyColumn string
+		nilReader bool
+		wantErr   []string
+	}{
+		{
+			name: "nil reader", nilReader: true, keyColumn: "location",
+			wantErr: []string{"refs.csv", "nil reader"},
+		},
+		{
+			name: "empty key column", input: "location\nx\n", keyColumn: "",
+			wantErr: []string{"refs.csv", "empty key column name"},
+		},
+		{
+			name: "missing key column", input: "date,place\n2008-01-01,x\n", keyColumn: "location",
+			wantErr: []string{"refs.csv", `key column "location" not found`, "place"},
+		},
+		{
+			name: "ragged row", input: "location,extra\na,1\nb\n", keyColumn: "location",
+			wantErr: []string{"refs.csv", "line 3", "got 1 fields, want 2"},
+		},
+		{
+			name: "malformed quoting", input: "location\n\"broken\nnope", keyColumn: "location",
+			wantErr: []string{"refs.csv"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var rd *strings.Reader
+			if !c.nilReader {
+				rd = strings.NewReader(c.input)
+			}
+			var err error
+			if c.nilReader {
+				_, _, err = LoadRelationCSV(nil, "refs.csv", c.keyColumn)
+			} else {
+				_, _, err = LoadRelationCSV(rd, "refs.csv", c.keyColumn)
+			}
+			if err == nil {
+				t.Fatal("no error")
+			}
+			for _, want := range c.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadRelationCSVRoundTrip(t *testing.T) {
+	in := "date,location\n2008-01-01,monte rosa vetta\n2008-01-02,porto cervo marina\n"
+	tuples, factory, err := LoadRelationCSV(strings.NewReader(in), "accidents", "location")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 || tuples[0].Key != "monte rosa vetta" || tuples[1].Attrs[0] != "2008-01-02" {
+		t.Fatalf("tuples = %+v", tuples)
+	}
+	// The factory yields fresh, sized sources over the same data.
+	for i := 0; i < 2; i++ {
+		src := factory()
+		if sized, ok := src.(interface{ EstimatedSize() int }); !ok || sized.EstimatedSize() != 2 {
+			t.Fatal("factory source not sized")
+		}
+		n := 0
+		for {
+			_, ok, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != 2 {
+			t.Fatalf("factory pass %d yielded %d tuples", i, n)
+		}
+	}
+}

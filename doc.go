@@ -89,6 +89,50 @@
 //     the logical scan, not the replicated shard work; Stats reports
 //     both (BudgetSpend vs ModelledCost).
 //
+// # Serving
+//
+// Besides the one-shot batch join (New → All), the engine has a
+// resident index-once/probe-many mode for serving linkage as a query
+// service. NewIndex materialises the reference table into BOTH hash
+// structures of Fig. 3 up front — forfeiting the lazy-maintenance
+// saving of §2.3 in exchange for operator switches that cost nothing,
+// since there is never an index to catch up:
+//
+//	ix, err := adaptivelink.NewIndex(refSource, adaptivelink.IndexOptions{})
+//	sess, err := ix.NewSession(adaptivelink.SessionOptions{})
+//	matches := sess.Probe("via monte bianca nord 12")
+//
+// Adaptivity applies per session, not per run: each Session carries its
+// own Monitor–Assess–Respond statistics (deficit test, perturbation
+// window, escalation history), so one misbehaving probe stream
+// escalates only itself. The observation model specialises cleanly —
+// the reference is fully resident, so the per-trial match probability
+// p(n) of §3.2 is exactly 1 and any persistent shortfall of hits is
+// significant evidence of variants. Because switches are free,
+// SessionOptions.DeltaAdapt defaults to 1: the loop may assess after
+// every probe, and the very probe whose miss fires σ is re-run
+// approximately (escalation), so its variant matches are not lost.
+// Clean stretches drain the window and revert the session to exact
+// probing. Index.Probe is the sessionless one-shot convenience
+// (exact, then one approximate probe on a miss).
+//
+// An Index is safe for concurrent use: probes share a read lock, and
+// Upsert applies incremental reference maintenance at quiescent points
+// (the write lock is granted only when no probe is in flight). The
+// index is a keyed store — one resident record per join key, newest
+// wins, on load and upsert alike (see NewIndex). For each of the four
+// Fig. 4 states, the multiset of matches produced by concurrent pinned
+// sessions over any shuffling of a probe stream against a key-unique
+// reference is identical to the sequential batch engine's result in
+// that state (probe_parity_test.go).
+//
+// cmd/adaptivelinkd serves this mode over HTTP/JSON — named indexes,
+// single and batch /v1/link probes, incremental upserts, bounded
+// worker-pool admission control, per-request deadlines, a
+// Prometheus-style /metrics endpoint priced by the paper's cost model,
+// and graceful drain on SIGTERM. cmd/linkbench load-tests it and
+// records throughput/latency points into BENCH_service.json.
+//
 // # Usage
 //
 //	left := adaptivelink.FromKeys("alpha centauri b", "beta pictoris c")
@@ -98,6 +142,7 @@
 //	matches, err := j.All()
 //
 // See the examples directory for streaming inputs, the accidents-mashup
-// scenario and parameter tuning, and EXPERIMENTS.md for the full
-// reproduction of the paper's evaluation.
+// scenario, parameter tuning and the serving mode (examples/service),
+// and EXPERIMENTS.md for the full reproduction of the paper's
+// evaluation.
 package adaptivelink

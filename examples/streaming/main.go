@@ -38,9 +38,13 @@ func main() {
 		}
 	}()
 
+	feedSrc, err := adaptivelink.FromChannel(feed, len(data.Child))
+	if err != nil {
+		log.Fatal(err)
+	}
 	j, err := adaptivelink.New(
 		data.ParentSource(),
-		adaptivelink.FromChannel(feed, len(data.Child)),
+		feedSrc,
 		adaptivelink.Options{
 			ParentSide:       adaptivelink.Left,
 			DeltaAdapt:       25,

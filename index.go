@@ -1,0 +1,384 @@
+package adaptivelink
+
+import (
+	"fmt"
+
+	"adaptivelink/internal/adaptive"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/simfn"
+)
+
+// IndexOptions configures a resident Index. The zero value selects the
+// paper's matching defaults (q = 3, Jaccard, calibrated θsim).
+type IndexOptions struct {
+	// Q is the q-gram width (default 3).
+	Q int
+	// Theta is the similarity threshold θsim (default 0.75).
+	Theta float64
+	// Measure is the similarity coefficient (default Jaccard).
+	Measure Measure
+}
+
+// SessionOptions configures a probe Session. The zero value selects an
+// adaptive session with the paper's thresholds, except that DeltaAdapt
+// defaults to 1: a resident-mode switch has no index catch-up to pay
+// for, so the control loop can afford to assess after every probe and
+// escalate the very probe that exposed a deficit.
+type SessionOptions struct {
+	// Strategy selects per-session matching: Adaptive (default) starts
+	// exact and lets the deficit assessor escalate, ExactOnly and
+	// ApproximateOnly pin the probe operator.
+	Strategy Strategy
+
+	// W is the perturbation sliding-window size in probes (default 100).
+	W int
+	// DeltaAdapt is the number of probes between control-loop
+	// activations (default 1).
+	DeltaAdapt int
+	// ThetaOut is the outlier significance level (default 0.05).
+	ThetaOut float64
+	// ThetaCurPert is the maximum windowed approximate-match rate for
+	// the probe stream to count as unperturbed (default 0.02).
+	ThetaCurPert float64
+	// ThetaPastPert is the maximum number of past perturbed assessments
+	// for the probe stream to count as historically clean (default 3).
+	ThetaPastPert int
+
+	// FutilityK, when positive, reverts to exact probing after K
+	// consecutive assessments in the approximate state that produced no
+	// new approximate matches. Recommended for open-world probe streams:
+	// under the resident parent-child model a probe key with no
+	// reference counterpart at all leaves a permanent deficit, and the
+	// futility rule is what stops it pinning the session to approximate
+	// probing forever. 0 disables it.
+	FutilityK int
+	// CostBudget, when positive, pins the session to exact probing once
+	// its modelled cost (all-exact-step units under the paper's weight
+	// model) reaches the budget. 0 disables it.
+	CostBudget float64
+	// TraceActivations records every control-loop activation for
+	// inspection via Session.Activations.
+	TraceActivations bool
+}
+
+// ProbeMatch is one probe result: a matched reference tuple with its
+// similarity evidence.
+type ProbeMatch struct {
+	// Ref is the matched reference tuple.
+	Ref Tuple
+	// Similarity is 1 for key-equal matches, otherwise the verified
+	// similarity under the index's measure.
+	Similarity float64
+	// Exact reports key equality.
+	Exact bool
+}
+
+// Index is the resident, index-once/probe-many engine mode: the
+// reference table is materialised into both the exact hash table and the
+// q-gram inverted index up front, and then probed many times by
+// independent clients.
+//
+// An Index is safe for concurrent use: probes run in parallel under a
+// read lock, and Upsert applies reference maintenance at quiescent
+// points (the write lock is granted only when no probe is in flight).
+// Sessions are per-client state and are NOT safe for concurrent use —
+// give each goroutine its own.
+type Index struct {
+	ref  *join.RefIndex
+	opts IndexOptions
+}
+
+// NewIndex drains the reference source and builds a resident index over
+// it. Unlike the streaming join, both hash structures are built and kept
+// up to date, trading the lazy-maintenance saving of §2.3 for free
+// operator switches on the probe path.
+//
+// The Index is a KEYED store: one resident record per join key, newest
+// wins. That is the upsert contract — and it applies to the initial
+// load too, so a reference source containing several tuples with the
+// same join key keeps only the last one. This matches the paper's
+// parent-table model (unique location strings) and is what makes
+// incremental maintenance well-defined; it differs from the batch join,
+// which stores duplicate-keyed tuples separately and reports a match
+// per duplicate. The probe-vs-batch parity guarantee therefore
+// quantifies over key-unique references. If your reference legitimately
+// carries several records per key, disambiguate the key (e.g. append a
+// discriminator column) before indexing.
+func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
+	if ref == nil {
+		return nil, fmt.Errorf("adaptivelink: nil reference source")
+	}
+	if opts.Q == 0 {
+		opts.Q = 3
+	}
+	if opts.Theta == 0 {
+		opts.Theta = join.DefaultTheta
+	}
+	cfg := join.Config{
+		Q:       opts.Q,
+		Theta:   opts.Theta,
+		Measure: simfn.TokenMeasure(opts.Measure),
+		Initial: join.LexRex,
+	}
+	ri, err := join.NewRefIndex(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: %w", err)
+	}
+	ix := &Index{ref: ri, opts: opts}
+	var batch []Tuple
+	for {
+		t, ok, err := ref.Next()
+		if err != nil {
+			return nil, fmt.Errorf("adaptivelink: reading reference: %w", err)
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, t)
+	}
+	ix.Upsert(batch...)
+	return ix, nil
+}
+
+// Len returns the number of resident reference tuples.
+func (ix *Index) Len() int { return ix.ref.Len() }
+
+// Options returns the index's matching configuration.
+func (ix *Index) Options() IndexOptions { return ix.opts }
+
+// Upsert applies reference maintenance at a quiescent point: tuples
+// whose join key is already resident replace the stored payload, tuples
+// with new keys are appended and indexed. It returns the inserted and
+// updated counts. Safe to call concurrently with probes; in-flight
+// probes complete against the previous version and later probes see the
+// whole batch.
+func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int) {
+	if len(tuples) == 0 {
+		return 0, 0
+	}
+	rts := make([]relation.Tuple, len(tuples))
+	for i, t := range tuples {
+		rts[i] = relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+	}
+	return ix.ref.Upsert(rts)
+}
+
+// Probe is the sessionless one-shot probe: it matches the key exactly
+// and, only when no exact match exists, escalates to one approximate
+// probe. This is the completeness-first convenience for callers without
+// session state; it is safe for concurrent use. Clients with a probe
+// stream should prefer NewSession, whose deficit-driven loop skips the
+// escalation entirely while the stream is behaving and prices it
+// statistically when it is not.
+func (ix *Index) Probe(key string) []ProbeMatch {
+	res := ix.ref.ProbeExact(key)
+	if len(res) == 0 {
+		res = ix.ref.ProbeApprox(key)
+	}
+	return publicMatches(res)
+}
+
+// SessionStats summarises a session's execution.
+type SessionStats struct {
+	// Probes is the number of probes run; Hits how many found at least
+	// one match (the observed result size the deficit test consumes).
+	Probes int
+	Hits   int
+	// Matches counts result pairs; Exact + Approx = Matches.
+	Matches       int
+	ExactMatches  int
+	ApproxMatches int
+	// Escalations counts probes that missed under exact matching, fired
+	// the deficit predicate and were re-run approximately.
+	Escalations int
+	// Switches counts enacted operator switches (0 for fixed strategies).
+	Switches int
+	// State is the session's processor state name; the probe-side mode
+	// (the suffix) is what matching consults.
+	State string
+	// ModelledCost is the session's cost in all-exact-step units under
+	// the paper's weight model: exact probes cost w_EE, approximate
+	// probes w_EA, switches the target state's transition weight.
+	ModelledCost float64
+}
+
+// Session is a per-client probe stream over a shared Index, carrying the
+// Monitor–Assess–Respond statistics that batch runs keep per run: the
+// deficit test, the perturbation window and the escalation history are
+// all scoped to this session, so one misbehaving client escalates only
+// itself. Not safe for concurrent use.
+type Session struct {
+	ix       *Index
+	strategy Strategy
+	loop     *adaptive.ProbeLoop
+	stats    SessionStats
+}
+
+// NewSession opens a probe session on the index.
+func (ix *Index) NewSession(opts SessionOptions) (*Session, error) {
+	s := &Session{ix: ix, strategy: opts.Strategy}
+	switch opts.Strategy {
+	case ExactOnly, ApproximateOnly:
+		if opts.CostBudget < 0 {
+			return nil, fmt.Errorf("adaptivelink: negative cost budget %v", opts.CostBudget)
+		}
+		return s, nil
+	case Adaptive:
+	default:
+		return nil, fmt.Errorf("adaptivelink: unknown strategy %d", int(opts.Strategy))
+	}
+	p := adaptive.DefaultProbeParams()
+	if opts.W != 0 {
+		p.W = opts.W
+	}
+	if opts.DeltaAdapt != 0 {
+		p.DeltaAdapt = opts.DeltaAdapt
+	}
+	if opts.ThetaOut != 0 {
+		p.ThetaOut = opts.ThetaOut
+	}
+	if opts.ThetaCurPert != 0 {
+		p.ThetaCurPert = opts.ThetaCurPert
+	}
+	if opts.ThetaPastPert != 0 {
+		p.ThetaPastPert = opts.ThetaPastPert
+	}
+	if opts.FutilityK != 0 {
+		p.FutilityK = opts.FutilityK
+	}
+	loop, err := adaptive.NewProbeLoop(p)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: %w", err)
+	}
+	if opts.TraceActivations {
+		loop.EnableTrace()
+	}
+	if opts.CostBudget < 0 {
+		return nil, fmt.Errorf("adaptivelink: negative cost budget %v", opts.CostBudget)
+	}
+	if opts.CostBudget > 0 {
+		if err := loop.EnableCostBudget(metrics.PaperWeights(), opts.CostBudget); err != nil {
+			return nil, fmt.Errorf("adaptivelink: %w", err)
+		}
+	}
+	s.loop = loop
+	return s, nil
+}
+
+// Probe matches one key against the reference under the session's
+// current operator. Adaptive sessions probe exactly while the stream
+// behaves; when the deficit assessor fires, the session switches to
+// approximate probing — re-running the very probe whose miss fired the
+// predicate, so its variant matches are not lost — and reverts to exact
+// once the perturbation window drains.
+func (s *Session) Probe(key string) []ProbeMatch {
+	var res []join.RefMatch
+	switch s.strategy {
+	case ExactOnly:
+		res = s.ix.ref.ProbeExact(key)
+	case ApproximateOnly:
+		res = s.ix.ref.ProbeApprox(key)
+	default:
+		res = s.ix.ref.Probe(s.loop.Mode(), key)
+		if s.loop.NoteProbe(s.ix.Len(), len(res) > 0, countApprox(res)) {
+			res = s.ix.ref.ProbeApprox(key)
+			s.loop.NoteEscalation(len(res) > 0, countApprox(res))
+			s.stats.Escalations++
+		}
+	}
+	s.stats.Probes++
+	if len(res) > 0 {
+		s.stats.Hits++
+	}
+	for _, m := range res {
+		s.stats.Matches++
+		if m.Exact {
+			s.stats.ExactMatches++
+		} else {
+			s.stats.ApproxMatches++
+		}
+	}
+	return publicMatches(res)
+}
+
+// State returns the session's processor state name. Fixed strategies
+// report the state their probe operator corresponds to.
+func (s *Session) State() string {
+	switch s.strategy {
+	case ExactOnly:
+		return join.LexRex.String()
+	case ApproximateOnly:
+		return join.LapRap.String()
+	default:
+		return s.loop.State().String()
+	}
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() SessionStats {
+	out := s.stats
+	out.State = s.State()
+	if s.loop != nil {
+		out.Switches = s.loop.Switches()
+		out.ModelledCost = s.loop.Spend()
+	} else {
+		w := metrics.PaperWeights()
+		st := join.LexRex
+		if s.strategy == ApproximateOnly {
+			st = join.LapRap
+		}
+		out.ModelledCost = metrics.PureCost(out.Probes, st, w)
+	}
+	return out
+}
+
+// Activations returns the session's recorded control-loop trace (nil
+// unless SessionOptions.TraceActivations was set on an adaptive session).
+func (s *Session) Activations() []Activation {
+	if s.loop == nil {
+		return nil
+	}
+	acts := s.loop.Activations()
+	if acts == nil {
+		return nil
+	}
+	out := make([]Activation, len(acts))
+	for i, a := range acts {
+		out[i] = Activation{
+			Step:     a.Observation.Step,
+			Observed: a.Observation.Observed,
+			Tail:     a.Assessment.Tail,
+			Sigma:    a.Assessment.Sigma,
+			From:     a.From.String(),
+			To:       a.To.String(),
+		}
+	}
+	return out
+}
+
+func countApprox(ms []join.RefMatch) int {
+	n := 0
+	for _, m := range ms {
+		if !m.Exact {
+			n++
+		}
+	}
+	return n
+}
+
+func publicMatches(ms []join.RefMatch) []ProbeMatch {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]ProbeMatch, len(ms))
+	for i, m := range ms {
+		out[i] = ProbeMatch{
+			Ref:        Tuple{ID: m.Tuple.ID, Key: m.Tuple.Key, Attrs: m.Tuple.Attrs},
+			Similarity: m.Similarity,
+			Exact:      m.Exact,
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package adaptivelink
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func newTestIndex(t *testing.T, keys ...string) *Index {
+	t.Helper()
+	ts := make([]Tuple, len(keys))
+	for i, k := range keys {
+		ts[i] = Tuple{ID: i, Key: k, Attrs: []string{fmt.Sprintf("attr%d", i)}}
+	}
+	ix, err := NewIndex(FromTuples(ts), IndexOptions{})
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	return ix
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex(nil, IndexOptions{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewIndex(FromKeys("a"), IndexOptions{Theta: 2}); err == nil {
+		t.Fatal("invalid theta accepted")
+	}
+	if _, err := NewIndex(&errSource{}, IndexOptions{}); err == nil || !strings.Contains(err.Error(), "reading reference") {
+		t.Fatal("source error not surfaced")
+	}
+	ix, err := NewIndex(FromKeys(), IndexOptions{Q: 2, Theta: 0.5, Measure: Dice})
+	if err != nil || ix.Len() != 0 {
+		t.Fatalf("empty index: %v, len %d", err, ix.Len())
+	}
+	if got := ix.Options(); got.Q != 2 || got.Measure != Dice {
+		t.Fatalf("Options = %+v", got)
+	}
+}
+
+type errSource struct{}
+
+func (e *errSource) Next() (Tuple, bool, error) { return Tuple{}, false, fmt.Errorf("boom") }
+
+func TestIndexProbeOneShotEscalatesOnMiss(t *testing.T) {
+	ix := newTestIndex(t, "via monte bianco nord 12", "lago di como est")
+	// Exact hit: no escalation, the variant neighbour is not reported.
+	ms := ix.Probe("via monte bianco nord 12")
+	if len(ms) != 1 || !ms[0].Exact || ms[0].Ref.Attrs[0] != "attr0" {
+		t.Fatalf("exact one-shot = %+v", ms)
+	}
+	// Exact miss: escalates to one approximate probe.
+	ms = ix.Probe("via monte bianca nord 12")
+	if len(ms) != 1 || ms[0].Exact || ms[0].Ref.Key != "via monte bianco nord 12" {
+		t.Fatalf("escalated one-shot = %+v", ms)
+	}
+	// Total miss: empty.
+	if ms := ix.Probe("xyzzy"); ms != nil {
+		t.Fatalf("total miss = %+v", ms)
+	}
+}
+
+func TestIndexUpsertSemantics(t *testing.T) {
+	ix := newTestIndex(t, "via monte bianco nord 12")
+	ins, upd := ix.Upsert(
+		Tuple{ID: 7, Key: "via monte bianco nord 12", Attrs: []string{"fresh"}},
+		Tuple{ID: 8, Key: "corso nuovo sud 3", Attrs: []string{"born"}},
+	)
+	if ins != 1 || upd != 1 || ix.Len() != 2 {
+		t.Fatalf("Upsert = %d/%d, len %d", ins, upd, ix.Len())
+	}
+	ms := ix.Probe("via monte bianco nord 12")
+	if len(ms) != 1 || ms[0].Ref.Attrs[0] != "fresh" {
+		t.Fatalf("payload not replaced: %+v", ms)
+	}
+	if ins, upd := ix.Upsert(); ins != 0 || upd != 0 {
+		t.Fatalf("empty upsert = %d/%d", ins, upd)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	ix := newTestIndex(t, "a key of some length")
+	if _, err := ix.NewSession(SessionOptions{Strategy: Strategy(9)}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := ix.NewSession(SessionOptions{CostBudget: -1}); err == nil {
+		t.Fatal("negative budget accepted (adaptive)")
+	}
+	if _, err := ix.NewSession(SessionOptions{Strategy: ExactOnly, CostBudget: -1}); err == nil {
+		t.Fatal("negative budget accepted (fixed)")
+	}
+	if _, err := ix.NewSession(SessionOptions{W: -1}); err == nil {
+		t.Fatal("invalid W accepted")
+	}
+	// Every knob set at once constructs fine.
+	sess, err := ix.NewSession(SessionOptions{
+		W: 50, DeltaAdapt: 2, ThetaOut: 0.01, ThetaCurPert: 0.05,
+		ThetaPastPert: 5, FutilityK: 4, CostBudget: 100, TraceActivations: true,
+	})
+	if err != nil {
+		t.Fatalf("fully configured session rejected: %v", err)
+	}
+	sess.Probe("a key of some length")
+}
+
+func TestSessionAdaptiveEscalationEndToEnd(t *testing.T) {
+	ix := newTestIndex(t, "via monte bianco nord 12", "lago di como est", "valle verde ovest 9")
+	sess, err := ix.NewSession(SessionOptions{TraceActivations: true})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	// Clean probes stay exact and cheap.
+	for i := 0; i < 5; i++ {
+		if ms := sess.Probe("lago di como est"); len(ms) != 1 || !ms[0].Exact {
+			t.Fatalf("clean probe = %+v", ms)
+		}
+	}
+	if st := sess.Stats(); st.State != "lex/rex" || st.Escalations != 0 {
+		t.Fatalf("clean session stats = %+v", st)
+	}
+	// A variant probe misses exactly, fires σ (p = 1), and the session
+	// escalates that same probe: the caller still gets the variant match.
+	ms := sess.Probe("via monte bianca nord 12")
+	if len(ms) != 1 || ms[0].Exact || ms[0].Ref.Key != "via monte bianco nord 12" {
+		t.Fatalf("escalated probe = %+v", ms)
+	}
+	st := sess.Stats()
+	if st.Escalations != 1 || st.Switches == 0 || st.ApproxMatches != 1 {
+		t.Fatalf("post-escalation stats = %+v", st)
+	}
+	if st.Hits != st.Probes {
+		t.Fatalf("escalation did not recover the hit: %+v", st)
+	}
+	if st.ModelledCost <= float64(st.Probes) {
+		t.Fatalf("ModelledCost %v not above all-exact baseline %d", st.ModelledCost, st.Probes)
+	}
+	if len(sess.Activations()) == 0 {
+		t.Fatal("no activations recorded with TraceActivations")
+	}
+	// A clean stretch reverts to exact probing.
+	for i := 0; i < 120; i++ {
+		sess.Probe("lago di como est")
+	}
+	if st := sess.Stats(); st.State != "lex/rex" {
+		t.Fatalf("session did not revert: %+v", st)
+	}
+}
+
+func TestSessionFixedStrategies(t *testing.T) {
+	ix := newTestIndex(t, "via monte bianco nord 12")
+	ex, err := ix.NewSession(SessionOptions{Strategy: ExactOnly})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if ms := ex.Probe("via monte bianca nord 12"); ms != nil {
+		t.Fatalf("exact-only probe found %+v", ms)
+	}
+	if st := ex.Stats(); st.State != "lex/rex" || st.Switches != 0 || st.ModelledCost != 1 {
+		t.Fatalf("exact-only stats = %+v", st)
+	}
+	if ex.Activations() != nil {
+		t.Fatal("fixed session has activations")
+	}
+	ap, err := ix.NewSession(SessionOptions{Strategy: ApproximateOnly})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if ms := ap.Probe("via monte bianca nord 12"); len(ms) != 1 {
+		t.Fatalf("approx-only probe = %+v", ms)
+	}
+	st := ap.Stats()
+	if st.State != "lap/rap" || st.ApproxMatches != 1 || st.ModelledCost <= 1 {
+		t.Fatalf("approx-only stats = %+v", st)
+	}
+}
+
+func TestSessionCostBudgetPinsExact(t *testing.T) {
+	ix := newTestIndex(t, "via monte bianco nord 12")
+	sess, err := ix.NewSession(SessionOptions{CostBudget: 2})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	sess.Probe("via monte bianco nord 12")
+	sess.Probe("via monte bianco nord 12")
+	// Budget exhausted: the variant miss may not escalate.
+	if ms := sess.Probe("via monte bianca nord 12"); ms != nil {
+		t.Fatalf("over-budget session escalated: %+v", ms)
+	}
+	if st := sess.Stats(); st.Escalations != 0 || st.State != "lex/rex" {
+		t.Fatalf("over-budget stats = %+v", st)
+	}
+}

@@ -1,0 +1,224 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/stats"
+	"adaptivelink/internal/stream"
+)
+
+// ProbeLoop is the Monitor–Assess–Respond control loop of Fig. 1
+// re-targeted at the resident index-once/probe-many mode (join.RefIndex):
+// one loop per probe *session*, with one engine step per probe, instead
+// of one loop per batch run.
+//
+// The statistical machinery is reused verbatim — the binomial deficit
+// predicate σ, the per-side window predicates µ/π and the transition
+// rules ϕ₀..ϕ₃ all run through the same Assess/Decide/futilityGate code
+// as the batch Controller — under the resident-mode specialisation of
+// the §3.2 observation model:
+//
+//   - The reference side is fully resident, so ParentSeen = ParentSize
+//     and the per-trial match probability p(n) is 1: under parent–child
+//     integrity every probe is expected to match, and any persistent
+//     shortfall of hits against probes is significant evidence of
+//     variants in the probe stream.
+//   - Only the probe side ever runs an operator, so the reference-side
+//     window is structurally empty (µ_left always holds) and the ϕ rules
+//     degenerate to the three reachable states lex/rex, lex/rap and
+//     lap/rap — whose probe-side mode is all the session consults.
+//   - Switches are free: both resident indexes are always up to date, so
+//     there is no catch-up to amortise and DeltaAdapt defaults to 1 —
+//     the loop may assess after every probe, which is what enables
+//     per-probe exact→approximate escalation (NoteProbe returns true
+//     when the probe that just missed fired σ and the session switched,
+//     so the caller can re-run that same probe approximately).
+//
+// A ProbeLoop is not safe for concurrent use; give each session its own.
+type ProbeLoop struct {
+	params Params
+
+	state          join.State
+	probes         int // t: one step per probe
+	hits           int // observed result size O̅ₜ: probes with ≥1 match
+	win            *stats.SlidingWindow
+	past           int // past assessments at which the probe side appeared perturbed
+	lastActivation int
+	switches       int
+
+	approxSeen int
+	fut        futilityGate
+
+	weights   metrics.Weights
+	budget    float64
+	hasBudget bool
+	spend     float64
+
+	trace     []Activation
+	keepTrace bool
+}
+
+// DefaultProbeParams returns the session defaults: the paper's W, θout,
+// θcurpert and θpastpert, with δadapt lowered to 1 — resident-mode
+// switches have no catch-up cost, so the loop can afford to assess at
+// every probe and escalate the very probe that exposed a deficit.
+func DefaultProbeParams() Params {
+	p := DefaultParams()
+	p.DeltaAdapt = 1
+	return p
+}
+
+// NewProbeLoop builds a session loop starting in the optimistic all-exact
+// state. The loop models probe work under the paper's weights so
+// Spend() is always available; EnableCostBudget makes it enforceable.
+func NewProbeLoop(p Params) (*ProbeLoop, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Estimator != EstimatorParentChild {
+		return nil, fmt.Errorf("adaptive: probe loop supports only the parent-child estimator (the resident reference makes p(n)=1 exact, no calibration needed)")
+	}
+	return &ProbeLoop{
+		params:  p,
+		state:   join.LexRex,
+		win:     stats.NewSlidingWindow(p.W),
+		weights: metrics.PaperWeights(),
+	}, nil
+}
+
+// EnableTrace records every activation; retrieve them with Activations.
+func (l *ProbeLoop) EnableTrace() { l.keepTrace = true }
+
+// EnableCostBudget pins the session to exact probing once its modelled
+// spend (Spend) reaches budget, in all-exact-step units.
+func (l *ProbeLoop) EnableCostBudget(w metrics.Weights, budget float64) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if budget <= 0 {
+		return fmt.Errorf("adaptive: cost budget %v must be positive", budget)
+	}
+	l.weights = w
+	l.budget = budget
+	l.hasBudget = true
+	return nil
+}
+
+// Params returns the loop's thresholds.
+func (l *ProbeLoop) Params() Params { return l.params }
+
+// State returns the session's processor state. Only the probe side's
+// mode (State().Mode(stream.Right)) affects matching.
+func (l *ProbeLoop) State() join.State { return l.state }
+
+// Mode returns the probe-side matching mode.
+func (l *ProbeLoop) Mode() join.Mode { return l.state.Mode(stream.Right) }
+
+// Probes returns the number of probes observed (the step counter t).
+func (l *ProbeLoop) Probes() int { return l.probes }
+
+// Hits returns the number of probes that found at least one match (the
+// observed result size the deficit test consumes).
+func (l *ProbeLoop) Hits() int { return l.hits }
+
+// Switches returns the number of enacted state changes.
+func (l *ProbeLoop) Switches() int { return l.switches }
+
+// Spend returns the session's modelled cost in all-exact-step units:
+// each probe costs its state's step weight, each switch the target
+// state's transition weight, and an escalated re-probe one extra
+// approximate step.
+func (l *ProbeLoop) Spend() float64 { return l.spend }
+
+// Activations returns the recorded trace (nil unless EnableTrace).
+func (l *ProbeLoop) Activations() []Activation { return l.trace }
+
+// NoteProbe observes one completed probe: refSize is the resident
+// reference cardinality, hit whether the probe returned any match, and
+// approxMatches how many of its matches were non-exact (they feed the
+// probe-side perturbation window). It advances the step clock, runs an
+// activation when due, and returns true when the caller should escalate
+// — the probe missed under exact matching and the activation it
+// triggered switched the session to approximate probing, so re-running
+// this same probe approximately recovers the match whose absence fired σ.
+func (l *ProbeLoop) NoteProbe(refSize int, hit bool, approxMatches int) (escalate bool) {
+	wasExact := l.Mode() == join.Exact
+	l.probes++
+	if hit {
+		l.hits++
+	}
+	if approxMatches > 0 {
+		l.win.Record(approxMatches)
+		l.approxSeen += approxMatches
+	}
+	l.spend += l.weights.Step[l.state.Index()]
+	l.win.AdvanceTo(l.probes)
+	if l.probes-l.lastActivation >= l.params.DeltaAdapt {
+		l.activate(refSize)
+	}
+	return wasExact && l.Mode() == join.Approx && !hit
+}
+
+// NoteEscalation folds an escalated re-probe's outcome into the session
+// statistics: the probe previously counted as a miss becomes a hit when
+// the approximate re-probe matched, its non-exact matches feed the
+// window, and the re-probe is charged one approximate step.
+func (l *ProbeLoop) NoteEscalation(hit bool, approxMatches int) {
+	if hit {
+		l.hits++
+	}
+	if approxMatches > 0 {
+		l.win.Record(approxMatches)
+		l.approxSeen += approxMatches
+	}
+	l.spend += l.weights.Step[l.state.Index()]
+}
+
+// activate runs monitor → assess → respond once, against the resident
+// observation model. An empty reference yields no evidence (every probe
+// trivially misses), so activation is skipped until the first upsert.
+func (l *ProbeLoop) activate(refSize int) {
+	l.lastActivation = l.probes
+	if refSize <= 0 {
+		return
+	}
+	obs := Observation{
+		Step:        l.probes,
+		Observed:    l.hits,
+		ChildSeen:   l.probes,
+		ParentSeen:  refSize,
+		ParentSize:  refSize,
+		WindowRight: l.win.Count(),
+		// The reference side never probes: its window is structurally
+		// empty and its history clean, exactly like the engine's lex side
+		// in state lex/rap.
+		WindowLeft:         0,
+		PastPerturbedLeft:  0,
+		PastPerturbedRight: l.past,
+	}
+	a, err := Assess(l.params, obs)
+	if err != nil {
+		// Inputs were validated at construction; an error here is a
+		// programming bug, not a data condition.
+		panic(fmt.Sprintf("adaptive: probe assess: %v", err))
+	}
+	if !a.MuRight {
+		l.past++
+	}
+	from := l.state
+	overBudget := l.hasBudget && l.spend >= l.budget
+	to, forced := l.fut.respond(l.params, from, a, l.approxSeen, overBudget)
+	if to != from {
+		l.state = to
+		l.switches++
+		l.spend += l.weights.Transition[to.Index()]
+		l.fut.noteSwitch()
+	}
+	if l.keepTrace {
+		l.trace = append(l.trace, Activation{
+			Observation: obs, Assessment: a, From: from, To: to, Forced: forced,
+		})
+	}
+}

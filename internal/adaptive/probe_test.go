@@ -1,0 +1,211 @@
+package adaptive
+
+import (
+	"testing"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+)
+
+func newTestProbeLoop(t *testing.T, mut func(*Params)) *ProbeLoop {
+	t.Helper()
+	p := DefaultProbeParams()
+	if mut != nil {
+		mut(&p)
+	}
+	l, err := NewProbeLoop(p)
+	if err != nil {
+		t.Fatalf("NewProbeLoop: %v", err)
+	}
+	return l
+}
+
+func TestProbeLoopValidation(t *testing.T) {
+	p := DefaultProbeParams()
+	p.W = 0
+	if _, err := NewProbeLoop(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	p = DefaultProbeParams()
+	p.Estimator = EstimatorCalibrated
+	if _, err := NewProbeLoop(p); err == nil {
+		t.Fatal("calibrated estimator accepted; resident mode has an exact p(n)")
+	}
+	l := newTestProbeLoop(t, nil)
+	if err := l.EnableCostBudget(metrics.PaperWeights(), 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if err := l.EnableCostBudget(metrics.Weights{}, 10); err == nil {
+		t.Fatal("invalid weights accepted")
+	}
+	if l.Params().DeltaAdapt != 1 {
+		t.Fatalf("DefaultProbeParams δadapt = %d, want 1", l.Params().DeltaAdapt)
+	}
+}
+
+// TestProbeLoopEscalatesOnDeficit is the per-probe escalation contract:
+// with the reference fully resident, p(n) = 1, so the first miss is a
+// significant deficit, the session switches to approximate probing, and
+// NoteProbe tells the caller to re-run that same probe.
+func TestProbeLoopEscalatesOnDeficit(t *testing.T) {
+	l := newTestProbeLoop(t, nil)
+	l.EnableTrace()
+	const ref = 100
+	for i := 0; i < 10; i++ {
+		if esc := l.NoteProbe(ref, true, 0); esc {
+			t.Fatalf("probe %d: escalation while every probe hits", i)
+		}
+		if l.Mode() != join.Exact {
+			t.Fatalf("probe %d: mode %v, want exact", i, l.Mode())
+		}
+	}
+	if !l.NoteProbe(ref, false, 0) {
+		t.Fatal("miss under p=1 did not escalate")
+	}
+	if l.Mode() != join.Approx {
+		t.Fatalf("mode after deficit = %v, want approx", l.Mode())
+	}
+	if st := l.State(); st.Mode(1) != join.Approx {
+		t.Fatalf("State() = %v, probe side not approx", st)
+	}
+	// The escalated re-probe recovered the match: the deficit clears and
+	// the single windowed approximate match is below θcurpert·W, so the
+	// next activation reverts to exact probing (ϕ₀).
+	l.NoteEscalation(true, 1)
+	l.NoteProbe(ref, true, 0)
+	if l.Mode() != join.Exact {
+		t.Fatalf("mode after recovery = %v, want exact", l.Mode())
+	}
+	if l.Switches() != 2 {
+		t.Fatalf("switches = %d, want 2 (out and back)", l.Switches())
+	}
+	if l.Hits() != l.Probes() {
+		t.Fatalf("hits %d != probes %d after recovered escalation", l.Hits(), l.Probes())
+	}
+	if len(l.Activations()) == 0 {
+		t.Fatal("trace empty with EnableTrace")
+	}
+}
+
+// TestProbeLoopStaysApproxWhilePerturbed: clustered variants keep the
+// windowed approximate-match rate above θcurpert, so the session stays
+// in approximate mode until the window drains.
+func TestProbeLoopStaysApproxWhilePerturbed(t *testing.T) {
+	l := newTestProbeLoop(t, nil)
+	const ref = 1000
+	l.NoteProbe(ref, false, 0) // deficit -> approx
+	l.NoteEscalation(true, 1)
+	for i := 0; i < 5; i++ {
+		// Approximate probes finding variant matches: two non-exact
+		// matches per probe keep the windowed rate above θcurpert.
+		l.NoteProbe(ref, true, 2)
+		if l.Mode() != join.Approx {
+			t.Fatalf("variant burst probe %d: reverted early", i)
+		}
+	}
+	// A clean stretch longer than W drains the window and reverts.
+	for i := 0; i < l.Params().W+1; i++ {
+		l.NoteProbe(ref, true, 0)
+	}
+	if l.Mode() != join.Exact {
+		t.Fatalf("mode after clean stretch = %v, want exact", l.Mode())
+	}
+}
+
+// TestProbeLoopFutilityRevert: a probe key with no counterpart at all
+// leaves a permanent deficit under p=1; the futility rule is what stops
+// it pinning the session to approximate probing forever.
+func TestProbeLoopFutilityRevert(t *testing.T) {
+	l := newTestProbeLoop(t, func(p *Params) { p.FutilityK = 3 })
+	l.EnableTrace()
+	const ref = 50
+	l.NoteProbe(ref, false, 0) // deficit -> approx
+	l.NoteEscalation(false, 0) // approximate re-probe finds nothing either
+	for i := 0; i < 10 && l.Mode() == join.Approx; i++ {
+		l.NoteProbe(ref, false, 0)
+		l.NoteEscalation(false, 0)
+	}
+	if l.Mode() != join.Exact {
+		t.Fatal("futility rule did not revert a fruitless approximate session")
+	}
+	var forced bool
+	for _, a := range l.Activations() {
+		if a.Forced == "futility" {
+			forced = true
+		}
+	}
+	if !forced {
+		t.Fatal("no activation recorded Forced=futility")
+	}
+	// σ stays suppressed: further misses do not re-escalate.
+	for i := 0; i < 5; i++ {
+		if l.NoteProbe(ref, false, 0) {
+			t.Fatal("suppressed σ re-escalated")
+		}
+	}
+}
+
+// TestProbeLoopCostBudget: once the modelled session spend reaches the
+// budget the responder pins exact probing, deficit or not.
+func TestProbeLoopCostBudget(t *testing.T) {
+	l := newTestProbeLoop(t, nil)
+	l.EnableTrace()
+	if err := l.EnableCostBudget(metrics.PaperWeights(), 3); err != nil {
+		t.Fatalf("EnableCostBudget: %v", err)
+	}
+	const ref = 50
+	// Three exact probes exhaust the budget (w_EE = 1 each)...
+	for i := 0; i < 3; i++ {
+		l.NoteProbe(ref, true, 0)
+	}
+	// ...so the miss that would have escalated is pinned instead.
+	if l.NoteProbe(ref, false, 0) {
+		t.Fatal("over-budget session escalated")
+	}
+	if l.Mode() != join.Exact {
+		t.Fatalf("over-budget mode = %v, want exact", l.Mode())
+	}
+	var forced bool
+	for _, a := range l.Activations() {
+		if a.Forced == "budget" {
+			forced = true
+		}
+	}
+	if !forced {
+		t.Fatal("no activation recorded Forced=budget")
+	}
+	if l.Spend() < 3 {
+		t.Fatalf("Spend = %v, want >= 3", l.Spend())
+	}
+}
+
+// TestProbeLoopEmptyReference: with nothing resident there is no
+// evidence of anything; the loop never escalates.
+func TestProbeLoopEmptyReference(t *testing.T) {
+	l := newTestProbeLoop(t, nil)
+	for i := 0; i < 20; i++ {
+		if l.NoteProbe(0, false, 0) {
+			t.Fatal("escalated against an empty reference")
+		}
+	}
+	if l.Mode() != join.Exact {
+		t.Fatalf("mode = %v, want exact", l.Mode())
+	}
+}
+
+// TestProbeLoopDeltaAdaptBatches: with δadapt > 1 the loop assesses on
+// the activation grid, like the batch controller.
+func TestProbeLoopDeltaAdaptBatches(t *testing.T) {
+	l := newTestProbeLoop(t, func(p *Params) { p.DeltaAdapt = 10 })
+	const ref = 100
+	// Nine misses: no activation yet, still exact.
+	for i := 0; i < 9; i++ {
+		if l.NoteProbe(ref, false, 0) {
+			t.Fatalf("probe %d escalated before the activation grid", i)
+		}
+	}
+	// The 10th triggers the activation; the deficit is overwhelming.
+	if !l.NoteProbe(ref, false, 0) {
+		t.Fatal("grid activation did not escalate")
+	}
+}

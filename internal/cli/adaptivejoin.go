@@ -3,6 +3,7 @@ package cli
 import (
 	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		normalise = fs.Bool("normalize", false, "normalise join keys (case, accents, punctuation, whitespace)")
 		trace     = fs.Bool("trace", false, "print control-loop activations to stderr")
 		stats     = fs.Bool("stats", true, "print execution statistics to stderr")
+		jsonOut   = fs.Bool("json", false, "write one JSON document (matches + stats + activations) to stdout instead of CSV, so CLI and service results are diffable in scripts; implies -trace recording")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -42,7 +44,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, RetainWindow: *window, TraceActivations: *trace, Parallelism: *parallel}
+	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, RetainWindow: *window, TraceActivations: *trace || *jsonOut, Parallelism: *parallel}
 	switch *strategy {
 	case "adaptive":
 		opts.Strategy = adaptivelink.Adaptive
@@ -75,6 +77,14 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
 		return 1
+	}
+
+	if *jsonOut {
+		if err := writeJoinJSON(stdout, j, matches); err != nil {
+			fmt.Fprintf(stderr, "adaptivejoin: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	bw := bufio.NewWriter(stdout)
@@ -144,6 +154,44 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// joinMatchJSON is one matched pair in -json output.
+type joinMatchJSON struct {
+	LeftKey    string  `json:"left_key"`
+	RightKey   string  `json:"right_key"`
+	Similarity float64 `json:"similarity"`
+	Exact      bool    `json:"exact"`
+	Step       int     `json:"step"`
+}
+
+// joinResultJSON is the -json document: machine-readable matches,
+// Stats and the control-loop trace, diffable against /v1/stats and
+// /v1/link responses from adaptivelinkd.
+type joinResultJSON struct {
+	Matches     []joinMatchJSON           `json:"matches"`
+	Stats       adaptivelink.Stats        `json:"stats"`
+	Activations []adaptivelink.Activation `json:"activations"`
+}
+
+func writeJoinJSON(w io.Writer, j *adaptivelink.Join, matches []adaptivelink.Match) error {
+	doc := joinResultJSON{
+		Matches:     make([]joinMatchJSON, len(matches)),
+		Stats:       j.Stats(),
+		Activations: j.Activations(),
+	}
+	for i, m := range matches {
+		doc.Matches[i] = joinMatchJSON{
+			LeftKey: m.Left.Key, RightKey: m.Right.Key,
+			Similarity: m.Similarity, Exact: m.Exact, Step: m.Step,
+		}
+	}
+	if doc.Activations == nil {
+		doc.Activations = []adaptivelink.Activation{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // loadSource reads a whole CSV into memory and returns a fresh source

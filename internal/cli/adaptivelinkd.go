@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"adaptivelink"
+	"adaptivelink/internal/service"
+)
+
+// RunAdaptiveLinkd implements cmd/adaptivelinkd: it serves the resident
+// linkage service over HTTP until SIGTERM/SIGINT, then drains
+// gracefully. It returns the process exit code.
+func RunAdaptiveLinkd(args []string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runAdaptiveLinkd(ctx, args, stdout, stderr)
+}
+
+// runAdaptiveLinkd is the testable core: it serves until ctx is
+// cancelled (the signal handler cancels it in production).
+func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("adaptivelinkd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = one per CPU, min 2)")
+		queue      = fs.Int("queue", 256, "admission queue depth")
+		deadline   = fs.Duration("deadline", 5*time.Second, "default per-request deadline")
+		maxBatch   = fs.Int("max-batch", 4096, "maximum keys per link request")
+		preload    = fs.String("preload", "", "preload an index from CSV as name=path (optional)")
+		preloadKey = fs.String("preload-key", "location", "join-key column for -preload")
+		q          = fs.Int("q", 3, "q-gram width for preloaded/default indexes")
+		theta      = fs.Float64("theta", 0.75, "similarity threshold for preloaded/default indexes")
+		drainWait  = fs.Duration("drain-timeout", 15*time.Second, "maximum time to wait for in-flight requests at shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxBatch:        *maxBatch,
+	})
+
+	if *preload != "" {
+		name, path, ok := strings.Cut(*preload, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "adaptivelinkd: -preload wants name=path, got %q\n", *preload)
+			return 2
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+			return 1
+		}
+		tuples, _, err := adaptivelink.LoadRelationCSV(bufio.NewReader(f), path, *preloadKey)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "adaptivelinkd: preload %s: %v\n", path, err)
+			return 1
+		}
+		info, err := svc.CreateIndex(name, adaptivelink.IndexOptions{Q: *q, Theta: *theta}, tuples)
+		if err != nil {
+			fmt.Fprintf(stderr, "adaptivelinkd: preload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "adaptivelinkd: preloaded index %q with %d tuples\n", name, info.Size)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(stdout, "adaptivelinkd: listening on %s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+			return 1
+		}
+	}
+
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "adaptivelinkd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, wait for in-flight handlers (each
+	// of which waits for its pool job), then stop the workers.
+	fmt.Fprintln(stdout, "adaptivelinkd: draining")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(stderr, "adaptivelinkd: shutdown: %v\n", err)
+		code = 1
+	}
+	if err := svc.Drain(shCtx); err != nil {
+		// Timed out with requests still in flight: report the unclean
+		// drain and let process exit reap them — Close would only block
+		// further on the same stragglers.
+		fmt.Fprintf(stderr, "adaptivelinkd: drain: %v\n", err)
+		return 1
+	}
+	svc.Close()
+	fmt.Fprintln(stdout, "adaptivelinkd: drained, bye")
+	return code
+}

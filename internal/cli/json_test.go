@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveJoinJSONOutput(t *testing.T) {
+	pOut, cOut := genPair(t)
+	code, out, errb := runJoin(t, "-left", pOut, "-right", cOut, "-json", "-stats=false")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	var doc joinResultJSON
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stdout not JSON: %v\n%s", err, out)
+	}
+	if len(doc.Matches) == 0 {
+		t.Fatal("no matches in JSON document")
+	}
+	if doc.Stats.Matches != len(doc.Matches) {
+		t.Errorf("Stats.Matches %d != matches array %d", doc.Stats.Matches, len(doc.Matches))
+	}
+	if doc.Stats.Steps == 0 || doc.Stats.StepsInState["lex/rex"] == 0 {
+		t.Errorf("stats incomplete: %+v", doc.Stats)
+	}
+	// -json implies trace recording even without -trace.
+	if doc.Activations == nil {
+		t.Error("activations missing")
+	}
+	if len(doc.Activations) == 0 {
+		t.Error("adaptive run recorded no activations")
+	}
+	// The match set is the same one the CSV output carries.
+	_, csvOut, _ := runJoin(t, "-left", pOut, "-right", cOut, "-stats=false")
+	rows, err := csv.NewReader(strings.NewReader(csvOut)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows)-1 != len(doc.Matches) {
+		t.Errorf("JSON has %d matches, CSV %d", len(doc.Matches), len(rows)-1)
+	}
+	if doc.Matches[0].LeftKey != rows[1][0] || doc.Matches[0].RightKey != rows[1][1] {
+		t.Errorf("first match differs: JSON %+v vs CSV %v", doc.Matches[0], rows[1])
+	}
+	// Fixed strategies emit an empty activations array, not null.
+	code, out, _ = runJoin(t, "-left", pOut, "-right", cOut, "-json", "-strategy", "exact", "-stats=false")
+	if code != 0 {
+		t.Fatal("exact -json run failed")
+	}
+	if !strings.Contains(out, `"activations": []`) {
+		t.Error("fixed-strategy activations not an empty array")
+	}
+}

@@ -1,0 +1,235 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivelink"
+	"adaptivelink/internal/service"
+)
+
+// BenchPoint is one linkbench measurement, the unit appended to
+// BENCH_service.json.
+type BenchPoint struct {
+	Date        string  `json:"date"`
+	Host        string  `json:"host,omitempty"`
+	Go          string  `json:"go"`
+	Note        string  `json:"note,omitempty"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Batch       int     `json:"batch"`
+	Strategy    string  `json:"strategy"`
+	ParentSize  int     `json:"parent_size"`
+	VariantRate float64 `json:"variant_rate"`
+	Seconds     float64 `json:"seconds"`
+	RequestsPS  float64 `json:"requests_per_s"`
+	ProbesPS    float64 `json:"probes_per_s"`
+	P50Millis   float64 `json:"p50_ms"`
+	P95Millis   float64 `json:"p95_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	Errors      int     `json:"errors"`
+}
+
+type benchFile struct {
+	Description string       `json:"description"`
+	Points      []BenchPoint `json:"points"`
+}
+
+// RunLinkBench implements cmd/linkbench: a closed-loop load generator
+// for adaptivelinkd. It creates (or reuses) a benchmark index from
+// generated test data, fires -n link requests from -c concurrent
+// clients, reports throughput and latency, and optionally appends the
+// point to a BENCH_service.json trajectory file. Exit code 0 means
+// every request got a 2xx.
+func RunLinkBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("linkbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "", "base URL of adaptivelinkd, e.g. http://127.0.0.1:8080 (required)")
+		n        = fs.Int("n", 1000, "total link requests")
+		c        = fs.Int("c", 64, "concurrent clients (in-flight requests)")
+		batch    = fs.Int("batch", 4, "probe keys per request")
+		index    = fs.String("index", "bench", "index name")
+		create   = fs.Bool("create", true, "create the index from generated data first (409 = reuse)")
+		parent   = fs.Int("parent", 2000, "generated parent (reference) size")
+		rate     = fs.Float64("variant-rate", 0.1, "generated variant rate in the probe stream")
+		seed     = fs.Int64("seed", 42, "generator seed")
+		strategy = fs.String("strategy", "adaptive", "session strategy: adaptive, exact or approximate")
+		timeout  = fs.Duration("timeout", 30*time.Second, "client HTTP timeout")
+		out      = fs.String("out", "", "append the measurement to this BENCH_service.json file")
+		note     = fs.String("note", "", "free-form note recorded with -out")
+		host     = fs.String("host", "", "host description recorded with -out")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *addr == "" {
+		fmt.Fprintln(stderr, "linkbench: -addr is required")
+		fs.Usage()
+		return 2
+	}
+	if *n < 1 || *c < 1 || *batch < 1 {
+		fmt.Fprintln(stderr, "linkbench: -n, -c and -batch must be positive")
+		return 2
+	}
+
+	data, err := adaptivelink.GenerateTestData(*seed, *parent, (*parent)*2, adaptivelink.PatternUniform, *rate, false)
+	if err != nil {
+		fmt.Fprintf(stderr, "linkbench: %v\n", err)
+		return 1
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *create {
+		tuples := make([]service.TupleDTO, len(data.Parent))
+		for i, t := range data.Parent {
+			tuples[i] = service.TupleDTO{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+		}
+		code, body, err := postJSON(client, *addr+"/v1/indexes", service.CreateIndexRequest{Name: *index, Tuples: tuples})
+		if err != nil {
+			fmt.Fprintf(stderr, "linkbench: create index: %v\n", err)
+			return 1
+		}
+		switch code {
+		case http.StatusCreated:
+			fmt.Fprintf(stdout, "linkbench: created index %q with %d tuples\n", *index, len(tuples))
+		case http.StatusConflict:
+			fmt.Fprintf(stdout, "linkbench: index %q already exists, reusing\n", *index)
+		default:
+			fmt.Fprintf(stderr, "linkbench: create index: %d %s\n", code, body)
+			return 1
+		}
+	}
+
+	keys := make([]string, len(data.Child))
+	for i, t := range data.Child {
+		keys[i] = t.Key
+	}
+
+	var next atomic.Int64
+	var errCount atomic.Int64
+	var probeCount atomic.Int64
+	latencies := make([]time.Duration, *n)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				req := service.LinkRequestDTO{Index: *index, Strategy: *strategy}
+				for k := 0; k < *batch; k++ {
+					req.Keys = append(req.Keys, keys[(i**batch+k)%len(keys)])
+				}
+				t0 := time.Now()
+				code, body, err := postJSON(client, *addr+"/v1/link", req)
+				latencies[i] = time.Since(t0)
+				probeCount.Add(int64(*batch))
+				if err != nil || code < 200 || code > 299 {
+					errCount.Add(1)
+					if errCount.Load() <= 3 {
+						fmt.Fprintf(stderr, "linkbench: request %d: code %d err %v body %s\n", i, code, err, truncate(body, 200))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx].Microseconds()) / 1000
+	}
+	point := BenchPoint{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Host:        *host,
+		Go:          runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Note:        *note,
+		Requests:    *n,
+		Concurrency: *c,
+		Batch:       *batch,
+		Strategy:    *strategy,
+		ParentSize:  *parent,
+		VariantRate: *rate,
+		Seconds:     elapsed.Seconds(),
+		RequestsPS:  float64(*n) / elapsed.Seconds(),
+		ProbesPS:    float64(probeCount.Load()) / elapsed.Seconds(),
+		P50Millis:   pct(0.50),
+		P95Millis:   pct(0.95),
+		P99Millis:   pct(0.99),
+		Errors:      int(errCount.Load()),
+	}
+	fmt.Fprintf(stdout, "linkbench: %d requests x %d keys, %d clients, strategy %s\n", *n, *batch, *c, *strategy)
+	fmt.Fprintf(stdout, "linkbench: %.2fs total, %.0f req/s, %.0f probes/s\n", point.Seconds, point.RequestsPS, point.ProbesPS)
+	fmt.Fprintf(stdout, "linkbench: latency p50 %.2fms p95 %.2fms p99 %.2fms, errors %d\n",
+		point.P50Millis, point.P95Millis, point.P99Millis, point.Errors)
+
+	if *out != "" {
+		if err := appendBenchPoint(*out, point); err != nil {
+			fmt.Fprintf(stderr, "linkbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "linkbench: appended point to %s\n", *out)
+	}
+	if errCount.Load() > 0 {
+		fmt.Fprintf(stderr, "linkbench: %d of %d requests failed\n", errCount.Load(), *n)
+		return 1
+	}
+	return 0
+}
+
+func postJSON(client *http.Client, url string, payload any) (int, []byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
+
+func appendBenchPoint(path string, point BenchPoint) error {
+	bf := benchFile{
+		Description: "Trajectory of the resident linkage service (cmd/linkbench against cmd/adaptivelinkd): closed-loop throughput and latency of /v1/link. Append one point per PR that touches the service path; compare within a host class only.",
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	bf.Points = append(bf.Points, point)
+	raw, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

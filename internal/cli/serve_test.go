@@ -1,0 +1,229 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivelink/internal/service"
+)
+
+// startDaemon runs the adaptivelinkd core on an ephemeral port and
+// returns its base URL plus a shutdown function that cancels it and
+// returns (exit code, stdout, stderr).
+func startDaemon(t *testing.T, extraArgs ...string) (string, func() (int, string, string)) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errb bytes.Buffer
+	codeCh := make(chan int, 1)
+	var mu sync.Mutex // guards out/errb between daemon goroutine and test
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extraArgs...)
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		codeCh <- runAdaptiveLinkd(ctx, args, &out, &errb)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			addr = string(raw)
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("daemon did not write its address in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop := func() (int, string, string) {
+		cancel()
+		select {
+		case code := <-codeCh:
+			mu.Lock()
+			defer mu.Unlock()
+			return code, out.String(), errb.String()
+		case <-time.After(20 * time.Second):
+			t.Fatal("daemon did not drain in time")
+			return -1, "", ""
+		}
+	}
+	return "http://" + addr, stop
+}
+
+func TestAdaptiveLinkdServesAndDrains(t *testing.T) {
+	base, stop := startDaemon(t)
+	// Create an index and link against it over the wire.
+	body := `{"name":"atlas","tuples":[{"key":"via monte bianco nord 12"},{"key":"lago di como est"}]}`
+	resp, err := http.Post(base+"/v1/indexes", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/link", "application/json",
+		strings.NewReader(`{"index":"atlas","key":"via monte bianca nord 12"}`))
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	var lr service.LinkResponseDTO
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(lr.Results) != 1 || len(lr.Results[0].Matches) != 1 || lr.Results[0].Matches[0].Exact {
+		t.Fatalf("escalated link over the wire = %+v", lr.Results)
+	}
+	code, stdout, stderr := stop()
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"listening on", "draining", "drained, bye"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestAdaptiveLinkdPreload(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "ref.csv")
+	if err := os.WriteFile(csvPath, []byte("location,extra\nvia monte bianco nord 12,a\nlago di como est,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, stop := startDaemon(t, "-preload", "atlas="+csvPath, "-preload-key", "location")
+	resp, err := http.Get(base + "/v1/indexes/atlas")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	var info service.IndexInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if info.Size != 2 {
+		t.Fatalf("preloaded size = %d, want 2", info.Size)
+	}
+	if code, stdout, _ := stop(); code != 0 || !strings.Contains(stdout, `preloaded index "atlas" with 2 tuples`) {
+		t.Fatalf("exit %d stdout %s", code, stdout)
+	}
+}
+
+func TestAdaptiveLinkdFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	ctx := context.Background()
+	if code := runAdaptiveLinkd(ctx, []string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d", code)
+	}
+	if code := runAdaptiveLinkd(ctx, []string{"-preload", "malformed"}, &out, &errb); code != 2 {
+		t.Fatalf("bad preload exit = %d", code)
+	}
+	if code := runAdaptiveLinkd(ctx, []string{"-preload", "x=/does/not/exist.csv"}, &out, &errb); code != 1 {
+		t.Fatalf("missing preload exit = %d", code)
+	}
+	if code := runAdaptiveLinkd(ctx, []string{"-addr", "256.256.256.256:99999"}, &out, &errb); code != 1 {
+		t.Fatalf("bad addr exit = %d", code)
+	}
+}
+
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := RunLinkBench(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestLinkBenchAgainstService(t *testing.T) {
+	svc := service.New(service.Config{Workers: 4, QueueDepth: 128})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "BENCH_service.json")
+	code, stdout, stderr := runBench(t,
+		"-addr", ts.URL, "-n", "40", "-c", "8", "-batch", "3",
+		"-parent", "200", "-out", outPath, "-note", "unit test", "-host", "test-host")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{"created index", "req/s", "latency p50", "appended point"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("bench file: %v", err)
+	}
+	var bf struct {
+		Description string            `json:"description"`
+		Points      []json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatalf("bench file invalid: %v\n%s", err, raw)
+	}
+	if bf.Description == "" || len(bf.Points) != 1 {
+		t.Fatalf("bench file contents: %s", raw)
+	}
+	// A second run appends (index exists -> reuse) rather than clobbers.
+	code, stdout, stderr = runBench(t, "-addr", ts.URL, "-n", "10", "-c", "2", "-parent", "200", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("second run exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "already exists, reusing") {
+		t.Errorf("second run did not reuse index:\n%s", stdout)
+	}
+	raw, _ = os.ReadFile(outPath)
+	if err := json.Unmarshal(raw, &bf); err != nil || len(bf.Points) != 2 {
+		t.Fatalf("bench file after second run (%v): %s", err, raw)
+	}
+}
+
+func TestLinkBenchValidation(t *testing.T) {
+	if code, _, _ := runBench(t); code != 2 {
+		t.Fatal("missing -addr accepted")
+	}
+	if code, _, _ := runBench(t, "-addr", "http://x", "-n", "0"); code != 2 {
+		t.Fatal("zero -n accepted")
+	}
+	// Unreachable server: requests fail, exit 1.
+	code, _, stderr := runBench(t, "-addr", "http://127.0.0.1:1", "-n", "3", "-c", "1", "-parent", "50")
+	if code != 1 {
+		t.Fatalf("unreachable server exit = %d, stderr: %s", code, stderr)
+	}
+}
+
+func TestLinkBenchFailsOnNon2xx(t *testing.T) {
+	// A server without the bench index and -create=false: 404s must
+	// surface as a non-zero exit.
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+	code, _, stderr := runBench(t, "-addr", ts.URL, "-create=false", "-n", "5", "-c", "2", "-parent", "50")
+	if code != 1 || !strings.Contains(stderr, "requests failed") {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}
+
+func TestAppendBenchPointRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendBenchPoint(path, BenchPoint{}); err == nil {
+		t.Fatal("garbage bench file accepted")
+	}
+}

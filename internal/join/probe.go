@@ -1,0 +1,183 @@
+package join
+
+import (
+	"fmt"
+	"sync"
+
+	"adaptivelink/internal/hashidx"
+	"adaptivelink/internal/qgram"
+	"adaptivelink/internal/relation"
+)
+
+// RefIndex is the resident, index-once/probe-many counterpart of the
+// streaming Engine: one side of the join (the reference, conventionally
+// the parent table R) is fully materialised into BOTH hash structures of
+// Fig. 3 — the exact attribute-value table and the q-gram inverted index
+// — and then probed many times by independent clients.
+//
+// The trade-off against the streaming engine is deliberate: keeping both
+// indexes up to date forfeits the lazy-maintenance saving of §2.3, but
+// in exchange an operator switch on the probe path costs nothing (there
+// is never an index to catch up), which is what makes cheap per-probe
+// adaptivity possible — see adaptive.ProbeLoop.
+//
+// Concurrency: a RefIndex is safe for concurrent use. Probes take a read
+// lock and may run in parallel; Upsert takes the write lock, so
+// incremental reference maintenance is applied at quiescent points — the
+// write lock is granted only when no probe is in flight, and no probe
+// ever observes a half-applied batch.
+//
+// The store is keyed: one resident record per join key, newest wins —
+// on the initial load exactly as on later upserts. Callers whose
+// reference carries several records per key must disambiguate the key
+// before indexing (see the public NewIndex contract).
+type RefIndex struct {
+	mu  sync.RWMutex
+	cfg Config
+	ex  *qgram.Extractor
+
+	tuples []relation.Tuple
+	keys   []string
+	exIdx  *hashidx.ExactIndex
+	qgIdx  *hashidx.QGramIndex
+	// newest[key] is the most recent ref carrying that join key, the
+	// target of an upsert-by-key payload replacement.
+	newest map[string]int
+}
+
+// RefMatch is one probe result: a stored reference tuple together with
+// the verified similarity evidence.
+type RefMatch struct {
+	// Ref is the tuple's dense position in the reference store.
+	Ref int
+	// Tuple is a snapshot of the stored reference tuple.
+	Tuple relation.Tuple
+	// Similarity is 1 for key-equal matches, otherwise the configured
+	// measure's verified value.
+	Similarity float64
+	// Exact reports key equality.
+	Exact bool
+}
+
+// NewRefIndex builds an empty resident index under the configuration's
+// gram width, measure and threshold (Config.Initial and RetainWindow do
+// not apply to the resident mode and are ignored).
+func NewRefIndex(cfg Config) (*RefIndex, error) {
+	cfg.Initial = LexRex
+	cfg.RetainWindow = 0
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ex := qgram.New(cfg.Q)
+	return &RefIndex{
+		cfg:    cfg,
+		ex:     ex,
+		exIdx:  hashidx.NewExactIndex(),
+		qgIdx:  hashidx.NewQGramIndex(ex),
+		newest: make(map[string]int),
+	}, nil
+}
+
+// Config returns the index's configuration.
+func (r *RefIndex) Config() Config { return r.cfg }
+
+// Len returns the number of resident reference tuples.
+func (r *RefIndex) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
+
+// Entries reports the live entry counts of the two indexes (exact refs,
+// q-gram postings).
+func (r *RefIndex) Entries() (exact, qgrams int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.exIdx.Entries(), r.qgIdx.Entries()
+}
+
+// Tuple returns a snapshot of the reference tuple at ref.
+func (r *RefIndex) Tuple(ref int) (relation.Tuple, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if ref < 0 || ref >= len(r.tuples) {
+		return relation.Tuple{}, fmt.Errorf("join: ref %d outside resident store of %d tuples", ref, len(r.tuples))
+	}
+	return r.tuples[ref], nil
+}
+
+// Upsert applies a batch of reference maintenance at a quiescent point:
+// a tuple whose join key is already resident replaces the newest stored
+// tuple with that key (payload update — the hash entries are keyed by
+// the unchanged join key, so no index surgery is needed); a tuple with a
+// new key is appended to the store and inserted into both indexes. It
+// returns the inserted and updated counts.
+func (r *RefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range tuples {
+		if ref, ok := r.newest[t.Key]; ok {
+			r.tuples[ref] = t
+			updated++
+			continue
+		}
+		ref := len(r.tuples)
+		r.tuples = append(r.tuples, t)
+		r.keys = append(r.keys, t.Key)
+		r.exIdx.Insert(ref, t.Key)
+		r.qgIdx.Insert(ref, t.Key)
+		r.newest[t.Key] = ref
+		inserted++
+	}
+	return inserted, updated
+}
+
+// ProbeExact matches the key against the reference exactly: a hash
+// lookup, the SHJoin probe of §2.2.
+func (r *RefIndex) ProbeExact(key string) []RefMatch {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	refs := r.exIdx.Lookup(key)
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]RefMatch, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, RefMatch{Ref: ref, Tuple: r.tuples[ref], Similarity: 1, Exact: true})
+	}
+	return out
+}
+
+// ProbeApprox matches the key against the reference approximately:
+// q-gram candidate generation with the count bound of §2.2 followed by
+// similarity verification against θsim — the SSHJoin probe. Key-equal
+// pairs are always reported (with similarity 1), exactly as the
+// streaming engine's approximate probe reports them, so the approximate
+// result is a superset of the exact one.
+func (r *RefIndex) ProbeApprox(key string) []RefMatch {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	grams := r.ex.Grams(key)
+	g := len(grams)
+	k := r.cfg.Measure.MinOverlap(g, r.cfg.Theta)
+	var out []RefMatch
+	for _, cand := range r.qgIdx.ProbeGrams(grams, k) {
+		sim := r.cfg.Measure.Coefficient(g, r.qgIdx.GramSize(cand.Ref), cand.Overlap)
+		exact := r.keys[cand.Ref] == key
+		if exact {
+			sim = 1
+		} else if sim < r.cfg.Theta {
+			continue
+		}
+		out = append(out, RefMatch{Ref: cand.Ref, Tuple: r.tuples[cand.Ref], Similarity: sim, Exact: exact})
+	}
+	return out
+}
+
+// Probe matches under the given mode.
+func (r *RefIndex) Probe(mode Mode, key string) []RefMatch {
+	if mode == Approx {
+		return r.ProbeApprox(key)
+	}
+	return r.ProbeExact(key)
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a minimal Prometheus-style metric registry backing the
+// linkage service's /metrics endpoint (text exposition format 0.0.4),
+// implemented on the standard library only. It supports float64
+// counters and gauges with a fixed label set per series; series are
+// created idempotently, so hot paths may call Counter/Gauge repeatedly
+// without allocation races.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter" or "gauge"
+	series map[string]*Value
+	labels []string
+}
+
+// Value is one metric series: an atomically updated float64.
+type Value struct {
+	bits atomic.Uint64
+}
+
+// Add increments the series by d (which must be non-negative for
+// counters; the registry does not police it).
+func (v *Value) Add(d float64) {
+	for {
+		old := v.bits.Load()
+		cur := math.Float64frombits(old)
+		if v.bits.CompareAndSwap(old, math.Float64bits(cur+d)) {
+			return
+		}
+	}
+}
+
+// Inc increments the series by 1.
+func (v *Value) Inc() { v.Add(1) }
+
+// Set overwrites the series (gauges).
+func (v *Value) Set(x float64) { v.bits.Store(math.Float64bits(x)) }
+
+// Get returns the series' current value.
+func (v *Value) Get() float64 { return math.Float64frombits(v.bits.Load()) }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter series for name and labels, creating the
+// family (with help text) and the series as needed. labels is the
+// rendered Prometheus label set without braces, e.g.
+// `index="foo",mode="exact"`; it must be a fixed enumerable vocabulary
+// (the registry escapes nothing). Empty labels mean an unlabelled
+// series.
+func (r *Registry) Counter(name, help, labels string) *Value {
+	return r.series(name, help, "counter", labels)
+}
+
+// Gauge returns the gauge series for name and labels, creating family
+// and series as needed.
+func (r *Registry) Gauge(name, help, labels string) *Value {
+	return r.series(name, help, "gauge", labels)
+}
+
+func (r *Registry) series(name, help, kind, labels string) *Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*Value)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	v, ok := f.series[labels]
+	if !ok {
+		v = &Value{}
+		f.series[labels] = v
+		f.labels = append(f.labels, labels)
+		sort.Strings(f.labels)
+	}
+	return v
+}
+
+// DeleteSeries removes every series whose rendered label set contains
+// the given label pair (e.g. `index="foo"` — the closing quote makes
+// the match exact, not a prefix), returning the number of series
+// dropped. Families stay registered; a later Counter/Gauge call
+// recreates a series from zero. The linkage service uses this to stop
+// exporting an index's series when the index is deleted.
+func (r *Registry) DeleteSeries(labelPair string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dropped := 0
+	for _, f := range r.families {
+		kept := f.labels[:0]
+		for _, labels := range f.labels {
+			if strings.Contains(labels, labelPair) {
+				delete(f.series, labels)
+				dropped++
+				continue
+			}
+			kept = append(kept, labels)
+		}
+		f.labels = kept
+	}
+	return dropped
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families and series in sorted order for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, labels := range f.labels {
+			v := f.series[labels].Get()
+			if labels == "" {
+				fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(v))
+			} else {
+				fmt.Fprintf(&b, "%s{%s} %s\n", f.name, labels, formatValue(v))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

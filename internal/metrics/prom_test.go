@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Requests served.", `code="ok"`)
+	c.Inc()
+	c.Add(2)
+	r.Counter("app_requests_total", "Requests served.", `code="err"`).Inc()
+	g := r.Gauge("app_temperature", "Current temperature.", "")
+	g.Set(21.5)
+	// Idempotent re-registration returns the same series.
+	if again := r.Counter("app_requests_total", "Requests served.", `code="ok"`); again.Get() != 3 {
+		t.Fatalf("re-registered counter = %v, want 3", again.Get())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{code="err"} 1
+app_requests_total{code="ok"} 3
+# HELP app_temperature Current temperature.
+# TYPE app_temperature gauge
+app_temperature 21.5
+`
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryDeleteSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("probes_total", "h", `index="foo"`).Add(5)
+	r.Counter("probes_total", "h", `index="foobar"`).Add(7)
+	r.Gauge("size", "h", `index="foo"`).Set(3)
+	r.Counter("up", "h", "").Inc()
+	if got := r.DeleteSeries(`index="foo"`); got != 2 {
+		t.Fatalf("DeleteSeries dropped %d series, want 2", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if strings.Contains(out, `index="foo"}`) {
+		t.Fatalf("deleted series still exported:\n%s", out)
+	}
+	// The closing quote makes the match exact: foobar survives.
+	if !strings.Contains(out, `probes_total{index="foobar"} 7`) {
+		t.Fatalf("unrelated series dropped:\n%s", out)
+	}
+	// Recreating the series starts from zero.
+	if got := r.Counter("probes_total", "h", `index="foo"`).Get(); got != 0 {
+		t.Fatalf("recreated series = %v, want 0", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", "")
+}
+
+func TestValueConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	v := r.Counter("c_total", "", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				v.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Get(); got != 8000 {
+		t.Fatalf("concurrent adds = %v, want 8000", got)
+	}
+}

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"adaptivelink"
+)
+
+// Wire DTOs. The JSON API is deliberately small: tuples are key +
+// optional payload attributes, and a link request probes one index with
+// one or many keys as a single session.
+
+// TupleDTO is a reference tuple on the wire.
+type TupleDTO struct {
+	ID    int      `json:"id,omitempty"`
+	Key   string   `json:"key"`
+	Attrs []string `json:"attrs,omitempty"`
+}
+
+// CreateIndexRequest is the POST /v1/indexes payload.
+type CreateIndexRequest struct {
+	Name string `json:"name"`
+	// Q, Theta and Measure configure matching (0/"" = defaults).
+	Q       int        `json:"q,omitempty"`
+	Theta   float64    `json:"theta,omitempty"`
+	Measure string     `json:"measure,omitempty"`
+	Tuples  []TupleDTO `json:"tuples"`
+}
+
+// UpsertRequest is the POST /v1/indexes/{name}/upsert payload.
+type UpsertRequest struct {
+	Tuples []TupleDTO `json:"tuples"`
+}
+
+// UpsertResponse reports an upsert's effect.
+type UpsertResponse struct {
+	Inserted int `json:"inserted"`
+	Updated  int `json:"updated"`
+	Size     int `json:"size"`
+}
+
+// LinkRequestDTO is the POST /v1/link payload. Key and Keys may not
+// both be set; TimeoutMillis of 0 selects the service default.
+type LinkRequestDTO struct {
+	Index         string   `json:"index"`
+	Key           string   `json:"key,omitempty"`
+	Keys          []string `json:"keys,omitempty"`
+	Strategy      string   `json:"strategy,omitempty"`
+	FutilityK     int      `json:"futility_k,omitempty"`
+	TimeoutMillis int      `json:"timeout_ms,omitempty"`
+}
+
+// MatchDTO is one probe result on the wire.
+type MatchDTO struct {
+	RefID      int      `json:"ref_id"`
+	RefKey     string   `json:"ref_key"`
+	RefAttrs   []string `json:"ref_attrs,omitempty"`
+	Similarity float64  `json:"similarity"`
+	Exact      bool     `json:"exact"`
+}
+
+// KeyResultDTO pairs one probed key with its matches.
+type KeyResultDTO struct {
+	Key     string     `json:"key"`
+	Matches []MatchDTO `json:"matches"`
+}
+
+// LinkResponseDTO is the POST /v1/link response.
+type LinkResponseDTO struct {
+	Results []KeyResultDTO            `json:"results"`
+	Session adaptivelink.SessionStats `json:"session"`
+}
+
+type errorDTO struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies (tuple uploads included).
+const maxBodyBytes = 64 << 20
+
+// NewHandler exposes the service over HTTP/JSON (stdlib routing only):
+//
+//	POST   /v1/indexes                create an index from tuples
+//	GET    /v1/indexes                list indexes
+//	GET    /v1/indexes/{name}         one index's info
+//	POST   /v1/indexes/{name}/upsert  incremental reference maintenance
+//	DELETE /v1/indexes/{name}         drop an index
+//	POST   /v1/link                   probe one index (single key or batch)
+//	GET    /v1/stats                  service counters as JSON
+//	GET    /metrics                   Prometheus text exposition
+//	GET    /healthz                   liveness (503 while draining)
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/indexes", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateIndexRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		info, err := s.CreateIndex(req.Name, indexOptions(req), publicTuples(req.Tuples))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/indexes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ListIndexes())
+	})
+	mux.HandleFunc("GET /v1/indexes/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.GetIndex(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v1/indexes/{name}/upsert", func(w http.ResponseWriter, r *http.Request) {
+		var req UpsertRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		name := r.PathValue("name")
+		inserted, updated, err := s.Upsert(name, publicTuples(req.Tuples))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		info, _ := s.GetIndex(name)
+		writeJSON(w, http.StatusOK, UpsertResponse{Inserted: inserted, Updated: updated, Size: info.Size})
+	})
+	mux.HandleFunc("DELETE /v1/indexes/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteIndex(r.PathValue("name")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/link", func(w http.ResponseWriter, r *http.Request) {
+		var req LinkRequestDTO
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		keys := req.Keys
+		if req.Key != "" {
+			if len(keys) > 0 {
+				writeError(w, fmt.Errorf("%w: set key or keys, not both", ErrInvalid))
+				return
+			}
+			keys = []string{req.Key}
+		}
+		resp, err := s.Link(r.Context(), LinkRequest{
+			Index:     req.Index,
+			Keys:      keys,
+			Strategy:  req.Strategy,
+			FutilityK: req.FutilityK,
+			Timeout:   time.Duration(req.TimeoutMillis) * time.Millisecond,
+		})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := LinkResponseDTO{Results: make([]KeyResultDTO, len(keys)), Session: resp.Session}
+		for i, key := range keys {
+			kr := KeyResultDTO{Key: key, Matches: []MatchDTO{}}
+			for _, m := range resp.Results[i] {
+				kr.Matches = append(kr.Matches, MatchDTO{
+					RefID: m.Ref.ID, RefKey: m.Ref.Key, RefAttrs: m.Ref.Attrs,
+					Similarity: m.Similarity, Exact: m.Exact,
+				})
+			}
+			out.Results[i] = kr
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func indexOptions(req CreateIndexRequest) adaptivelink.IndexOptions {
+	opts := adaptivelink.IndexOptions{Q: req.Q, Theta: req.Theta}
+	switch req.Measure {
+	case "dice":
+		opts.Measure = adaptivelink.Dice
+	case "cosine":
+		opts.Measure = adaptivelink.Cosine
+	case "overlap":
+		opts.Measure = adaptivelink.Overlap
+	default:
+		// "", "jaccard" and unknown values all fall back to the paper's
+		// measure; CreateIndex cannot fail on it.
+		opts.Measure = adaptivelink.Jaccard
+	}
+	return opts
+}
+
+func publicTuples(dtos []TupleDTO) []adaptivelink.Tuple {
+	out := make([]adaptivelink.Tuple, len(dtos))
+	for i, d := range dtos {
+		out[i] = adaptivelink.Tuple{ID: d.ID, Key: d.Key, Attrs: d.Attrs}
+	}
+	return out
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDTO{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalid):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, errorDTO{Error: err.Error()})
+}

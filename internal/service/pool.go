@@ -1,0 +1,122 @@
+// Package service implements the resident linkage service: a registry
+// of named resident indexes (adaptivelink.Index), a bounded worker pool
+// providing admission control for probe work, per-request deadlines, a
+// Prometheus-style metrics surface and graceful drain. cmd/adaptivelinkd
+// exposes it over HTTP/JSON via NewHandler.
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// job states.
+const (
+	jobQueued int32 = iota
+	jobRunning
+	jobCancelled
+)
+
+type job struct {
+	fn    func()
+	state atomic.Int32
+	done  chan struct{}
+}
+
+// pool is a bounded worker pool: W workers consume a queue of depth D,
+// so at most W probe batches execute concurrently and at most D wait.
+// Submission blocks while the queue is full — backpressure, not load
+// shedding — and gives up when the caller's deadline expires first. A
+// job whose deadline expires while it is still queued is skipped; a job
+// that has started always runs to completion (no dropped responses).
+type pool struct {
+	jobs     chan *job
+	wg       sync.WaitGroup // workers
+	inflight sync.WaitGroup // submitted jobs not yet finished/skipped
+	queued   atomic.Int64
+	running  atomic.Int64
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{jobs: make(chan *job, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.queued.Add(-1)
+		if j.state.CompareAndSwap(jobQueued, jobRunning) {
+			p.running.Add(1)
+			j.fn()
+			p.running.Add(-1)
+		}
+		close(j.done)
+		p.inflight.Done()
+	}
+}
+
+// reserve registers one upcoming runReserved call with the drain
+// accounting. The service calls it under its admission lock, so a drain
+// that has begun can never miss an admitted request.
+func (p *pool) reserve() { p.inflight.Add(1) }
+
+// runReserved executes fn on the pool and waits for it to finish; the
+// caller must have called reserve first. It returns ctx.Err() when the
+// deadline expires before the job starts; once the job has started,
+// runReserved always waits for completion and returns nil.
+func (p *pool) runReserved(ctx context.Context, fn func()) error {
+	j := &job{fn: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- j:
+		p.queued.Add(1)
+	case <-ctx.Done():
+		p.inflight.Done()
+		return ctx.Err()
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(jobQueued, jobCancelled) {
+			// Still queued: the worker will skip it.
+			return ctx.Err()
+		}
+		// Already running: the response must not be dropped.
+		<-j.done
+		return nil
+	}
+}
+
+// drainWait blocks until every submitted job has finished or been
+// skipped, or ctx expires.
+func (p *pool) drainWait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close stops the workers. It first waits for every outstanding
+// reservation to resolve — a reservation may be blocked sending to the
+// queue, and closing a channel with a blocked sender panics — so the
+// caller must guarantee both that no further reservations are made
+// (the service's draining flag) and that every outstanding one carries
+// a deadline (Link always does), which bounds the wait.
+func (p *pool) close() {
+	p.inflight.Wait()
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -1,0 +1,506 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"adaptivelink"
+	"adaptivelink/internal/metrics"
+)
+
+// Sentinel errors; the HTTP layer maps them to status codes.
+var (
+	// ErrDraining rejects work admitted after graceful drain began.
+	ErrDraining = errors.New("service draining")
+	// ErrNotFound marks an unknown index name.
+	ErrNotFound = errors.New("index not found")
+	// ErrExists marks a create against an existing name.
+	ErrExists = errors.New("index already exists")
+	// ErrInvalid marks a malformed request.
+	ErrInvalid = errors.New("invalid request")
+)
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// Config sizes the service. The zero value selects usable defaults.
+type Config struct {
+	// Workers is the bounded worker pool size: at most this many link
+	// requests execute concurrently (default max(2, GOMAXPROCS)).
+	Workers int
+	// QueueDepth bounds the admission queue: at most this many link
+	// requests wait for a worker; beyond it submission blocks the
+	// client until space frees or its deadline expires (default 256).
+	QueueDepth int
+	// DefaultDeadline applies to link requests that set none
+	// (default 5s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines (default 60s), so a
+	// request can never hold its admission reservation unboundedly —
+	// the bound graceful shutdown relies on.
+	MaxDeadline time.Duration
+	// MaxBatch caps the keys of one link request (default 4096).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 2 {
+			c.Workers = 2
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.DefaultDeadline > c.MaxDeadline {
+		c.DefaultDeadline = c.MaxDeadline
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	return c
+}
+
+// Service is the resident linkage service: named resident indexes
+// probed by many concurrent sessions, with admission control, deadlines,
+// metrics and graceful drain. All methods are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	pool  *pool
+	reg   *metrics.Registry
+	start time.Time
+
+	admit    sync.RWMutex // serialises admission against Drain
+	draining bool
+
+	mu      sync.RWMutex
+	indexes map[string]*managedIndex
+
+	queuedGauge  *metrics.Value
+	runningGauge *metrics.Value
+	indexGauge   *metrics.Value
+	// requestCounters holds the per-outcome link counters, resolved
+	// once so the hot path neither formats labels nor takes the
+	// registry lock.
+	requestCounters map[string]*metrics.Value
+
+	// testProbeDelay, when set (tests only), runs before every probe of
+	// a link batch, making slow requests reproducible.
+	testProbeDelay func()
+}
+
+// managedIndex pairs a resident index with its metric series.
+type managedIndex struct {
+	name    string
+	ix      *adaptivelink.Index
+	created time.Time
+
+	size          *metrics.Value
+	sessions      *metrics.Value
+	probes        *metrics.Value
+	hits          *metrics.Value
+	exactMatches  *metrics.Value
+	approxMatches *metrics.Value
+	escalations   *metrics.Value
+	switches      *metrics.Value
+	inserted      *metrics.Value
+	updated       *metrics.Value
+	modelledCost  *metrics.Value
+}
+
+// New builds a service with started workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &Service{
+		cfg:     cfg,
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		reg:     reg,
+		start:   time.Now(),
+		indexes: make(map[string]*managedIndex),
+	}
+	s.queuedGauge = reg.Gauge("adaptivelink_link_queued", "Link requests waiting for a worker.", "")
+	s.runningGauge = reg.Gauge("adaptivelink_link_running", "Link requests currently executing.", "")
+	s.indexGauge = reg.Gauge("adaptivelink_indexes", "Resident indexes registered.", "")
+	s.requestCounters = make(map[string]*metrics.Value)
+	for _, code := range []string{"ok", "deadline", "draining", "invalid", "notfound"} {
+		s.requestCounters[code] = reg.Counter("adaptivelink_link_requests_total",
+			"Link requests by outcome.", fmt.Sprintf("code=%q", code))
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+func (s *Service) countRequest(code string) {
+	s.requestCounters[code].Inc()
+}
+
+func (s *Service) newManaged(name string, ix *adaptivelink.Index) *managedIndex {
+	l := func(extra string) string {
+		if extra == "" {
+			return fmt.Sprintf("index=%q", name)
+		}
+		return fmt.Sprintf("index=%q,%s", name, extra)
+	}
+	return &managedIndex{
+		name:    name,
+		ix:      ix,
+		created: time.Now(),
+		size: s.reg.Gauge("adaptivelink_index_size",
+			"Resident reference tuples per index.", l("")),
+		sessions: s.reg.Counter("adaptivelink_sessions_total",
+			"Probe sessions opened per index.", l("")),
+		probes: s.reg.Counter("adaptivelink_probes_total",
+			"Probes served per index.", l("")),
+		hits: s.reg.Counter("adaptivelink_probe_hits_total",
+			"Probes that found at least one match.", l("")),
+		exactMatches: s.reg.Counter("adaptivelink_matches_total",
+			"Result pairs per index and kind.", l(`kind="exact"`)),
+		approxMatches: s.reg.Counter("adaptivelink_matches_total",
+			"Result pairs per index and kind.", l(`kind="approximate"`)),
+		escalations: s.reg.Counter("adaptivelink_escalations_total",
+			"Probes re-run approximately after a deficit signal.", l("")),
+		switches: s.reg.Counter("adaptivelink_session_switches_total",
+			"Operator switches enacted by session control loops.", l("")),
+		inserted: s.reg.Counter("adaptivelink_upserted_tuples_total",
+			"Reference tuples applied by upserts, by effect.", l(`effect="inserted"`)),
+		updated: s.reg.Counter("adaptivelink_upserted_tuples_total",
+			"Reference tuples applied by upserts, by effect.", l(`effect="updated"`)),
+		modelledCost: s.reg.Counter("adaptivelink_modelled_cost_total",
+			"Session cost under the paper's weight model, in all-exact-step units.", l("")),
+	}
+}
+
+// CreateIndex registers a new resident index built from tuples and
+// returns its info as stored (the same CreatedAt later reads report).
+func (s *Service) CreateIndex(name string, opts adaptivelink.IndexOptions, tuples []adaptivelink.Tuple) (IndexInfo, error) {
+	if !nameRe.MatchString(name) {
+		return IndexInfo{}, fmt.Errorf("%w: index name %q (want %s)", ErrInvalid, name, nameRe)
+	}
+	// Cheap existence pre-check before paying for the build; a racing
+	// create of the same name is re-checked under the write lock below.
+	if _, err := s.lookup(name); err == nil {
+		return IndexInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	ix, err := adaptivelink.NewIndex(adaptivelink.FromTuples(tuples), opts)
+	if err != nil {
+		return IndexInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.indexes[name]; ok {
+		return IndexInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	mi := s.newManaged(name, ix)
+	s.indexes[name] = mi
+	mi.size.Set(float64(ix.Len()))
+	mi.inserted.Add(float64(ix.Len()))
+	s.indexGauge.Set(float64(len(s.indexes)))
+	return IndexInfo{Name: name, Size: ix.Len(), CreatedAt: mi.created}, nil
+}
+
+// DeleteIndex removes an index and its exported metric series (a
+// recreated index starts its counters from zero); in-flight sessions
+// on it complete against the released object.
+func (s *Service) DeleteIndex(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.indexes[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(s.indexes, name)
+	s.reg.DeleteSeries(fmt.Sprintf("index=%q", name))
+	s.indexGauge.Set(float64(len(s.indexes)))
+	return nil
+}
+
+// Upsert applies reference maintenance to the named index at a
+// quiescent point (no probe observes a half-applied batch).
+func (s *Service) Upsert(name string, tuples []adaptivelink.Tuple) (inserted, updated int, err error) {
+	mi, err := s.lookup(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	inserted, updated = mi.ix.Upsert(tuples...)
+	mi.inserted.Add(float64(inserted))
+	mi.updated.Add(float64(updated))
+	mi.size.Set(float64(mi.ix.Len()))
+	return inserted, updated, nil
+}
+
+func (s *Service) lookup(name string) (*managedIndex, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mi, ok := s.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return mi, nil
+}
+
+// IndexInfo describes one registered index.
+type IndexInfo struct {
+	Name      string    `json:"name"`
+	Size      int       `json:"size"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// ListIndexes returns the registered indexes sorted by name.
+func (s *Service) ListIndexes() []IndexInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]IndexInfo, 0, len(s.indexes))
+	for _, mi := range s.indexes {
+		out = append(out, IndexInfo{Name: mi.name, Size: mi.ix.Len(), CreatedAt: mi.created})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GetIndex returns one index's info.
+func (s *Service) GetIndex(name string) (IndexInfo, error) {
+	mi, err := s.lookup(name)
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	return IndexInfo{Name: mi.name, Size: mi.ix.Len(), CreatedAt: mi.created}, nil
+}
+
+// LinkRequest is one probe batch: a single key or many, executed as one
+// session so the adaptive statistics accumulate across the batch.
+type LinkRequest struct {
+	Index    string
+	Keys     []string
+	Strategy string // "", "adaptive", "exact", "approximate"
+	// FutilityK configures the session's futility revert (0 = off);
+	// recommended for open-world probe streams.
+	FutilityK int
+	// Timeout is the per-request deadline (0 = service default). It
+	// covers queue wait and execution.
+	Timeout time.Duration
+}
+
+// LinkResponse carries per-key matches (parallel to the request keys)
+// plus the session's statistics.
+type LinkResponse struct {
+	Results [][]adaptivelink.ProbeMatch
+	Session adaptivelink.SessionStats
+}
+
+// ParseStrategy maps the wire strategy names to the public enum.
+func ParseStrategy(s string) (adaptivelink.Strategy, error) {
+	switch s {
+	case "", "adaptive":
+		return adaptivelink.Adaptive, nil
+	case "exact":
+		return adaptivelink.ExactOnly, nil
+	case "approximate":
+		return adaptivelink.ApproximateOnly, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown strategy %q (want adaptive, exact or approximate)", ErrInvalid, s)
+	}
+}
+
+// Link runs one probe batch through admission control and the worker
+// pool. Deadline expiry while queued rejects the request without
+// running it; expiry mid-batch aborts with context.DeadlineExceeded.
+func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, error) {
+	strategy, err := ParseStrategy(req.Strategy)
+	if err != nil {
+		s.countRequest("invalid")
+		return nil, err
+	}
+	if len(req.Keys) == 0 {
+		s.countRequest("invalid")
+		return nil, fmt.Errorf("%w: no keys", ErrInvalid)
+	}
+	if len(req.Keys) > s.cfg.MaxBatch {
+		s.countRequest("invalid")
+		return nil, fmt.Errorf("%w: batch of %d keys exceeds limit %d", ErrInvalid, len(req.Keys), s.cfg.MaxBatch)
+	}
+	if req.FutilityK < 0 {
+		s.countRequest("invalid")
+		return nil, fmt.Errorf("%w: negative futility threshold %d", ErrInvalid, req.FutilityK)
+	}
+	mi, err := s.lookup(req.Index)
+	if err != nil {
+		s.countRequest("notfound")
+		return nil, err
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultDeadline
+	}
+	if timeout > s.cfg.MaxDeadline {
+		timeout = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Admission: reserve the in-flight slot under the read side of the
+	// drain lock, so Drain can never observe a moment where an admitted
+	// request is invisible to its wait.
+	s.admit.RLock()
+	if s.draining {
+		s.admit.RUnlock()
+		s.countRequest("draining")
+		return nil, ErrDraining
+	}
+	s.pool.reserve()
+	s.admit.RUnlock()
+
+	var resp *LinkResponse
+	var jobErr error
+	err = s.pool.runReserved(ctx, func() {
+		sess, err := mi.ix.NewSession(adaptivelink.SessionOptions{
+			Strategy:  strategy,
+			FutilityK: req.FutilityK,
+		})
+		if err != nil {
+			jobErr = fmt.Errorf("%w: %v", ErrInvalid, err)
+			return
+		}
+		mi.sessions.Inc()
+		results := make([][]adaptivelink.ProbeMatch, len(req.Keys))
+		for i, key := range req.Keys {
+			if ctx.Err() != nil {
+				jobErr = ctx.Err()
+				break
+			}
+			if s.testProbeDelay != nil {
+				s.testProbeDelay()
+			}
+			results[i] = sess.Probe(key)
+		}
+		st := sess.Stats()
+		mi.probes.Add(float64(st.Probes))
+		mi.hits.Add(float64(st.Hits))
+		mi.exactMatches.Add(float64(st.ExactMatches))
+		mi.approxMatches.Add(float64(st.ApproxMatches))
+		mi.escalations.Add(float64(st.Escalations))
+		mi.switches.Add(float64(st.Switches))
+		mi.modelledCost.Add(st.ModelledCost)
+		if jobErr == nil {
+			resp = &LinkResponse{Results: results, Session: st}
+		}
+	})
+	if err == nil {
+		err = jobErr
+	}
+	switch {
+	case err == nil:
+		s.countRequest("ok")
+		return resp, nil
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.countRequest("deadline")
+		return nil, fmt.Errorf("link %q: %w", req.Index, err)
+	default:
+		s.countRequest("invalid")
+		return nil, err
+	}
+}
+
+// Draining reports whether graceful drain has begun.
+func (s *Service) Draining() bool {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	return s.draining
+}
+
+// Drain begins graceful shutdown: new link requests are rejected with
+// ErrDraining, and Drain returns once every admitted request has
+// finished — zero dropped responses — or ctx expires.
+func (s *Service) Drain(ctx context.Context) error {
+	s.admit.Lock()
+	s.draining = true
+	s.admit.Unlock()
+	return s.pool.drainWait(ctx)
+}
+
+// Close stops the worker pool. Call after Drain.
+func (s *Service) Close() { s.pool.close() }
+
+// WriteMetrics renders the Prometheus exposition, refreshing the live
+// gauges first.
+func (s *Service) WriteMetrics(w interface{ Write([]byte) (int, error) }) error {
+	s.queuedGauge.Set(float64(s.pool.queued.Load()))
+	s.runningGauge.Set(float64(s.pool.running.Load()))
+	return s.reg.WritePrometheus(w)
+}
+
+// IndexStats is the per-index slice of a Snapshot.
+type IndexStats struct {
+	Name          string    `json:"name"`
+	Size          int       `json:"size"`
+	CreatedAt     time.Time `json:"created_at"`
+	Sessions      int64     `json:"sessions"`
+	Probes        int64     `json:"probes"`
+	Hits          int64     `json:"hits"`
+	ExactMatches  int64     `json:"exact_matches"`
+	ApproxMatches int64     `json:"approx_matches"`
+	Escalations   int64     `json:"escalations"`
+	Switches      int64     `json:"switches"`
+	Inserted      int64     `json:"inserted"`
+	Updated       int64     `json:"updated"`
+	ModelledCost  float64   `json:"modelled_cost"`
+}
+
+// Snapshot is the /v1/stats payload.
+type Snapshot struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Draining      bool         `json:"draining"`
+	Workers       int          `json:"workers"`
+	QueueDepth    int          `json:"queue_depth"`
+	Queued        int64        `json:"queued"`
+	Running       int64        `json:"running"`
+	Indexes       []IndexStats `json:"indexes"`
+}
+
+// Snapshot returns a consistent-enough view of the service counters for
+// diagnostics (counters are read individually, not under one lock).
+func (s *Service) Snapshot() Snapshot {
+	snap := Snapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.Draining(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		Queued:        s.pool.queued.Load(),
+		Running:       s.pool.running.Load(),
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, mi := range s.indexes {
+		snap.Indexes = append(snap.Indexes, IndexStats{
+			Name:          mi.name,
+			Size:          mi.ix.Len(),
+			CreatedAt:     mi.created,
+			Sessions:      int64(mi.sessions.Get()),
+			Probes:        int64(mi.probes.Get()),
+			Hits:          int64(mi.hits.Get()),
+			ExactMatches:  int64(mi.exactMatches.Get()),
+			ApproxMatches: int64(mi.approxMatches.Get()),
+			Escalations:   int64(mi.escalations.Get()),
+			Switches:      int64(mi.switches.Get()),
+			Inserted:      int64(mi.inserted.Get()),
+			Updated:       int64(mi.updated.Get()),
+			ModelledCost:  mi.modelledCost.Get(),
+		})
+	}
+	sort.Slice(snap.Indexes, func(i, j int) bool { return snap.Indexes[i].Name < snap.Indexes[j].Name })
+	return snap
+}

@@ -1,0 +1,198 @@
+package adaptivelink
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/stream"
+)
+
+// parityData builds a parent/child pair for probe-parity runs. Parent
+// keys are deduplicated defensively: the resident index upserts by key
+// (a duplicate updates instead of inserting), while the batch engine
+// stores duplicates twice, and the parity statement quantifies over
+// identical reference contents.
+func parityData(t *testing.T) (parent, probes []Tuple) {
+	t.Helper()
+	data, err := GenerateTestData(7, 300, 900, PatternUniform, 0.15, true)
+	if err != nil {
+		t.Fatalf("GenerateTestData: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range data.Parent {
+		if seen[p.Key] {
+			continue
+		}
+		seen[p.Key] = true
+		parent = append(parent, p)
+	}
+	return parent, data.Child
+}
+
+func relationOf(name string, ts []Tuple) *relation.Relation {
+	rel := relation.New(name, relation.NewSchema("key"))
+	for _, t := range ts {
+		rel.Append(t.Key, t.Attrs...)
+	}
+	return rel
+}
+
+// batchMatchSet drains a sequential engine pinned to the given Fig. 4
+// state over a build-then-probe scan: the reference (left) side streams
+// first, so every result pair is found by a probe-side tuple probing the
+// fully built reference index — the same matching the resident Index
+// performs — and the state's probe-side mode alone determines the set.
+func batchMatchSet(t *testing.T, state join.State, parent, probes []Tuple) map[string]int {
+	t.Helper()
+	cfg := join.Defaults()
+	cfg.Initial = state
+	e, err := join.New(cfg,
+		stream.FromRelation(relationOf("parent", parent)),
+		stream.FromRelation(relationOf("child", probes)),
+		stream.Sequential{First: stream.Left})
+	if err != nil {
+		t.Fatalf("join.New: %v", err)
+	}
+	if err := e.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	set := make(map[string]int)
+	for {
+		m, ok, err := e.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		set[fmt.Sprintf("%s|%s|%.9f|%v", m.LeftKey, m.RightKey, m.Similarity, m.Exact)]++
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return set
+}
+
+// probeMatchSet shuffles the probe stream, splits it over P concurrent
+// sessions of the given strategy on one shared Index, and returns the
+// combined match multiset.
+func probeMatchSet(t *testing.T, ix *Index, strategy Strategy, probes []Tuple, par int, seed int64) map[string]int {
+	t.Helper()
+	shuffled := append([]Tuple(nil), probes...)
+	rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	sets := make([]map[string]int, par)
+	var wg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sess, err := ix.NewSession(SessionOptions{Strategy: strategy})
+			if err != nil {
+				t.Errorf("NewSession: %v", err)
+				return
+			}
+			set := make(map[string]int)
+			for i := p; i < len(shuffled); i += par {
+				for _, m := range sess.Probe(shuffled[i].Key) {
+					set[fmt.Sprintf("%s|%s|%.9f|%v", m.Ref.Key, shuffled[i].Key, m.Similarity, m.Exact)]++
+				}
+			}
+			sets[p] = set
+		}(p)
+	}
+	wg.Wait()
+	merged := make(map[string]int)
+	for _, set := range sets {
+		for k, n := range set {
+			merged[k] += n
+		}
+	}
+	return merged
+}
+
+func diffMultisets(t *testing.T, label string, want, got map[string]int) {
+	t.Helper()
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s: match %q count %d, want %d", label, k, got[k], n)
+		}
+	}
+	for k, n := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: unexpected match %q (count %d)", label, k, n)
+		}
+	}
+}
+
+// TestProbeParityWithBatchStates is the probe-many parity contract: for
+// each of the four Fig. 4 processor states, the multiset of matches
+// returned by P concurrent probe sessions over a shuffled probe stream
+// is identical to the sequential batch engine's full result in that
+// state. The probe operator mirrors the state's probe-side mode; the
+// reference-side mode cannot contribute matches under a build-then-probe
+// scan, which is what the resident index materialises.
+func TestProbeParityWithBatchStates(t *testing.T) {
+	parent, probes := parityData(t)
+	ix, err := NewIndex(FromTuples(parent), IndexOptions{})
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	for si, state := range join.AllStates {
+		state := state
+		t.Run(state.Short(), func(t *testing.T) {
+			want := batchMatchSet(t, state, parent, probes)
+			if len(want) == 0 {
+				t.Fatal("batch produced no matches; degenerate fixture")
+			}
+			strategy := ExactOnly
+			if state.Right == join.Approx {
+				strategy = ApproximateOnly
+			}
+			for _, par := range []int{1, 4} {
+				got := probeMatchSet(t, ix, strategy, probes, par, int64(100*si+par))
+				diffMultisets(t, fmt.Sprintf("%v P=%d", state, par), want, got)
+			}
+		})
+	}
+}
+
+// TestProbeAdaptiveBracketedByBaselines: concurrent adaptive sessions
+// land between the two fixed baselines — at least every exact match, at
+// most the approximate ceiling — for any interleaving.
+func TestProbeAdaptiveBracketedByBaselines(t *testing.T) {
+	parent, probes := parityData(t)
+	ix, err := NewIndex(FromTuples(parent), IndexOptions{})
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	exact := batchMatchSet(t, join.LexRex, parent, probes)
+	ceiling := batchMatchSet(t, join.LapRap, parent, probes)
+	got := probeMatchSet(t, ix, Adaptive, probes, 4, 11)
+	for k, n := range exact {
+		if got[k] < n {
+			t.Errorf("adaptive lost exact match %q: %d < %d", k, got[k], n)
+		}
+	}
+	for k, n := range got {
+		if ceiling[k] < n {
+			t.Errorf("adaptive exceeded approximate ceiling at %q: %d > %d", k, n, ceiling[k])
+		}
+	}
+	if sum(got) <= sum(exact) {
+		t.Errorf("adaptive recovered nothing: %d matches vs exact baseline %d on a 15%% perturbed stream", sum(got), sum(exact))
+	}
+}
+
+func sum(set map[string]int) int {
+	n := 0
+	for _, c := range set {
+		n += c
+	}
+	return n
+}
