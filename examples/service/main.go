@@ -52,6 +52,22 @@ func main() {
 	fmt.Printf("library session: %d probes, %d escalations, state %s, modelled cost %.1f\n\n",
 		st.Probes, st.Escalations, st.State, st.ModelledCost)
 
+	// Batch probing: one ProbeBatch call routes the whole batch, loads
+	// each shard snapshot once and (on multi-core hosts) fans shard
+	// groups out concurrently — with exactly the statistics a loop of
+	// single probes would produce.
+	batchSess, err := ix.NewSession(adaptivelink.SessionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := []string{"valle verde ovest 9", "via monte bianca nord 12", "no such street 1"}
+	for i, ms := range batchSess.ProbeBatch(batch) {
+		fmt.Printf("  batch[%d] %-28q -> %d match(es)\n", i, batch[i], len(ms))
+	}
+	bst := batchSess.Stats()
+	fmt.Printf("batch session: %d probes in one call, %d hits, %d escalations\n\n",
+		bst.Probes, bst.Hits, bst.Escalations)
+
 	// --- Wire form: the same flow over adaptivelinkd's HTTP API. ---
 	svc := service.New(service.Config{})
 	defer svc.Close()
@@ -84,6 +100,8 @@ func main() {
 		Tuples: []service.TupleDTO{{ID: 2, Key: "valle verde ovest 9", Attrs: []string{"Torino"}}},
 	})
 
+	// A keys batch is one session server-side: the whole batch runs
+	// through Session.ProbeBatch inside a single worker slot.
 	var lr service.LinkResponseDTO
 	if err := json.Unmarshal(post("/v1/link", service.LinkRequestDTO{
 		Index: "atlas",

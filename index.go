@@ -2,6 +2,7 @@ package adaptivelink
 
 import (
 	"fmt"
+	"runtime"
 
 	"adaptivelink/internal/adaptive"
 	"adaptivelink/internal/join"
@@ -11,7 +12,8 @@ import (
 )
 
 // IndexOptions configures a resident Index. The zero value selects the
-// paper's matching defaults (q = 3, Jaccard, calibrated θsim).
+// paper's matching defaults (q = 3, Jaccard, calibrated θsim) and one
+// shard per hardware thread.
 type IndexOptions struct {
 	// Q is the q-gram width (default 3).
 	Q int
@@ -19,6 +21,13 @@ type IndexOptions struct {
 	Theta float64
 	// Measure is the similarity coefficient (default Jaccard).
 	Measure Measure
+	// Shards is the number of independent index shards (default
+	// GOMAXPROCS). Probes are lock-free at any shard count; more shards
+	// spread batch work across cores at the price of replicating
+	// references into every shard their prefix-filter signature hashes
+	// to (~min(5, Shards)× for the paper's configuration). The match
+	// contract is shard-count-independent.
+	Shards int
 }
 
 // SessionOptions configures a probe Session. The zero value selects an
@@ -77,16 +86,23 @@ type ProbeMatch struct {
 
 // Index is the resident, index-once/probe-many engine mode: the
 // reference table is materialised into both the exact hash table and the
-// q-gram inverted index up front, and then probed many times by
+// q-gram inverted index up front — sharded by the same co-partitioning
+// as the parallel streaming executor — and then probed many times by
 // independent clients.
 //
-// An Index is safe for concurrent use: probes run in parallel under a
-// read lock, and Upsert applies reference maintenance at quiescent
-// points (the write lock is granted only when no probe is in flight).
-// Sessions are per-client state and are NOT safe for concurrent use —
-// give each goroutine its own.
+// An Index is safe for concurrent use and its probe path is lock-free:
+// each shard publishes an immutable snapshot through an atomic pointer,
+// a probe reads the snapshots of the shards its key routes to, and
+// Upsert builds replacement snapshots off-path and swaps them in
+// (RCU-style), so probes never wait on maintenance and maintenance
+// never waits on probes. Consistency model: a probe sees a
+// point-in-time state of each shard it reads, upserts are atomic per
+// key (a probe observes a key's old payload or its new one, never a
+// mix), and a cross-shard batch is per-shard-consistent. Sessions are
+// per-client state and are NOT safe for concurrent use — give each
+// goroutine its own.
 type Index struct {
-	ref  *join.RefIndex
+	res  join.Resident
 	opts IndexOptions
 }
 
@@ -116,17 +132,23 @@ func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
 	if opts.Theta == 0 {
 		opts.Theta = join.DefaultTheta
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("adaptivelink: negative shard count %d", opts.Shards)
+	}
+	if opts.Shards == 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
 	cfg := join.Config{
 		Q:       opts.Q,
 		Theta:   opts.Theta,
 		Measure: simfn.TokenMeasure(opts.Measure),
 		Initial: join.LexRex,
 	}
-	ri, err := join.NewRefIndex(cfg)
+	ri, err := join.NewShardedRefIndex(cfg, opts.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: %w", err)
 	}
-	ix := &Index{ref: ri, opts: opts}
+	ix := &Index{res: ri, opts: opts}
 	var batch []Tuple
 	for {
 		t, ok, err := ref.Next()
@@ -143,7 +165,7 @@ func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
 }
 
 // Len returns the number of resident reference tuples.
-func (ix *Index) Len() int { return ix.ref.Len() }
+func (ix *Index) Len() int { return ix.res.Len() }
 
 // Options returns the index's matching configuration.
 func (ix *Index) Options() IndexOptions { return ix.opts }
@@ -162,7 +184,7 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int) {
 	for i, t := range tuples {
 		rts[i] = relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
 	}
-	return ix.ref.Upsert(rts)
+	return ix.res.Upsert(rts)
 }
 
 // Probe is the sessionless one-shot probe: it matches the key exactly
@@ -173,11 +195,39 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int) {
 // escalation entirely while the stream is behaving and prices it
 // statistically when it is not.
 func (ix *Index) Probe(key string) []ProbeMatch {
-	res := ix.ref.ProbeExact(key)
+	res := ix.res.ProbeExact(key)
 	if len(res) == 0 {
-		res = ix.ref.ProbeApprox(key)
+		res = ix.res.ProbeApprox(key)
 	}
 	return publicMatches(res)
+}
+
+// ProbeBatch is the sessionless batch probe: every key is matched
+// exactly in one amortised pass, and only the keys with no exact match
+// are then matched approximately in a second pass — the batch shape of
+// Probe's exact-then-escalate policy. Results are returned per key in
+// request order. Safe for concurrent use.
+func (ix *Index) ProbeBatch(keys ...string) [][]ProbeMatch {
+	results := make([][]ProbeMatch, len(keys))
+	if len(keys) == 0 {
+		return results
+	}
+	var missIdx []int
+	var missKeys []string
+	for i, rm := range ix.res.ProbeBatch(join.Exact, keys) {
+		if len(rm) == 0 {
+			missIdx = append(missIdx, i)
+			missKeys = append(missKeys, keys[i])
+			continue
+		}
+		results[i] = publicMatches(rm)
+	}
+	if len(missKeys) > 0 {
+		for j, rm := range ix.res.ProbeBatch(join.Approx, missKeys) {
+			results[missIdx[j]] = publicMatches(rm)
+		}
+	}
+	return results
 }
 
 // SessionStats summarises a session's execution.
@@ -277,17 +327,90 @@ func (s *Session) Probe(key string) []ProbeMatch {
 	var res []join.RefMatch
 	switch s.strategy {
 	case ExactOnly:
-		res = s.ix.ref.ProbeExact(key)
+		res = s.ix.res.ProbeExact(key)
 	case ApproximateOnly:
-		res = s.ix.ref.ProbeApprox(key)
+		res = s.ix.res.ProbeApprox(key)
 	default:
-		res = s.ix.ref.Probe(s.loop.Mode(), key)
+		res = s.ix.res.Probe(s.loop.Mode(), key)
 		if s.loop.NoteProbe(s.ix.Len(), len(res) > 0, countApprox(res)) {
-			res = s.ix.ref.ProbeApprox(key)
+			res = s.ix.res.ProbeApprox(key)
 			s.loop.NoteEscalation(len(res) > 0, countApprox(res))
 			s.stats.Escalations++
 		}
 	}
+	s.note(res)
+	return publicMatches(res)
+}
+
+// approxSpeculate caps how many keys an adaptive batch probes ahead
+// while the session is in the approximate state; see ProbeBatch.
+const approxSpeculate = 1
+
+// ProbeBatch probes a batch of keys as this session, one result slice
+// per key in request order. It is semantically identical to calling
+// Probe on each key — same matches, same statistics, same control-loop
+// trajectory — but amortises routing and snapshot loads per shard-group
+// and, on multi-core hosts, fans the shard groups out concurrently.
+//
+// Adaptive sessions run the batch in sub-batches probed under the
+// current operator, feeding the outcomes to the control loop in probe
+// order; if the loop switches operators mid-batch (including the
+// per-probe escalation of a miss that fired σ), results computed under
+// the stale operator are discarded and the remainder is re-probed under
+// the new one, exactly as if those keys had not been probed yet.
+func (s *Session) ProbeBatch(keys []string) [][]ProbeMatch {
+	results := make([][]ProbeMatch, len(keys))
+	if len(keys) == 0 {
+		return results
+	}
+	if s.loop == nil {
+		mode := join.Exact
+		if s.strategy == ApproximateOnly {
+			mode = join.Approx
+		}
+		for i, rm := range s.ix.res.ProbeBatch(mode, keys) {
+			s.note(rm)
+			results[i] = publicMatches(rm)
+		}
+		return results
+	}
+	for i := 0; i < len(keys); {
+		mode := s.loop.Mode()
+		sub := keys[i:]
+		// Results computed past a mid-batch operator switch are thrown
+		// away. Wasted exact probes are cheap (w_EE = 1), so the exact
+		// path speculates on the whole remainder; approximate probes
+		// cost ~50× and reverts are frequent right after an escalation,
+		// so the approximate path speculates only a few keys ahead.
+		// Chunking is split-invariant, hence invisible in results and
+		// statistics (pinned by TestSessionProbeBatchMatchesSequential).
+		if mode == join.Approx && len(sub) > approxSpeculate {
+			sub = sub[:approxSpeculate]
+		}
+		rms := s.ix.res.ProbeBatch(mode, sub)
+		outs := make([]adaptive.BatchOutcome, len(rms))
+		for j, rm := range rms {
+			outs[j] = adaptive.BatchOutcome{Hit: len(rm) > 0, ApproxMatches: countApprox(rm)}
+		}
+		consumed, escalate := s.loop.NoteBatch(s.ix.Len(), outs)
+		for j := 0; j < consumed; j++ {
+			rm := rms[j]
+			if escalate && j == consumed-1 {
+				rm = s.ix.res.ProbeApprox(keys[i+j])
+				s.loop.NoteEscalation(len(rm) > 0, countApprox(rm))
+				s.stats.Escalations++
+			}
+			s.note(rm)
+			results[i+j] = publicMatches(rm)
+		}
+		i += consumed
+	}
+	return results
+}
+
+// note folds one probe's final (possibly escalated) result into the
+// session counters.
+func (s *Session) note(res []join.RefMatch) {
 	s.stats.Probes++
 	if len(res) > 0 {
 		s.stats.Hits++
@@ -300,7 +423,6 @@ func (s *Session) Probe(key string) []ProbeMatch {
 			s.stats.ApproxMatches++
 		}
 	}
-	return publicMatches(res)
 }
 
 // State returns the session's processor state name. Fixed strategies

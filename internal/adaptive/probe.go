@@ -161,6 +161,39 @@ func (l *ProbeLoop) NoteProbe(refSize int, hit bool, approxMatches int) (escalat
 	return wasExact && l.Mode() == join.Approx && !hit
 }
 
+// BatchOutcome is one probe's observation inside a batch: whether it
+// hit and how many of its matches were non-exact.
+type BatchOutcome struct {
+	Hit           bool
+	ApproxMatches int
+}
+
+// NoteBatch feeds a batch of probe outcomes into the loop in order,
+// stopping as soon as the probe mode changes — the point at which the
+// caller's remaining already-probed results were computed under a stale
+// operator and must be re-probed. It returns how many outcomes were
+// consumed and whether the last consumed probe should be escalated
+// (re-run approximately, then reported via NoteEscalation, exactly as
+// for NoteProbe).
+//
+// Feeding outcomes through NoteBatch is observation-for-observation
+// identical to calling NoteProbe in a loop: batching amortises the
+// index work, never the statistics.
+func (l *ProbeLoop) NoteBatch(refSize int, outs []BatchOutcome) (consumed int, escalate bool) {
+	mode := l.Mode()
+	for _, o := range outs {
+		esc := l.NoteProbe(refSize, o.Hit, o.ApproxMatches)
+		consumed++
+		if esc {
+			return consumed, true
+		}
+		if l.Mode() != mode {
+			return consumed, false
+		}
+	}
+	return consumed, false
+}
+
 // NoteEscalation folds an escalated re-probe's outcome into the session
 // statistics: the probe previously counted as a miss becomes a hit when
 // the approximate re-probe matched, its non-exact matches feed the

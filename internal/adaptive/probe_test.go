@@ -209,3 +209,76 @@ func TestProbeLoopDeltaAdaptBatches(t *testing.T) {
 		t.Fatal("grid activation did not escalate")
 	}
 }
+
+// TestProbeLoopNoteBatchMatchesNoteProbe: feeding a random outcome
+// stream through NoteBatch in arbitrary splits is observation-for-
+// observation identical to a NoteProbe loop, and NoteBatch stops
+// exactly at mode changes so callers re-probe under the new operator.
+func TestProbeLoopNoteBatchMatchesNoteProbe(t *testing.T) {
+	outcomes := make([]BatchOutcome, 0, 200)
+	// A stream with hit droughts (deficit -> escalation) and approx
+	// recoveries (perturbation window activity -> revert later).
+	for i := 0; i < 200; i++ {
+		o := BatchOutcome{Hit: i%7 != 0}
+		if !o.Hit && i%3 == 0 {
+			o.ApproxMatches = 1 + i%2
+		}
+		outcomes = append(outcomes, o)
+	}
+	const ref = 100
+	seq := newTestProbeLoop(t, nil)
+	type obs struct {
+		escalate bool
+		mode     join.Mode
+	}
+	want := make([]obs, len(outcomes))
+	for i, o := range outcomes {
+		want[i] = obs{seq.NoteProbe(ref, o.Hit, o.ApproxMatches), seq.Mode()}
+		if want[i].escalate {
+			seq.NoteEscalation(o.ApproxMatches > 0, o.ApproxMatches)
+		}
+	}
+	for _, split := range []int{1, 3, 50, len(outcomes)} {
+		bat := newTestProbeLoop(t, nil)
+		i := 0
+		for i < len(outcomes) {
+			hi := i + split
+			if hi > len(outcomes) {
+				hi = len(outcomes)
+			}
+			consumed, escalate := bat.NoteBatch(ref, outcomes[i:hi])
+			if consumed < 1 || consumed > hi-i {
+				t.Fatalf("split %d at %d: consumed %d of %d", split, i, consumed, hi-i)
+			}
+			last := i + consumed - 1
+			if escalate != want[last].escalate {
+				t.Fatalf("split %d: escalate %v at %d, want %v", split, escalate, last, want[last].escalate)
+			}
+			if bat.Mode() != want[last].mode {
+				t.Fatalf("split %d: mode %v after %d, want %v", split, bat.Mode(), last, want[last].mode)
+			}
+			if escalate {
+				o := outcomes[last]
+				bat.NoteEscalation(o.ApproxMatches > 0, o.ApproxMatches)
+			}
+			// NoteBatch may stop short only at a mode change or batch end.
+			if consumed < hi-i && !escalate {
+				prev := join.Exact
+				if last > 0 {
+					prev = want[last-1].mode
+				}
+				if want[last].mode == prev {
+					t.Fatalf("split %d: stopped at %d without a mode change", split, last)
+				}
+			}
+			i += consumed
+		}
+		if bat.Probes() != seq.Probes() || bat.Hits() != seq.Hits() ||
+			bat.Switches() != seq.Switches() || bat.Spend() != seq.Spend() ||
+			bat.State() != seq.State() {
+			t.Fatalf("split %d: loop state diverged: probes %d/%d hits %d/%d switches %d/%d spend %v/%v state %v/%v",
+				split, bat.Probes(), seq.Probes(), bat.Hits(), seq.Hits(),
+				bat.Switches(), seq.Switches(), bat.Spend(), seq.Spend(), bat.State(), seq.State())
+		}
+	}
+}

@@ -43,6 +43,7 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		preloadKey = fs.String("preload-key", "location", "join-key column for -preload")
 		q          = fs.Int("q", 3, "q-gram width for preloaded/default indexes")
 		theta      = fs.Float64("theta", 0.75, "similarity threshold for preloaded/default indexes")
+		shards     = fs.Int("shards", 0, "shard count for preloaded indexes (0 = one per hardware thread)")
 		drainWait  = fs.Duration("drain-timeout", 15*time.Second, "maximum time to wait for in-flight requests at shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,7 +74,7 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 			fmt.Fprintf(stderr, "adaptivelinkd: preload %s: %v\n", path, err)
 			return 1
 		}
-		info, err := svc.CreateIndex(name, adaptivelink.IndexOptions{Q: *q, Theta: *theta}, tuples)
+		info, err := svc.CreateIndex(name, adaptivelink.IndexOptions{Q: *q, Theta: *theta, Shards: *shards}, tuples)
 		if err != nil {
 			fmt.Fprintf(stderr, "adaptivelinkd: preload: %v\n", err)
 			return 1

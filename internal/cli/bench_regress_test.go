@@ -1,0 +1,125 @@
+package cli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchPoint(strategy string, batch int, probesPS float64, note string) BenchPoint {
+	return BenchPoint{
+		Date: "2026-07-30", Go: "test", Note: note,
+		Requests: 100, Concurrency: 8, Batch: batch, Strategy: strategy,
+		ParentSize: 500, ProbesPS: probesPS,
+	}
+}
+
+func TestAppendBenchPointFindsMatchingPredecessor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if prev, err := appendBenchPoint(path, benchPoint("exact", 1, 1000, "first"), 0); err != nil || prev != nil {
+		t.Fatalf("first append: prev=%v err=%v", prev, err)
+	}
+	// Different shapes do not match.
+	if prev, err := appendBenchPoint(path, benchPoint("exact", 16, 5000, "batch"), 0); err != nil || prev != nil {
+		t.Fatalf("different-batch append: prev=%v err=%v", prev, err)
+	}
+	if prev, err := appendBenchPoint(path, benchPoint("adaptive", 1, 900, "adaptive"), 0); err != nil || prev != nil {
+		t.Fatalf("different-strategy append: prev=%v err=%v", prev, err)
+	}
+	// The same shape matches the most recent same-shape point.
+	prev, err := appendBenchPoint(path, benchPoint("exact", 1, 1200, "second"), 0)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if prev == nil || prev.Note != "first" || prev.ProbesPS != 1000 {
+		t.Fatalf("prev = %+v, want the first exact/1 point", prev)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(bf.Points) != 4 || bf.Description == "" {
+		t.Fatalf("file has %d points, description %q", len(bf.Points), bf.Description)
+	}
+	// A corrupt file reports its path rather than clobbering history.
+	bad := filepath.Join(t.TempDir(), "corrupt.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := appendBenchPoint(bad, benchPoint("exact", 1, 1, ""), 0); err == nil {
+		t.Fatal("corrupt trajectory accepted")
+	}
+}
+
+func TestCheckRegression(t *testing.T) {
+	prev := benchPoint("exact", 1, 1000, "baseline")
+	if err := checkRegression(prev, benchPoint("exact", 1, 810, "ok"), 20); err != nil {
+		t.Fatalf("within tolerance flagged: %v", err)
+	}
+	if err := checkRegression(prev, benchPoint("exact", 1, 1500, "faster"), 20); err != nil {
+		t.Fatalf("improvement flagged: %v", err)
+	}
+	if err := checkRegression(prev, benchPoint("exact", 1, 799, "slow"), 20); err == nil {
+		t.Fatal(">20% regression not flagged")
+	}
+}
+
+// TestAppendBenchPointGateRunsBeforeWrite: a regressing point must not
+// be recorded, or it would become the baseline for the next run and the
+// gate would silently ratchet itself down.
+func TestAppendBenchPointGateRunsBeforeWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := appendBenchPoint(path, benchPoint("exact", 1, 1000, "baseline"), 20); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if _, err := appendBenchPoint(path, benchPoint("exact", 1, 500, "regressed"), 20); err == nil {
+		t.Fatal("50% regression accepted")
+	}
+	// The file still holds only the baseline, so a second regressing run
+	// is judged against the original numbers, not the regressed ones.
+	raw, _ := os.ReadFile(path)
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Points) != 1 || bf.Points[0].Note != "baseline" {
+		t.Fatalf("regressed point was recorded: %+v", bf.Points)
+	}
+	if _, err := appendBenchPoint(path, benchPoint("exact", 1, 810, "recovered"), 20); err != nil {
+		t.Fatalf("within-tolerance point rejected against stale baseline: %v", err)
+	}
+}
+
+// TestLastMatchingDiscriminatesShardsAndHost: points differing only in
+// shard count or host label are different workloads.
+func TestLastMatchingDiscriminatesShardsAndHost(t *testing.T) {
+	a := benchPoint("exact", 1, 1000, "a")
+	a.Shards = 1
+	b := benchPoint("exact", 1, 4000, "b")
+	b.Shards = 8
+	c := benchPoint("exact", 1, 900, "c")
+	c.Shards = 1
+	c.Host = "big-box"
+	points := []BenchPoint{a, b, c}
+	probe := benchPoint("exact", 1, 0, "")
+	probe.Shards = 1
+	if got := lastMatching(points, probe); got == nil || got.Note != "a" {
+		t.Fatalf("shards=1 matched %+v, want a", got)
+	}
+	probe.Shards = 8
+	if got := lastMatching(points, probe); got == nil || got.Note != "b" {
+		t.Fatalf("shards=8 matched %+v, want b", got)
+	}
+	probe.Shards = 1
+	probe.Host = "big-box"
+	if got := lastMatching(points, probe); got == nil || got.Note != "c" {
+		t.Fatalf("host-labelled matched %+v, want c", got)
+	}
+	probe.Host = "unknown-box"
+	if got := lastMatching(points, probe); got != nil {
+		t.Fatalf("unknown host matched %+v, want nil", got)
+	}
+}

@@ -29,6 +29,7 @@ type BenchPoint struct {
 	Concurrency int     `json:"concurrency"`
 	Batch       int     `json:"batch"`
 	Strategy    string  `json:"strategy"`
+	Shards      int     `json:"shards,omitempty"`
 	ParentSize  int     `json:"parent_size"`
 	VariantRate float64 `json:"variant_rate"`
 	Seconds     float64 `json:"seconds"`
@@ -65,10 +66,12 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		rate     = fs.Float64("variant-rate", 0.1, "generated variant rate in the probe stream")
 		seed     = fs.Int64("seed", 42, "generator seed")
 		strategy = fs.String("strategy", "adaptive", "session strategy: adaptive, exact or approximate")
+		shards   = fs.Int("shards", 0, "shard count for a created index (0 = server default)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "client HTTP timeout")
 		out      = fs.String("out", "", "append the measurement to this BENCH_service.json file")
 		note     = fs.String("note", "", "free-form note recorded with -out")
 		host     = fs.String("host", "", "host description recorded with -out")
+		regress  = fs.Float64("regress-pct", 0, "with -out: fail when probes/s drops more than this percent below the file's previous point with the same strategy/batch/concurrency/requests/parent shape (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,7 +98,7 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		for i, t := range data.Parent {
 			tuples[i] = service.TupleDTO{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
 		}
-		code, body, err := postJSON(client, *addr+"/v1/indexes", service.CreateIndexRequest{Name: *index, Tuples: tuples})
+		code, body, err := postJSON(client, *addr+"/v1/indexes", service.CreateIndexRequest{Name: *index, Shards: *shards, Tuples: tuples})
 		if err != nil {
 			fmt.Fprintf(stderr, "linkbench: create index: %v\n", err)
 			return 1
@@ -165,6 +168,7 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		Concurrency: *c,
 		Batch:       *batch,
 		Strategy:    *strategy,
+		Shards:      *shards,
 		ParentSize:  *parent,
 		VariantRate: *rate,
 		Seconds:     elapsed.Seconds(),
@@ -181,11 +185,20 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		point.P50Millis, point.P95Millis, point.P99Millis, point.Errors)
 
 	if *out != "" {
-		if err := appendBenchPoint(*out, point); err != nil {
+		prev, err := appendBenchPoint(*out, point, *regress)
+		if err != nil {
 			fmt.Fprintf(stderr, "linkbench: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "linkbench: appended point to %s\n", *out)
+		if *regress > 0 {
+			if prev == nil {
+				fmt.Fprintf(stdout, "linkbench: no previous matching point in %s, regression check skipped\n", *out)
+			} else {
+				fmt.Fprintf(stdout, "linkbench: within %.0f%% of previous point (%.0f probes/s on %s)\n",
+					*regress, prev.ProbesPS, prev.Date)
+			}
+		}
 	}
 	if errCount.Load() > 0 {
 		fmt.Fprintf(stderr, "linkbench: %d of %d requests failed\n", errCount.Load(), *n)
@@ -215,21 +228,59 @@ func truncate(b []byte, n int) string {
 	return string(b[:n]) + "..."
 }
 
-func appendBenchPoint(path string, point BenchPoint) error {
+// appendBenchPoint appends point to the trajectory file and returns the
+// most recent earlier point with the same workload shape (nil if none).
+// With regressPct > 0 the gate runs BEFORE the write: a regressing
+// point is reported and NOT recorded, so a failing run cannot lower the
+// baseline the next run is compared against.
+func appendBenchPoint(path string, point BenchPoint, regressPct float64) (*BenchPoint, error) {
 	bf := benchFile{
 		Description: "Trajectory of the resident linkage service (cmd/linkbench against cmd/adaptivelinkd): closed-loop throughput and latency of /v1/link. Append one point per PR that touches the service path; compare within a host class only.",
 	}
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &bf); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 	} else if !os.IsNotExist(err) {
-		return err
+		return nil, err
+	}
+	prev := lastMatching(bf.Points, point)
+	if regressPct > 0 && prev != nil {
+		if err := checkRegression(*prev, point, regressPct); err != nil {
+			return prev, err
+		}
 	}
 	bf.Points = append(bf.Points, point)
 	raw, err := json.MarshalIndent(bf, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return prev, os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// lastMatching returns the most recent point sharing the new point's
+// workload shape — strategy, batch, shard count, concurrency, request
+// count, parent size and host label — so trajectories with mixed
+// configurations (or mixed host classes) compare like with like.
+func lastMatching(points []BenchPoint, p BenchPoint) *BenchPoint {
+	for i := len(points) - 1; i >= 0; i-- {
+		q := points[i]
+		if q.Strategy == p.Strategy && q.Batch == p.Batch && q.Shards == p.Shards &&
+			q.Concurrency == p.Concurrency && q.Requests == p.Requests &&
+			q.ParentSize == p.ParentSize && q.Host == p.Host {
+			return &points[i]
+		}
+	}
+	return nil
+}
+
+// checkRegression fails when the new point's probe throughput fell more
+// than pct percent below the previous matching point's.
+func checkRegression(prev, point BenchPoint, pct float64) error {
+	floor := prev.ProbesPS * (1 - pct/100)
+	if point.ProbesPS < floor {
+		return fmt.Errorf("regression: %.0f probes/s is more than %.0f%% below previous %.0f (%s, %q)",
+			point.ProbesPS, pct, prev.ProbesPS, prev.Date, prev.Note)
+	}
+	return nil
 }

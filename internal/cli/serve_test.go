@@ -223,7 +223,7 @@ func TestAppendBenchPointRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := appendBenchPoint(path, BenchPoint{}); err == nil {
+	if _, err := appendBenchPoint(path, BenchPoint{}, 0); err == nil {
 		t.Fatal("garbage bench file accepted")
 	}
 }

@@ -49,6 +49,22 @@ func (x *ExactIndex) Lookup(key string) []int {
 	return x.buckets[key]
 }
 
+// Clone returns a deep copy sharing no mutable state with x: the
+// copy-on-write step of an RCU snapshot build. Inserts into the clone
+// never disturb readers of the original (bucket slices are copied, so a
+// clone-side append cannot land in a shared backing array).
+func (x *ExactIndex) Clone() *ExactIndex {
+	c := &ExactIndex{
+		buckets: make(map[string][]int, len(x.buckets)),
+		indexed: x.indexed,
+		entries: x.entries,
+	}
+	for key, refs := range x.buckets {
+		c.buckets[key] = append([]int(nil), refs...)
+	}
+	return c
+}
+
 // Indexed returns how many tuples of the side have been absorbed (the
 // dense insertion clock; eviction does not rewind it).
 func (x *ExactIndex) Indexed() int { return x.indexed }
@@ -143,16 +159,41 @@ func (x *QGramIndex) Extractor() *qgram.Extractor { return x.ex }
 // (operation 2 of §2.2: one pointer insertion per gram). Refs must be
 // inserted densely in order.
 func (x *QGramIndex) Insert(ref int, key string) {
+	x.InsertGrams(ref, x.ex.Grams(key))
+}
+
+// InsertGrams is Insert for a pre-decomposed key: the caller has already
+// run the extractor, so only the pointer insertions remain. This is what
+// lets writers hash outside their critical section — gram extraction is
+// the expensive part of an insert, the map appends are not.
+func (x *QGramIndex) InsertGrams(ref int, grams []string) {
 	if ref != x.indexed {
 		panic(fmt.Sprintf("hashidx: QGramIndex.Insert ref %d, want %d (dense order)", ref, x.indexed))
 	}
-	grams := x.ex.Grams(key)
 	for _, g := range grams {
 		x.postings[g] = append(x.postings[g], ref)
 	}
 	x.sizes = append(x.sizes, len(grams))
 	x.entries += len(grams)
 	x.indexed++
+}
+
+// Clone returns a deep copy sharing no mutable state with x: the
+// copy-on-write step of an RCU snapshot build. Posting lists and the
+// gram-size store are copied so clone-side appends never land in a
+// backing array a reader of the original is scanning.
+func (x *QGramIndex) Clone() *QGramIndex {
+	c := &QGramIndex{
+		ex:       x.ex,
+		postings: make(map[string][]int, len(x.postings)),
+		sizes:    append([]int(nil), x.sizes...),
+		indexed:  x.indexed,
+		entries:  x.entries,
+	}
+	for g, refs := range x.postings {
+		c.postings[g] = append([]int(nil), refs...)
+	}
+	return c
 }
 
 // Indexed returns how many tuples of the side have been absorbed.

@@ -112,10 +112,20 @@ func (r *RefIndex) Tuple(ref int) (relation.Tuple, error) {
 // the unchanged join key, so no index surgery is needed); a tuple with a
 // new key is appended to the store and inserted into both indexes. It
 // returns the inserted and updated counts.
+//
+// Gram extraction — the expensive part of an insert — runs before the
+// write lock is taken, so the critical section holds only map
+// insertions and the probe fleet is never stalled behind hashing. The
+// grams of a key that turns out to be an update are computed in vain;
+// that waste is bounded by the batch and buys the bounded lock hold.
 func (r *RefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int) {
+	grams := make([][]string, len(tuples))
+	for i, t := range tuples {
+		grams[i] = r.ex.Grams(t.Key)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, t := range tuples {
+	for i, t := range tuples {
 		if ref, ok := r.newest[t.Key]; ok {
 			r.tuples[ref] = t
 			updated++
@@ -125,7 +135,7 @@ func (r *RefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int) {
 		r.tuples = append(r.tuples, t)
 		r.keys = append(r.keys, t.Key)
 		r.exIdx.Insert(ref, t.Key)
-		r.qgIdx.Insert(ref, t.Key)
+		r.qgIdx.InsertGrams(ref, grams[i])
 		r.newest[t.Key] = ref
 		inserted++
 	}
@@ -181,3 +191,53 @@ func (r *RefIndex) Probe(mode Mode, key string) []RefMatch {
 	}
 	return r.ProbeExact(key)
 }
+
+// ProbeBatch matches every key under the given mode, returning one
+// result slice per key in order. For the sequential reference
+// implementation this is definitionally a loop of single probes — the
+// semantics the sharded index's amortised batch path is held to by the
+// differential harness.
+func (r *RefIndex) ProbeBatch(mode Mode, keys []string) [][]RefMatch {
+	out := make([][]RefMatch, len(keys))
+	for i, k := range keys {
+		out[i] = r.Probe(mode, k)
+	}
+	return out
+}
+
+// Resident is the contract shared by the resident index
+// implementations: the sequential single-shard reference RefIndex and
+// the sharded RCU-snapshot ShardedRefIndex. The two are interchangeable
+// — the differential harness drives both with one op stream and asserts
+// identical match multisets — so callers program against this interface
+// and choose an implementation by concurrency profile only.
+type Resident interface {
+	// Config returns the matching configuration.
+	Config() Config
+	// Len returns the number of resident reference tuples (distinct
+	// join keys).
+	Len() int
+	// Entries reports live index entry counts (exact refs, q-gram
+	// postings). Sharded implementations count replicas.
+	Entries() (exact, qgrams int)
+	// Tuple returns a snapshot of the reference tuple at ref.
+	Tuple(ref int) (relation.Tuple, error)
+	// Upsert applies keyed reference maintenance, returning inserted
+	// and updated counts.
+	Upsert(tuples []relation.Tuple) (inserted, updated int)
+	// ProbeExact matches the key by equality (the SHJoin probe).
+	ProbeExact(key string) []RefMatch
+	// ProbeApprox matches the key by q-gram similarity (the SSHJoin
+	// probe); key-equal matches are always included with similarity 1.
+	ProbeApprox(key string) []RefMatch
+	// Probe dispatches on mode.
+	Probe(mode Mode, key string) []RefMatch
+	// ProbeBatch probes every key under one mode, one result per key in
+	// order, semantically identical to a loop of Probe calls.
+	ProbeBatch(mode Mode, keys []string) [][]RefMatch
+}
+
+var (
+	_ Resident = (*RefIndex)(nil)
+	_ Resident = (*ShardedRefIndex)(nil)
+)

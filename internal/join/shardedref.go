@@ -1,0 +1,502 @@
+package join
+
+import (
+	"fmt"
+	"maps"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adaptivelink/internal/hashidx"
+	"adaptivelink/internal/qgram"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/shardmap"
+)
+
+// ShardedRefIndex is the scaled-out resident index: N independent
+// shards, each publishing an immutable snapshot of its slice of the
+// reference through an atomic pointer, probed entirely lock-free.
+//
+// Sharding reuses the co-partitioning of the streaming executor
+// (internal/shardmap, the router of internal/pjoin): every reference
+// tuple is stored in the shards of its prefix-filter signature plus the
+// shard owning its key hash, so an exact probe reads exactly one shard
+// (ShardOf(key, N)) and an approximate probe reads the shards of its own
+// signature — by the prefix-filtering principle any pair at or above
+// θsim shares at least one probed shard. Replicas found through several
+// shared shards are deduplicated by the tuple's global ref, so the match
+// multiset is identical to the single-shard RefIndex's (the differential
+// harness pins this for interleaved probe/upsert streams).
+//
+// Concurrency is RCU-style. Probes load a shard's snapshot with one
+// atomic pointer read and run on plain immutable data: the probe hot
+// path acquires zero mutexes, so probe throughput is bounded by the
+// hardware, not by read-lock traffic. Upsert serialises writers on a
+// mutex that probes never touch, builds each touched shard's next
+// snapshot off-path (clone + apply, with gram hashing done before even
+// the writer lock), and publishes it with one atomic swap — a quiescent
+// point in the RCU sense: probes in flight finish on the old snapshot,
+// later probes see the new one, and no probe ever observes a
+// half-applied batch within a shard.
+//
+// The consistency model is per-shard snapshot isolation: a probe sees a
+// point-in-time state of every shard it reads, upserts are atomic per
+// key (a key's replicas are deduplicated to one match, taken wholesale
+// from one snapshot — never a torn mix of old and new payload), and a
+// cross-shard batch is per-shard-consistent rather than globally
+// serialised. The price of the swap is copy-on-write: an upsert costs
+// O(size of the touched shards), which is the deliberate inversion of
+// the RefIndex trade-off — reads outnumber writes by orders of
+// magnitude in the index-once/probe-many mode.
+type ShardedRefIndex struct {
+	cfg    Config
+	ex     *qgram.Extractor
+	router *shardmap.PrefixRouter
+	nshard int
+
+	shards []atomic.Pointer[shardSnap]
+	store  atomic.Pointer[globalStore]
+
+	// mu serialises writers (Upsert) only; it is never taken on the
+	// probe path.
+	mu sync.Mutex
+	// newest maps join key -> global ref; writer-owned, guarded by mu.
+	newest map[string]int
+}
+
+// shardSnap is one shard's immutable snapshot. No field is mutated
+// after publication; Upsert clones and republishes instead.
+type shardSnap struct {
+	tuples  []relation.Tuple
+	keys    []string
+	globals []int // local ref -> global ref (monotonically increasing)
+	exIdx   *hashidx.ExactIndex
+	qgIdx   *hashidx.QGramIndex
+	local   map[string]int // key -> local ref
+}
+
+func (sn *shardSnap) clone() *shardSnap {
+	return &shardSnap{
+		tuples:  append([]relation.Tuple(nil), sn.tuples...),
+		keys:    append([]string(nil), sn.keys...),
+		globals: append([]int(nil), sn.globals...),
+		exIdx:   sn.exIdx.Clone(),
+		qgIdx:   sn.qgIdx.Clone(),
+		local:   maps.Clone(sn.local),
+	}
+}
+
+// Global store chunk geometry: refs are dense, so the store is a
+// persistent chunked vector and an upsert republishes only the chunks
+// it touches plus the chunk directory (one pointer per chunk), never
+// the whole store.
+const (
+	storeChunkBits = 10
+	storeChunkSize = 1 << storeChunkBits
+	storeChunkMask = storeChunkSize - 1
+)
+
+// globalStore is the immutable global-ref -> tuple view backing Len and
+// Tuple; it is published before the shard snapshots that reference its
+// refs, so a probe can never return a ref the store cannot resolve.
+// Chunks are immutable once published — a writer clones a chunk before
+// touching it.
+type globalStore struct {
+	chunks [][]relation.Tuple
+	n      int
+}
+
+func (g *globalStore) tuple(ref int) relation.Tuple {
+	return g.chunks[ref>>storeChunkBits][ref&storeChunkMask]
+}
+
+// NewShardedRefIndex builds an empty sharded resident index with the
+// given shard count under the configuration's gram width, measure and
+// threshold (Config.Initial and RetainWindow do not apply to the
+// resident mode and are ignored). One shard is a valid degenerate
+// layout: it keeps the lock-free snapshot discipline without
+// replication, and is the deployment of choice on a single hardware
+// thread.
+func NewShardedRefIndex(cfg Config, shards int) (*ShardedRefIndex, error) {
+	cfg.Initial = LexRex
+	cfg.RetainWindow = 0
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("join: shard count %d, want at least 1", shards)
+	}
+	ex := qgram.New(cfg.Q)
+	s := &ShardedRefIndex{
+		cfg:    cfg,
+		ex:     ex,
+		router: shardmap.NewPrefixRouter(shards, cfg.Q, cfg.Measure, cfg.Theta),
+		nshard: shards,
+		shards: make([]atomic.Pointer[shardSnap], shards),
+		newest: make(map[string]int),
+	}
+	for i := range s.shards {
+		s.shards[i].Store(&shardSnap{
+			exIdx: hashidx.NewExactIndex(),
+			qgIdx: hashidx.NewQGramIndex(ex),
+			local: make(map[string]int),
+		})
+	}
+	s.store.Store(&globalStore{})
+	return s, nil
+}
+
+// Config returns the index's configuration.
+func (s *ShardedRefIndex) Config() Config { return s.cfg }
+
+// Shards returns the shard count.
+func (s *ShardedRefIndex) Shards() int { return s.nshard }
+
+// Len returns the number of resident reference tuples (distinct keys).
+func (s *ShardedRefIndex) Len() int { return s.store.Load().n }
+
+// Entries reports the aggregate live entry counts across shards (exact
+// refs, q-gram postings). Unlike the single-shard RefIndex, replicas
+// count: a reference stored in three shards contributes three exact
+// entries — this is the replication cost of co-partitioning, the number
+// an operator sizing memory needs.
+func (s *ShardedRefIndex) Entries() (exact, qgrams int) {
+	for i := range s.shards {
+		sn := s.shards[i].Load()
+		exact += sn.exIdx.Entries()
+		qgrams += sn.qgIdx.Entries()
+	}
+	return exact, qgrams
+}
+
+// Tuple returns a snapshot of the reference tuple at the global ref.
+func (s *ShardedRefIndex) Tuple(ref int) (relation.Tuple, error) {
+	st := s.store.Load()
+	if ref < 0 || ref >= st.n {
+		return relation.Tuple{}, fmt.Errorf("join: ref %d outside resident store of %d tuples", ref, st.n)
+	}
+	return st.tuple(ref), nil
+}
+
+// storageRoutes returns the shards a reference tuple must be stored in:
+// the shards of its prefix-filter signature (so approximate probes can
+// reach it) plus the shard owning its key hash (so exact probes read
+// exactly one cheap-to-compute shard).
+func (s *ShardedRefIndex) storageRoutes(dst []int, key string) []int {
+	dst = s.router.Routes(dst, key)
+	home := shardmap.ShardOf(key, s.nshard)
+	for _, sh := range dst {
+		if sh == home {
+			return dst
+		}
+	}
+	return append(dst, home)
+}
+
+// Upsert applies a batch of keyed reference maintenance: existing keys
+// get their payload replaced, new keys are appended and indexed, in
+// every shard the key routes to. It returns the inserted and updated
+// counts.
+//
+// Writers are serialised; probes are not disturbed. Gram hashing runs
+// before the writer lock, the touched shards' next snapshots are built
+// off-path by copy-on-write, and each is published with one atomic swap
+// — in-flight probes complete on the old snapshot, later probes see the
+// whole batch for that shard.
+func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int) {
+	if len(tuples) == 0 {
+		return 0, 0
+	}
+	grams := make([][]string, len(tuples))
+	routes := make([][]int, len(tuples))
+	for i, t := range tuples {
+		grams[i] = s.ex.Grams(t.Key)
+		routes[i] = s.storageRoutes(nil, t.Key)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	old := s.store.Load()
+	n := old.n
+	dir := append([][]relation.Tuple(nil), old.chunks...)
+	cloned := make(map[int]bool) // chunk index -> already writable
+	setTuple := func(ref int, t relation.Tuple) {
+		ci := ref >> storeChunkBits
+		if !cloned[ci] {
+			dir[ci] = append(make([]relation.Tuple, 0, storeChunkSize), dir[ci]...)
+			cloned[ci] = true
+		}
+		dir[ci][ref&storeChunkMask] = t
+	}
+	appendTuple := func(t relation.Tuple) int {
+		ref := n
+		ci := ref >> storeChunkBits
+		if ci == len(dir) {
+			dir = append(dir, make([]relation.Tuple, 0, storeChunkSize))
+			cloned[ci] = true
+		} else if !cloned[ci] {
+			// The published tail chunk may have spare capacity; clone
+			// rather than append in place under a reader's feet.
+			dir[ci] = append(make([]relation.Tuple, 0, storeChunkSize), dir[ci]...)
+			cloned[ci] = true
+		}
+		dir[ci] = append(dir[ci], t)
+		n++
+		return ref
+	}
+
+	next := make(map[int]*shardSnap)
+	snapFor := func(sh int) *shardSnap {
+		ns, ok := next[sh]
+		if !ok {
+			ns = s.shards[sh].Load().clone()
+			next[sh] = ns
+		}
+		return ns
+	}
+	for i, t := range tuples {
+		if g, ok := s.newest[t.Key]; ok {
+			setTuple(g, t)
+			for _, sh := range routes[i] {
+				ns := snapFor(sh)
+				ns.tuples[ns.local[t.Key]] = t
+			}
+			updated++
+			continue
+		}
+		g := appendTuple(t)
+		s.newest[t.Key] = g
+		for _, sh := range routes[i] {
+			ns := snapFor(sh)
+			lref := len(ns.tuples)
+			ns.tuples = append(ns.tuples, t)
+			ns.keys = append(ns.keys, t.Key)
+			ns.globals = append(ns.globals, g)
+			ns.local[t.Key] = lref
+			ns.exIdx.Insert(lref, t.Key)
+			ns.qgIdx.InsertGrams(lref, grams[i])
+		}
+		inserted++
+	}
+	// Publish the global store before the shard snapshots: no probe may
+	// return a global ref that Tuple cannot yet resolve.
+	s.store.Store(&globalStore{chunks: dir, n: n})
+	for sh, ns := range next {
+		s.shards[sh].Store(ns)
+	}
+	return inserted, updated
+}
+
+// ProbeExact matches the key against the reference exactly: one atomic
+// snapshot load of the key's home shard and one hash lookup.
+func (s *ShardedRefIndex) ProbeExact(key string) []RefMatch {
+	return snapExact(s.shards[shardmap.ShardOf(key, s.nshard)].Load(), key)
+}
+
+// snapExact runs the SHJoin probe against one immutable shard snapshot.
+func snapExact(sn *shardSnap, key string) []RefMatch {
+	refs := sn.exIdx.Lookup(key)
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]RefMatch, 0, len(refs))
+	for _, lref := range refs {
+		out = append(out, RefMatch{Ref: sn.globals[lref], Tuple: sn.tuples[lref], Similarity: 1, Exact: true})
+	}
+	return out
+}
+
+// ProbeApprox matches the key against the reference approximately,
+// probing every shard of the key's prefix-filter signature and
+// deduplicating replicas by global ref. By the co-partitioning
+// guarantee the union over probed shards contains every pair at or
+// above θsim, so the deduplicated result equals the single-shard
+// SSHJoin probe's.
+func (s *ShardedRefIndex) ProbeApprox(key string) []RefMatch {
+	grams := s.ex.Grams(key)
+	return s.probeApproxRouted(key, grams, s.router.Routes(nil, key))
+}
+
+func (s *ShardedRefIndex) probeApproxRouted(key string, grams []string, shards []int) []RefMatch {
+	if len(shards) == 1 {
+		// Sole reader: the freshly extracted gram slice may be handed
+		// over without a defensive copy.
+		return snapApprox(s.shards[shards[0]].Load(), s.cfg, key, grams, true)
+	}
+	var out []RefMatch
+	seen := make(map[int]bool)
+	for _, sh := range shards {
+		for _, m := range snapApprox(s.shards[sh].Load(), s.cfg, key, grams, false) {
+			if seen[m.Ref] {
+				continue
+			}
+			seen[m.Ref] = true
+			out = append(out, m)
+		}
+	}
+	// Deterministic output, identical to the dense reference store's
+	// order: ascending global ref.
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref < out[j].Ref })
+	return out
+}
+
+// snapApprox runs the SSHJoin probe against one immutable shard
+// snapshot; replica dedup across shards is the caller's job. ProbeGrams
+// reorders its argument, so unless the caller owns grams (owned: this
+// snapshot is the slice's only reader, ever) a private copy is handed
+// over.
+func snapApprox(sn *shardSnap, cfg Config, key string, grams []string, owned bool) []RefMatch {
+	g := len(grams)
+	k := cfg.Measure.MinOverlap(g, cfg.Theta)
+	gcopy := grams
+	if !owned {
+		gcopy = append([]string(nil), grams...)
+	}
+	var out []RefMatch
+	for _, cand := range sn.qgIdx.ProbeGrams(gcopy, k) {
+		sim := cfg.Measure.Coefficient(g, sn.qgIdx.GramSize(cand.Ref), cand.Overlap)
+		exact := sn.keys[cand.Ref] == key
+		if exact {
+			sim = 1
+		} else if sim < cfg.Theta {
+			continue
+		}
+		out = append(out, RefMatch{Ref: sn.globals[cand.Ref], Tuple: sn.tuples[cand.Ref], Similarity: sim, Exact: exact})
+	}
+	return out
+}
+
+// Probe matches under the given mode.
+func (s *ShardedRefIndex) Probe(mode Mode, key string) []RefMatch {
+	if mode == Approx {
+		return s.ProbeApprox(key)
+	}
+	return s.ProbeExact(key)
+}
+
+// batchFanMin is the batch size from which ProbeBatch fans shard groups
+// out to goroutines (given more than one group and more than one
+// hardware thread); below it the coordination would cost more than the
+// parallelism returns.
+const batchFanMin = 16
+
+// ProbeBatch matches every key under the given mode, returning one
+// result slice per key in order — semantically a loop of Probe calls,
+// physically an amortised group-by-shard execution: keys are routed
+// once, each touched shard's snapshot is loaded once per batch, and on
+// multi-core hosts the shard groups run concurrently inside the
+// caller's worker slot.
+func (s *ShardedRefIndex) ProbeBatch(mode Mode, keys []string) [][]RefMatch {
+	out := make([][]RefMatch, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	if mode == Approx {
+		s.probeBatchApprox(keys, out)
+	} else {
+		s.probeBatchExact(keys, out)
+	}
+	return out
+}
+
+func (s *ShardedRefIndex) probeBatchExact(keys []string, out [][]RefMatch) {
+	groups := make([][]int, s.nshard)
+	for i, k := range keys {
+		sh := shardmap.ShardOf(k, s.nshard)
+		groups[sh] = append(groups[sh], i)
+	}
+	s.forGroups(len(keys), groups, func(sh int, idxs []int) {
+		sn := s.shards[sh].Load() // one snapshot load per shard-group
+		for _, i := range idxs {
+			out[i] = snapExact(sn, keys[i])
+		}
+	})
+}
+
+func (s *ShardedRefIndex) probeBatchApprox(keys []string, out [][]RefMatch) {
+	grams := make([][]string, len(keys))
+	routes := make([][]int, len(keys))
+	groups := make([][]int, s.nshard)
+	for i, k := range keys {
+		grams[i] = s.ex.Grams(k)
+		routes[i] = s.router.Routes(nil, k)
+		for _, sh := range routes[i] {
+			groups[sh] = append(groups[sh], i)
+		}
+	}
+	// Phase 1: per shard-group, probe that shard's snapshot once per
+	// member key. Groups write disjoint partial slots, so they are free
+	// to run concurrently.
+	partial := make([][][]RefMatch, s.nshard)
+	s.forGroups(len(keys), groups, func(sh int, idxs []int) {
+		sn := s.shards[sh].Load()
+		res := make([][]RefMatch, len(idxs))
+		for j, i := range idxs {
+			// A single-route key's gram slice has this one reader;
+			// replicated keys share theirs across concurrent groups.
+			res[j] = snapApprox(sn, s.cfg, keys[i], grams[i], len(routes[i]) == 1)
+		}
+		partial[sh] = res
+	})
+	// Phase 2: merge per key, deduplicating replicas by global ref.
+	// groups[sh] lists key indices in ascending order, so walking keys
+	// in order consumes every group sequentially.
+	cursor := make([]int, s.nshard)
+	for i := range keys {
+		if len(routes[i]) == 1 {
+			sh := routes[i][0]
+			out[i] = partial[sh][cursor[sh]]
+			cursor[sh]++
+			continue
+		}
+		var merged []RefMatch
+		seen := make(map[int]bool)
+		for _, sh := range routes[i] {
+			for _, m := range partial[sh][cursor[sh]] {
+				if seen[m.Ref] {
+					continue
+				}
+				seen[m.Ref] = true
+				merged = append(merged, m)
+			}
+			cursor[sh]++
+		}
+		sort.Slice(merged, func(a, b int) bool { return merged[a].Ref < merged[b].Ref })
+		out[i] = merged
+	}
+}
+
+// forGroups runs fn over every non-empty shard group — concurrently
+// when the batch is big enough, more than one group is populated and
+// the host has more than one hardware thread; sequentially otherwise.
+// fn must write only state owned by its group.
+func (s *ShardedRefIndex) forGroups(n int, groups [][]int, fn func(sh int, idxs []int)) {
+	active := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			active++
+		}
+	}
+	if active > 1 && n >= batchFanMin && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for sh, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(sh int, g []int) {
+				defer wg.Done()
+				fn(sh, g)
+			}(sh, g)
+		}
+		wg.Wait()
+		return
+	}
+	for sh, g := range groups {
+		if len(g) > 0 {
+			fn(sh, g)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adaptivelink/internal/relation"
+)
+
+// diffKeyPool builds the key material for the differential harness: a
+// pool of realistic-looking location keys plus one-character variants
+// of some of them, so exact probes, approximate recoveries and clean
+// misses all occur.
+func diffKeyPool(rng *rand.Rand, n int) (stored, variants, misses []string) {
+	streets := []string{"via monte bianco", "lago di como", "valle verde", "piazza duomo", "corso europa", "strada statale"}
+	dirs := []string{"nord", "sud", "est", "ovest"}
+	for i := 0; i < n; i++ {
+		stored = append(stored, fmt.Sprintf("%s %s %d",
+			streets[rng.Intn(len(streets))], dirs[rng.Intn(len(dirs))], rng.Intn(200)))
+	}
+	for i := 0; i < n/2; i++ {
+		k := []byte(stored[rng.Intn(len(stored))])
+		pos := rng.Intn(len(k))
+		k[pos] = byte('a' + rng.Intn(26))
+		variants = append(variants, string(k))
+	}
+	for i := 0; i < n/4; i++ {
+		misses = append(misses, fmt.Sprintf("unrelated thing %d-%d", rng.Intn(1000), i))
+	}
+	return stored, variants, misses
+}
+
+// diffOp is one step of the randomized op stream.
+type diffOp struct {
+	kind  string // "exact", "approx", "batch-exact", "batch-approx", "upsert"
+	keys  []string
+	batch []relation.Tuple
+}
+
+// randomOpStream generates a seeded interleaving of single probes in
+// both Fig. 4 probe modes, batch probes in both modes, and upserts
+// (fresh keys and payload replacements).
+func randomOpStream(seed int64, steps int) []diffOp {
+	rng := rand.New(rand.NewSource(seed))
+	stored, variants, misses := diffKeyPool(rng, 60)
+	probeKey := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			return stored[rng.Intn(len(stored))]
+		case 1:
+			return variants[rng.Intn(len(variants))]
+		default:
+			return misses[rng.Intn(len(misses))]
+		}
+	}
+	var ops []diffOp
+	nextID := 0
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1: // upsert: mix of fresh keys and replacements
+			var batch []relation.Tuple
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				key := probeKey()
+				if rng.Intn(2) == 0 {
+					key = fmt.Sprintf("%s fresh %d", key, nextID)
+				}
+				batch = append(batch, relation.Tuple{
+					ID: nextID, Key: key, Attrs: []string{fmt.Sprintf("payload-%d", nextID)},
+				})
+				nextID++
+			}
+			ops = append(ops, diffOp{kind: "upsert", batch: batch})
+		case 2, 3: // batch probe
+			kind := "batch-exact"
+			if rng.Intn(2) == 0 {
+				kind = "batch-approx"
+			}
+			var keys []string
+			for j := 0; j < 1+rng.Intn(24); j++ {
+				keys = append(keys, probeKey())
+			}
+			ops = append(ops, diffOp{kind: kind, keys: keys})
+		default: // single probe
+			kind := "exact"
+			if rng.Intn(2) == 0 {
+				kind = "approx"
+			}
+			ops = append(ops, diffOp{kind: kind, keys: []string{probeKey()}})
+		}
+	}
+	return ops
+}
+
+// applyOp runs one op against a Resident and returns a canonical result
+// rendering (probe results per key; upsert counts).
+func applyOp(r Resident, op diffOp) string {
+	switch op.kind {
+	case "upsert":
+		ins, upd := r.Upsert(op.batch)
+		return fmt.Sprintf("upsert %d/%d", ins, upd)
+	case "exact":
+		return renderMatches(r.Probe(Exact, op.keys[0]))
+	case "approx":
+		return renderMatches(r.Probe(Approx, op.keys[0]))
+	case "batch-exact", "batch-approx":
+		mode := Exact
+		if op.kind == "batch-approx" {
+			mode = Approx
+		}
+		out := ""
+		for _, ms := range r.ProbeBatch(mode, op.keys) {
+			out += renderMatches(ms) + ";"
+		}
+		return out
+	}
+	panic("unknown op " + op.kind)
+}
+
+func renderMatches(ms []RefMatch) string {
+	out := ""
+	for _, m := range ms {
+		out += fmt.Sprintf("(%d %s %q %.9f %v)", m.Ref, m.Tuple.Key, m.Tuple.Attrs, m.Similarity, m.Exact)
+	}
+	return out
+}
+
+// TestShardedRefDifferential drives the sharded index and the retained
+// single-shard reference implementation with the same seeded stream of
+// interleaved Probe/ProbeBatch/Upsert ops — probes in both Fig. 4 probe
+// modes, so all four processor states' probe behaviour is covered — and
+// asserts identical results at every step, for shard counts 1, 2 and 4.
+// Results are compared fully ordered (ref, tuple snapshot, similarity,
+// exactness), which is stronger than multiset equality.
+func TestShardedRefDifferential(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		for _, seed := range []int64{1, 7, 42} {
+			seed := seed
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				ref, err := NewRefIndex(Defaults())
+				if err != nil {
+					t.Fatalf("NewRefIndex: %v", err)
+				}
+				sharded, err := NewShardedRefIndex(Defaults(), shards)
+				if err != nil {
+					t.Fatalf("NewShardedRefIndex: %v", err)
+				}
+				ops := randomOpStream(seed, 400)
+				probes := 0
+				for step, op := range ops {
+					want := applyOp(ref, op)
+					got := applyOp(sharded, op)
+					if got != want {
+						t.Fatalf("step %d (%s): sharded diverged\n got  %s\n want %s", step, op.kind, got, want)
+					}
+					if op.kind != "upsert" {
+						probes++
+					}
+					if sharded.Len() != ref.Len() {
+						t.Fatalf("step %d: Len %d vs reference %d", step, sharded.Len(), ref.Len())
+					}
+				}
+				if probes == 0 || ref.Len() == 0 {
+					t.Fatal("degenerate op stream")
+				}
+				// The stores themselves must agree ref-for-ref.
+				for i := 0; i < ref.Len(); i++ {
+					a, errA := ref.Tuple(i)
+					b, errB := sharded.Tuple(i)
+					if errA != nil || errB != nil || !reflect.DeepEqual(a, b) {
+						t.Fatalf("Tuple(%d): sharded %+v (%v) vs reference %+v (%v)", i, b, errB, a, errA)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedRefEntriesReplication documents the Entries contract: one
+// shard replicates nothing (identical to the reference), several shards
+// count replicas.
+func TestShardedRefEntriesReplication(t *testing.T) {
+	keys := []string{"via monte bianco nord 12", "lago di como est 4", "valle verde ovest 9"}
+	tuples := make([]relation.Tuple, len(keys))
+	for i, k := range keys {
+		tuples[i] = relation.Tuple{ID: i, Key: k}
+	}
+	ref, _ := NewRefIndex(Defaults())
+	ref.Upsert(tuples)
+	one, err := NewShardedRefIndex(Defaults(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Upsert(tuples)
+	refEx, refQG := ref.Entries()
+	oneEx, oneQG := one.Entries()
+	if refEx != oneEx || refQG != oneQG {
+		t.Fatalf("1-shard Entries %d/%d, reference %d/%d", oneEx, oneQG, refEx, refQG)
+	}
+	four, err := NewShardedRefIndex(Defaults(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four.Upsert(tuples)
+	fourEx, fourQG := four.Entries()
+	if fourEx < refEx || fourQG < refQG {
+		t.Fatalf("4-shard Entries %d/%d below reference %d/%d (replicas must count)", fourEx, fourQG, refEx, refQG)
+	}
+	if four.Shards() != 4 || one.Shards() != 1 {
+		t.Fatalf("Shards() = %d/%d", four.Shards(), one.Shards())
+	}
+}
+
+// TestShardedRefValidation pins constructor errors.
+func TestShardedRefValidation(t *testing.T) {
+	if _, err := NewShardedRefIndex(Defaults(), 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	cfg := Defaults()
+	cfg.Q = 0
+	if _, err := NewShardedRefIndex(cfg, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	// Resident-irrelevant fields must not fail construction.
+	cfg = Defaults()
+	cfg.Initial = State{Mode(7), Mode(9)}
+	cfg.RetainWindow = -3
+	if _, err := NewShardedRefIndex(cfg, 2); err != nil {
+		t.Fatalf("resident-irrelevant fields rejected: %v", err)
+	}
+	s, err := NewShardedRefIndex(Defaults(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tuple(0); err == nil {
+		t.Fatal("out-of-range ref accepted")
+	}
+	if ins, upd := s.Upsert(nil); ins != 0 || upd != 0 {
+		t.Fatalf("empty upsert = %d/%d", ins, upd)
+	}
+	if got := s.ProbeBatch(Exact, nil); len(got) != 0 {
+		t.Fatalf("empty batch = %v", got)
+	}
+}

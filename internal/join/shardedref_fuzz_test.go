@@ -1,0 +1,111 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+
+	"adaptivelink/internal/relation"
+)
+
+// FuzzUpsertProbe hammers one property of the RCU snapshot discipline:
+// concurrent upserts racing probes must never yield a torn read. Every
+// payload is self-certifying — Attrs[1] repeats "key#version" — so a
+// probe that observed a half-applied update (old version paired with
+// new payload, or a tuple mid-copy) fails verification. Probes must
+// also never see a key twice in one result (replica dedup) and, within
+// one prober goroutine, never see a key's version move backwards
+// (snapshots are published in order).
+//
+// A short run is wired into `make fuzz` (and CI); `go test -fuzz` digs
+// deeper.
+func FuzzUpsertProbe(f *testing.F) {
+	f.Add(int64(1), uint8(2), "via monte bianco nord")
+	f.Add(int64(7), uint8(4), "lago di como est")
+	f.Add(int64(42), uint8(1), "x")
+	f.Add(int64(-3), uint8(9), "piazza duomo è bella")
+	f.Fuzz(func(t *testing.T, seed int64, shardsRaw uint8, keyBase string) {
+		shards := int(shardsRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewShardedRefIndex(Defaults(), shards)
+		if err != nil {
+			t.Fatalf("NewShardedRefIndex: %v", err)
+		}
+		keys := make([]string, 8)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("%s %d %d", keyBase, rng.Intn(100), i)
+		}
+		payload := func(key string, version int) relation.Tuple {
+			return relation.Tuple{
+				ID:    version,
+				Key:   key,
+				Attrs: []string{strconv.Itoa(version), key + "#" + strconv.Itoa(version)},
+			}
+		}
+		seed0 := make([]relation.Tuple, len(keys))
+		for i, k := range keys {
+			seed0[i] = payload(k, 0)
+		}
+		s.Upsert(seed0)
+
+		verify := func(where string, probed string, ms []RefMatch) {
+			seen := make(map[string]bool, len(ms))
+			for _, m := range ms {
+				if seen[m.Tuple.Key] {
+					t.Errorf("%s %q: key %q reported twice (replica leak): %v", where, probed, m.Tuple.Key, ms)
+				}
+				seen[m.Tuple.Key] = true
+				if len(m.Tuple.Attrs) != 2 || m.Tuple.Attrs[1] != m.Tuple.Key+"#"+m.Tuple.Attrs[0] {
+					t.Errorf("%s %q: torn payload %+v", where, probed, m.Tuple)
+				}
+			}
+		}
+
+		const versions = 25
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			upRng := rand.New(rand.NewSource(seed ^ 0x5eed))
+			for v := 1; v <= versions; v++ {
+				batch := []relation.Tuple{
+					payload(keys[upRng.Intn(len(keys))], v),
+					payload(keys[upRng.Intn(len(keys))], v),
+				}
+				s.Upsert(batch)
+			}
+		}()
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				pRng := rand.New(rand.NewSource(seed + int64(p)))
+				lastVersion := make(map[string]int)
+				for i := 0; i < 120; i++ {
+					k := keys[pRng.Intn(len(keys))]
+					var ms []RefMatch
+					if pRng.Intn(2) == 0 {
+						ms = s.ProbeExact(k)
+						verify("exact", k, ms)
+						for _, m := range ms {
+							v, err := strconv.Atoi(m.Tuple.Attrs[0])
+							if err != nil {
+								t.Errorf("exact %q: bad version %+v", k, m.Tuple)
+								continue
+							}
+							if v < lastVersion[m.Tuple.Key] {
+								t.Errorf("exact %q: version went backwards %d -> %d", k, lastVersion[m.Tuple.Key], v)
+							}
+							lastVersion[m.Tuple.Key] = v
+						}
+					} else {
+						verify("approx", k, s.ProbeApprox(k))
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+	})
+}

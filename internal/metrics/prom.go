@@ -23,11 +23,13 @@ type Registry struct {
 }
 
 type family struct {
-	name   string
-	help   string
-	kind   string // "counter" or "gauge"
-	series map[string]*Value
-	labels []string
+	name    string
+	help    string
+	kind    string // "counter", "gauge" or "histogram"
+	series  map[string]*Value
+	hseries map[string]*Histogram
+	buckets []float64 // histogram families: shared upper bounds
+	labels  []string
 }
 
 // Value is one metric series: an atomically updated float64.
@@ -77,6 +79,73 @@ func (r *Registry) Gauge(name, help, labels string) *Value {
 	return r.series(name, help, "gauge", labels)
 }
 
+// Histogram is a fixed-bucket histogram series: lock-free Observe on
+// atomically updated per-bucket counters, rendered in the Prometheus
+// cumulative _bucket/_sum/_count form. The linkage service uses it for
+// batch-size and per-batch hit distributions.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	sum    Value
+	total  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x
+	h.counts[i].Add(1)
+	h.sum.Add(x)
+	h.total.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Get() }
+
+// Histogram returns the histogram series for name and labels, creating
+// the family as needed. buckets are ascending upper bounds (the +Inf
+// bucket is implicit) and must be identical for every series of a
+// family; the first creation fixes them.
+func (r *Registry) Histogram(name, help, labels string, buckets []float64) *Histogram {
+	if len(buckets) == 0 || !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("metrics: histogram %s wants ascending non-empty buckets, got %v", name, buckets))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, kind: "histogram",
+			hseries: make(map[string]*Histogram),
+			buckets: append([]float64(nil), buckets...),
+		}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	if f.kind != "histogram" {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as histogram", name, f.kind))
+	}
+	if len(buckets) != len(f.buckets) {
+		panic(fmt.Sprintf("metrics: histogram %s registered with buckets %v, requested with %v", name, f.buckets, buckets))
+	}
+	for i, b := range buckets {
+		if b != f.buckets[i] {
+			panic(fmt.Sprintf("metrics: histogram %s registered with buckets %v, requested with %v", name, f.buckets, buckets))
+		}
+	}
+	h, ok := f.hseries[labels]
+	if !ok {
+		h = &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+		f.hseries[labels] = h
+		f.labels = append(f.labels, labels)
+		sort.Strings(f.labels)
+	}
+	return h
+}
+
 func (r *Registry) series(name, help, kind, labels string) *Value {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -115,6 +184,7 @@ func (r *Registry) DeleteSeries(labelPair string) int {
 		for _, labels := range f.labels {
 			if strings.Contains(labels, labelPair) {
 				delete(f.series, labels)
+				delete(f.hseries, labels)
 				dropped++
 				continue
 			}
@@ -135,6 +205,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f := r.families[name]
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
 		for _, labels := range f.labels {
+			if f.kind == "histogram" {
+				writeHistogram(&b, f.name, labels, f.hseries[labels])
+				continue
+			}
 			v := f.series[labels].Get()
 			if labels == "" {
 				fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(v))
@@ -145,6 +219,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	join := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`le="%s"`, le)
+		}
+		return fmt.Sprintf(`%s,le="%s"`, labels, le)
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, join(formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", name, join("+Inf"), cum)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %s\n%s_count %d\n", name, formatValue(h.Sum()), name, cum)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, labels, formatValue(h.Sum()), name, labels, cum)
+	}
 }
 
 func formatValue(v float64) string {

@@ -91,3 +91,64 @@ func TestValueConcurrentAdds(t *testing.T) {
 		t.Fatalf("concurrent adds = %v, want 8000", got)
 	}
 }
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("batch_keys", "Keys per batch.", `index="a"`, []float64{1, 4, 16})
+	for _, x := range []float64{1, 1, 3, 9, 100} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 || h.Sum() != 114 {
+		t.Fatalf("Count/Sum = %d/%v, want 5/114", h.Count(), h.Sum())
+	}
+	// Idempotent re-fetch returns the same series.
+	if again := r.Histogram("batch_keys", "Keys per batch.", `index="a"`, []float64{1, 4, 16}); again != h {
+		t.Fatal("histogram series not idempotent")
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE batch_keys histogram",
+		`batch_keys_bucket{index="a",le="1"} 2`,
+		`batch_keys_bucket{index="a",le="4"} 3`,
+		`batch_keys_bucket{index="a",le="16"} 4`,
+		`batch_keys_bucket{index="a",le="+Inf"} 5`,
+		`batch_keys_sum{index="a"} 114`,
+		`batch_keys_count{index="a"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// DeleteSeries drops histogram series too.
+	if n := r.DeleteSeries(`index="a"`); n != 1 {
+		t.Fatalf("DeleteSeries = %d, want 1", n)
+	}
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "batch_keys_bucket") {
+		t.Fatalf("deleted histogram still exported:\n%s", buf.String())
+	}
+	// Unlabelled histograms render without a leading comma.
+	u := r.Histogram("plain", "p.", "", []float64{2})
+	u.Observe(1)
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `plain_bucket{le="2"} 1`) || !strings.Contains(buf.String(), "plain_count 1") {
+		t.Fatalf("unlabelled histogram exposition wrong:\n%s", buf.String())
+	}
+}
+
+func TestRegistryHistogramBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", "h.", "", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched buckets accepted")
+		}
+	}()
+	r.Histogram("h", "h.", `x="y"`, []float64{1, 3})
+}

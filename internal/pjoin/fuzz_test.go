@@ -10,6 +10,17 @@ import (
 	"adaptivelink/internal/stream"
 )
 
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // FuzzRoute fuzzes the two correctness contracts the splitter rests on,
 // over arbitrary unicode keys (extending the internal/qgram fuzz
 // pattern to the parallel layer):

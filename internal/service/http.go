@@ -26,10 +26,13 @@ type TupleDTO struct {
 type CreateIndexRequest struct {
 	Name string `json:"name"`
 	// Q, Theta and Measure configure matching (0/"" = defaults).
-	Q       int        `json:"q,omitempty"`
-	Theta   float64    `json:"theta,omitempty"`
-	Measure string     `json:"measure,omitempty"`
-	Tuples  []TupleDTO `json:"tuples"`
+	Q       int     `json:"q,omitempty"`
+	Theta   float64 `json:"theta,omitempty"`
+	Measure string  `json:"measure,omitempty"`
+	// Shards is the index's shard count (0 = one per server hardware
+	// thread).
+	Shards int        `json:"shards,omitempty"`
+	Tuples []TupleDTO `json:"tuples"`
 }
 
 // UpsertRequest is the POST /v1/indexes/{name}/upsert payload.
@@ -196,7 +199,7 @@ func NewHandler(s *Service) http.Handler {
 }
 
 func indexOptions(req CreateIndexRequest) adaptivelink.IndexOptions {
-	opts := adaptivelink.IndexOptions{Q: req.Q, Theta: req.Theta}
+	opts := adaptivelink.IndexOptions{Q: req.Q, Theta: req.Theta, Shards: req.Shards}
 	switch req.Measure {
 	case "dice":
 		opts.Measure = adaptivelink.Dice

@@ -95,6 +95,10 @@ type Service struct {
 	// once so the hot path neither formats labels nor takes the
 	// registry lock.
 	requestCounters map[string]*metrics.Value
+	// batchSize tracks the keys-per-link-request distribution;
+	// batchRequests counts the requests that used the batch form.
+	batchSize     *metrics.Histogram
+	batchRequests *metrics.Value
 
 	// testProbeDelay, when set (tests only), runs before every probe of
 	// a link batch, making slow requests reproducible.
@@ -108,6 +112,7 @@ type managedIndex struct {
 	created time.Time
 
 	size          *metrics.Value
+	shards        *metrics.Value
 	sessions      *metrics.Value
 	probes        *metrics.Value
 	hits          *metrics.Value
@@ -139,6 +144,11 @@ func New(cfg Config) *Service {
 		s.requestCounters[code] = reg.Counter("adaptivelink_link_requests_total",
 			"Link requests by outcome.", fmt.Sprintf("code=%q", code))
 	}
+	s.batchSize = reg.Histogram("adaptivelink_link_batch_keys",
+		"Keys per admitted link request.", "",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096})
+	s.batchRequests = reg.Counter("adaptivelink_link_batch_requests_total",
+		"Admitted link requests carrying more than one key.", "")
 	return s
 }
 
@@ -162,6 +172,8 @@ func (s *Service) newManaged(name string, ix *adaptivelink.Index) *managedIndex 
 		created: time.Now(),
 		size: s.reg.Gauge("adaptivelink_index_size",
 			"Resident reference tuples per index.", l("")),
+		shards: s.reg.Gauge("adaptivelink_index_shards",
+			"Shard count of the resident index.", l("")),
 		sessions: s.reg.Counter("adaptivelink_sessions_total",
 			"Probe sessions opened per index.", l("")),
 		probes: s.reg.Counter("adaptivelink_probes_total",
@@ -208,9 +220,14 @@ func (s *Service) CreateIndex(name string, opts adaptivelink.IndexOptions, tuple
 	mi := s.newManaged(name, ix)
 	s.indexes[name] = mi
 	mi.size.Set(float64(ix.Len()))
+	mi.shards.Set(float64(ix.Options().Shards))
 	mi.inserted.Add(float64(ix.Len()))
 	s.indexGauge.Set(float64(len(s.indexes)))
-	return IndexInfo{Name: name, Size: ix.Len(), CreatedAt: mi.created}, nil
+	return mi.info(), nil
+}
+
+func (mi *managedIndex) info() IndexInfo {
+	return IndexInfo{Name: mi.name, Size: mi.ix.Len(), Shards: mi.ix.Options().Shards, CreatedAt: mi.created}
 }
 
 // DeleteIndex removes an index and its exported metric series (a
@@ -256,6 +273,7 @@ func (s *Service) lookup(name string) (*managedIndex, error) {
 type IndexInfo struct {
 	Name      string    `json:"name"`
 	Size      int       `json:"size"`
+	Shards    int       `json:"shards"`
 	CreatedAt time.Time `json:"created_at"`
 }
 
@@ -265,7 +283,7 @@ func (s *Service) ListIndexes() []IndexInfo {
 	defer s.mu.RUnlock()
 	out := make([]IndexInfo, 0, len(s.indexes))
 	for _, mi := range s.indexes {
-		out = append(out, IndexInfo{Name: mi.name, Size: mi.ix.Len(), CreatedAt: mi.created})
+		out = append(out, mi.info())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -277,7 +295,7 @@ func (s *Service) GetIndex(name string) (IndexInfo, error) {
 	if err != nil {
 		return IndexInfo{}, err
 	}
-	return IndexInfo{Name: mi.name, Size: mi.ix.Len(), CreatedAt: mi.created}, nil
+	return mi.info(), nil
 }
 
 // LinkRequest is one probe batch: a single key or many, executed as one
@@ -314,6 +332,11 @@ func ParseStrategy(s string) (adaptivelink.Strategy, error) {
 		return 0, fmt.Errorf("%w: unknown strategy %q (want adaptive, exact or approximate)", ErrInvalid, s)
 	}
 }
+
+// linkChunk is the number of keys a link batch probes between deadline
+// checks: big enough to amortise routing and snapshot loads, small
+// enough that an expired request aborts promptly.
+const linkChunk = 256
 
 // Link runs one probe batch through admission control and the worker
 // pool. Deadline expiry while queued rejects the request without
@@ -376,8 +399,21 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 			return
 		}
 		mi.sessions.Inc()
+		s.batchSize.Observe(float64(len(req.Keys)))
+		if len(req.Keys) > 1 {
+			s.batchRequests.Inc()
+		}
+		// The batch runs through Session.ProbeBatch — routing and
+		// snapshot loads amortised per shard-group, groups fanned out
+		// concurrently inside this one worker slot — in chunks, so a
+		// request whose deadline expires mid-batch is aborted between
+		// chunks and never reported complete with partial results.
+		chunk := linkChunk
+		if s.testProbeDelay != nil {
+			chunk = 1 // per-probe delay injection for deadline tests
+		}
 		results := make([][]adaptivelink.ProbeMatch, len(req.Keys))
-		for i, key := range req.Keys {
+		for lo := 0; lo < len(req.Keys); lo += chunk {
 			if ctx.Err() != nil {
 				jobErr = ctx.Err()
 				break
@@ -385,7 +421,11 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 			if s.testProbeDelay != nil {
 				s.testProbeDelay()
 			}
-			results[i] = sess.Probe(key)
+			hi := lo + chunk
+			if hi > len(req.Keys) {
+				hi = len(req.Keys)
+			}
+			copy(results[lo:hi], sess.ProbeBatch(req.Keys[lo:hi]))
 		}
 		st := sess.Stats()
 		mi.probes.Add(float64(st.Probes))
@@ -447,6 +487,7 @@ func (s *Service) WriteMetrics(w interface{ Write([]byte) (int, error) }) error 
 type IndexStats struct {
 	Name          string    `json:"name"`
 	Size          int       `json:"size"`
+	Shards        int       `json:"shards"`
 	CreatedAt     time.Time `json:"created_at"`
 	Sessions      int64     `json:"sessions"`
 	Probes        int64     `json:"probes"`
@@ -488,6 +529,7 @@ func (s *Service) Snapshot() Snapshot {
 		snap.Indexes = append(snap.Indexes, IndexStats{
 			Name:          mi.name,
 			Size:          mi.ix.Len(),
+			Shards:        mi.ix.Options().Shards,
 			CreatedAt:     mi.created,
 			Sessions:      int64(mi.sessions.Get()),
 			Probes:        int64(mi.probes.Get()),

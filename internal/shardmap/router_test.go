@@ -1,11 +1,10 @@
-package pjoin
+package shardmap
 
 import (
 	"math/rand"
 	"testing"
 
 	"adaptivelink/internal/datagen"
-	"adaptivelink/internal/join"
 	"adaptivelink/internal/qgram"
 	"adaptivelink/internal/simfn"
 )
@@ -25,7 +24,13 @@ func intersects(a, b []int) bool {
 // correctness: any two keys whose similarity reaches θ under the join's
 // measure must share at least one shard, at every shard count.
 func TestPrefixRouterCoPartitions(t *testing.T) {
-	cfg := join.Defaults()
+	// The paper's matching configuration (join.Defaults, restated here
+	// because package join imports this one).
+	cfg := struct {
+		Q       int
+		Measure simfn.TokenMeasure
+		Theta   float64
+	}{Q: 3, Measure: simfn.Jaccard, Theta: 0.75}
 	sim := simfn.TokenSim(cfg.Measure, qgram.New(cfg.Q))
 
 	// Perturbed child keys vs their parents give a dense supply of pairs

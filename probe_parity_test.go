@@ -79,8 +79,9 @@ func batchMatchSet(t *testing.T, state join.State, parent, probes []Tuple) map[s
 
 // probeMatchSet shuffles the probe stream, splits it over P concurrent
 // sessions of the given strategy on one shared Index, and returns the
-// combined match multiset.
-func probeMatchSet(t *testing.T, ix *Index, strategy Strategy, probes []Tuple, par int, seed int64) map[string]int {
+// combined match multiset. batch > 1 probes through Session.ProbeBatch
+// in chunks of that size; batch <= 1 probes one key at a time.
+func probeMatchSet(t *testing.T, ix *Index, strategy Strategy, probes []Tuple, par, batch int, seed int64) map[string]int {
 	t.Helper()
 	shuffled := append([]Tuple(nil), probes...)
 	rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
@@ -97,10 +98,29 @@ func probeMatchSet(t *testing.T, ix *Index, strategy Strategy, probes []Tuple, p
 				t.Errorf("NewSession: %v", err)
 				return
 			}
-			set := make(map[string]int)
+			var mine []string
 			for i := p; i < len(shuffled); i += par {
-				for _, m := range sess.Probe(shuffled[i].Key) {
-					set[fmt.Sprintf("%s|%s|%.9f|%v", m.Ref.Key, shuffled[i].Key, m.Similarity, m.Exact)]++
+				mine = append(mine, shuffled[i].Key)
+			}
+			set := make(map[string]int)
+			record := func(key string, ms []ProbeMatch) {
+				for _, m := range ms {
+					set[fmt.Sprintf("%s|%s|%.9f|%v", m.Ref.Key, key, m.Similarity, m.Exact)]++
+				}
+			}
+			if batch <= 1 {
+				for _, key := range mine {
+					record(key, sess.Probe(key))
+				}
+			} else {
+				for lo := 0; lo < len(mine); lo += batch {
+					hi := lo + batch
+					if hi > len(mine) {
+						hi = len(mine)
+					}
+					for j, ms := range sess.ProbeBatch(mine[lo:hi]) {
+						record(mine[lo+j], ms)
+					}
 				}
 			}
 			sets[p] = set
@@ -139,26 +159,31 @@ func diffMultisets(t *testing.T, label string, want, got map[string]int) {
 // scan, which is what the resident index materialises.
 func TestProbeParityWithBatchStates(t *testing.T) {
 	parent, probes := parityData(t)
-	ix, err := NewIndex(FromTuples(parent), IndexOptions{})
-	if err != nil {
-		t.Fatalf("NewIndex: %v", err)
-	}
-	for si, state := range join.AllStates {
-		state := state
-		t.Run(state.Short(), func(t *testing.T) {
-			want := batchMatchSet(t, state, parent, probes)
-			if len(want) == 0 {
-				t.Fatal("batch produced no matches; degenerate fixture")
-			}
-			strategy := ExactOnly
-			if state.Right == join.Approx {
-				strategy = ApproximateOnly
-			}
-			for _, par := range []int{1, 4} {
-				got := probeMatchSet(t, ix, strategy, probes, par, int64(100*si+par))
-				diffMultisets(t, fmt.Sprintf("%v P=%d", state, par), want, got)
-			}
-		})
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		ix, err := NewIndex(FromTuples(parent), IndexOptions{Shards: shards})
+		if err != nil {
+			t.Fatalf("NewIndex: %v", err)
+		}
+		for si, state := range join.AllStates {
+			state := state
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, state.Short()), func(t *testing.T) {
+				want := batchMatchSet(t, state, parent, probes)
+				if len(want) == 0 {
+					t.Fatal("batch produced no matches; degenerate fixture")
+				}
+				strategy := ExactOnly
+				if state.Right == join.Approx {
+					strategy = ApproximateOnly
+				}
+				for _, par := range []int{1, 4} {
+					for _, batch := range []int{1, 32} {
+						got := probeMatchSet(t, ix, strategy, probes, par, batch, int64(100*si+10*par+batch))
+						diffMultisets(t, fmt.Sprintf("%v shards=%d P=%d batch=%d", state, shards, par, batch), want, got)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -173,7 +198,7 @@ func TestProbeAdaptiveBracketedByBaselines(t *testing.T) {
 	}
 	exact := batchMatchSet(t, join.LexRex, parent, probes)
 	ceiling := batchMatchSet(t, join.LapRap, parent, probes)
-	got := probeMatchSet(t, ix, Adaptive, probes, 4, 11)
+	got := probeMatchSet(t, ix, Adaptive, probes, 4, 16, 11)
 	for k, n := range exact {
 		if got[k] < n {
 			t.Errorf("adaptive lost exact match %q: %d < %d", k, got[k], n)

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# bench-service: measure the resident linkage service in the four
+# canonical configurations — exact+adaptive × single+batch probes — and
+# append labelled points to the BENCH_service.json trajectory. Exact
+# runs are gated against the previous matching point: a >REGRESS_PCT%
+# drop in probes/s fails the script (linkbench -regress-pct).
+#
+# Env knobs:
+#   OUT          trajectory file                 (default BENCH_service.json)
+#   NOTE         note prefix recorded per point  (default "bench-service")
+#   N            requests per configuration      (default 5000)
+#   C            concurrent clients              (default 32)
+#   PARENT       generated reference size        (default 2000)
+#   SHARDS       index shard count               (default 0 = server default)
+#   REGRESS_PCT  exact-path regression gate      (default 20)
+#   HOST_LABEL   host-class label recorded per point (default ""); the
+#                gate only compares points with the same label, so give
+#                each distinct host class (laptop, CI runner, bench box)
+#                its own label to avoid cross-host comparisons
+#   BASE_REF     when set (e.g. origin/main), first bench a server
+#                built from that git ref — same host, same run — so the
+#                exact-path gate compares the current tree against the
+#                base revision instead of whatever happens to be in the
+#                trajectory file; the base points are recorded with
+#                note "$NOTE base $BASE_REF"
+#   SKIP_BENCH_DIFF=1  disable the gate (known-noisy hosts / CI label)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_service.json}
+NOTE=${NOTE:-bench-service}
+N=${N:-5000}
+C=${C:-32}
+PARENT=${PARENT:-2000}
+SHARDS=${SHARDS:-0}
+REGRESS_PCT=${REGRESS_PCT:-20}
+HOST_LABEL=${HOST_LABEL:-}
+
+tmp=$(mktemp -d)
+pid=""
+worktree=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    if [ -n "$worktree" ]; then
+        git worktree remove --force "$worktree" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/linkbench" ./cmd/linkbench
+
+# start_server <binary>: launches it on an ephemeral port and sets $addr.
+start_server() {
+    rm -f "$tmp/addr"
+    "$1" -addr 127.0.0.1:0 -addr-file "$tmp/addr" >"$tmp/server.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 100); do
+        [ -s "$tmp/addr" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$tmp/addr" ]; then
+        echo "bench-service: server did not start" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    fi
+    addr=$(cat "$tmp/addr")
+}
+
+stop_server() {
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    pid=""
+}
+
+# bench <strategy> <batch> <note> [gate flags...]: one linkbench leg.
+bench() {
+    strategy=$1 batch=$2 note=$3
+    shift 3
+    "$tmp/linkbench" -addr "http://$addr" -n "$N" -c "$C" -batch "$batch" \
+        -parent "$PARENT" -variant-rate 0.1 -shards "$SHARDS" \
+        -index "bench-$strategy-$batch" -strategy "$strategy" \
+        -host "$HOST_LABEL" -out "$OUT" -note "$note" "$@"
+}
+
+# With BASE_REF set, record same-host baseline points for the gated
+# (exact) legs from a server built at that revision. The current tree's
+# linkbench drives both servers, so flag drift between revisions cannot
+# skew the client side.
+if [ -n "${BASE_REF:-}" ]; then
+    worktree=$(mktemp -d)
+    rm -rf "$worktree"
+    git worktree add --force --detach "$worktree" "$BASE_REF" >/dev/null
+    (cd "$worktree" && go build -o "$tmp/adaptivelinkd-base" ./cmd/adaptivelinkd)
+    start_server "$tmp/adaptivelinkd-base"
+    for batch in 1 16; do
+        bench exact "$batch" "$NOTE base $BASE_REF exact batch=$batch"
+    done
+    stop_server
+fi
+
+go build -o "$tmp/adaptivelinkd" ./cmd/adaptivelinkd
+start_server "$tmp/adaptivelinkd"
+rc=0
+for strategy in exact adaptive; do
+    for batch in 1 16; do
+        if [ "$strategy" = exact ] && [ "${SKIP_BENCH_DIFF:-0}" != 1 ]; then
+            bench "$strategy" "$batch" "$NOTE $strategy batch=$batch" \
+                -regress-pct "$REGRESS_PCT" || rc=1
+        else
+            bench "$strategy" "$batch" "$NOTE $strategy batch=$batch" || rc=1
+        fi
+    done
+done
+stop_server
+
+if [ "$rc" -ne 0 ]; then
+    echo "bench-service: FAILED (regression or request errors; see above)" >&2
+fi
+exit $rc
