@@ -5,9 +5,9 @@ GO ?= go
 
 # Coverage ratchet: fail when total statement coverage drops below this.
 # Raise it (never lower it) when a PR lifts coverage.
-COVER_MIN ?= 86.0
+COVER_MIN ?= 86.5
 
-.PHONY: all build vet fmt test race bench cover serve-smoke fuzz bench-service check
+.PHONY: all build vet fmt test race bench cover serve-smoke fuzz bench-service bench-probe alloc check
 
 all: check
 
@@ -66,6 +66,23 @@ fuzz:
 bench-service:
 	./scripts/bench_service.sh
 
+# Probe-path microbenchmark trajectory: resident Probe/ProbeBatch plus
+# the gram-extraction / candidate-generation / verification kernels,
+# appended to BENCH_probe.json with the same host-label + regress-pct
+# gating as bench-service. See scripts/bench_probe.sh for the knobs.
+bench-probe:
+	./scripts/bench_probe.sh
+
+# Allocation-regression pins for the probe hot path (exact resident
+# probe = 0 allocs/op, approximate probe within its documented budget).
+# Run without -race: the race runtime perturbs allocation counts. The
+# join-level pins carry a !race build tag and the kernel-level
+# AllocsPerRun assertions in hashidx/qgram skip themselves under -race
+# (their correctness halves still run everywhere, `cover` included);
+# this target is where every allocation count is actually enforced.
+alloc:
+	$(GO) test ./internal/join ./internal/hashidx ./internal/qgram -run 'Alloc|ZeroAlloc|NoAlloc|ShortCircuit' -count=1
+
 # `cover` runs the whole suite under -race, so the `race` and `test`
 # targets would be redundant here.
-check: build vet fmt cover bench fuzz serve-smoke
+check: build vet fmt cover alloc bench fuzz serve-smoke

@@ -1,0 +1,20 @@
+// Command benchprobe appends probe-path microbenchmark results to the
+// BENCH_probe.json trajectory, with the same host-label + regress-pct
+// gating discipline as linkbench/BENCH_service.json. It parses `go test
+// -bench` output from stdin or -in:
+//
+//	go test ./internal/join -run=NONE -bench BenchmarkResident -benchtime=2s |
+//	    benchprobe -out BENCH_probe.json -host laptop -regress-pct 20
+//
+// scripts/bench_probe.sh (make bench-probe) is the canonical driver.
+package main
+
+import (
+	"os"
+
+	"adaptivelink/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunBenchProbe(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -143,6 +143,31 @@
 // and graceful drain on SIGTERM. cmd/linkbench load-tests it and
 // records throughput/latency points into BENCH_service.json.
 //
+// # Performance
+//
+// The q-gram hot path of both engines is dictionary-encoded: each
+// index interns grams into dense uint32 ids (internal/qgram.Dict),
+// posting lists are a slice-indexed table keyed by gram id, and every
+// indexed tuple stores its sorted gram-id signature once, so
+// verification is integer arithmetic over precomputed sizes and
+// overlaps — no re-extraction, no re-hashing, no per-probe maps.
+// Probe keys are decomposed by an ASCII fast path that packs grams
+// into uint64s without materialising strings (non-ASCII input falls
+// back to an equivalent string path), candidate counting runs on
+// epoch-stamped arrays reused across probes, and the resident indexes
+// recycle all per-probe scratch through a sync.Pool. With caller-owned
+// result buffers the exact resident probe performs zero allocations
+// per operation and the approximate probe at most one; allocation
+// regression tests pin both budgets.
+//
+// The encoding composes with the RCU snapshot discipline above: the
+// dictionary is part of each published shard snapshot, Upsert clones
+// it copy-on-write together with the postings, and interning is
+// append-only (ids are never renumbered), so a probe always reads a
+// consistent dict/postings pair and the match contract is bit-for-bit
+// unchanged. BENCH_probe.json records the per-probe trajectory (make
+// bench-probe); BENCH_service.json the service-level one.
+//
 // # Usage
 //
 //	left := adaptivelink.FromKeys("alpha centauri b", "beta pictoris c")

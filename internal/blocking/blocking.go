@@ -17,6 +17,7 @@ package blocking
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -191,17 +192,25 @@ func SortedNeighborhood(cfg join.Config, left, right *relation.Relation, window 
 	return verifyPairs(cfg, left, right, seen)
 }
 
-// verifyPairs scores candidate pairs and keeps those meeting θ.
+// verifyPairs scores candidate pairs and keeps those meeting θ, on
+// dictionary-encoded signatures: each distinct key is decomposed and
+// interned once, and every pair is verified by a sorted-merge
+// intersection over gram ids instead of re-extracting and re-hashing
+// both gram sets.
 func verifyPairs(cfg join.Config, left, right *relation.Relation, cands map[[2]int]struct{}) (*Result, error) {
 	ex := qgram.New(cfg.Q)
-	gramCache := make(map[string][]string)
-	grams := func(s string) []string {
-		if g, ok := gramCache[s]; ok {
+	dict := qgram.NewDict()
+	var dsc qgram.Scratch
+	sigCache := make(map[string][]uint32)
+	sig := func(s string) []uint32 {
+		if g, ok := sigCache[s]; ok {
 			return g
 		}
-		g := ex.Grams(s)
-		gramCache[s] = g
-		return g
+		dsc.Reset()
+		ids := dict.Intern(nil, ex.Decompose(&dsc, s))
+		slices.Sort(ids)
+		sigCache[s] = ids
+		return ids
 	}
 	res := &Result{CandidatePairs: len(cands)}
 	for pair := range cands {
@@ -211,8 +220,7 @@ func verifyPairs(cfg join.Config, left, right *relation.Relation, cands map[[2]i
 			res.Pairs = append(res.Pairs, join.Pair{LeftRef: pair[0], RightRef: pair[1], Similarity: 1, Exact: true})
 			continue
 		}
-		lg, rg := grams(lk), grams(rk)
-		sim := cfg.Measure.Coefficient(len(lg), len(rg), qgram.Intersection(lg, rg))
+		sim := cfg.Measure.SimilarityIDs(sig(lk), sig(rk))
 		if sim >= cfg.Theta {
 			res.Pairs = append(res.Pairs, join.Pair{LeftRef: pair[0], RightRef: pair[1], Similarity: sim})
 		}

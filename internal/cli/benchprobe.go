@@ -1,0 +1,164 @@
+package cli
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// ProbeBenchPoint is one probe-path microbenchmark measurement, the
+// unit appended to BENCH_probe.json: ns/op, B/op and allocs/op of one
+// `go test -bench` benchmark.
+type ProbeBenchPoint struct {
+	Date        string  `json:"date"`
+	Host        string  `json:"host,omitempty"`
+	Go          string  `json:"go"`
+	Note        string  `json:"note,omitempty"`
+	Bench       string  `json:"bench"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type probeBenchFile struct {
+	Description string            `json:"description"`
+	Points      []ProbeBenchPoint `json:"points"`
+}
+
+// benchLine matches one `go test -bench` result line with -benchmem
+// style columns, e.g.
+//
+//	BenchmarkResidentProbeApprox-4  21417  114833 ns/op  17937 B/op  89 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+// RunBenchProbe implements cmd/benchprobe: it parses `go test -bench`
+// output (stdin or -in), appends one labelled point per benchmark to a
+// BENCH_probe.json trajectory, and — like linkbench's -regress-pct —
+// gates against the most recent earlier point of the same benchmark and
+// host label BEFORE writing, so a regressing run is reported, never
+// recorded as the next baseline. The gate fails when ns/op grew more
+// than -regress-pct percent, or allocs/op grew at all beyond one.
+func RunBenchProbe(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchprobe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in      = fs.String("in", "", "bench output file (default: stdin)")
+		out     = fs.String("out", "BENCH_probe.json", "trajectory file to append to")
+		note    = fs.String("note", "", "free-form note recorded per point")
+		host    = fs.String("host", "", "host label; the gate only compares points with the same label")
+		regress = fs.Float64("regress-pct", 0, "fail when a benchmark's ns/op grew more than this percent over the previous matching point (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchprobe: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	points, err := parseBenchOutput(r, *host, *note)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchprobe: %v\n", err)
+		return 1
+	}
+	if len(points) == 0 {
+		fmt.Fprintln(stderr, "benchprobe: no benchmark lines found in input")
+		return 1
+	}
+
+	bf := probeBenchFile{
+		Description: "Trajectory of the probe-path microbenchmarks (go test -bench over internal/join, internal/hashidx, internal/qgram): per-probe ns/op and allocs/op of the resident probe paths plus the gram-extraction / candidate-generation / verification kernels. Append pre/post points per perf PR; the regression gate compares points with identical bench name and host label only.",
+	}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			fmt.Fprintf(stderr, "benchprobe: %s: %v\n", *out, err)
+			return 1
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(stderr, "benchprobe: %v\n", err)
+		return 1
+	}
+
+	code := 0
+	for _, p := range points {
+		prev := lastMatchingProbe(bf.Points, p)
+		if *regress > 0 && prev != nil {
+			if p.NsPerOp > prev.NsPerOp*(1+*regress/100) {
+				fmt.Fprintf(stderr, "benchprobe: regression: %s %.0f ns/op is more than %.0f%% above previous %.0f (%s, %q)\n",
+					p.Bench, p.NsPerOp, *regress, prev.NsPerOp, prev.Date, prev.Note)
+				code = 1
+				continue
+			}
+			if p.AllocsPerOp > prev.AllocsPerOp+1 {
+				fmt.Fprintf(stderr, "benchprobe: regression: %s %.0f allocs/op, previous %.0f (%s, %q)\n",
+					p.Bench, p.AllocsPerOp, prev.AllocsPerOp, prev.Date, prev.Note)
+				code = 1
+				continue
+			}
+		}
+		bf.Points = append(bf.Points, p)
+		fmt.Fprintf(stdout, "benchprobe: %s %.0f ns/op %.0f allocs/op\n", p.Bench, p.NsPerOp, p.AllocsPerOp)
+	}
+	if code != 0 {
+		fmt.Fprintf(stderr, "benchprobe: regressing points NOT recorded in %s\n", *out)
+		return code
+	}
+	raw, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchprobe: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchprobe: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchprobe: appended %d points to %s\n", len(points), *out)
+	return 0
+}
+
+func parseBenchOutput(r io.Reader, host, note string) ([]ProbeBenchPoint, error) {
+	var points []ProbeBenchPoint
+	date := time.Now().UTC().Format("2006-01-02")
+	goVersion := runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		p := ProbeBenchPoint{Date: date, Host: host, Go: goVersion, Note: note, Bench: m[1], NsPerOp: ns}
+		if m[3] != "" {
+			p.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			p.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		points = append(points, p)
+	}
+	return points, sc.Err()
+}
+
+func lastMatchingProbe(points []ProbeBenchPoint, p ProbeBenchPoint) *ProbeBenchPoint {
+	for i := len(points) - 1; i >= 0; i-- {
+		if points[i].Bench == p.Bench && points[i].Host == p.Host {
+			return &points[i]
+		}
+	}
+	return nil
+}

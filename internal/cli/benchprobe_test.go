@@ -1,0 +1,108 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: adaptivelink/internal/join
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkResidentProbeExact              	16522276	       155.7 ns/op	      72 B/op	       0 allocs/op
+BenchmarkResidentProbeApprox-4           	   21417	    114833 ns/op	   17937 B/op	      89 allocs/op
+PASS
+ok  	adaptivelink/internal/join	17.439s
+`
+
+func runBenchProbe(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := RunBenchProbe(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func readProbeFile(t *testing.T, path string) probeBenchFile {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf probeBenchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatal(err)
+	}
+	return bf
+}
+
+func TestBenchProbeAppendsPoints(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_probe.json")
+	code, stdout, stderr := runBenchProbe(t, benchOut, "-out", out, "-note", "unit", "-host", "h1")
+	if code != 0 {
+		t.Fatalf("exit %d stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "appended 2 points") {
+		t.Errorf("stdout: %s", stdout)
+	}
+	bf := readProbeFile(t, out)
+	if len(bf.Points) != 2 {
+		t.Fatalf("%d points", len(bf.Points))
+	}
+	p := bf.Points[1]
+	if p.Bench != "BenchmarkResidentProbeApprox" || p.NsPerOp != 114833 ||
+		p.AllocsPerOp != 89 || p.BytesPerOp != 17937 || p.Host != "h1" || p.Note != "unit" {
+		t.Errorf("parsed point %+v", p)
+	}
+}
+
+func TestBenchProbeRegressionGate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_probe.json")
+	if code, _, errb := runBenchProbe(t, benchOut, "-out", out, "-host", "h1"); code != 0 {
+		t.Fatalf("baseline: %s", errb)
+	}
+	// 50% slower: gated, and NOT recorded.
+	slower := strings.Replace(benchOut, "114833 ns/op", "172249 ns/op", 1)
+	code, _, errb := runBenchProbe(t, slower, "-out", out, "-host", "h1", "-regress-pct", "20")
+	if code == 0 || !strings.Contains(errb, "regression") {
+		t.Fatalf("slower run not gated: exit %d stderr %s", code, errb)
+	}
+	if got := len(readProbeFile(t, out).Points); got != 2 {
+		t.Fatalf("regressing run was recorded: %d points", got)
+	}
+	// Allocation growth alone is gated too.
+	leaky := strings.Replace(benchOut, "89 allocs/op", "120 allocs/op", 1)
+	if code, _, errb := runBenchProbe(t, leaky, "-out", out, "-host", "h1", "-regress-pct", "20"); code == 0 ||
+		!strings.Contains(errb, "allocs/op") {
+		t.Fatalf("alloc growth not gated: exit %d stderr %s", code, errb)
+	}
+	// A different host label never compares.
+	if code, _, errb := runBenchProbe(t, slower, "-out", out, "-host", "h2", "-regress-pct", "20"); code != 0 {
+		t.Fatalf("cross-host comparison: %s", errb)
+	}
+	// Faster run passes and extends the trajectory.
+	faster := strings.Replace(benchOut, "114833 ns/op", "18676 ns/op", 1)
+	if code, _, errb := runBenchProbe(t, faster, "-out", out, "-host", "h1", "-regress-pct", "20"); code != 0 {
+		t.Fatalf("faster run gated: %s", errb)
+	}
+}
+
+func TestBenchProbeInputErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_probe.json")
+	if code, _, errb := runBenchProbe(t, "no bench lines here\n", "-out", out); code != 1 ||
+		!strings.Contains(errb, "no benchmark lines") {
+		t.Fatalf("empty input: exit %d stderr %s", code, errb)
+	}
+	if code, _, _ := runBenchProbe(t, "", "-in", "/does/not/exist"); code != 1 {
+		t.Fatalf("missing -in accepted: %d", code)
+	}
+	if err := os.WriteFile(out, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runBenchProbe(t, benchOut, "-out", out); code != 1 {
+		t.Fatal("corrupt trajectory accepted")
+	}
+}

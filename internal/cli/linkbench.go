@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,8 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		note     = fs.String("note", "", "free-form note recorded with -out")
 		host     = fs.String("host", "", "host description recorded with -out")
 		regress  = fs.Float64("regress-pct", 0, "with -out: fail when probes/s drops more than this percent below the file's previous point with the same strategy/batch/concurrency/requests/parent shape (0 = off)")
+		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the load-generation phase to this file")
+		memprof  = fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -119,6 +122,27 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		keys[i] = t.Key
 	}
 
+	// Profiling covers exactly the load-generation phase, so a perf PR
+	// can attach pprof evidence of the client+server hot path without
+	// index-creation noise. (With a local server the profile includes
+	// only this process's side; profile the server separately for its.)
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(stderr, "linkbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "linkbench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	var next atomic.Int64
 	var errCount atomic.Int64
 	var probeCount atomic.Int64
@@ -153,6 +177,21 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 	}
 	wg.Wait()
 	elapsed := time.Since(begin)
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintf(stderr, "linkbench: -memprofile: %v\n", err)
+			return 1
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "linkbench: -memprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		f.Close()
+	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) float64 {

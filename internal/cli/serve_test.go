@@ -227,3 +227,58 @@ func TestAppendBenchPointRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage bench file accepted")
 	}
 }
+
+// Satellite smoke: -cpuprofile/-memprofile must write non-empty pprof
+// files so future perf PRs can attach profiling evidence.
+func TestLinkBenchWritesProfiles(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 64})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, stdout, stderr := runBench(t,
+		"-addr", ts.URL, "-n", "60", "-c", "4", "-batch", "2", "-parent", "150",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	// The profiles must parse as gzipped pprof data (magic 0x1f8b).
+	for _, p := range []string{cpu, mem} {
+		raw, err := os.ReadFile(p)
+		if err != nil || len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+			t.Errorf("profile %s does not look like pprof output (err %v)", p, err)
+		}
+	}
+}
+
+func TestLinkBenchProfileFlagErrors(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2, QueueDepth: 64})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	if code, _, errb := runBench(t,
+		"-addr", ts.URL, "-n", "1", "-c", "1", "-parent", "150",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")); code != 1 ||
+		!strings.Contains(errb, "-cpuprofile") {
+		t.Fatalf("bad cpuprofile path: exit %d stderr %s", code, errb)
+	}
+	if code, _, errb := runBench(t,
+		"-addr", ts.URL, "-n", "1", "-c", "1", "-parent", "150",
+		"-memprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")); code != 1 ||
+		!strings.Contains(errb, "-memprofile") {
+		t.Fatalf("bad memprofile path: exit %d stderr %s", code, errb)
+	}
+}

@@ -13,6 +13,7 @@ package hashidx
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"adaptivelink/internal/qgram"
@@ -138,60 +139,111 @@ type Candidate struct {
 // QGramIndex is an inverted index from q-gram to the refs of tuples
 // whose join key contains that gram. Posting-list lengths double as the
 // gram frequencies that drive the reverse-frequency probe optimisation.
+//
+// The representation is dictionary-encoded: grams are interned into a
+// per-index qgram.Dict of dense uint32 ids, postings form a
+// slice-indexed table keyed by gram id, and each indexed tuple stores
+// its sorted gram-id signature once at insert time. Probes run entirely
+// on ids with epoch-stamped counting arrays — no per-probe maps and,
+// given a caller-owned ProbeScratch, no per-probe allocations.
 type QGramIndex struct {
 	ex       *qgram.Extractor
-	postings map[string][]int
-	sizes    []int // sizes[ref] = |q(key(ref))|, needed to verify similarity
+	dict     *qgram.Dict
+	postings [][]int32  // gram id -> ascending refs
+	sizes    []uint32   // ref -> |q(key(ref))|; retained over eviction
+	sigs     [][]uint32 // ref -> sorted gram-id signature; nil'd by eviction
+	buckets  int        // posting lists currently non-empty
 	indexed  int
 	entries  int // total postings, for the space accounting of §2.3
+	sigFloor int // refs below it have had their signatures released
+
+	// insc backs Insert/CatchUp. Writer-side state only: inserts are
+	// single-writer by the index contract (dense ref order), so probes
+	// — which may run concurrently on immutable clones — never touch it.
+	insc  qgram.Scratch
+	idbuf []uint32
 }
 
 // NewQGramIndex returns an empty inverted index using the extractor's
 // gram definition.
 func NewQGramIndex(ex *qgram.Extractor) *QGramIndex {
-	return &QGramIndex{ex: ex, postings: make(map[string][]int)}
+	return &QGramIndex{ex: ex, dict: qgram.NewDict()}
 }
 
 // Extractor exposes the gram definition shared with callers.
 func (x *QGramIndex) Extractor() *qgram.Extractor { return x.ex }
 
+// Dict exposes the index's gram dictionary (read-only for probes).
+func (x *QGramIndex) Dict() *qgram.Dict { return x.dict }
+
 // Insert decomposes key into q-grams and registers ref under each
 // (operation 2 of §2.2: one pointer insertion per gram). Refs must be
 // inserted densely in order.
 func (x *QGramIndex) Insert(ref int, key string) {
-	x.InsertGrams(ref, x.ex.Grams(key))
+	x.insc.Reset()
+	x.InsertKey(ref, x.ex.Decompose(&x.insc, key))
 }
 
-// InsertGrams is Insert for a pre-decomposed key: the caller has already
-// run the extractor, so only the pointer insertions remain. This is what
-// lets writers hash outside their critical section — gram extraction is
-// the expensive part of an insert, the map appends are not.
+// InsertKey is Insert for a key already decomposed by an extractor
+// configured identically to the index's own: grams are interned into
+// the index dictionary and only the posting appends remain. This is
+// what lets writers decompose outside their critical section —
+// decomposition is the expensive part of an insert, the id appends are
+// not.
+func (x *QGramIndex) InsertKey(ref int, k qgram.Key) {
+	x.idbuf = x.dict.Intern(x.idbuf[:0], k)
+	x.insertIDs(ref, x.idbuf)
+}
+
+// InsertGrams is InsertKey for a pre-materialised gram slice.
 func (x *QGramIndex) InsertGrams(ref int, grams []string) {
+	x.idbuf = x.dict.InternStrings(x.idbuf[:0], grams)
+	x.insertIDs(ref, x.idbuf)
+}
+
+func (x *QGramIndex) insertIDs(ref int, ids []uint32) {
 	if ref != x.indexed {
 		panic(fmt.Sprintf("hashidx: QGramIndex.Insert ref %d, want %d (dense order)", ref, x.indexed))
 	}
-	for _, g := range grams {
-		x.postings[g] = append(x.postings[g], ref)
+	for len(x.postings) < x.dict.Len() {
+		x.postings = append(x.postings, nil)
 	}
-	x.sizes = append(x.sizes, len(grams))
-	x.entries += len(grams)
+	for _, id := range ids {
+		if len(x.postings[id]) == 0 {
+			x.buckets++
+		}
+		x.postings[id] = append(x.postings[id], int32(ref))
+	}
+	sig := make([]uint32, len(ids))
+	copy(sig, ids)
+	slices.Sort(sig)
+	x.sigs = append(x.sigs, sig)
+	x.sizes = append(x.sizes, uint32(len(ids)))
+	x.entries += len(ids)
 	x.indexed++
 }
 
 // Clone returns a deep copy sharing no mutable state with x: the
-// copy-on-write step of an RCU snapshot build. Posting lists and the
-// gram-size store are copied so clone-side appends never land in a
-// backing array a reader of the original is scanning.
+// copy-on-write step of an RCU snapshot build. The dictionary and the
+// posting lists are copied so clone-side interns and appends never land
+// in state a reader of the original is scanning; the per-ref signatures
+// are immutable after insert and are shared, only the spine is copied.
 func (x *QGramIndex) Clone() *QGramIndex {
 	c := &QGramIndex{
 		ex:       x.ex,
-		postings: make(map[string][]int, len(x.postings)),
-		sizes:    append([]int(nil), x.sizes...),
+		dict:     x.dict.Clone(),
+		postings: make([][]int32, len(x.postings)),
+		sizes:    append([]uint32(nil), x.sizes...),
+		sigs:     append([][]uint32(nil), x.sigs...),
+		buckets:  x.buckets,
 		indexed:  x.indexed,
 		entries:  x.entries,
+		sigFloor: x.sigFloor,
 	}
-	for g, refs := range x.postings {
-		c.postings[g] = append([]int(nil), refs...)
+	for id, refs := range x.postings {
+		if len(refs) > 0 {
+			c.postings[id] = append([]int32(nil), refs...)
+		}
 	}
 	return c
 }
@@ -209,108 +261,219 @@ func (x *QGramIndex) CatchUp(keys []string) int {
 }
 
 // EvictBelow physically removes every posting whose ref is below
-// minRef, returning the number of postings dropped. The per-ref gram
-// sizes are retained (an int per absorbed tuple — the same footprint as
-// the engine's key store), and Indexed() is unchanged so Insert and
-// CatchUp keep working after evictions.
+// minRef, returning the number of postings dropped. Signatures of
+// evicted refs are released too; the per-ref gram sizes are retained
+// (4 bytes per absorbed tuple), and Indexed() is unchanged so Insert
+// and CatchUp keep working after evictions. Dictionary entries are
+// never removed: a gram whose posting list empties keeps its id (and
+// reports Frequency 0) so outstanding probes and signatures stay
+// valid — the dict grows with distinct grams ever seen, not with
+// stream length.
 func (x *QGramIndex) EvictBelow(minRef int) int {
-	dropped := evictPrefix(x.postings, minRef)
+	dropped := 0
+	for id, refs := range x.postings {
+		cut, _ := slices.BinarySearch(refs, int32(minRef))
+		if cut == 0 {
+			continue
+		}
+		dropped += cut
+		if cut == len(refs) {
+			x.postings[id] = nil
+			x.buckets--
+			continue
+		}
+		x.postings[id] = append([]int32(nil), refs[cut:]...)
+	}
+	for i := x.sigFloor; i < minRef && i < len(x.sigs); i++ {
+		x.sigs[i] = nil
+	}
+	if minRef > x.sigFloor {
+		x.sigFloor = minRef
+		if x.sigFloor > x.indexed {
+			x.sigFloor = x.indexed
+		}
+	}
 	x.entries -= dropped
 	return dropped
 }
 
-// GramSize returns |q(key)| for the stored tuple at ref.
-func (x *QGramIndex) GramSize(ref int) int { return x.sizes[ref] }
+// GramSize returns |q(key)| for the stored tuple at ref. Unlike Sig it
+// stays valid for evicted refs.
+func (x *QGramIndex) GramSize(ref int) int { return int(x.sizes[ref]) }
+
+// Sig returns the sorted gram-id signature of the stored tuple at ref,
+// owned by the index (callers must not mutate it). Verification against
+// it is a sorted merge over uint32 slices (qgram.IntersectSortedIDs) —
+// no re-extraction, no maps. Nil for evicted refs.
+func (x *QGramIndex) Sig(ref int) []uint32 { return x.sigs[ref] }
 
 // Frequency returns the number of indexed tuples containing gram g.
-func (x *QGramIndex) Frequency(g string) int { return len(x.postings[g]) }
+func (x *QGramIndex) Frequency(g string) int {
+	id, ok := x.dict.IDOf(g)
+	if !ok || int(id) >= len(x.postings) {
+		return 0
+	}
+	return len(x.postings[id])
+}
 
 // Entries returns the total number of posting entries, i.e. the
 // n·(|jA|+q−1) pointer count of the space analysis in §2.3.
 func (x *QGramIndex) Entries() int { return x.entries }
 
-// AvgBucketLen returns the mean posting-list length B_ap of Table 1.
+// AvgBucketLen returns the mean posting-list length B_ap of Table 1
+// over the non-empty lists.
 func (x *QGramIndex) AvgBucketLen() float64 {
-	if len(x.postings) == 0 {
+	if x.buckets == 0 {
 		return 0
 	}
-	return float64(x.entries) / float64(len(x.postings))
+	return float64(x.entries) / float64(x.buckets)
+}
+
+// ProbeScratch holds the reusable per-probe state of the zero-
+// allocation probe path: the gram-id buffer, the epoch-stamped
+// candidate counting arrays of §2.2 (replacing the per-probe map), and
+// the candidate result buffer. One ProbeScratch serves one goroutine at
+// a time and may be reused across indexes of any size; candidates
+// returned by ProbeKey are views into it, valid until the next probe
+// with the same scratch. The zero value is ready to use.
+type ProbeScratch struct {
+	// Dec backs Decompose for callers probing by string key.
+	Dec qgram.Scratch
+
+	ids    []uint32
+	counts []int32
+	stamps []uint32
+	epoch  uint32
+	refs   []int32
+	cands  []Candidate
 }
 
 // Probe computes the candidate set T(t) for a probe key, returning every
 // stored tuple that shares at least minOverlap distinct q-grams with it.
 // minOverlap is the count threshold k of §2.2, derived by the caller
-// from the similarity measure and threshold (simfn.MinOverlap).
-//
-// The implementation follows the paper's optimisation: probe grams are
-// considered in reverse frequency order (rarest first); candidates are
-// admitted into T(t) only while scanning the first g−k+1 grams, after
-// which the remaining k−1 grams may only increment existing counters.
-// Any tuple sharing ≥ k grams must share at least one of the first
-// g−k+1, so no qualifying candidate is missed.
+// from the similarity measure and threshold (simfn.MinOverlap). This
+// convenience form allocates its own scratch; hot paths use ProbeKey.
 func (x *QGramIndex) Probe(key string, minOverlap int) []Candidate {
-	grams := x.ex.Grams(key)
-	return x.probeGrams(grams, minOverlap, true)
+	var sc ProbeScratch
+	return x.ProbeKey(x.ex.Decompose(&sc.Dec, key), minOverlap, &sc)
 }
 
-// ProbeGrams is Probe for a pre-decomposed key. The engine uses it to
-// avoid decomposing the probe value twice (it already needs the gram
-// count for the overlap bound). Ownership of grams passes to the index,
-// which may reorder the slice.
+// ProbeGrams is Probe for a pre-materialised gram slice.
 func (x *QGramIndex) ProbeGrams(grams []string, minOverlap int) []Candidate {
-	return x.probeGrams(grams, minOverlap, true)
+	var sc ProbeScratch
+	sc.ids = make([]uint32, 0, len(grams))
+	for _, g := range grams {
+		id, ok := x.dict.IDOf(g)
+		if !ok {
+			id = qgram.NoID
+		}
+		sc.ids = append(sc.ids, id)
+	}
+	return x.probeIDs(sc.ids, len(grams), minOverlap, &sc, true)
 }
 
 // ProbeNaive is the unoptimised variant that admits candidates from
 // every gram; used by the ablation benchmarks and as a correctness
 // oracle for Probe.
 func (x *QGramIndex) ProbeNaive(key string, minOverlap int) []Candidate {
-	grams := x.ex.Grams(key)
-	return x.probeGrams(grams, minOverlap, false)
+	var sc ProbeScratch
+	k := x.ex.Decompose(&sc.Dec, key)
+	sc.ids = x.dict.AppendIDs(sc.ids[:0], k)
+	return x.probeIDs(sc.ids, k.Len(), minOverlap, &sc, false)
 }
 
-func (x *QGramIndex) probeGrams(grams []string, minOverlap int, optimised bool) []Candidate {
-	g := len(grams)
-	if g == 0 || minOverlap < 1 {
-		return nil
-	}
-	k := minOverlap
-	if k > g {
+// ProbeKey is the zero-allocation probe hot path: k must come from an
+// extractor configured identically to the index's own, and the returned
+// candidates are a view into sc, valid until its next probe.
+//
+// The implementation follows the paper's optimisation: probe grams are
+// considered in reverse frequency order (rarest first); candidates are
+// admitted into T(t) only while scanning an initial admission window,
+// after which the remaining k−1 grams may only increment existing
+// counters. Any tuple sharing ≥ k grams must share at least one gram of
+// the admission window, so no qualifying candidate is missed.
+func (x *QGramIndex) ProbeKey(k qgram.Key, minOverlap int, sc *ProbeScratch) []Candidate {
+	sc.ids = x.dict.AppendIDs(sc.ids[:0], k)
+	return x.probeIDs(sc.ids, k.Len(), minOverlap, sc, true)
+}
+
+// probeIDs runs the count filter of §2.2 over gram ids. ids may contain
+// NoID entries (grams unknown to the dictionary): they short-circuit —
+// an unknown gram has no postings, so it is dropped from the scan while
+// g, and hence the caller's count threshold, still reflects it.
+func (x *QGramIndex) probeIDs(ids []uint32, g, minOverlap int, sc *ProbeScratch, optimised bool) []Candidate {
+	if g == 0 || minOverlap < 1 || minOverlap > g {
 		// No stored set can share more distinct grams than the probe has.
 		return nil
 	}
+	// Drop grams that cannot contribute: unknown to the dictionary, not
+	// yet in the posting table, or with an empty (fully evicted) list.
+	// A stored tuple shares grams only through live postings, so the
+	// count threshold applies unchanged to the surviving m grams — and
+	// if fewer than minOverlap survive, nothing can qualify.
+	m := 0
+	for _, id := range ids {
+		if id != qgram.NoID && int(id) < len(x.postings) && len(x.postings[id]) > 0 {
+			ids[m] = id
+			m++
+		}
+	}
+	if m < minOverlap {
+		return nil
+	}
+	ids = ids[:m]
 	if optimised {
-		// Rarest grams first: the admission prefix then generates the
-		// fewest candidates.
-		sort.Slice(grams, func(i, j int) bool {
-			fi, fj := len(x.postings[grams[i]]), len(x.postings[grams[j]])
-			if fi != fj {
-				return fi < fj
+		// Rarest grams first: the admission window then generates the
+		// fewest candidates. The tie-break is arbitrary for results
+		// (counts of admitted candidates are always complete) but fixed
+		// for determinism.
+		slices.SortFunc(ids, func(a, b uint32) int {
+			fa, fb := len(x.postings[a]), len(x.postings[b])
+			if fa != fb {
+				return fa - fb
 			}
-			return grams[i] < grams[j] // deterministic tie-break
+			return int(a) - int(b)
 		})
 	}
-	admitUpTo := g - k + 1
+	admitUpTo := m - minOverlap + 1
 	if !optimised {
-		admitUpTo = g
+		admitUpTo = m
 	}
-	counts := make(map[int]int)
-	for i, gram := range grams {
-		for _, ref := range x.postings[gram] {
-			if i < admitUpTo {
-				counts[ref]++
-			} else if _, seen := counts[ref]; seen {
-				counts[ref]++
+	// Epoch-stamped counting: counts[ref] is valid iff stamps[ref]
+	// carries the current epoch, so the arrays are reused across probes
+	// without clearing.
+	if len(sc.counts) < x.indexed {
+		sc.counts = append(sc.counts, make([]int32, x.indexed-len(sc.counts))...)
+		sc.stamps = append(sc.stamps, make([]uint32, x.indexed-len(sc.stamps))...)
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could alias, start over
+		clear(sc.stamps)
+		sc.epoch = 1
+	}
+	epoch := sc.epoch
+	sc.refs = sc.refs[:0]
+	for i, id := range ids {
+		for _, ref := range x.postings[id] {
+			if sc.stamps[ref] == epoch {
+				sc.counts[ref]++
+			} else if i < admitUpTo {
+				sc.stamps[ref] = epoch
+				sc.counts[ref] = 1
+				sc.refs = append(sc.refs, ref)
 			}
 		}
 	}
-	cands := make([]Candidate, 0, len(counts))
-	for ref, c := range counts {
-		if c >= k {
-			cands = append(cands, Candidate{Ref: ref, Overlap: c})
+	sc.cands = sc.cands[:0]
+	for _, ref := range sc.refs {
+		if c := sc.counts[ref]; int(c) >= minOverlap {
+			sc.cands = append(sc.cands, Candidate{Ref: int(ref), Overlap: int(c)})
 		}
 	}
+	if len(sc.cands) == 0 {
+		return nil
+	}
 	// Deterministic output order: by ref.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Ref < cands[j].Ref })
-	return cands
+	slices.SortFunc(sc.cands, func(a, b Candidate) int { return a.Ref - b.Ref })
+	return sc.cands
 }

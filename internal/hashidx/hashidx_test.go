@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -313,5 +314,186 @@ func TestQGramIndexEvictBelow(t *testing.T) {
 	// CatchUp keeps working from the insertion clock.
 	if n := x.CatchUp([]string{"monte rosa", "monte bianco", "gran paradiso", "cervino"}); n != 1 {
 		t.Errorf("CatchUp inserted %d, want 1", n)
+	}
+}
+
+// --- dictionary-encoded representation tests ---
+
+// Eviction that empties posting lists leaves dangling dict entries by
+// design: the gram keeps its id (Frequency 0), the dict never shrinks,
+// and both probing and re-insertion keep working.
+func TestQGramIndexEvictionDanglingDictEntries(t *testing.T) {
+	x := newQIdx()
+	keys := []string{"monte rosa", "monte bianco"}
+	for i, k := range keys {
+		x.Insert(i, k)
+	}
+	dictLen := x.Dict().Len()
+	if dropped := x.EvictBelow(2); dropped != x.GramSize(0)+x.GramSize(1) {
+		t.Fatalf("full eviction dropped %d entries", dropped)
+	}
+	if x.Dict().Len() != dictLen {
+		t.Errorf("eviction changed dict size %d -> %d", dictLen, x.Dict().Len())
+	}
+	if got := x.Frequency("ros"); got != 0 {
+		t.Errorf("Frequency(ros) after eviction = %d, want 0 (dangling entry)", got)
+	}
+	if x.AvgBucketLen() != 0 {
+		t.Errorf("AvgBucketLen over only-empty lists = %v, want 0", x.AvgBucketLen())
+	}
+	if got := x.Probe("monte rosa", 1); got != nil {
+		t.Errorf("probe over fully evicted index = %v", got)
+	}
+	// Signatures of evicted refs are released, sizes retained.
+	if x.Sig(0) != nil {
+		t.Error("evicted ref kept its signature")
+	}
+	if x.GramSize(0) == 0 {
+		t.Error("evicted ref lost its gram size")
+	}
+	// Re-insertion reuses the dangling ids without renumbering.
+	x.Insert(2, "monte rosa")
+	if x.Dict().Len() != dictLen {
+		t.Errorf("re-insert of known grams grew dict %d -> %d", dictLen, x.Dict().Len())
+	}
+	if got := x.Probe("monte rosa", x.GramSize(2)); len(got) != 1 || got[0].Ref != 2 {
+		t.Errorf("probe after re-insert = %v", got)
+	}
+}
+
+// A probe whose grams are entirely unknown to the dictionary must
+// short-circuit: no candidates, no interning, no allocation.
+func TestProbeUnknownGramsShortCircuit(t *testing.T) {
+	x := newQIdx()
+	x.Insert(0, "monte rosa")
+	dictLen := x.Dict().Len()
+
+	var sc ProbeScratch
+	var k = x.Extractor().Decompose(&sc.Dec, "zzz qqq www")
+	if got := x.ProbeKey(k, 1, &sc); got != nil {
+		t.Fatalf("unknown-gram probe = %v", got)
+	}
+	if x.Dict().Len() != dictLen {
+		t.Fatalf("probe interned grams: %d -> %d", dictLen, x.Dict().Len())
+	}
+	if !raceEnabled {
+		if avg := testing.AllocsPerRun(100, func() {
+			_ = x.ProbeKey(k, 1, &sc)
+		}); avg != 0 {
+			t.Errorf("unknown-gram ProbeKey allocated %.1f times", avg)
+		}
+	}
+}
+
+// ProbeKey with a warm scratch is allocation-free even when it yields
+// candidates.
+func TestProbeKeyZeroAllocs(t *testing.T) {
+	x := newQIdx()
+	keys := []string{"monte rosa", "monte bianco", "monte viso", "gran paradiso"}
+	for i, k := range keys {
+		x.Insert(i, k)
+	}
+	var sc ProbeScratch
+	k := x.Extractor().Decompose(&sc.Dec, "monte rosso")
+	if got := x.ProbeKey(k, 3, &sc); len(got) == 0 {
+		t.Fatal("warmup probe found nothing; workload broken")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race; make alloc enforces this pin")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = x.ProbeKey(k, 3, &sc)
+	}); avg != 0 {
+		t.Errorf("ProbeKey allocated %.2f times per op, want 0", avg)
+	}
+}
+
+// Dict growth across Clone: new keys interned into a clone get fresh
+// dense ids, the original's postings, signatures and dictionary are
+// untouched, and shared signatures stay identical — the snapshot-swap
+// contract of the RCU path.
+func TestQGramIndexCloneDictGrowth(t *testing.T) {
+	x := newQIdx()
+	x.Insert(0, "monte rosa")
+	origDict := x.Dict().Len()
+	origSig := append([]uint32(nil), x.Sig(0)...)
+
+	c := x.Clone()
+	c.Insert(1, "zona franca nuova") // mostly fresh grams
+	if c.Dict().Len() <= origDict {
+		t.Fatalf("clone dict did not grow: %d <= %d", c.Dict().Len(), origDict)
+	}
+	if x.Dict().Len() != origDict {
+		t.Fatalf("original dict grew with the clone: %d", x.Dict().Len())
+	}
+	if x.Indexed() != 1 || c.Indexed() != 2 {
+		t.Fatalf("indexed counts: orig %d clone %d", x.Indexed(), c.Indexed())
+	}
+	if got := x.Frequency("zon"); got != 0 {
+		t.Errorf("original learned clone-side gram: %d", got)
+	}
+	if !reflect.DeepEqual(x.Sig(0), origSig) || !reflect.DeepEqual(c.Sig(0), origSig) {
+		t.Errorf("shared signature diverged: %v / %v / %v", x.Sig(0), c.Sig(0), origSig)
+	}
+	// Both sides probe correctly after the swap.
+	if got := c.Probe("zona franca nuova", c.GramSize(1)); len(got) != 1 || got[0].Ref != 1 {
+		t.Errorf("clone probe = %v", got)
+	}
+	if got := x.Probe("monte rosa", x.GramSize(0)); len(got) != 1 || got[0].Ref != 0 {
+		t.Errorf("original probe = %v", got)
+	}
+}
+
+// The stored signatures support sorted-merge verification: for any
+// candidate, the intersection of probe and stored signatures equals the
+// count filter's overlap.
+func TestSigSortedMergeMatchesOverlap(t *testing.T) {
+	ex := qgram.New(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := NewQGramIndex(ex)
+		keys := make([]string, 10)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("via %d n %d", rng.Intn(5), rng.Intn(5))
+			x.Insert(i, keys[i])
+		}
+		probe := keys[rng.Intn(len(keys))]
+		var sc ProbeScratch
+		k := ex.Decompose(&sc.Dec, probe)
+		probeSig := x.Dict().AppendIDs(nil, k)
+		slices.Sort(probeSig)
+		for _, c := range x.ProbeKey(k, 2, &sc) {
+			sig := x.Sig(c.Ref)
+			if !slices.IsSorted(sig) || len(sig) != x.GramSize(c.Ref) {
+				return false
+			}
+			if qgram.IntersectSortedIDs(probeSig, sig) != c.Overlap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Candidate-generation microbenchmark: the count filter of §2.2 over
+// the dictionary-encoded index with a warm scratch (the probe hot
+// path). scripts/bench_probe.sh records it in BENCH_probe.json.
+func BenchmarkProbeKeyCandidates(b *testing.B) {
+	ex := qgram.New(3)
+	x := NewQGramIndex(ex)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		x.Insert(i, fmt.Sprintf("VIA %c%c%c %d NORD %d",
+			'A'+rng.Intn(26), 'A'+rng.Intn(26), 'A'+rng.Intn(26), rng.Intn(100), rng.Intn(10)))
+	}
+	var sc ProbeScratch
+	k := ex.Decompose(&sc.Dec, "VIA QRS 42 NORD 3")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.ProbeKey(k, 8, &sc)
 	}
 }

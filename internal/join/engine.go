@@ -70,6 +70,12 @@ type Engine struct {
 	exIdx [2]*hashidx.ExactIndex
 	qgIdx [2]*hashidx.QGramIndex
 	ex    *qgram.Extractor
+	// dsc/psc are the engine's probe scratches: the engine is
+	// single-threaded per instance, so one decomposition arena and one
+	// epoch-stamped counting scratch serve every approximate probe with
+	// zero per-probe allocations.
+	dsc qgram.Scratch
+	psc hashidx.ProbeScratch
 
 	// minLive[s] is the oldest live (non-evicted) ref of side s under
 	// sliding-window retention; 0 when RetainWindow is unset. Advanced
@@ -358,14 +364,15 @@ func (e *Engine) probeExact(side stream.Side, ref int, key string) {
 // verification against θsim.
 func (e *Engine) probeApprox(side stream.Side, ref int, key string) {
 	other := side.Other()
-	grams := e.ex.Grams(key)
-	g := len(grams)
+	e.dsc.Reset()
+	pk := e.ex.Decompose(&e.dsc, key)
+	g := pk.Len()
 	k := e.cfg.Measure.MinOverlap(g, e.cfg.Theta)
-	for _, cand := range e.qgIdx[other].ProbeGrams(grams, k) {
+	for _, cand := range e.qgIdx[other].ProbeKey(pk, k, &e.psc) {
 		if cand.Ref < e.minLive[other] {
 			continue // evicted from the stream window
 		}
-		sim := e.cfg.Measure.Coefficient(g, e.qgIdx[other].GramSize(cand.Ref), cand.Overlap)
+		sim, ok := e.cfg.Measure.Verify(g, e.qgIdx[other].GramSize(cand.Ref), cand.Overlap, e.cfg.Theta)
 		exact := e.keys[other][cand.Ref] == key
 		if exact {
 			// The approximate operator found the pair an exact probe
@@ -373,7 +380,7 @@ func (e *Engine) probeApprox(side stream.Side, ref int, key string) {
 			sim = 1
 			e.flags[side][ref] = true
 			e.flags[other][cand.Ref] = true
-		} else if sim < e.cfg.Theta {
+		} else if !ok {
 			continue
 		}
 		e.emit(side, ref, other, cand.Ref, sim, exact)

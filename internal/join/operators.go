@@ -1,6 +1,7 @@
 package join
 
 import (
+	"slices"
 	"sort"
 
 	"adaptivelink/internal/qgram"
@@ -56,26 +57,38 @@ func NestedLoopExact(left, right *relation.Relation) []Pair {
 // similarity reaches θsim (key-equal pairs always qualify with
 // similarity 1). It is the O(n²) comparison baseline the paper's
 // blocking discussion motivates, and the correctness oracle for SSHJoin.
+//
+// Verification runs on dictionary-encoded signatures: each key is
+// decomposed once, interned into a local dict, and every pair is scored
+// by a sorted-merge intersection over uint32 ids — no per-pair maps, no
+// re-extraction.
 func NestedLoopApprox(cfg Config, left, right *relation.Relation) ([]Pair, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	ex := qgram.New(cfg.Q)
-	rg := make([][]string, right.Len())
+	dict := qgram.NewDict()
+	var dsc qgram.Scratch
+	sig := func(s string) []uint32 {
+		dsc.Reset()
+		ids := dict.Intern(nil, ex.Decompose(&dsc, s))
+		slices.Sort(ids)
+		return ids
+	}
+	rg := make([][]uint32, right.Len())
 	for j := 0; j < right.Len(); j++ {
-		rg[j] = ex.Grams(right.At(j).Key)
+		rg[j] = sig(right.At(j).Key)
 	}
 	var out []Pair
 	for i := 0; i < left.Len(); i++ {
 		lk := left.At(i).Key
-		lg := ex.Grams(lk)
+		lg := sig(lk)
 		for j := 0; j < right.Len(); j++ {
 			if lk == right.At(j).Key {
 				out = append(out, Pair{LeftRef: i, RightRef: j, Similarity: 1, Exact: true})
 				continue
 			}
-			inter := qgram.Intersection(lg, rg[j])
-			sim := cfg.Measure.Coefficient(len(lg), len(rg[j]), inter)
+			sim := cfg.Measure.SimilarityIDs(lg, rg[j])
 			if sim >= cfg.Theta {
 				out = append(out, Pair{LeftRef: i, RightRef: j, Similarity: sim})
 			}

@@ -43,6 +43,16 @@ type RefIndex struct {
 	// newest[key] is the most recent ref carrying that join key, the
 	// target of an upsert-by-key payload replacement.
 	newest map[string]int
+	// pool recycles per-probe scratches (decomposition arena + count
+	// filter arrays) across the concurrent probe fleet, keeping the
+	// approximate probe hot path allocation-free.
+	pool sync.Pool
+}
+
+// probeScratch is the pooled per-probe state of a resident index.
+type probeScratch struct {
+	dsc qgram.Scratch
+	psc hashidx.ProbeScratch
 }
 
 // RefMatch is one probe result: a stored reference tuple together with
@@ -69,13 +79,15 @@ func NewRefIndex(cfg Config) (*RefIndex, error) {
 		return nil, err
 	}
 	ex := qgram.New(cfg.Q)
-	return &RefIndex{
+	r := &RefIndex{
 		cfg:    cfg,
 		ex:     ex,
 		exIdx:  hashidx.NewExactIndex(),
 		qgIdx:  hashidx.NewQGramIndex(ex),
 		newest: make(map[string]int),
-	}, nil
+	}
+	r.pool.New = func() any { return new(probeScratch) }
+	return r, nil
 }
 
 // Config returns the index's configuration.
@@ -113,18 +125,20 @@ func (r *RefIndex) Tuple(ref int) (relation.Tuple, error) {
 // new key is appended to the store and inserted into both indexes. It
 // returns the inserted and updated counts.
 //
-// Gram extraction — the expensive part of an insert — runs before the
-// write lock is taken, so the critical section holds only map
-// insertions and the probe fleet is never stalled behind hashing. The
-// grams of a key that turns out to be an update are computed in vain;
-// that waste is bounded by the batch and buys the bounded lock hold.
+// Gram decomposition — the expensive part of an insert — runs before
+// the write lock is taken, so the critical section holds only id
+// interning and posting appends and the probe fleet is never stalled
+// behind hashing. The grams of a key that turns out to be an update are
+// computed in vain; that waste is bounded by the batch and buys the
+// bounded lock hold.
 func (r *RefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int) {
-	grams := make([][]string, len(tuples))
+	sc := r.pool.Get().(*probeScratch)
+	sc.dsc.Reset()
+	keys := make([]qgram.Key, len(tuples))
 	for i, t := range tuples {
-		grams[i] = r.ex.Grams(t.Key)
+		keys[i] = r.ex.Decompose(&sc.dsc, t.Key)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for i, t := range tuples {
 		if ref, ok := r.newest[t.Key]; ok {
 			r.tuples[ref] = t
@@ -135,27 +149,30 @@ func (r *RefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int) {
 		r.tuples = append(r.tuples, t)
 		r.keys = append(r.keys, t.Key)
 		r.exIdx.Insert(ref, t.Key)
-		r.qgIdx.InsertGrams(ref, grams[i])
+		r.qgIdx.InsertKey(ref, keys[i])
 		r.newest[t.Key] = ref
 		inserted++
 	}
+	r.mu.Unlock()
+	r.pool.Put(sc)
 	return inserted, updated
 }
 
 // ProbeExact matches the key against the reference exactly: a hash
 // lookup, the SHJoin probe of §2.2.
 func (r *RefIndex) ProbeExact(key string) []RefMatch {
+	return r.AppendProbeExact(nil, key)
+}
+
+// AppendProbeExact is ProbeExact appending into caller-owned dst: with
+// a reusable buffer the exact probe hot path performs zero allocations.
+func (r *RefIndex) AppendProbeExact(dst []RefMatch, key string) []RefMatch {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	refs := r.exIdx.Lookup(key)
-	if len(refs) == 0 {
-		return nil
+	for _, ref := range r.exIdx.Lookup(key) {
+		dst = append(dst, RefMatch{Ref: ref, Tuple: r.tuples[ref], Similarity: 1, Exact: true})
 	}
-	out := make([]RefMatch, 0, len(refs))
-	for _, ref := range refs {
-		out = append(out, RefMatch{Ref: ref, Tuple: r.tuples[ref], Similarity: 1, Exact: true})
-	}
-	return out
+	return dst
 }
 
 // ProbeApprox matches the key against the reference approximately:
@@ -165,23 +182,33 @@ func (r *RefIndex) ProbeExact(key string) []RefMatch {
 // streaming engine's approximate probe reports them, so the approximate
 // result is a superset of the exact one.
 func (r *RefIndex) ProbeApprox(key string) []RefMatch {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	grams := r.ex.Grams(key)
-	g := len(grams)
+	return r.AppendProbeApprox(nil, key)
+}
+
+// AppendProbeApprox is ProbeApprox appending into caller-owned dst.
+// Decomposition, candidate generation and verification all run on
+// pooled scratch over the dictionary-encoded index, so with a reusable
+// dst the approximate probe allocates nothing.
+func (r *RefIndex) AppendProbeApprox(dst []RefMatch, key string) []RefMatch {
+	sc := r.pool.Get().(*probeScratch)
+	sc.dsc.Reset()
+	pk := r.ex.Decompose(&sc.dsc, key)
+	g := pk.Len()
 	k := r.cfg.Measure.MinOverlap(g, r.cfg.Theta)
-	var out []RefMatch
-	for _, cand := range r.qgIdx.ProbeGrams(grams, k) {
-		sim := r.cfg.Measure.Coefficient(g, r.qgIdx.GramSize(cand.Ref), cand.Overlap)
+	r.mu.RLock()
+	for _, cand := range r.qgIdx.ProbeKey(pk, k, &sc.psc) {
+		sim, ok := r.cfg.Measure.Verify(g, r.qgIdx.GramSize(cand.Ref), cand.Overlap, r.cfg.Theta)
 		exact := r.keys[cand.Ref] == key
 		if exact {
 			sim = 1
-		} else if sim < r.cfg.Theta {
+		} else if !ok {
 			continue
 		}
-		out = append(out, RefMatch{Ref: cand.Ref, Tuple: r.tuples[cand.Ref], Similarity: sim, Exact: exact})
+		dst = append(dst, RefMatch{Ref: cand.Ref, Tuple: r.tuples[cand.Ref], Similarity: sim, Exact: exact})
 	}
-	return out
+	r.mu.RUnlock()
+	r.pool.Put(sc)
+	return dst
 }
 
 // Probe matches under the given mode.
@@ -190,6 +217,14 @@ func (r *RefIndex) Probe(mode Mode, key string) []RefMatch {
 		return r.ProbeApprox(key)
 	}
 	return r.ProbeExact(key)
+}
+
+// AppendProbe is Probe appending into caller-owned dst.
+func (r *RefIndex) AppendProbe(dst []RefMatch, mode Mode, key string) []RefMatch {
+	if mode == Approx {
+		return r.AppendProbeApprox(dst, key)
+	}
+	return r.AppendProbeExact(dst, key)
 }
 
 // ProbeBatch matches every key under the given mode, returning one
@@ -232,6 +267,11 @@ type Resident interface {
 	ProbeApprox(key string) []RefMatch
 	// Probe dispatches on mode.
 	Probe(mode Mode, key string) []RefMatch
+	// AppendProbe is Probe appending into caller-owned dst, the
+	// zero-allocation form of the probe hot path: with a reusable dst
+	// an exact probe allocates nothing and an approximate probe only
+	// what its result set needs.
+	AppendProbe(dst []RefMatch, mode Mode, key string) []RefMatch
 	// ProbeBatch probes every key under one mode, one result per key in
 	// order, semantically identical to a loop of Probe calls.
 	ProbeBatch(mode Mode, keys []string) [][]RefMatch

@@ -1,0 +1,85 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivelink/internal/datagen"
+	"adaptivelink/internal/relation"
+)
+
+// Probe-path microbenchmarks over the resident index, in the linkbench
+// workload shape: a generated parent table of location keys, a probe
+// stream referencing it with a 10% single-edit variant rate. One b.N
+// unit is one probe (single shapes) or one batch (batch shapes), so
+// ns/op and allocs/op are per probe resp. per batch.
+//
+// scripts/bench_probe.sh runs these and appends the points to
+// BENCH_probe.json. The file deliberately uses only the long-stable
+// Resident API (NewShardedRefIndex, Probe, ProbeBatch) so the identical
+// benchmark can be compiled against older revisions for pre/post
+// comparisons.
+
+const (
+	benchParent      = 2000
+	benchVariantRate = 0.10
+	benchBatch       = 16
+)
+
+// benchWorkload builds the resident index and the probe key stream.
+func benchWorkload(b *testing.B, shards int) (*ShardedRefIndex, []string) {
+	b.Helper()
+	gen := datagen.NewNameGen(1)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]string, benchParent)
+	tuples := make([]relation.Tuple, benchParent)
+	for i := range keys {
+		keys[i] = gen.Next()
+		tuples[i] = relation.Tuple{ID: i, Key: keys[i]}
+	}
+	idx, err := NewShardedRefIndex(Defaults(), shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx.Upsert(tuples)
+	probes := make([]string, 4096)
+	for i := range probes {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Float64() < benchVariantRate {
+			k = datagen.Mutate(rng, k)
+		}
+		probes[i] = k
+	}
+	return idx, probes
+}
+
+func benchProbeSingle(b *testing.B, mode Mode, shards int) {
+	idx, probes := benchWorkload(b, shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Probe(mode, probes[i%len(probes)])
+	}
+}
+
+func benchProbeBatch(b *testing.B, mode Mode, shards int) {
+	idx, probes := benchWorkload(b, shards)
+	batches := make([][]string, 0, len(probes)/benchBatch)
+	for i := 0; i+benchBatch <= len(probes); i += benchBatch {
+		batches = append(batches, probes[i:i+benchBatch])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.ProbeBatch(mode, batches[i%len(batches)])
+	}
+}
+
+func BenchmarkResidentProbeExact(b *testing.B)  { benchProbeSingle(b, Exact, 1) }
+func BenchmarkResidentProbeApprox(b *testing.B) { benchProbeSingle(b, Approx, 1) }
+
+func BenchmarkResidentProbeBatchExact(b *testing.B)  { benchProbeBatch(b, Exact, 1) }
+func BenchmarkResidentProbeBatchApprox(b *testing.B) { benchProbeBatch(b, Approx, 1) }
+
+func BenchmarkResidentProbeBatchExactSharded(b *testing.B)  { benchProbeBatch(b, Exact, 4) }
+func BenchmarkResidentProbeBatchApproxSharded(b *testing.B) { benchProbeBatch(b, Approx, 4) }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"maps"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -63,6 +63,24 @@ type ShardedRefIndex struct {
 	mu sync.Mutex
 	// newest maps join key -> global ref; writer-owned, guarded by mu.
 	newest map[string]int
+	// pool recycles per-probe/per-shard scratches (decomposition arena,
+	// routing buffer, epoch-stamped count filter) across the probe
+	// fleet and the batch fan-out workers: the probe hot path is both
+	// lock-free and allocation-free.
+	pool sync.Pool
+}
+
+// shardScratch is the pooled scratch of one probe, batch worker or
+// upsert: decomposition arena, routing buffers and count-filter state.
+type shardScratch struct {
+	dsc    qgram.Scratch
+	psc    hashidx.ProbeScratch
+	routes []int
+	// Batch arenas: one decomposed Key per batch member plus the flat
+	// route table (routes of key i are routeFlat[routeOff[i]:routeOff[i+1]]).
+	keys      []qgram.Key
+	routeFlat []int
+	routeOff  []int
 }
 
 // shardSnap is one shard's immutable snapshot. No field is mutated
@@ -144,6 +162,7 @@ func NewShardedRefIndex(cfg Config, shards int) (*ShardedRefIndex, error) {
 		})
 	}
 	s.store.Store(&globalStore{})
+	s.pool.New = func() any { return new(shardScratch) }
 	return s, nil
 }
 
@@ -179,14 +198,16 @@ func (s *ShardedRefIndex) Tuple(ref int) (relation.Tuple, error) {
 	return st.tuple(ref), nil
 }
 
-// storageRoutes returns the shards a reference tuple must be stored in:
-// the shards of its prefix-filter signature (so approximate probes can
-// reach it) plus the shard owning its key hash (so exact probes read
-// exactly one cheap-to-compute shard).
-func (s *ShardedRefIndex) storageRoutes(dst []int, key string) []int {
-	dst = s.router.Routes(dst, key)
+// storageRoutesKey returns the shards a reference tuple must be stored
+// in: the shards of its prefix-filter signature (so approximate probes
+// can reach it) plus the shard owning its key hash (so exact probes
+// read exactly one cheap-to-compute shard). The appended routes of one
+// key are dst[start:] for the caller-recorded start offset.
+func (s *ShardedRefIndex) storageRoutesKey(dst []int, key string, k qgram.Key) []int {
+	start := len(dst)
+	dst = s.router.RoutesKey(dst, key, k)
 	home := shardmap.ShardOf(key, s.nshard)
-	for _, sh := range dst {
+	for _, sh := range dst[start:] {
 		if sh == home {
 			return dst
 		}
@@ -199,21 +220,31 @@ func (s *ShardedRefIndex) storageRoutes(dst []int, key string) []int {
 // every shard the key routes to. It returns the inserted and updated
 // counts.
 //
-// Writers are serialised; probes are not disturbed. Gram hashing runs
-// before the writer lock, the touched shards' next snapshots are built
-// off-path by copy-on-write, and each is published with one atomic swap
-// — in-flight probes complete on the old snapshot, later probes see the
+// Writers are serialised; probes are not disturbed. Gram decomposition
+// and routing run before the writer lock, the touched shards' next
+// snapshots are built off-path by copy-on-write — the gram dictionary
+// included, so published snapshots stay immutable while the clone
+// interns new grams — and each is published with one atomic swap: in-
+// flight probes complete on the old snapshot, later probes see the
 // whole batch for that shard.
 func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int) {
 	if len(tuples) == 0 {
 		return 0, 0
 	}
-	grams := make([][]string, len(tuples))
-	routes := make([][]int, len(tuples))
-	for i, t := range tuples {
-		grams[i] = s.ex.Grams(t.Key)
-		routes[i] = s.storageRoutes(nil, t.Key)
+	sc := s.pool.Get().(*shardScratch)
+	sc.dsc.Reset()
+	ks := sc.keys[:0]
+	flat := sc.routeFlat[:0]
+	off := sc.routeOff[:0]
+	for _, t := range tuples {
+		k := s.ex.Decompose(&sc.dsc, t.Key)
+		ks = append(ks, k)
+		off = append(off, len(flat))
+		flat = s.storageRoutesKey(flat, t.Key, k)
 	}
+	off = append(off, len(flat))
+	sc.keys, sc.routeFlat, sc.routeOff = ks, flat, off
+	defer s.pool.Put(sc)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -257,9 +288,10 @@ func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int
 		return ns
 	}
 	for i, t := range tuples {
+		routes := flat[off[i]:off[i+1]]
 		if g, ok := s.newest[t.Key]; ok {
 			setTuple(g, t)
-			for _, sh := range routes[i] {
+			for _, sh := range routes {
 				ns := snapFor(sh)
 				ns.tuples[ns.local[t.Key]] = t
 			}
@@ -268,7 +300,7 @@ func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int
 		}
 		g := appendTuple(t)
 		s.newest[t.Key] = g
-		for _, sh := range routes[i] {
+		for _, sh := range routes {
 			ns := snapFor(sh)
 			lref := len(ns.tuples)
 			ns.tuples = append(ns.tuples, t)
@@ -276,7 +308,7 @@ func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int
 			ns.globals = append(ns.globals, g)
 			ns.local[t.Key] = lref
 			ns.exIdx.Insert(lref, t.Key)
-			ns.qgIdx.InsertGrams(lref, grams[i])
+			ns.qgIdx.InsertKey(lref, ks[i])
 		}
 		inserted++
 	}
@@ -292,7 +324,18 @@ func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int
 // ProbeExact matches the key against the reference exactly: one atomic
 // snapshot load of the key's home shard and one hash lookup.
 func (s *ShardedRefIndex) ProbeExact(key string) []RefMatch {
-	return snapExact(s.shards[shardmap.ShardOf(key, s.nshard)].Load(), key)
+	return s.AppendProbeExact(nil, key)
+}
+
+// AppendProbeExact is ProbeExact appending into caller-owned dst: with
+// a reusable buffer the exact probe hot path performs zero allocations
+// and zero atomic writes — one snapshot load, one hash lookup.
+func (s *ShardedRefIndex) AppendProbeExact(dst []RefMatch, key string) []RefMatch {
+	sn := s.shards[shardmap.ShardOf(key, s.nshard)].Load()
+	for _, lref := range sn.exIdx.Lookup(key) {
+		dst = append(dst, RefMatch{Ref: sn.globals[lref], Tuple: sn.tuples[lref], Similarity: 1, Exact: true})
+	}
+	return dst
 }
 
 // snapExact runs the SHJoin probe against one immutable shard snapshot.
@@ -315,57 +358,68 @@ func snapExact(sn *shardSnap, key string) []RefMatch {
 // above θsim, so the deduplicated result equals the single-shard
 // SSHJoin probe's.
 func (s *ShardedRefIndex) ProbeApprox(key string) []RefMatch {
-	grams := s.ex.Grams(key)
-	return s.probeApproxRouted(key, grams, s.router.Routes(nil, key))
+	return s.AppendProbeApprox(nil, key)
 }
 
-func (s *ShardedRefIndex) probeApproxRouted(key string, grams []string, shards []int) []RefMatch {
-	if len(shards) == 1 {
-		// Sole reader: the freshly extracted gram slice may be handed
-		// over without a defensive copy.
-		return snapApprox(s.shards[shards[0]].Load(), s.cfg, key, grams, true)
+// AppendProbeApprox is ProbeApprox appending into caller-owned dst.
+// The key is decomposed once into a scratch-backed Key; routing, the
+// per-shard count filter and verification all run on pooled scratch
+// over the dictionary-encoded snapshots, so with a reusable dst the
+// approximate probe allocates nothing.
+func (s *ShardedRefIndex) AppendProbeApprox(dst []RefMatch, key string) []RefMatch {
+	sc := s.pool.Get().(*shardScratch)
+	sc.dsc.Reset()
+	k := s.ex.Decompose(&sc.dsc, key)
+	g := k.Len()
+	ko := s.cfg.Measure.MinOverlap(g, s.cfg.Theta)
+	sc.routes = s.router.RoutesKey(sc.routes[:0], key, k)
+	base := len(dst)
+	for _, sh := range sc.routes {
+		dst = snapApproxAppend(dst, s.shards[sh].Load(), s.cfg, key, k, g, ko, &sc.psc)
 	}
-	var out []RefMatch
-	seen := make(map[int]bool)
-	for _, sh := range shards {
-		for _, m := range snapApprox(s.shards[sh].Load(), s.cfg, key, grams, false) {
-			if seen[m.Ref] {
-				continue
-			}
-			seen[m.Ref] = true
-			out = append(out, m)
-		}
+	if len(sc.routes) > 1 {
+		dst = dedupByRef(dst, base)
 	}
-	// Deterministic output, identical to the dense reference store's
-	// order: ascending global ref.
-	sort.Slice(out, func(i, j int) bool { return out[i].Ref < out[j].Ref })
-	return out
+	s.pool.Put(sc)
+	return dst
 }
 
-// snapApprox runs the SSHJoin probe against one immutable shard
-// snapshot; replica dedup across shards is the caller's job. ProbeGrams
-// reorders its argument, so unless the caller owns grams (owned: this
-// snapshot is the slice's only reader, ever) a private copy is handed
-// over.
-func snapApprox(sn *shardSnap, cfg Config, key string, grams []string, owned bool) []RefMatch {
-	g := len(grams)
-	k := cfg.Measure.MinOverlap(g, cfg.Theta)
-	gcopy := grams
-	if !owned {
-		gcopy = append([]string(nil), grams...)
-	}
-	var out []RefMatch
-	for _, cand := range sn.qgIdx.ProbeGrams(gcopy, k) {
-		sim := cfg.Measure.Coefficient(g, sn.qgIdx.GramSize(cand.Ref), cand.Overlap)
+// snapApproxAppend runs the SSHJoin probe against one immutable shard
+// snapshot, appending verified matches; replica dedup across shards is
+// the caller's job. The candidate view returned by ProbeKey lives in
+// psc and is fully consumed before this function returns, so one
+// scratch may serve several shards in sequence.
+func snapApproxAppend(dst []RefMatch, sn *shardSnap, cfg Config, key string, k qgram.Key, g, ko int, psc *hashidx.ProbeScratch) []RefMatch {
+	for _, cand := range sn.qgIdx.ProbeKey(k, ko, psc) {
+		sim, ok := cfg.Measure.Verify(g, sn.qgIdx.GramSize(cand.Ref), cand.Overlap, cfg.Theta)
 		exact := sn.keys[cand.Ref] == key
 		if exact {
 			sim = 1
-		} else if sim < cfg.Theta {
+		} else if !ok {
 			continue
 		}
-		out = append(out, RefMatch{Ref: sn.globals[cand.Ref], Tuple: sn.tuples[cand.Ref], Similarity: sim, Exact: exact})
+		dst = append(dst, RefMatch{Ref: sn.globals[cand.Ref], Tuple: sn.tuples[cand.Ref], Similarity: sim, Exact: exact})
 	}
-	return out
+	return dst
+}
+
+// dedupByRef brings dst[base:] into the deterministic output order —
+// ascending global ref — dropping replicas found through several
+// shards. The sort is stable, so the surviving copy of each ref is the
+// first one appended (route order), exactly the keep-first semantics of
+// the map-based dedup it replaces, without the map.
+func dedupByRef(dst []RefMatch, base int) []RefMatch {
+	part := dst[base:]
+	slices.SortStableFunc(part, func(a, b RefMatch) int { return a.Ref - b.Ref })
+	w := 0
+	for i := 0; i < len(part); i++ {
+		if w > 0 && part[i].Ref == part[w-1].Ref {
+			continue
+		}
+		part[w] = part[i]
+		w++
+	}
+	return dst[:base+w]
 }
 
 // Probe matches under the given mode.
@@ -374,6 +428,14 @@ func (s *ShardedRefIndex) Probe(mode Mode, key string) []RefMatch {
 		return s.ProbeApprox(key)
 	}
 	return s.ProbeExact(key)
+}
+
+// AppendProbe is Probe appending into caller-owned dst.
+func (s *ShardedRefIndex) AppendProbe(dst []RefMatch, mode Mode, key string) []RefMatch {
+	if mode == Approx {
+		return s.AppendProbeApprox(dst, key)
+	}
+	return s.AppendProbeExact(dst, key)
 }
 
 // batchFanMin is the batch size from which ProbeBatch fans shard groups
@@ -416,56 +478,64 @@ func (s *ShardedRefIndex) probeBatchExact(keys []string, out [][]RefMatch) {
 }
 
 func (s *ShardedRefIndex) probeBatchApprox(keys []string, out [][]RefMatch) {
-	grams := make([][]string, len(keys))
-	routes := make([][]int, len(keys))
+	// Decompose every key once and route on the scratch-backed Keys;
+	// the flat route table and Key arena live in pooled scratch held
+	// for the whole batch (Keys are immutable and shared read-only by
+	// the fan-out workers below).
+	sc := s.pool.Get().(*shardScratch)
+	sc.dsc.Reset()
+	ks := sc.keys[:0]
+	flat := sc.routeFlat[:0]
+	off := sc.routeOff[:0]
 	groups := make([][]int, s.nshard)
-	for i, k := range keys {
-		grams[i] = s.ex.Grams(k)
-		routes[i] = s.router.Routes(nil, k)
-		for _, sh := range routes[i] {
+	for i, key := range keys {
+		k := s.ex.Decompose(&sc.dsc, key)
+		ks = append(ks, k)
+		off = append(off, len(flat))
+		flat = s.router.RoutesKey(flat, key, k)
+		for _, sh := range flat[off[i]:] {
 			groups[sh] = append(groups[sh], i)
 		}
 	}
+	off = append(off, len(flat))
+	sc.keys, sc.routeFlat, sc.routeOff = ks, flat, off
 	// Phase 1: per shard-group, probe that shard's snapshot once per
 	// member key. Groups write disjoint partial slots, so they are free
-	// to run concurrently.
+	// to run concurrently — each worker draws its own count-filter
+	// scratch from the pool.
 	partial := make([][][]RefMatch, s.nshard)
 	s.forGroups(len(keys), groups, func(sh int, idxs []int) {
+		wsc := s.pool.Get().(*shardScratch)
 		sn := s.shards[sh].Load()
 		res := make([][]RefMatch, len(idxs))
 		for j, i := range idxs {
-			// A single-route key's gram slice has this one reader;
-			// replicated keys share theirs across concurrent groups.
-			res[j] = snapApprox(sn, s.cfg, keys[i], grams[i], len(routes[i]) == 1)
+			g := ks[i].Len()
+			ko := s.cfg.Measure.MinOverlap(g, s.cfg.Theta)
+			res[j] = snapApproxAppend(nil, sn, s.cfg, keys[i], ks[i], g, ko, &wsc.psc)
 		}
 		partial[sh] = res
+		s.pool.Put(wsc)
 	})
 	// Phase 2: merge per key, deduplicating replicas by global ref.
 	// groups[sh] lists key indices in ascending order, so walking keys
 	// in order consumes every group sequentially.
 	cursor := make([]int, s.nshard)
 	for i := range keys {
-		if len(routes[i]) == 1 {
-			sh := routes[i][0]
+		routes := flat[off[i]:off[i+1]]
+		if len(routes) == 1 {
+			sh := routes[0]
 			out[i] = partial[sh][cursor[sh]]
 			cursor[sh]++
 			continue
 		}
 		var merged []RefMatch
-		seen := make(map[int]bool)
-		for _, sh := range routes[i] {
-			for _, m := range partial[sh][cursor[sh]] {
-				if seen[m.Ref] {
-					continue
-				}
-				seen[m.Ref] = true
-				merged = append(merged, m)
-			}
+		for _, sh := range routes {
+			merged = append(merged, partial[sh][cursor[sh]]...)
 			cursor[sh]++
 		}
-		sort.Slice(merged, func(a, b int) bool { return merged[a].Ref < merged[b].Ref })
-		out[i] = merged
+		out[i] = dedupByRef(merged, 0)
 	}
+	s.pool.Put(sc)
 }
 
 // forGroups runs fn over every non-empty shard group — concurrently

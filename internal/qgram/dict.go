@@ -1,0 +1,353 @@
+package qgram
+
+import (
+	"maps"
+	"slices"
+	"unicode/utf8"
+)
+
+// This file implements the dictionary-encoded gram pipeline: instead of
+// materialising one string per gram on every decomposition, keys are
+// decomposed into scratch-backed Key values (packed uint64 windows on
+// the ASCII fast path, interned strings otherwise) and grams are mapped
+// to dense uint32 ids by a per-index Dict. The probe hot path of the
+// join engines runs entirely on these ids: posting lists are keyed by
+// id, candidate counting uses epoch-stamped arrays, and verification is
+// integer arithmetic over precomputed signature sizes — no per-probe
+// maps, no per-gram allocations.
+
+// NoID is the sentinel returned for grams a read-only dictionary lookup
+// does not know. Probe paths must short-circuit on it (an unknown gram
+// has no postings) without interning — interning is a writer-side
+// operation.
+const NoID = ^uint32(0)
+
+// maxPacked is the widest gram (in bytes) the ASCII fast path can pack
+// into a uint64: 7 data bytes plus a length tag byte.
+const maxPacked = 7
+
+// pack encodes an ASCII gram of 1..maxPacked bytes into a uint64 with
+// the length in the top byte and the data big-endian below it, so that
+// numeric order of packed values equals lexicographic order of
+// equal-length grams — the canonical gram order the prefix-filter
+// router relies on.
+func pack(b []byte) uint64 {
+	p := uint64(len(b)) << 56
+	shift := uint(48)
+	for _, c := range b {
+		p |= uint64(c) << shift
+		shift -= 8
+	}
+	return p
+}
+
+// unpack decodes a packed gram into buf, returning the gram's bytes.
+func unpack(buf *[maxPacked + 1]byte, p uint64) []byte {
+	l := int(p >> 56)
+	shift := uint(48)
+	for i := 0; i < l; i++ {
+		buf[i] = byte(p >> shift)
+		shift -= 8
+	}
+	return buf[:l]
+}
+
+// Key is one decomposed join key: its q-grams in scratch-backed form.
+// On the ASCII fast path grams are packed uint64s; otherwise they are
+// materialised strings. For set-semantics extractors the grams are
+// distinct and in canonical (lexicographic) order; multiset extractors
+// keep window order with duplicates. A Key borrows the Scratch it was
+// decomposed with and stays valid until that Scratch is Reset; it is
+// immutable and safe to share across goroutines that only read it.
+type Key struct {
+	packed []uint64
+	strs   []string
+}
+
+// Len returns the gram count |q(s)| (distinct under set semantics).
+func (k Key) Len() int {
+	if k.strs != nil {
+		return len(k.strs)
+	}
+	return len(k.packed)
+}
+
+// AppendGram appends the i-th gram's bytes to buf and returns it, in
+// the Key's canonical order, without allocating for packed grams.
+func (k Key) AppendGram(buf []byte, i int) []byte {
+	if k.strs != nil {
+		return append(buf, k.strs[i]...)
+	}
+	var b [maxPacked + 1]byte
+	return append(buf, unpack(&b, k.packed[i])...)
+}
+
+// Scratch holds the reusable buffers of the decomposition fast path.
+// It is an arena: decompositions append and the resulting Keys borrow
+// the arena until Reset. A Scratch serves one goroutine at a time.
+// The zero value is ready to use.
+type Scratch struct {
+	buf    []byte   // padded, folded bytes of the key being decomposed
+	runes  []rune   // fallback: padded runes
+	win    []uint64 // raw packed windows before dedup
+	packed []uint64 // arena of packed grams backing Keys
+	strs   []string // arena of fallback gram strings backing Keys
+	seen   map[string]struct{}
+}
+
+// Reset forgets every decomposition made since the previous Reset,
+// keeping the allocated capacity. Keys borrowed from this Scratch are
+// invalidated.
+func (sc *Scratch) Reset() {
+	sc.packed = sc.packed[:0]
+	sc.strs = sc.strs[:0]
+}
+
+// Decompose is the allocation-free counterpart of Grams: it decomposes
+// s into a scratch-backed Key under the extractor's configuration.
+// Keys with only ASCII runes (and q small enough to pack) never
+// materialise gram strings at all. The returned Key borrows sc and is
+// valid until sc.Reset.
+func (e *Extractor) Decompose(sc *Scratch, s string) Key {
+	if len(s) == 0 {
+		return Key{}
+	}
+	if e.q <= maxPacked && isASCII(s) {
+		return e.decomposeASCII(sc, s)
+	}
+	return e.decomposeSlow(sc, s)
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Extractor) decomposeASCII(sc *Scratch, s string) Key {
+	buf := sc.buf[:0]
+	if e.padded {
+		for i := 0; i < e.q-1; i++ {
+			buf = append(buf, PadLeft)
+		}
+	}
+	if e.fold {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if 'a' <= c && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			buf = append(buf, c)
+		}
+	} else {
+		buf = append(buf, s...)
+	}
+	if e.padded {
+		for i := 0; i < e.q-1; i++ {
+			buf = append(buf, PadRight)
+		}
+	}
+	sc.buf = buf
+
+	win := sc.win[:0]
+	if len(buf) < e.q {
+		// Unpadded short string: one gram holding the whole value.
+		win = append(win, pack(buf))
+	} else {
+		for i := 0; i+e.q <= len(buf); i++ {
+			win = append(win, pack(buf[i:i+e.q]))
+		}
+	}
+	sc.win = win
+
+	start := len(sc.packed)
+	if e.multiset {
+		sc.packed = append(sc.packed, win...)
+		return Key{packed: sc.packed[start:]}
+	}
+	// Set semantics: sort and deduplicate. Numeric order of packed
+	// values is the canonical lexicographic gram order.
+	slices.Sort(win)
+	for i, p := range win {
+		if i > 0 && p == win[i-1] {
+			continue
+		}
+		sc.packed = append(sc.packed, p)
+	}
+	return Key{packed: sc.packed[start:]}
+}
+
+// decomposeSlow handles non-ASCII keys and gram widths too large to
+// pack. Gram strings are materialised (one allocation each), but dedup
+// still reuses the scratch map instead of allocating one per call.
+func (e *Extractor) decomposeSlow(sc *Scratch, s string) Key {
+	if e.fold {
+		s = foldUpper(s)
+	}
+	runes := sc.runes[:0]
+	if e.padded {
+		for i := 0; i < e.q-1; i++ {
+			runes = append(runes, PadLeft)
+		}
+	}
+	for _, r := range s {
+		runes = append(runes, r)
+	}
+	if e.padded {
+		for i := 0; i < e.q-1; i++ {
+			runes = append(runes, PadRight)
+		}
+	}
+	sc.runes = runes
+
+	start := len(sc.strs)
+	if len(runes) < e.q {
+		sc.strs = append(sc.strs, string(runes))
+		return Key{strs: sc.strs[start:]}
+	}
+	if e.multiset {
+		for i := 0; i+e.q <= len(runes); i++ {
+			sc.strs = append(sc.strs, string(runes[i:i+e.q]))
+		}
+		return Key{strs: sc.strs[start:]}
+	}
+	if sc.seen == nil {
+		sc.seen = make(map[string]struct{})
+	} else {
+		clear(sc.seen)
+	}
+	for i := 0; i+e.q <= len(runes); i++ {
+		g := string(runes[i : i+e.q])
+		if _, dup := sc.seen[g]; dup {
+			continue
+		}
+		sc.seen[g] = struct{}{}
+		sc.strs = append(sc.strs, g)
+	}
+	out := sc.strs[start:]
+	slices.Sort(out) // canonical order, as on the packed path
+	return Key{strs: out}
+}
+
+// Dict interns grams into dense uint32 ids: the dictionary encoding
+// shared by a q-gram index and its probes. Ids are assigned in intern
+// order, are stable forever (a Clone never renumbers), and stay below
+// Len. A Dict is NOT safe for concurrent mutation; the join engines
+// treat it as part of the index it belongs to — writers intern under
+// the index's write discipline and publish immutable clones to readers
+// (the RCU copy-on-write path), while probes use the read-only lookups.
+type Dict struct {
+	ids map[string]uint32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// Len returns the number of interned grams; every assigned id is below
+// it.
+func (d *Dict) Len() int { return len(d.ids) }
+
+// Clone returns a copy sharing no mutable state with d. Interning into
+// the clone never disturbs readers of the original, and existing ids
+// are preserved — the copy-on-write step of an RCU snapshot build.
+func (d *Dict) Clone() *Dict {
+	return &Dict{ids: maps.Clone(d.ids)}
+}
+
+// IDOf returns the id of a gram given as a string, for diagnostics and
+// frequency lookups outside the hot path.
+func (d *Dict) IDOf(gram string) (uint32, bool) {
+	id, ok := d.ids[gram]
+	return id, ok
+}
+
+// AppendIDs maps k's grams to ids, appending one id per gram to dst in
+// the Key's order. Unknown grams append NoID: a read-only lookup never
+// grows the dictionary, so it is safe on shared immutable dicts and
+// allocates nothing.
+func (d *Dict) AppendIDs(dst []uint32, k Key) []uint32 {
+	if k.strs != nil {
+		for _, g := range k.strs {
+			id, ok := d.ids[g]
+			if !ok {
+				id = NoID
+			}
+			dst = append(dst, id)
+		}
+		return dst
+	}
+	var b [maxPacked + 1]byte
+	for _, p := range k.packed {
+		id, ok := d.ids[string(unpack(&b, p))]
+		if !ok {
+			id = NoID
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// Intern maps k's grams to ids like AppendIDs but assigns the next
+// dense id to each gram not yet present. Writer-side only.
+func (d *Dict) Intern(dst []uint32, k Key) []uint32 {
+	if k.strs != nil {
+		for _, g := range k.strs {
+			dst = append(dst, d.internString(g))
+		}
+		return dst
+	}
+	var b [maxPacked + 1]byte
+	for _, p := range k.packed {
+		bs := unpack(&b, p)
+		id, ok := d.ids[string(bs)]
+		if !ok {
+			id = uint32(len(d.ids))
+			d.ids[string(bs)] = id
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// InternStrings is Intern for a pre-materialised gram slice (the
+// compatibility path of QGramIndex.InsertGrams).
+func (d *Dict) InternStrings(dst []uint32, grams []string) []uint32 {
+	for _, g := range grams {
+		dst = append(dst, d.internString(g))
+	}
+	return dst
+}
+
+func (d *Dict) internString(g string) uint32 {
+	id, ok := d.ids[g]
+	if !ok {
+		id = uint32(len(d.ids))
+		d.ids[g] = id
+	}
+	return id
+}
+
+// IntersectSortedIDs returns |a ∩ b| for two ascending, deduplicated
+// id slices by a sorted merge — the id-based counterpart of
+// Intersection, with no map and no allocation.
+func IntersectSortedIDs(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

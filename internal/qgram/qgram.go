@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // DefaultQ is the gram width used throughout the paper ("typically q=3").
@@ -77,7 +78,7 @@ func (e *Extractor) Padded() bool { return e.padded }
 // string, so that short values still participate in similarity.
 func (e *Extractor) Grams(s string) []string {
 	if e.fold {
-		s = strings.ToUpper(s)
+		s = foldUpper(s)
 	}
 	runes := []rune(s)
 	if len(runes) == 0 {
@@ -120,17 +121,19 @@ func (e *Extractor) GramSet(s string) map[string]struct{} {
 }
 
 // Count returns the number of grams Grams(s) would produce, without
-// allocating them. For multiset extractors this is exact and cheap; for
-// set extractors it must deduplicate and costs the same as Grams.
+// allocating them. For multiset extractors this is pure arithmetic; for
+// set extractors it is arithmetic whenever the multiset count provably
+// equals the distinct count, and falls back to deduplicating otherwise.
+//
+// Case folding never changes the rune count (unicode.ToUpper maps rune
+// to rune) and cannot create or remove pad runes, so the arithmetic
+// paths skip it entirely.
 func (e *Extractor) Count(s string) int {
+	l := utf8.RuneCountInString(s)
+	if l == 0 {
+		return 0
+	}
 	if e.multiset {
-		if e.fold {
-			s = strings.ToUpper(s)
-		}
-		l := len([]rune(s))
-		if l == 0 {
-			return 0
-		}
 		if e.padded {
 			return l + e.q - 1
 		}
@@ -139,7 +142,30 @@ func (e *Extractor) Count(s string) int {
 		}
 		return l - e.q + 1
 	}
+	// Set semantics. When the whole string is shorter than q and holds
+	// no pad runes, no two padded windows can collide: every window
+	// containing leading pads has a distinct '#'-run length, and every
+	// window without has a distinct '$'-run length. The multiset count
+	// l+q-1 is therefore already the distinct count.
+	if e.padded && l < e.q && !strings.ContainsRune(s, PadLeft) && !strings.ContainsRune(s, PadRight) {
+		return l + e.q - 1
+	}
+	if !e.padded && l < e.q {
+		return 1 // single whole-string gram
+	}
 	return len(e.Grams(s))
+}
+
+// foldUpper upper-cases s for case-insensitive decomposition, returning
+// s itself — no allocation — when it is already upper-case ASCII.
+func foldUpper(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= utf8.RuneSelf || ('a' <= c && c <= 'z') {
+			return strings.ToUpper(s)
+		}
+	}
+	return s
 }
 
 // dedup removes duplicates preserving first-occurrence order.

@@ -53,6 +53,23 @@ func ShardOf(s string, shards int) int {
 	return int(h % uint32(shards))
 }
 
+// ShardOfBytes is ShardOf for a byte window: the same FNV-1a over the
+// same bytes yields the same shard, so routing computed from packed
+// gram bytes (the dictionary-encoded probe path) agrees with routing
+// computed from gram strings.
+func ShardOfBytes(b []byte, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}
+
 // KeyRouter routes each key to the single shard owning its hash. Equal
 // keys land together, so it co-partitions exact matches with replication
 // factor 1 — sufficient for joins that can never probe approximately
@@ -131,6 +148,43 @@ func (r *PrefixRouter) Routes(dst []int, key string) []int {
 	start := len(dst)
 	for _, gr := range prefix {
 		s := ShardOf(gr, r.shards)
+		dup := false
+		for _, have := range dst[start:] {
+			if have == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
+		}
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// RoutesKey is the allocation-free form of Routes for a key the caller
+// has already decomposed (with set semantics and a configuration
+// matching the router's — same q, no multiset). It returns exactly the
+// shards Routes(dst, key) would: a set-mode qgram.Key holds its
+// distinct grams in the same canonical lexicographic order Routes
+// sorts into, so the prefix-filter signature is the Key's leading
+// g−k+1 grams, hashed without materialising gram strings.
+func (r *PrefixRouter) RoutesKey(dst []int, key string, k qgram.Key) []int {
+	g := k.Len()
+	if g == 0 {
+		// Degenerate key with no grams: route by the raw key so equal
+		// degenerate keys still meet.
+		return append(dst, ShardOf(key, r.shards))
+	}
+	ko := r.m.MinOverlap(g, r.theta)
+	if ko < 1 {
+		ko = 1
+	}
+	var buf [16]byte
+	start := len(dst)
+	for i := 0; i < g-ko+1; i++ {
+		s := ShardOfBytes(k.AppendGram(buf[:0], i), r.shards)
 		dup := false
 		for _, have := range dst[start:] {
 			if have == s {

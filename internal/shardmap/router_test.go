@@ -2,7 +2,9 @@ package shardmap
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
+	"testing/quick"
 
 	"adaptivelink/internal/datagen"
 	"adaptivelink/internal/qgram"
@@ -129,6 +131,59 @@ func TestRoutesReuse(t *testing.T) {
 	for i := range got {
 		if got[i] != want[i] {
 			t.Fatalf("reused buffer changed routes: %v vs %v", got, want)
+		}
+	}
+}
+
+// RoutesKey must return exactly what Routes returns for every key: the
+// packed canonical gram order and byte-wise FNV shard hashing must
+// agree with the string path, ASCII and non-ASCII alike.
+func TestRoutesKeyMatchesRoutes(t *testing.T) {
+	keys := []string{
+		"", "a", "TAA BZ SANTA CRISTINA VALGARDENA", "via monte bianco 12",
+		"münchen hauptbahnhof", "łódź 12", "東京都港区", "aaaaaaaa",
+		"short", "x y z", "a#b$c",
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		r := NewPrefixRouter(shards, 3, simfn.Jaccard, 0.75)
+		ex := qgram.New(3)
+		var sc qgram.Scratch
+		for _, key := range keys {
+			sc.Reset()
+			want := r.Routes(nil, key)
+			got := r.RoutesKey(nil, key, ex.Decompose(&sc, key))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d key=%q: RoutesKey=%v Routes=%v", shards, key, got, want)
+			}
+		}
+	}
+}
+
+func TestRoutesKeyMatchesRoutesRandom(t *testing.T) {
+	r := NewPrefixRouter(5, 3, simfn.Jaccard, 0.75)
+	ex := qgram.New(3)
+	alpha := []rune("abAB 19é目#$")
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := make([]rune, int(n)%30)
+		for i := range rs {
+			rs[i] = alpha[rng.Intn(len(alpha))]
+		}
+		key := string(rs)
+		var sc qgram.Scratch
+		return reflect.DeepEqual(
+			r.RoutesKey(nil, key, ex.Decompose(&sc, key)),
+			r.Routes(nil, key))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardOfBytesMatchesShardOf(t *testing.T) {
+	for _, s := range []string{"", "a", "##r", "rom", "目"} {
+		if ShardOfBytes([]byte(s), 7) != ShardOf(s, 7) {
+			t.Errorf("ShardOfBytes(%q) != ShardOf", s)
 		}
 	}
 }

@@ -82,6 +82,26 @@ func (m TokenMeasure) Coefficient(sizeA, sizeB, inter int) float64 {
 	}
 }
 
+// Verify scores a candidate pair from precomputed set sizes and
+// intersection size and reports whether it reaches theta. It is the
+// verification entry point shared by the streaming and resident join
+// engines: the count filter of §2.2 already yields the exact distinct
+// intersection for every admitted candidate, so verification needs no
+// re-extraction and no re-hashing — only this arithmetic.
+func (m TokenMeasure) Verify(sizeA, sizeB, inter int, theta float64) (float64, bool) {
+	sim := m.Coefficient(sizeA, sizeB, inter)
+	return sim, sim >= theta
+}
+
+// SimilarityIDs scores two sorted, deduplicated gram-id signatures (as
+// produced by qgram.Dict interning) by a sorted-merge intersection: the
+// id-based counterpart of TokenSim for callers that verify pairs
+// outside a count-filter probe — the nested-loop oracle and the
+// blocking verifier — without re-extracting or re-hashing either side.
+func (m TokenMeasure) SimilarityIDs(a, b []uint32) float64 {
+	return m.Coefficient(len(a), len(b), qgram.IntersectSortedIDs(a, b))
+}
+
 // MinOverlap returns the smallest intersection size c such that a pair of
 // gram sets with |A| = g (probe side) can still reach similarity ≥ theta
 // under the measure, regardless of |B|. SSHJoin uses this as the count

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench-probe: measure the probe-path microbenchmarks — resident
+# Probe/ProbeBatch in exact+approx shapes plus the gram-extraction,
+# candidate-generation and verification kernels — and append labelled
+# points to the BENCH_probe.json trajectory. Like bench_service.sh, the
+# gate compares each benchmark against the previous point with the same
+# bench name and host label BEFORE writing: a >REGRESS_PCT% ns/op
+# growth (or an allocs/op growth beyond one) fails the script and the
+# regressing point is never recorded as the next baseline.
+#
+# Env knobs:
+#   OUT          trajectory file               (default BENCH_probe.json)
+#   NOTE         note recorded per point       (default "bench-probe")
+#   BENCHTIME    go test -benchtime            (default 2s)
+#   REGRESS_PCT  ns/op regression gate         (default 20)
+#   HOST_LABEL   host-class label recorded per point (default ""); the
+#                gate only compares points with the same label
+#   BASE_REF     when set (e.g. origin/main), first run the resident
+#                probe benchmarks against that git ref — same host,
+#                same run — so the gate compares the current tree
+#                against the base revision instead of whatever happens
+#                to be in the trajectory file. The benchmark source
+#                (internal/join/probe_bench_test.go) is copied into the
+#                base worktree: it deliberately uses only the
+#                long-stable Resident API precisely so it compiles
+#                against older revisions. Base points are recorded with
+#                note "$NOTE base $BASE_REF".
+#   SKIP_BENCH_DIFF=1  disable the gate (known-noisy hosts / CI label)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_probe.json}
+NOTE=${NOTE:-bench-probe}
+BENCHTIME=${BENCHTIME:-2s}
+REGRESS_PCT=${REGRESS_PCT:-20}
+HOST_LABEL=${HOST_LABEL:-}
+
+if [ "${SKIP_BENCH_DIFF:-0}" = "1" ]; then
+    REGRESS_PCT=0
+    BASE_REF="" # no gate, no point burning a base-revision bench run
+fi
+
+tmp=$(mktemp -d)
+worktree=""
+cleanup() {
+    if [ -n "$worktree" ]; then
+        git worktree remove --force "$worktree" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/benchprobe" ./cmd/benchprobe
+
+if [ -n "${BASE_REF:-}" ]; then
+    worktree="$tmp/base"
+    echo "bench-probe: benching base revision $BASE_REF for the gate baseline"
+    git worktree add --force --detach "$worktree" "$BASE_REF"
+    cp internal/join/probe_bench_test.go "$worktree/internal/join/"
+    (cd "$worktree" && go test ./internal/join -run=NONE -bench 'BenchmarkResident' \
+        -benchtime "$BENCHTIME") | tee "$tmp/base.txt"
+    "$tmp/benchprobe" -in "$tmp/base.txt" -out "$OUT" \
+        -note "$NOTE base $BASE_REF" -host "$HOST_LABEL"
+fi
+
+echo "bench-probe: resident probe paths (internal/join)"
+go test ./internal/join -run=NONE -bench 'BenchmarkResident' \
+    -benchtime "$BENCHTIME" | tee "$tmp/join.txt"
+echo "bench-probe: kernels (qgram decompose/dict, hashidx count filter)"
+go test ./internal/qgram ./internal/hashidx -run=NONE \
+    -bench 'BenchmarkGramsStrings|BenchmarkDecomposePacked|BenchmarkDictAppendIDs|BenchmarkVerifyIntersectSortedIDs|BenchmarkProbeKeyCandidates' \
+    -benchtime "$BENCHTIME" | tee "$tmp/kernels.txt"
+
+cat "$tmp/join.txt" "$tmp/kernels.txt" | "$tmp/benchprobe" \
+    -out "$OUT" -note "$NOTE" -host "$HOST_LABEL" -regress-pct "$REGRESS_PCT"
