@@ -7,7 +7,7 @@ GO ?= go
 # Raise it (never lower it) when a PR lifts coverage.
 COVER_MIN ?= 86.5
 
-.PHONY: all build vet fmt test race bench cover serve-smoke fuzz bench-service bench-probe alloc check
+.PHONY: all build vet fmt test race bench cover serve-smoke fuzz bench-service bench-probe bench-store alloc check
 
 all: check
 
@@ -46,17 +46,21 @@ cover:
 
 # End-to-end service smoke: start adaptivelinkd, drive it with
 # linkbench (100 requests from 64 concurrent clients, all must be 2xx),
-# then SIGTERM and assert a clean drain.
+# SIGTERM and assert a clean drain — then restart the daemon against a
+# data dir and assert the reloaded index answers identically.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-# Short fuzz of the torn-read invariant: concurrent upserts racing
-# probes against the sharded resident index must never expose a
-# half-applied payload. `go test -fuzz=FuzzUpsertProbe ./internal/join`
-# digs deeper.
+# Short fuzz passes, one invariant each: torn reads (concurrent upserts
+# racing probes must never expose a half-applied payload), snapshot
+# decoding (arbitrary bytes never panic or build a broken index) and
+# write-ahead-log replay (recovery always stops at an intact record
+# boundary). `go test -fuzz=<name> ./internal/...` digs deeper.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/join -run=NONE -fuzz=FuzzUpsertProbe -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -run=NONE -fuzz=FuzzSnapshotDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -run=NONE -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
 
 # Service benchmark trajectory: linkbench in exact+adaptive ×
 # single+batch modes against a live adaptivelinkd, appending labelled
@@ -72,6 +76,14 @@ bench-service:
 # gating as bench-service. See scripts/bench_probe.sh for the knobs.
 bench-probe:
 	./scripts/bench_probe.sh
+
+# Durability benchmark trajectory: cold-start time-to-first-probe
+# (snapshot Open vs reindex-from-CSV) and ingest throughput (BulkLoad
+# vs single logged Upserts), appended to BENCH_store.json. Also asserts
+# the headline claims: cold start >=5x faster than reindexing, bulk
+# load beats single upserts. See scripts/bench_store.sh for the knobs.
+bench-store:
+	./scripts/bench_store.sh
 
 # Allocation-regression pins for the probe hot path (exact resident
 # probe = 0 allocs/op, approximate probe within its documented budget).

@@ -140,8 +140,55 @@
 // single and batch /v1/link probes, incremental upserts, bounded
 // worker-pool admission control, per-request deadlines, a
 // Prometheus-style /metrics endpoint priced by the paper's cost model,
-// and graceful drain on SIGTERM. cmd/linkbench load-tests it and
-// records throughput/latency points into BENCH_service.json.
+// and graceful drain on SIGTERM. Every non-2xx response carries the
+// unified v1 error envelope {"error":{"code":...,"message":...}} with
+// a closed code set (see internal/service). cmd/linkbench load-tests
+// it and records throughput/latency points into BENCH_service.json.
+//
+// # Durability
+//
+// A resident index can outlive its process. Open(dir, opts) opens —
+// creating if needed — the durable index stored in a directory, Save
+// checkpoints or exports it, Close releases it, and BulkLoad with
+// StorageOptions.Dir set builds-and-persists in one step:
+//
+//	ix, err := adaptivelink.Open("/var/lib/atlas", adaptivelink.IndexOptions{})
+//	ix.Upsert(tuples...)   // logged, then applied
+//	ix.Save("")            // checkpoint in place
+//	ix.Close()
+//
+// An index directory holds two artifacts. The snapshot (index.snap) is
+// a versioned, CRC-32C-checksummed binary serialisation of the sharded
+// index in the exact representation the engine probes — dense gram-id
+// dictionaries, postings and signatures — so loading is a sequential
+// read plus slice reconstruction: no key is re-decomposed and no gram
+// re-hashed, which is what makes cold start several times faster than
+// rebuilding from the source CSV (BENCH_store.json, make bench-store).
+// The write-ahead log (upserts.wal) records every acknowledged Upsert
+// batch in CRC-framed records before it is applied; on Open the
+// snapshot loads first and the log replays on top, so the reopened
+// index answers exactly as the crashed one did. Recovery truncates a
+// torn final record (a crash mid-append) at the last intact boundary,
+// and rejects — never silently repairs — corrupt artifacts: a
+// truncated or bit-flipped snapshot, a damaged log record, or a
+// configuration mismatch between opts and the stored index each fail
+// Open with a descriptive error, and no partial index is ever
+// returned.
+//
+// StorageOptions.WALSync selects the fsync policy: SyncAlways (the
+// default) makes every acknowledged Upsert crash-durable at the price
+// of one fsync per batch; SyncNone leaves flushing to the OS — much
+// faster ingest, bounded staleness after a crash, never an
+// inconsistent index. Save("") checkpoints in place (snapshot
+// replaced atomically via rename, log reset); SnapshotOnClose does the
+// same during Close, making the next Open a pure snapshot load.
+// NewIndex remains the purely ephemeral constructor.
+//
+// adaptivelinkd gains the same durability end to end: -data-dir makes
+// created indexes durable (one subdirectory per index, bulk-loaded
+// straight into a snapshot), boot reloads every stored index before
+// serving, POST /v1/indexes/{name}/snapshot checkpoints over the wire,
+// and index info reports durable/wal_records/last_snapshot.
 //
 // # Performance
 //

@@ -1,0 +1,240 @@
+package adaptivelink
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/store"
+)
+
+// SyncPolicy says when a durable index's write-ahead log reaches stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the log on every Upsert: an acknowledged upsert
+	// survives an immediate crash. The default, and the right choice
+	// unless ingest throughput matters more than the last few batches.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves flushing to the operating system: much faster
+	// ingest, and a crash may lose the most recent acknowledged upserts
+	// (recovery still stops cleanly at the log's intact prefix — the
+	// index reloads consistent, just slightly stale).
+	SyncNone
+)
+
+func (p SyncPolicy) store() store.SyncPolicy {
+	if p == SyncNone {
+		return store.SyncNone
+	}
+	return store.SyncAlways
+}
+
+// StorageOptions is the durability section of IndexOptions.
+type StorageOptions struct {
+	// Dir is the index directory (one index per directory: a binary
+	// snapshot plus an upsert log). Empty means in-memory. Constructors
+	// taking an explicit directory argument (Open, with Dir also
+	// accepted for symmetry) require the two to agree when both are set.
+	Dir string
+	// WALSync is the log's fsync policy (default SyncAlways).
+	WALSync SyncPolicy
+	// SnapshotOnClose checkpoints the index during Close, so the next
+	// Open is a pure snapshot load with no log to replay.
+	SnapshotOnClose bool
+}
+
+// ErrIndexClosed is returned by writes against a closed durable index.
+var ErrIndexClosed = errors.New("adaptivelink: index is closed")
+
+// Open opens (creating if needed) the durable index stored in dir and
+// recovers its state: the snapshot is loaded in its final in-memory
+// form — no key is re-decomposed, no gram re-hashed — and the upsert
+// log's acknowledged batches are replayed on top, so the index answers
+// exactly as it did before the restart.
+//
+// Configuration resolution: fields of opts left zero adopt the stored
+// configuration (the common case — reopen whatever is there); fields
+// set explicitly must match it, and a mismatch (or a snapshot written
+// by an incompatible format version) is a descriptive error, never a
+// silent reinterpretation. An empty directory is created with opts
+// resolved against the package defaults.
+func Open(dir string, opts IndexOptions) (*Index, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("adaptivelink: Open requires a directory")
+	}
+	if opts.Storage.Dir != "" && opts.Storage.Dir != dir {
+		return nil, fmt.Errorf("adaptivelink: Open(%q) conflicts with Storage.Dir %q", dir, opts.Storage.Dir)
+	}
+	opts.Storage.Dir = dir
+	stored, err := store.PeekMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if stored != nil {
+		// Stored configuration wins for unset fields; set fields are
+		// checked against it below via store.Open's meta gate.
+		if opts.Q == 0 {
+			opts.Q = stored.Q
+		}
+		if opts.Theta == 0 {
+			opts.Theta = stored.Theta
+		}
+		if opts.Measure == 0 {
+			opts.Measure = Measure(stored.Measure)
+		}
+		if opts.Shards == 0 {
+			opts.Shards = stored.Shards
+		}
+	}
+	opts, err = opts.resolved()
+	if err != nil {
+		return nil, err
+	}
+	d, ri, _, err := store.Open(dir, opts.meta(), opts.Storage.WALSync.store())
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: opening %s: %w", dir, err)
+	}
+	return &Index{res: ri, opts: opts, dir: d}, nil
+}
+
+// BulkLoad builds a resident index from the reference source through
+// the bulk path: decompose and route every key first, then build each
+// shard's structures densely in parallel — far faster than feeding the
+// same rows through Upsert one batch at a time, and identical in
+// outcome. With Storage.Dir set the built index is persisted by writing
+// its snapshot directly (the initial rows never touch the log) into a
+// directory that must not already hold an index; the returned index is
+// then durable, logging subsequent Upserts. With an empty Storage.Dir
+// it is the fast constructor for a purely in-memory index.
+func BulkLoad(ref Source, opts IndexOptions) (*Index, error) {
+	if ref == nil {
+		return nil, fmt.Errorf("adaptivelink: nil reference source")
+	}
+	opts, err := opts.resolved()
+	if err != nil {
+		return nil, err
+	}
+	batch, err := drainSource(ref)
+	if err != nil {
+		return nil, err
+	}
+	rts := make([]relation.Tuple, len(batch))
+	for i, t := range batch {
+		rts[i] = relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+	}
+	ri, err := join.BuildShardedRefIndex(opts.config(), opts.Shards, rts)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: %w", err)
+	}
+	ix := &Index{res: ri, opts: opts}
+	if opts.Storage.Dir != "" {
+		d, err := store.Create(opts.Storage.Dir, ri, opts.Storage.WALSync.store())
+		if err != nil {
+			return nil, fmt.Errorf("adaptivelink: persisting bulk load: %w", err)
+		}
+		ix.dir = d
+	}
+	return ix, nil
+}
+
+// Save writes a snapshot of the index's current state.
+//
+// With an empty dir it checkpoints a durable index in place: the
+// snapshot replaces the previous one atomically and the upsert log,
+// now subsumed, is reset — after which a restart is a pure snapshot
+// load. With a non-empty dir it exports the state as a fresh index
+// directory (usable by Open later), which must not already hold one;
+// this is how an in-memory index becomes durable after the fact.
+func (ix *Index) Save(dir string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrIndexClosed
+	}
+	sr, ok := ix.res.(*join.ShardedRefIndex)
+	if !ok {
+		return fmt.Errorf("adaptivelink: index backend %T does not snapshot", ix.res)
+	}
+	if dir == "" || (ix.dir != nil && sameDir(dir, ix.dir.Path())) {
+		if ix.dir == nil {
+			return fmt.Errorf("adaptivelink: Save(\"\") checkpoints a durable index; this index is in-memory — pass a directory")
+		}
+		return ix.dir.Checkpoint(sr)
+	}
+	d, err := store.Create(dir, sr, ix.opts.Storage.WALSync.store())
+	if err != nil {
+		return err
+	}
+	// Save exports; it does not re-home the index. The new directory is
+	// a finished artifact for a later Open.
+	return d.Close()
+}
+
+func sameDir(a, b string) bool {
+	ca, err1 := filepath.Abs(a)
+	cb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && ca == cb
+}
+
+// Close releases a durable index's storage, checkpointing first when
+// Storage.SnapshotOnClose is set. The in-memory state remains probeable
+// (probes are lock-free and touch no files), but writes fail with
+// ErrIndexClosed. Closing an in-memory index — or closing twice — is a
+// no-op.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed || ix.dir == nil {
+		ix.closed = true
+		return nil
+	}
+	ix.closed = true
+	var err error
+	if ix.opts.Storage.SnapshotOnClose {
+		if sr, ok := ix.res.(*join.ShardedRefIndex); ok {
+			err = ix.dir.Checkpoint(sr)
+		}
+	}
+	if cerr := ix.dir.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Durable reports whether the index is backed by storage.
+func (ix *Index) Durable() bool { return ix.dir != nil }
+
+// IsIndexDir reports whether dir holds a stored index (a snapshot or an
+// upsert log), without loading it. Absent or empty directories are
+// simply false; unreadable artifacts are an error.
+func IsIndexDir(dir string) (bool, error) {
+	m, err := store.PeekMeta(dir)
+	return m != nil, err
+}
+
+// WALRecords is the number of upsert batches logged since the last
+// checkpoint (0 for in-memory indexes).
+func (ix *Index) WALRecords() int64 {
+	if ix.dir == nil {
+		return 0
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.dir.WALRecords()
+}
+
+// LastSnapshot is when the index's current snapshot was written (zero
+// for in-memory indexes and durable ones that have never checkpointed).
+func (ix *Index) LastSnapshot() time.Time {
+	if ix.dir == nil {
+		return time.Time{}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.dir.LastSnapshot()
+}

@@ -3,12 +3,14 @@ package adaptivelink
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"adaptivelink/internal/adaptive"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/metrics"
 	"adaptivelink/internal/relation"
 	"adaptivelink/internal/simfn"
+	"adaptivelink/internal/store"
 )
 
 // IndexOptions configures a resident Index. The zero value selects the
@@ -28,6 +30,10 @@ type IndexOptions struct {
 	// to (~min(5, Shards)× for the paper's configuration). The match
 	// contract is shard-count-independent.
 	Shards int
+	// Storage configures durability. The zero value is a purely
+	// in-memory index; see Open and BulkLoad for the durable
+	// constructors.
+	Storage StorageOptions
 }
 
 // SessionOptions configures a probe Session. The zero value selects an
@@ -104,6 +110,13 @@ type ProbeMatch struct {
 type Index struct {
 	res  join.Resident
 	opts IndexOptions
+
+	// mu serializes the write side of a durable index so the WAL's
+	// record order equals the apply order (replay depends on it: the
+	// store is keyed, newest wins). Probes never take it.
+	mu     sync.Mutex
+	dir    *store.Dir // nil for an in-memory index
+	closed bool
 }
 
 // NewIndex drains the reference source and builds a resident index over
@@ -126,6 +139,31 @@ func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
 	if ref == nil {
 		return nil, fmt.Errorf("adaptivelink: nil reference source")
 	}
+	if opts.Storage.Dir != "" {
+		return nil, fmt.Errorf("adaptivelink: NewIndex builds in-memory indexes; use Open (or BulkLoad) for Storage.Dir %q", opts.Storage.Dir)
+	}
+	opts, err := opts.resolved()
+	if err != nil {
+		return nil, err
+	}
+	ri, err := join.NewShardedRefIndex(opts.config(), opts.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: %w", err)
+	}
+	ix := &Index{res: ri, opts: opts}
+	batch, err := drainSource(ref)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := ix.Upsert(batch...); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// resolved applies the option defaults and validates what cannot be
+// defaulted.
+func (opts IndexOptions) resolved() (IndexOptions, error) {
 	if opts.Q == 0 {
 		opts.Q = 3
 	}
@@ -133,22 +171,30 @@ func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
 		opts.Theta = join.DefaultTheta
 	}
 	if opts.Shards < 0 {
-		return nil, fmt.Errorf("adaptivelink: negative shard count %d", opts.Shards)
+		return opts, fmt.Errorf("adaptivelink: negative shard count %d", opts.Shards)
 	}
 	if opts.Shards == 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
-	cfg := join.Config{
+	return opts, nil
+}
+
+// config expands resolved options to the engine configuration.
+func (opts IndexOptions) config() join.Config {
+	return join.Config{
 		Q:       opts.Q,
 		Theta:   opts.Theta,
 		Measure: simfn.TokenMeasure(opts.Measure),
 		Initial: join.LexRex,
 	}
-	ri, err := join.NewShardedRefIndex(cfg, opts.Shards)
-	if err != nil {
-		return nil, fmt.Errorf("adaptivelink: %w", err)
-	}
-	ix := &Index{res: ri, opts: opts}
+}
+
+// meta is the compatibility tuple durable artifacts are bound to.
+func (opts IndexOptions) meta() store.Meta {
+	return store.Meta{Q: opts.Q, Theta: opts.Theta, Measure: simfn.TokenMeasure(opts.Measure), Shards: opts.Shards}
+}
+
+func drainSource(ref Source) ([]Tuple, error) {
 	var batch []Tuple
 	for {
 		t, ok, err := ref.Next()
@@ -156,12 +202,10 @@ func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
 			return nil, fmt.Errorf("adaptivelink: reading reference: %w", err)
 		}
 		if !ok {
-			break
+			return batch, nil
 		}
 		batch = append(batch, t)
 	}
-	ix.Upsert(batch...)
-	return ix, nil
 }
 
 // Len returns the number of resident reference tuples.
@@ -176,15 +220,34 @@ func (ix *Index) Options() IndexOptions { return ix.opts }
 // updated counts. Safe to call concurrently with probes; in-flight
 // probes complete against the previous version and later probes see the
 // whole batch.
-func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int) {
+//
+// On a durable index the batch is appended to the write-ahead log
+// first — under SyncAlways it is on stable storage before Upsert
+// returns, so an acknowledged upsert survives a crash — and only then
+// applied. A non-nil error means the batch was NOT applied (the index
+// is unchanged); in-memory indexes never return one.
+func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int, err error) {
 	if len(tuples) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	rts := make([]relation.Tuple, len(tuples))
 	for i, t := range tuples {
 		rts[i] = relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
 	}
-	return ix.res.Upsert(rts)
+	if ix.dir == nil {
+		inserted, updated = ix.res.Upsert(rts)
+		return inserted, updated, nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return 0, 0, ErrIndexClosed
+	}
+	if err := ix.dir.Append(rts); err != nil {
+		return 0, 0, fmt.Errorf("adaptivelink: logging upsert: %w", err)
+	}
+	inserted, updated = ix.res.Upsert(rts)
+	return inserted, updated, nil
 }
 
 // Probe is the sessionless one-shot probe: it matches the key exactly

@@ -62,10 +62,13 @@ func TestIndexProbeOneShotEscalatesOnMiss(t *testing.T) {
 
 func TestIndexUpsertSemantics(t *testing.T) {
 	ix := newTestIndex(t, "via monte bianco nord 12")
-	ins, upd := ix.Upsert(
+	ins, upd, err := ix.Upsert(
 		Tuple{ID: 7, Key: "via monte bianco nord 12", Attrs: []string{"fresh"}},
 		Tuple{ID: 8, Key: "corso nuovo sud 3", Attrs: []string{"born"}},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ins != 1 || upd != 1 || ix.Len() != 2 {
 		t.Fatalf("Upsert = %d/%d, len %d", ins, upd, ix.Len())
 	}
@@ -73,8 +76,8 @@ func TestIndexUpsertSemantics(t *testing.T) {
 	if len(ms) != 1 || ms[0].Ref.Attrs[0] != "fresh" {
 		t.Fatalf("payload not replaced: %+v", ms)
 	}
-	if ins, upd := ix.Upsert(); ins != 0 || upd != 0 {
-		t.Fatalf("empty upsert = %d/%d", ins, upd)
+	if ins, upd, err := ix.Upsert(); ins != 0 || upd != 0 || err != nil {
+		t.Fatalf("empty upsert = %d/%d (%v)", ins, upd, err)
 	}
 }
 

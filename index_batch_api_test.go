@@ -178,7 +178,10 @@ func TestFacadeShardedMatchesSingleShardReference(t *testing.T) {
 					nextParent = hi
 					var wantIns, wantUpd int
 					for i, ix := range indexes {
-						ins, upd := ix.Upsert(batch...)
+						ins, upd, err := ix.Upsert(batch...)
+						if err != nil {
+							t.Fatal(err)
+						}
 						if i == 0 {
 							wantIns, wantUpd = ins, upd
 							continue

@@ -45,8 +45,20 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		theta      = fs.Float64("theta", 0.75, "similarity threshold for preloaded/default indexes")
 		shards     = fs.Int("shards", 0, "shard count for preloaded indexes (0 = one per hardware thread)")
 		drainWait  = fs.Duration("drain-timeout", 15*time.Second, "maximum time to wait for in-flight requests at shutdown")
+		dataDir    = fs.String("data-dir", "", "durable index storage directory (empty = in-memory only)")
+		walSync    = fs.String("wal-sync", "always", "write-ahead-log fsync policy: always or none")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var syncPolicy adaptivelink.SyncPolicy
+	switch *walSync {
+	case "always":
+		syncPolicy = adaptivelink.SyncAlways
+	case "none":
+		syncPolicy = adaptivelink.SyncNone
+	default:
+		fmt.Fprintf(stderr, "adaptivelinkd: -wal-sync wants always or none, got %q\n", *walSync)
 		return 2
 	}
 
@@ -55,7 +67,23 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		MaxBatch:        *maxBatch,
+		DataDir:         *dataDir,
+		WALSync:         syncPolicy,
 	})
+
+	// Reopen whatever the data dir holds before serving: snapshot loads
+	// plus write-ahead-log replay, so the daemon answers exactly as it
+	// did before the restart.
+	recovered, err := svc.LoadStored()
+	if err != nil {
+		fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+		return 1
+	}
+	for _, name := range recovered {
+		info, _ := svc.GetIndex(name)
+		fmt.Fprintf(stdout, "adaptivelinkd: reloaded index %q with %d tuples (%d logged batches)\n",
+			name, info.Size, info.WALRecords)
+	}
 
 	if *preload != "" {
 		name, path, ok := strings.Cut(*preload, "=")
@@ -63,23 +91,29 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 			fmt.Fprintf(stderr, "adaptivelinkd: -preload wants name=path, got %q\n", *preload)
 			return 2
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
-			return 1
+		if _, err := svc.GetIndex(name); err == nil {
+			// Reloaded from the data dir (with any post-load upserts the
+			// CSV has never seen); the CSV is only the first boot's seed.
+			fmt.Fprintf(stdout, "adaptivelinkd: preload skipped, index %q reloaded from data dir\n", name)
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+				return 1
+			}
+			tuples, _, err := adaptivelink.LoadRelationCSV(bufio.NewReader(f), path, *preloadKey)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "adaptivelinkd: preload %s: %v\n", path, err)
+				return 1
+			}
+			info, err := svc.CreateIndex(name, adaptivelink.IndexOptions{Q: *q, Theta: *theta, Shards: *shards}, tuples)
+			if err != nil {
+				fmt.Fprintf(stderr, "adaptivelinkd: preload: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "adaptivelinkd: preloaded index %q with %d tuples\n", name, info.Size)
 		}
-		tuples, _, err := adaptivelink.LoadRelationCSV(bufio.NewReader(f), path, *preloadKey)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(stderr, "adaptivelinkd: preload %s: %v\n", path, err)
-			return 1
-		}
-		info, err := svc.CreateIndex(name, adaptivelink.IndexOptions{Q: *q, Theta: *theta, Shards: *shards}, tuples)
-		if err != nil {
-			fmt.Fprintf(stderr, "adaptivelinkd: preload: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stdout, "adaptivelinkd: preloaded index %q with %d tuples\n", name, info.Size)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

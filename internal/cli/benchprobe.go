@@ -33,10 +33,12 @@ type probeBenchFile struct {
 }
 
 // benchLine matches one `go test -bench` result line with -benchmem
-// style columns, e.g.
+// style columns, tolerating custom b.ReportMetric columns (any "value
+// unit" pairs) between the standard ones, e.g.
 //
 //	BenchmarkResidentProbeApprox-4  21417  114833 ns/op  17937 B/op  89 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+//	BenchmarkStoreBulkLoad-4  5  26561226 ns/op  75299 rows/s  9655574 B/op  18091 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ \S+?)*?(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?$`)
 
 // RunBenchProbe implements cmd/benchprobe: it parses `go test -bench`
 // output (stdin or -in), appends one labelled point per benchmark to a

@@ -282,3 +282,64 @@ func TestLinkBenchProfileFlagErrors(t *testing.T) {
 		t.Fatalf("bad memprofile path: exit %d stderr %s", code, errb)
 	}
 }
+
+// TestAdaptiveLinkdDataDirRestart: the daemon's durability loop over
+// the wire — boot with -data-dir, create a durable index, restart over
+// the same directory, and get the reload announced plus the same data
+// served. Also pins the -wal-sync flag's validation and the
+// preload-skipped-on-reload branch.
+func TestAdaptiveLinkdDataDirRestart(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runAdaptiveLinkd(context.Background(), []string{"-wal-sync", "sometimes"}, &out, &errb); code != 2 {
+		t.Fatalf("bad -wal-sync exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "always or none") {
+		t.Fatalf("bad -wal-sync stderr: %s", errb.String())
+	}
+	if code := runAdaptiveLinkd(context.Background(), []string{"-data-dir", filepath.Join(string([]byte{0}), "impossible")}, &out, &errb); code == 0 {
+		t.Fatal("unusable -data-dir accepted")
+	}
+
+	dataDir := t.TempDir()
+	csvPath := filepath.Join(t.TempDir(), "ref.csv")
+	if err := os.WriteFile(csvPath, []byte("location,extra\nvia monte bianco nord 12,a\nlago di como est,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	durableArgs := []string{"-data-dir", dataDir, "-wal-sync", "none", "-preload", "atlas=" + csvPath}
+	base, stop := startDaemon(t, durableArgs...)
+	resp, err := http.Post(base+"/v1/indexes/atlas/upsert", "application/json",
+		strings.NewReader(`{"tuples":[{"id":9,"key":"passo pordoi ovest"}]}`))
+	if err != nil {
+		t.Fatalf("upsert: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upsert = %d", resp.StatusCode)
+	}
+	if code, _, stderr := stop(); code != 0 {
+		t.Fatalf("first run exit %d, stderr: %s", code, stderr)
+	}
+
+	base, stop = startDaemon(t, durableArgs...)
+	resp, err = http.Get(base + "/v1/indexes/atlas")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	var info service.IndexInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if info.Size != 3 || !info.Durable || info.WALRecords != 1 {
+		t.Fatalf("reloaded info = %+v, want 3 tuples, durable, 1 logged batch", info)
+	}
+	code, stdout, stderr := stop()
+	if code != 0 {
+		t.Fatalf("second run exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{`reloaded index "atlas" with 3 tuples (1 logged batches)`, `preload skipped, index "atlas" reloaded from data dir`} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}

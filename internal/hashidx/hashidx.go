@@ -251,6 +251,102 @@ func (x *QGramIndex) Clone() *QGramIndex {
 // Indexed returns how many tuples of the side have been absorbed.
 func (x *QGramIndex) Indexed() int { return x.indexed }
 
+// QGramExport is the stable serialized form of a QGramIndex: the gram
+// dictionary in id order, the postings table, and the per-ref signature
+// data. Counters derivable from these (buckets, entries, indexed) are
+// recomputed on import rather than trusted from the wire. The slices of
+// an export taken from a live index alias the index's immutable data —
+// treat an export as read-only.
+type QGramExport struct {
+	// Grams enumerates the dictionary in id order (qgram.Dict.Grams).
+	Grams []string
+	// Postings is the gram-id-keyed postings table; Postings[id] lists
+	// refs ascending. Shorter than Grams when trailing grams have no
+	// postings yet.
+	Postings [][]int32
+	// Sizes is |q(key(ref))| per absorbed ref.
+	Sizes []uint32
+	// Sigs is the sorted gram-id signature per ref (nil below SigFloor).
+	Sigs [][]uint32
+	// SigFloor is the eviction floor below which signatures are released.
+	SigFloor int
+}
+
+// Export returns the index's stable serialized form. The resident
+// engines call it on immutable RCU snapshots, so the aliasing of the
+// returned slices is safe there by construction.
+func (x *QGramIndex) Export() QGramExport {
+	return QGramExport{
+		Grams:    x.dict.Grams(),
+		Postings: x.postings,
+		Sizes:    x.sizes,
+		Sigs:     x.sigs,
+		SigFloor: x.sigFloor,
+	}
+}
+
+// ImportQGramIndex reconstructs an index from an Export under the given
+// extractor (which must match the gram definition the export was built
+// with — the caller's compatibility contract). Every structural
+// invariant a probe relies on is re-validated, so a corrupted or
+// hostile export yields a descriptive error, never an index that can
+// panic later: posting refs must be strictly ascending within [0, n),
+// the dictionary must be duplicate-free, and the per-ref tables must
+// agree on n. The export's slices are adopted, not copied; the caller
+// must hand over ownership.
+func ImportQGramIndex(ex *qgram.Extractor, exp QGramExport) (*QGramIndex, error) {
+	dict, err := qgram.DictFromGrams(exp.Grams)
+	if err != nil {
+		return nil, fmt.Errorf("hashidx: import q-gram index: %w", err)
+	}
+	n := len(exp.Sizes)
+	if len(exp.Sigs) != n {
+		return nil, fmt.Errorf("hashidx: import q-gram index: %d signatures for %d refs", len(exp.Sigs), n)
+	}
+	if len(exp.Postings) > len(exp.Grams) {
+		return nil, fmt.Errorf("hashidx: import q-gram index: postings table of %d lists exceeds dictionary of %d grams", len(exp.Postings), len(exp.Grams))
+	}
+	if exp.SigFloor < 0 || exp.SigFloor > n {
+		return nil, fmt.Errorf("hashidx: import q-gram index: signature floor %d outside [0, %d]", exp.SigFloor, n)
+	}
+	x := &QGramIndex{
+		ex:       ex,
+		dict:     dict,
+		postings: exp.Postings,
+		sizes:    exp.Sizes,
+		sigs:     exp.Sigs,
+		indexed:  n,
+		sigFloor: exp.SigFloor,
+	}
+	for id, refs := range x.postings {
+		prev := int32(-1)
+		for _, ref := range refs {
+			if ref <= prev || int(ref) >= n {
+				return nil, fmt.Errorf("hashidx: import q-gram index: posting list %d not strictly ascending within [0, %d)", id, n)
+			}
+			prev = ref
+		}
+		if len(refs) > 0 {
+			x.buckets++
+		}
+		x.entries += len(refs)
+	}
+	for ref, sig := range x.sigs {
+		if ref < x.sigFloor {
+			if sig != nil {
+				return nil, fmt.Errorf("hashidx: import q-gram index: ref %d below signature floor %d carries a signature", ref, x.sigFloor)
+			}
+			continue
+		}
+		for _, id := range sig {
+			if int(id) >= len(exp.Grams) {
+				return nil, fmt.Errorf("hashidx: import q-gram index: ref %d signature names gram id %d outside dictionary of %d", ref, id, len(exp.Grams))
+			}
+		}
+	}
+	return x, nil
+}
+
 // CatchUp absorbs keys[Indexed():] and returns the number inserted.
 func (x *QGramIndex) CatchUp(keys []string) int {
 	start := x.indexed

@@ -1,0 +1,153 @@
+package join
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivelink/internal/hashidx"
+	"adaptivelink/internal/relation"
+)
+
+// SnapshotView is the serializable state of a ShardedRefIndex: the
+// global tuple store in ref order plus, per shard, the shard's member
+// refs and its dictionary-encoded q-gram index. Everything else a
+// running index carries — the exact hash tables, the key→ref maps, the
+// newest-by-key writer map — is derivable from these in one linear pass
+// with no gram re-hashing and no key re-decomposition, which is what
+// keeps a snapshot load cheap: the expensive artifacts of indexing (the
+// gram dictionary, the id-encoded postings, the signatures) travel in
+// their final in-memory form.
+//
+// A view exported from a live index aliases that index's immutable RCU
+// snapshots; treat it as read-only. A view decoded from disk is owned
+// by the decoder's caller and is adopted wholesale by
+// NewShardedRefIndexFromSnapshot.
+type SnapshotView struct {
+	// Cfg is the matching configuration the index was built under.
+	Cfg Config
+	// NShard is the shard count; probe routing is shard-count-dependent,
+	// so a snapshot reloads only at its own count.
+	NShard int
+	// Tuples is the global store in ref order (Len() == len(Tuples)).
+	Tuples []relation.Tuple
+	// Shards has one export per shard, in shard order.
+	Shards []ShardExport
+}
+
+// ShardExport is one shard's slice of a SnapshotView.
+type ShardExport struct {
+	// Globals maps the shard's local refs (ascending, dense) to global
+	// refs, strictly ascending by construction of the upsert path.
+	Globals []uint32
+	// QGrams is the shard's dictionary-encoded inverted index.
+	QGrams hashidx.QGramExport
+}
+
+// ExportSnapshot returns a consistent view of the whole index: taken
+// under the writer lock, so no upsert can publish between two shard
+// loads and every shard's snapshot agrees with the global store.
+// Probes are not disturbed. The returned view aliases the index's
+// immutable snapshots and is valid forever (RCU snapshots are never
+// mutated, only superseded).
+func (s *ShardedRefIndex) ExportSnapshot() (*SnapshotView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.store.Load()
+	if st.n > math.MaxUint32 {
+		return nil, fmt.Errorf("join: snapshot of %d tuples exceeds the format's uint32 ref space", st.n)
+	}
+	v := &SnapshotView{
+		Cfg:    s.cfg,
+		NShard: s.nshard,
+		Tuples: make([]relation.Tuple, st.n),
+		Shards: make([]ShardExport, s.nshard),
+	}
+	for i := 0; i < st.n; i++ {
+		v.Tuples[i] = st.tuple(i)
+	}
+	for i := range s.shards {
+		sn := s.shards[i].Load()
+		globals := make([]uint32, len(sn.globals))
+		for j, g := range sn.globals {
+			globals[j] = uint32(g)
+		}
+		v.Shards[i] = ShardExport{Globals: globals, QGrams: sn.qgIdx.Export()}
+	}
+	return v, nil
+}
+
+// NewShardedRefIndexFromSnapshot reconstructs a resident index from a
+// snapshot view, adopting the view's slices (the caller hands over
+// ownership; a view exported from a live index must not be imported
+// into a second one that will be upserted).
+//
+// The reconstruction is the cheap inverse of indexing: the q-gram
+// structures are adopted as-is via hashidx.ImportQGramIndex, shard
+// tuple stores are resolved by indexing the global store with each
+// shard's Globals, and the exact hash tables and key maps are rebuilt
+// with one map insertion per key — no gram is re-hashed, no key is
+// re-decomposed. Every cross-structure invariant is validated first
+// (refs in range, Globals strictly ascending, one store record per
+// key), so a corrupted snapshot yields a descriptive error, never an
+// index that can misbehave later.
+func NewShardedRefIndexFromSnapshot(v *SnapshotView) (*ShardedRefIndex, error) {
+	s, err := NewShardedRefIndex(v.Cfg, v.NShard)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.Shards) != v.NShard {
+		return nil, fmt.Errorf("join: snapshot carries %d shard exports for %d shards", len(v.Shards), v.NShard)
+	}
+	n := len(v.Tuples)
+	for ref, t := range v.Tuples {
+		if prev, dup := s.newest[t.Key]; dup {
+			return nil, fmt.Errorf("join: snapshot store has key %q at both ref %d and %d (the store is keyed)", t.Key, prev, ref)
+		}
+		s.newest[t.Key] = ref
+	}
+	// Rebuild the chunked global store. Three-index subslicing caps each
+	// chunk at its own length: a future upsert's append can never write
+	// into the next chunk's backing (and the copy-on-write append path
+	// clones any published chunk before touching it anyway).
+	st := &globalStore{n: n}
+	for lo := 0; lo < n; lo += storeChunkSize {
+		hi := lo + storeChunkSize
+		if hi > n {
+			hi = n
+		}
+		st.chunks = append(st.chunks, v.Tuples[lo:hi:hi])
+	}
+	for i, se := range v.Shards {
+		qg, err := hashidx.ImportQGramIndex(s.ex, se.QGrams)
+		if err != nil {
+			return nil, fmt.Errorf("join: snapshot shard %d: %w", i, err)
+		}
+		if qg.Indexed() != len(se.Globals) {
+			return nil, fmt.Errorf("join: snapshot shard %d: q-gram index absorbed %d refs, shard lists %d", i, qg.Indexed(), len(se.Globals))
+		}
+		sn := &shardSnap{
+			tuples:  make([]relation.Tuple, len(se.Globals)),
+			keys:    make([]string, len(se.Globals)),
+			globals: make([]int, len(se.Globals)),
+			exIdx:   hashidx.NewExactIndex(),
+			qgIdx:   qg,
+			local:   make(map[string]int, len(se.Globals)),
+		}
+		prev := -1
+		for lref, g := range se.Globals {
+			if int(g) >= n || int(g) <= prev {
+				return nil, fmt.Errorf("join: snapshot shard %d: global ref %d at local %d not strictly ascending within store of %d", i, g, lref, n)
+			}
+			prev = int(g)
+			t := v.Tuples[g]
+			sn.tuples[lref] = t
+			sn.keys[lref] = t.Key
+			sn.globals[lref] = int(g)
+			sn.local[t.Key] = lref
+		}
+		sn.exIdx.CatchUp(sn.keys)
+		s.shards[i].Store(sn)
+	}
+	s.store.Store(st)
+	return s, nil
+}

@@ -1,0 +1,197 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adaptivelink/internal/relation"
+)
+
+// bulkTuples builds a batch with realistic keys, duplicate keys (the
+// last payload must win) and an empty-key edge case.
+func bulkTuples(rng *rand.Rand, n int) []relation.Tuple {
+	stored, variants, _ := diffKeyPool(rng, n)
+	var tuples []relation.Tuple
+	for i, k := range append(stored, variants...) {
+		tuples = append(tuples, relation.Tuple{ID: i, Key: k, Attrs: []string{fmt.Sprintf("payload-%d", i)}})
+	}
+	// Duplicate keys with fresh payloads: last wins.
+	for i := 0; i < n/3; i++ {
+		src := tuples[rng.Intn(len(tuples))]
+		tuples = append(tuples, relation.Tuple{ID: 10000 + i, Key: src.Key, Attrs: []string{fmt.Sprintf("replaced-%d", i)}})
+	}
+	tuples = append(tuples, relation.Tuple{ID: 99999, Key: "", Attrs: []string{"empty-key"}})
+	return tuples
+}
+
+// TestBulkBuildMatchesUpsert pins the bulk builder to the upsert path:
+// for several shard counts, BuildShardedRefIndex must produce an index
+// indistinguishable — probe results in both modes, single and batch,
+// plus the tuple store, Len and Entries — from NewShardedRefIndex
+// followed by one Upsert of the whole batch.
+func TestBulkBuildMatchesUpsert(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			tuples := bulkTuples(rng, 80)
+			ref, err := NewShardedRefIndex(Defaults(), shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Upsert(tuples)
+			bulk, err := BuildShardedRefIndex(Defaults(), shards, tuples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResidentEqual(t, ref, bulk)
+			// The bulk-built index must stay a writable index: further
+			// upserts and probes behave exactly like the reference's.
+			for _, op := range randomOpStream(23, 150) {
+				want := applyOp(ref, op)
+				got := applyOp(bulk, op)
+				if got != want {
+					t.Fatalf("post-bulk op %s diverged\n got  %s\n want %s", op.kind, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTrip pins export → import to full behavioural
+// equality: the imported index answers every probe identically, agrees
+// on the store, and keeps working as a writable index afterwards.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			orig, err := BuildShardedRefIndex(Defaults(), shards, bulkTuples(rng, 60))
+			if err != nil {
+				t.Fatal(err)
+			}
+			view, err := orig.ExportSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := NewShardedRefIndexFromSnapshot(view)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResidentEqual(t, orig, loaded)
+			for _, op := range randomOpStream(31, 200) {
+				want := applyOp(orig, op)
+				got := applyOp(loaded, op)
+				if got != want {
+					t.Fatalf("post-import op %s diverged\n got  %s\n want %s", op.kind, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotImportValidation pins the corruption guards: structurally
+// inconsistent views are rejected with errors, never imported.
+func TestSnapshotImportValidation(t *testing.T) {
+	build := func() *SnapshotView {
+		rng := rand.New(rand.NewSource(9))
+		ix, err := BuildShardedRefIndex(Defaults(), 2, bulkTuples(rng, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := ix.ExportSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	cases := []struct {
+		name    string
+		corrupt func(v *SnapshotView)
+	}{
+		{"shard count mismatch", func(v *SnapshotView) { v.Shards = v.Shards[:1] }},
+		{"bad config", func(v *SnapshotView) { v.Cfg.Q = 0 }},
+		{"duplicate store key", func(v *SnapshotView) { v.Tuples[1].Key = v.Tuples[0].Key }},
+		{"global ref out of range", func(v *SnapshotView) { v.Shards[0].Globals[0] = uint32(len(v.Tuples)) }},
+		{"globals not ascending", func(v *SnapshotView) {
+			g := v.Shards[0].Globals
+			g[0], g[len(g)-1] = g[len(g)-1], g[0]
+		}},
+		{"posting ref out of range", func(v *SnapshotView) {
+			for si := range v.Shards {
+				for pi, refs := range v.Shards[si].QGrams.Postings {
+					if len(refs) > 0 {
+						refs = append([]int32(nil), refs...)
+						refs[0] = int32(len(v.Shards[si].Globals))
+						v.Shards[si].QGrams.Postings[pi] = refs
+						return
+					}
+				}
+			}
+		}},
+		{"duplicate dictionary gram", func(v *SnapshotView) {
+			g := v.Shards[0].QGrams.Grams
+			if len(g) >= 2 {
+				g[1] = g[0]
+			}
+		}},
+		{"signature count mismatch", func(v *SnapshotView) {
+			v.Shards[0].QGrams.Sigs = v.Shards[0].QGrams.Sigs[:len(v.Shards[0].QGrams.Sigs)-1]
+		}},
+		{"signature gram id out of range", func(v *SnapshotView) {
+			for si := range v.Shards {
+				for ri, sig := range v.Shards[si].QGrams.Sigs {
+					if len(sig) > 0 {
+						sig = append([]uint32(nil), sig...)
+						sig[0] = uint32(len(v.Shards[si].QGrams.Grams))
+						v.Shards[si].QGrams.Sigs[ri] = sig
+						return
+					}
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := build()
+			c.corrupt(v)
+			if _, err := NewShardedRefIndexFromSnapshot(v); err == nil {
+				t.Fatal("corrupted snapshot imported without error")
+			}
+		})
+	}
+	// The pristine view must still import (the corruptions above are
+	// what flipped each case to failure).
+	if _, err := NewShardedRefIndexFromSnapshot(build()); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}
+
+// assertResidentEqual asserts two resident indexes are observationally
+// identical: store, entry counts, and probe results over the shared
+// differential op stream's key pool in both modes.
+func assertResidentEqual(t *testing.T, want, got Resident) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len %d, want %d", got.Len(), want.Len())
+	}
+	wEx, wQG := want.Entries()
+	gEx, gQG := got.Entries()
+	if wEx != gEx || wQG != gQG {
+		t.Fatalf("Entries %d/%d, want %d/%d", gEx, gQG, wEx, wQG)
+	}
+	for i := 0; i < want.Len(); i++ {
+		a, errA := want.Tuple(i)
+		b, errB := got.Tuple(i)
+		if errA != nil || errB != nil || !reflect.DeepEqual(a, b) {
+			t.Fatalf("Tuple(%d): %+v (%v), want %+v (%v)", i, b, errB, a, errA)
+		}
+		for _, mode := range []Mode{Exact, Approx} {
+			w := renderMatches(want.Probe(mode, a.Key))
+			g := renderMatches(got.Probe(mode, a.Key))
+			if w != g {
+				t.Fatalf("Probe(%v, %q): %s, want %s", mode, a.Key, g, w)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package qgram
 
 import (
+	"fmt"
 	"maps"
 	"slices"
 	"unicode/utf8"
@@ -264,6 +265,33 @@ func (d *Dict) Clone() *Dict {
 func (d *Dict) IDOf(gram string) (uint32, bool) {
 	id, ok := d.ids[gram]
 	return id, ok
+}
+
+// Grams returns the interned grams in id order (Grams()[id] is the gram
+// assigned id): the stable serialization of the dictionary. The slice
+// is freshly allocated and owned by the caller.
+func (d *Dict) Grams() []string {
+	out := make([]string, len(d.ids))
+	for g, id := range d.ids {
+		out[id] = g
+	}
+	return out
+}
+
+// DictFromGrams reconstructs a dictionary from a Grams() enumeration,
+// assigning each gram its position as id — the deserialization inverse
+// of Grams. Duplicate grams would silently renumber ids, so they are
+// rejected with a descriptive error (a snapshot decoder's corruption
+// guard).
+func DictFromGrams(grams []string) (*Dict, error) {
+	d := &Dict{ids: make(map[string]uint32, len(grams))}
+	for i, g := range grams {
+		if _, dup := d.ids[g]; dup {
+			return nil, fmt.Errorf("qgram: duplicate gram %q at id %d in dictionary enumeration", g, i)
+		}
+		d.ids[g] = uint32(i)
+	}
+	return d, nil
 }
 
 // AppendIDs maps k's grams to ids, appending one id per gram to dst in

@@ -11,9 +11,22 @@ import (
 	"adaptivelink"
 )
 
-// Wire DTOs. The JSON API is deliberately small: tuples are key +
-// optional payload attributes, and a link request probes one index with
-// one or many keys as a single session.
+// Wire DTOs — the documented v1 contract. The JSON API is deliberately
+// small: tuples are key + optional payload attributes, and a link
+// request probes one index with one or many keys as a single session.
+//
+// Contract rules for /v1/:
+//
+//   - Every non-2xx response carries the unified error envelope
+//     {"error":{"code":"...","message":"..."}} (ErrorDTO). Codes are a
+//     closed set: invalid, not_found, exists, draining, deadline,
+//     internal. Clients branch on code; message is for humans.
+//   - Fields are only ever added, never renamed or removed, within v1;
+//     incompatible changes get a new path prefix.
+//   - Index info (GET /v1/indexes, GET /v1/indexes/{name}) and
+//     /v1/stats report persistence state per index: "durable",
+//     "wal_records" (upsert batches logged past the snapshot) and
+//     "last_snapshot" (omitted until the first checkpoint).
 
 // TupleDTO is a reference tuple on the wire.
 type TupleDTO struct {
@@ -79,24 +92,43 @@ type LinkResponseDTO struct {
 	Session adaptivelink.SessionStats `json:"session"`
 }
 
-type errorDTO struct {
-	Error string `json:"error"`
+// ErrorDTO is the unified v1 error envelope.
+type ErrorDTO struct {
+	Error ErrorBody `json:"error"`
 }
+
+// ErrorBody is the envelope's payload: a machine-branchable code from a
+// closed set plus a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes of the v1 envelope.
+const (
+	CodeInvalid  = "invalid"
+	CodeNotFound = "not_found"
+	CodeExists   = "exists"
+	CodeDraining = "draining"
+	CodeDeadline = "deadline"
+	CodeInternal = "internal"
+)
 
 // maxBodyBytes bounds request bodies (tuple uploads included).
 const maxBodyBytes = 64 << 20
 
 // NewHandler exposes the service over HTTP/JSON (stdlib routing only):
 //
-//	POST   /v1/indexes                create an index from tuples
-//	GET    /v1/indexes                list indexes
-//	GET    /v1/indexes/{name}         one index's info
-//	POST   /v1/indexes/{name}/upsert  incremental reference maintenance
-//	DELETE /v1/indexes/{name}         drop an index
-//	POST   /v1/link                   probe one index (single key or batch)
-//	GET    /v1/stats                  service counters as JSON
-//	GET    /metrics                   Prometheus text exposition
-//	GET    /healthz                   liveness (503 while draining)
+//	POST   /v1/indexes                  create an index from tuples
+//	GET    /v1/indexes                  list indexes
+//	GET    /v1/indexes/{name}           one index's info (incl. persistence state)
+//	POST   /v1/indexes/{name}/upsert    incremental reference maintenance
+//	POST   /v1/indexes/{name}/snapshot  checkpoint a durable index in place
+//	DELETE /v1/indexes/{name}           drop an index (and its stored data)
+//	POST   /v1/link                     probe one index (single key or batch)
+//	GET    /v1/stats                    service counters as JSON
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /healthz                     liveness (503 while draining)
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/indexes", func(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +174,14 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/indexes/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.SnapshotIndex(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("POST /v1/link", func(w http.ResponseWriter, r *http.Request) {
 		var req LinkRequestDTO
@@ -228,7 +268,10 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorDTO{Error: fmt.Sprintf("invalid request body: %v", err)})
+		writeJSON(w, http.StatusBadRequest, ErrorDTO{Error: ErrorBody{
+			Code:    CodeInvalid,
+			Message: fmt.Sprintf("invalid request body: %v", err),
+		}})
 		return false
 	}
 	return true
@@ -241,18 +284,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, CodeInternal
 	switch {
 	case errors.Is(err, ErrInvalid):
-		code = http.StatusBadRequest
+		status, code = http.StatusBadRequest, CodeInvalid
 	case errors.Is(err, ErrNotFound):
-		code = http.StatusNotFound
+		status, code = http.StatusNotFound, CodeNotFound
 	case errors.Is(err, ErrExists):
-		code = http.StatusConflict
+		status, code = http.StatusConflict, CodeExists
 	case errors.Is(err, ErrDraining):
-		code = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, CodeDraining
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		code = http.StatusGatewayTimeout
+		status, code = http.StatusGatewayTimeout, CodeDeadline
 	}
-	writeJSON(w, code, errorDTO{Error: err.Error()})
+	writeJSON(w, status, ErrorDTO{Error: ErrorBody{Code: code, Message: err.Error()}})
 }

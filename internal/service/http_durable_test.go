@@ -1,0 +1,266 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adaptivelink"
+)
+
+func newDurableServer(t *testing.T, dataDir string) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 2, QueueDepth: 64, DataDir: dataDir})
+	if _, err := s.LoadStored(); err != nil {
+		t.Fatalf("LoadStored: %v", err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestHTTPErrorEnvelope pins the unified v1 error contract: every error
+// path answers with {"error":{"code":...,"message":...}}, the code
+// drawn from the closed set and matched to the HTTP status.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	s, ts := newTestServer(t)
+	createAtlas(t, ts.URL)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		status int
+		code   string
+	}{
+		{"malformed body", "POST", "/v1/indexes", "not json", http.StatusBadRequest, CodeInvalid},
+		{"bad index name", "POST", "/v1/indexes", CreateIndexRequest{Name: "no/slashes"}, http.StatusBadRequest, CodeInvalid},
+		{"duplicate index", "POST", "/v1/indexes", CreateIndexRequest{Name: "atlas"}, http.StatusConflict, CodeExists},
+		{"get missing index", "GET", "/v1/indexes/ghost", nil, http.StatusNotFound, CodeNotFound},
+		{"upsert missing index", "POST", "/v1/indexes/ghost/upsert", UpsertRequest{}, http.StatusNotFound, CodeNotFound},
+		{"delete missing index", "DELETE", "/v1/indexes/ghost", nil, http.StatusNotFound, CodeNotFound},
+		{"snapshot missing index", "POST", "/v1/indexes/ghost/snapshot", nil, http.StatusNotFound, CodeNotFound},
+		{"snapshot in-memory index", "POST", "/v1/indexes/atlas/snapshot", nil, http.StatusBadRequest, CodeInvalid},
+		{"link no keys", "POST", "/v1/link", LinkRequestDTO{Index: "atlas"}, http.StatusBadRequest, CodeInvalid},
+		{"link key and keys", "POST", "/v1/link", LinkRequestDTO{Index: "atlas", Key: "a", Keys: []string{"b"}}, http.StatusBadRequest, CodeInvalid},
+		{"link bad strategy", "POST", "/v1/link", LinkRequestDTO{Index: "atlas", Key: "a", Strategy: "psychic"}, http.StatusBadRequest, CodeInvalid},
+		{"link missing index", "POST", "/v1/link", LinkRequestDTO{Index: "ghost", Key: "a"}, http.StatusNotFound, CodeNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, body := doJSON(t, c.method, ts.URL+c.path, c.body)
+			if status != c.status {
+				t.Fatalf("status = %d, want %d (%s)", status, c.status, body)
+			}
+			var dto ErrorDTO
+			if err := json.Unmarshal(body, &dto); err != nil {
+				t.Fatalf("response is not the error envelope: %v (%s)", err, body)
+			}
+			if dto.Error.Code != c.code {
+				t.Fatalf("code = %q, want %q (%s)", dto.Error.Code, c.code, body)
+			}
+			if dto.Error.Message == "" {
+				t.Fatalf("empty message (%s)", body)
+			}
+		})
+	}
+	// Draining: admitted after drain begins → 503 + draining code.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/v1/link", LinkRequestDTO{Index: "atlas", Key: "a"})
+	var dto ErrorDTO
+	if status != http.StatusServiceUnavailable || json.Unmarshal(body, &dto) != nil || dto.Error.Code != CodeDraining {
+		t.Fatalf("draining link = %d %s, want 503 + code draining", status, body)
+	}
+}
+
+// TestHTTPDurableLifecycle drives the wire-level persistence loop:
+// create (bulk-loads a snapshot), upsert (logs), snapshot endpoint
+// (checkpoint), restart (new Service over the same data dir), identical
+// answers plus honest persistence fields throughout.
+func TestHTTPDurableLifecycle(t *testing.T) {
+	dataDir := t.TempDir()
+	s, ts := newDurableServer(t, dataDir)
+	createAtlas(t, ts.URL)
+
+	getInfo := func(base string) IndexInfo {
+		t.Helper()
+		code, body := doJSON(t, "GET", base+"/v1/indexes/atlas", nil)
+		if code != http.StatusOK {
+			t.Fatalf("get: %d %s", code, body)
+		}
+		var info IndexInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		return info
+	}
+	info := getInfo(ts.URL)
+	if !info.Durable || info.WALRecords != 0 || info.LastSnapshot == nil {
+		t.Fatalf("created durable info = %+v, want durable, empty log, snapshot set (bulk load writes one)", info)
+	}
+
+	code, body := doJSON(t, "POST", ts.URL+"/v1/indexes/atlas/upsert", UpsertRequest{
+		Tuples: []TupleDTO{{ID: 7, Key: "lago di garda sud", Attrs: []string{"fresh"}}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("upsert: %d %s", code, body)
+	}
+	if info = getInfo(ts.URL); info.WALRecords != 1 {
+		t.Fatalf("wal_records after upsert = %d, want 1", info.WALRecords)
+	}
+
+	// The checkpoint subsumes the log.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/indexes/atlas/snapshot", nil)
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", code, body)
+	}
+	if info = getInfo(ts.URL); info.WALRecords != 0 || info.LastSnapshot == nil {
+		t.Fatalf("post-snapshot info = %+v", info)
+	}
+	// One more logged batch so the restart exercises snapshot + replay.
+	doJSON(t, "POST", ts.URL+"/v1/indexes/atlas/upsert", UpsertRequest{
+		Tuples: []TupleDTO{{ID: 8, Key: "passo dello stelvio", Attrs: []string{"high"}}},
+	})
+
+	link := func(base, key string) string {
+		t.Helper()
+		code, body := doJSON(t, "POST", base+"/v1/link", LinkRequestDTO{Index: "atlas", Key: key})
+		if code != http.StatusOK {
+			t.Fatalf("link %q: %d %s", key, code, body)
+		}
+		return string(body)
+	}
+	keys := []string{"via monte bianco nord 12", "via monte bianco nord 1", "lago di garda sud", "passo dello stelvio", "nothing here"}
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = link(ts.URL, k)
+	}
+
+	// "Restart": a brand-new service over the same data dir.
+	s.Drain(context.Background())
+	s.Close()
+	ts.Close()
+	s2, ts2 := newDurableServer(t, dataDir)
+	defer func() { s2.Drain(context.Background()); s2.Close() }()
+
+	info = getInfo(ts2.URL)
+	if !info.Durable || info.WALRecords != 1 || info.Size != 5 {
+		t.Fatalf("reloaded info = %+v, want durable, 1 replayed batch, 5 tuples", info)
+	}
+	for i, k := range keys {
+		if after := link(ts2.URL, k); after != before[i] {
+			t.Fatalf("link %q diverged after restart\n before %s\n after  %s", k, before[i], after)
+		}
+	}
+
+	// Stats carry the persistence fields too.
+	code, body = doJSON(t, "GET", ts2.URL+"/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Indexes) != 1 || !snap.Indexes[0].Durable || snap.Indexes[0].WALRecords != 1 {
+		t.Fatalf("stats persistence fields = %+v", snap.Indexes)
+	}
+
+	// DELETE removes the stored data: a third boot starts empty.
+	code, _ = doJSON(t, "DELETE", ts2.URL+"/v1/indexes/atlas", nil)
+	if code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	s3 := New(Config{Workers: 2, DataDir: dataDir})
+	defer s3.Close()
+	names, err := s3.LoadStored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("deleted index resurrected: %v", names)
+	}
+}
+
+// TestServiceCreateIndexDurableConflicts: an orphaned index directory
+// (on disk but not registered) blocks creation under the same name.
+func TestServiceCreateIndexDurableConflicts(t *testing.T) {
+	dataDir := t.TempDir()
+	s := New(Config{Workers: 2, DataDir: dataDir})
+	defer s.Close()
+	mk := func(name string) error {
+		_, err := s.CreateIndex(name, adaptivelink.IndexOptions{}, []adaptivelink.Tuple{{ID: 1, Key: "a key"}})
+		return err
+	}
+	if err := mk("orphan"); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the registration but keep the files.
+	s.mu.Lock()
+	mi := s.indexes["orphan"]
+	delete(s.indexes, "orphan")
+	s.mu.Unlock()
+	mi.ix.Close()
+	err := mk("orphan")
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("create over an orphaned directory: %v, want ErrExists", err)
+	}
+	if !strings.Contains(err.Error(), "disk") {
+		t.Fatalf("error should tell the operator the directory survives on disk: %v", err)
+	}
+}
+
+// TestLoadStoredSelectivity: boot recovery loads exactly the stored
+// indexes — plain files, foreign subdirectories and empty directories
+// are skipped, and a corrupt index directory fails the boot loudly
+// instead of serving a partial catalogue silently.
+func TestLoadStoredSelectivity(t *testing.T) {
+	dataDir := t.TempDir()
+	s := New(Config{Workers: 1, DataDir: dataDir})
+	if _, err := s.CreateIndex("keep", adaptivelink.IndexOptions{}, []adaptivelink.Tuple{{ID: 1, Key: "a key"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if err := os.WriteFile(filepath.Join(dataDir, "junk.txt"), []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dataDir, "empty-but-named-ok"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dataDir, "bad name!"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Config{Workers: 1, DataDir: dataDir})
+	defer s2.Close()
+	names, err := s2.LoadStored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "keep" {
+		t.Fatalf("LoadStored = %v, want [keep]", names)
+	}
+
+	// A corrupt artifact stops recovery with a descriptive error.
+	broken := filepath.Join(dataDir, "broken")
+	if err := os.MkdirAll(broken, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(broken, "index.snap"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := New(Config{Workers: 1, DataDir: dataDir})
+	defer s3.Close()
+	if _, err := s3.LoadStored(); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("LoadStored over corrupt dir = %v, want error naming it", err)
+	}
+}

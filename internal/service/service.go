@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -46,6 +48,15 @@ type Config struct {
 	MaxDeadline time.Duration
 	// MaxBatch caps the keys of one link request (default 4096).
 	MaxBatch int
+	// DataDir, when set, makes every index durable: index NAME lives in
+	// DataDir/NAME as a binary snapshot plus an upsert write-ahead log,
+	// creates bulk-load straight into a snapshot, upserts are logged
+	// before they are acknowledged, and LoadStored reopens everything on
+	// boot. Empty keeps the service purely in-memory.
+	DataDir string
+	// WALSync is the write-ahead-log fsync policy for durable indexes
+	// (default adaptivelink.SyncAlways).
+	WALSync adaptivelink.SyncPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +95,11 @@ type Service struct {
 
 	admit    sync.RWMutex // serialises admission against Drain
 	draining bool
+
+	// createMu serialises index creation and deletion end to end, so a
+	// lost create race can never remove or overwrite the directory of
+	// the index that won it. Lookups and probes never take it.
+	createMu sync.Mutex
 
 	mu      sync.RWMutex
 	indexes map[string]*managedIndex
@@ -199,24 +215,35 @@ func (s *Service) newManaged(name string, ix *adaptivelink.Index) *managedIndex 
 
 // CreateIndex registers a new resident index built from tuples and
 // returns its info as stored (the same CreatedAt later reads report).
+// With a data dir configured the index is durable from birth: the
+// initial tuples bulk-load straight into a snapshot in DataDir/name
+// (never through the log), and every later upsert is logged.
 func (s *Service) CreateIndex(name string, opts adaptivelink.IndexOptions, tuples []adaptivelink.Tuple) (IndexInfo, error) {
 	if !nameRe.MatchString(name) {
 		return IndexInfo{}, fmt.Errorf("%w: index name %q (want %s)", ErrInvalid, name, nameRe)
 	}
-	// Cheap existence pre-check before paying for the build; a racing
-	// create of the same name is re-checked under the write lock below.
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
 	if _, err := s.lookup(name); err == nil {
 		return IndexInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	ix, err := adaptivelink.NewIndex(adaptivelink.FromTuples(tuples), opts)
+	var ix *adaptivelink.Index
+	var err error
+	if s.cfg.DataDir != "" {
+		opts.Storage.Dir = filepath.Join(s.cfg.DataDir, name)
+		opts.Storage.WALSync = s.cfg.WALSync
+		if _, serr := os.Stat(opts.Storage.Dir); serr == nil {
+			return IndexInfo{}, fmt.Errorf("%w: %q (its directory survives on disk; restart to reload it or remove it)", ErrExists, name)
+		}
+		ix, err = adaptivelink.BulkLoad(adaptivelink.FromTuples(tuples), opts)
+	} else {
+		ix, err = adaptivelink.NewIndex(adaptivelink.FromTuples(tuples), opts)
+	}
 	if err != nil {
 		return IndexInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.indexes[name]; ok {
-		return IndexInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
-	}
 	mi := s.newManaged(name, ix)
 	s.indexes[name] = mi
 	mi.size.Set(float64(ix.Len()))
@@ -226,22 +253,109 @@ func (s *Service) CreateIndex(name string, opts adaptivelink.IndexOptions, tuple
 	return mi.info(), nil
 }
 
+// LoadStored reopens every index directory under the configured data
+// dir — snapshot load plus write-ahead-log replay per index — and
+// registers the recovered indexes. Call once on boot, before serving.
+// Returns the recovered names, sorted.
+func (s *Service) LoadStored() ([]string, error) {
+	if s.cfg.DataDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !nameRe.MatchString(name) {
+			continue
+		}
+		dir := filepath.Join(s.cfg.DataDir, name)
+		stored, err := adaptivelink.IsIndexDir(dir)
+		if err != nil {
+			return names, fmt.Errorf("loading %s: %w", dir, err)
+		}
+		if !stored {
+			continue // not ours: no snapshot, no log
+		}
+		ix, err := adaptivelink.Open(dir, adaptivelink.IndexOptions{
+			Storage: adaptivelink.StorageOptions{WALSync: s.cfg.WALSync},
+		})
+		if err != nil {
+			return names, fmt.Errorf("loading %s: %w", dir, err)
+		}
+		s.mu.Lock()
+		mi := s.newManaged(name, ix)
+		s.indexes[name] = mi
+		mi.size.Set(float64(ix.Len()))
+		mi.shards.Set(float64(ix.Options().Shards))
+		s.indexGauge.Set(float64(len(s.indexes)))
+		s.mu.Unlock()
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SnapshotIndex checkpoints a durable index in place: its current state
+// replaces the snapshot atomically and the now-redundant log is reset,
+// making the next boot a pure snapshot load. Invalid for in-memory
+// indexes.
+func (s *Service) SnapshotIndex(name string) (IndexInfo, error) {
+	mi, err := s.lookup(name)
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	if !mi.ix.Durable() {
+		return IndexInfo{}, fmt.Errorf("%w: index %q is in-memory (start the server with a data dir for durable indexes)", ErrInvalid, name)
+	}
+	if err := mi.ix.Save(""); err != nil {
+		return IndexInfo{}, err
+	}
+	return mi.info(), nil
+}
+
 func (mi *managedIndex) info() IndexInfo {
-	return IndexInfo{Name: mi.name, Size: mi.ix.Len(), Shards: mi.ix.Options().Shards, CreatedAt: mi.created}
+	info := IndexInfo{
+		Name: mi.name, Size: mi.ix.Len(), Shards: mi.ix.Options().Shards, CreatedAt: mi.created,
+		Durable: mi.ix.Durable(), WALRecords: mi.ix.WALRecords(),
+	}
+	if t := mi.ix.LastSnapshot(); !t.IsZero() {
+		info.LastSnapshot = &t
+	}
+	return info
 }
 
 // DeleteIndex removes an index and its exported metric series (a
 // recreated index starts its counters from zero); in-flight sessions
-// on it complete against the released object.
+// on it complete against the released object. A durable index's
+// directory is deleted with it — DELETE means the data, not just the
+// registration.
 func (s *Service) DeleteIndex(name string) error {
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.indexes[name]; !ok {
+	mi, ok := s.indexes[name]
+	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(s.indexes, name)
 	s.reg.DeleteSeries(fmt.Sprintf("index=%q", name))
 	s.indexGauge.Set(float64(len(s.indexes)))
+	s.mu.Unlock()
+	if mi.ix.Durable() {
+		if err := mi.ix.Close(); err != nil {
+			return err
+		}
+		return os.RemoveAll(filepath.Join(s.cfg.DataDir, name))
+	}
 	return nil
 }
 
@@ -252,7 +366,10 @@ func (s *Service) Upsert(name string, tuples []adaptivelink.Tuple) (inserted, up
 	if err != nil {
 		return 0, 0, err
 	}
-	inserted, updated = mi.ix.Upsert(tuples...)
+	inserted, updated, err = mi.ix.Upsert(tuples...)
+	if err != nil {
+		return 0, 0, err
+	}
 	mi.inserted.Add(float64(inserted))
 	mi.updated.Add(float64(updated))
 	mi.size.Set(float64(mi.ix.Len()))
@@ -269,12 +386,19 @@ func (s *Service) lookup(name string) (*managedIndex, error) {
 	return mi, nil
 }
 
-// IndexInfo describes one registered index.
+// IndexInfo describes one registered index. Durable, WALRecords and
+// LastSnapshot surface the persistence state: whether the index is
+// backed by storage, how many upsert batches the write-ahead log holds
+// beyond the snapshot, and when that snapshot was written (absent until
+// the first checkpoint).
 type IndexInfo struct {
-	Name      string    `json:"name"`
-	Size      int       `json:"size"`
-	Shards    int       `json:"shards"`
-	CreatedAt time.Time `json:"created_at"`
+	Name         string     `json:"name"`
+	Size         int        `json:"size"`
+	Shards       int        `json:"shards"`
+	CreatedAt    time.Time  `json:"created_at"`
+	Durable      bool       `json:"durable"`
+	WALRecords   int64      `json:"wal_records"`
+	LastSnapshot *time.Time `json:"last_snapshot,omitempty"`
 }
 
 // ListIndexes returns the registered indexes sorted by name.
@@ -472,8 +596,18 @@ func (s *Service) Drain(ctx context.Context) error {
 	return s.pool.drainWait(ctx)
 }
 
-// Close stops the worker pool. Call after Drain.
-func (s *Service) Close() { s.pool.close() }
+// Close stops the worker pool and closes every durable index (flushing
+// their logs; with SnapshotOnClose semantics left to explicit snapshot
+// requests, restart cost is bounded by the log replay). Call after
+// Drain.
+func (s *Service) Close() {
+	s.pool.close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, mi := range s.indexes {
+		mi.ix.Close()
+	}
+}
 
 // WriteMetrics renders the Prometheus exposition, refreshing the live
 // gauges first.
@@ -485,20 +619,23 @@ func (s *Service) WriteMetrics(w interface{ Write([]byte) (int, error) }) error 
 
 // IndexStats is the per-index slice of a Snapshot.
 type IndexStats struct {
-	Name          string    `json:"name"`
-	Size          int       `json:"size"`
-	Shards        int       `json:"shards"`
-	CreatedAt     time.Time `json:"created_at"`
-	Sessions      int64     `json:"sessions"`
-	Probes        int64     `json:"probes"`
-	Hits          int64     `json:"hits"`
-	ExactMatches  int64     `json:"exact_matches"`
-	ApproxMatches int64     `json:"approx_matches"`
-	Escalations   int64     `json:"escalations"`
-	Switches      int64     `json:"switches"`
-	Inserted      int64     `json:"inserted"`
-	Updated       int64     `json:"updated"`
-	ModelledCost  float64   `json:"modelled_cost"`
+	Name          string     `json:"name"`
+	Size          int        `json:"size"`
+	Shards        int        `json:"shards"`
+	CreatedAt     time.Time  `json:"created_at"`
+	Durable       bool       `json:"durable"`
+	WALRecords    int64      `json:"wal_records"`
+	LastSnapshot  *time.Time `json:"last_snapshot,omitempty"`
+	Sessions      int64      `json:"sessions"`
+	Probes        int64      `json:"probes"`
+	Hits          int64      `json:"hits"`
+	ExactMatches  int64      `json:"exact_matches"`
+	ApproxMatches int64      `json:"approx_matches"`
+	Escalations   int64      `json:"escalations"`
+	Switches      int64      `json:"switches"`
+	Inserted      int64      `json:"inserted"`
+	Updated       int64      `json:"updated"`
+	ModelledCost  float64    `json:"modelled_cost"`
 }
 
 // Snapshot is the /v1/stats payload.
@@ -526,11 +663,13 @@ func (s *Service) Snapshot() Snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, mi := range s.indexes {
-		snap.Indexes = append(snap.Indexes, IndexStats{
+		st := IndexStats{
 			Name:          mi.name,
 			Size:          mi.ix.Len(),
 			Shards:        mi.ix.Options().Shards,
 			CreatedAt:     mi.created,
+			Durable:       mi.ix.Durable(),
+			WALRecords:    mi.ix.WALRecords(),
 			Sessions:      int64(mi.sessions.Get()),
 			Probes:        int64(mi.probes.Get()),
 			Hits:          int64(mi.hits.Get()),
@@ -541,7 +680,11 @@ func (s *Service) Snapshot() Snapshot {
 			Inserted:      int64(mi.inserted.Get()),
 			Updated:       int64(mi.updated.Get()),
 			ModelledCost:  mi.modelledCost.Get(),
-		})
+		}
+		if t := mi.ix.LastSnapshot(); !t.IsZero() {
+			st.LastSnapshot = &t
+		}
+		snap.Indexes = append(snap.Indexes, st)
 	}
 	sort.Slice(snap.Indexes, func(i, j int) bool { return snap.Indexes[i].Name < snap.Indexes[j].Name })
 	return snap

@@ -1,0 +1,340 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+)
+
+// fixCRC recomputes the trailing CRC-32C of a mutated snapshot image.
+// DecodeSnapshot verifies the checksum before parsing a single section,
+// so structural-validation tests must re-seal their corruption or they
+// only ever exercise the checksum gate.
+func fixCRC(b []byte) []byte {
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.Checksum(b[:len(b)-4], castagnoli))
+	return b
+}
+
+// TestCreateDirLifecycle drives the bulk-load persistence primitive end
+// to end: Create writes the snapshot directly and opens a fresh log,
+// Append logs batches, Open replays them onto the identical index, and
+// Checkpoint subsumes the log.
+func TestCreateDirLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ix")
+	ix := buildIndex(t, 2, 40)
+	d, err := Create(dir, ix, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Path() != dir {
+		t.Fatalf("Path = %q, want %q", d.Path(), dir)
+	}
+	if d.WALRecords() != 0 || d.LastSnapshot().IsZero() {
+		t.Fatalf("fresh dir: %d records, last snapshot %v", d.WALRecords(), d.LastSnapshot())
+	}
+	batch := []relation.Tuple{{ID: 5000, Key: "appended after bulk", Attrs: []string{"new"}}}
+	if err := d.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	ix.Upsert(batch)
+	if d.WALRecords() != 1 {
+		t.Fatalf("WALRecords = %d, want 1", d.WALRecords())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Create refuses a directory that already holds an index.
+	if _, err := Create(dir, ix, SyncAlways); err == nil || !strings.Contains(err.Error(), "already holds") {
+		t.Fatalf("Create over occupied dir = %v, want refusal", err)
+	}
+
+	m, err := PeekMeta(dir)
+	if err != nil || m == nil {
+		t.Fatalf("PeekMeta = %v, %v", m, err)
+	}
+	d2, got, rec, err := Open(dir, *m, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rec.WALRecords != 1 || rec.TornTail {
+		t.Fatalf("recovery = %+v, want 1 clean replayed batch", rec)
+	}
+	assertSameIndex(t, ix, got)
+
+	// Checkpoint subsumes the log...
+	if err := d2.Checkpoint(got); err != nil {
+		t.Fatal(err)
+	}
+	if d2.WALRecords() != 0 || d2.LastSnapshot().IsZero() {
+		t.Fatalf("post-checkpoint: %d records", d2.WALRecords())
+	}
+	// ...and refuses an index bound to a different configuration.
+	cfg := join.Defaults()
+	cfg.Q++
+	other, err := join.BuildShardedRefIndex(cfg, 2, testTuples(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Checkpoint(other); err == nil || !strings.Contains(err.Error(), "configuration mismatch") {
+		t.Fatalf("Checkpoint with mismatched index = %v", err)
+	}
+}
+
+func TestCreateDirErrors(t *testing.T) {
+	ix := buildIndex(t, 1, 5)
+	root := t.TempDir()
+
+	// Parent path is a plain file: the directory cannot be created.
+	file := filepath.Join(root, "plainfile")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(filepath.Join(file, "sub"), ix, SyncAlways); err == nil {
+		t.Fatal("Create under a plain file succeeded")
+	}
+
+	// An unreadable artifact propagates PeekMeta's error rather than
+	// being silently overwritten.
+	bad := filepath.Join(root, "bad")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, SnapshotFile), []byte("shrt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(bad, ix, SyncAlways); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Create over corrupt snapshot = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	// Fresh directory with an unusable configuration: the index
+	// constructor's validation error surfaces.
+	if _, _, _, err := Open(filepath.Join(t.TempDir(), "fresh"), Meta{}, SyncAlways); err == nil {
+		t.Fatal("Open with a zero Meta succeeded")
+	}
+
+	dir := filepath.Join(t.TempDir(), "ix")
+	d, err := Create(dir, buildIndex(t, 2, 10), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := PeekMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stored configuration differs from the requested one.
+	bad := *m
+	bad.Q++
+	if _, _, _, err := Open(dir, bad, SyncAlways); err == nil || !strings.Contains(err.Error(), "configuration mismatch") {
+		t.Fatalf("Open with mismatched meta = %v", err)
+	}
+
+	// A damaged snapshot fails Open outright; no partial index.
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), []byte("garbage, not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(dir, *m, SyncAlways); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over damaged snapshot = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestPeekMetaWAL covers the snapshot-less half of PeekMeta: a WAL-only
+// directory (a crash before the first checkpoint) still reveals its
+// configuration, an empty log file counts as absent, and garbage is an
+// error.
+func TestPeekMetaWAL(t *testing.T) {
+	empty := t.TempDir()
+	if m, err := PeekMeta(empty); m != nil || err != nil {
+		t.Fatalf("PeekMeta(empty dir) = %v, %v", m, err)
+	}
+
+	ix := buildIndex(t, 2, 5)
+	v, err := ix.ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := MetaOf(v)
+	dir := t.TempDir()
+	w, replay, err := OpenWAL(filepath.Join(dir, WALFile), meta, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Records != 0 {
+		t.Fatalf("fresh WAL replay = %+v", replay)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := PeekMeta(dir)
+	if err != nil || m == nil || *m != meta {
+		t.Fatalf("PeekMeta(WAL-only dir) = %+v, %v, want %+v", m, err, meta)
+	}
+
+	zero := t.TempDir()
+	if err := os.WriteFile(filepath.Join(zero, WALFile), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := PeekMeta(zero); m != nil || err != nil {
+		t.Fatalf("PeekMeta(empty WAL file) = %v, %v, want absent", m, err)
+	}
+
+	junk := t.TempDir()
+	if err := os.WriteFile(filepath.Join(junk, WALFile), []byte("definitely not an upsert log header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekMeta(junk); err == nil {
+		t.Fatal("PeekMeta(garbage WAL) succeeded")
+	}
+}
+
+func TestPeekMetaSnapshot(t *testing.T) {
+	short := t.TempDir()
+	if err := os.WriteFile(filepath.Join(short, SnapshotFile), []byte("ALSNAP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekMeta(short); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("PeekMeta(header-short snapshot) = %v, want ErrCorrupt", err)
+	}
+
+	wrong := t.TempDir()
+	if err := os.WriteFile(filepath.Join(wrong, SnapshotFile), make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekMeta(wrong); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("PeekMeta(wrong magic) = %v, want ErrCorrupt", err)
+	}
+
+	// A version from the future is named in the error, not guessed at.
+	img := encodeSnapshot(t, buildIndex(t, 1, 3))
+	binary.LittleEndian.PutUint32(img[8:], SnapshotVersion+1)
+	future := t.TempDir()
+	if err := os.WriteFile(filepath.Join(future, SnapshotFile), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekMeta(future); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("PeekMeta(future version) = %v", err)
+	}
+}
+
+func TestSyncPolicyString(t *testing.T) {
+	for _, c := range []struct {
+		p    SyncPolicy
+		want string
+	}{{SyncAlways, "always"}, {SyncNone, "none"}, {SyncPolicy(9), "SyncPolicy(9)"}} {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.p), got, c.want)
+		}
+	}
+}
+
+// TestDecodeSnapshotStructuralCorruption re-seals mutated images with a
+// valid checksum, so each case exercises a structural validator rather
+// than the CRC gate (which snapshot_test pins separately).
+func TestDecodeSnapshotStructuralCorruption(t *testing.T) {
+	base := encodeSnapshot(t, buildIndex(t, 2, 12))
+	nTuples := int(binary.LittleEndian.Uint32(base[32:]))
+	if nTuples < 2 {
+		t.Fatalf("test image has %d tuples, need at least 2", nTuples)
+	}
+	keysOffsets := 40 + 8*nTuples + 4 // ids end + keys count word
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+		want   string
+	}{
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], SnapshotVersion+7)
+			return b
+		}, "format version"},
+		{"zero shards", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:], 0)
+			return b
+		}, "shard count"},
+		{"tuple count beyond input", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[32:], 1<<31)
+			return b
+		}, "count"},
+		{"tuple ids beyond input", func(b []byte) []byte {
+			// Small enough to pass the count-vs-remaining screen, too
+			// large for n fixed-width ids to fit.
+			binary.LittleEndian.PutUint32(b[32:], uint32((len(b)-4-40)/8+1))
+			return b
+		}, "exceeds remaining"},
+		{"keys offset table not ascending", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[keysOffsets+4:], 1<<31)
+			return b
+		}, "not ascending"},
+		{"keys offset table starts nonzero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[keysOffsets:], 1)
+			return b
+		}, "want 0"},
+		{"truncated mid-sections", func(b []byte) []byte {
+			return b[:60]
+		}, "exceeds remaining"},
+		{"trailing bytes after last shard", func(b []byte) []byte {
+			return append(b[:len(b)-4], 0xEE, 0xEE, 0, 0, 0, 0)
+		}, "trailing bytes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			img := fixCRC(c.mutate(append([]byte(nil), base...)))
+			_, err := DecodeSnapshot(img)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("DecodeSnapshot = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotFileErrors(t *testing.T) {
+	if _, err := ReadSnapshotFile(filepath.Join(t.TempDir(), "absent.snap")); err == nil {
+		t.Fatal("ReadSnapshotFile on a missing path succeeded")
+	}
+	v, err := buildIndex(t, 1, 3).ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.snap"), v); err == nil {
+		t.Fatal("WriteSnapshotFile into a missing directory succeeded")
+	}
+}
+
+// TestOpenWALMetaMismatch: a log written under one configuration
+// refuses to open under another, naming the mismatch.
+func TestOpenWALMetaMismatch(t *testing.T) {
+	v, err := buildIndex(t, 2, 5).ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := MetaOf(v)
+	path := filepath.Join(t.TempDir(), WALFile)
+	w, _, err := OpenWAL(path, meta, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]relation.Tuple{{ID: 1, Key: "logged row"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := meta
+	other.Theta += 0.1
+	if _, _, err := OpenWAL(path, other, SyncAlways); err == nil || !strings.Contains(err.Error(), "configuration mismatch") {
+		t.Fatalf("OpenWAL with mismatched meta = %v", err)
+	}
+}

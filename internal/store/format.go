@@ -1,0 +1,564 @@
+// Package store implements durability for the resident linkage
+// engine: a versioned, checksummed binary snapshot format for
+// ShardedRefIndex state, an upsert write-ahead log replayed on boot,
+// and the directory layout that ties the two together (see Dir).
+//
+// # Snapshot format (version 1)
+//
+// A snapshot serializes a join.SnapshotView — the global tuple store
+// plus, per shard, the shard's member refs and its dictionary-encoded
+// q-gram index — in the representation the engine probes directly:
+// dense gram ids, id-keyed postings, sorted signatures. Loading is one
+// read of the file followed by slice reconstruction over fixed-width
+// offset tables; no gram is re-hashed and no key is re-decomposed.
+//
+//	magic   "ALSNAP\x01\n"                     8 bytes
+//	header  version u32 = 1
+//	        q u32, measure u32, shards u32     the compatibility triple
+//	        theta f64 (IEEE bits)
+//	        tuples u32                         global store size n
+//	        reserved u32 = 0
+//	store   ids      n × i64
+//	        keys     string blob
+//	        attrs    ragged string blob        per-tuple attr lists
+//	shards  (repeated `shards` times)
+//	        globals  u32 count + count × u32   local ref → global ref
+//	        grams    string blob               dictionary in id order
+//	        postings ragged i32                gram id → ascending refs
+//	        sizes    u32 count + count × u32   |q(key)| per ref
+//	        sigs     ragged u32                sorted gram ids per ref
+//	        sigfloor u32
+//	footer  crc u32                            CRC-32C of all prior bytes
+//
+// A "string blob" is count u32, (count+1) × u32 ascending offsets, and
+// the concatenated bytes; decoding materialises one Go string for the
+// whole blob and slices substrings out of it, so a million keys cost
+// one allocation plus headers. "Ragged" arrays are the same offsets
+// trick over fixed-width elements. All integers are little-endian.
+//
+// Every length and offset is validated against the remaining input
+// before anything is allocated or sliced, and the trailing CRC covers
+// the whole file, so truncated or bit-flipped snapshots are rejected
+// with descriptive errors — the loader never panics on hostile bytes
+// (FuzzSnapshotDecode) and never yields a partial index.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"adaptivelink/internal/hashidx"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/simfn"
+)
+
+// SnapshotVersion is the current snapshot format version. Decoders
+// reject other versions with a descriptive error; the format owns its
+// compatibility story explicitly rather than by accident.
+const SnapshotVersion = 1
+
+var snapMagic = [8]byte{'A', 'L', 'S', 'N', 'A', 'P', 0x01, '\n'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt tags snapshot and WAL decoding failures: the bytes do not
+// form a well-formed artifact (truncation, bit flips, hostile input).
+// Wrapped errors carry the specific finding.
+var ErrCorrupt = fmt.Errorf("store: corrupt")
+
+// writer streams the encoding while folding every byte into the CRC.
+// Multi-word sections are staged in tmp and emitted as one Write + one
+// CRC fold: the encoding cost is per section, not per word.
+type writer struct {
+	w   io.Writer
+	crc hash.Hash32
+	n   int64
+	err error
+	buf [8]byte
+	tmp []byte
+}
+
+func newWriter(w io.Writer) *writer {
+	return &writer{w: w, crc: crc32.New(castagnoli)}
+}
+
+func (e *writer) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := e.w.Write(b); err != nil {
+		e.err = err
+		return
+	}
+	e.crc.Write(b)
+	e.n += int64(len(b))
+}
+
+func (e *writer) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+func (e *writer) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+func (e *writer) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *writer) i64(v int64)   { e.u64(uint64(v)) }
+
+// u32s writes a run of words as one block through tmp.
+func (e *writer) u32s(vs []uint32) {
+	need := 4 * len(vs)
+	if cap(e.tmp) < need {
+		e.tmp = make([]byte, need)
+	}
+	b := e.tmp[:need]
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(b[i*4:], v)
+	}
+	e.write(b)
+}
+
+// header returns the count-plus-offsets prefix shared by every ragged
+// section: len(lengths), then len(lengths)+1 ascending offsets.
+func raggedHeader(lengths func(yield func(int))) []uint32 {
+	words := []uint32{0}
+	off := uint32(0)
+	lengths(func(n int) {
+		words = append(words, off)
+		off += uint32(n)
+	})
+	words[0] = uint32(len(words) - 1)
+	return append(words, off)
+}
+
+// stringBlob writes count, offsets and concatenated bytes.
+func (e *writer) stringBlob(ss []string) {
+	e.u32s(raggedHeader(func(yield func(int)) {
+		for _, s := range ss {
+			yield(len(s))
+		}
+	}))
+	var total int
+	for _, s := range ss {
+		total += len(s)
+	}
+	if cap(e.tmp) < total {
+		e.tmp = make([]byte, total)
+	}
+	b := e.tmp[:0]
+	for _, s := range ss {
+		b = append(b, s...)
+	}
+	e.write(b)
+}
+
+func (e *writer) u32slice(vs []uint32) {
+	e.u32(uint32(len(vs)))
+	e.u32s(vs)
+}
+
+func (e *writer) raggedI32(lists [][]int32) {
+	e.u32s(raggedHeader(func(yield func(int)) {
+		for _, l := range lists {
+			yield(len(l))
+		}
+	}))
+	flat := make([]uint32, 0, 1024)
+	for _, l := range lists {
+		for _, v := range l {
+			flat = append(flat, uint32(v))
+		}
+	}
+	e.u32s(flat)
+}
+
+func (e *writer) raggedU32(lists [][]uint32) {
+	e.u32s(raggedHeader(func(yield func(int)) {
+		for _, l := range lists {
+			yield(len(l))
+		}
+	}))
+	flat := make([]uint32, 0, 1024)
+	for _, l := range lists {
+		flat = append(flat, l...)
+	}
+	e.u32s(flat)
+}
+
+// WriteSnapshot encodes the view onto w in snapshot format v1,
+// including the trailing CRC.
+func WriteSnapshot(w io.Writer, v *join.SnapshotView) error {
+	n := len(v.Tuples)
+	if n > math.MaxUint32 {
+		return fmt.Errorf("store: snapshot of %d tuples exceeds the format's uint32 ref space", n)
+	}
+	e := newWriter(w)
+	e.write(snapMagic[:])
+	e.u32(SnapshotVersion)
+	e.u32(uint32(v.Cfg.Q))
+	e.u32(uint32(v.Cfg.Measure))
+	e.u32(uint32(v.NShard))
+	e.f64(v.Cfg.Theta)
+	e.u32(uint32(n))
+	e.u32(0) // reserved
+
+	keys := make([]string, n)
+	var attrTotal int
+	for i, t := range v.Tuples {
+		e.i64(int64(t.ID))
+		keys[i] = t.Key
+		attrTotal += len(t.Attrs)
+	}
+	e.stringBlob(keys)
+	// Per-tuple attr lists as one ragged string blob: (n+1) offsets into
+	// a flat attr list, then the flat list as a string blob.
+	off := uint32(0)
+	for _, t := range v.Tuples {
+		e.u32(off)
+		off += uint32(len(t.Attrs))
+	}
+	e.u32(off)
+	flatAttrs := make([]string, 0, attrTotal)
+	for _, t := range v.Tuples {
+		flatAttrs = append(flatAttrs, t.Attrs...)
+	}
+	e.stringBlob(flatAttrs)
+
+	for _, sh := range v.Shards {
+		e.u32slice(sh.Globals)
+		e.stringBlob(sh.QGrams.Grams)
+		e.raggedI32(sh.QGrams.Postings)
+		e.u32slice(sh.QGrams.Sizes)
+		e.raggedU32(sh.QGrams.Sigs)
+		e.u32(uint32(sh.QGrams.SigFloor))
+	}
+	if e.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", e.err)
+	}
+	sum := e.crc.Sum32()
+	e.u32(sum)
+	if e.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", e.err)
+	}
+	return nil
+}
+
+// reader is a bounds-checked cursor over an in-memory artifact with a
+// sticky error: every accessor validates against the remaining bytes
+// before allocating or slicing, so hostile lengths cannot panic or
+// balloon memory beyond the input's own size.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.off < n {
+		r.fail("need %d bytes at offset %d, have %d", n, r.off, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) i64() int64   { return int64(r.u64()) }
+
+// offsets reads a (count+1)-entry ascending offset table bounded by
+// limitPerElem × remaining input, the shared spine of blobs and ragged
+// arrays.
+func (r *reader) offsets(count int) []uint32 {
+	if r.err != nil {
+		return nil
+	}
+	raw := r.take((count + 1) * 4)
+	if raw == nil {
+		return nil
+	}
+	offs := make([]uint32, count+1)
+	prev := uint32(0)
+	for i := range offs {
+		offs[i] = binary.LittleEndian.Uint32(raw[i*4:])
+		if offs[i] < prev {
+			r.fail("offset table not ascending at entry %d", i)
+			return nil
+		}
+		prev = offs[i]
+	}
+	if offs[0] != 0 {
+		r.fail("offset table starts at %d, want 0", offs[0])
+		return nil
+	}
+	return offs
+}
+
+func (r *reader) count(what string) int {
+	c := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	// A count can never exceed the remaining bytes (every element costs
+	// at least one encoded byte downstream of its offset table).
+	if int64(c) > int64(len(r.data)-r.off) {
+		r.fail("%s count %d exceeds remaining %d bytes", what, c, len(r.data)-r.off)
+		return 0
+	}
+	return int(c)
+}
+
+func (r *reader) stringBlob(what string) []string {
+	n := r.count(what)
+	offs := r.offsets(n)
+	if r.err != nil {
+		return nil
+	}
+	blob := r.take(int(offs[n]))
+	if r.err != nil {
+		return nil
+	}
+	// One allocation for the whole blob; substrings share its backing.
+	s := string(blob)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s[offs[i]:offs[i+1]]
+	}
+	return out
+}
+
+func (r *reader) u32slice(what string) []uint32 {
+	n := r.count(what)
+	raw := r.take(n * 4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	return out
+}
+
+func (r *reader) raggedI32(what string) [][]int32 {
+	n := r.count(what)
+	offs := r.offsets(n)
+	if r.err != nil {
+		return nil
+	}
+	flatLen := int(offs[n])
+	raw := r.take(flatLen * 4)
+	if r.err != nil {
+		return nil
+	}
+	flat := make([]int32, flatLen)
+	for i := range flat {
+		flat[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	out := make([][]int32, n)
+	for i := range out {
+		if offs[i] == offs[i+1] {
+			continue // nil for empty lists, as the live index keeps them
+		}
+		out[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	return out
+}
+
+func (r *reader) raggedU32(what string) [][]uint32 {
+	n := r.count(what)
+	offs := r.offsets(n)
+	if r.err != nil {
+		return nil
+	}
+	flatLen := int(offs[n])
+	raw := r.take(flatLen * 4)
+	if r.err != nil {
+		return nil
+	}
+	flat := make([]uint32, flatLen)
+	for i := range flat {
+		flat[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	out := make([][]uint32, n)
+	for i := range out {
+		out[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	return out
+}
+
+// DecodeSnapshot parses a complete snapshot file image, verifying the
+// CRC and every structural bound, and returns the decoded view. The
+// returned view owns its memory and can be handed to
+// join.NewShardedRefIndexFromSnapshot (which re-validates the
+// cross-structure invariants the codec cannot see).
+func DecodeSnapshot(data []byte) (*join.SnapshotView, error) {
+	if len(data) < len(snapMagic)+4 {
+		return nil, fmt.Errorf("%w: snapshot of %d bytes is shorter than magic+checksum", ErrCorrupt, len(data))
+	}
+	if string(data[:len(snapMagic)]) != string(snapMagic[:]) {
+		return nil, fmt.Errorf("%w: snapshot magic mismatch (not an adaptivelink snapshot?)", ErrCorrupt)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: snapshot checksum %08x, file claims %08x (truncated or bit-flipped)", ErrCorrupt, got, want)
+	}
+	r := &reader{data: body, off: len(snapMagic)}
+	version := r.u32()
+	if r.err == nil && version != SnapshotVersion {
+		return nil, fmt.Errorf("store: snapshot format version %d, this build reads version %d", version, SnapshotVersion)
+	}
+	v := &join.SnapshotView{}
+	v.Cfg.Q = int(r.u32())
+	// The wire measure id is the enum value; unknown ids flow through and
+	// are rejected by join.Config.Validate with its own descriptive error.
+	v.Cfg.Measure = simfn.TokenMeasure(r.u32())
+	v.NShard = int(r.u32())
+	v.Cfg.Theta = r.f64()
+	n := r.count("tuple")
+	r.u32() // reserved
+	if r.err != nil {
+		return nil, r.err
+	}
+	v.Cfg.Initial = join.LexRex
+	if n > 0 && int64(n)*8 > int64(len(r.data)-r.off) {
+		r.fail("tuple count %d exceeds remaining bytes", n)
+		return nil, r.err
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = r.i64()
+	}
+	keys := r.stringBlob("key")
+	attrOffs := r.offsets(n)
+	flatAttrs := r.stringBlob("attr")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(keys) != n {
+		return nil, fmt.Errorf("%w: %d keys for %d tuples", ErrCorrupt, len(keys), n)
+	}
+	if int(attrOffs[n]) > len(flatAttrs) {
+		return nil, fmt.Errorf("%w: attr offsets reach %d of %d attrs", ErrCorrupt, attrOffs[n], len(flatAttrs))
+	}
+	v.Tuples = make([]relation.Tuple, n)
+	for i := range v.Tuples {
+		v.Tuples[i] = relation.Tuple{ID: int(ids[i]), Key: keys[i]}
+		if attrOffs[i] < attrOffs[i+1] {
+			v.Tuples[i].Attrs = flatAttrs[attrOffs[i]:attrOffs[i+1]:attrOffs[i+1]]
+		}
+	}
+	if v.NShard < 1 || int64(v.NShard) > int64(len(r.data)-r.off) {
+		return nil, fmt.Errorf("%w: shard count %d implausible for %d remaining bytes", ErrCorrupt, v.NShard, len(r.data)-r.off)
+	}
+	v.Shards = make([]join.ShardExport, v.NShard)
+	for i := range v.Shards {
+		v.Shards[i].Globals = r.u32slice("global")
+		v.Shards[i].QGrams = hashidx.QGramExport{
+			Grams:    r.stringBlob("gram"),
+			Postings: r.raggedI32("posting"),
+			Sizes:    r.u32slice("size"),
+			Sigs:     r.raggedU32("signature"),
+			SigFloor: int(r.u32()),
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, r.err)
+		}
+		// Below the signature floor the live index keeps nil (those refs
+		// predate signature retention); at or above it, empty means an
+		// empty gram set and stays non-nil. Restore that distinction —
+		// but only for genuinely empty entries, so a snapshot smuggling
+		// data below the floor is still caught by import validation.
+		qg := &v.Shards[i].QGrams
+		for j := 0; j < qg.SigFloor && j < len(qg.Sigs); j++ {
+			if len(qg.Sigs[j]) == 0 {
+				qg.Sigs[j] = nil
+			}
+		}
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last shard", ErrCorrupt, len(r.data)-r.off)
+	}
+	return v, nil
+}
+
+// ReadSnapshotFile loads and decodes a snapshot file.
+func ReadSnapshotFile(path string) (*join.SnapshotView, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	v, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// WriteSnapshotFile writes the snapshot atomically: encode to a
+// temporary file in the same directory, fsync, rename over the target.
+// A crash mid-write leaves the previous snapshot (or none) intact,
+// never a torn file under the live name.
+func WriteSnapshotFile(path string, v *join.SnapshotView) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if err = WriteSnapshot(bw, v); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

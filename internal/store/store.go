@@ -1,0 +1,235 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/simfn"
+)
+
+// Directory layout: one snapshot plus one WAL per index. The snapshot
+// is the last checkpoint; the WAL holds every acknowledged upsert since
+// that checkpoint. Recovery is load + replay; a checkpoint rewrites the
+// snapshot atomically and resets the WAL.
+const (
+	// SnapshotFile is the snapshot's name inside an index directory.
+	SnapshotFile = "index.snap"
+	// WALFile is the upsert log's name inside an index directory.
+	WALFile = "upserts.wal"
+)
+
+// Dir is an open index directory: the durable half of a resident index.
+// The caller owns sequencing — append to the WAL before applying and
+// acknowledging an upsert, checkpoint at will — while Dir owns the
+// files.
+type Dir struct {
+	path string
+	meta Meta
+	wal  *WAL
+
+	lastSnapshot time.Time
+}
+
+// Recovery reports what Open reconstructed, for logs and stats.
+type Recovery struct {
+	// SnapshotTuples is the size of the loaded checkpoint (0 if the
+	// directory had none).
+	SnapshotTuples int
+	// WALRecords is the number of upsert batches replayed on top.
+	WALRecords int64
+	// TornTail reports that the WAL ended in a partial, unacknowledged
+	// frame that was discarded.
+	TornTail bool
+}
+
+// PeekMeta reads the stored compatibility tuple from an index directory
+// without loading it: from the snapshot header if one exists, else from
+// the WAL header, else nil (an empty or absent directory carries no
+// configuration). Callers use it to resolve "open with whatever is
+// stored" before committing to a full Open.
+func PeekMeta(dir string) (*Meta, error) {
+	if m, err := peekSnapshotMeta(filepath.Join(dir, SnapshotFile)); err != nil || m != nil {
+		return m, err
+	}
+	return peekWALMeta(filepath.Join(dir, WALFile))
+}
+
+func peekSnapshotMeta(path string) (*Meta, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Magic through theta: the compatibility fields all sit in the fixed
+	// header (full structural validation happens on load).
+	var buf [8 + 4 + 4 + 4 + 4 + 8]byte
+	if _, err := io.ReadFull(f, buf[:]); err != nil {
+		return nil, fmt.Errorf("%s: %w: snapshot shorter than its header", path, ErrCorrupt)
+	}
+	r := &reader{data: buf[:]}
+	if string(r.take(8)) != string(snapMagic[:]) {
+		return nil, fmt.Errorf("%s: %w: snapshot magic mismatch", path, ErrCorrupt)
+	}
+	if v := r.u32(); v != SnapshotVersion {
+		return nil, fmt.Errorf("%s: snapshot format version %d, this build reads version %d", path, v, SnapshotVersion)
+	}
+	m := &Meta{}
+	m.Q = int(r.u32())
+	m.Measure = simfn.TokenMeasure(r.u32())
+	m.Shards = int(r.u32())
+	m.Theta = r.f64()
+	return m, r.err
+}
+
+func peekWALMeta(path string) (*Meta, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var buf [walHeaderSize]byte
+	n, _ := f.Read(buf[:])
+	if n == 0 {
+		return nil, nil // empty file: treated as absent, Open rewrites it
+	}
+	dec, err := decodeWALBytes(buf[:n])
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := dec.meta
+	return &m, nil
+}
+
+// Open opens (creating if needed) the index directory and reconstructs
+// its resident index: load the snapshot if present, then replay the
+// WAL's intact frames through the index's normal upsert path. The
+// returned index reflects every acknowledged upsert; the returned Dir
+// is positioned to log new ones. Stored artifacts bound to a different
+// configuration are rejected with a descriptive error, as is any
+// corrupt artifact — Open never yields a partial index.
+func Open(dir string, meta Meta, sync SyncPolicy) (*Dir, *join.ShardedRefIndex, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	rec := &Recovery{}
+	var ix *join.ShardedRefIndex
+	snapPath := filepath.Join(dir, SnapshotFile)
+	var lastSnap time.Time
+	if fi, err := os.Stat(snapPath); err == nil {
+		v, err := ReadSnapshotFile(snapPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := meta.Check(MetaOf(v)); err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", snapPath, err)
+		}
+		ix, err = join.NewShardedRefIndexFromSnapshot(v)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", snapPath, err)
+		}
+		rec.SnapshotTuples = ix.Len()
+		lastSnap = fi.ModTime()
+	} else if !os.IsNotExist(err) {
+		return nil, nil, nil, err
+	} else {
+		ix, err = join.NewShardedRefIndex(metaConfig(meta), meta.Shards)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	wal, replay, err := OpenWAL(filepath.Join(dir, WALFile), meta, sync)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, batch := range replay.Batches {
+		ix.Upsert(batch)
+	}
+	rec.WALRecords = replay.Records
+	rec.TornTail = replay.TornTail
+	return &Dir{path: dir, meta: meta, wal: wal, lastSnapshot: lastSnap}, ix, rec, nil
+}
+
+// Create makes dir durable for an index built in memory (the bulk-load
+// path): it writes the index's snapshot directly — no WAL round trip
+// for the initial rows — and opens a fresh WAL for what comes after. A
+// directory that already holds an index is refused; Open it instead.
+func Create(dir string, ix *join.ShardedRefIndex, sync SyncPolicy) (*Dir, error) {
+	if m, err := PeekMeta(dir); err != nil {
+		return nil, err
+	} else if m != nil {
+		return nil, fmt.Errorf("store: %s already holds an index; open it or remove it first", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	v, err := ix.ExportSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteSnapshotFile(filepath.Join(dir, SnapshotFile), v); err != nil {
+		return nil, err
+	}
+	wal, _, err := OpenWAL(filepath.Join(dir, WALFile), MetaOf(v), sync)
+	if err != nil {
+		return nil, err
+	}
+	return &Dir{path: dir, meta: MetaOf(v), wal: wal, lastSnapshot: time.Now()}, nil
+}
+
+// metaConfig expands a compatibility tuple to the join configuration of
+// a fresh resident index.
+func metaConfig(m Meta) join.Config {
+	return join.Config{Q: m.Q, Measure: m.Measure, Theta: m.Theta, Initial: join.LexRex}
+}
+
+// Append logs one upsert batch. Call before applying the batch to the
+// in-memory index: once Append returns under SyncAlways, the batch is
+// durable and the upsert may be acknowledged.
+func (d *Dir) Append(tuples []relation.Tuple) error {
+	return d.wal.Append(tuples)
+}
+
+// Checkpoint captures the index into a new snapshot (written atomically
+// beside the old one) and resets the WAL, whose frames the snapshot now
+// subsumes. Crash-safe at every step: before the rename the old
+// snapshot + full WAL still reconstruct the state; after it the new
+// snapshot does, with the WAL reset merely redundant until it happens.
+func (d *Dir) Checkpoint(ix *join.ShardedRefIndex) error {
+	v, err := ix.ExportSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := d.meta.Check(MetaOf(v)); err != nil {
+		return err
+	}
+	if err := WriteSnapshotFile(filepath.Join(d.path, SnapshotFile), v); err != nil {
+		return err
+	}
+	d.lastSnapshot = time.Now()
+	return d.wal.Reset()
+}
+
+// WALRecords is the number of upsert batches logged since the last
+// checkpoint.
+func (d *Dir) WALRecords() int64 { return d.wal.Records() }
+
+// LastSnapshot is when the current snapshot was written (zero if the
+// directory has no snapshot yet).
+func (d *Dir) LastSnapshot() time.Time { return d.lastSnapshot }
+
+// Path is the directory this Dir manages.
+func (d *Dir) Path() string { return d.path }
+
+// Close flushes and releases the WAL. The directory remains openable.
+func (d *Dir) Close() error { return d.wal.Close() }

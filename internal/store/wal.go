@@ -1,0 +1,350 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/simfn"
+)
+
+// WALVersion is the current write-ahead-log format version.
+const WALVersion = 1
+
+var walMagic = [8]byte{'A', 'L', 'W', 'A', 'L', 0x01, 0x01, '\n'}
+
+// walHeaderSize is the fixed prefix: magic, version, q, measure,
+// shards, theta.
+const walHeaderSize = 8 + 4 + 4 + 4 + 4 + 8
+
+// maxWALPayload caps a single frame. A length prefix beyond it is
+// corruption by construction (no acknowledged append writes frames this
+// large), so hostile prefixes cannot demand absurd allocations.
+const maxWALPayload = 1 << 30
+
+const walKindUpsert = 1
+
+// SyncPolicy says when the WAL reaches stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged Upsert
+	// survives an immediate crash. This is the default.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves flushing to the OS: faster ingest, and a crash may
+	// lose the most recent appends (but never corrupts what it kept —
+	// replay stops cleanly at the torn tail).
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Meta is the compatibility tuple a durable artifact is bound to. A
+// snapshot or WAL written under one meta refuses to load into an index
+// configured differently: Q and Measure change every signature, Theta
+// changes every probe verdict, and the shard count changes routing, so
+// a silent mismatch would mean silently wrong answers.
+type Meta struct {
+	Q       int
+	Theta   float64
+	Measure simfn.TokenMeasure
+	Shards  int
+}
+
+// MetaOf extracts the compatibility tuple from a snapshot view.
+func MetaOf(v *join.SnapshotView) Meta {
+	return Meta{Q: v.Cfg.Q, Theta: v.Cfg.Theta, Measure: v.Cfg.Measure, Shards: v.NShard}
+}
+
+// Check compares two metas field by field, naming every mismatch.
+func (m Meta) Check(other Meta) error {
+	var bad []string
+	if m.Q != other.Q {
+		bad = append(bad, fmt.Sprintf("q %d vs %d", m.Q, other.Q))
+	}
+	if math.Float64bits(m.Theta) != math.Float64bits(other.Theta) {
+		bad = append(bad, fmt.Sprintf("theta %v vs %v", m.Theta, other.Theta))
+	}
+	if m.Measure != other.Measure {
+		bad = append(bad, fmt.Sprintf("measure %v vs %v", m.Measure, other.Measure))
+	}
+	if m.Shards != other.Shards {
+		bad = append(bad, fmt.Sprintf("shards %d vs %d", m.Shards, other.Shards))
+	}
+	if bad != nil {
+		return fmt.Errorf("store: configuration mismatch: %v (stored state only reloads under the configuration that built it)", bad)
+	}
+	return nil
+}
+
+// WAL is an append-only upsert log. Every acknowledged append is one
+// CRC-framed record ([len u32][crc u32][payload]); under SyncAlways the
+// frame is on stable storage before Append returns. On open, intact
+// frames replay in order, a torn tail (a crash mid-write) is dropped
+// and truncated away — it was never acknowledged — and any complete
+// frame whose CRC or structure fails is a hard error: bit rot is not
+// silently skipped.
+type WAL struct {
+	f       *os.File
+	path    string
+	sync    SyncPolicy
+	records int64
+	enc     []byte
+}
+
+// Replay is what OpenWAL recovered from an existing log.
+type Replay struct {
+	// Batches are the logged upsert batches, in append order. Applying
+	// them to the index the accompanying snapshot loaded reproduces the
+	// pre-crash state exactly.
+	Batches [][]relation.Tuple
+	// Records is len(Batches), the recovered frame count.
+	Records int64
+	// TornTail reports that a trailing partial frame was discarded and
+	// truncated (an unacknowledged write interrupted by a crash).
+	TornTail bool
+}
+
+// OpenWAL opens or creates the log at path. A fresh file gets a header
+// binding it to meta; an existing file must carry the same meta and
+// replays its intact frames into the returned Replay. The WAL is then
+// positioned for appending.
+func OpenWAL(path string, meta Meta, sync SyncPolicy) (*WAL, *Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path, sync: sync}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		if err := w.writeHeader(meta); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, &Replay{}, nil
+	}
+	dec, err := decodeWALBytes(data)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := meta.Check(dec.meta); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if dec.good < len(data) {
+		// Drop the torn tail so the next append starts on a frame
+		// boundary.
+		if err := f.Truncate(int64(dec.good)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(dec.good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.records = int64(len(dec.batches))
+	return w, &Replay{Batches: dec.batches, Records: int64(len(dec.batches)), TornTail: dec.torn}, nil
+}
+
+func (w *WAL) writeHeader(meta Meta) error {
+	var buf [walHeaderSize]byte
+	copy(buf[:8], walMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:], WALVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(meta.Q))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(meta.Measure))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(meta.Shards))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(meta.Theta))
+	if _, err := w.f.Write(buf[:]); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Append logs one upsert batch. Under SyncAlways the record is fsynced
+// before Append returns; the caller may then acknowledge the upsert,
+// knowing replay will reproduce it after any crash.
+func (w *WAL) Append(tuples []relation.Tuple) error {
+	p := w.enc[:0]
+	p = append(p, walKindUpsert)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(tuples)))
+	for _, t := range tuples {
+		p = binary.LittleEndian.AppendUint64(p, uint64(int64(t.ID)))
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(t.Key)))
+		p = append(p, t.Key...)
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(t.Attrs)))
+		for _, a := range t.Attrs {
+			p = binary.LittleEndian.AppendUint32(p, uint32(len(a)))
+			p = append(p, a...)
+		}
+	}
+	w.enc = p
+	if len(p) > maxWALPayload {
+		return fmt.Errorf("store: upsert batch encodes to %d bytes, over the WAL frame cap", len(p))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(p, castagnoli))
+	// One writev-shaped append: header then payload. A crash between the
+	// two writes leaves a torn tail that replay drops.
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(p); err != nil {
+		return err
+	}
+	if w.sync == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.records++
+	return nil
+}
+
+// Records is the number of intact frames currently in the log.
+func (w *WAL) Records() int64 { return w.records }
+
+// Reset truncates the log back to its header — called after a snapshot
+// has captured everything the log held, making those frames redundant.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.records = 0
+	return nil
+}
+
+// Close flushes and closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+type walDecoded struct {
+	meta    Meta
+	batches [][]relation.Tuple
+	good    int
+	torn    bool
+}
+
+// decodeWALBytes parses a WAL image: header, then frames until the
+// bytes run out. An incomplete trailing frame is reported as torn (good
+// marks the last intact boundary); a complete frame that fails its CRC
+// or its structural bounds is an error. Shared by OpenWAL and
+// FuzzWALReplay, so it must never panic on hostile input.
+func decodeWALBytes(data []byte) (*walDecoded, error) {
+	if len(data) < walHeaderSize {
+		return nil, fmt.Errorf("%w: WAL of %d bytes is shorter than its %d-byte header", ErrCorrupt, len(data), walHeaderSize)
+	}
+	if string(data[:8]) != string(walMagic[:]) {
+		return nil, fmt.Errorf("%w: WAL magic mismatch (not an adaptivelink WAL?)", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != WALVersion {
+		return nil, fmt.Errorf("store: WAL format version %d, this build reads version %d", v, WALVersion)
+	}
+	dec := &walDecoded{
+		meta: Meta{
+			Q:       int(binary.LittleEndian.Uint32(data[12:])),
+			Measure: simfn.TokenMeasure(binary.LittleEndian.Uint32(data[16:])),
+			Shards:  int(binary.LittleEndian.Uint32(data[20:])),
+			Theta:   math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
+		},
+		good: walHeaderSize,
+	}
+	off := walHeaderSize
+	for off < len(data) {
+		if len(data)-off < 8 {
+			dec.torn = true
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		if plen > maxWALPayload {
+			return nil, fmt.Errorf("%w: WAL frame at offset %d claims %d bytes, over the frame cap", ErrCorrupt, off, plen)
+		}
+		if len(data)-off-8 < plen {
+			dec.torn = true
+			break
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+8 : off+8+plen]
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return nil, fmt.Errorf("%w: WAL frame at offset %d checksum %08x, frame claims %08x (bit-flipped?)", ErrCorrupt, off, got, wantCRC)
+		}
+		batch, err := decodeUpsertPayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("WAL frame at offset %d: %w", off, err)
+		}
+		dec.batches = append(dec.batches, batch)
+		off += 8 + plen
+		dec.good = off
+	}
+	return dec, nil
+}
+
+func decodeUpsertPayload(payload []byte) ([]relation.Tuple, error) {
+	r := &reader{data: payload}
+	if kind := r.take(1); r.err == nil && kind[0] != walKindUpsert {
+		return nil, fmt.Errorf("%w: unknown WAL record kind %d", ErrCorrupt, kind[0])
+	}
+	n := r.count("tuple")
+	if r.err != nil {
+		return nil, r.err
+	}
+	batch := make([]relation.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		var t relation.Tuple
+		t.ID = int(r.i64())
+		t.Key = string(r.take(int(r.u32())))
+		attrs := r.count("attr")
+		if r.err != nil {
+			return nil, r.err
+		}
+		if attrs > 0 {
+			t.Attrs = make([]string, attrs)
+			for j := range t.Attrs {
+				t.Attrs[j] = string(r.take(int(r.u32())))
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		batch = append(batch, t)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in WAL record", ErrCorrupt, len(payload)-r.off)
+	}
+	return batch, nil
+}

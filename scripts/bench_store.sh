@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench-store: measure the durability paths — cold-start
+# time-to-first-probe (snapshot Open vs reindex-from-CSV) and ingest
+# throughput (BulkLoad vs N single logged Upserts) — and append
+# labelled points to the BENCH_store.json trajectory. Reuses the
+# benchprobe appender, so the gate works like bench-probe's: each
+# benchmark is compared against the previous point with the same bench
+# name and host label BEFORE writing, and a regressing run is never
+# recorded as the next baseline.
+#
+# Beyond the trajectory gate, this script asserts the two claims the
+# durable store exists for, from the freshly measured numbers:
+#
+#   - ColdStartOpen must be at least MIN_SPEEDUP (default 5) times
+#     faster than ColdStartReindexCSV
+#   - BulkLoad must beat UpsertSingles
+#
+# Env knobs:
+#   OUT          trajectory file               (default BENCH_store.json)
+#   NOTE         note recorded per point       (default "bench-store")
+#   BENCHTIME    go test -benchtime            (default 5x)
+#   REGRESS_PCT  ns/op regression gate         (default 25)
+#   MIN_SPEEDUP  cold-start ratio floor        (default 5)
+#   HOST_LABEL   host-class label recorded per point (default ""); the
+#                gate only compares points with the same label
+#   SKIP_BENCH_DIFF=1  disable the trajectory gate (known-noisy hosts);
+#                the two claim assertions above still run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_store.json}
+NOTE=${NOTE:-bench-store}
+BENCHTIME=${BENCHTIME:-5x}
+REGRESS_PCT=${REGRESS_PCT:-25}
+MIN_SPEEDUP=${MIN_SPEEDUP:-5}
+HOST_LABEL=${HOST_LABEL:-}
+
+if [ "${SKIP_BENCH_DIFF:-0}" = "1" ]; then
+    REGRESS_PCT=0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/benchprobe" ./cmd/benchprobe
+
+echo "bench-store: durability paths (cold start, bulk load)"
+go test . -run=NONE -bench 'BenchmarkStore' -benchtime "$BENCHTIME" \
+    | tee "$tmp/store.txt"
+
+# Claim assertions on this run's numbers (ns/op of the four benches).
+awk -v min="$MIN_SPEEDUP" '
+    /^BenchmarkStoreColdStartOpen/       { open = $3 }
+    /^BenchmarkStoreColdStartReindexCSV/ { reindex = $3 }
+    /^BenchmarkStoreBulkLoad/            { bulk = $3 }
+    /^BenchmarkStoreUpsertSingles/       { singles = $3 }
+    END {
+        if (!open || !reindex || !bulk || !singles) {
+            print "bench-store: FAIL: missing benchmark lines"; exit 1
+        }
+        ratio = reindex / open
+        printf "bench-store: cold start %.1fx faster than reindex-from-CSV (floor %sx)\n", ratio, min
+        if (ratio < min + 0) { print "bench-store: FAIL: cold-start speedup below floor"; exit 1 }
+        printf "bench-store: bulk load %.1fx faster than single upserts\n", singles / bulk
+        if (bulk + 0 >= singles + 0) { print "bench-store: FAIL: bulk load does not beat single upserts"; exit 1 }
+    }' "$tmp/store.txt"
+
+"$tmp/benchprobe" -in "$tmp/store.txt" -out "$OUT" \
+    -note "$NOTE" -host "$HOST_LABEL" -regress-pct "$REGRESS_PCT"

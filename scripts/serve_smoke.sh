@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # serve-smoke: end-to-end check that adaptivelinkd serves concurrent
-# /v1/link traffic and drains cleanly on SIGTERM.
+# /v1/link traffic, drains cleanly on SIGTERM, and — with a data dir —
+# comes back from a restart answering exactly as before.
 #
+# Phase 1 (in-memory):
 #   1. build adaptivelinkd and linkbench
 #   2. start the server on an ephemeral port
 #   3. fire 100 requests from 64 concurrent clients (must all be 2xx)
 #   4. SIGTERM the server and assert a clean (exit 0) drain
+#
+# Phase 2 (durable restart):
+#   5. start the server with -data-dir, create a durable index through
+#      linkbench, log one upsert past the bulk-loaded snapshot
+#   6. record /v1/link answers for a fixed probe set
+#   7. SIGTERM (clean drain), start a NEW server process on the same
+#      data dir, assert it reloaded the index and answers the same
+#      probe set byte-for-byte identically
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,35 +30,93 @@ trap cleanup EXIT
 go build -o "$tmp/adaptivelinkd" ./cmd/adaptivelinkd
 go build -o "$tmp/linkbench" ./cmd/linkbench
 
-"$tmp/adaptivelinkd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
-    >"$tmp/server.log" 2>&1 &
-pid=$!
+# start_server <log> <addr-file> [extra flags...]: launches the daemon
+# and waits for its bound address; sets $pid and $addr.
+start_server() {
+    local log=$1 addrfile=$2
+    shift 2
+    "$tmp/adaptivelinkd" -addr 127.0.0.1:0 -addr-file "$addrfile" "$@" \
+        >"$log" 2>&1 &
+    pid=$!
+    for _ in $(seq 100); do
+        [ -s "$addrfile" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$addrfile" ]; then
+        echo "serve-smoke: server did not start" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    addr=$(cat "$addrfile")
+}
 
-for _ in $(seq 100); do
-    [ -s "$tmp/addr" ] && break
-    sleep 0.1
-done
-if [ ! -s "$tmp/addr" ]; then
-    echo "serve-smoke: server did not start" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-addr=$(cat "$tmp/addr")
+# stop_server <log>: SIGTERM + assert a clean drain.
+stop_server() {
+    local log=$1
+    kill -TERM "$pid"
+    local rc=0
+    wait "$pid" || rc=$?
+    pid=""
+    if [ "$rc" -ne 0 ]; then
+        echo "serve-smoke: server exited $rc (unclean drain)" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    grep -q "drained, bye" "$log" || {
+        echo "serve-smoke: drain banner missing" >&2
+        cat "$log" >&2
+        exit 1
+    }
+}
 
+# --- Phase 1: in-memory load + clean drain --------------------------
+start_server "$tmp/server.log" "$tmp/addr"
 "$tmp/linkbench" -addr "http://$addr" -n 100 -c 64 -batch 4 -parent 500
+stop_server "$tmp/server.log"
+echo "serve-smoke: OK (100 requests, 64 clients, clean drain)"
 
-kill -TERM "$pid"
-rc=0
-wait "$pid" || rc=$?
-pid=""
-if [ "$rc" -ne 0 ]; then
-    echo "serve-smoke: server exited $rc (unclean drain)" >&2
-    cat "$tmp/server.log" >&2
-    exit 1
-fi
-grep -q "drained, bye" "$tmp/server.log" || {
-    echo "serve-smoke: drain banner missing" >&2
-    cat "$tmp/server.log" >&2
+# --- Phase 2: durable restart answers identically -------------------
+mkdir -p "$tmp/data"
+start_server "$tmp/restart1.log" "$tmp/addr1" -data-dir "$tmp/data"
+"$tmp/linkbench" -addr "http://$addr" -n 40 -c 16 -batch 4 -parent 500
+
+# One logged upsert past the snapshot, so the restart exercises
+# write-ahead-log replay as well as the snapshot load.
+curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/indexes/bench/upsert" \
+    -d '{"tuples":[{"id":9001,"key":"smoke restart sentinel","attrs":["logged"]}]}' \
+    | grep -qx 200 || { echo "serve-smoke: upsert failed" >&2; exit 1; }
+
+# Probe set: the logged key (exact hit), a typo of it (approximate
+# path over the whole index), and a miss. Answers are deterministic,
+# so a faithful restart reproduces them byte-for-byte.
+probe_all() {
+    local base=$1 out=$2
+    : >"$out"
+    for key in "smoke restart sentinel" "smoke restart sentinal" "no such key anywhere"; do
+        curl -sS -X POST "$base/v1/link" \
+            -d "{\"index\":\"bench\",\"key\":\"$key\"}" >>"$out"
+        printf '\n' >>"$out"
+    done
+    # created_at is the in-process registration time, wal_records /
+    # last_snapshot move with checkpoints; everything else must survive.
+    curl -sS "$base/v1/indexes/bench" \
+        | jq -S 'del(.created_at, .wal_records, .last_snapshot)' >>"$out"
+}
+probe_all "http://$addr" "$tmp/before.json"
+
+stop_server "$tmp/restart1.log"
+start_server "$tmp/restart2.log" "$tmp/addr2" -data-dir "$tmp/data"
+
+grep -q 'reloaded index "bench"' "$tmp/restart2.log" || {
+    echo "serve-smoke: restarted server did not reload the stored index" >&2
+    cat "$tmp/restart2.log" >&2
     exit 1
 }
-echo "serve-smoke: OK (100 requests, 64 clients, clean drain)"
+
+probe_all "http://$addr" "$tmp/after.json"
+if ! diff -u "$tmp/before.json" "$tmp/after.json"; then
+    echo "serve-smoke: answers diverged across restart" >&2
+    exit 1
+fi
+stop_server "$tmp/restart2.log"
+echo "serve-smoke: OK (restart reloaded the index, answers identical)"
