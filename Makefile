@@ -53,14 +53,17 @@ serve-smoke:
 
 # Short fuzz passes, one invariant each: torn reads (concurrent upserts
 # racing probes must never expose a half-applied payload), snapshot
-# decoding (arbitrary bytes never panic or build a broken index) and
+# decoding (arbitrary bytes never panic or build a broken index),
 # write-ahead-log replay (recovery always stops at an intact record
-# boundary). `go test -fuzz=<name> ./internal/...` digs deeper.
+# boundary) and decomposition parity (the byte-packed, rune-packed and
+# string-fallback gram paths agree with the Grams oracle on arbitrary
+# Unicode). `go test -fuzz=<name> ./internal/...` digs deeper.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/join -run=NONE -fuzz=FuzzUpsertProbe -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -run=NONE -fuzz=FuzzSnapshotDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -run=NONE -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/qgram -run=NONE -fuzz=FuzzDecomposeParity -fuzztime=$(FUZZTIME)
 
 # Service benchmark trajectory: linkbench in exact+adaptive ×
 # single+batch modes against a live adaptivelinkd, appending labelled

@@ -218,6 +218,36 @@ func (p Pattern) internal() (datagen.Pattern, bool) {
 	}
 }
 
+// Script names a writing system for test-data generation.
+type Script string
+
+// Generator scripts: the paper's pseudo-Italian ASCII default plus
+// non-Latin scripts that exercise the engine's Unicode paths.
+const (
+	ScriptASCII          Script = "ascii"
+	ScriptLatinDiacritic Script = "latin-diacritic"
+	ScriptCyrillic       Script = "cyrillic"
+	ScriptGreek          Script = "greek"
+	ScriptCJK            Script = "cjk"
+)
+
+func (s Script) internal() (datagen.Script, bool) {
+	switch s {
+	case "", ScriptASCII:
+		return datagen.ASCII, true
+	case ScriptLatinDiacritic:
+		return datagen.LatinDiacritic, true
+	case ScriptCyrillic:
+		return datagen.Cyrillic, true
+	case ScriptGreek:
+		return datagen.Greek, true
+	case ScriptCJK:
+		return datagen.CJK, true
+	default:
+		return 0, false
+	}
+}
+
 // TestData is a generated parent/child table pair with ground truth,
 // mirroring the paper's evaluation datasets.
 type TestData struct {
@@ -245,9 +275,22 @@ func (d *TestData) ChildSource() Source { return FromTuples(d.Child) }
 // the pattern. perturbParent additionally perturbs the parent table.
 // Generation is deterministic in seed.
 func GenerateTestData(seed int64, parentSize, childSize int, pattern Pattern, variantRate float64, perturbParent bool) (*TestData, error) {
+	return GenerateTestDataScript(seed, parentSize, childSize, pattern, ScriptASCII, variantRate, perturbParent)
+}
+
+// GenerateTestDataScript is GenerateTestData with an explicit key
+// script: ScriptASCII reproduces GenerateTestData exactly, the
+// non-Latin scripts compose keys (and inject their 1-character
+// variants) in the named writing system, driving the engine's
+// rune-packed gram path end to end.
+func GenerateTestDataScript(seed int64, parentSize, childSize int, pattern Pattern, script Script, variantRate float64, perturbParent bool) (*TestData, error) {
 	ip, ok := pattern.internal()
 	if !ok {
 		return nil, errUnknownPattern(pattern)
+	}
+	is, ok := script.internal()
+	if !ok {
+		return nil, fmt.Errorf(`adaptivelink: unknown script %q (want "ascii", "latin-diacritic", "cyrillic", "greek" or "cjk")`, string(script))
 	}
 	spec := datagen.Spec{
 		Seed:          seed,
@@ -256,6 +299,7 @@ func GenerateTestData(seed int64, parentSize, childSize int, pattern Pattern, va
 		VariantRate:   variantRate,
 		Pattern:       ip,
 		PerturbParent: perturbParent,
+		Script:        is,
 	}
 	ds, err := datagen.Generate(spec)
 	if err != nil {

@@ -198,14 +198,16 @@
 // indexed tuple stores its sorted gram-id signature once, so
 // verification is integer arithmetic over precomputed sizes and
 // overlaps — no re-extraction, no re-hashing, no per-probe maps.
-// Probe keys are decomposed by an ASCII fast path that packs grams
-// into uint64s without materialising strings (non-ASCII input falls
-// back to an equivalent string path), candidate counting runs on
-// epoch-stamped arrays reused across probes, and the resident indexes
-// recycle all per-probe scratch through a sync.Pool. With caller-owned
-// result buffers the exact resident probe performs zero allocations
-// per operation and the approximate probe at most one; allocation
-// regression tests pin both budgets.
+// Probe keys are decomposed by packed fast paths that never
+// materialise gram strings: ASCII keys pack gram bytes into uint64s,
+// non-ASCII keys within the Basic Multilingual Plane pack code points
+// at 21 bits each (astral-plane input falls back to an equivalent
+// string path), candidate counting runs on epoch-stamped arrays reused
+// across probes, and the resident indexes recycle all per-probe
+// scratch through a sync.Pool. With caller-owned result buffers the
+// exact resident probe performs zero allocations per operation and the
+// approximate probe at most one (two for non-ASCII keys); allocation
+// regression tests pin all budgets.
 //
 // The encoding composes with the RCU snapshot discipline above: the
 // dictionary is part of each published shard snapshot, Upsert clones
@@ -214,6 +216,46 @@
 // consistent dict/postings pair and the match contract is bit-for-bit
 // unchanged. BENCH_probe.json records the per-probe trajectory (make
 // bench-probe); BENCH_service.json the service-level one.
+//
+// # Unicode and normalization
+//
+// Join keys are UTF-8 throughout, and non-Latin keys run the same
+// packed hot path as ASCII ones. The gram extractor's decomposition
+// has three tiers: ASCII grams pack their bytes into a uint64; grams
+// whose code points all lie in the Basic Multilingual Plane (which is
+// every natural-language script — Latin with diacritics, Cyrillic,
+// Greek, CJK, ...) pack up to three code points at 21 bits each, a
+// packing whose numeric order still equals the gram's UTF-8 bytewise
+// order, so routing, sorting and prefix filtering are oblivious to the
+// scheme; only astral-plane runes (emoji, historic scripts) and gram
+// widths the packings cannot hold fall back to gram strings, with
+// identical results (FuzzDecomposeParity holds the three tiers
+// differentially equal). Case folding inside the extractor uses the
+// simple, rune-count-preserving mapping so gram positions are stable.
+//
+// Matching Unicode spellings of the same name — "José" in NFC vs NFD,
+// "STRASSE" vs "Straße", е vs ё — is the job of normalization
+// profiles, applied by the Index facade before any key reaches the
+// engine. IndexOptions.Profile names a pipeline from a fixed registry
+// (Profiles lists it): "" indexes keys verbatim (the default and the
+// historical behaviour), "standard" is the legacy fold/upper/strip
+// pipeline, and "latin", "cyrillic", "greek" and "cjk" are per-script
+// pipelines composing NFC canonicalisation, accent folding, full case
+// folding (ß→SS, final sigma), combining-mark stripping and width
+// folding as appropriate. Keys are normalised once on Upsert — before
+// the WAL logs them, so durable artifacts hold keys in indexed form
+// and recovery never re-normalises — and on every probe entry point.
+// The profile is part of the durable compatibility tuple: snapshot and
+// WAL headers record it, reopening with zero options adopts it, and
+// opening under a different profile is a descriptive error, never a
+// silent re-interpretation. Profile names are forever-stable for the
+// same reason. The HTTP service exposes the option as the "profile"
+// field of index creation.
+//
+// The normalize package also fixes two classic linkage bugs: Soundex
+// treats intra-name punctuation as transparent (O'BRIEN codes like
+// OBRIEN, not O165) and accent folding accepts decomposed (NFD) input
+// and covers the ø/æ/œ/ł/đ/ð/þ gaps of the historical accent map.
 //
 // # Usage
 //

@@ -90,6 +90,12 @@ func Open(dir string, opts IndexOptions) (*Index, error) {
 		if opts.Shards == 0 {
 			opts.Shards = stored.Shards
 		}
+		if opts.Profile == "" {
+			// Like the other fields, "" adopts whatever normalization
+			// the stored keys were built with; naming a different
+			// profile explicitly is rejected by the meta gate below.
+			opts.Profile = stored.Profile
+		}
 	}
 	opts, err = opts.resolved()
 	if err != nil {
@@ -99,7 +105,7 @@ func Open(dir string, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: opening %s: %w", dir, err)
 	}
-	return &Index{res: ri, opts: opts, dir: d}, nil
+	return &Index{res: ri, opts: opts, norm: opts.normalizer(), dir: d}, nil
 }
 
 // BulkLoad builds a resident index from the reference source through
@@ -123,15 +129,16 @@ func BulkLoad(ref Source, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	norm := opts.normalizer()
 	rts := make([]relation.Tuple, len(batch))
 	for i, t := range batch {
-		rts[i] = relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+		rts[i] = relation.Tuple{ID: t.ID, Key: norm.Apply(t.Key), Attrs: t.Attrs}
 	}
 	ri, err := join.BuildShardedRefIndex(opts.config(), opts.Shards, rts)
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: %w", err)
 	}
-	ix := &Index{res: ri, opts: opts}
+	ix := &Index{res: ri, opts: opts, norm: norm}
 	if opts.Storage.Dir != "" {
 		d, err := store.Create(opts.Storage.Dir, ri, opts.Storage.WALSync.store())
 		if err != nil {

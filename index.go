@@ -8,6 +8,7 @@ import (
 	"adaptivelink/internal/adaptive"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/normalize"
 	"adaptivelink/internal/relation"
 	"adaptivelink/internal/simfn"
 	"adaptivelink/internal/store"
@@ -30,11 +31,25 @@ type IndexOptions struct {
 	// to (~min(5, Shards)× for the paper's configuration). The match
 	// contract is shard-count-independent.
 	Shards int
+	// Profile names the normalization pipeline applied to every join
+	// key on its way into the index — upserts and probes alike — so
+	// that keys differing only in case, accents, Unicode composition
+	// form or width still link. "" (the default) indexes keys verbatim.
+	// See Profiles for the registry ("latin", "cyrillic", "greek",
+	// "cjk", "standard"). The profile is part of a durable index's
+	// compatibility tuple: a stored index refuses to open under a
+	// different profile than the one that built its keys.
+	Profile string
 	// Storage configures durability. The zero value is a purely
 	// in-memory index; see Open and BulkLoad for the durable
 	// constructors.
 	Storage StorageOptions
 }
+
+// Profiles lists the normalization profile names accepted by
+// IndexOptions.Profile, sorted; the empty name (index keys verbatim) is
+// included.
+func Profiles() []string { return normalize.Profiles() }
 
 // SessionOptions configures a probe Session. The zero value selects an
 // adaptive session with the paper's thresholds, except that DeltaAdapt
@@ -110,6 +125,11 @@ type ProbeMatch struct {
 type Index struct {
 	res  join.Resident
 	opts IndexOptions
+	// norm is the resolved Profile pipeline; every key entering the
+	// index — by upsert or by probe — passes through it, so the engine
+	// below only ever sees normalised keys (and durable artifacts store
+	// them that way).
+	norm *normalize.Normalizer
 
 	// mu serializes the write side of a durable index so the WAL's
 	// record order equals the apply order (replay depends on it: the
@@ -150,7 +170,7 @@ func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: %w", err)
 	}
-	ix := &Index{res: ri, opts: opts}
+	ix := &Index{res: ri, opts: opts, norm: opts.normalizer()}
 	batch, err := drainSource(ref)
 	if err != nil {
 		return nil, err
@@ -176,7 +196,42 @@ func (opts IndexOptions) resolved() (IndexOptions, error) {
 	if opts.Shards == 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
+	if _, err := normalize.ProfileNamed(opts.Profile); err != nil {
+		return opts, fmt.Errorf("adaptivelink: %w", err)
+	}
 	return opts, nil
+}
+
+// normalizer resolves the profile pipeline of validated options.
+func (opts IndexOptions) normalizer() *normalize.Normalizer {
+	n, err := normalize.ProfileNamed(opts.Profile)
+	if err != nil {
+		// resolved() vets the name first; reaching here is a programming
+		// error, not a configuration one.
+		panic(err)
+	}
+	return n
+}
+
+// normKey applies the index's normalization profile to one join key.
+func (ix *Index) normKey(key string) string {
+	if ix.opts.Profile == "" {
+		return key
+	}
+	return ix.norm.Apply(key)
+}
+
+// normKeys applies the profile to a batch of keys, returning the input
+// slice untouched under the verbatim profile.
+func (ix *Index) normKeys(keys []string) []string {
+	if ix.opts.Profile == "" {
+		return keys
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = ix.norm.Apply(k)
+	}
+	return out
 }
 
 // config expands resolved options to the engine configuration.
@@ -186,12 +241,13 @@ func (opts IndexOptions) config() join.Config {
 		Theta:   opts.Theta,
 		Measure: simfn.TokenMeasure(opts.Measure),
 		Initial: join.LexRex,
+		Profile: opts.Profile,
 	}
 }
 
 // meta is the compatibility tuple durable artifacts are bound to.
 func (opts IndexOptions) meta() store.Meta {
-	return store.Meta{Q: opts.Q, Theta: opts.Theta, Measure: simfn.TokenMeasure(opts.Measure), Shards: opts.Shards}
+	return store.Meta{Q: opts.Q, Theta: opts.Theta, Measure: simfn.TokenMeasure(opts.Measure), Shards: opts.Shards, Profile: opts.Profile}
 }
 
 func drainSource(ref Source) ([]Tuple, error) {
@@ -232,7 +288,9 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int, err error) {
 	}
 	rts := make([]relation.Tuple, len(tuples))
 	for i, t := range tuples {
-		rts[i] = relation.Tuple{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+		// Normalise before logging: WAL frames and snapshots hold keys
+		// in their indexed form, so recovery never re-normalises.
+		rts[i] = relation.Tuple{ID: t.ID, Key: ix.normKey(t.Key), Attrs: t.Attrs}
 	}
 	if ix.dir == nil {
 		inserted, updated = ix.res.Upsert(rts)
@@ -258,6 +316,7 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int, err error) {
 // escalation entirely while the stream is behaving and prices it
 // statistically when it is not.
 func (ix *Index) Probe(key string) []ProbeMatch {
+	key = ix.normKey(key)
 	res := ix.res.ProbeExact(key)
 	if len(res) == 0 {
 		res = ix.res.ProbeApprox(key)
@@ -275,6 +334,7 @@ func (ix *Index) ProbeBatch(keys ...string) [][]ProbeMatch {
 	if len(keys) == 0 {
 		return results
 	}
+	keys = ix.normKeys(keys)
 	var missIdx []int
 	var missKeys []string
 	for i, rm := range ix.res.ProbeBatch(join.Exact, keys) {
@@ -387,6 +447,7 @@ func (ix *Index) NewSession(opts SessionOptions) (*Session, error) {
 // predicate, so its variant matches are not lost — and reverts to exact
 // once the perturbation window drains.
 func (s *Session) Probe(key string) []ProbeMatch {
+	key = s.ix.normKey(key)
 	var res []join.RefMatch
 	switch s.strategy {
 	case ExactOnly:
@@ -426,6 +487,7 @@ func (s *Session) ProbeBatch(keys []string) [][]ProbeMatch {
 	if len(keys) == 0 {
 		return results
 	}
+	keys = s.ix.normKeys(keys)
 	if s.loop == nil {
 		mode := join.Exact
 		if s.strategy == ApproximateOnly {

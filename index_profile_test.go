@@ -1,0 +1,142 @@
+package adaptivelink
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// The profile pipeline is applied on both sides of the index: keys that
+// differ only in case, accents or Unicode composition form link exactly
+// once a profile is configured, and not at all under the default
+// verbatim profile.
+func TestIndexProfileNormalizesBothSides(t *testing.T) {
+	ref := []Tuple{
+		{Key: "José Müller-Straße 7"},
+		{Key: "Ødegård Allé 12"},
+	}
+	// NFD spelling, different case, ß upper-cased, hyphen retained.
+	probe := "JOSÉ MÜLLER-STRASSE 7" // NFD: combining acute and diaeresis
+
+	plain, err := NewIndex(FromTuples(ref), IndexOptions{})
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	if ms := plain.Probe(probe); len(ms) != 0 {
+		for _, m := range ms {
+			if m.Exact {
+				t.Fatalf("verbatim index exact-matched %q to %q", probe, m.Ref.Key)
+			}
+		}
+	}
+
+	latin, err := NewIndex(FromTuples(ref), IndexOptions{Profile: "latin"})
+	if err != nil {
+		t.Fatalf("NewIndex(latin): %v", err)
+	}
+	ms := latin.Probe(probe)
+	if len(ms) != 1 || !ms[0].Exact || ms[0].Ref.ID != 0 {
+		t.Fatalf("latin profile Probe(%q) = %+v, want one exact match of ID 0", probe, ms)
+	}
+	// Batch and session paths normalise identically.
+	for i, res := range latin.ProbeBatch("ØDEGÅRD ALLE 12", "nowhere at all") {
+		if i == 0 && (len(res) != 1 || !res[0].Exact || res[0].Ref.ID != 1) {
+			t.Fatalf("ProbeBatch[0] = %+v, want exact match of ID 1", res)
+		}
+		if i == 1 && len(res) != 0 {
+			t.Fatalf("ProbeBatch[1] = %+v, want no match", res)
+		}
+	}
+	sess, err := latin.NewSession(SessionOptions{})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if ms := sess.Probe("jose müller-straße 7"); len(ms) != 1 || !ms[0].Exact {
+		t.Fatalf("session Probe = %+v, want one exact match", ms)
+	}
+}
+
+// Upserts pass through the same pipeline, so a key upserted in one
+// representation replaces a key indexed in another.
+func TestIndexProfileUpsertKeyed(t *testing.T) {
+	ix, err := NewIndex(FromTuples([]Tuple{{Key: "Артём Проспект"}}), IndexOptions{Profile: "cyrillic"})
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	// ё folds to Е under the cyrillic profile: same normalised key, so
+	// this updates in place, and the payload proves the update landed.
+	ins, upd, err := ix.Upsert(Tuple{Key: "АРТЕМ ПРОСПЕКТ", Attrs: []string{"updated"}})
+	if err != nil || ins != 0 || upd != 1 {
+		t.Fatalf("Upsert = %d inserted, %d updated, %v; want 0/1/nil", ins, upd, err)
+	}
+	ms := ix.Probe("артём проспект")
+	if len(ms) != 1 || len(ms[0].Ref.Attrs) != 1 || ms[0].Ref.Attrs[0] != "updated" {
+		t.Fatalf("Probe = %+v, want the updated tuple", ms)
+	}
+}
+
+func TestIndexProfileUnknownRejected(t *testing.T) {
+	if _, err := NewIndex(FromTuples(nil), IndexOptions{Profile: "klingon"}); err == nil {
+		t.Fatal("NewIndex accepted unknown profile")
+	} else if !strings.Contains(err.Error(), "klingon") {
+		t.Fatalf("error %q does not name the bad profile", err)
+	}
+	if _, err := BulkLoad(FromTuples(nil), IndexOptions{Profile: "klingon"}); err == nil {
+		t.Fatal("BulkLoad accepted unknown profile")
+	}
+}
+
+func TestProfilesRegistry(t *testing.T) {
+	ps := Profiles()
+	for _, want := range []string{"", "latin", "cyrillic", "greek", "cjk", "standard"} {
+		if !slices.Contains(ps, want) {
+			t.Errorf("Profiles() = %v, missing %q", ps, want)
+		}
+	}
+}
+
+// Durable round trip: the profile is part of the compatibility tuple.
+// Reopening with zero options adopts it, keys logged through the WAL
+// are already normalised when replayed, and naming a different profile
+// is refused.
+func TestDurableProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir() + "/idx"
+	ix, err := BulkLoad(FromTuples([]Tuple{{Key: "Μαρία Οδός"}}), IndexOptions{
+		Profile: "greek",
+		Storage: StorageOptions{Dir: dir},
+	})
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	// An upsert in a different representation travels the WAL normalised.
+	if _, _, err := ix.Upsert(Tuple{Key: "Νίκος Πλατεία"}); err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := Open(dir, IndexOptions{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer re.Close()
+	if got := re.Options().Profile; got != "greek" {
+		t.Fatalf("reopened profile %q, want greek", got)
+	}
+	for _, probe := range []string{"ΜΑΡΙΑ ΟΔΟΣ", "μαρία οδός"} {
+		ms := re.Probe(probe)
+		if len(ms) != 1 || !ms[0].Exact || ms[0].Ref.ID != 0 {
+			t.Fatalf("Probe(%q) after reopen = %+v, want exact match of ID 0", probe, ms)
+		}
+	}
+	if ms := re.Probe("νικοσ πλατεια"); len(ms) != 1 || !ms[0].Exact {
+		t.Fatalf("WAL-replayed tuple not probeable: %+v", ms)
+	}
+
+	if _, err := Open(dir, IndexOptions{Profile: "latin"}); err == nil {
+		t.Fatal("Open accepted a conflicting profile")
+	} else if !strings.Contains(err.Error(), "profile") {
+		t.Fatalf("mismatch error %q does not mention the profile", err)
+	}
+}

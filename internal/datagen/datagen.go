@@ -32,6 +32,10 @@ type Spec struct {
 	// same pattern ("variants in both tables"); the child input is
 	// always perturbed.
 	PerturbParent bool
+	// Script selects the writing system keys are composed from
+	// (default ASCII, the paper's setting); non-Latin scripts drive the
+	// engine's Unicode paths in parity, fuzz and benchmark harnesses.
+	Script Script
 }
 
 // Defaults returns the paper's evaluation configuration for the given
@@ -63,6 +67,9 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("datagen: unknown pattern %d", int(s.Pattern))
 	}
+	if _, ok := scriptTables[s.Script]; !ok {
+		return fmt.Errorf("datagen: unknown script %d", int(s.Script))
+	}
 	return nil
 }
 
@@ -72,7 +79,11 @@ func (s Spec) Name() string {
 	if s.PerturbParent {
 		side = "both"
 	}
-	return s.Pattern.String() + "/" + side
+	name := s.Pattern.String() + "/" + side
+	if s.Script != ASCII {
+		name += "/" + s.Script.String()
+	}
+	return name
 }
 
 // Dataset is a generated parent/child table pair with ground truth.
@@ -98,7 +109,7 @@ func Generate(spec Spec) (*Dataset, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
-	names := NewNameGen(rng.Int63())
+	names := NewNameGenScript(rng.Int63(), spec.Script)
 
 	cleanParent := make([]string, spec.ParentSize)
 	for j := range cleanParent {

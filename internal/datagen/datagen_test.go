@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"adaptivelink/internal/join"
+	"adaptivelink/internal/qgram"
 	"adaptivelink/internal/simfn"
 )
 
@@ -392,4 +393,78 @@ func TestGenerateProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestScriptGenerators(t *testing.T) {
+	ex := qgram.New(3)
+	jaccard := simfn.TokenSim(simfn.Jaccard, ex)
+	for _, script := range Scripts {
+		script := script
+		t.Run(script.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			g := NewNameGenScript(5, script)
+			seen := map[string]struct{}{}
+			for i := 0; i < 500; i++ {
+				k := g.Next()
+				if _, dup := seen[k]; dup {
+					t.Fatalf("duplicate key %q", k)
+				}
+				seen[k] = struct{}{}
+				if script != ASCII && isASCIIString(k) {
+					t.Fatalf("script %v generated pure-ASCII key %q", script, k)
+				}
+				if n := len(ex.Grams(k)); n < 26 {
+					t.Fatalf("key %q has %d distinct grams, want >= 26", k, n)
+				}
+				v := Mutate(rng, k)
+				if v == k {
+					t.Fatalf("Mutate returned the original %q", k)
+				}
+				if d := simfn.Levenshtein(k, v); d != 1 {
+					t.Fatalf("Mutate(%q) = %q at rune distance %d, want 1", k, v, d)
+				}
+				// The variant must stay above the calibrated threshold
+				// under padded q=3 Jaccard, like the ASCII generator.
+				if sim := jaccard(k, v); sim < join.DefaultTheta {
+					t.Fatalf("variant %q of %q has similarity %v < theta %v", v, k, sim, join.DefaultTheta)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateScriptedDataset(t *testing.T) {
+	for _, script := range []Script{Cyrillic, Greek, CJK, LatinDiacritic} {
+		spec := Defaults(FewHighIntensity, false)
+		spec.ParentSize, spec.ChildSize = 300, 300
+		spec.Script = script
+		ds, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("Generate(%v): %v", script, err)
+		}
+		child, _ := ds.VariantCount()
+		if child == 0 {
+			t.Fatalf("script %v dataset has no child variants", script)
+		}
+		if got := ds.Spec.Name(); !strings.Contains(got, script.String()) {
+			t.Fatalf("Spec.Name() = %q, want script suffix %q", got, script.String())
+		}
+	}
+}
+
+func TestValidateRejectsUnknownScript(t *testing.T) {
+	spec := Defaults(Uniform, false)
+	spec.Script = Script(99)
+	if err := spec.Validate(); err == nil {
+		t.Fatal("Validate accepted unknown script")
+	}
+}
+
+func isASCIIString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
 }

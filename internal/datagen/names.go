@@ -52,9 +52,10 @@ var syllables = []string{
 // create many generators with different seeds; the same seed yields the
 // same sequence.
 type NameGen struct {
-	rng  *rand.Rand
-	seen map[string]struct{}
-	ex   *qgram.Extractor
+	rng   *rand.Rand
+	seen  map[string]struct{}
+	ex    *qgram.Extractor
+	parts scriptParts
 	// minGrams is the minimum number of distinct padded q=3 grams a key
 	// must have. A 1-character substitution disturbs at most q = 3
 	// distinct grams, so a key with D distinct grams keeps Jaccard ≥
@@ -63,12 +64,23 @@ type NameGen struct {
 	minGrams int
 }
 
-// NewNameGen returns a generator seeded with seed.
-func NewNameGen(seed int64) *NameGen {
+// NewNameGen returns a generator seeded with seed, producing the
+// default pseudo-Italian ASCII keys.
+func NewNameGen(seed int64) *NameGen { return NewNameGenScript(seed, ASCII) }
+
+// NewNameGenScript returns a generator composing keys in the given
+// script. Unknown scripts fall back to ASCII (Spec.Validate rejects
+// them before generation).
+func NewNameGenScript(seed int64, script Script) *NameGen {
+	parts, ok := scriptTables[script]
+	if !ok {
+		parts = scriptTables[ASCII]
+	}
 	return &NameGen{
 		rng:      rand.New(rand.NewSource(seed)),
 		seen:     make(map[string]struct{}),
 		ex:       qgram.New(3),
+		parts:    parts,
 		minGrams: 26,
 	}
 }
@@ -78,7 +90,7 @@ func (g *NameGen) word() string {
 	n := 2 + g.rng.Intn(3)
 	var b strings.Builder
 	for i := 0; i < n; i++ {
-		b.WriteString(syllables[g.rng.Intn(len(syllables))])
+		b.WriteString(g.parts.syllables[g.rng.Intn(len(g.parts.syllables))])
 	}
 	return b.String()
 }
@@ -88,8 +100,8 @@ func (g *NameGen) word() string {
 func (g *NameGen) Next() string {
 	for attempt := 0; ; attempt++ {
 		parts := []string{
-			regionCodes[g.rng.Intn(len(regionCodes))],
-			provinceCodes[g.rng.Intn(len(provinceCodes))],
+			g.parts.regions[g.rng.Intn(len(g.parts.regions))],
+			g.parts.provinces[g.rng.Intn(len(g.parts.provinces))],
 			g.word(),
 			g.word(),
 		}
@@ -110,10 +122,12 @@ func (g *NameGen) Next() string {
 }
 
 // Mutate returns a variant of key at edit distance exactly 1: a single
-// in-place character substitution that keeps the key length, avoids the
-// separator spaces (so the word structure survives) and never reproduces
-// the original character. This mirrors the paper's
-// "SANTA CRISTINA" → "SANTA CRISTINx" example.
+// in-place character substitution that keeps the key's rune length,
+// avoids the separator spaces (so the word structure survives) and
+// never reproduces the original character. The replacement stays in the
+// replaced rune's script (x/z for Latin, Ж/Щ for Cyrillic, Ξ/Ψ for
+// Greek, 鑫/龍 for CJK), mirroring the paper's
+// "SANTA CRISTINA" → "SANTA CRISTINx" example across writing systems.
 func Mutate(rng *rand.Rand, key string) string {
 	rs := []rune(key)
 	// Collect substitutable positions (non-space).
@@ -127,10 +141,6 @@ func Mutate(rng *rand.Rand, key string) string {
 		return key + "x"
 	}
 	i := positions[rng.Intn(len(positions))]
-	replacement := 'x'
-	if rs[i] == 'x' || rs[i] == 'X' {
-		replacement = 'z'
-	}
-	rs[i] = replacement
+	rs[i] = replacementFor(rs[i])
 	return string(rs)
 }

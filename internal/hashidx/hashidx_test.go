@@ -497,3 +497,42 @@ func BenchmarkProbeKeyCandidates(b *testing.B) {
 		_ = x.ProbeKey(k, 8, &sc)
 	}
 }
+
+// Non-ASCII BMP keys flow through the inverted index on the rune-packed
+// decomposition: inserts and probes agree with the string-gram oracle,
+// a one-rune variant is still found, and the zero-alloc probe contract
+// holds for Cyrillic keys exactly as for ASCII ones.
+func TestQGramIndexNonASCII(t *testing.T) {
+	x := newQIdx()
+	orig := "САНКТ ПЕТЕРБУРГ НЕВСКИЙ 7"
+	x.Insert(0, orig)
+	x.Insert(1, "МОСКВА АРБАТ 12")
+
+	ex := x.Extractor()
+	for _, g := range ex.Grams(orig) {
+		if got := x.Frequency(g); got < 1 {
+			t.Errorf("Frequency(%q) = %d, want >= 1", g, got)
+		}
+	}
+
+	variant := "САНКТ ПЕТЕРБУРГ НЕЖСКИЙ 7" // one-rune substitution
+	gv := ex.Count(variant)
+	cands := x.Probe(variant, gv-3)
+	if len(cands) != 1 || cands[0].Ref != 0 {
+		t.Fatalf("Probe(variant) = %v, want the original", cands)
+	}
+
+	var sc ProbeScratch
+	k := ex.Decompose(&sc.Dec, variant)
+	if got := x.ProbeKey(k, gv-3, &sc); len(got) != 1 || got[0].Ref != 0 {
+		t.Fatalf("ProbeKey(variant) = %v, want the original", got)
+	}
+	if raceEnabled {
+		return
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = x.ProbeKey(k, gv-3, &sc)
+	}); avg != 0 {
+		t.Errorf("non-ASCII ProbeKey allocated %.2f times per op, want 0", avg)
+	}
+}

@@ -78,6 +78,59 @@ func TestAllocApproxProbeBudget(t *testing.T) {
 	}
 }
 
+// nonASCIIAllocWorkload mirrors allocWorkload with Cyrillic keys, so the
+// probes run the rune-packed decomposition path end to end.
+func nonASCIIAllocWorkload(t testing.TB, shards int) (Resident, []string) {
+	t.Helper()
+	idx, err := NewShardedRefIndex(Defaults(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples []relation.Tuple
+	for i := 0; i < 64; i++ {
+		tuples = append(tuples, relation.Tuple{ID: i, Key: fmt.Sprintf("УЛИЦА МОСКОВСКАЯ %d СЕВЕР %d", i, i%7)})
+	}
+	idx.Upsert(tuples)
+	return idx, []string{
+		"УЛИЦА МОСКОВСКАЯ 7 СЕВЕР 0", // exact hit
+		"УЛИЦА МОСКОВСКАЯ 7 СЕВЕР 9", // variant: approx hit, exact miss
+		"ПЛОЩАДЬ НЕСУЩЕСТВУЮЩАЯ 99",  // miss
+	}
+}
+
+// approxNonASCIIAllocBudget is the documented budget of one approximate
+// probe of a non-ASCII BMP key: the rune-packed path has the same
+// steady state of zero as the ASCII byte packing, and the budget of 2
+// absorbs up to two pool refills forced by a GC cycle landing
+// mid-measurement (non-ASCII scratches are colder than ASCII ones in
+// mixed workloads, so refills are marginally likelier).
+const approxNonASCIIAllocBudget = 2.0
+
+// Non-ASCII BMP probes honour the packed-path contract: exact probes
+// are allocation-free, approximate probes stay within the documented
+// budget — the keys never fall back to per-gram string materialisation.
+func TestAllocNonASCIIProbes(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		idx, probes := nonASCIIAllocWorkload(t, shards)
+		dst := make([]RefMatch, 0, 64)
+		for _, key := range probes {
+			dst = idx.AppendProbe(dst[:0], Exact, key) // warm
+			if avg := testing.AllocsPerRun(200, func() {
+				dst = idx.AppendProbe(dst[:0], Exact, key)
+			}); avg != 0 {
+				t.Errorf("shards=%d non-ASCII exact probe %q: %.2f allocs/op, want 0", shards, key, avg)
+			}
+			dst = idx.AppendProbe(dst[:0], Approx, key) // warm pool + scratch
+			if avg := testing.AllocsPerRun(200, func() {
+				dst = idx.AppendProbe(dst[:0], Approx, key)
+			}); avg > approxNonASCIIAllocBudget {
+				t.Errorf("shards=%d non-ASCII approx probe %q: %.2f allocs/op, budget %v",
+					shards, key, avg, approxNonASCIIAllocBudget)
+			}
+		}
+	}
+}
+
 // The single-shard sequential reference implementation honours the same
 // contract (read lock aside): zero-alloc exact probes, budgeted approx.
 func TestAllocRefIndexProbes(t *testing.T) {

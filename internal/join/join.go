@@ -18,6 +18,7 @@ package join
 import (
 	"fmt"
 
+	"adaptivelink/internal/normalize"
 	"adaptivelink/internal/simfn"
 	"adaptivelink/internal/stream"
 )
@@ -205,6 +206,14 @@ type Config struct {
 	// finite-table setting. A small per-tuple residue (key string and
 	// gram-size bookkeeping) still grows with stream length.
 	RetainWindow int
+	// Profile names the normalize.ProfileNamed pipeline both sides'
+	// keys were normalised with before reaching the engine. The engine
+	// itself never applies it — normalization happens at the facade and
+	// service boundaries — but the label travels with the configuration
+	// into snapshot metadata, so stored indexes refuse to load under a
+	// different normalization than the one that built their keys. ""
+	// (the default) means keys are joined verbatim.
+	Profile string
 }
 
 // DefaultTheta is the calibrated similarity threshold for this
@@ -240,6 +249,9 @@ func (c Config) Validate() error {
 	}
 	if c.RetainWindow < 0 {
 		return fmt.Errorf("join: retain window %d negative", c.RetainWindow)
+	}
+	if _, err := normalize.ProfileNamed(c.Profile); err != nil {
+		return fmt.Errorf("join: %w", err)
 	}
 	return nil
 }

@@ -75,8 +75,87 @@ func benchProbeBatch(b *testing.B, mode Mode, shards int) {
 	}
 }
 
+// benchWorkloadCyrillic is benchWorkload with Cyrillic keys, the
+// multilingual shape of the same linkbench workload: every probe runs
+// the rune-packed gram path instead of the ASCII byte packing. The
+// generator is inlined (syllable composition plus single-rune
+// substitution variants) rather than routed through datagen's script
+// profiles, so this file keeps compiling against older revisions for
+// BASE_REF comparisons.
+func benchWorkloadCyrillic(b *testing.B, shards int) (*ShardedRefIndex, []string) {
+	b.Helper()
+	// The pool mirrors the ASCII workload's gram diversity (40 syllables
+	// there): a denser pool would inflate posting lists and bench the
+	// data shape rather than the rune-packed path.
+	syllables := []string{
+		"МОС", "КВА", "НОВ", "ГОР", "ОД", "СК", "ПЕТ", "РО", "ВЛА", "ДИ",
+		"КАЗ", "АНЬ", "ЕКА", "ТЕР", "ИН", "БУР", "СИБ", "ИР", "ВОЛ", "ГА",
+		"ЯРО", "СЛА", "ВЛЬ", "СМО", "ЛЕН", "КУР", "ГАН", "ТВЕ", "РЖ", "ОМ",
+		"УФА", "ПЕР", "МЬ", "ТУЛ", "БРЯ", "НС", "КИ", "ХАБ", "АР", "ЧИ",
+	}
+	rng := rand.New(rand.NewSource(3))
+	word := func() string {
+		w := ""
+		for n := 2 + rng.Intn(3); n > 0; n-- {
+			w += syllables[rng.Intn(len(syllables))]
+		}
+		return w
+	}
+	seen := make(map[string]struct{}, benchParent)
+	keys := make([]string, 0, benchParent)
+	tuples := make([]relation.Tuple, 0, benchParent)
+	for len(keys) < benchParent {
+		k := word() + " " + word() + " " + word() + " " + word()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		tuples = append(tuples, relation.Tuple{ID: len(keys), Key: k})
+		keys = append(keys, k)
+	}
+	idx, err := NewShardedRefIndex(Defaults(), shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx.Upsert(tuples)
+	mutate := func(k string) string {
+		rs := []rune(k)
+		i := rng.Intn(len(rs))
+		for rs[i] == ' ' {
+			i = rng.Intn(len(rs))
+		}
+		if rs[i] == 'Ж' {
+			rs[i] = 'Щ'
+		} else {
+			rs[i] = 'Ж'
+		}
+		return string(rs)
+	}
+	probes := make([]string, 4096)
+	for i := range probes {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Float64() < benchVariantRate {
+			k = mutate(k)
+		}
+		probes[i] = k
+	}
+	return idx, probes
+}
+
+func benchProbeSingleCyrillic(b *testing.B, mode Mode, shards int) {
+	idx, probes := benchWorkloadCyrillic(b, shards)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Probe(mode, probes[i%len(probes)])
+	}
+}
+
 func BenchmarkResidentProbeExact(b *testing.B)  { benchProbeSingle(b, Exact, 1) }
 func BenchmarkResidentProbeApprox(b *testing.B) { benchProbeSingle(b, Approx, 1) }
+
+func BenchmarkResidentProbeExactCyrillic(b *testing.B)  { benchProbeSingleCyrillic(b, Exact, 1) }
+func BenchmarkResidentProbeApproxCyrillic(b *testing.B) { benchProbeSingleCyrillic(b, Approx, 1) }
 
 func BenchmarkResidentProbeBatchExact(b *testing.B)  { benchProbeBatch(b, Exact, 1) }
 func BenchmarkResidentProbeBatchApprox(b *testing.B) { benchProbeBatch(b, Approx, 1) }

@@ -5,9 +5,24 @@
 // Normalizer to both inputs before joining removes spurious variants
 // (case, whitespace, accents, token order) so the similarity budget is
 // spent on genuine typos.
+//
+// Beyond the ad-hoc Step functions, the package defines named
+// per-language normalization profiles (ProfileNamed): fixed pipelines
+// for Latin, Cyrillic, Greek and CJK keys that the resident index and
+// the service thread through their configuration, so both sides of a
+// linkage are normalised identically and the choice is recorded in
+// snapshot metadata.
+//
+// The package is dependency-free: canonicalisation and mark stripping
+// run on a hand-rolled canonical-decomposition table covering the
+// Latin-1 Supplement, Latin Extended-A, Greek tonos/dialytika and the
+// Cyrillic Ё/Й compositions — the precomposed letters that actually
+// occur in name data — rather than the full Unicode NFC/NFD machinery.
+// Runes outside the table pass through unchanged.
 package normalize
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"unicode"
@@ -41,7 +56,8 @@ func Standard() *Normalizer {
 	return NewNormalizer(FoldAccents, Uppercase, StripPunct, CollapseSpaces)
 }
 
-// Uppercase maps the string to upper case.
+// Uppercase maps the string to upper case (simple, rune-to-rune case
+// mapping; use FoldCase for the expanding full fold).
 func Uppercase(s string) string { return strings.ToUpper(s) }
 
 // Lowercase maps the string to lower case.
@@ -67,31 +83,210 @@ func StripPunct(s string) string {
 	return b.String()
 }
 
-// accentMap folds the Latin-1/Latin-Extended letters common in
-// European place names to their ASCII base letters.
-var accentMap = map[rune]rune{
-	'à': 'a', 'á': 'a', 'â': 'a', 'ã': 'a', 'ä': 'a', 'å': 'a',
-	'è': 'e', 'é': 'e', 'ê': 'e', 'ë': 'e',
-	'ì': 'i', 'í': 'i', 'î': 'i', 'ï': 'i',
-	'ò': 'o', 'ó': 'o', 'ô': 'o', 'õ': 'o', 'ö': 'o',
-	'ù': 'u', 'ú': 'u', 'û': 'u', 'ü': 'u',
-	'ç': 'c', 'ñ': 'n', 'ý': 'y',
-	'À': 'A', 'Á': 'A', 'Â': 'A', 'Ã': 'A', 'Ä': 'A', 'Å': 'A',
-	'È': 'E', 'É': 'E', 'Ê': 'E', 'Ë': 'E',
-	'Ì': 'I', 'Í': 'I', 'Î': 'I', 'Ï': 'I',
-	'Ò': 'O', 'Ó': 'O', 'Ô': 'O', 'Õ': 'O', 'Ö': 'O',
-	'Ù': 'U', 'Ú': 'U', 'Û': 'U', 'Ü': 'U',
-	'Ç': 'C', 'Ñ': 'N', 'Ý': 'Y',
+// canonDecomp is the canonical-decomposition table: precomposed letter
+// → base + combining mark, pairwise (a two-mark letter decomposes to a
+// still-composed intermediate, e.g. ΐ → ϊ + acute, and the intermediate
+// decomposes further). It covers the precomposed Latin, Greek and
+// Cyrillic letters of European name data. Entries come in case pairs —
+// if a lowercase letter decomposes, so does its uppercase form — which
+// keeps fold-then-upcase pipelines idempotent.
+var canonDecomp = map[rune]string{
+	// Latin-1 Supplement.
+	'à': "à", 'á': "á", 'â': "â", 'ã': "ã", 'ä': "ä", 'å': "å",
+	'è': "è", 'é': "é", 'ê': "ê", 'ë': "ë",
+	'ì': "ì", 'í': "í", 'î': "î", 'ï': "ï",
+	'ò': "ò", 'ó': "ó", 'ô': "ô", 'õ': "õ", 'ö': "ö",
+	'ù': "ù", 'ú': "ú", 'û': "û", 'ü': "ü",
+	'ç': "ç", 'ñ': "ñ", 'ý': "ý", 'ÿ': "ÿ",
+	'À': "À", 'Á': "Á", 'Â': "Â", 'Ã': "Ã", 'Ä': "Ä", 'Å': "Å",
+	'È': "È", 'É': "É", 'Ê': "Ê", 'Ë': "Ë",
+	'Ì': "Ì", 'Í': "Í", 'Î': "Î", 'Ï': "Ï",
+	'Ò': "Ò", 'Ó': "Ó", 'Ô': "Ô", 'Õ': "Õ", 'Ö': "Ö",
+	'Ù': "Ù", 'Ú': "Ú", 'Û': "Û", 'Ü': "Ü",
+	'Ç': "Ç", 'Ñ': "Ñ", 'Ý': "Ý", 'Ÿ': "Ÿ",
+	// Latin Extended-A (the name-frequent subset).
+	'ā': "ā", 'ă': "ă", 'ą': "ą", 'Ā': "Ā", 'Ă': "Ă", 'Ą': "Ą",
+	'ć': "ć", 'č': "č", 'Ć': "Ć", 'Č': "Č",
+	'ē': "ē", 'ė': "ė", 'ę': "ę", 'ě': "ě",
+	'Ē': "Ē", 'Ė': "Ė", 'Ę': "Ę", 'Ě': "Ě",
+	'ğ': "ğ", 'Ğ': "Ğ", 'ī': "ī", 'į': "į", 'Ī': "Ī", 'Į': "Į",
+	'ń': "ń", 'ň': "ň", 'Ń': "Ń", 'Ň': "Ň",
+	'ō': "ō", 'ő': "ő", 'Ō': "Ō", 'Ő': "Ő",
+	'ŕ': "ŕ", 'ř': "ř", 'Ŕ': "Ŕ", 'Ř': "Ř",
+	'ś': "ś", 'ş': "ş", 'š': "š", 'Ś': "Ś", 'Ş': "Ş", 'Š': "Š",
+	'ţ': "ţ", 'ť': "ť", 'Ţ': "Ţ", 'Ť': "Ť",
+	'ū': "ū", 'ů': "ů", 'ű': "ű", 'ų': "ų",
+	'Ū': "Ū", 'Ů': "Ů", 'Ű': "Ű", 'Ų': "Ų",
+	'ź': "ź", 'ż': "ż", 'ž': "ž", 'Ź': "Ź", 'Ż': "Ż", 'Ž': "Ž",
+	// Greek tonos and dialytika.
+	'ά': "ά", 'έ': "έ", 'ή': "ή", 'ί': "ί", 'ό': "ό", 'ύ': "ύ", 'ώ': "ώ",
+	'Ά': "Ά", 'Έ': "Έ", 'Ή': "Ή", 'Ί': "Ί", 'Ό': "Ό", 'Ύ': "Ύ", 'Ώ': "Ώ",
+	'ϊ': "ϊ", 'ϋ': "ϋ", 'Ϊ': "Ϊ", 'Ϋ': "Ϋ",
+	'ΐ': "ΐ", 'ΰ': "ΰ",
+	// Cyrillic.
+	'ё': "ё", 'Ё': "Ё", 'й': "й", 'Й': "Й",
 }
 
-// FoldAccents replaces accented Latin letters with their base letters.
+// canonComp is the composition inverse of canonDecomp, built once.
+var canonComp = func() map[string]rune {
+	m := make(map[string]rune, len(canonDecomp))
+	for r, d := range canonDecomp {
+		m[d] = r
+	}
+	return m
+}()
+
+// appendDecomposed appends the full canonical decomposition of r
+// (recursively expanding pairwise entries) to out.
+func appendDecomposed(out []rune, r rune) []rune {
+	if d, ok := canonDecomp[r]; ok {
+		rs := []rune(d)
+		out = appendDecomposed(out, rs[0])
+		return append(out, rs[1:]...)
+	}
+	return append(out, r)
+}
+
+// Canonicalize composes decomposed (NFD-style) sequences back into
+// their precomposed forms — a limited NFC over the canonDecomp table —
+// so that NFC and NFD spellings of the same name become byte-identical.
+// Base+mark pairs outside the table pass through unchanged.
+func Canonicalize(s string) string {
+	runes := []rune(s)
+	var b strings.Builder
+	b.Grow(len(s))
+	have := false
+	var pending rune
+	for _, r := range runes {
+		if have && unicode.Is(unicode.Mn, r) {
+			if comp, ok := canonComp[string(pending)+string(r)]; ok {
+				pending = comp
+				continue
+			}
+		}
+		if have {
+			b.WriteRune(pending)
+		}
+		pending, have = r, true
+	}
+	if have {
+		b.WriteRune(pending)
+	}
+	return b.String()
+}
+
+// StripMarks canonically decomposes each rune (over the canonDecomp
+// table) and drops every combining mark (Unicode category Mn), whether
+// it arrived precomposed ("é") or as an explicit NFD mark ("e"+U+0301).
+// It is the diacritic-stripping Step for languages where marks are
+// orthographic decoration; unlike FoldAccents it applies no special
+// letter folds (ø, æ, ß pass through).
+func StripMarks(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	var buf [4]rune
+	for _, r := range s {
+		if unicode.Is(unicode.Mn, r) {
+			continue
+		}
+		for _, dr := range appendDecomposed(buf[:0], r) {
+			if !unicode.Is(unicode.Mn, dr) {
+				b.WriteRune(dr)
+			}
+		}
+	}
+	return b.String()
+}
+
+// accentFold maps the Latin special letters that have no canonical
+// decomposition to their conventional ASCII transliterations. Combined
+// with mark stripping this closes the coverage gaps of the historical
+// accent map (ø æ œ š ž ł đ ð þ and uppercase forms).
+var accentFold = map[rune]string{
+	'ø': "o", 'Ø': "O",
+	'æ': "ae", 'Æ': "AE",
+	'œ': "oe", 'Œ': "OE",
+	'ł': "l", 'Ł': "L",
+	'đ': "d", 'Đ': "D",
+	'ð': "d", 'Ð': "D",
+	'þ': "th", 'Þ': "Th",
+	'ı': "i", 'İ': "I",
+}
+
+// FoldAccents replaces accented letters with their base letters. It
+// accepts both precomposed (NFC) and decomposed (NFD) input: a
+// combining mark is dropped whether it is fused into the letter ("é")
+// or follows it as a separate rune ("e"+U+0301), so both spellings of
+// the same name fold to identical bytes. Letters with conventional
+// ASCII transliterations but no decomposition (ø æ œ ł đ ð þ ...) fold
+// through accentFold; runes covered by neither survive unchanged.
 func FoldAccents(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
+	var buf [4]rune
 	for _, r := range s {
-		if base, ok := accentMap[r]; ok {
-			b.WriteRune(base)
-		} else {
+		if rep, ok := accentFold[r]; ok {
+			b.WriteString(rep)
+			continue
+		}
+		if unicode.Is(unicode.Mn, r) {
+			continue // NFD input: the base letter was already written
+		}
+		if _, ok := canonDecomp[r]; ok {
+			for _, dr := range appendDecomposed(buf[:0], r) {
+				if !unicode.Is(unicode.Mn, dr) {
+					b.WriteRune(dr)
+				}
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// fullFold holds the full-case-folding expansions the simple upper-case
+// mapping cannot express (one rune becoming several).
+var fullFold = map[rune]string{
+	'ß': "SS", 'ẞ': "SS",
+	'ﬀ': "FF", 'ﬁ': "FI", 'ﬂ': "FL", 'ﬃ': "FFI", 'ﬄ': "FFL", 'ﬅ': "ST", 'ﬆ': "ST",
+	'ŉ': "'N", 'ǰ': "J̌", 'ΐ': "Ϊ́", 'ΰ': "Ϋ́",
+}
+
+// FoldCase applies full upper-case folding: the simple rune-to-rune
+// upper-case mapping plus the expanding folds it cannot express
+// (ß→SS, the Latin ligatures, ŉ). Final sigma folds to Σ like any
+// other sigma. Unlike Uppercase this can change the rune count, which
+// is why the q-gram extractor keeps to the simple fold and expanding
+// folds happen here, upstream of decomposition.
+func FoldCase(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if rep, ok := fullFold[r]; ok {
+			b.WriteString(rep)
+			continue
+		}
+		b.WriteRune(unicode.ToUpper(r))
+	}
+	return b.String()
+}
+
+// FoldWidth folds the NFKC width variants that dominate CJK key data:
+// fullwidth ASCII forms (Ａ-Ｚ, ０-９, ！-～) narrow to their ASCII
+// counterparts and the ideographic space U+3000 becomes a plain space.
+// Halfwidth katakana and the remaining compatibility forms are out of
+// scope and pass through.
+func FoldWidth(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r == '　':
+			b.WriteRune(' ')
+		case r >= '！' && r <= '～':
+			b.WriteRune(r - 0xFEE0)
+		default:
 			b.WriteRune(r)
 		}
 	}
@@ -106,10 +301,74 @@ func SortTokens(s string) string {
 	return strings.Join(fields, " ")
 }
 
+// DefaultProfile is the profile name meaning "no normalization": keys
+// are indexed and probed verbatim, the engine's historical behaviour.
+const DefaultProfile = ""
+
+// profilePipelines names the per-language normalization pipelines. The
+// registry is fixed at build time: a profile name stored in snapshot
+// metadata must mean the same pipeline forever, so renaming or
+// re-ordering an existing profile's steps is a compatibility break
+// (add a new name instead).
+var profilePipelines = map[string]func() *Normalizer{
+	DefaultProfile: func() *Normalizer { return NewNormalizer() },
+	"standard":     Standard,
+	// Latin with diacritics (French, Italian, Czech, Polish, Turkish,
+	// Nordic ...): canonicalise spelling, fold accents and special
+	// letters to ASCII base letters, then full case fold — folding
+	// before casing keeps mixed-case transliterations (Þ→Th) from
+	// leaking into the upper-cased output — and strip punctuation.
+	"latin": func() *Normalizer {
+		return NewNormalizer(Canonicalize, FoldAccents, FoldCase, StripPunct, CollapseSpaces)
+	},
+	// Cyrillic: fold the Ё/Й mark compositions (so NFC and NFD agree and
+	// е/ё variant spellings match), full case fold, strip punctuation.
+	"cyrillic": func() *Normalizer {
+		return NewNormalizer(Canonicalize, FoldAccents, FoldCase, StripPunct, CollapseSpaces)
+	},
+	// Greek: strip tonos/dialytika (so ΜΑΡΊΑ and ΜΑΡΙΑ match), full case
+	// fold — final sigma folds with the rest — and strip punctuation.
+	"greek": func() *Normalizer {
+		return NewNormalizer(Canonicalize, FoldCase, StripMarks, StripPunct, CollapseSpaces)
+	},
+	// CJK: fold fullwidth/halfwidth width variants and the ideographic
+	// space; no case or accent folding applies.
+	"cjk": func() *Normalizer {
+		return NewNormalizer(FoldWidth, StripPunct, CollapseSpaces)
+	},
+}
+
+// Profiles returns the registered profile names in sorted order, the
+// empty default first.
+func Profiles() []string {
+	out := make([]string, 0, len(profilePipelines))
+	for name := range profilePipelines {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProfileNamed returns the named per-language normalization pipeline.
+// The empty name is the identity profile (no steps). Unknown names are
+// an error listing the registry, so a typo in configuration or a
+// snapshot written by a newer build fails loudly instead of silently
+// indexing unnormalised keys.
+func ProfileNamed(name string) (*Normalizer, error) {
+	mk, ok := profilePipelines[name]
+	if !ok {
+		return nil, fmt.Errorf("normalize: unknown profile %q (have %q)", name, Profiles())
+	}
+	return mk(), nil
+}
+
 // Soundex returns the classic four-character American Soundex code of
 // the first word-like run of letters in s ("" for strings without
 // letters). Blocking on Soundex groups names that sound alike, the
 // standard cheap blocking key of the record-linkage literature.
+// Apostrophes and hyphens inside the first name token are transparent
+// (O'Brien codes like OBrien, not like O), matching the archival
+// convention of coding punctuated surnames as one word.
 func Soundex(s string) string {
 	code := func(r rune) byte {
 		switch r {
@@ -145,6 +404,9 @@ func Soundex(s string) string {
 	out := []byte{byte(runes[start])}
 	prev := code(runes[start])
 	for _, r := range runes[start+1:] {
+		if r == '\'' || r == '’' || r == '-' {
+			continue // intra-name punctuation joins, never terminates
+		}
 		if r < 'A' || r > 'Z' {
 			break // end of the first word
 		}

@@ -93,6 +93,186 @@ func TestSoundexFirstWordOnly(t *testing.T) {
 	}
 }
 
+// Regression: intra-name apostrophes and hyphens must not terminate
+// coding — O'BRIEN previously coded as O000.
+func TestSoundexIntraNamePunctuation(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"O'Brien", "O165"},
+		{"o'brien", "O165"},
+		{"OBrien", "O165"},
+		{"O’Brien", "O165"}, // typographic apostrophe
+		{"Jean-Baptiste", "J511"},
+		{"JeanBaptiste", "J511"},
+		{"D'Angelo", "D524"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// The punctuated and plain spellings must block together.
+	if Soundex("O'Brien") != Soundex("OBrien") {
+		t.Error("apostrophe changed the blocking key")
+	}
+}
+
+// Regression: decomposed (NFD) input must fold like precomposed (NFC)
+// input — "José" with a combining acute previously kept the mark.
+func TestFoldAccentsNFD(t *testing.T) {
+	nfc := "José"  // é precomposed
+	nfd := "José" // e + combining acute
+	if got := FoldAccents(nfd); got != "Jose" {
+		t.Errorf("FoldAccents(NFD) = %q, want %q", got, "Jose")
+	}
+	if FoldAccents(nfc) != FoldAccents(nfd) {
+		t.Errorf("NFC and NFD spellings fold differently: %q vs %q",
+			FoldAccents(nfc), FoldAccents(nfd))
+	}
+	if got := Soundex(nfd); got != Soundex(nfc) {
+		t.Errorf("Soundex differs across normal forms: %q vs %q", Soundex(nfd), Soundex(nfc))
+	}
+}
+
+// Regression: the historical accent map missed ø æ œ š ž ł đ ð þ.
+func TestFoldAccentsCoverageGaps(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Ødegård", "Odegard"},
+		{"Ærø", "AEro"},
+		{"Œuvre", "OEuvre"},
+		{"Škoda", "Skoda"},
+		{"Žižek", "Zizek"},
+		{"Łódź", "Lodz"},
+		{"Đorđe", "Dorde"},
+		{"Ðylan", "Dylan"},
+		{"Þóra", "Thora"},
+		{"Čenēk", "Cenek"},
+	}
+	for _, c := range cases {
+		if got := FoldAccents(c.in); got != c.want {
+			t.Errorf("FoldAccents(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"José", "José"}, // NFD → NFC
+		{"José", "José"},  // NFC unchanged
+		{"ΐ", "ΐ"},      // ι+diaeresis+tonos → ΐ (two-mark, pairwise)
+		{"ё", "ё"},       // е+diaeresis → ё
+		{"xঙ", "xঙ"},      // uncovered base+mark pass through
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Canonicalize(c.in); got != c.want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStripMarks(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"María", "Maria"},  // precomposed
+		{"María", "Maria"}, // NFD
+		{"άεί", "αει"},      // Greek tonos strips
+		{"øæß", "øæß"},      // specials are NOT folded here
+		{"ё", "е"},          // ё → е
+	}
+	for _, c := range cases {
+		if got := StripMarks(c.in); got != c.want {
+			t.Errorf("StripMarks(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFoldCase(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"straße", "STRASSE"},
+		{"GroẞMANN", "GROSSMANN"}, // capital ẞ
+		{"ﬁn", "FIN"},
+		{"θάλασσας", "ΘΆΛΑΣΣΑΣ"}, // final sigma folds with the rest
+		{"plain", "PLAIN"},
+	}
+	for _, c := range cases {
+		if got := FoldCase(c.in); got != c.want {
+			t.Errorf("FoldCase(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFoldWidth(t *testing.T) {
+	if got := FoldWidth("ＡＢＣ　１２３"); got != "ABC 123" {
+		t.Errorf("got %q", got)
+	}
+	if got := FoldWidth("東京"); got != "東京" {
+		t.Errorf("CJK ideographs must pass through, got %q", got)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	names := Profiles()
+	for _, want := range []string{"", "standard", "latin", "cyrillic", "greek", "cjk"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("profile %q missing from registry %q", want, names)
+		}
+	}
+	if _, err := ProfileNamed("no-such-profile"); err == nil {
+		t.Error("unknown profile must error")
+	}
+	id, err := ProfileNamed(DefaultProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := id.Apply("  MiXeD  Cáse  "); got != "  MiXeD  Cáse  " {
+		t.Errorf("default profile must be the identity, got %q", got)
+	}
+}
+
+func TestProfilePipelines(t *testing.T) {
+	cases := []struct{ profile, in, want string }{
+		{"latin", "José Müller-Straße", "JOSE MULLERSTRASSE"},
+		{"latin", "José Müller-Straße", "JOSE MULLERSTRASSE"}, // NFD spelling converges
+		{"cyrillic", "Артём Fëdorov", "АРТЕМ FEDOROV"},
+		{"greek", "Μαρία Παπαδοπούλου", "ΜΑΡΙΑ ΠΑΠΑΔΟΠΟΥΛΟΥ"},
+		{"cjk", "東京都　港区（ＴＯＫＹＯ）", "東京都 港区TOKYO"},
+		{"standard", "  Forlì -  Cesena  ", "FORLI CESENA"},
+	}
+	for _, c := range cases {
+		n, err := ProfileNamed(c.profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Apply(c.in); got != c.want {
+			t.Errorf("profile %q: Apply(%q) = %q, want %q", c.profile, c.in, got, c.want)
+		}
+	}
+}
+
+// Property: every registered profile is idempotent — applying it twice
+// equals applying it once, the contract that lets the facade normalize
+// both at index and at probe time without double-folding.
+func TestProfileIdempotentProperty(t *testing.T) {
+	for _, name := range Profiles() {
+		n, err := ProfileNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(s string) bool {
+			once := n.Apply(s)
+			return n.Apply(once) == once
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("profile %q: %v", name, err)
+		}
+	}
+}
+
 // Property: normalisation is idempotent for the standard pipeline.
 func TestStandardIdempotentProperty(t *testing.T) {
 	n := Standard()

@@ -8,11 +8,23 @@ import "testing"
 
 const benchKey = "TAA BZ SANTA CRISTINA VALGARDENA"
 
+// benchKeyCyrillic is the multilingual counterpart: same shape, all
+// runes non-ASCII BMP, so decomposition takes the rune-packed path.
+const benchKeyCyrillic = "МОС СП САНКТ ПЕТЕРБУРГ ВАСИЛЬЕВСКИЙ"
+
 func BenchmarkGramsStrings(b *testing.B) {
 	ex := New(3)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = ex.Grams(benchKey)
+	}
+}
+
+func BenchmarkGramsStringsCyrillic(b *testing.B) {
+	ex := New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ex.Grams(benchKeyCyrillic)
 	}
 }
 
@@ -23,6 +35,16 @@ func BenchmarkDecomposePacked(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sc.Reset()
 		_ = ex.Decompose(&sc, benchKey)
+	}
+}
+
+func BenchmarkDecomposePackedCyrillic(b *testing.B) {
+	ex := New(3)
+	var sc Scratch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Reset()
+		_ = ex.Decompose(&sc, benchKeyCyrillic)
 	}
 }
 

@@ -4,14 +4,16 @@ import (
 	"fmt"
 	"maps"
 	"slices"
+	"unicode"
 	"unicode/utf8"
 )
 
 // This file implements the dictionary-encoded gram pipeline: instead of
 // materialising one string per gram on every decomposition, keys are
 // decomposed into scratch-backed Key values (packed uint64 windows on
-// the ASCII fast path, interned strings otherwise) and grams are mapped
-// to dense uint32 ids by a per-index Dict. The probe hot path of the
+// the ASCII and BMP-rune fast paths, interned strings only for
+// astral-plane or oversized grams) and grams are mapped to dense uint32
+// ids by a per-index Dict. The probe hot path of the
 // join engines runs entirely on these ids: posting lists are keyed by
 // id, candidate counting uses epoch-stamped arrays, and verification is
 // integer arithmetic over precomputed signature sizes — no per-probe
@@ -26,6 +28,24 @@ const NoID = ^uint32(0)
 // maxPacked is the widest gram (in bytes) the ASCII fast path can pack
 // into a uint64: 7 data bytes plus a length tag byte.
 const maxPacked = 7
+
+// maxPackedRunes is the widest gram (in runes) the BMP rune path can
+// pack into a uint64: 3 runes at 21 bits each (a BMP code point plus
+// the +1 absence bias needs 17 bits; 21-bit fields keep headroom and
+// divide 63 evenly). Revisiting the budget per plane: astral runes
+// (> U+FFFF) would need 21 bits of payload plus the bias, overflowing
+// the field, so they take the string fallback instead of a 2-rune
+// packing — astral-plane keys are rare enough that a narrower budget
+// is not worth a third scheme.
+const maxPackedRunes = 3
+
+// runeFieldBits and runeFieldMask describe one 21-bit rune field of the
+// rune packing; maxBMP is the last code point the field can carry.
+const (
+	runeFieldBits = 21
+	runeFieldMask = 1<<runeFieldBits - 1
+	maxBMP        = 0xFFFF
+)
 
 // pack encodes an ASCII gram of 1..maxPacked bytes into a uint64 with
 // the length in the top byte and the data big-endian below it, so that
@@ -53,16 +73,62 @@ func unpack(buf *[maxPacked + 1]byte, p uint64) []byte {
 	return buf[:l]
 }
 
+// packRunes encodes a gram of 1..maxPackedRunes BMP runes into a uint64:
+// rune i is stored as r+1 in the i-th 21-bit field from the top (bits
+// 42..62, 21..41, 0..20; bit 63 stays clear). The +1 bias makes a zero
+// field mean "absent", so the gram length is implicit and no length tag
+// competes with the payload for bits. Field-by-field numeric comparison
+// is rune-by-rune code-point comparison, and UTF-8 preserves code-point
+// order bytewise, so for equal-length grams numeric order of packed
+// values equals lexicographic order of the gram strings — the same
+// canonical-order invariant the byte packing gives the prefix-filter
+// router. Values from packRunes and pack are never compared with each
+// other: a Key is packed under exactly one scheme (Key.runePacked).
+func packRunes(rs []rune) uint64 {
+	var p uint64
+	shift := uint(2 * runeFieldBits)
+	for _, r := range rs {
+		p |= uint64(r+1) << shift
+		shift -= runeFieldBits
+	}
+	return p
+}
+
+// runeGramBufLen is the stack-buffer size that always fits an unpacked
+// rune gram: maxPackedRunes BMP runes of at most 3 UTF-8 bytes each
+// (utf8.UTFMax covers astral runes, which the rune path excludes, but
+// the extra headroom costs nothing on the stack).
+const runeGramBufLen = maxPackedRunes * utf8.UTFMax
+
+// unpackRunes appends the UTF-8 bytes of a rune-packed gram to buf and
+// returns it; allocation-free when buf has capacity runeGramBufLen.
+func unpackRunes(buf []byte, p uint64) []byte {
+	for shift := 2 * runeFieldBits; ; shift -= runeFieldBits {
+		f := (p >> uint(shift)) & runeFieldMask
+		if f == 0 {
+			break
+		}
+		buf = utf8.AppendRune(buf, rune(f-1))
+		if shift == 0 {
+			break
+		}
+	}
+	return buf
+}
+
 // Key is one decomposed join key: its q-grams in scratch-backed form.
-// On the ASCII fast path grams are packed uint64s; otherwise they are
-// materialised strings. For set-semantics extractors the grams are
-// distinct and in canonical (lexicographic) order; multiset extractors
-// keep window order with duplicates. A Key borrows the Scratch it was
-// decomposed with and stays valid until that Scratch is Reset; it is
-// immutable and safe to share across goroutines that only read it.
+// On the packed fast paths grams are uint64s — byte-packed for ASCII
+// keys, rune-packed for non-ASCII BMP keys (runePacked selects the
+// scheme) — otherwise they are materialised strings. For set-semantics
+// extractors the grams are distinct and in canonical (lexicographic)
+// order; multiset extractors keep window order with duplicates. A Key
+// borrows the Scratch it was decomposed with and stays valid until that
+// Scratch is Reset; it is immutable and safe to share across goroutines
+// that only read it.
 type Key struct {
-	packed []uint64
-	strs   []string
+	packed     []uint64
+	strs       []string
+	runePacked bool
 }
 
 // Len returns the gram count |q(s)| (distinct under set semantics).
@@ -74,10 +140,14 @@ func (k Key) Len() int {
 }
 
 // AppendGram appends the i-th gram's bytes to buf and returns it, in
-// the Key's canonical order, without allocating for packed grams.
+// the Key's canonical order, without allocating for packed grams when
+// buf has at least runeGramBufLen spare capacity.
 func (k Key) AppendGram(buf []byte, i int) []byte {
 	if k.strs != nil {
 		return append(buf, k.strs[i]...)
+	}
+	if k.runePacked {
+		return unpackRunes(buf, k.packed[i])
 	}
 	var b [maxPacked + 1]byte
 	return append(buf, unpack(&b, k.packed[i])...)
@@ -106,15 +176,23 @@ func (sc *Scratch) Reset() {
 
 // Decompose is the allocation-free counterpart of Grams: it decomposes
 // s into a scratch-backed Key under the extractor's configuration.
-// Keys with only ASCII runes (and q small enough to pack) never
-// materialise gram strings at all. The returned Key borrows sc and is
-// valid until sc.Reset.
+// ASCII keys (with q small enough to byte-pack) and non-ASCII keys
+// whose runes all sit in the Basic Multilingual Plane (with q small
+// enough to rune-pack) never materialise gram strings at all; only
+// astral-plane or oversized-gram keys fall back to the string path.
+// The returned Key borrows sc and is valid until sc.Reset.
 func (e *Extractor) Decompose(sc *Scratch, s string) Key {
 	if len(s) == 0 {
 		return Key{}
 	}
-	if e.q <= maxPacked && isASCII(s) {
-		return e.decomposeASCII(sc, s)
+	if isASCII(s) {
+		if e.q <= maxPacked {
+			return e.decomposeASCII(sc, s)
+		}
+	} else if e.q <= maxPackedRunes {
+		if k, ok := e.decomposeRunes(sc, s); ok {
+			return k
+		}
 	}
 	return e.decomposeSlow(sc, s)
 }
@@ -181,7 +259,70 @@ func (e *Extractor) decomposeASCII(sc *Scratch, s string) Key {
 	return Key{packed: sc.packed[start:]}
 }
 
-// decomposeSlow handles non-ASCII keys and gram widths too large to
+// decomposeRunes is the packed fast path for non-ASCII keys: it folds
+// and pads rune by rune, packs each q-rune window with packRunes, and
+// sorts/dedups numerically exactly like decomposeASCII. It reports
+// ok=false — leaving the caller to fall back to the string path —
+// when any rune lies outside the BMP, where the 21-bit field would
+// overflow. Invalid UTF-8 decodes to U+FFFD here just as it does in
+// Grams ([]rune conversion), so the two paths agree on mangled input.
+func (e *Extractor) decomposeRunes(sc *Scratch, s string) (Key, bool) {
+	runes := sc.runes[:0]
+	if e.padded {
+		for i := 0; i < e.q-1; i++ {
+			runes = append(runes, PadLeft)
+		}
+	}
+	for _, r := range s {
+		if r > maxBMP {
+			sc.runes = runes
+			return Key{}, false
+		}
+		if e.fold {
+			// Rune-wise unicode.ToUpper is exactly what foldUpper's
+			// strings.ToUpper applies, without the allocation; simple
+			// upper-casing never maps a BMP rune out of the BMP.
+			r = unicode.ToUpper(r)
+		}
+		runes = append(runes, r)
+	}
+	if e.padded {
+		for i := 0; i < e.q-1; i++ {
+			runes = append(runes, PadRight)
+		}
+	}
+	sc.runes = runes
+
+	win := sc.win[:0]
+	if len(runes) < e.q {
+		// Unpadded short string: one gram holding the whole value
+		// (len < q <= maxPackedRunes, so it always packs).
+		win = append(win, packRunes(runes))
+	} else {
+		for i := 0; i+e.q <= len(runes); i++ {
+			win = append(win, packRunes(runes[i:i+e.q]))
+		}
+	}
+	sc.win = win
+
+	start := len(sc.packed)
+	if e.multiset {
+		sc.packed = append(sc.packed, win...)
+		return Key{packed: sc.packed[start:], runePacked: true}, true
+	}
+	// Set semantics: sort and deduplicate. Numeric order of rune-packed
+	// values is the canonical lexicographic gram order (see packRunes).
+	slices.Sort(win)
+	for i, p := range win {
+		if i > 0 && p == win[i-1] {
+			continue
+		}
+		sc.packed = append(sc.packed, p)
+	}
+	return Key{packed: sc.packed[start:], runePacked: true}, true
+}
+
+// decomposeSlow handles astral-plane keys and gram widths too large to
 // pack. Gram strings are materialised (one allocation each), but dedup
 // still reuses the scratch map instead of allocating one per call.
 func (e *Extractor) decomposeSlow(sc *Scratch, s string) Key {
@@ -309,6 +450,17 @@ func (d *Dict) AppendIDs(dst []uint32, k Key) []uint32 {
 		}
 		return dst
 	}
+	if k.runePacked {
+		var b [runeGramBufLen]byte
+		for _, p := range k.packed {
+			id, ok := d.ids[string(unpackRunes(b[:0], p))]
+			if !ok {
+				id = NoID
+			}
+			dst = append(dst, id)
+		}
+		return dst
+	}
 	var b [maxPacked + 1]byte
 	for _, p := range k.packed {
 		id, ok := d.ids[string(unpack(&b, p))]
@@ -326,6 +478,19 @@ func (d *Dict) Intern(dst []uint32, k Key) []uint32 {
 	if k.strs != nil {
 		for _, g := range k.strs {
 			dst = append(dst, d.internString(g))
+		}
+		return dst
+	}
+	if k.runePacked {
+		var b [runeGramBufLen]byte
+		for _, p := range k.packed {
+			bs := unpackRunes(b[:0], p)
+			id, ok := d.ids[string(bs)]
+			if !ok {
+				id = uint32(len(d.ids))
+				d.ids[string(bs)] = id
+			}
+			dst = append(dst, id)
 		}
 		return dst
 	}

@@ -1,10 +1,59 @@
 package qgram
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzGrams asserts the structural invariants of padded decomposition
 // on arbitrary inputs: no panic, every gram exactly q runes, multiset
 // count equal to runeLen+q-1, set a subset of the multiset.
+// FuzzDecomposeParity differentially tests the packed decomposition
+// paths against the string-materialising Grams oracle: for every input
+// — ASCII, Latin-with-diacritics, Cyrillic, Greek, CJK, astral-plane,
+// invalid UTF-8 — Decompose must produce exactly the gram multiset (or
+// canonical set) Grams does, under every extractor configuration. This
+// is the harness that locks the byte-packed, rune-packed and string
+// fallback paths to one semantics.
+func FuzzDecomposeParity(f *testing.F) {
+	seeds := []string{
+		"", "TAA BZ SANTA CRISTINA VALGARDENA",
+		"MÜNCHEN OST", "Łódź Śródmieście", "José Müller-Straße",
+		"МОСКВА ПЕТРОГРАДСКАЯ", "Ярославль",
+		"ΑΘΗΝΑ ΚΕΝΤΡΟ", "Θεσσαλονίκη",
+		"東京都 港区", "名古屋市中村区",
+		"mixed ascii と 漢字", "emoji 🦊 in key", "\xff\xfe broken",
+		string(rune(0xFFFF)) + string(rune(0x10000)),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	variants := extractorVariants()
+	f.Fuzz(func(t *testing.T, s string) {
+		for name, ex := range variants {
+			var sc Scratch
+			got := decomposedGrams(ex.Decompose(&sc, s))
+			want := ex.Grams(s)
+			if !ex.multiset {
+				want = Sorted(want)
+			}
+			if len(got) == 0 {
+				got = nil
+			}
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: Decompose(%q) = %v, want %v", name, s, got, want)
+			}
+			// Count must agree with the decomposition it summarises.
+			if n := ex.Count(s); n != len(want) {
+				t.Fatalf("%s: Count(%q) = %d, want %d", name, s, n, len(want))
+			}
+		}
+	})
+}
+
 func FuzzGrams(f *testing.F) {
 	for _, seed := range []string{"", "a", "TAA BZ SANTA CRISTINA", "日本語テキスト", "\x00\xff", "   ", "aaaaaaaa"} {
 		f.Add(seed)

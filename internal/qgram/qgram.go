@@ -125,9 +125,14 @@ func (e *Extractor) GramSet(s string) map[string]struct{} {
 // set extractors it is arithmetic whenever the multiset count provably
 // equals the distinct count, and falls back to deduplicating otherwise.
 //
-// Case folding never changes the rune count (unicode.ToUpper maps rune
-// to rune) and cannot create or remove pad runes, so the arithmetic
-// paths skip it entirely.
+// The fold used here is the SIMPLE upper-case mapping (strings.ToUpper
+// applies unicode.ToUpper rune-wise), which maps each rune to exactly
+// one rune — full case folding, which may expand (ß→SS), is
+// deliberately excluded from the extractor; normalize.FoldCase applies
+// it upstream when a profile opts in. Because the simple fold preserves
+// the rune count and cannot create or remove pad runes, the arithmetic
+// paths skip it entirely; TestFoldPreservesRuneCount pins this
+// contract.
 func (e *Extractor) Count(s string) int {
 	l := utf8.RuneCountInString(s)
 	if l == 0 {

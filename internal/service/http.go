@@ -44,8 +44,12 @@ type CreateIndexRequest struct {
 	Measure string  `json:"measure,omitempty"`
 	// Shards is the index's shard count (0 = one per server hardware
 	// thread).
-	Shards int        `json:"shards,omitempty"`
-	Tuples []TupleDTO `json:"tuples"`
+	Shards int `json:"shards,omitempty"`
+	// Profile names the normalization pipeline applied to every key on
+	// upsert and probe ("" = index keys verbatim); unknown names are a
+	// 400 listing the registry.
+	Profile string     `json:"profile,omitempty"`
+	Tuples  []TupleDTO `json:"tuples"`
 }
 
 // UpsertRequest is the POST /v1/indexes/{name}/upsert payload.
@@ -239,7 +243,7 @@ func NewHandler(s *Service) http.Handler {
 }
 
 func indexOptions(req CreateIndexRequest) adaptivelink.IndexOptions {
-	opts := adaptivelink.IndexOptions{Q: req.Q, Theta: req.Theta, Shards: req.Shards}
+	opts := adaptivelink.IndexOptions{Q: req.Q, Theta: req.Theta, Shards: req.Shards, Profile: req.Profile}
 	switch req.Measure {
 	case "dice":
 		opts.Measure = adaptivelink.Dice

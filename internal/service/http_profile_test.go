@@ -1,0 +1,55 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The wire profile option reaches the index, normalises keys on both
+// the load and link sides, and is reported back in index info; an
+// unknown name is a 400 listing the registry.
+func TestHTTPCreateIndexProfile(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := doJSON(t, "POST", ts.URL+"/v1/indexes", CreateIndexRequest{
+		Name:    "munich",
+		Profile: "latin",
+		Tuples:  []TupleDTO{{Key: "Münchner Straße 5"}, {Key: "Leopoldstraße 1"}},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	var info IndexInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if info.Profile != "latin" {
+		t.Fatalf("info.Profile = %q, want latin", info.Profile)
+	}
+
+	// A differently-accented, differently-cased spelling links exactly.
+	code, body = doJSON(t, "POST", ts.URL+"/v1/link", LinkRequestDTO{
+		Index: "munich", Keys: []string{"MUNCHNER STRASSE 5"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("link: %d %s", code, body)
+	}
+	var res LinkResponseDTO
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decode link: %v", err)
+	}
+	if len(res.Results) != 1 || len(res.Results[0].Matches) != 1 || !res.Results[0].Matches[0].Exact {
+		t.Fatalf("link results = %+v, want one exact match", res.Results)
+	}
+
+	code, body = doJSON(t, "POST", ts.URL+"/v1/indexes", CreateIndexRequest{
+		Name: "bad", Profile: "klingon", Tuples: []TupleDTO{{Key: "x"}},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown profile: %d %s", code, body)
+	}
+	if !strings.Contains(string(body), "klingon") {
+		t.Fatalf("unknown-profile error does not name it: %s", body)
+	}
+}

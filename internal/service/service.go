@@ -324,6 +324,7 @@ func (s *Service) SnapshotIndex(name string) (IndexInfo, error) {
 func (mi *managedIndex) info() IndexInfo {
 	info := IndexInfo{
 		Name: mi.name, Size: mi.ix.Len(), Shards: mi.ix.Options().Shards, CreatedAt: mi.created,
+		Profile: mi.ix.Options().Profile,
 		Durable: mi.ix.Durable(), WALRecords: mi.ix.WALRecords(),
 	}
 	if t := mi.ix.LastSnapshot(); !t.IsZero() {
@@ -395,6 +396,7 @@ type IndexInfo struct {
 	Name         string     `json:"name"`
 	Size         int        `json:"size"`
 	Shards       int        `json:"shards"`
+	Profile      string     `json:"profile,omitempty"`
 	CreatedAt    time.Time  `json:"created_at"`
 	Durable      bool       `json:"durable"`
 	WALRecords   int64      `json:"wal_records"`
@@ -622,6 +624,7 @@ type IndexStats struct {
 	Name          string     `json:"name"`
 	Size          int        `json:"size"`
 	Shards        int        `json:"shards"`
+	Profile       string     `json:"profile,omitempty"`
 	CreatedAt     time.Time  `json:"created_at"`
 	Durable       bool       `json:"durable"`
 	WALRecords    int64      `json:"wal_records"`
@@ -667,6 +670,7 @@ func (s *Service) Snapshot() Snapshot {
 			Name:          mi.name,
 			Size:          mi.ix.Len(),
 			Shards:        mi.ix.Options().Shards,
+			Profile:       mi.ix.Options().Profile,
 			CreatedAt:     mi.created,
 			Durable:       mi.ix.Durable(),
 			WALRecords:    mi.ix.WALRecords(),

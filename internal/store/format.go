@@ -3,7 +3,7 @@
 // ShardedRefIndex state, an upsert write-ahead log replayed on boot,
 // and the directory layout that ties the two together (see Dir).
 //
-// # Snapshot format (version 1)
+// # Snapshot format (version 2)
 //
 // A snapshot serializes a join.SnapshotView — the global tuple store
 // plus, per shard, the shard's member refs and its dictionary-encoded
@@ -13,11 +13,11 @@
 // offset tables; no gram is re-hashed and no key is re-decomposed.
 //
 //	magic   "ALSNAP\x01\n"                     8 bytes
-//	header  version u32 = 1
+//	header  version u32 = 2
 //	        q u32, measure u32, shards u32     the compatibility triple
 //	        theta f64 (IEEE bits)
 //	        tuples u32                         global store size n
-//	        reserved u32 = 0
+//	        profile len u32 + bytes            normalization profile name
 //	store   ids      n × i64
 //	        keys     string blob
 //	        attrs    ragged string blob        per-tuple attr lists
@@ -41,6 +41,11 @@
 // the whole file, so truncated or bit-flipped snapshots are rejected
 // with descriptive errors — the loader never panics on hostile bytes
 // (FuzzSnapshotDecode) and never yields a partial index.
+//
+// Version 1 differs only in the profile slot: it carried a reserved
+// u32 (always 0) and no profile bytes. v1 snapshots still load, with
+// the profile read as "" — they predate normalization profiles, so
+// their keys were indexed verbatim and "" is exactly what built them.
 package store
 
 import (
@@ -61,9 +66,10 @@ import (
 )
 
 // SnapshotVersion is the current snapshot format version. Decoders
-// reject other versions with a descriptive error; the format owns its
-// compatibility story explicitly rather than by accident.
-const SnapshotVersion = 1
+// accept versions 1..SnapshotVersion and reject anything else with a
+// descriptive error; the format owns its compatibility story explicitly
+// rather than by accident.
+const SnapshotVersion = 2
 
 var snapMagic = [8]byte{'A', 'L', 'S', 'N', 'A', 'P', 0x01, '\n'}
 
@@ -195,12 +201,15 @@ func (e *writer) raggedU32(lists [][]uint32) {
 	e.u32s(flat)
 }
 
-// WriteSnapshot encodes the view onto w in snapshot format v1,
+// WriteSnapshot encodes the view onto w in snapshot format v2,
 // including the trailing CRC.
 func WriteSnapshot(w io.Writer, v *join.SnapshotView) error {
 	n := len(v.Tuples)
 	if n > math.MaxUint32 {
 		return fmt.Errorf("store: snapshot of %d tuples exceeds the format's uint32 ref space", n)
+	}
+	if len(v.Cfg.Profile) > maxProfileLen {
+		return fmt.Errorf("store: normalization profile name %d bytes long, cap is %d", len(v.Cfg.Profile), maxProfileLen)
 	}
 	e := newWriter(w)
 	e.write(snapMagic[:])
@@ -210,7 +219,8 @@ func WriteSnapshot(w io.Writer, v *join.SnapshotView) error {
 	e.u32(uint32(v.NShard))
 	e.f64(v.Cfg.Theta)
 	e.u32(uint32(n))
-	e.u32(0) // reserved
+	e.u32(uint32(len(v.Cfg.Profile)))
+	e.write([]byte(v.Cfg.Profile))
 
 	keys := make([]string, n)
 	var attrTotal int
@@ -441,8 +451,8 @@ func DecodeSnapshot(data []byte) (*join.SnapshotView, error) {
 	}
 	r := &reader{data: body, off: len(snapMagic)}
 	version := r.u32()
-	if r.err == nil && version != SnapshotVersion {
-		return nil, fmt.Errorf("store: snapshot format version %d, this build reads version %d", version, SnapshotVersion)
+	if r.err == nil && version != 1 && version != SnapshotVersion {
+		return nil, fmt.Errorf("store: snapshot format version %d, this build reads versions 1..%d", version, SnapshotVersion)
 	}
 	v := &join.SnapshotView{}
 	v.Cfg.Q = int(r.u32())
@@ -452,7 +462,13 @@ func DecodeSnapshot(data []byte) (*join.SnapshotView, error) {
 	v.NShard = int(r.u32())
 	v.Cfg.Theta = r.f64()
 	n := r.count("tuple")
-	r.u32() // reserved
+	plen := r.u32() // v1: reserved (ignored); v2: profile length
+	if version >= 2 {
+		if r.err == nil && plen > maxProfileLen {
+			r.fail("profile name length %d over the %d cap", plen, maxProfileLen)
+		}
+		v.Cfg.Profile = string(r.take(int(plen)))
+	}
 	if r.err != nil {
 		return nil, r.err
 	}

@@ -81,14 +81,14 @@ func FuzzWALReplay(f *testing.F) {
 	seed := fuzzSeedWAL(f)
 	f.Add(seed)
 	f.Add(seed[:len(seed)-5])
-	f.Add(seed[:walHeaderSize])
+	f.Add(seed[:walFixedHeaderSize])
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := decodeWALBytes(data)
 		if err != nil {
 			return
 		}
-		if dec.good < walHeaderSize || dec.good > len(data) {
+		if dec.good < walFixedHeaderSize || dec.good > len(data) {
 			t.Fatalf("good offset %d outside header..len range of %d-byte input", dec.good, len(data))
 		}
 		if !dec.torn && dec.good != len(data) {

@@ -68,9 +68,9 @@ func peekSnapshotMeta(path string) (*Meta, error) {
 		return nil, err
 	}
 	defer f.Close()
-	// Magic through theta: the compatibility fields all sit in the fixed
-	// header (full structural validation happens on load).
-	var buf [8 + 4 + 4 + 4 + 4 + 8]byte
+	// Magic through the profile slot: the compatibility fields all sit
+	// in the header (full structural validation happens on load).
+	var buf [8 + 4 + 4 + 4 + 4 + 8 + 4 + 4]byte
 	if _, err := io.ReadFull(f, buf[:]); err != nil {
 		return nil, fmt.Errorf("%s: %w: snapshot shorter than its header", path, ErrCorrupt)
 	}
@@ -78,14 +78,27 @@ func peekSnapshotMeta(path string) (*Meta, error) {
 	if string(r.take(8)) != string(snapMagic[:]) {
 		return nil, fmt.Errorf("%s: %w: snapshot magic mismatch", path, ErrCorrupt)
 	}
-	if v := r.u32(); v != SnapshotVersion {
-		return nil, fmt.Errorf("%s: snapshot format version %d, this build reads version %d", path, v, SnapshotVersion)
+	version := r.u32()
+	if version != 1 && version != SnapshotVersion {
+		return nil, fmt.Errorf("%s: snapshot format version %d, this build reads versions 1..%d", path, version, SnapshotVersion)
 	}
 	m := &Meta{}
 	m.Q = int(r.u32())
 	m.Measure = simfn.TokenMeasure(r.u32())
 	m.Shards = int(r.u32())
 	m.Theta = r.f64()
+	r.u32() // tuple count
+	plen := r.u32()
+	if r.err == nil && version >= 2 && plen > 0 {
+		if plen > maxProfileLen {
+			return nil, fmt.Errorf("%s: %w: profile name length %d over the %d cap", path, ErrCorrupt, plen, maxProfileLen)
+		}
+		pb := make([]byte, plen)
+		if _, err := io.ReadFull(f, pb); err != nil {
+			return nil, fmt.Errorf("%s: %w: snapshot shorter than its header", path, ErrCorrupt)
+		}
+		m.Profile = string(pb)
+	}
 	return m, r.err
 }
 
@@ -98,8 +111,9 @@ func peekWALMeta(path string) (*Meta, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var buf [walHeaderSize]byte
-	n, _ := f.Read(buf[:])
+	// The full v2 header: fixed fields, profile length, profile bytes.
+	var buf [walFixedHeaderSize + 4 + maxProfileLen]byte
+	n, _ := io.ReadFull(f, buf[:])
 	if n == 0 {
 		return nil, nil // empty file: treated as absent, Open rewrites it
 	}
@@ -190,7 +204,7 @@ func Create(dir string, ix *join.ShardedRefIndex, sync SyncPolicy) (*Dir, error)
 // metaConfig expands a compatibility tuple to the join configuration of
 // a fresh resident index.
 func metaConfig(m Meta) join.Config {
-	return join.Config{Q: m.Q, Measure: m.Measure, Theta: m.Theta, Initial: join.LexRex}
+	return join.Config{Q: m.Q, Measure: m.Measure, Theta: m.Theta, Initial: join.LexRex, Profile: m.Profile}
 }
 
 // Append logs one upsert batch. Call before applying the batch to the

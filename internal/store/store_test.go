@@ -338,7 +338,7 @@ func TestWALRejectsCorruption(t *testing.T) {
 		return p
 	}
 	t.Run("payload bit flip", func(t *testing.T) {
-		if _, _, err := OpenWAL(flip(walHeaderSize+12), meta, SyncAlways); err == nil {
+		if _, _, err := OpenWAL(flip(walFixedHeaderSize+12), meta, SyncAlways); err == nil {
 			t.Fatal("bit-flipped frame replayed without error")
 		}
 	})

@@ -13,14 +13,22 @@ import (
 	"adaptivelink/internal/simfn"
 )
 
-// WALVersion is the current write-ahead-log format version.
-const WALVersion = 1
+// WALVersion is the current write-ahead-log format version. Version 2
+// appended the normalization-profile string to the header; version-1
+// logs still load, with the profile read as "" (they predate profiles,
+// when every key was logged verbatim).
+const WALVersion = 2
 
 var walMagic = [8]byte{'A', 'L', 'W', 'A', 'L', 0x01, 0x01, '\n'}
 
-// walHeaderSize is the fixed prefix: magic, version, q, measure,
-// shards, theta.
-const walHeaderSize = 8 + 4 + 4 + 4 + 4 + 8
+// walFixedHeaderSize is the version-independent prefix: magic, version,
+// q, measure, shards, theta. A v2 header continues with
+// [profile len u32][profile bytes].
+const walFixedHeaderSize = 8 + 4 + 4 + 4 + 4 + 8
+
+// maxProfileLen bounds the profile string in WAL and snapshot headers.
+// Registry names are single words; a longer length field is corruption.
+const maxProfileLen = 255
 
 // maxWALPayload caps a single frame. A length prefix beyond it is
 // corruption by construction (no acknowledged append writes frames this
@@ -63,11 +71,19 @@ type Meta struct {
 	Theta   float64
 	Measure simfn.TokenMeasure
 	Shards  int
+	// Profile is the normalization profile the index's keys were
+	// normalised with before indexing (see normalize.ProfileNamed).
+	// Keys on disk are already normalised, so reopening under another
+	// profile would probe normalised postings with differently-folded
+	// keys — a silent-mismatch class all its own, hence part of the
+	// compatibility tuple. "" for verbatim keys (and for every v1
+	// artifact, which predates profiles).
+	Profile string
 }
 
 // MetaOf extracts the compatibility tuple from a snapshot view.
 func MetaOf(v *join.SnapshotView) Meta {
-	return Meta{Q: v.Cfg.Q, Theta: v.Cfg.Theta, Measure: v.Cfg.Measure, Shards: v.NShard}
+	return Meta{Q: v.Cfg.Q, Theta: v.Cfg.Theta, Measure: v.Cfg.Measure, Shards: v.NShard, Profile: v.Cfg.Profile}
 }
 
 // Check compares two metas field by field, naming every mismatch.
@@ -84,6 +100,9 @@ func (m Meta) Check(other Meta) error {
 	}
 	if m.Shards != other.Shards {
 		bad = append(bad, fmt.Sprintf("shards %d vs %d", m.Shards, other.Shards))
+	}
+	if m.Profile != other.Profile {
+		bad = append(bad, fmt.Sprintf("normalization profile %q vs %q", m.Profile, other.Profile))
 	}
 	if bad != nil {
 		return fmt.Errorf("store: configuration mismatch: %v (stored state only reloads under the configuration that built it)", bad)
@@ -104,6 +123,9 @@ type WAL struct {
 	sync    SyncPolicy
 	records int64
 	enc     []byte
+	// hdrSize is this file's header length (version- and
+	// profile-dependent); Reset truncates back to it.
+	hdrSize int64
 }
 
 // Replay is what OpenWAL recovered from an existing log.
@@ -163,20 +185,27 @@ func OpenWAL(path string, meta Meta, sync SyncPolicy) (*WAL, *Replay, error) {
 		return nil, nil, err
 	}
 	w.records = int64(len(dec.batches))
+	w.hdrSize = int64(dec.hdrSize)
 	return w, &Replay{Batches: dec.batches, Records: int64(len(dec.batches)), TornTail: dec.torn}, nil
 }
 
 func (w *WAL) writeHeader(meta Meta) error {
-	var buf [walHeaderSize]byte
+	if len(meta.Profile) > maxProfileLen {
+		return fmt.Errorf("store: normalization profile name %d bytes long, cap is %d", len(meta.Profile), maxProfileLen)
+	}
+	buf := make([]byte, walFixedHeaderSize+4, walFixedHeaderSize+4+len(meta.Profile))
 	copy(buf[:8], walMagic[:])
 	binary.LittleEndian.PutUint32(buf[8:], WALVersion)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(meta.Q))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(meta.Measure))
 	binary.LittleEndian.PutUint32(buf[20:], uint32(meta.Shards))
 	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(meta.Theta))
-	if _, err := w.f.Write(buf[:]); err != nil {
+	binary.LittleEndian.PutUint32(buf[walFixedHeaderSize:], uint32(len(meta.Profile)))
+	buf = append(buf, meta.Profile...)
+	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
+	w.hdrSize = int64(len(buf))
 	return w.f.Sync()
 }
 
@@ -227,10 +256,10 @@ func (w *WAL) Records() int64 { return w.records }
 // Reset truncates the log back to its header — called after a snapshot
 // has captured everything the log held, making those frames redundant.
 func (w *WAL) Reset() error {
-	if err := w.f.Truncate(walHeaderSize); err != nil {
+	if err := w.f.Truncate(w.hdrSize); err != nil {
 		return err
 	}
-	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+	if _, err := w.f.Seek(w.hdrSize, io.SeekStart); err != nil {
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
@@ -258,6 +287,7 @@ type walDecoded struct {
 	batches [][]relation.Tuple
 	good    int
 	torn    bool
+	hdrSize int
 }
 
 // decodeWALBytes parses a WAL image: header, then frames until the
@@ -266,14 +296,15 @@ type walDecoded struct {
 // or its structural bounds is an error. Shared by OpenWAL and
 // FuzzWALReplay, so it must never panic on hostile input.
 func decodeWALBytes(data []byte) (*walDecoded, error) {
-	if len(data) < walHeaderSize {
-		return nil, fmt.Errorf("%w: WAL of %d bytes is shorter than its %d-byte header", ErrCorrupt, len(data), walHeaderSize)
+	if len(data) < walFixedHeaderSize {
+		return nil, fmt.Errorf("%w: WAL of %d bytes is shorter than its %d-byte header", ErrCorrupt, len(data), walFixedHeaderSize)
 	}
 	if string(data[:8]) != string(walMagic[:]) {
 		return nil, fmt.Errorf("%w: WAL magic mismatch (not an adaptivelink WAL?)", ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint32(data[8:]); v != WALVersion {
-		return nil, fmt.Errorf("store: WAL format version %d, this build reads version %d", v, WALVersion)
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != 1 && version != WALVersion {
+		return nil, fmt.Errorf("store: WAL format version %d, this build reads versions 1..%d", version, WALVersion)
 	}
 	dec := &walDecoded{
 		meta: Meta{
@@ -282,9 +313,25 @@ func decodeWALBytes(data []byte) (*walDecoded, error) {
 			Shards:  int(binary.LittleEndian.Uint32(data[20:])),
 			Theta:   math.Float64frombits(binary.LittleEndian.Uint64(data[24:])),
 		},
-		good: walHeaderSize,
+		hdrSize: walFixedHeaderSize,
 	}
-	off := walHeaderSize
+	if version >= 2 {
+		// v2 header continues with the normalization profile string.
+		if len(data) < walFixedHeaderSize+4 {
+			return nil, fmt.Errorf("%w: v2 WAL header truncated before its profile length", ErrCorrupt)
+		}
+		plen := int(binary.LittleEndian.Uint32(data[walFixedHeaderSize:]))
+		if plen > maxProfileLen {
+			return nil, fmt.Errorf("%w: WAL header claims a %d-byte profile name, cap is %d", ErrCorrupt, plen, maxProfileLen)
+		}
+		if len(data) < walFixedHeaderSize+4+plen {
+			return nil, fmt.Errorf("%w: v2 WAL header truncated inside its profile name", ErrCorrupt)
+		}
+		dec.meta.Profile = string(data[walFixedHeaderSize+4 : walFixedHeaderSize+4+plen])
+		dec.hdrSize = walFixedHeaderSize + 4 + plen
+	}
+	dec.good = dec.hdrSize
+	off := dec.hdrSize
 	for off < len(data) {
 		if len(data)-off < 8 {
 			dec.torn = true

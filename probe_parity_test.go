@@ -187,6 +187,50 @@ func TestProbeParityWithBatchStates(t *testing.T) {
 	}
 }
 
+// TestProbeParityNonLatinScripts runs the same four-state parity
+// contract over non-Latin reference tables: Cyrillic, Greek, CJK and
+// Latin-with-diacritics keys all decompose through the rune-packed gram
+// path in the resident index, and every state's probe multiset must
+// still equal the sequential batch engine's result — the end-to-end
+// differential lock on the Unicode fast path.
+func TestProbeParityNonLatinScripts(t *testing.T) {
+	for _, script := range []Script{ScriptLatinDiacritic, ScriptCyrillic, ScriptGreek, ScriptCJK} {
+		script := script
+		t.Run(string(script), func(t *testing.T) {
+			data, err := GenerateTestDataScript(13, 150, 450, PatternUniform, script, 0.15, true)
+			if err != nil {
+				t.Fatalf("GenerateTestDataScript: %v", err)
+			}
+			var parent []Tuple
+			seen := make(map[string]bool)
+			for _, p := range data.Parent {
+				if seen[p.Key] {
+					continue
+				}
+				seen[p.Key] = true
+				parent = append(parent, p)
+			}
+			probes := data.Child
+			ix, err := NewIndex(FromTuples(parent), IndexOptions{Shards: 4})
+			if err != nil {
+				t.Fatalf("NewIndex: %v", err)
+			}
+			for si, state := range join.AllStates {
+				want := batchMatchSet(t, state, parent, probes)
+				if len(want) == 0 {
+					t.Fatalf("%v: batch produced no matches; degenerate fixture", state)
+				}
+				strategy := ExactOnly
+				if state.Right == join.Approx {
+					strategy = ApproximateOnly
+				}
+				got := probeMatchSet(t, ix, strategy, probes, 2, 16, int64(1000+si))
+				diffMultisets(t, fmt.Sprintf("%s/%v", script, state), want, got)
+			}
+		})
+	}
+}
+
 // TestProbeAdaptiveBracketedByBaselines: concurrent adaptive sessions
 // land between the two fixed baselines — at least every exact match, at
 // most the approximate ceiling — for any interleaving.
