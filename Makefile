@@ -7,7 +7,7 @@ GO ?= go
 # Raise it (never lower it) when a PR lifts coverage.
 COVER_MIN ?= 86.5
 
-.PHONY: all build vet fmt test race bench cover serve-smoke fuzz bench-service bench-probe bench-store alloc check
+.PHONY: all build vet fmt test race bench cover serve-smoke obs-smoke fuzz bench-service bench-probe bench-store alloc check
 
 all: check
 
@@ -50,6 +50,15 @@ cover:
 # data dir and assert the reloaded index answers identically.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end observability smoke: request-id minting/echo, explain
+# decision traces reconciling with session stats, forced per-request
+# traces, the slowlog, /v1/version, the telemetry series in /metrics,
+# pprof on the debug listener, the linkbench server-p99 crosscheck,
+# and finally `make alloc` with tracing compiled in to prove the probe
+# hot path stayed allocation-free.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Short fuzz passes, one invariant each: torn reads (concurrent upserts
 # racing probes must never expose a half-applied payload), snapshot
@@ -96,8 +105,8 @@ bench-store:
 # (their correctness halves still run everywhere, `cover` included);
 # this target is where every allocation count is actually enforced.
 alloc:
-	$(GO) test ./internal/join ./internal/hashidx ./internal/qgram -run 'Alloc|ZeroAlloc|NoAlloc|ShortCircuit' -count=1
+	$(GO) test . ./internal/join ./internal/hashidx ./internal/qgram -run 'Alloc|ZeroAlloc|NoAlloc|ShortCircuit' -count=1
 
 # `cover` runs the whole suite under -race, so the `race` and `test`
 # targets would be redundant here.
-check: build vet fmt cover alloc bench fuzz serve-smoke
+check: build vet fmt cover alloc bench fuzz serve-smoke obs-smoke

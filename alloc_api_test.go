@@ -1,0 +1,65 @@
+//go:build !race
+
+package adaptivelink
+
+// Allocation-regression pins for the public session probe path, run by
+// `make alloc`. The observability layer (PR 8) must keep the no-explain
+// path exactly as lean as before it existed: the decision sink is nil
+// and the explain dispatch is a single pointer test, so these pins hold
+// with tracing enabled at default sampling in the service above.
+// Excluded under -race, whose instrumentation perturbs counts.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func allocAPIIndex(t testing.TB) (*Index, string, string) {
+	t.Helper()
+	ts := make([]Tuple, 64)
+	for i := range ts {
+		ts[i] = Tuple{ID: i, Key: fmt.Sprintf("VIA MONTE ROSA %d NORD %d", i, i%7)}
+	}
+	ix, err := NewIndex(FromTuples(ts), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, "VIA MONTE ROSA 7 NORD 0", "PIAZZA INESISTENTE 99 XQ"
+}
+
+// A no-explain exact-only probe that misses touches no result slice and
+// is pinned allocation-free end to end through the public API.
+func TestAllocSessionExactMissZero(t *testing.T) {
+	ix, _, miss := allocAPIIndex(t)
+	sess, err := ix.NewSession(SessionOptions{Strategy: ExactOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Probe(miss) // warm
+	if avg := testing.AllocsPerRun(200, func() { sess.Probe(miss) }); avg != 0 {
+		t.Errorf("exact-only miss: %.2f allocs/op, want 0", avg)
+	}
+}
+
+// sessionHitAllocBudget is the documented budget of a no-explain probe
+// that hits: the two allocations materialising the public result (the
+// engine match slice and its ProbeMatch conversion). The probe and
+// control-loop work itself stays allocation-free.
+const sessionHitAllocBudget = 2.0
+
+func TestAllocSessionProbeBudget(t *testing.T) {
+	ix, hit, _ := allocAPIIndex(t)
+	for name, opts := range map[string]SessionOptions{
+		"exact-only": {Strategy: ExactOnly},
+		"adaptive":   {},
+	} {
+		sess, err := ix.NewSession(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.Probe(hit) // warm
+		if avg := testing.AllocsPerRun(200, func() { sess.Probe(hit) }); avg > sessionHitAllocBudget {
+			t.Errorf("%s hit: %.2f allocs/op, budget %v", name, avg, sessionHitAllocBudget)
+		}
+	}
+}

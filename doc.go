@@ -190,6 +190,37 @@
 // serving, POST /v1/indexes/{name}/snapshot checkpoints over the wire,
 // and index info reports durable/wal_records/last_snapshot.
 //
+// # Observability
+//
+// The library explains its adaptive decisions and exposes its runtime
+// telemetry. SessionOptions.Explain makes a session record one
+// KeyDecision per probed key — the mode it ran in, whether it hit, how
+// many matches it produced, whether it escalated, and the
+// DecisionPoint events (observed vs expected hits, the σ tail, the
+// state transition and its reason, the modelled spend after the probe)
+// behind every controller activation. Session.Decisions returns the
+// trace; with Explain unset the probe path records nothing and keeps
+// its zero-allocation pin. The same traces ride the HTTP API ("explain"
+// on /v1/link, "decisions" in the response) and print under
+// adaptivejoin -explain.
+//
+// Index exposes its operational counters without touching the probe
+// path: RecoveryInfo reports what Open replayed (snapshot tuples, WAL
+// batches, whether a torn tail was truncated), StorageStats totals WAL
+// appends and fsync/append/checkpoint latencies, and EngineStats
+// counts upserts, snapshot swaps, clone time and scratch-pool traffic.
+// internal/obs adds an allocation-conscious request tracer used by the
+// service: sampled requests record span timings (queue wait, session
+// construction, per-chunk probes, merge) into lock-free ring buffers,
+// slow requests are always retained coarsely, and unsampled requests
+// cost two atomic loads. adaptivelinkd surfaces all of it — structured
+// key=value or JSON logs (-log-json) via log/slog, X-Request-ID
+// minting/propagation, X-Debug-Trace forced sampling,
+// GET /v1/debug/slowlog and /v1/debug/requests/{id},
+// GET /v1/version, runtime and per-index series on /metrics, and a
+// separate -debug-addr listener serving net/http/pprof. make obs-smoke
+// exercises the whole surface end to end.
+//
 // # Performance
 //
 // The q-gram hot path of both engines is dictionary-encoded: each

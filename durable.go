@@ -101,11 +101,11 @@ func Open(dir string, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, ri, _, err := store.Open(dir, opts.meta(), opts.Storage.WALSync.store())
+	d, ri, rec, err := store.Open(dir, opts.meta(), opts.Storage.WALSync.store())
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: opening %s: %w", dir, err)
 	}
-	return &Index{res: ri, opts: opts, norm: opts.normalizer(), dir: d}, nil
+	return &Index{res: ri, opts: opts, norm: opts.normalizer(), dir: d, rec: rec}, nil
 }
 
 // BulkLoad builds a resident index from the reference source through

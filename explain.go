@@ -1,0 +1,140 @@
+package adaptivelink
+
+import (
+	"adaptivelink/internal/adaptive"
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+)
+
+// DecisionPoint is one control-loop activation in a key's decision
+// trace: what the σ deficit test saw at that probe and why the
+// responder kept or changed the session state.
+type DecisionPoint struct {
+	// Probe is the session probe count at the activation (the loop's
+	// step clock).
+	Probe int `json:"probe"`
+	// ObservedHits is the observed result size O̅ₜ (probes with ≥1
+	// match so far); ExpectedHits the §3.2 model's expectation at this
+	// step — under the resident parent-child model p(n)=1, so it equals
+	// the probe count.
+	ObservedHits int     `json:"observed_hits"`
+	ExpectedHits float64 `json:"expected_hits"`
+	// Tail is the binomial tail probability of the observed deficit;
+	// Sigma whether it fell to ThetaOut or below.
+	Tail  float64 `json:"tail"`
+	Sigma bool    `json:"sigma"`
+	// From and To are the processor state names around the respond step.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Reason labels the outcome: "steady", "deficit", "deficit-held",
+	// "window-clear", "budget" or "futility".
+	Reason string `json:"reason"`
+	// Spend is the session's modelled cost after this activation, in
+	// all-exact-step units.
+	Spend float64 `json:"spend"`
+}
+
+// KeyDecision is the per-key decision trace Explain-mode sessions
+// record: how the key was probed, what it returned, and every
+// control-loop activation it triggered.
+type KeyDecision struct {
+	// Key is the probed key after normalization (what the engine saw).
+	Key string `json:"key"`
+	// Mode is the probe operator the key ran under, in the paper's
+	// abbreviations ("ex" or "ap"); an escalated key ran exact first,
+	// then approximately.
+	Mode string `json:"mode"`
+	// Hit reports whether the probe found any match; Matches how many.
+	Hit     bool `json:"hit"`
+	Matches int  `json:"matches"`
+	// Escalated reports the per-probe escalation: the key missed under
+	// exact matching, fired σ, and was re-run approximately.
+	Escalated bool `json:"escalated"`
+	// Events are the control-loop activations this probe triggered
+	// (empty when the loop was not due or the strategy is fixed).
+	Events []DecisionPoint `json:"events,omitempty"`
+	// SpendAfter is the session's modelled cost after this key, in
+	// all-exact-step units. The final key's SpendAfter equals
+	// SessionStats.ModelledCost.
+	SpendAfter float64 `json:"spend_after"`
+}
+
+// explainState buffers the sink's activation events between probes and
+// accumulates the finished per-key decisions.
+type explainState struct {
+	pending   []adaptive.DecisionEvent
+	decisions []KeyDecision
+}
+
+// probeExplain is Session.Probe's explain-mode twin: identical matches
+// and statistics (same engine calls, same control-loop feeding), plus a
+// KeyDecision recorded per key. It allocates per probe; the default
+// path never routes here.
+func (s *Session) probeExplain(key string) []ProbeMatch {
+	key = s.ix.normKey(key)
+	d := KeyDecision{Key: key}
+	var res []join.RefMatch
+	switch s.strategy {
+	case ExactOnly:
+		d.Mode = join.Exact.String()
+		res = s.ix.res.ProbeExact(key)
+	case ApproximateOnly:
+		d.Mode = join.Approx.String()
+		res = s.ix.res.ProbeApprox(key)
+	default:
+		mode := s.loop.Mode()
+		d.Mode = mode.String()
+		res = s.ix.res.Probe(mode, key)
+		if s.loop.NoteProbe(s.ix.Len(), len(res) > 0, countApprox(res)) {
+			res = s.ix.res.ProbeApprox(key)
+			s.loop.NoteEscalation(len(res) > 0, countApprox(res))
+			s.stats.Escalations++
+			d.Escalated = true
+		}
+	}
+	s.note(res)
+	d.Hit = len(res) > 0
+	d.Matches = len(res)
+	if n := len(s.explain.pending); n > 0 {
+		d.Events = make([]DecisionPoint, n)
+		for i, e := range s.explain.pending {
+			d.Events[i] = DecisionPoint{
+				Probe:        e.Step,
+				ObservedHits: e.Observed,
+				ExpectedHits: e.Expected,
+				Tail:         e.Tail,
+				Sigma:        e.Sigma,
+				From:         e.From.String(),
+				To:           e.To.String(),
+				Reason:       e.Reason,
+				Spend:        e.Spend,
+			}
+		}
+		s.explain.pending = s.explain.pending[:0]
+	}
+	if s.loop != nil {
+		// The loop's spend already includes any escalated re-probe and
+		// transition weights, so this reconciles with
+		// SessionStats.ModelledCost at every step.
+		d.SpendAfter = s.loop.Spend()
+	} else {
+		st := join.LexRex
+		if s.strategy == ApproximateOnly {
+			st = join.LapRap
+		}
+		d.SpendAfter = metrics.PureCost(s.stats.Probes, st, metrics.PaperWeights())
+	}
+	s.explain.decisions = append(s.explain.decisions, d)
+	return publicMatches(res)
+}
+
+// Decisions returns the per-key decision traces recorded so far, in
+// probe order. Nil unless the session was opened with
+// SessionOptions.Explain. The slice is live — it grows with further
+// probes; callers retaining it across probes should copy it.
+func (s *Session) Decisions() []KeyDecision {
+	if s.explain == nil {
+		return nil
+	}
+	return s.explain.decisions
+}

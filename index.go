@@ -91,6 +91,13 @@ type SessionOptions struct {
 	// TraceActivations records every control-loop activation for
 	// inspection via Session.Activations.
 	TraceActivations bool
+	// Explain records a per-key decision trace — mode, hit, escalation,
+	// the control-loop events the probe triggered, and the modelled
+	// spend after it — retrievable via Session.Decisions. Explain mode
+	// allocates per probe (the no-explain path stays allocation-free on
+	// exact hits); leave it off for production traffic and flip it on to
+	// diagnose a stream.
+	Explain bool
 }
 
 // ProbeMatch is one probe result: a matched reference tuple with its
@@ -137,6 +144,9 @@ type Index struct {
 	mu     sync.Mutex
 	dir    *store.Dir // nil for an in-memory index
 	closed bool
+	// rec records what Open reconstructed (nil unless the index came
+	// from Open); see RecoveryInfo.
+	rec *store.Recovery
 }
 
 // NewIndex drains the reference source and builds a resident index over
@@ -387,6 +397,10 @@ type Session struct {
 	strategy Strategy
 	loop     *adaptive.ProbeLoop
 	stats    SessionStats
+	// explain, when non-nil, collects per-key decision traces; see
+	// explain.go. Its presence routes Probe/ProbeBatch through the
+	// explain path, keeping the default path allocation-free.
+	explain *explainState
 }
 
 // NewSession opens a probe session on the index.
@@ -396,6 +410,9 @@ func (ix *Index) NewSession(opts SessionOptions) (*Session, error) {
 	case ExactOnly, ApproximateOnly:
 		if opts.CostBudget < 0 {
 			return nil, fmt.Errorf("adaptivelink: negative cost budget %v", opts.CostBudget)
+		}
+		if opts.Explain {
+			s.explain = &explainState{}
 		}
 		return s, nil
 	case Adaptive:
@@ -437,6 +454,15 @@ func (ix *Index) NewSession(opts SessionOptions) (*Session, error) {
 		}
 	}
 	s.loop = loop
+	if opts.Explain {
+		s.explain = &explainState{}
+		// The sink buffers each activation's event; probeExplain drains
+		// the buffer into the decision record of the probe that
+		// triggered it.
+		loop.SetDecisionSink(func(e adaptive.DecisionEvent) {
+			s.explain.pending = append(s.explain.pending, e)
+		})
+	}
 	return s, nil
 }
 
@@ -447,6 +473,9 @@ func (ix *Index) NewSession(opts SessionOptions) (*Session, error) {
 // predicate, so its variant matches are not lost — and reverts to exact
 // once the perturbation window drains.
 func (s *Session) Probe(key string) []ProbeMatch {
+	if s.explain != nil {
+		return s.probeExplain(key)
+	}
 	key = s.ix.normKey(key)
 	var res []join.RefMatch
 	switch s.strategy {
@@ -485,6 +514,16 @@ const approxSpeculate = 1
 func (s *Session) ProbeBatch(keys []string) [][]ProbeMatch {
 	results := make([][]ProbeMatch, len(keys))
 	if len(keys) == 0 {
+		return results
+	}
+	if s.explain != nil {
+		// Explain mode records per-key decisions, which are inherently
+		// per-probe; batching would only amortise index work the
+		// diagnostic session does not care about. Probe normalises, so
+		// the raw keys pass through.
+		for i, key := range keys {
+			results[i] = s.probeExplain(key)
+		}
 		return results
 	}
 	keys = s.ix.normKeys(keys)
@@ -596,10 +635,12 @@ func (s *Session) Activations() []Activation {
 		out[i] = Activation{
 			Step:     a.Observation.Step,
 			Observed: a.Observation.Observed,
+			Expected: a.Assessment.P * float64(a.Observation.ChildSeen),
 			Tail:     a.Assessment.Tail,
 			Sigma:    a.Assessment.Sigma,
 			From:     a.From.String(),
 			To:       a.To.String(),
+			Reason:   adaptive.DecisionReason(a.From, a.To, a.Assessment.Sigma, a.Forced),
 		}
 	}
 	return out

@@ -1,0 +1,98 @@
+package adaptive
+
+import "adaptivelink/internal/join"
+
+// DecisionEvent is one activation of the monitor–assess–respond loop
+// rendered for explainability: what the σ deficit test saw, what it
+// concluded, and why the responder kept or changed the state. Events
+// are emitted by the session ProbeLoop and the sharded batch controller
+// through SetDecisionSink, and surface in the `/v1/link` explain API
+// and `adaptivejoin -explain`.
+type DecisionEvent struct {
+	// Step is the loop's step clock at the activation (probes for a
+	// session loop, tuples read for the batch controller).
+	Step int
+	// Observed is the observed result size O̅ₜ (hits so far).
+	Observed int
+	// Expected is the §3.2 model's expected result size at this step
+	// (p̂ · child tuples seen) — what Observed is tested against.
+	Expected float64
+	// Tail is the binomial CDF tail probability of seeing Observed or
+	// fewer hits; σ fires when it drops to ThetaOut or below.
+	Tail float64
+	// Sigma reports whether the deficit predicate fired.
+	Sigma bool
+	// From and To are the processor states around the respond step.
+	From, To join.State
+	// Forced is "" for a free statistical decision, "budget" when the
+	// cost budget pinned the state, "futility" when the futility gate
+	// overrode an escalation.
+	Forced string
+	// Reason is a compact human-readable decision label; see
+	// DecisionReason.
+	Reason string
+	// Spend is the modelled cost after this activation, in
+	// all-exact-step units (includes the transition weight when the
+	// activation switched).
+	Spend float64
+}
+
+// DecisionReason labels an activation's respond outcome:
+//
+//	"budget"       — cost budget pinned the state (forced)
+//	"futility"     — futility gate overrode an escalation (forced)
+//	"deficit"      — σ fired and the state moved
+//	"deficit-held" — σ fired but the transition rules kept the state
+//	"window-clear" — windows emptied and the state moved back
+//	"steady"       — no deficit, no movement
+func DecisionReason(from, to join.State, sigma bool, forced string) string {
+	if forced != "" {
+		return forced
+	}
+	if from == to {
+		if sigma {
+			return "deficit-held"
+		}
+		return "steady"
+	}
+	if sigma {
+		return "deficit"
+	}
+	return "window-clear"
+}
+
+// DecisionSink receives one event per activation, synchronously on the
+// activating goroutine. Sinks must be fast and must not call back into
+// the loop/controller that invoked them (the sharded controller emits
+// while holding its mutex).
+type DecisionSink func(DecisionEvent)
+
+// SetDecisionSink installs (or, with nil, removes) the loop's decision
+// sink. Not safe to call concurrently with probing.
+func (l *ProbeLoop) SetDecisionSink(sink DecisionSink) { l.sink = sink }
+
+// SetDecisionSink installs (or, with nil, removes) the controller's
+// decision sink. The sink runs under the controller's mutex: it must
+// not call controller methods. Not safe to call concurrently with a
+// running join.
+func (c *ShardedController) SetDecisionSink(sink DecisionSink) {
+	c.mu.Lock()
+	c.sink = sink
+	c.mu.Unlock()
+}
+
+// emitDecision renders one activation as a DecisionEvent.
+func emitDecision(sink DecisionSink, obs Observation, a Assessment, from, to join.State, forced string, spend float64) {
+	sink(DecisionEvent{
+		Step:     obs.Step,
+		Observed: obs.Observed,
+		Expected: a.P * float64(obs.ChildSeen),
+		Tail:     a.Tail,
+		Sigma:    a.Sigma,
+		From:     from,
+		To:       to,
+		Forced:   forced,
+		Reason:   DecisionReason(from, to, a.Sigma, forced),
+		Spend:    spend,
+	})
+}

@@ -1,0 +1,219 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/pjoin"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/stream"
+)
+
+// runShardedWith drives a prebuilt controller through a full P-shard
+// join (runSharded's body, minus controller construction).
+func runShardedWith(t *testing.T, ctl *ShardedController, parent, child *relation.Relation, shards int) {
+	t.Helper()
+	ex, err := pjoin.New(pjoin.Config{Join: join.Defaults(), Shards: shards, Controller: ctl},
+		stream.FromRelation(parent), stream.FromRelation(child))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok, err := ex.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecisionReason(t *testing.T) {
+	cases := []struct {
+		from, to join.State
+		sigma    bool
+		forced   string
+		want     string
+	}{
+		{join.LexRex, join.LexRex, false, "", "steady"},
+		{join.LexRex, join.LexRex, true, "", "deficit-held"},
+		{join.LexRex, join.LexRap, true, "", "deficit"},
+		{join.LexRap, join.LexRex, false, "", "window-clear"},
+		{join.LapRap, join.LexRex, false, "futility", "futility"},
+		{join.LexRap, join.LexRex, true, "budget", "budget"},
+	}
+	for _, c := range cases {
+		if got := DecisionReason(c.from, c.to, c.sigma, c.forced); got != c.want {
+			t.Errorf("DecisionReason(%v,%v,%v,%q) = %q, want %q", c.from, c.to, c.sigma, c.forced, got, c.want)
+		}
+	}
+}
+
+// TestProbeLoopDecisionSink: the sink sees one event per activation,
+// mirroring the kept trace exactly — same transitions, same forced
+// labels — with Expected = p̂·probes (= probes under the resident p=1
+// model) and Spend equal to the loop's own accounting at each point.
+func TestProbeLoopDecisionSink(t *testing.T) {
+	l := newTestProbeLoop(t, nil)
+	l.EnableTrace()
+	var events []DecisionEvent
+	l.SetDecisionSink(func(e DecisionEvent) { events = append(events, e) })
+
+	const ref = 100
+	for i := 0; i < 10; i++ {
+		l.NoteProbe(ref, true, 0)
+	}
+	if l.NoteProbe(ref, false, 0) { // deficit -> approx, escalate
+		l.NoteEscalation(true, 1)
+	}
+	l.NoteProbe(ref, true, 0) // window clear -> back to exact
+
+	trace := l.Activations()
+	if len(events) != len(trace) {
+		t.Fatalf("sink saw %d events, trace has %d activations", len(events), len(trace))
+	}
+	for i, e := range events {
+		a := trace[i]
+		if e.From != a.From || e.To != a.To || e.Forced != a.Forced {
+			t.Errorf("event %d: %v->%v (%q), trace %v->%v (%q)", i, e.From, e.To, e.Forced, a.From, a.To, a.Forced)
+		}
+		if e.Step != a.Observation.Step || e.Observed != a.Observation.Observed {
+			t.Errorf("event %d: step/observed %d/%d, trace %d/%d", i, e.Step, e.Observed, a.Observation.Step, a.Observation.Observed)
+		}
+		if e.Sigma != a.Assessment.Sigma || e.Tail != a.Assessment.Tail {
+			t.Errorf("event %d: sigma/tail mismatch with trace", i)
+		}
+		// Resident model: p(n)=1, so expected hits = probes seen.
+		if want := float64(a.Observation.ChildSeen); math.Abs(e.Expected-want) > 1e-9 {
+			t.Errorf("event %d: expected %v, want %v", i, e.Expected, want)
+		}
+		if e.Reason != DecisionReason(e.From, e.To, e.Sigma, e.Forced) {
+			t.Errorf("event %d: reason %q inconsistent with DecisionReason", i, e.Reason)
+		}
+	}
+	// The final event's spend is the loop's spend at that activation;
+	// after it only the trailing NoteProbe-free work could differ. Here
+	// the last activation happens at the last probe, so they agree.
+	if last := events[len(events)-1]; math.Abs(last.Spend-l.Spend()) > 1e-9 {
+		t.Errorf("final event spend %v != loop spend %v", last.Spend, l.Spend())
+	}
+	// Both switches are visible with their reasons.
+	var out, back bool
+	for _, e := range events {
+		if e.From == join.LexRex && e.To != join.LexRex && e.Reason == "deficit" {
+			out = true
+		}
+		if e.From != join.LexRex && e.To == join.LexRex && e.Reason == "window-clear" {
+			back = true
+		}
+	}
+	if !out || !back {
+		t.Errorf("missing transition reasons: deficit=%v window-clear=%v", out, back)
+	}
+
+	// Removing the sink stops emission.
+	l.SetDecisionSink(nil)
+	n := len(events)
+	l.NoteProbe(ref, true, 0)
+	if len(events) != n {
+		t.Error("sink fired after removal")
+	}
+}
+
+// TestProbeLoopDecisionSinkForced: budget and futility overrides carry
+// their forced label through the sink.
+func TestProbeLoopDecisionSinkForced(t *testing.T) {
+	l := newTestProbeLoop(t, func(p *Params) { p.FutilityK = 2 })
+	var events []DecisionEvent
+	l.SetDecisionSink(func(e DecisionEvent) { events = append(events, e) })
+	const ref = 50
+	l.NoteProbe(ref, false, 0)
+	l.NoteEscalation(false, 0)
+	for i := 0; i < 10 && l.Mode() == join.Approx; i++ {
+		l.NoteProbe(ref, false, 0)
+		l.NoteEscalation(false, 0)
+	}
+	var futility bool
+	for _, e := range events {
+		if e.Forced == "futility" && e.Reason == "futility" {
+			futility = true
+		}
+	}
+	if !futility {
+		t.Fatal("futility revert not visible through the sink")
+	}
+
+	// Budget: a tiny budget pins the state and labels the event.
+	lb := newTestProbeLoop(t, nil)
+	if err := lb.EnableCostBudget(metrics.PaperWeights(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	events = events[:0]
+	lb.SetDecisionSink(func(e DecisionEvent) { events = append(events, e) })
+	lb.NoteProbe(ref, false, 0) // over budget immediately: forced to stay exact
+	var budget bool
+	for _, e := range events {
+		if e.Forced == "budget" {
+			budget = true
+			if e.To != join.LexRex {
+				t.Errorf("budget-forced event moved to %v", e.To)
+			}
+		}
+	}
+	if !budget {
+		t.Fatal("budget pin not visible through the sink")
+	}
+}
+
+// TestShardedDecisionSink: the sharded controller's sink mirrors its
+// trace activation-for-activation, including both directions of the
+// perturbation round trip.
+func TestShardedDecisionSink(t *testing.T) {
+	parent, child := buildScenario(11, 400, 40, 80)
+	ctl, err := NewSharded(4, stream.Left, parent.Len(), shardedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.EnableTrace()
+	var events []DecisionEvent
+	ctl.SetDecisionSink(func(e DecisionEvent) { events = append(events, e) })
+	runShardedWith(t, ctl, parent, child, 4)
+
+	trace := ctl.Activations()
+	if len(events) == 0 || len(events) != len(trace) {
+		t.Fatalf("sink saw %d events, trace has %d", len(events), len(trace))
+	}
+	for i, e := range events {
+		a := trace[i]
+		if e.From != a.From || e.To != a.To || e.Step != a.Observation.Step {
+			t.Fatalf("event %d diverges from trace: %+v vs %+v", i, e, a)
+		}
+		if e.Reason != DecisionReason(a.From, a.To, a.Assessment.Sigma, a.Forced) {
+			t.Errorf("event %d: reason %q inconsistent", i, e.Reason)
+		}
+		if want := a.Assessment.P * float64(a.Observation.ChildSeen); math.Abs(e.Expected-want) > 1e-9 {
+			t.Errorf("event %d: expected %v, want %v", i, e.Expected, want)
+		}
+	}
+	var moved bool
+	for _, e := range events {
+		if e.From != e.To {
+			moved = true
+			if e.Spend <= 0 {
+				t.Errorf("switch event has non-positive spend %v", e.Spend)
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no transition events despite the variant burst")
+	}
+}

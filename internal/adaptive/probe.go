@@ -58,6 +58,7 @@ type ProbeLoop struct {
 
 	trace     []Activation
 	keepTrace bool
+	sink      DecisionSink
 }
 
 // DefaultProbeParams returns the session defaults: the paper's W, θout,
@@ -253,5 +254,8 @@ func (l *ProbeLoop) activate(refSize int) {
 		l.trace = append(l.trace, Activation{
 			Observation: obs, Assessment: a, From: from, To: to, Forced: forced,
 		})
+	}
+	if l.sink != nil {
+		emitDecision(l.sink, obs, a, from, to, forced, l.spend)
 	}
 }

@@ -92,6 +92,7 @@ type ShardedController struct {
 
 	trace     []Activation
 	keepTrace bool
+	sink      DecisionSink
 
 	// applied[i] is the generation shard i has applied; only shard i's
 	// worker touches it (from Sync), so no lock is needed.
@@ -362,5 +363,14 @@ func (c *ShardedController) activateLocked(snap barrierSnap) {
 			Observation: obs, Assessment: a, From: from, To: to,
 			Forced: forced,
 		})
+	}
+	if c.sink != nil {
+		// Price the logical spend with the budget weights when a budget
+		// is armed, the paper's otherwise — same units either way.
+		w := c.budgetWeights
+		if !c.hasBudget {
+			w = metrics.PaperWeights()
+		}
+		emitDecision(c.sink, obs, a, from, to, forced, metrics.Cost(c.seqModel, w).Total)
 	}
 }

@@ -32,6 +32,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		parallel  = fs.Int("parallel", 1, "shard count (1 = sequential engine with stable output order, 0 = one per CPU; >1 delivers rows in nondeterministic order)")
 		normalise = fs.Bool("normalize", false, "normalise join keys (case, accents, punctuation, whitespace)")
 		trace     = fs.Bool("trace", false, "print control-loop activations to stderr")
+		explain   = fs.Bool("explain", false, "print decision explanations (expected hits, tail probability, reason) with each activation; implies -trace")
 		stats     = fs.Bool("stats", true, "print execution statistics to stderr")
 		jsonOut   = fs.Bool("json", false, "write one JSON document (matches + stats + activations) to stdout instead of CSV, so CLI and service results are diffable in scripts; implies -trace recording")
 	)
@@ -44,7 +45,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, RetainWindow: *window, TraceActivations: *trace || *jsonOut, Parallelism: *parallel}
+	opts := adaptivelink.Options{Q: *q, Theta: *theta, CostBudget: *budget, RetainWindow: *window, TraceActivations: *trace || *explain || *jsonOut, Parallelism: *parallel}
 	switch *strategy {
 	case "adaptive":
 		opts.Strategy = adaptivelink.Adaptive
@@ -143,7 +144,7 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "modelled cost (all-exact step = 1): %.0f\n", st.ModelledCost)
 	}
-	if *trace {
+	if *trace || *explain {
 		for _, a := range j.Activations() {
 			mark := " "
 			if a.Sigma {
@@ -151,6 +152,9 @@ func RunAdaptiveJoin(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stderr, "step %6d %s observed=%6d tail=%.4f %s -> %s (caught up %d)\n",
 				a.Step, mark, a.Observed, a.Tail, a.From, a.To, a.CaughtUp)
+			if *explain {
+				fmt.Fprintf(stderr, "            expected=%.1f reason=%s\n", a.Expected, a.Reason)
+			}
 		}
 	}
 	return 0

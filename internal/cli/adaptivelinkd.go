@@ -6,8 +6,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"adaptivelink"
+	"adaptivelink/internal/obs"
 	"adaptivelink/internal/service"
 )
 
@@ -33,20 +36,26 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 	fs := flag.NewFlagSet("adaptivelinkd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
-		workers    = fs.Int("workers", 0, "worker pool size (0 = one per CPU, min 2)")
-		queue      = fs.Int("queue", 256, "admission queue depth")
-		deadline   = fs.Duration("deadline", 5*time.Second, "default per-request deadline")
-		maxBatch   = fs.Int("max-batch", 4096, "maximum keys per link request")
-		preload    = fs.String("preload", "", "preload an index from CSV as name=path (optional)")
-		preloadKey = fs.String("preload-key", "location", "join-key column for -preload")
-		q          = fs.Int("q", 3, "q-gram width for preloaded/default indexes")
-		theta      = fs.Float64("theta", 0.75, "similarity threshold for preloaded/default indexes")
-		shards     = fs.Int("shards", 0, "shard count for preloaded indexes (0 = one per hardware thread)")
-		drainWait  = fs.Duration("drain-timeout", 15*time.Second, "maximum time to wait for in-flight requests at shutdown")
-		dataDir    = fs.String("data-dir", "", "durable index storage directory (empty = in-memory only)")
-		walSync    = fs.String("wal-sync", "always", "write-ahead-log fsync policy: always or none")
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile    = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		workers     = fs.Int("workers", 0, "worker pool size (0 = one per CPU, min 2)")
+		queue       = fs.Int("queue", 256, "admission queue depth")
+		deadline    = fs.Duration("deadline", 5*time.Second, "default per-request deadline")
+		maxBatch    = fs.Int("max-batch", 4096, "maximum keys per link request")
+		preload     = fs.String("preload", "", "preload an index from CSV as name=path (optional)")
+		preloadKey  = fs.String("preload-key", "location", "join-key column for -preload")
+		q           = fs.Int("q", 3, "q-gram width for preloaded/default indexes")
+		theta       = fs.Float64("theta", 0.75, "similarity threshold for preloaded/default indexes")
+		shards      = fs.Int("shards", 0, "shard count for preloaded indexes (0 = one per hardware thread)")
+		drainWait   = fs.Duration("drain-timeout", 15*time.Second, "maximum time to wait for in-flight requests at shutdown")
+		dataDir     = fs.String("data-dir", "", "durable index storage directory (empty = in-memory only)")
+		walSync     = fs.String("wal-sync", "always", "write-ahead-log fsync policy: always or none")
+		logJSON     = fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		debugAddr   = fs.String("debug-addr", "", "debug listener address serving net/http/pprof (empty = off; use 127.0.0.1:0 for ephemeral)")
+		debugFile   = fs.String("debug-addr-file", "", "write the bound debug address to this file (for scripts)")
+		traceSample = fs.Int("trace-sample", obs.DefaultSampleEvery, "sample one request in N for span traces (0 = disable sampling)")
+		slowThresh  = fs.Duration("slow-threshold", obs.DefaultSlowThreshold, "log and retain requests at or over this duration (0 = disable)")
+		slowlogCap  = fs.Int("slowlog-cap", obs.DefaultSlowCapacity, "retained slow-request traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +71,26 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		return 2
 	}
 
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(stdout, nil)
+	} else {
+		handler = slog.NewTextHandler(stdout, nil)
+	}
+	log := slog.New(handler)
+
+	trace := obs.Config{
+		SampleEvery:   *traceSample,
+		SlowThreshold: *slowThresh,
+		SlowCapacity:  *slowlogCap,
+	}
+	if *traceSample <= 0 {
+		trace.SampleEvery = -1
+	}
+	if *slowThresh == 0 {
+		trace.SlowThreshold = -1
+	}
+
 	svc := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -69,20 +98,17 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		MaxBatch:        *maxBatch,
 		DataDir:         *dataDir,
 		WALSync:         syncPolicy,
+		Logger:          log,
+		Trace:           trace,
 	})
 
 	// Reopen whatever the data dir holds before serving: snapshot loads
 	// plus write-ahead-log replay, so the daemon answers exactly as it
-	// did before the restart.
-	recovered, err := svc.LoadStored()
-	if err != nil {
+	// did before the restart. The service logs each reload (and any
+	// torn-tail truncation) itself.
+	if _, err := svc.LoadStored(); err != nil {
 		fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
 		return 1
-	}
-	for _, name := range recovered {
-		info, _ := svc.GetIndex(name)
-		fmt.Fprintf(stdout, "adaptivelinkd: reloaded index %q with %d tuples (%d logged batches)\n",
-			name, info.Size, info.WALRecords)
 	}
 
 	if *preload != "" {
@@ -94,7 +120,7 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		if _, err := svc.GetIndex(name); err == nil {
 			// Reloaded from the data dir (with any post-load upserts the
 			// CSV has never seen); the CSV is only the first boot's seed.
-			fmt.Fprintf(stdout, "adaptivelinkd: preload skipped, index %q reloaded from data dir\n", name)
+			log.Info("preload skipped, index reloaded from data dir", "index", name)
 		} else {
 			f, err := os.Open(path)
 			if err != nil {
@@ -112,7 +138,34 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 				fmt.Fprintf(stderr, "adaptivelinkd: preload: %v\n", err)
 				return 1
 			}
-			fmt.Fprintf(stdout, "adaptivelinkd: preloaded index %q with %d tuples\n", name, info.Size)
+			log.Info("preloaded index", "index", name, "tuples", info.Size, "path", path)
+		}
+	}
+
+	// Optional debug listener: pprof on its own address, so profiling
+	// never shares a port (or an exposure decision) with the API.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "adaptivelinkd: debug listener: %v\n", err)
+			return 1
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go debugSrv.Serve(dln)
+		dbound := dln.Addr().String()
+		log.Info("debug listener on", "addr", dbound)
+		if *debugFile != "" {
+			if err := os.WriteFile(*debugFile, []byte(dbound), 0o644); err != nil {
+				fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+				return 1
+			}
 		}
 	}
 
@@ -122,7 +175,7 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		return 1
 	}
 	bound := ln.Addr().String()
-	fmt.Fprintf(stdout, "adaptivelinkd: listening on %s\n", bound)
+	log.Info("listening", "addr", bound, "workers", svc.Config().Workers, "data_dir", *dataDir)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
@@ -143,13 +196,16 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 
 	// Graceful drain: stop accepting, wait for in-flight handlers (each
 	// of which waits for its pool job), then stop the workers.
-	fmt.Fprintln(stdout, "adaptivelinkd: draining")
+	log.Info("draining", "timeout", *drainWait)
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	code := 0
 	if err := srv.Shutdown(shCtx); err != nil {
 		fmt.Fprintf(stderr, "adaptivelinkd: shutdown: %v\n", err)
 		code = 1
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shCtx)
 	}
 	if err := svc.Drain(shCtx); err != nil {
 		// Timed out with requests still in flight: report the unclean
@@ -159,6 +215,8 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		return 1
 	}
 	svc.Close()
+	// Plain-text banner, deliberately outside the structured log: smoke
+	// scripts grep for it as the clean-drain marker.
 	fmt.Fprintln(stdout, "adaptivelinkd: drained, bye")
 	return code
 }

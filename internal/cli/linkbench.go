@@ -6,11 +6,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +76,7 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		note     = fs.String("note", "", "free-form note recorded with -out")
 		host     = fs.String("host", "", "host description recorded with -out")
 		regress  = fs.Float64("regress-pct", 0, "with -out: fail when probes/s drops more than this percent below the file's previous point with the same strategy/batch/concurrency/requests/parent shape (0 = off)")
+		p99Drift = fs.Float64("p99-drift-pct", 0, "fail when the client p99 and the server's adaptivelink_link_latency_seconds p99 disagree by more than this percent of the client value (0 = report only)")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the load-generation phase to this file")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
@@ -101,7 +105,7 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		for i, t := range data.Parent {
 			tuples[i] = service.TupleDTO{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
 		}
-		code, body, err := postJSON(client, *addr+"/v1/indexes", service.CreateIndexRequest{Name: *index, Shards: *shards, Tuples: tuples})
+		code, body, err := postJSON(client, *addr+"/v1/indexes", service.CreateIndexRequest{Name: *index, Shards: *shards, Tuples: tuples}, "linkbench-create")
 		if err != nil {
 			fmt.Fprintf(stderr, "linkbench: create index: %v\n", err)
 			return 1
@@ -162,14 +166,15 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 				for k := 0; k < *batch; k++ {
 					req.Keys = append(req.Keys, keys[(i**batch+k)%len(keys)])
 				}
+				reqID := fmt.Sprintf("linkbench-%d", i)
 				t0 := time.Now()
-				code, body, err := postJSON(client, *addr+"/v1/link", req)
+				code, body, err := postJSON(client, *addr+"/v1/link", req, reqID)
 				latencies[i] = time.Since(t0)
 				probeCount.Add(int64(*batch))
 				if err != nil || code < 200 || code > 299 {
 					errCount.Add(1)
 					if errCount.Load() <= 3 {
-						fmt.Fprintf(stderr, "linkbench: request %d: code %d err %v body %s\n", i, code, err, truncate(body, 200))
+						fmt.Fprintf(stderr, "linkbench: request %s: code %d err %v body %s\n", reqID, code, err, truncate(body, 200))
 					}
 				}
 			}
@@ -223,6 +228,32 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "linkbench: latency p50 %.2fms p95 %.2fms p99 %.2fms, errors %d\n",
 		point.P50Millis, point.P95Millis, point.P99Millis, point.Errors)
 
+	// Cross-check the client-side p99 against the server's own latency
+	// histogram: the two measure the same requests from opposite ends of
+	// the connection, so a large disagreement means either histogram
+	// buckets misconfigured on the server or queueing the client cannot
+	// see. The server estimate is bucket-interpolated, so compare with
+	// slack (-p99-drift-pct), not equality.
+	if serverP99, err := fetchServerP99(client, *addr); err != nil {
+		fmt.Fprintf(stderr, "linkbench: server p99 crosscheck: %v\n", err)
+		if *p99Drift > 0 {
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "linkbench: server p99 %.2fms (client %.2fms)\n", serverP99, point.P99Millis)
+		if *p99Drift > 0 && point.P99Millis > 0 {
+			drift := (serverP99 - point.P99Millis) / point.P99Millis * 100
+			if drift < 0 {
+				drift = -drift
+			}
+			if drift > *p99Drift {
+				fmt.Fprintf(stderr, "linkbench: server p99 %.2fms drifts %.0f%% from client %.2fms (limit %.0f%%)\n",
+					serverP99, drift, point.P99Millis, *p99Drift)
+				return 1
+			}
+		}
+	}
+
 	if *out != "" {
 		prev, err := appendBenchPoint(*out, point, *regress)
 		if err != nil {
@@ -246,18 +277,108 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func postJSON(client *http.Client, url string, payload any) (int, []byte, error) {
+// postJSON posts payload and returns the response. A non-empty reqID
+// is sent as X-Request-ID, so client-side failures correlate with the
+// server's slow log and request traces by id.
+func postJSON(client *http.Client, url string, payload any, reqID string) (int, []byte, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return 0, nil, err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	return resp.StatusCode, body, err
+}
+
+// fetchServerP99 scrapes /metrics and returns the p99 of the server's
+// link latency histogram, in milliseconds.
+func fetchServerP99(client *http.Client, addr string) (float64, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	sec, ok := histQuantile(string(body), "adaptivelink_link_latency_seconds", 0.99)
+	if !ok {
+		return 0, fmt.Errorf("adaptivelink_link_latency_seconds has no samples in /metrics")
+	}
+	return sec * 1000, nil
+}
+
+// histQuantile estimates quantile q (0 < q <= 1) of the unlabelled
+// histogram series name from a Prometheus text exposition, by linear
+// interpolation inside the bucket holding the quantile. Returns false
+// when the series is absent or empty. The quantile of a sample in the
+// +Inf bucket is reported as the last finite bound (the histogram
+// cannot resolve beyond it).
+func histQuantile(exposition, name string, q float64) (float64, bool) {
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bucket
+	prefix := name + `_bucket{le="`
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, prefix)
+		if !ok {
+			continue
+		}
+		boundStr, countStr, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			continue
+		}
+		le := math.Inf(1)
+		if boundStr != "+Inf" {
+			le, _ = strconv.ParseFloat(boundStr, 64)
+		}
+		cum, err := strconv.ParseUint(strings.TrimSpace(countStr), 10, 64)
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le, cum})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	target := q * float64(total)
+	lower, prevCum := 0.0, uint64(0)
+	for i, b := range buckets {
+		if float64(b.cum) >= target {
+			if math.IsInf(b.le, 1) {
+				return lower, true // beyond the last finite bound
+			}
+			span := float64(b.cum - prevCum)
+			if span == 0 || i == 0 && b.le <= 0 {
+				return b.le, true
+			}
+			return lower + (b.le-lower)*(target-float64(prevCum))/span, true
+		}
+		if !math.IsInf(b.le, 1) {
+			lower, prevCum = b.le, b.cum
+		}
+	}
+	return lower, true
 }
 
 func truncate(b []byte, n int) string {

@@ -90,7 +90,7 @@ func TestAdaptiveLinkdServesAndDrains(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr)
 	}
-	for _, want := range []string{"listening on", "draining", "drained, bye"} {
+	for _, want := range []string{"msg=listening", "msg=draining", "drained, bye"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("stdout missing %q:\n%s", want, stdout)
 		}
@@ -116,7 +116,7 @@ func TestAdaptiveLinkdPreload(t *testing.T) {
 	if info.Size != 2 {
 		t.Fatalf("preloaded size = %d, want 2", info.Size)
 	}
-	if code, stdout, _ := stop(); code != 0 || !strings.Contains(stdout, `preloaded index "atlas" with 2 tuples`) {
+	if code, stdout, _ := stop(); code != 0 || !strings.Contains(stdout, `msg="preloaded index" index=atlas tuples=2`) {
 		t.Fatalf("exit %d stdout %s", code, stdout)
 	}
 }
@@ -337,7 +337,7 @@ func TestAdaptiveLinkdDataDirRestart(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("second run exit %d, stderr: %s", code, stderr)
 	}
-	for _, want := range []string{`reloaded index "atlas" with 3 tuples (1 logged batches)`, `preload skipped, index "atlas" reloaded from data dir`} {
+	for _, want := range []string{`msg="reloaded index" index=atlas tuples=3 snapshot_tuples=2 wal_batches=1`, `msg="preload skipped, index reloaded from data dir" index=atlas`} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("stdout missing %q:\n%s", want, stdout)
 		}

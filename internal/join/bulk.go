@@ -133,5 +133,7 @@ func BuildShardedRefIndex(cfg Config, shards int, tuples []relation.Tuple) (*Sha
 	for sh, sn := range snaps {
 		s.shards[sh].Store(sn)
 	}
+	s.maint.upserts.Add(1)
+	s.maint.snapSwaps.Add(uint64(s.nshard))
 	return s, nil
 }

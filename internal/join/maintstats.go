@@ -1,0 +1,57 @@
+package join
+
+import "sync/atomic"
+
+// maintCounters are the resident index's maintenance/telemetry
+// counters. All fields are atomics updated off the exact-probe path:
+// the exact probe hot path (AppendProbeExact) touches none of them, so
+// its zero-allocation, zero-atomic-write contract is untouched; the
+// approximate path and the writers pay one atomic add per pool
+// checkout, which allocates nothing.
+type maintCounters struct {
+	upserts     atomic.Uint64
+	snapSwaps   atomic.Uint64
+	cloneNanos  atomic.Int64
+	scratchGets atomic.Uint64
+	scratchNews atomic.Uint64
+}
+
+// MaintStats is a snapshot of the sharded resident index's maintenance
+// and scratch-pool telemetry, for operators watching RCU behaviour
+// under live traffic.
+type MaintStats struct {
+	// Upserts counts Upsert batches applied (bulk load counts as one).
+	Upserts uint64
+	// SnapshotSwaps counts per-shard snapshot publications: one per
+	// touched shard per upsert, plus one per shard at bulk load.
+	SnapshotSwaps uint64
+	// CloneNanos is the cumulative time spent cloning shard snapshots
+	// for copy-on-write upserts, in nanoseconds — the write-side price
+	// of lock-free probes.
+	CloneNanos int64
+	// ScratchGets counts scratch-pool checkouts on the approximate
+	// probe, batch and upsert paths; ScratchNews how many of them had
+	// to allocate a fresh scratch (a pool miss, typically after a GC
+	// cycle emptied the pool). Gets-to-news is the pool hit rate.
+	ScratchGets uint64
+	ScratchNews uint64
+}
+
+// MaintStats returns a point-in-time snapshot of the maintenance
+// counters. Safe for concurrent use.
+func (s *ShardedRefIndex) MaintStats() MaintStats {
+	return MaintStats{
+		Upserts:       s.maint.upserts.Load(),
+		SnapshotSwaps: s.maint.snapSwaps.Load(),
+		CloneNanos:    s.maint.cloneNanos.Load(),
+		ScratchGets:   s.maint.scratchGets.Load(),
+		ScratchNews:   s.maint.scratchNews.Load(),
+	}
+}
+
+// getScratch checks a scratch out of the pool, counting checkouts (the
+// pool's New counts the misses).
+func (s *ShardedRefIndex) getScratch() *shardScratch {
+	s.maint.scratchGets.Add(1)
+	return s.pool.Get().(*shardScratch)
+}

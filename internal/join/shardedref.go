@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adaptivelink/internal/hashidx"
 	"adaptivelink/internal/qgram"
@@ -68,6 +69,10 @@ type ShardedRefIndex struct {
 	// fleet and the batch fan-out workers: the probe hot path is both
 	// lock-free and allocation-free.
 	pool sync.Pool
+
+	// maint holds the maintenance/pool telemetry counters; see
+	// maintstats.go. Never touched by the exact probe path.
+	maint maintCounters
 }
 
 // shardScratch is the pooled scratch of one probe, batch worker or
@@ -162,7 +167,10 @@ func NewShardedRefIndex(cfg Config, shards int) (*ShardedRefIndex, error) {
 		})
 	}
 	s.store.Store(&globalStore{})
-	s.pool.New = func() any { return new(shardScratch) }
+	s.pool.New = func() any {
+		s.maint.scratchNews.Add(1)
+		return new(shardScratch)
+	}
 	return s, nil
 }
 
@@ -231,7 +239,8 @@ func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int
 	if len(tuples) == 0 {
 		return 0, 0
 	}
-	sc := s.pool.Get().(*shardScratch)
+	s.maint.upserts.Add(1)
+	sc := s.getScratch()
 	sc.dsc.Reset()
 	ks := sc.keys[:0]
 	flat := sc.routeFlat[:0]
@@ -282,7 +291,9 @@ func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int
 	snapFor := func(sh int) *shardSnap {
 		ns, ok := next[sh]
 		if !ok {
+			t0 := time.Now()
 			ns = s.shards[sh].Load().clone()
+			s.maint.cloneNanos.Add(time.Since(t0).Nanoseconds())
 			next[sh] = ns
 		}
 		return ns
@@ -318,6 +329,7 @@ func (s *ShardedRefIndex) Upsert(tuples []relation.Tuple) (inserted, updated int
 	for sh, ns := range next {
 		s.shards[sh].Store(ns)
 	}
+	s.maint.snapSwaps.Add(uint64(len(next)))
 	return inserted, updated
 }
 
@@ -367,7 +379,7 @@ func (s *ShardedRefIndex) ProbeApprox(key string) []RefMatch {
 // over the dictionary-encoded snapshots, so with a reusable dst the
 // approximate probe allocates nothing.
 func (s *ShardedRefIndex) AppendProbeApprox(dst []RefMatch, key string) []RefMatch {
-	sc := s.pool.Get().(*shardScratch)
+	sc := s.getScratch()
 	sc.dsc.Reset()
 	k := s.ex.Decompose(&sc.dsc, key)
 	g := k.Len()
@@ -482,7 +494,7 @@ func (s *ShardedRefIndex) probeBatchApprox(keys []string, out [][]RefMatch) {
 	// the flat route table and Key arena live in pooled scratch held
 	// for the whole batch (Keys are immutable and shared read-only by
 	// the fan-out workers below).
-	sc := s.pool.Get().(*shardScratch)
+	sc := s.getScratch()
 	sc.dsc.Reset()
 	ks := sc.keys[:0]
 	flat := sc.routeFlat[:0]
@@ -505,7 +517,7 @@ func (s *ShardedRefIndex) probeBatchApprox(keys []string, out [][]RefMatch) {
 	// scratch from the pool.
 	partial := make([][][]RefMatch, s.nshard)
 	s.forGroups(len(keys), groups, func(sh int, idxs []int) {
-		wsc := s.pool.Get().(*shardScratch)
+		wsc := s.getScratch()
 		sn := s.shards[sh].Load()
 		res := make([][]RefMatch, len(idxs))
 		for j, i := range idxs {

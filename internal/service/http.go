@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"adaptivelink"
+	"adaptivelink/internal/obs"
 )
 
 // Wire DTOs — the documented v1 contract. The JSON API is deliberately
@@ -65,7 +66,9 @@ type UpsertResponse struct {
 }
 
 // LinkRequestDTO is the POST /v1/link payload. Key and Keys may not
-// both be set; TimeoutMillis of 0 selects the service default.
+// both be set; TimeoutMillis of 0 selects the service default. Explain
+// opts into per-key decision traces in the response (more allocation
+// per probe — a debugging tool, not a hot-path default).
 type LinkRequestDTO struct {
 	Index         string   `json:"index"`
 	Key           string   `json:"key,omitempty"`
@@ -73,6 +76,7 @@ type LinkRequestDTO struct {
 	Strategy      string   `json:"strategy,omitempty"`
 	FutilityK     int      `json:"futility_k,omitempty"`
 	TimeoutMillis int      `json:"timeout_ms,omitempty"`
+	Explain       bool     `json:"explain,omitempty"`
 }
 
 // MatchDTO is one probe result on the wire.
@@ -90,10 +94,24 @@ type KeyResultDTO struct {
 	Matches []MatchDTO `json:"matches"`
 }
 
-// LinkResponseDTO is the POST /v1/link response.
+// LinkResponseDTO is the POST /v1/link response. Decisions appears
+// only for explain requests, parallel to Results.
 type LinkResponseDTO struct {
-	Results []KeyResultDTO            `json:"results"`
-	Session adaptivelink.SessionStats `json:"session"`
+	Results   []KeyResultDTO             `json:"results"`
+	Session   adaptivelink.SessionStats  `json:"session"`
+	Decisions []adaptivelink.KeyDecision `json:"decisions,omitempty"`
+}
+
+// SlowlogDTO is the GET /v1/debug/slowlog payload.
+type SlowlogDTO struct {
+	// ThresholdMillis is the configured slow threshold (-1 = disabled).
+	ThresholdMillis float64 `json:"threshold_ms"`
+	// SlowSeen counts every slow request observed since boot, retained
+	// or not.
+	SlowSeen uint64 `json:"slow_seen"`
+	// Traces are the retained slow requests, newest first. Sampled ones
+	// carry spans; unsampled ones are coarse records.
+	Traces []*obs.Trace `json:"traces"`
 }
 
 // ErrorDTO is the unified v1 error envelope.
@@ -131,8 +149,15 @@ const maxBodyBytes = 64 << 20
 //	DELETE /v1/indexes/{name}           drop an index (and its stored data)
 //	POST   /v1/link                     probe one index (single key or batch)
 //	GET    /v1/stats                    service counters as JSON
+//	GET    /v1/version                  build metadata and uptime
+//	GET    /v1/debug/slowlog            retained slow-request traces
+//	GET    /v1/debug/requests/{id}      one retained trace by request id
 //	GET    /metrics                     Prometheus text exposition
 //	GET    /healthz                     liveness (503 while draining)
+//
+// Every response carries X-Request-ID (echoing the client's when sent);
+// the X-Debug-Trace request header forces span collection for that
+// request, making its trace retrievable at /v1/debug/requests/{id}.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/indexes", func(w http.ResponseWriter, r *http.Request) {
@@ -206,12 +231,17 @@ func NewHandler(s *Service) http.Handler {
 			Strategy:  req.Strategy,
 			FutilityK: req.FutilityK,
 			Timeout:   time.Duration(req.TimeoutMillis) * time.Millisecond,
+			Explain:   req.Explain,
 		})
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		out := LinkResponseDTO{Results: make([]KeyResultDTO, len(keys)), Session: resp.Session}
+		ms := time.Now()
+		out := LinkResponseDTO{
+			Results: make([]KeyResultDTO, len(keys)), Session: resp.Session,
+			Decisions: resp.Decisions,
+		}
 		for i, key := range keys {
 			kr := KeyResultDTO{Key: key, Matches: []MatchDTO{}}
 			for _, m := range resp.Results[i] {
@@ -222,10 +252,38 @@ func NewHandler(s *Service) http.Handler {
 			}
 			out.Results[i] = kr
 		}
+		obs.TraceFrom(r.Context()).AddSpan("merge", ms)
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Version())
+	})
+	mux.HandleFunc("GET /v1/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		thresholdMS := float64(-1)
+		if d := s.tracer.SlowThreshold(); d >= 0 {
+			thresholdMS = float64(d.Nanoseconds()) / 1e6
+		}
+		traces := s.tracer.Slow()
+		if traces == nil {
+			traces = []*obs.Trace{}
+		}
+		writeJSON(w, http.StatusOK, SlowlogDTO{
+			ThresholdMillis: thresholdMS,
+			SlowSeen:        s.tracer.SlowSeen(),
+			Traces:          traces,
+		})
+	})
+	mux.HandleFunc("GET /v1/debug/requests/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		t := s.tracer.Find(id)
+		if t == nil {
+			writeError(w, fmt.Errorf("%w: no retained trace for request %q (only sampled or slow requests are kept; resend with the X-Debug-Trace header to force one)", ErrNotFound, id))
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -239,7 +297,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return withObs(s, mux)
 }
 
 func indexOptions(req CreateIndexRequest) adaptivelink.IndexOptions {

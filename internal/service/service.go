@@ -4,16 +4,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"adaptivelink"
 	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/obs"
 )
 
 // Sentinel errors; the HTTP layer maps them to status codes.
@@ -57,6 +60,12 @@ type Config struct {
 	// WALSync is the write-ahead-log fsync policy for durable indexes
 	// (default adaptivelink.SyncAlways).
 	WALSync adaptivelink.SyncPolicy
+	// Logger receives the service's structured log (nil discards it).
+	Logger *slog.Logger
+	// Trace configures request tracing and the slow-request log; the
+	// zero value samples one request in 16 and flags requests over
+	// 500ms (see internal/obs for the knobs).
+	Trace obs.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 4096
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -88,10 +100,12 @@ func (c Config) withDefaults() Config {
 // probed by many concurrent sessions, with admission control, deadlines,
 // metrics and graceful drain. All methods are safe for concurrent use.
 type Service struct {
-	cfg   Config
-	pool  *pool
-	reg   *metrics.Registry
-	start time.Time
+	cfg    Config
+	pool   *pool
+	reg    *metrics.Registry
+	start  time.Time
+	log    *slog.Logger
+	tracer *obs.Tracer
 
 	admit    sync.RWMutex // serialises admission against Drain
 	draining bool
@@ -115,6 +129,19 @@ type Service struct {
 	// batchRequests counts the requests that used the batch form.
 	batchSize     *metrics.Histogram
 	batchRequests *metrics.Value
+	// linkLatency covers an admitted link request end to end (queue wait
+	// plus execution); queueWait isolates the admission-to-worker slice.
+	// linkbench cross-checks its client-side p99 against linkLatency.
+	linkLatency  *metrics.Histogram
+	queueWait    *metrics.Histogram
+	slowRequests *metrics.Value
+
+	// Runtime gauges, refreshed on scrape by WriteMetrics.
+	uptimeGauge    *metrics.Value
+	goroutineGauge *metrics.Value
+	heapGauge      *metrics.Value
+	gcCycles       *metrics.Value
+	gcPauseTotal   *metrics.Value
 
 	// testProbeDelay, when set (tests only), runs before every probe of
 	// a link batch, making slow requests reproducible.
@@ -139,6 +166,20 @@ type managedIndex struct {
 	inserted      *metrics.Value
 	updated       *metrics.Value
 	modelledCost  *metrics.Value
+
+	// Engine and storage telemetry series, refreshed on scrape from the
+	// index's cumulative counters (Set, not Add — the index is the
+	// source of truth).
+	engUpserts        *metrics.Value
+	engSnapSwaps      *metrics.Value
+	engCloneSeconds   *metrics.Value
+	engScratchGets    *metrics.Value
+	engScratchMisses  *metrics.Value
+	walAppends        *metrics.Value
+	walAppendSeconds  *metrics.Value
+	walFsyncSeconds   *metrics.Value
+	checkpoints       *metrics.Value
+	checkpointSeconds *metrics.Value
 }
 
 // New builds a service with started workers.
@@ -150,6 +191,8 @@ func New(cfg Config) *Service {
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		reg:     reg,
 		start:   time.Now(),
+		log:     cfg.Logger,
+		tracer:  obs.NewTracer(cfg.Trace),
 		indexes: make(map[string]*managedIndex),
 	}
 	s.queuedGauge = reg.Gauge("adaptivelink_link_queued", "Link requests waiting for a worker.", "")
@@ -165,8 +208,26 @@ func New(cfg Config) *Service {
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096})
 	s.batchRequests = reg.Counter("adaptivelink_link_batch_requests_total",
 		"Admitted link requests carrying more than one key.", "")
+	latencyBuckets := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	s.linkLatency = reg.Histogram("adaptivelink_link_latency_seconds",
+		"Admitted link request duration, queue wait included.", "", latencyBuckets)
+	s.queueWait = reg.Histogram("adaptivelink_link_queue_wait_seconds",
+		"Time an admitted link request waited for a worker.", "", latencyBuckets)
+	s.slowRequests = reg.Counter("adaptivelink_slow_requests_total",
+		"HTTP requests at or over the slow-log threshold.", "")
+	s.uptimeGauge = reg.Gauge("adaptivelink_uptime_seconds", "Seconds since the service started.", "")
+	s.goroutineGauge = reg.Gauge("adaptivelink_goroutines", "Live goroutines.", "")
+	s.heapGauge = reg.Gauge("adaptivelink_heap_alloc_bytes", "Bytes of allocated heap objects.", "")
+	s.gcCycles = reg.Gauge("adaptivelink_gc_cycles_total", "Completed GC cycles.", "")
+	s.gcPauseTotal = reg.Gauge("adaptivelink_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "")
+	v := buildVersion()
+	reg.Gauge("adaptivelink_build_info", "Build metadata; the value is always 1.",
+		fmt.Sprintf("go_version=%q,version=%q,revision=%q", v.GoVersion, v.Version, v.Revision)).Set(1)
 	return s
 }
+
+// Tracer exposes the request tracer (debug endpoints and tests).
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
@@ -210,7 +271,88 @@ func (s *Service) newManaged(name string, ix *adaptivelink.Index) *managedIndex 
 			"Reference tuples applied by upserts, by effect.", l(`effect="updated"`)),
 		modelledCost: s.reg.Counter("adaptivelink_modelled_cost_total",
 			"Session cost under the paper's weight model, in all-exact-step units.", l("")),
+		engUpserts: s.reg.Gauge("adaptivelink_engine_upserts_total",
+			"Maintenance batches applied to the resident engine.", l("")),
+		engSnapSwaps: s.reg.Gauge("adaptivelink_engine_snapshot_swaps_total",
+			"Per-shard snapshot publications (RCU swaps).", l("")),
+		engCloneSeconds: s.reg.Gauge("adaptivelink_engine_clone_seconds_total",
+			"Cumulative shard-snapshot clone time on the copy-on-write upsert path.", l("")),
+		engScratchGets: s.reg.Gauge("adaptivelink_engine_scratch_gets_total",
+			"Scratch-pool checkouts on the approximate probe and upsert paths.", l("")),
+		engScratchMisses: s.reg.Gauge("adaptivelink_engine_scratch_misses_total",
+			"Scratch-pool checkouts that allocated fresh (pool miss).", l("")),
+		walAppends: s.reg.Gauge("adaptivelink_wal_appends_total",
+			"Acknowledged write-ahead-log appends since open.", l("")),
+		walAppendSeconds: s.reg.Gauge("adaptivelink_wal_append_seconds_total",
+			"Cumulative WAL append wall time, fsync included.", l("")),
+		walFsyncSeconds: s.reg.Gauge("adaptivelink_wal_fsync_seconds_total",
+			"Cumulative WAL fsync wall time.", l("")),
+		checkpoints: s.reg.Gauge("adaptivelink_checkpoints_total",
+			"Snapshot checkpoints since open.", l("")),
+		checkpointSeconds: s.reg.Gauge("adaptivelink_checkpoint_seconds_total",
+			"Cumulative checkpoint wall time (export, write, WAL reset).", l("")),
 	}
+}
+
+// refreshTelemetry copies the index's cumulative engine and storage
+// counters into the exported series. Called on scrape.
+func (mi *managedIndex) refreshTelemetry() {
+	es := mi.ix.EngineStats()
+	mi.engUpserts.Set(float64(es.Upserts))
+	mi.engSnapSwaps.Set(float64(es.SnapshotSwaps))
+	mi.engCloneSeconds.Set(es.CloneSeconds)
+	mi.engScratchGets.Set(float64(es.ScratchGets))
+	mi.engScratchMisses.Set(float64(es.ScratchMisses))
+	if st, ok := mi.ix.StorageStats(); ok {
+		mi.walAppends.Set(float64(st.WALAppends))
+		mi.walAppendSeconds.Set(st.WALAppendSeconds)
+		mi.walFsyncSeconds.Set(st.WALFsyncSeconds)
+		mi.checkpoints.Set(float64(st.Checkpoints))
+		mi.checkpointSeconds.Set(st.CheckpointSeconds)
+	}
+}
+
+// VersionInfo is the /v1/version payload.
+type VersionInfo struct {
+	// Version is the main module's version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit when stamped into the build.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// UptimeSeconds is how long this process has served.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// buildVersion reads the binary's build metadata once.
+var buildVersion = sync.OnceValue(func() VersionInfo {
+	v := VersionInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	v.GoVersion = bi.GoVersion
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			v.Revision = kv.Value
+		case "vcs.modified":
+			v.Modified = kv.Value == "true"
+		}
+	}
+	return v
+})
+
+// Version reports build metadata and uptime.
+func (s *Service) Version() VersionInfo {
+	v := buildVersion()
+	v.UptimeSeconds = time.Since(s.start).Seconds()
+	return v
 }
 
 // CreateIndex registers a new resident index built from tuples and
@@ -250,6 +392,8 @@ func (s *Service) CreateIndex(name string, opts adaptivelink.IndexOptions, tuple
 	mi.shards.Set(float64(ix.Options().Shards))
 	mi.inserted.Add(float64(ix.Len()))
 	s.indexGauge.Set(float64(len(s.indexes)))
+	s.log.Info("created index", "index", name, "tuples", ix.Len(),
+		"shards", ix.Options().Shards, "durable", ix.Durable())
 	return mi.info(), nil
 }
 
@@ -284,12 +428,24 @@ func (s *Service) LoadStored() ([]string, error) {
 		if !stored {
 			continue // not ours: no snapshot, no log
 		}
+		t0 := time.Now()
 		ix, err := adaptivelink.Open(dir, adaptivelink.IndexOptions{
 			Storage: adaptivelink.StorageOptions{WALSync: s.cfg.WALSync},
 		})
 		if err != nil {
 			return names, fmt.Errorf("loading %s: %w", dir, err)
 		}
+		ri := ix.RecoveryInfo()
+		if ri.TornTailTruncated {
+			// A crash mid-append left a partial frame; recovery dropped it
+			// and truncated the log to its intact prefix. Worth a warning:
+			// the final unacknowledged batch (at most one) is gone.
+			s.log.Warn("wal torn tail truncated", "index", name, "dir", dir,
+				"replayed_batches", ri.WALBatchesReplayed)
+		}
+		s.log.Info("reloaded index", "index", name, "tuples", ix.Len(),
+			"snapshot_tuples", ri.SnapshotTuples, "wal_batches", ri.WALBatchesReplayed,
+			"duration", time.Since(t0).Round(time.Millisecond))
 		s.mu.Lock()
 		mi := s.newManaged(name, ix)
 		s.indexes[name] = mi
@@ -315,9 +471,12 @@ func (s *Service) SnapshotIndex(name string) (IndexInfo, error) {
 	if !mi.ix.Durable() {
 		return IndexInfo{}, fmt.Errorf("%w: index %q is in-memory (start the server with a data dir for durable indexes)", ErrInvalid, name)
 	}
+	t0 := time.Now()
 	if err := mi.ix.Save(""); err != nil {
 		return IndexInfo{}, err
 	}
+	s.log.Info("checkpointed index", "index", name, "tuples", mi.ix.Len(),
+		"duration", time.Since(t0).Round(time.Millisecond))
 	return mi.info(), nil
 }
 
@@ -351,6 +510,7 @@ func (s *Service) DeleteIndex(name string) error {
 	s.reg.DeleteSeries(fmt.Sprintf("index=%q", name))
 	s.indexGauge.Set(float64(len(s.indexes)))
 	s.mu.Unlock()
+	s.log.Info("deleted index", "index", name, "durable", mi.ix.Durable())
 	if mi.ix.Durable() {
 		if err := mi.ix.Close(); err != nil {
 			return err
@@ -436,13 +596,19 @@ type LinkRequest struct {
 	// Timeout is the per-request deadline (0 = service default). It
 	// covers queue wait and execution.
 	Timeout time.Duration
+	// Explain captures per-key decision traces (mode used, escalation,
+	// the controller's activations with observed/expected hits and
+	// reasons). It allocates per probe; leave off on hot paths.
+	Explain bool
 }
 
 // LinkResponse carries per-key matches (parallel to the request keys)
-// plus the session's statistics.
+// plus the session's statistics. Decisions is populated only for
+// explain requests, parallel to Results.
 type LinkResponse struct {
-	Results [][]adaptivelink.ProbeMatch
-	Session adaptivelink.SessionStats
+	Results   [][]adaptivelink.ProbeMatch
+	Session   adaptivelink.SessionStats
+	Decisions []adaptivelink.KeyDecision
 }
 
 // ParseStrategy maps the wire strategy names to the public enum.
@@ -501,6 +667,11 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	// Tracing: tr is nil for unsampled requests; every use below is
+	// nil-safe and allocation-free in that case.
+	tr := obs.TraceFrom(ctx)
+	tr.SetTarget(req.Index, len(req.Keys))
+
 	// Admission: reserve the in-flight slot under the read side of the
 	// drain lock, so Drain can never observe a moment where an admitted
 	// request is invisible to its wait.
@@ -513,13 +684,20 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 	s.pool.reserve()
 	s.admit.RUnlock()
 
+	admitted := time.Now()
 	var resp *LinkResponse
 	var jobErr error
 	err = s.pool.runReserved(ctx, func() {
+		wait := time.Since(admitted)
+		s.queueWait.Observe(wait.Seconds())
+		tr.AddSpanDur("queue", admitted, wait)
+		ss := time.Now()
 		sess, err := mi.ix.NewSession(adaptivelink.SessionOptions{
 			Strategy:  strategy,
 			FutilityK: req.FutilityK,
+			Explain:   req.Explain,
 		})
+		tr.AddSpan("session", ss)
 		if err != nil {
 			jobErr = fmt.Errorf("%w: %v", ErrInvalid, err)
 			return
@@ -551,7 +729,9 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 			if hi > len(req.Keys) {
 				hi = len(req.Keys)
 			}
+			cs := time.Now()
 			copy(results[lo:hi], sess.ProbeBatch(req.Keys[lo:hi]))
+			tr.AddSpan("probe", cs)
 		}
 		st := sess.Stats()
 		mi.probes.Add(float64(st.Probes))
@@ -562,18 +742,21 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 		mi.switches.Add(float64(st.Switches))
 		mi.modelledCost.Add(st.ModelledCost)
 		if jobErr == nil {
-			resp = &LinkResponse{Results: results, Session: st}
+			resp = &LinkResponse{Results: results, Session: st, Decisions: sess.Decisions()}
 		}
 	})
 	if err == nil {
 		err = jobErr
 	}
+	s.linkLatency.Observe(time.Since(admitted).Seconds())
 	switch {
 	case err == nil:
 		s.countRequest("ok")
 		return resp, nil
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.countRequest("deadline")
+		s.log.Warn("link deadline exceeded", "request_id", obs.RequestID(ctx),
+			"index", req.Index, "keys", len(req.Keys), "timeout", timeout)
 		return nil, fmt.Errorf("link %q: %w", req.Index, err)
 	default:
 		s.countRequest("invalid")
@@ -595,7 +778,14 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.admit.Lock()
 	s.draining = true
 	s.admit.Unlock()
-	return s.pool.drainWait(ctx)
+	s.log.Info("drain started", "queued", s.pool.queued.Load(), "running", s.pool.running.Load())
+	err := s.pool.drainWait(ctx)
+	if err != nil {
+		s.log.Warn("drain aborted", "error", err)
+	} else {
+		s.log.Info("drain complete")
+	}
+	return err
 }
 
 // Close stops the worker pool and closes every durable index (flushing
@@ -616,6 +806,18 @@ func (s *Service) Close() {
 func (s *Service) WriteMetrics(w interface{ Write([]byte) (int, error) }) error {
 	s.queuedGauge.Set(float64(s.pool.queued.Load()))
 	s.runningGauge.Set(float64(s.pool.running.Load()))
+	s.uptimeGauge.Set(time.Since(s.start).Seconds())
+	s.goroutineGauge.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.heapGauge.Set(float64(ms.HeapAlloc))
+	s.gcCycles.Set(float64(ms.NumGC))
+	s.gcPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+	s.mu.RLock()
+	for _, mi := range s.indexes {
+		mi.refreshTelemetry()
+	}
+	s.mu.RUnlock()
 	return s.reg.WritePrometheus(w)
 }
 

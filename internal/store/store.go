@@ -33,6 +33,27 @@ type Dir struct {
 	wal  *WAL
 
 	lastSnapshot time.Time
+
+	// Checkpoint telemetry; Checkpoint is caller-serialised like the
+	// WAL, so plain fields suffice.
+	checkpoints     int64
+	checkpointNanos int64
+}
+
+// StorageStats is the directory's cumulative durability telemetry:
+// the WAL's append/fsync latency plus checkpoint counts and durations.
+type StorageStats struct {
+	WAL WALStats
+	// Checkpoints counts Checkpoint calls since open; CheckpointNanos
+	// their total wall time (export + write + WAL reset).
+	Checkpoints     int64
+	CheckpointNanos int64
+}
+
+// Stats returns the directory's telemetry counters. Like the WAL, call
+// from the writing goroutine or a quiescent point.
+func (d *Dir) Stats() StorageStats {
+	return StorageStats{WAL: d.wal.Stats(), Checkpoints: d.checkpoints, CheckpointNanos: d.checkpointNanos}
 }
 
 // Recovery reports what Open reconstructed, for logs and stats.
@@ -220,6 +241,7 @@ func (d *Dir) Append(tuples []relation.Tuple) error {
 // snapshot + full WAL still reconstruct the state; after it the new
 // snapshot does, with the WAL reset merely redundant until it happens.
 func (d *Dir) Checkpoint(ix *join.ShardedRefIndex) error {
+	t0 := time.Now()
 	v, err := ix.ExportSnapshot()
 	if err != nil {
 		return err
@@ -231,7 +253,12 @@ func (d *Dir) Checkpoint(ix *join.ShardedRefIndex) error {
 		return err
 	}
 	d.lastSnapshot = time.Now()
-	return d.wal.Reset()
+	if err := d.wal.Reset(); err != nil {
+		return err
+	}
+	d.checkpoints++
+	d.checkpointNanos += time.Since(t0).Nanoseconds()
+	return nil
 }
 
 // WALRecords is the number of upsert batches logged since the last

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/relation"
@@ -126,6 +127,33 @@ type WAL struct {
 	// hdrSize is this file's header length (version- and
 	// profile-dependent); Reset truncates back to it.
 	hdrSize int64
+
+	// Latency telemetry; see WALStats. Only Append updates them, and
+	// Append is caller-serialised, so plain fields suffice. appends
+	// counts Append calls since open — unlike records it is neither
+	// seeded by replay nor reset by checkpoints.
+	appends     int64
+	appendNanos int64
+	fsyncNanos  int64
+}
+
+// WALStats is the log's cumulative latency telemetry.
+type WALStats struct {
+	// Appends is the number of acknowledged Append calls since open.
+	Appends int64
+	// AppendNanos is the total wall time spent inside Append (encode +
+	// write + fsync); FsyncNanos the fsync share of it (0 under
+	// SyncNone). Divide by Appends for the mean acknowledged-append
+	// latency — the durability tax an upsert pays.
+	AppendNanos int64
+	FsyncNanos  int64
+}
+
+// Stats returns the log's latency counters. Call from the goroutine
+// that appends (or a quiescent point): the WAL itself is not
+// concurrency-safe, and neither are its counters.
+func (w *WAL) Stats() WALStats {
+	return WALStats{Appends: w.appends, AppendNanos: w.appendNanos, FsyncNanos: w.fsyncNanos}
 }
 
 // Replay is what OpenWAL recovered from an existing log.
@@ -213,6 +241,7 @@ func (w *WAL) writeHeader(meta Meta) error {
 // before Append returns; the caller may then acknowledge the upsert,
 // knowing replay will reproduce it after any crash.
 func (w *WAL) Append(tuples []relation.Tuple) error {
+	t0 := time.Now()
 	p := w.enc[:0]
 	p = append(p, walKindUpsert)
 	p = binary.LittleEndian.AppendUint32(p, uint32(len(tuples)))
@@ -242,11 +271,15 @@ func (w *WAL) Append(tuples []relation.Tuple) error {
 		return err
 	}
 	if w.sync == SyncAlways {
+		ts := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		w.fsyncNanos += time.Since(ts).Nanoseconds()
 	}
 	w.records++
+	w.appends++
+	w.appendNanos += time.Since(t0).Nanoseconds()
 	return nil
 }
 

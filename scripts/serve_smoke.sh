@@ -107,7 +107,7 @@ probe_all "http://$addr" "$tmp/before.json"
 stop_server "$tmp/restart1.log"
 start_server "$tmp/restart2.log" "$tmp/addr2" -data-dir "$tmp/data"
 
-grep -q 'reloaded index "bench"' "$tmp/restart2.log" || {
+grep -q 'msg="reloaded index".*index=bench' "$tmp/restart2.log" || {
     echo "serve-smoke: restarted server did not reload the stored index" >&2
     cat "$tmp/restart2.log" >&2
     exit 1

@@ -120,9 +120,12 @@ func (j *Join) Stats() Stats {
 type Activation struct {
 	// Step is the engine step at which the loop activated.
 	Step int
-	// Observed is the result size at activation; Tail its binomial tail
+	// Observed is the result size at activation; Expected the model's
+	// expected result size at that step (p̂ · child tuples seen) — what
+	// Observed is deficit-tested against; Tail its binomial tail
 	// probability under the no-variants model.
 	Observed int
+	Expected float64
 	Tail     float64
 	// Sigma reports whether the deficit was significant.
 	Sigma bool
@@ -130,6 +133,10 @@ type Activation struct {
 	// strings mean no switch.
 	From string
 	To   string
+	// Reason labels the respond outcome: "steady", "deficit",
+	// "deficit-held", "window-clear", or the forced overrides "budget" /
+	// "futility".
+	Reason string
 	// CaughtUp is the number of tuples the switch re-indexed.
 	CaughtUp int
 }
@@ -157,10 +164,12 @@ func (j *Join) Activations() []Activation {
 		out[i] = Activation{
 			Step:     a.Observation.Step,
 			Observed: a.Observation.Observed,
+			Expected: a.Assessment.P * float64(a.Observation.ChildSeen),
 			Tail:     a.Assessment.Tail,
 			Sigma:    a.Assessment.Sigma,
 			From:     a.From.String(),
 			To:       a.To.String(),
+			Reason:   adaptive.DecisionReason(a.From, a.To, a.Assessment.Sigma, a.Forced),
 			CaughtUp: a.CaughtUp,
 		}
 	}
