@@ -7,7 +7,7 @@ GO ?= go
 # Raise it (never lower it) when a PR lifts coverage.
 COVER_MIN ?= 86.5
 
-.PHONY: all build vet fmt test race bench cover serve-smoke obs-smoke fuzz bench-service bench-probe bench-store alloc check
+.PHONY: all build vet fmt test race bench cover serve-smoke obs-smoke cluster-smoke fuzz bench-service bench-probe bench-store alloc check
 
 all: check
 
@@ -60,6 +60,15 @@ serve-smoke:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# End-to-end cluster smoke: three node daemons (one group with two
+# replicas) behind a router, linkbench driven through the router, a
+# replica SIGKILLed mid-run (failover must keep every request 2xx and
+# /v1/cluster must report the corpse unhealthy), a whole group killed
+# (routed batches must fail whole with node_unavailable, never answer
+# partially), and clean SIGTERM drains for the survivors.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 # Short fuzz passes, one invariant each: torn reads (concurrent upserts
 # racing probes must never expose a half-applied payload), snapshot
 # decoding (arbitrary bytes never panic or build a broken index),
@@ -109,4 +118,4 @@ alloc:
 
 # `cover` runs the whole suite under -race, so the `race` and `test`
 # targets would be redundant here.
-check: build vet fmt cover alloc bench fuzz serve-smoke obs-smoke
+check: build vet fmt cover alloc bench fuzz serve-smoke obs-smoke cluster-smoke

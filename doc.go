@@ -145,6 +145,39 @@
 // a closed code set (see internal/service). cmd/linkbench load-tests
 // it and records throughput/latency points into BENCH_service.json.
 //
+// # Cluster
+//
+// The serving mode also scales across processes: adaptivelinkd
+// -cluster turns a daemon into a router fanning /v1/link out over a
+// fleet of stock node daemons. The nodes are unmodified — every
+// distributed concern lives in the router (internal/cluster), which
+// owns the cluster map, the normalization profile and the global key
+// sequence, and replays the facade Session (NewRemoteIndex wraps any
+// join.Resident, including the router's remote view) so the adaptive
+// control loop runs one layer above the network.
+//
+// The shard→node contract extends the in-process co-partitioning: M
+// logical shards are assigned to node groups in contiguous ranges
+// (shardmap.NodeRanges), keys map to shards by their prefix-filter
+// signature, and any tuple matching a probe at or above the threshold
+// shares a signature shard with it — so an exact probe needs only the
+// key's home group and an approximate probe the union of its signature
+// groups, and that union is the complete answer. The routed response
+// is byte-identical to a single process serving the same request
+// stream: matches, session statistics and error envelopes alike,
+// locked down by a differential harness over 1-, 2- and 3-group
+// clusters with replicas.
+//
+// Consistency is per-node snapshot isolation, the single-process model
+// per shard group: writes fan to every replica of each owning group
+// and are acknowledged — and globally sequenced — only when all
+// replicas applied them; reads hit one replica per group, round-robin,
+// failing over within the group on transport errors and draining
+// envelopes. A group with no answering replica fails the whole batch
+// with the node_unavailable envelope (never a silent partial result),
+// a node-side timeout surfaces as the standard deadline envelope, and
+// GET /v1/cluster reports the routing table with per-replica health.
+//
 // # Durability
 //
 // A resident index can outlive its process. Open(dir, opts) opens —

@@ -303,6 +303,11 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int, err error) {
 		rts[i] = relation.Tuple{ID: t.ID, Key: ix.normKey(t.Key), Attrs: t.Attrs}
 	}
 	if ix.dir == nil {
+		// A remote resident can fail a write (a cluster node down); honor
+		// its error-aware contract when it has one.
+		if fu, ok := ix.res.(fallibleUpserter); ok {
+			return fu.UpsertChecked(rts)
+		}
 		inserted, updated = ix.res.Upsert(rts)
 		return inserted, updated, nil
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"adaptivelink"
+	"adaptivelink/internal/cluster"
 	"adaptivelink/internal/obs"
 	"adaptivelink/internal/service"
 )
@@ -56,6 +57,8 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		traceSample = fs.Int("trace-sample", obs.DefaultSampleEvery, "sample one request in N for span traces (0 = disable sampling)")
 		slowThresh  = fs.Duration("slow-threshold", obs.DefaultSlowThreshold, "log and retain requests at or over this duration (0 = disable)")
 		slowlogCap  = fs.Int("slowlog-cap", obs.DefaultSlowCapacity, "retained slow-request traces")
+		clusterSpec = fs.String("cluster", "", "run as the cluster router over these node groups: groups separated by ';', replicas within a group by ',' (e.g. \"http://a:8080,http://b:8080;http://c:8080\")")
+		clusterN    = fs.Int("cluster-shards", 0, "logical shard count M for -cluster routing (0 = one per group); a placement constant for the cluster's lifetime")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +94,28 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		trace.SlowThreshold = -1
 	}
 
+	// Router mode: the process owns routing, normalization and merge
+	// order; the node daemons own storage and probing. Local durability
+	// and CSV preloads are node concerns, so both are rejected here.
+	var clusterClient *cluster.Client
+	if *clusterSpec != "" {
+		if *dataDir != "" || *preload != "" {
+			fmt.Fprintln(stderr, "adaptivelinkd: -cluster is incompatible with -data-dir and -preload (durability and loads live on the nodes)")
+			return 2
+		}
+		m, err := cluster.ParseSpec(*clusterSpec, *clusterN)
+		if err != nil {
+			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+			return 2
+		}
+		clusterClient, err = cluster.New(cluster.Config{Map: m})
+		if err != nil {
+			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
+			return 2
+		}
+		log.Info("cluster router", "groups", len(m.Groups), "shards", m.Shards)
+	}
+
 	svc := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -100,6 +125,7 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		WALSync:         syncPolicy,
 		Logger:          log,
 		Trace:           trace,
+		Cluster:         clusterClient,
 	})
 
 	// Reopen whatever the data dir holds before serving: snapshot loads

@@ -3,10 +3,12 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -16,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"adaptivelink"
@@ -77,6 +80,8 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		host     = fs.String("host", "", "host description recorded with -out")
 		regress  = fs.Float64("regress-pct", 0, "with -out: fail when probes/s drops more than this percent below the file's previous point with the same strategy/batch/concurrency/requests/parent shape (0 = off)")
 		p99Drift = fs.Float64("p99-drift-pct", 0, "fail when the client p99 and the server's adaptivelink_link_latency_seconds p99 disagree by more than this percent of the client value (0 = report only)")
+		retries  = fs.Int("retries", 3, "retransmissions per request for transient dial errors (connection refused/reset); never retries HTTP error envelopes")
+		backoff  = fs.Duration("retry-backoff", 25*time.Millisecond, "first retry backoff; doubles per attempt with jitter")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the load-generation phase to this file")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
@@ -99,13 +104,14 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	client := &http.Client{Timeout: *timeout}
+	var retryCount atomic.Int64
 
 	if *create {
 		tuples := make([]service.TupleDTO, len(data.Parent))
 		for i, t := range data.Parent {
 			tuples[i] = service.TupleDTO{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
 		}
-		code, body, err := postJSON(client, *addr+"/v1/indexes", service.CreateIndexRequest{Name: *index, Shards: *shards, Tuples: tuples}, "linkbench-create")
+		code, body, err := postJSONRetry(client, *addr+"/v1/indexes", service.CreateIndexRequest{Name: *index, Shards: *shards, Tuples: tuples}, "linkbench-create", *retries, *backoff, &retryCount)
 		if err != nil {
 			fmt.Fprintf(stderr, "linkbench: create index: %v\n", err)
 			return 1
@@ -168,7 +174,7 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 				}
 				reqID := fmt.Sprintf("linkbench-%d", i)
 				t0 := time.Now()
-				code, body, err := postJSON(client, *addr+"/v1/link", req, reqID)
+				code, body, err := postJSONRetry(client, *addr+"/v1/link", req, reqID, *retries, *backoff, &retryCount)
 				latencies[i] = time.Since(t0)
 				probeCount.Add(int64(*batch))
 				if err != nil || code < 200 || code > 299 {
@@ -225,8 +231,8 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "linkbench: %d requests x %d keys, %d clients, strategy %s\n", *n, *batch, *c, *strategy)
 	fmt.Fprintf(stdout, "linkbench: %.2fs total, %.0f req/s, %.0f probes/s\n", point.Seconds, point.RequestsPS, point.ProbesPS)
-	fmt.Fprintf(stdout, "linkbench: latency p50 %.2fms p95 %.2fms p99 %.2fms, errors %d\n",
-		point.P50Millis, point.P95Millis, point.P99Millis, point.Errors)
+	fmt.Fprintf(stdout, "linkbench: latency p50 %.2fms p95 %.2fms p99 %.2fms, errors %d, dial retries %d\n",
+		point.P50Millis, point.P95Millis, point.P99Millis, point.Errors, retryCount.Load())
 
 	// Cross-check the client-side p99 against the server's own latency
 	// histogram: the two measure the same requests from opposite ends of
@@ -275,6 +281,42 @@ func RunLinkBench(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// isTransientDialErr reports whether err is a connection-level failure
+// worth retransmitting: the request never produced an HTTP response, so
+// a retry cannot double-apply anything the server saw. Connection
+// refused and reset cover the node-restart and drain races a cluster
+// smoke provokes on purpose; everything else (deadline exceeded, DNS,
+// protocol errors) fails fast.
+func isTransientDialErr(err error) bool {
+	return err != nil &&
+		(errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET))
+}
+
+// postJSONRetry is postJSON with bounded retry under jittered
+// exponential backoff for transient dial errors. Any HTTP response —
+// including a 4xx/5xx error envelope — is returned as-is: that is the
+// server speaking, not a transport flake, and retrying it would mask
+// real failures. retries is the number of retransmissions after the
+// first attempt; retried, when non-nil, counts them for reporting.
+func postJSONRetry(client *http.Client, url string, payload any, reqID string, retries int, base time.Duration, retried *atomic.Int64) (int, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		code, body, err := postJSON(client, url, payload, reqID)
+		if attempt >= retries || !isTransientDialErr(err) {
+			return code, body, err
+		}
+		if retried != nil {
+			retried.Add(1)
+		}
+		// Full jitter over [d/2, d): staggers the retry herd a killed
+		// node would otherwise see the instant it comes back.
+		d := base << attempt
+		if d > 2*time.Second {
+			d = 2 * time.Second
+		}
+		time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d/2)+1)))
+	}
 }
 
 // postJSON posts payload and returns the response. A non-empty reqID

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestIsTransientDialErr(t *testing.T) {
+	refused := &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}
+	reset := &net.OpError{Op: "read", Err: syscall.ECONNRESET}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"refused", refused, false /* set below */},
+		{"reset", reset, false /* set below */},
+		{"wrapped refused", fmt.Errorf("post: %w", refused), false /* set below */},
+		{"deadline", errors.New("context deadline exceeded"), false},
+		{"dns", errors.New("no such host"), false},
+	}
+	cases[1].want, cases[2].want, cases[3].want = true, true, true
+	for _, c := range cases {
+		if got := isTransientDialErr(c.err); got != c.want {
+			t.Errorf("%s: isTransientDialErr = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// A connection-refused start races a node restart: the bench must retry
+// with backoff and succeed once the listener is back, instead of
+// failing the run on the first dial.
+func TestPostJSONRetryRecoversFromRefusedDial(t *testing.T) {
+	// Reserve a port, then close it so the first attempts are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var hits atomic.Int64
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the retry loop will exhaust and fail
+		}
+		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{}`))
+		})}
+		go srv.Serve(ln2)
+	}()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	var retried atomic.Int64
+	code, _, err := postJSONRetry(client, "http://"+addr+"/v1/link", map[string]any{}, "t", 8, 20*time.Millisecond, &retried)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("postJSONRetry = %d, %v after %d retries", code, err, retried.Load())
+	}
+	if retried.Load() == 0 {
+		t.Error("no retries recorded despite the initial refused dials")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server saw %d requests, want exactly 1 (no double-apply)", hits.Load())
+	}
+}
+
+// HTTP error envelopes are the server speaking: they must be returned
+// as-is, never retried, whatever the status.
+func TestPostJSONRetryNeverRetriesEnvelopes(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte(`{"error":{"code":"node_unavailable","message":"x"}}`))
+	}))
+	defer srv.Close()
+
+	var retried atomic.Int64
+	code, body, err := postJSONRetry(&http.Client{}, srv.URL, map[string]any{}, "t", 5, time.Millisecond, &retried)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusBadGateway {
+		t.Fatalf("code = %d", code)
+	}
+	if hits.Load() != 1 || retried.Load() != 0 {
+		t.Errorf("hits %d retries %d, want 1 and 0: 5xx envelopes must not be retried", hits.Load(), retried.Load())
+	}
+	if len(body) == 0 {
+		t.Error("envelope body lost")
+	}
+}

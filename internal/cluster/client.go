@@ -1,0 +1,400 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/shardmap"
+)
+
+// ErrNodeUnavailable marks a batch that could not complete because a
+// node group had no answering replica (or a node answered with a
+// non-retryable failure). The service maps it to the v1 envelope code
+// "node_unavailable"; the batch fails as a whole — the router never
+// returns silent partial results.
+var ErrNodeUnavailable = errors.New("cluster node unavailable")
+
+// Config configures the fan-out client.
+type Config struct {
+	// Map is the cluster routing table (required, validated by New).
+	Map Map
+	// WriteTimeout bounds each node call of a maintenance fan-out
+	// (create, upsert, delete, snapshot); probes inherit the request
+	// context instead. Default 30s.
+	WriteTimeout time.Duration
+	// HTTPClient issues the node requests (default: a plain client; the
+	// per-request context carries the deadline).
+	HTTPClient *http.Client
+	// Metrics, when set, receives per-node request counters
+	// (adaptivelink_cluster_node_requests_total{node=...,outcome=...}).
+	Metrics *metrics.Registry
+}
+
+// Client is the cluster fan-out client: it holds the routing table, the
+// per-index sequencing state that defines global merge order, and the
+// HTTP plumbing. One Client serves many concurrent requests; per-request
+// state lives in the Views it binds.
+type Client struct {
+	cfg    Config
+	ranges []shardmap.NodeRange
+	// rr holds one round-robin cursor per group for replica selection.
+	rr []atomic.Uint64
+
+	mu      sync.RWMutex
+	indexes map[string]*indexState
+
+	// nodeOK/nodeErr are per-node-address request counters, resolved at
+	// construction so the probe path never formats labels.
+	nodeOK  map[string]*metrics.Value
+	nodeErr map[string]*metrics.Value
+}
+
+// indexState is the router-side state of one cluster index: the engine
+// configuration (for routing and Resident.Config) and the key→sequence
+// map that mirrors the single-process global-ref assignment — key K has
+// sequence seq[K] iff a single-process index fed the same create/upsert
+// stream would store K at global ref seq[K]. Merge order derives from
+// it, which is what makes cluster results byte-identical to the
+// single-process engine.
+type indexState struct {
+	name   string
+	cfg    join.Config
+	router *shardmap.PrefixRouter
+
+	mu  sync.RWMutex
+	seq map[string]int
+}
+
+// New validates the map and builds a client.
+func New(cfg Config) (*Client, error) {
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	c := &Client{
+		cfg:     cfg,
+		ranges:  cfg.Map.Ranges(),
+		rr:      make([]atomic.Uint64, len(cfg.Map.Groups)),
+		indexes: make(map[string]*indexState),
+		nodeOK:  make(map[string]*metrics.Value),
+		nodeErr: make(map[string]*metrics.Value),
+	}
+	if cfg.Metrics != nil {
+		c.EnableMetrics(cfg.Metrics)
+	}
+	return c, nil
+}
+
+// EnableMetrics resolves the per-node request counters in reg. The
+// routed service calls it at construction so router metrics land in the
+// same registry as everything else; call before serving (the counter
+// maps are read without locks on the probe path).
+func (c *Client) EnableMetrics(reg *metrics.Registry) {
+	for _, g := range c.cfg.Map.Groups {
+		for _, addr := range g {
+			c.nodeOK[addr] = reg.Counter("adaptivelink_cluster_node_requests_total",
+				"Node requests issued by the cluster router, by node and outcome.",
+				fmt.Sprintf("node=%q,outcome=%q", addr, "ok"))
+			c.nodeErr[addr] = reg.Counter("adaptivelink_cluster_node_requests_total",
+				"Node requests issued by the cluster router, by node and outcome.",
+				fmt.Sprintf("node=%q,outcome=%q", addr, "error"))
+		}
+	}
+}
+
+// Map returns the routing table.
+func (c *Client) Map() Map { return c.cfg.Map }
+
+// Ranges returns each group's owned shard range.
+func (c *Client) Ranges() []shardmap.NodeRange { return c.ranges }
+
+// Names returns the registered cluster indexes, sorted.
+func (c *Client) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.indexes))
+	for n := range c.indexes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Client) state(name string) (*indexState, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st, ok := c.indexes[name]
+	return st, ok
+}
+
+// CreateIndex fans an empty create out to every replica of every group
+// (tuples flow through the routed upsert path afterwards, so initial
+// loads land on the owning nodes' write-ahead logs like any other
+// write) and registers the index's routing state. cfg carries the
+// router's matching configuration; nodes are created with profile "" —
+// the router owns normalization and nodes index the already-normalised
+// keys verbatim.
+func (c *Client) CreateIndex(name string, cfg join.Config) error {
+	c.mu.Lock()
+	if _, dup := c.indexes[name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: index %q already registered", name)
+	}
+	st := &indexState{
+		name:   name,
+		cfg:    cfg,
+		router: shardmap.NewPrefixRouter(c.cfg.Map.Shards, cfg.Q, cfg.Measure, cfg.Theta),
+		seq:    make(map[string]int),
+	}
+	c.indexes[name] = st
+	c.mu.Unlock()
+
+	req := createReq{
+		Name: name, Q: cfg.Q, Theta: cfg.Theta, Measure: cfg.Measure.String(),
+		Tuples: []tupleDTO{},
+	}
+	if err := c.fanOutAll(http.MethodPost, "/v1/indexes", req, http.StatusCreated); err != nil {
+		c.mu.Lock()
+		delete(c.indexes, name)
+		c.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// DeleteIndex fans the delete out to every replica and unregisters the
+// index. Node-side not_found is tolerated (a crashed earlier delete may
+// have half-completed); transport failures are not.
+func (c *Client) DeleteIndex(name string) error {
+	if _, ok := c.state(name); !ok {
+		return fmt.Errorf("cluster: index %q not registered", name)
+	}
+	err := c.fanOutAll(http.MethodDelete, "/v1/indexes/"+name, nil, http.StatusNoContent, http.StatusNotFound)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.indexes, name)
+	c.mu.Unlock()
+	return nil
+}
+
+// SnapshotIndex checkpoints the index on every replica of every group.
+func (c *Client) SnapshotIndex(name string) error {
+	if _, ok := c.state(name); !ok {
+		return fmt.Errorf("cluster: index %q not registered", name)
+	}
+	return c.fanOutAll(http.MethodPost, "/v1/indexes/"+name+"/snapshot", nil, http.StatusOK)
+}
+
+// fanOutAll issues the same request to every replica of every group,
+// concurrently, with the write timeout per call. Any failure fails the
+// fan-out (wrapped in ErrNodeUnavailable for transport errors).
+func (c *Client) fanOutAll(method, path string, payload any, okStatuses ...int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.cfg.Map.Groups))
+	for g := range c.cfg.Map.Groups {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = c.groupWrite(g, method, path, payload, okStatuses...)
+		}(g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// groupWrite issues one maintenance request to EVERY replica of a group
+// — writes must land on all replicas or the group diverges — and fails
+// on the first replica that cannot be reached or refuses.
+func (c *Client) groupWrite(g int, method, path string, payload any, okStatuses ...int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.WriteTimeout)
+	defer cancel()
+	for _, addr := range c.cfg.Map.Groups[g] {
+		status, body, err := c.do(ctx, addr, method, path, payload)
+		if err != nil {
+			return fmt.Errorf("%w: %s %s%s: %v", ErrNodeUnavailable, method, addr, path, err)
+		}
+		ok := false
+		for _, s := range okStatuses {
+			if status == s {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: %s %s%s: node answered %d: %s", ErrNodeUnavailable, method, addr, path, status, envelopeMessage(body))
+		}
+	}
+	return nil
+}
+
+// do issues one node request and counts it. The context carries the
+// deadline (the request budget on the probe path, the write timeout on
+// maintenance paths).
+func (c *Client) do(ctx context.Context, addr, method, path string, payload any) (int, []byte, error) {
+	var rd io.Reader
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, addr+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		if v := c.nodeErr[addr]; v != nil {
+			v.Inc()
+		}
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if v := c.nodeErr[addr]; v != nil {
+			v.Inc()
+		}
+		return 0, nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		if v := c.nodeOK[addr]; v != nil {
+			v.Inc()
+		}
+	} else if v := c.nodeErr[addr]; v != nil {
+		v.Inc()
+	}
+	return resp.StatusCode, body, nil
+}
+
+// NodeHealth is one replica's health as probed by Health.
+type NodeHealth struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+}
+
+// GroupHealth is one node group's shard range and replica health.
+type GroupHealth struct {
+	Lo       int          `json:"shard_lo"`
+	Hi       int          `json:"shard_hi"`
+	Replicas []NodeHealth `json:"replicas"`
+}
+
+// Health probes every replica's /healthz concurrently (1s timeout per
+// probe, bounded by ctx) and returns the routing table with liveness.
+func (c *Client) Health(ctx context.Context) []GroupHealth {
+	out := make([]GroupHealth, len(c.cfg.Map.Groups))
+	var wg sync.WaitGroup
+	for g, reps := range c.cfg.Map.Groups {
+		out[g] = GroupHealth{Lo: c.ranges[g].Lo, Hi: c.ranges[g].Hi, Replicas: make([]NodeHealth, len(reps))}
+		for i, addr := range reps {
+			wg.Add(1)
+			go func(g, i int, addr string) {
+				defer wg.Done()
+				hctx, cancel := context.WithTimeout(ctx, time.Second)
+				defer cancel()
+				status, _, err := c.do(hctx, addr, http.MethodGet, "/healthz", nil)
+				out[g].Replicas[i] = NodeHealth{Addr: addr, Healthy: err == nil && status == http.StatusOK}
+			}(g, i, addr)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// --- wire mirrors of the v1 DTOs (the cluster package cannot import
+// internal/service: service imports cluster) ---
+
+type tupleDTO struct {
+	ID    int      `json:"id,omitempty"`
+	Key   string   `json:"key"`
+	Attrs []string `json:"attrs,omitempty"`
+}
+
+type createReq struct {
+	Name    string     `json:"name"`
+	Q       int        `json:"q,omitempty"`
+	Theta   float64    `json:"theta,omitempty"`
+	Measure string     `json:"measure,omitempty"`
+	Tuples  []tupleDTO `json:"tuples"`
+}
+
+type upsertReq struct {
+	Tuples []tupleDTO `json:"tuples"`
+}
+
+type linkReq struct {
+	Index         string   `json:"index"`
+	Keys          []string `json:"keys,omitempty"`
+	Strategy      string   `json:"strategy,omitempty"`
+	TimeoutMillis int      `json:"timeout_ms,omitempty"`
+}
+
+type matchDTO struct {
+	RefID      int      `json:"ref_id"`
+	RefKey     string   `json:"ref_key"`
+	RefAttrs   []string `json:"ref_attrs,omitempty"`
+	Similarity float64  `json:"similarity"`
+	Exact      bool     `json:"exact"`
+}
+
+type keyResultDTO struct {
+	Key     string     `json:"key"`
+	Matches []matchDTO `json:"matches"`
+}
+
+type linkRespDTO struct {
+	Results []keyResultDTO `json:"results"`
+}
+
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// envelopeMessage extracts the error envelope's message for diagnosis,
+// falling back to the raw body.
+func envelopeMessage(body []byte) string {
+	var env errEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		return env.Error.Code + ": " + env.Error.Message
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(body)
+}
+
+// envelopeCode returns the envelope code of a non-2xx body ("" if the
+// body is not an envelope).
+func envelopeCode(body []byte) string {
+	var env errEnvelope
+	if json.Unmarshal(body, &env) == nil {
+		return env.Error.Code
+	}
+	return ""
+}

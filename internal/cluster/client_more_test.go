@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/metrics"
+	"adaptivelink/internal/relation"
+)
+
+// The admin fan-outs (delete, snapshot) hit every replica of every
+// group and tolerate exactly the statuses their contract names.
+func TestDeleteAndSnapshotFanOut(t *testing.T) {
+	okAll := func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodDelete:
+			w.WriteHeader(http.StatusNoContent)
+		case strings.HasSuffix(r.URL.Path, "/snapshot"):
+			w.Write([]byte(`{}`))
+		default:
+			w.Write([]byte(`{}`))
+		}
+	}
+	n0, h0 := fakeNode(t, okAll)
+	n1, h1 := fakeNode(t, okAll)
+	c := testClient(t, [][]string{{n0.URL}, {n1.URL}})
+
+	if err := c.SnapshotIndex("ix"); err != nil {
+		t.Fatalf("SnapshotIndex: %v", err)
+	}
+	if err := c.SnapshotIndex("ghost"); err == nil {
+		t.Fatal("SnapshotIndex on an unregistered index succeeded")
+	}
+	if err := c.DeleteIndex("ix"); err != nil {
+		t.Fatalf("DeleteIndex: %v", err)
+	}
+	if names := c.Names(); len(names) != 0 {
+		t.Fatalf("DeleteIndex left %v registered", names)
+	}
+	if err := c.DeleteIndex("ix"); err == nil {
+		t.Fatal("second DeleteIndex succeeded")
+	}
+	if h0.Load() != 2 || h1.Load() != 2 {
+		t.Fatalf("replica hits = %d/%d, want 2/2 (every admin op reaches every replica)", h0.Load(), h1.Load())
+	}
+}
+
+// Health reports the routing table with per-replica liveness; Map and
+// Ranges expose the table the report is derived from.
+func TestHealthAndRoutingTable(t *testing.T) {
+	up, _ := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	down, _ := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	c, err := New(Config{Map: Map{Shards: 5, Groups: [][]string{{up.URL, down.URL}, {up.URL}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Map(); m.Shards != 5 || len(m.Groups) != 2 {
+		t.Fatalf("Map = %+v", m)
+	}
+	rs := c.Ranges()
+	if len(rs) != 2 || rs[0].Lo != 0 || rs[0].Hi != 3 || rs[1].Lo != 3 || rs[1].Hi != 5 {
+		t.Fatalf("Ranges = %+v, want contiguous [0,3) / [3,5)", rs)
+	}
+
+	hs := c.Health(context.Background())
+	if len(hs) != 2 || hs[0].Lo != 0 || hs[0].Hi != 3 {
+		t.Fatalf("Health = %+v", hs)
+	}
+	if !hs[0].Replicas[0].Healthy || hs[0].Replicas[1].Healthy || !hs[1].Replicas[0].Healthy {
+		t.Fatalf("liveness = %+v, want up/down/up", hs)
+	}
+	if hs[0].Replicas[1].Addr != down.URL {
+		t.Fatalf("replica addr = %q", hs[0].Replicas[1].Addr)
+	}
+}
+
+// EnableMetrics resolves one ok and one error counter per replica and
+// do() bumps them.
+func TestNodeRequestCounters(t *testing.T) {
+	up, _ := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	c, err := New(Config{Map: Map{Shards: 1, Groups: [][]string{{up.URL}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	c.EnableMetrics(reg)
+
+	c.Health(context.Background())
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `adaptivelink_cluster_node_requests_total{node="`+up.URL+`",outcome="ok"} 1`) {
+		t.Fatalf("ok counter not bumped:\n%s", buf.String())
+	}
+}
+
+// The remaining Resident surface: the maintenance view dispatches
+// probes per mode, Config/Len/Entries/Tuple honour their documented
+// degradations, and the error-swallowing Upsert records its failure on
+// the view.
+func TestResidentViewSurface(t *testing.T) {
+	node, _ := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/upsert") {
+			w.Write([]byte(`{"inserted":1,"updated":0,"size":1}`))
+			return
+		}
+		linkOK(matchDTO{RefKey: "alpha", Similarity: 1, Exact: true})(w, r)
+	})
+	c := testClient(t, [][]string{{node.URL}})
+	res, err := c.Resident("ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resident("ghost"); err == nil {
+		t.Fatal("Resident on an unregistered index succeeded")
+	}
+	v := res.(*View)
+
+	if ins, upd := v.Upsert([]relation.Tuple{{Key: "alpha"}}); ins != 1 || upd != 0 {
+		t.Fatalf("Upsert = %d/%d", ins, upd)
+	}
+	if cfg := v.Config(); cfg.Q != join.Defaults().Q {
+		t.Fatalf("Config.Q = %d", cfg.Q)
+	}
+	if got := v.ProbeApprox("alpha"); len(got) != 1 || got[0].Ref != 0 {
+		t.Fatalf("ProbeApprox = %+v (sequenced key must carry its seq as Ref)", got)
+	}
+	if got := v.AppendProbe(nil, join.Exact, "alpha"); len(got) != 1 {
+		t.Fatalf("AppendProbe = %+v", got)
+	}
+	if got := v.ProbeBatch(join.Approx, []string{"alpha", "alpha"}); len(got) != 2 || len(got[1]) != 1 {
+		t.Fatalf("ProbeBatch = %+v", got)
+	}
+	if ex, qg := v.Entries(); ex != 0 || qg != 0 {
+		t.Fatalf("Entries = %d/%d, want 0/0 (node-local telemetry)", ex, qg)
+	}
+	if _, err := v.Tuple(3); err == nil {
+		t.Fatal("Tuple succeeded; refs are not addressable through the fan-out client")
+	}
+
+	// Upsert (the error-swallowing variant) records a dead cluster on
+	// the view instead of losing the failure.
+	node.Close()
+	v2, _ := c.Resident("ix")
+	dead := v2.(*View)
+	dead.Upsert([]relation.Tuple{{Key: "beta"}})
+	if err := dead.TransportErr(); !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("TransportErr after failed Upsert = %v", err)
+	}
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/shardmap"
+)
+
+func TestParseSpec(t *testing.T) {
+	m, err := ParseSpec("http://a:1,http://b:2/; http://c:3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Groups) != 2 || len(m.Groups[0]) != 2 || len(m.Groups[1]) != 1 {
+		t.Fatalf("groups = %v", m.Groups)
+	}
+	if m.Groups[0][1] != "http://b:2" {
+		t.Fatalf("trailing slash kept: %q", m.Groups[0][1])
+	}
+	if m.Shards != 2 {
+		t.Fatalf("default shards = %d, want one per group", m.Shards)
+	}
+	if gs := m.Ranges(); len(gs) != 2 || gs[0].Len() != 1 {
+		t.Fatalf("ranges = %v", gs)
+	}
+
+	for _, bad := range []struct {
+		spec   string
+		shards int
+	}{
+		{"", 0},
+		{";;", 0},
+		{"ftp://a", 0},
+		{"http://a;http://b", 1}, // 1 shard cannot cover 2 groups
+	} {
+		if _, err := ParseSpec(bad.spec, bad.shards); err == nil {
+			t.Errorf("ParseSpec(%q, %d): want error", bad.spec, bad.shards)
+		}
+	}
+}
+
+func TestEnvelopeHelpers(t *testing.T) {
+	body := []byte(`{"error":{"code":"draining","message":"service draining"}}`)
+	if c := envelopeCode(body); c != "draining" {
+		t.Fatalf("envelopeCode = %q", c)
+	}
+	if m := envelopeMessage(body); m != "draining: service draining" {
+		t.Fatalf("envelopeMessage = %q", m)
+	}
+	if c := envelopeCode([]byte("not json")); c != "" {
+		t.Fatalf("envelopeCode on garbage = %q", c)
+	}
+	if m := envelopeMessage([]byte("plain text")); m != "plain text" {
+		t.Fatalf("envelopeMessage fallback = %q", m)
+	}
+}
+
+// merge must dedup by reference key keep-first in group order and sort
+// by the router's global sequence; keys the router never sequenced
+// order last, by key.
+func TestMergeOrdersBySequenceAndDedups(t *testing.T) {
+	st := &indexState{seq: map[string]int{"alpha": 0, "beta": 1, "gamma": 2}}
+	rm := func(key string, seq int, attr string) join.RefMatch {
+		return join.RefMatch{Ref: seq, Tuple: relation.Tuple{Key: key, Attrs: []string{attr}}, Similarity: 1}
+	}
+	got := st.merge([]int{0, 1}, map[int][]join.RefMatch{
+		0: {rm("gamma", 2, "g0"), rm("beta", 1, "b0")},
+		1: {rm("beta", 1, "b1-divergent"), rm("alpha", 0, "a1")},
+	})
+	if len(got) != 3 {
+		t.Fatalf("len = %d: %+v", len(got), got)
+	}
+	wantOrder := []string{"alpha", "beta", "gamma"}
+	for i, w := range wantOrder {
+		if got[i].Tuple.Key != w {
+			t.Fatalf("order[%d] = %q, want %q", i, got[i].Tuple.Key, w)
+		}
+	}
+	if got[1].Tuple.Attrs[0] != "b0" {
+		t.Fatalf("dedup kept %q, want the first group's copy", got[1].Tuple.Attrs[0])
+	}
+}
+
+// fakeNode is a canned node: it answers /v1/link from fn and counts
+// hits.
+func fakeNode(t *testing.T, fn http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fn(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func linkOK(matches ...matchDTO) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req linkReq
+		json.NewDecoder(r.Body).Decode(&req)
+		resp := linkRespDTO{}
+		for range req.Keys {
+			resp.Results = append(resp.Results, keyResultDTO{Matches: matches})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+func testClient(t *testing.T, groups [][]string) *Client {
+	t.Helper()
+	c, err := New(Config{Map: Map{Shards: len(groups), Groups: groups}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerOnly(c, "ix"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// registerOnly registers routing state without the create fan-out (the
+// fakes have no create endpoint).
+func registerOnly(c *Client, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cfg := join.Defaults()
+	c.indexes[name] = &indexState{
+		name: name, cfg: cfg,
+		router: shardmap.NewPrefixRouter(c.cfg.Map.Shards, cfg.Q, cfg.Measure, cfg.Theta),
+		seq:    map[string]int{},
+	}
+	return nil
+}
+
+// Reads fail over within a group: a dead replica and a draining replica
+// are both skipped, the healthy one answers.
+func TestGroupLinkFailsOver(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	draining, _ := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"draining","message":"service draining"}}`))
+	})
+	healthy, healthyHits := fakeNode(t, linkOK(matchDTO{RefKey: "k", Similarity: 1, Exact: true}))
+
+	c := testClient(t, [][]string{{dead.URL, draining.URL, healthy.URL}})
+	for i := 0; i < 3; i++ { // every round-robin phase reaches the healthy replica
+		v, err := c.Bind(context.Background(), "ix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := v.ProbeExact("k")
+		if err := v.TransportErr(); err != nil {
+			t.Fatalf("round %d: transport error %v", i, err)
+		}
+		if len(got) != 1 || got[0].Tuple.Key != "k" {
+			t.Fatalf("round %d: got %+v", i, got)
+		}
+	}
+	if healthyHits.Load() == 0 {
+		t.Fatal("healthy replica never reached")
+	}
+}
+
+// A group with no answering replica is ErrNodeUnavailable, sticky on
+// the view, and later probes short-circuit without network calls.
+func TestViewNodeUnavailableIsSticky(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	c := testClient(t, [][]string{{dead.URL}})
+	v, err := c.Bind(context.Background(), "ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ProbeExact("k"); len(got) != 0 {
+		t.Fatalf("got %+v from a dead cluster", got)
+	}
+	if err := v.TransportErr(); !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("TransportErr = %v, want ErrNodeUnavailable", err)
+	}
+	if got := v.Probe(join.Exact, "other"); len(got) != 0 {
+		t.Fatalf("short-circuit probe returned %+v", got)
+	}
+}
+
+// A node-reported deadline becomes the bare context.DeadlineExceeded —
+// the service layer's error mapping (and message bytes) depend on it.
+func TestViewDeadlineEnvelopeIsBareDeadline(t *testing.T) {
+	slow, _ := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGatewayTimeout)
+		w.Write([]byte(`{"error":{"code":"deadline","message":"link \"ix\": context deadline exceeded"}}`))
+	})
+	c := testClient(t, [][]string{{slow.URL}})
+	v, err := c.Bind(context.Background(), "ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ProbeExact("k")
+	if err := v.TransportErr(); err != context.DeadlineExceeded {
+		t.Fatalf("TransportErr = %v, want bare context.DeadlineExceeded", err)
+	}
+}
+
+// Writes fan to every replica of each involved group and update the
+// sequence map only on success.
+func TestUpsertWritesAllReplicasAndSequences(t *testing.T) {
+	okUpsert := func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"inserted":1,"updated":0,"size":1}`))
+	}
+	r0, h0 := fakeNode(t, okUpsert)
+	r1, h1 := fakeNode(t, okUpsert)
+	c := testClient(t, [][]string{{r0.URL, r1.URL}})
+	v, err := c.Bind(context.Background(), "ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, upd, err := v.UpsertChecked([]relation.Tuple{{Key: "alpha"}, {Key: "beta"}, {Key: "alpha"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins != 2 || upd != 1 {
+		t.Fatalf("ins/upd = %d/%d, want 2/1", ins, upd)
+	}
+	if h0.Load() != 1 || h1.Load() != 1 {
+		t.Fatalf("replica hits = %d/%d, want 1/1 (writes land on every replica)", h0.Load(), h1.Load())
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+
+	// A failed write leaves the sequence map untouched.
+	r0.Close()
+	if _, _, err := v.UpsertChecked([]relation.Tuple{{Key: "gamma"}}); !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("write to dead replica: %v, want ErrNodeUnavailable", err)
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len advanced to %d on a failed write", v.Len())
+	}
+}
+
+// CreateIndex rolls its registration back when a node refuses.
+func TestCreateIndexRollsBack(t *testing.T) {
+	refuse, _ := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":{"code":"internal","message":"boom"}}`))
+	})
+	c, err := New(Config{Map: Map{Shards: 1, Groups: [][]string{{refuse.URL}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("ix", join.Defaults()); !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("CreateIndex = %v, want ErrNodeUnavailable", err)
+	}
+	if names := c.Names(); len(names) != 0 {
+		t.Fatalf("registration leaked: %v", names)
+	}
+	if _, err := c.Bind(context.Background(), "ix"); err == nil {
+		t.Fatal("Bind found a rolled-back index")
+	}
+}

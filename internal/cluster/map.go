@@ -1,0 +1,109 @@
+// Package cluster shards the resident linkage service across processes:
+// a cluster map assigns the M logical shards of internal/shardmap to N
+// node groups as contiguous ranges (shardmap.NodeRanges, the shard→node
+// assignment contract), and an HTTP fan-out client implements
+// join.Resident on top of the node daemons' standard v1 API — exact
+// probes go to the key's home group, approximate probes are unioned
+// across the signature's groups, and upserts are routed to every group
+// owning one of the tuple's storage shards so writes land on the owning
+// node's write-ahead log.
+//
+// The routing rests on the same co-partitioning guarantee that makes
+// shard-local probes complete in-process (the prefix-filtering
+// principle): any two keys that can match at the configured threshold
+// share at least one logical shard, so the union of the signature
+// groups' answers is exactly the single-process result set. Nodes are
+// stock adaptivelinkd daemons — the router owns normalization, routing,
+// merge order and the global insertion sequence; nodes own storage,
+// probing and durability for their shard ranges.
+//
+// Partial-failure policy: a batch either completes against every group
+// it needs or fails with ErrNodeUnavailable — the router never returns
+// silent partial results. Within a replica group, reads fail over
+// between replicas (round-robin) on transport errors and draining
+// nodes; only a group with no answering replica fails the batch.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptivelink/internal/shardmap"
+)
+
+// Map is the cluster's routing configuration: M logical shards spread
+// over the node groups under the shardmap.NodeRanges contract. Every
+// router (and every differential harness) with the same Map derives the
+// same placement.
+type Map struct {
+	// Shards is the logical shard count M. It is a matching-layer
+	// constant for the cluster's lifetime: all routing — and therefore
+	// data placement — derives from it.
+	Shards int
+	// Groups lists each node group's replica base URLs (e.g.
+	// "http://10.0.0.1:8080"). Group i owns the shard range
+	// NodeRanges(Shards, len(Groups))[i]; replicas within a group hold
+	// identical data (writes fan out to all, reads pick one).
+	Groups [][]string
+}
+
+// ParseSpec parses the -cluster flag syntax: groups separated by ';',
+// replicas within a group by ','. "http://a,http://b;http://c" is two
+// groups, the first with two replicas. shards is the logical shard
+// count; 0 defaults to one shard per group.
+func ParseSpec(spec string, shards int) (Map, error) {
+	var m Map
+	for _, g := range strings.Split(spec, ";") {
+		var reps []string
+		for _, r := range strings.Split(g, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			reps = append(reps, strings.TrimRight(r, "/"))
+		}
+		if len(reps) > 0 {
+			m.Groups = append(m.Groups, reps)
+		}
+	}
+	m.Shards = shards
+	if m.Shards == 0 {
+		m.Shards = len(m.Groups)
+	}
+	if err := m.Validate(); err != nil {
+		return Map{}, err
+	}
+	return m, nil
+}
+
+// Validate checks the map is routable.
+func (m Map) Validate() error {
+	if len(m.Groups) == 0 {
+		return fmt.Errorf("cluster: map has no node groups")
+	}
+	for i, g := range m.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("cluster: group %d has no replicas", i)
+		}
+		for _, r := range g {
+			if !strings.HasPrefix(r, "http://") && !strings.HasPrefix(r, "https://") {
+				return fmt.Errorf("cluster: replica %q of group %d is not an http(s) base URL", r, i)
+			}
+		}
+	}
+	if m.Shards < len(m.Groups) {
+		return fmt.Errorf("cluster: %d logical shards cannot cover %d groups (every group must own at least one shard)", m.Shards, len(m.Groups))
+	}
+	return nil
+}
+
+// Ranges returns each group's owned shard range under the assignment
+// contract.
+func (m Map) Ranges() []shardmap.NodeRange {
+	return shardmap.NodeRanges(m.Shards, len(m.Groups))
+}
+
+// GroupOf returns the group owning the given logical shard.
+func (m Map) GroupOf(shard int) int {
+	return shardmap.NodeOf(shard, m.Shards, len(m.Groups))
+}

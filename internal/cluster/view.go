@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+	"adaptivelink/internal/shardmap"
+)
+
+// View is a join.Resident over the cluster: the router's probe sessions
+// and upserts run against it exactly as they would against a local
+// ShardedRefIndex. A View carries one request's context (per-node
+// deadlines inherit the request budget) and its sticky transport error:
+// the Resident probe methods cannot return errors, so the first failure
+// is recorded, subsequent probes short-circuit to empty results, and
+// the caller checks TransportErr before trusting the session — the
+// batch then fails as a whole, never silently partially.
+//
+// Bind a fresh View per request; a View is safe for the single
+// session's use, not for sharing across requests.
+type View struct {
+	c  *Client
+	st *indexState
+	// ctx is the request context; nil selects a per-call write-timeout
+	// context (the maintenance view the service holds long-term).
+	ctx context.Context
+
+	mu  sync.Mutex
+	err error
+}
+
+// Bind returns a request-scoped view of the named cluster index.
+func (c *Client) Bind(ctx context.Context, name string) (*View, error) {
+	st, ok := c.state(name)
+	if !ok {
+		return nil, fmt.Errorf("cluster: index %q not registered", name)
+	}
+	return &View{c: c, st: st, ctx: ctx}, nil
+}
+
+// Resident returns the long-lived maintenance view of the named index
+// (background context, write timeouts per call). The service wraps it
+// in the facade Index it manages; probe traffic binds per-request views
+// instead.
+func (c *Client) Resident(name string) (join.Resident, error) {
+	st, ok := c.state(name)
+	if !ok {
+		return nil, fmt.Errorf("cluster: index %q not registered", name)
+	}
+	return &View{c: c, st: st}, nil
+}
+
+var _ join.Resident = (*View)(nil)
+
+// TransportErr reports the first fan-out failure of this view's
+// probes (nil when every probe completed against every group it
+// needed).
+func (v *View) TransportErr() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err
+}
+
+func (v *View) setErr(err error) {
+	v.mu.Lock()
+	if v.err == nil {
+		v.err = err
+	}
+	v.mu.Unlock()
+}
+
+func (v *View) failed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err != nil
+}
+
+// Config returns the matching configuration the cluster index was
+// created with.
+func (v *View) Config() join.Config { return v.st.cfg }
+
+// Len returns the number of distinct resident keys — the router's
+// sequence map is exactly the single-process key population, so the
+// adaptive control loop sees the same n either way.
+func (v *View) Len() int {
+	v.st.mu.RLock()
+	defer v.st.mu.RUnlock()
+	return len(v.st.seq)
+}
+
+// Entries reports zero: live index-entry counts are node-local
+// telemetry, surfaced per node via /metrics, not re-aggregated through
+// the probe client.
+func (v *View) Entries() (exact, qgrams int) { return 0, 0 }
+
+// Tuple is not addressable through the fan-out client: global refs are
+// a merge-ordering device here, not a storage address.
+func (v *View) Tuple(ref int) (relation.Tuple, error) {
+	return relation.Tuple{}, fmt.Errorf("cluster: Tuple(%d): refs are not addressable through the fan-out client", ref)
+}
+
+// --- writes ---
+
+// UpsertChecked applies keyed reference maintenance across the cluster:
+// each tuple is sent to every group owning one of its storage shards
+// (signature shards plus the key's home shard — the same routes a local
+// ShardedRefIndex stores under), to ALL replicas of those groups, so
+// the write lands on every owning node's write-ahead log. The sequence
+// map advances only after every group acknowledged, keeping merge order
+// consistent with what a retry will eventually make the nodes hold. Any
+// node failure fails the batch with ErrNodeUnavailable.
+func (v *View) UpsertChecked(tuples []relation.Tuple) (inserted, updated int, err error) {
+	if len(tuples) == 0 {
+		return 0, 0, nil
+	}
+	nG := len(v.c.cfg.Map.Groups)
+	subs := make([][]tupleDTO, nG)
+	mark := make([]bool, nG)
+	var route []int
+	for _, t := range tuples {
+		for i := range mark {
+			mark[i] = false
+		}
+		route = v.st.router.Routes(route[:0], t.Key)
+		for _, sh := range route {
+			mark[v.c.cfg.Map.GroupOf(sh)] = true
+		}
+		mark[v.c.cfg.Map.GroupOf(shardmap.ShardOf(t.Key, v.c.cfg.Map.Shards))] = true
+		dto := tupleDTO{ID: t.ID, Key: t.Key, Attrs: t.Attrs}
+		for g := 0; g < nG; g++ {
+			if mark[g] {
+				subs[g] = append(subs[g], dto)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nG)
+	for g := 0; g < nG; g++ {
+		if len(subs[g]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = v.c.groupWrite(g, http.MethodPost, "/v1/indexes/"+v.st.name+"/upsert",
+				upsertReq{Tuples: subs[g]}, http.StatusOK)
+		}(g)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+
+	v.st.mu.Lock()
+	for _, t := range tuples {
+		if _, ok := v.st.seq[t.Key]; ok {
+			updated++
+		} else {
+			v.st.seq[t.Key] = len(v.st.seq)
+			inserted++
+		}
+	}
+	v.st.mu.Unlock()
+	return inserted, updated, nil
+}
+
+// Upsert implements the error-free Resident signature; failures are
+// recorded on the view (TransportErr). Callers that can handle errors
+// use UpsertChecked — the facade prefers it automatically.
+func (v *View) Upsert(tuples []relation.Tuple) (inserted, updated int) {
+	inserted, updated, err := v.UpsertChecked(tuples)
+	if err != nil {
+		v.setErr(err)
+	}
+	return inserted, updated
+}
+
+// --- probes ---
+
+// ProbeExact matches the key by equality on its home group.
+func (v *View) ProbeExact(key string) []join.RefMatch {
+	return v.probeGroups(join.Exact, []string{key})[0]
+}
+
+// ProbeApprox matches the key by similarity across its signature
+// groups.
+func (v *View) ProbeApprox(key string) []join.RefMatch {
+	return v.probeGroups(join.Approx, []string{key})[0]
+}
+
+// Probe dispatches on mode.
+func (v *View) Probe(mode join.Mode, key string) []join.RefMatch {
+	return v.probeGroups(mode, []string{key})[0]
+}
+
+// AppendProbe is Probe into caller-owned dst (the remote path gains
+// nothing from reuse, but the contract is the interface's).
+func (v *View) AppendProbe(dst []join.RefMatch, mode join.Mode, key string) []join.RefMatch {
+	return append(dst, v.Probe(mode, key)...)
+}
+
+// ProbeBatch probes every key under one mode, one result per key in
+// order — the fan-out form of the local batch probe: keys grouped by
+// node group, one node request per group, groups queried concurrently.
+func (v *View) ProbeBatch(mode join.Mode, keys []string) [][]join.RefMatch {
+	return v.probeGroups(mode, keys)
+}
+
+// sub is one group's slice of a probe batch.
+type sub struct {
+	idx  []int
+	keys []string
+}
+
+func (v *View) probeGroups(mode join.Mode, keys []string) [][]join.RefMatch {
+	results := make([][]join.RefMatch, len(keys))
+	if len(keys) == 0 || v.failed() {
+		return results
+	}
+	nG := len(v.c.cfg.Map.Groups)
+	subs := make([]*sub, nG)
+	assign := func(g, i int, key string) {
+		if subs[g] == nil {
+			subs[g] = &sub{}
+		}
+		subs[g].idx = append(subs[g].idx, i)
+		subs[g].keys = append(subs[g].keys, key)
+	}
+	// keyGroups[i] lists, in ascending group order, the groups probed
+	// for key i — the merge visits them in that order, mirroring the
+	// ascending-shard probe order of the local index.
+	keyGroups := make([][]int, len(keys))
+	mark := make([]bool, nG)
+	var route []int
+	for i, key := range keys {
+		if mode == join.Exact {
+			g := v.c.cfg.Map.GroupOf(shardmap.ShardOf(key, v.c.cfg.Map.Shards))
+			keyGroups[i] = []int{g}
+			assign(g, i, key)
+			continue
+		}
+		for j := range mark {
+			mark[j] = false
+		}
+		route = v.st.router.Routes(route[:0], key)
+		for _, sh := range route {
+			mark[v.c.cfg.Map.GroupOf(sh)] = true
+		}
+		for g := 0; g < nG; g++ {
+			if mark[g] {
+				keyGroups[i] = append(keyGroups[i], g)
+				assign(g, i, key)
+			}
+		}
+	}
+
+	strategy := "exact"
+	if mode == join.Approx {
+		strategy = "approximate"
+	}
+	perGroup := make([][][]join.RefMatch, nG)
+	gerrs := make([]error, nG)
+	var wg sync.WaitGroup
+	for g := 0; g < nG; g++ {
+		if subs[g] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			perGroup[g], gerrs[g] = v.groupLink(g, strategy, subs[g].keys)
+		}(g)
+	}
+	wg.Wait()
+	for _, e := range gerrs {
+		if e != nil {
+			v.setErr(e)
+			return make([][]join.RefMatch, len(keys))
+		}
+	}
+
+	// Scatter group answers back to key positions.
+	perKey := make([]map[int][]join.RefMatch, len(keys))
+	for g := 0; g < nG; g++ {
+		if subs[g] == nil {
+			continue
+		}
+		for j, i := range subs[g].idx {
+			if perKey[i] == nil {
+				perKey[i] = make(map[int][]join.RefMatch, len(keyGroups[i]))
+			}
+			perKey[i][g] = perGroup[g][j]
+		}
+	}
+	for i := range keys {
+		results[i] = v.st.merge(keyGroups[i], perKey[i])
+	}
+	return results
+}
+
+// merge combines one key's per-group answers: concatenate in ascending
+// group order, drop replicas of the same reference key (keep-first,
+// like the local dedupByRef — the store is keyed, so key identity IS
+// ref identity), then order by the global sequence the router assigned
+// at write time. The result is byte-identical to the single-process
+// answer: same set by the co-partitioning guarantee, same order by the
+// sequence map mirroring global-ref assignment.
+func (st *indexState) merge(groups []int, perGroup map[int][]join.RefMatch) []join.RefMatch {
+	if len(groups) == 1 {
+		return perGroup[groups[0]]
+	}
+	var all []join.RefMatch
+	seen := make(map[string]bool)
+	for _, g := range groups {
+		for _, m := range perGroup[g] {
+			if seen[m.Tuple.Key] {
+				continue
+			}
+			seen[m.Tuple.Key] = true
+			all = append(all, m)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Ref != all[j].Ref {
+			return all[i].Ref < all[j].Ref
+		}
+		return all[i].Tuple.Key < all[j].Tuple.Key
+	})
+	return all
+}
+
+// groupLink probes one group, failing over across its replicas
+// (starting round-robin) on transport errors and draining nodes. A
+// node-reported deadline becomes context.DeadlineExceeded — the budget
+// is spent cluster-wide, exactly as a local batch would time out. Any
+// other node-reported envelope, or a group with no answering replica,
+// is ErrNodeUnavailable.
+func (v *View) groupLink(g int, strategy string, keys []string) ([][]join.RefMatch, error) {
+	ctx := v.ctx
+	if ctx == nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), v.c.cfg.WriteTimeout)
+		defer cancel()
+	}
+	req := linkReq{Index: v.st.name, Keys: keys, Strategy: strategy}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := int(time.Until(dl) / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMillis = ms
+	}
+	reps := v.c.cfg.Map.Groups[g]
+	start := int(v.c.rr[g].Add(1)-1) % len(reps)
+	var lastErr error
+	for i := 0; i < len(reps); i++ {
+		addr := reps[(start+i)%len(reps)]
+		status, body, err := v.c.do(ctx, addr, http.MethodPost, "/v1/link", req)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			lastErr = fmt.Errorf("%s: %v", addr, err)
+			continue
+		}
+		if status == http.StatusOK {
+			var resp linkRespDTO
+			if err := json.Unmarshal(body, &resp); err != nil {
+				return nil, fmt.Errorf("%w: %s: undecodable link response: %v", ErrNodeUnavailable, addr, err)
+			}
+			if len(resp.Results) != len(keys) {
+				return nil, fmt.Errorf("%w: %s answered %d results for %d keys", ErrNodeUnavailable, addr, len(resp.Results), len(keys))
+			}
+			out := make([][]join.RefMatch, len(keys))
+			for j, kr := range resp.Results {
+				out[j] = v.st.toRefMatches(kr.Matches)
+			}
+			return out, nil
+		}
+		switch envelopeCode(body) {
+		case "deadline":
+			return nil, context.DeadlineExceeded
+		case "draining":
+			lastErr = fmt.Errorf("%s: draining", addr)
+			continue
+		default:
+			return nil, fmt.Errorf("%w: %s answered %d: %s", ErrNodeUnavailable, addr, status, envelopeMessage(body))
+		}
+	}
+	return nil, fmt.Errorf("%w: group %d (shards %d-%d): no answering replica: %v",
+		ErrNodeUnavailable, g, v.c.ranges[g].Lo, v.c.ranges[g].Hi, lastErr)
+}
+
+// toRefMatches rebuilds RefMatch values from the wire form. Ref is the
+// router's global sequence for the reference key — only ORDER flows
+// from it (the wire never carries node-local refs); a key the router
+// never sequenced (written around the router) sorts last, by key.
+func (st *indexState) toRefMatches(ms []matchDTO) []join.RefMatch {
+	if len(ms) == 0 {
+		return nil
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]join.RefMatch, len(ms))
+	for i, m := range ms {
+		ref, ok := st.seq[m.RefKey]
+		if !ok {
+			ref = int(^uint(0) >> 1) // unknown to the router: order last
+		}
+		out[i] = join.RefMatch{
+			Ref:        ref,
+			Tuple:      relation.Tuple{ID: m.RefID, Key: m.RefKey, Attrs: m.RefAttrs},
+			Similarity: m.Similarity,
+			Exact:      m.Exact,
+		}
+	}
+	return out
+}

@@ -285,6 +285,61 @@ func (x *QGramIndex) Export() QGramExport {
 	}
 }
 
+// ExportCompacted is Export with dead dictionary entries dropped: grams
+// whose posting lists have emptied under eviction (and trailing interned
+// grams that never gained a posting) are removed and the surviving ids
+// renumbered densely, in ascending old-id order. Renumbering is monotone,
+// so sorted signatures stay sorted after the rewrite; every gram named by
+// a live signature still has its own ref in its posting list, so no live
+// signature can reference a dropped gram. Ids change across the export —
+// only representation-change-safe points (checkpoints, snapshots) may use
+// it. When nothing is dead it returns Export() unchanged (aliasing the
+// index's immutable data); otherwise the dictionary, postings spine and
+// signatures are freshly built, so a shared RCU snapshot is never
+// mutated either way.
+func (x *QGramIndex) ExportCompacted() QGramExport {
+	dead := x.dict.Len() - len(x.postings)
+	for _, refs := range x.postings {
+		if len(refs) == 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		return x.Export()
+	}
+	grams := x.dict.Grams()
+	remap := make([]uint32, len(grams))
+	live := make([]string, 0, len(grams)-dead)
+	postings := make([][]int32, 0, len(grams)-dead)
+	for id := range grams {
+		if id >= len(x.postings) || len(x.postings[id]) == 0 {
+			remap[id] = qgram.NoID
+			continue
+		}
+		remap[id] = uint32(len(live))
+		live = append(live, grams[id])
+		postings = append(postings, x.postings[id])
+	}
+	sigs := make([][]uint32, len(x.sigs))
+	for ref, sig := range x.sigs {
+		if sig == nil {
+			continue
+		}
+		ns := make([]uint32, len(sig))
+		for i, id := range sig {
+			ns[i] = remap[id]
+		}
+		sigs[ref] = ns
+	}
+	return QGramExport{
+		Grams:    live,
+		Postings: postings,
+		Sizes:    x.sizes,
+		Sigs:     sigs,
+		SigFloor: x.sigFloor,
+	}
+}
+
 // ImportQGramIndex reconstructs an index from an Export under the given
 // extractor (which must match the gram definition the export was built
 // with — the caller's compatibility contract). Every structural

@@ -536,3 +536,69 @@ func TestQGramIndexNonASCII(t *testing.T) {
 		t.Errorf("non-ASCII ProbeKey allocated %.2f times per op, want 0", avg)
 	}
 }
+
+// Regression for unbounded dictionary growth under eviction churn: the
+// dict accretes every distinct gram ever seen (by design, mid-run), so
+// the snapshot boundary must compact it — a checkpoint of a long-lived
+// windowed index must be bounded by the LIVE gram population, not by
+// stream history. On pre-compaction code (Export instead of
+// ExportCompacted) the bound assertion below fails.
+func TestExportCompactedBoundsDictUnderChurn(t *testing.T) {
+	x := newQIdx()
+	const window = 16
+	ref := 0
+	for round := 0; round < 40; round++ {
+		for i := 0; i < window; i++ {
+			x.Insert(ref, fmt.Sprintf("churn key %d of round %d", i, round))
+			ref++
+		}
+		x.EvictBelow(ref - window)
+	}
+
+	live := 0
+	for _, g := range x.Dict().Grams() {
+		if x.Frequency(g) > 0 {
+			live++
+		}
+	}
+	if x.Dict().Len() <= 2*live {
+		t.Fatalf("churn loop built no dict garbage: %d total grams, %d live", x.Dict().Len(), live)
+	}
+
+	exp := x.ExportCompacted()
+	if len(exp.Grams) > live {
+		t.Fatalf("compacted export carries %d grams, want at most the %d live ones", len(exp.Grams), live)
+	}
+	if len(exp.Postings) != len(exp.Grams) {
+		t.Fatalf("compacted export: %d posting lists for %d grams", len(exp.Postings), len(exp.Grams))
+	}
+	for id, refs := range exp.Postings {
+		if len(refs) == 0 {
+			t.Fatalf("compacted export kept dead gram id %d", id)
+		}
+	}
+
+	// The compacted form must still satisfy every import invariant and
+	// answer probes identically to the live index.
+	y, err := ImportQGramIndex(qgram.New(3), exp)
+	if err != nil {
+		t.Fatalf("ImportQGramIndex(compacted): %v", err)
+	}
+	for i := 0; i < window; i++ {
+		k := fmt.Sprintf("churn key %d of round %d", i, 39)
+		got := y.Probe(k, 1)
+		want := x.Probe(k, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe %q after compacted round trip = %v, want %v", k, got, want)
+		}
+	}
+
+	// With nothing evicted, compaction is the identity (and aliases the
+	// index's data rather than copying it).
+	z := newQIdx()
+	z.Insert(0, "monte rosa")
+	plain, compact := z.Export(), z.ExportCompacted()
+	if !reflect.DeepEqual(plain, compact) {
+		t.Errorf("ExportCompacted on an eviction-free index differs from Export")
+	}
+}

@@ -71,7 +71,11 @@ func (s *ShardedRefIndex) ExportSnapshot() (*SnapshotView, error) {
 		for j, g := range sn.globals {
 			globals[j] = uint32(g)
 		}
-		v.Shards[i] = ShardExport{Globals: globals, QGrams: sn.qgIdx.Export()}
+		// ExportCompacted, not Export: a snapshot boundary is the one
+		// representation-change-safe point, so dictionary entries left
+		// dangling by eviction are dropped here instead of accreting in
+		// every checkpoint forever.
+		v.Shards[i] = ShardExport{Globals: globals, QGrams: sn.qgIdx.ExportCompacted()}
 	}
 	return v, nil
 }

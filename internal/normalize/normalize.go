@@ -309,33 +309,41 @@ const DefaultProfile = ""
 // registry is fixed at build time: a profile name stored in snapshot
 // metadata must mean the same pipeline forever, so renaming or
 // re-ordering an existing profile's steps is a compatibility break
-// (add a new name instead).
-var profilePipelines = map[string]func() *Normalizer{
-	DefaultProfile: func() *Normalizer { return NewNormalizer() },
-	"standard":     Standard,
+// (add a new name instead). The latin flag records whether the
+// profile's keys land in the Latin repertoire the Soundex code is
+// defined over; phonetic keying of the other scripts must be refused,
+// not approximated.
+var profilePipelines = map[string]struct {
+	mk    func() *Normalizer
+	latin bool
+}{
+	// The identity profile indexes verbatim keys; historically those
+	// were Latin, so Soundex stays available (with the per-key guard).
+	DefaultProfile: {func() *Normalizer { return NewNormalizer() }, true},
+	"standard":     {Standard, true},
 	// Latin with diacritics (French, Italian, Czech, Polish, Turkish,
 	// Nordic ...): canonicalise spelling, fold accents and special
 	// letters to ASCII base letters, then full case fold — folding
 	// before casing keeps mixed-case transliterations (Þ→Th) from
 	// leaking into the upper-cased output — and strip punctuation.
-	"latin": func() *Normalizer {
+	"latin": {func() *Normalizer {
 		return NewNormalizer(Canonicalize, FoldAccents, FoldCase, StripPunct, CollapseSpaces)
-	},
+	}, true},
 	// Cyrillic: fold the Ё/Й mark compositions (so NFC and NFD agree and
 	// е/ё variant spellings match), full case fold, strip punctuation.
-	"cyrillic": func() *Normalizer {
+	"cyrillic": {func() *Normalizer {
 		return NewNormalizer(Canonicalize, FoldAccents, FoldCase, StripPunct, CollapseSpaces)
-	},
+	}, false},
 	// Greek: strip tonos/dialytika (so ΜΑΡΊΑ and ΜΑΡΙΑ match), full case
 	// fold — final sigma folds with the rest — and strip punctuation.
-	"greek": func() *Normalizer {
+	"greek": {func() *Normalizer {
 		return NewNormalizer(Canonicalize, FoldCase, StripMarks, StripPunct, CollapseSpaces)
-	},
+	}, false},
 	// CJK: fold fullwidth/halfwidth width variants and the ideographic
 	// space; no case or accent folding applies.
-	"cjk": func() *Normalizer {
+	"cjk": {func() *Normalizer {
 		return NewNormalizer(FoldWidth, StripPunct, CollapseSpaces)
-	},
+	}, false},
 }
 
 // Profiles returns the registered profile names in sorted order, the
@@ -355,11 +363,58 @@ func Profiles() []string {
 // snapshot written by a newer build fails loudly instead of silently
 // indexing unnormalised keys.
 func ProfileNamed(name string) (*Normalizer, error) {
-	mk, ok := profilePipelines[name]
+	p, ok := profilePipelines[name]
 	if !ok {
 		return nil, fmt.Errorf("normalize: unknown profile %q (have %q)", name, Profiles())
 	}
-	return mk(), nil
+	return p.mk(), nil
+}
+
+// SoundexSupported reports whether the named profile's keys are in the
+// Latin repertoire the Soundex code is defined over. Unknown profiles
+// report false.
+func SoundexSupported(profile string) bool {
+	p, ok := profilePipelines[profile]
+	return ok && p.latin
+}
+
+// SoundexProfile returns the Soundex code of s as keyed under the named
+// profile. Profiles whose script Soundex is not defined over (cyrillic,
+// greek, cjk) return a descriptive error instead of a garbage code: the
+// unguarded coder skipped every letter it could not code and happily
+// emitted D000-style nonsense for Д-initial keys, or coded a stray
+// embedded Latin letter as if it led the name. Latin profiles guard per
+// key the same way: a key whose first letter is outside A–Z even after
+// accent folding is an error, while keys with no letters at all code to
+// "" exactly like Soundex.
+func SoundexProfile(profile, s string) (string, error) {
+	p, ok := profilePipelines[profile]
+	if !ok {
+		return "", fmt.Errorf("normalize: unknown profile %q (have %q)", profile, Profiles())
+	}
+	if !p.latin {
+		return "", fmt.Errorf("normalize: profile %q keys are outside the Latin repertoire; Soundex is undefined for them", profile)
+	}
+	key := p.mk().Apply(s)
+	if r, ok := soundexLead(key); !ok {
+		return "", fmt.Errorf("normalize: key %q leads with non-Latin letter %q; refusing to code it phonetically", s, r)
+	}
+	return Soundex(key), nil
+}
+
+// soundexLead finds the first letter of s after accent folding and
+// upper-casing, reporting whether it is Latin-codable. Strings with no
+// letters at all report ok (they code to the empty string).
+func soundexLead(s string) (rune, bool) {
+	for _, r := range strings.ToUpper(FoldAccents(s)) {
+		if r >= 'A' && r <= 'Z' {
+			return r, true
+		}
+		if unicode.IsLetter(r) {
+			return r, false
+		}
+	}
+	return 0, true
 }
 
 // Soundex returns the classic four-character American Soundex code of
@@ -369,6 +424,13 @@ func ProfileNamed(name string) (*Normalizer, error) {
 // Apostrophes and hyphens inside the first name token are transparent
 // (O'Brien codes like OBrien, not like O), matching the archival
 // convention of coding punctuated surnames as one word.
+//
+// Soundex is Latin-only: when the first letter of s is outside A–Z even
+// after accent folding (Cyrillic, Greek, CJK ...), it returns "" rather
+// than skipping ahead and coding whatever stray Latin letter follows —
+// a mixed-script "Дavid" has no meaningful American Soundex code.
+// Callers that want a diagnosis instead of a silent skip use
+// SoundexProfile.
 func Soundex(s string) string {
 	code := func(r rune) byte {
 		switch r {
@@ -390,11 +452,15 @@ func Soundex(s string) string {
 	}
 	up := strings.ToUpper(FoldAccents(s))
 	runes := []rune(up)
-	// Find the first letter.
+	// Find the first letter; a non-Latin letter ends the search (the
+	// key is outside the code's repertoire, not a name with leading
+	// punctuation to skip).
 	start := -1
 	for i, r := range runes {
 		if r >= 'A' && r <= 'Z' {
 			start = i
+		}
+		if unicode.IsLetter(r) {
 			break
 		}
 	}

@@ -314,3 +314,71 @@ func TestSoundexCaseInsensitiveProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Non-Latin keys must never code: pre-guard, the coder skipped letters
+// it could not code and emitted nonsense for mixed-script keys (the
+// stray Latin 'a' in "Дavid" coded as if it led the name).
+func TestSoundexNonLatinGuard(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Дмитрий", ""},   // Cyrillic: outside the repertoire
+		{"Дavid", ""},     // mixed script: no skipping ahead to the 'a'
+		{"Μαρία", ""},     // Greek
+		{"東京", ""},        // CJK
+		{"42-17", ""},     // digits only, as before
+		{"  O'Brien", ""}, // control: Latin after punctuation still codes
+	}
+	cases[len(cases)-1].want = "O165"
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// SoundexProfile across every registered profile: Latin-script profiles
+// code Latin keys and refuse non-Latin ones with a diagnosis; the
+// non-Latin profiles refuse phonetic keying outright.
+func TestSoundexProfileTable(t *testing.T) {
+	for _, profile := range Profiles() {
+		supported := SoundexSupported(profile)
+		switch profile {
+		case "", "standard", "latin":
+			if !supported {
+				t.Errorf("SoundexSupported(%q) = false, want true", profile)
+			}
+		case "cyrillic", "greek", "cjk":
+			if supported {
+				t.Errorf("SoundexSupported(%q) = true, want false", profile)
+			}
+		default:
+			t.Errorf("profile %q missing from the Soundex support table", profile)
+		}
+
+		code, err := SoundexProfile(profile, "Robert")
+		if supported {
+			if err != nil || code != "R163" {
+				t.Errorf("SoundexProfile(%q, Robert) = %q, %v; want R163", profile, code, err)
+			}
+		} else if err == nil {
+			t.Errorf("SoundexProfile(%q, Robert) = %q, want an unsupported-profile error", profile, code)
+		}
+
+		// A Cyrillic key must never code, whatever the profile.
+		if code, err := SoundexProfile(profile, "Дмитрий"); err == nil && code != "" {
+			t.Errorf("SoundexProfile(%q, Дмитрий) = %q, want error or empty", profile, code)
+		}
+		if supported {
+			if _, err := SoundexProfile(profile, "Дмитрий"); err == nil {
+				t.Errorf("SoundexProfile(%q, Дмитрий) succeeded, want a non-Latin-key error", profile)
+			}
+		}
+	}
+	if _, err := SoundexProfile("no-such-profile", "Robert"); err == nil {
+		t.Error("SoundexProfile with unknown profile succeeded")
+	}
+	// Keys with no letters at all code to "" without error (nothing to
+	// guard): matches Soundex's historical contract.
+	if code, err := SoundexProfile("latin", "42-17"); err != nil || code != "" {
+		t.Errorf("SoundexProfile(latin, 42-17) = %q, %v; want empty, nil", code, err)
+	}
+}

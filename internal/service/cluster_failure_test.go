@@ -1,0 +1,240 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivelink/internal/cluster"
+)
+
+// Partial-failure contract: a routed batch either completes against
+// every node group it needs or fails whole with a machine-branchable
+// envelope — node loss is "node_unavailable" (502), a spent budget is
+// "deadline" (504), and replicated answers never surface twice.
+
+// clusterFixture is a router with direct access to its node servers.
+type clusterFixture struct {
+	router *diffStack
+	nodes  [][]*httptest.Server
+}
+
+// newClusterFixture boots groupSizes-shaped stock nodes (wrapped by mw
+// when non-nil) and a router over them.
+func newClusterFixture(t *testing.T, shards int, groupSizes []int, mw func(g, r int, h http.Handler) http.Handler) *clusterFixture {
+	t.Helper()
+	f := &clusterFixture{nodes: make([][]*httptest.Server, len(groupSizes))}
+	groups := make([][]string, len(groupSizes))
+	for g, n := range groupSizes {
+		for r := 0; r < n; r++ {
+			svc := New(Config{})
+			t.Cleanup(svc.Close)
+			var h http.Handler = NewHandler(svc)
+			if mw != nil {
+				h = mw(g, r, h)
+			}
+			srv := httptest.NewServer(h)
+			t.Cleanup(srv.Close)
+			f.nodes[g] = append(f.nodes[g], srv)
+			groups[g] = append(groups[g], srv.URL)
+		}
+	}
+	cl, err := cluster.New(cluster.Config{Map: cluster.Map{Shards: shards, Groups: groups}})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	f.router = startStack(t, "router", Config{Cluster: cl})
+	return f
+}
+
+func (f *clusterFixture) create(t *testing.T, nKeys int) {
+	t.Helper()
+	var tuples []string
+	for i := 0; i < nKeys; i++ {
+		tuples = append(tuples, fmt.Sprintf(`{"key":"borgo santa lucia %s %d"}`,
+			[]string{"nord", "sud", "est", "ovest"}[i%4], i))
+	}
+	code, body := f.router.do(t, "POST", "/v1/indexes",
+		fmt.Sprintf(`{"name":"atlas","tuples":[%s]}`, strings.Join(tuples, ",")))
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+}
+
+func envelope(t *testing.T, body string) (code, message string) {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("not an envelope: %s", body)
+	}
+	return env.Error.Code, env.Error.Message
+}
+
+// A node group lost mid-run fails routed batches whole with the
+// node_unavailable envelope — never a silent partial result — while
+// batches that only need surviving groups keep answering.
+func TestClusterNodeDownFailsBatchWhole(t *testing.T) {
+	f := newClusterFixture(t, 4, []int{1, 1}, nil)
+	f.create(t, 24)
+
+	// All approximate batches span signature groups; they work before...
+	code, body := f.router.do(t, "POST", "/v1/link",
+		`{"index":"atlas","keys":["borgo santa luca nord 0","borgo santa lucia est 14"],"strategy":"approximate"}`)
+	if code != http.StatusOK {
+		t.Fatalf("pre-failure link: %d %s", code, body)
+	}
+
+	f.nodes[1][0].Close() // group 1's only replica dies
+
+	code, body = f.router.do(t, "POST", "/v1/link",
+		`{"index":"atlas","keys":["borgo santa luca nord 0","borgo santa lucia est 14"],"strategy":"approximate"}`)
+	if code != http.StatusBadGateway {
+		t.Fatalf("post-failure link: %d %s (want 502)", code, body)
+	}
+	if ec, msg := envelope(t, body); ec != CodeNodeUnavailable || !strings.Contains(msg, "cluster node unavailable") {
+		t.Fatalf("post-failure envelope: code %q message %q", ec, msg)
+	}
+
+	// Routed writes need every owning group's WAL: they fail whole too.
+	code, body = f.router.do(t, "POST", "/v1/indexes/atlas/upsert",
+		`{"tuples":[{"key":"borgo santa lucia nord 900"}]}`)
+	if code != http.StatusBadGateway {
+		t.Fatalf("post-failure upsert: %d %s (want 502)", code, body)
+	}
+	if ec, _ := envelope(t, body); ec != CodeNodeUnavailable {
+		t.Fatalf("post-failure upsert envelope code %q", ec)
+	}
+}
+
+// A replica dying is absorbed: reads fail over to the surviving replica
+// of the group, requests keep answering 200, and /v1/cluster reports
+// the dead replica unhealthy.
+func TestClusterReplicaFailover(t *testing.T) {
+	f := newClusterFixture(t, 4, []int{2, 2}, nil)
+	f.create(t, 24)
+
+	f.nodes[0][0].Close() // group 0 keeps a live replica
+
+	for i := 0; i < 6; i++ { // past any round-robin phase
+		code, body := f.router.do(t, "POST", "/v1/link",
+			`{"index":"atlas","keys":["borgo santa lucia nord 0","borgo santa luca sud 5"],"strategy":"approximate"}`)
+		if code != http.StatusOK {
+			t.Fatalf("failover link %d: %d %s", i, code, body)
+		}
+	}
+
+	code, body := f.router.do(t, "GET", "/v1/cluster", "")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/cluster: %d %s", code, body)
+	}
+	var info ClusterInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Role != "router" || len(info.Groups) != 2 {
+		t.Fatalf("cluster info: %s", body)
+	}
+	if r := info.Groups[0].Replicas[0]; r.Healthy {
+		t.Fatalf("dead replica %s reported healthy", r.Addr)
+	}
+	if r := info.Groups[0].Replicas[1]; !r.Healthy {
+		t.Fatalf("live replica %s reported unhealthy", r.Addr)
+	}
+}
+
+// A budget spent during the fan-out surfaces as the standard deadline
+// envelope (504), byte-compatible with a single process timing out.
+func TestClusterDeadlineDuringFanOut(t *testing.T) {
+	f := newClusterFixture(t, 2, []int{1, 1}, func(g, r int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			if req.URL.Path == "/v1/link" {
+				time.Sleep(300 * time.Millisecond)
+			}
+			h.ServeHTTP(w, req)
+		})
+	})
+	f.create(t, 16)
+
+	code, body := f.router.do(t, "POST", "/v1/link",
+		`{"index":"atlas","keys":["borgo santa lucia nord 0"],"timeout_ms":80}`)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline link: %d %s (want 504)", code, body)
+	}
+	ec, msg := envelope(t, body)
+	if ec != CodeDeadline {
+		t.Fatalf("envelope code %q, want %q", ec, CodeDeadline)
+	}
+	if want := `link "atlas": context deadline exceeded`; msg != want {
+		t.Fatalf("deadline message %q, want %q (single-process byte-identity)", msg, want)
+	}
+}
+
+// Replicated answers dedup at the merge even when replicas diverge: a
+// key whose signature spans two groups, with one group's copy updated
+// behind the router's back (a lagging snapshot), still yields exactly
+// one match — keep-first in group order.
+func TestClusterReplicaDedupAcrossVersions(t *testing.T) {
+	f := newClusterFixture(t, 4, []int{1, 1}, nil)
+	f.create(t, 8)
+
+	// Plant a key through the router (it lands on every owning group),
+	// then rewrite its payload on ONE group's node directly, bypassing
+	// the router — the groups now hold different versions of the key.
+	code, body := f.router.do(t, "POST", "/v1/indexes/atlas/upsert",
+		`{"tuples":[{"id":77,"key":"canale grande ribera 9","attrs":["v1"]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("routed upsert: %d %s", code, body)
+	}
+	divergent := 0
+	for g := range f.nodes {
+		node := f.nodes[g][0]
+		resp, err := http.Post(node.URL+"/v1/indexes/atlas/upsert", "application/json",
+			strings.NewReader(`{"tuples":[{"id":78,"key":"canale grande ribera 9","attrs":["v2-direct"]}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		divergent++
+		break // only the first group diverges
+	}
+	if divergent == 0 {
+		t.Fatal("no node to diverge")
+	}
+
+	for i := 0; i < 4; i++ { // stable across round-robin phases
+		code, body = f.router.do(t, "POST", "/v1/link",
+			`{"index":"atlas","keys":["canale grande ribera 9"],"strategy":"approximate"}`)
+		if code != http.StatusOK {
+			t.Fatalf("link: %d %s", code, body)
+		}
+		var resp struct {
+			Results []struct {
+				Matches []struct {
+					RefKey string   `json:"ref_key"`
+					Attrs  []string `json:"ref_attrs"`
+				} `json:"matches"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, m := range resp.Results[0].Matches {
+			if m.RefKey == "canale grande ribera 9" {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("round %d: key surfaced %d times, want exactly 1 (merge must dedup divergent group copies)\n%s", i, n, body)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"adaptivelink"
+	"adaptivelink/internal/cluster"
 	"adaptivelink/internal/obs"
 )
 
@@ -21,7 +22,8 @@ import (
 //   - Every non-2xx response carries the unified error envelope
 //     {"error":{"code":"...","message":"..."}} (ErrorDTO). Codes are a
 //     closed set: invalid, not_found, exists, draining, deadline,
-//     internal. Clients branch on code; message is for humans.
+//     internal, node_unavailable. Clients branch on code; message is
+//     for humans.
 //   - Fields are only ever added, never renamed or removed, within v1;
 //     incompatible changes get a new path prefix.
 //   - Index info (GET /v1/indexes, GET /v1/indexes/{name}) and
@@ -134,6 +136,10 @@ const (
 	CodeDraining = "draining"
 	CodeDeadline = "deadline"
 	CodeInternal = "internal"
+	// CodeNodeUnavailable (502) marks a routed request that could not
+	// complete because a cluster node group had no answering replica;
+	// the batch failed as a whole, never with silent partial results.
+	CodeNodeUnavailable = "node_unavailable"
 )
 
 // maxBodyBytes bounds request bodies (tuple uploads included).
@@ -150,6 +156,7 @@ const maxBodyBytes = 64 << 20
 //	POST   /v1/link                     probe one index (single key or batch)
 //	GET    /v1/stats                    service counters as JSON
 //	GET    /v1/version                  build metadata and uptime
+//	GET    /v1/cluster                  cluster role, routing table, replica health
 //	GET    /v1/debug/slowlog            retained slow-request traces
 //	GET    /v1/debug/requests/{id}      one retained trace by request id
 //	GET    /metrics                     Prometheus text exposition
@@ -261,6 +268,9 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Version())
 	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Cluster(r.Context()))
+	})
 	mux.HandleFunc("GET /v1/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
 		thresholdMS := float64(-1)
 		if d := s.tracer.SlowThreshold(); d >= 0 {
@@ -358,6 +368,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusServiceUnavailable, CodeDraining
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status, code = http.StatusGatewayTimeout, CodeDeadline
+	case errors.Is(err, cluster.ErrNodeUnavailable):
+		status, code = http.StatusBadGateway, CodeNodeUnavailable
 	}
 	writeJSON(w, status, ErrorDTO{Error: ErrorBody{Code: code, Message: err.Error()}})
 }

@@ -15,8 +15,11 @@ import (
 	"time"
 
 	"adaptivelink"
+	"adaptivelink/internal/cluster"
+	"adaptivelink/internal/join"
 	"adaptivelink/internal/metrics"
 	"adaptivelink/internal/obs"
+	"adaptivelink/internal/simfn"
 )
 
 // Sentinel errors; the HTTP layer maps them to status codes.
@@ -66,6 +69,12 @@ type Config struct {
 	// zero value samples one request in 16 and flags requests over
 	// 500ms (see internal/obs for the knobs).
 	Trace obs.Config
+	// Cluster, when set, turns the service into the cluster router: index
+	// state lives on the cluster's node groups and every create, upsert,
+	// probe and snapshot is routed through the fan-out client. A routed
+	// service is incompatible with DataDir (durability lives on the
+	// nodes).
+	Cluster *cluster.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -195,11 +204,14 @@ func New(cfg Config) *Service {
 		tracer:  obs.NewTracer(cfg.Trace),
 		indexes: make(map[string]*managedIndex),
 	}
+	if cfg.Cluster != nil {
+		cfg.Cluster.EnableMetrics(reg)
+	}
 	s.queuedGauge = reg.Gauge("adaptivelink_link_queued", "Link requests waiting for a worker.", "")
 	s.runningGauge = reg.Gauge("adaptivelink_link_running", "Link requests currently executing.", "")
 	s.indexGauge = reg.Gauge("adaptivelink_indexes", "Resident indexes registered.", "")
 	s.requestCounters = make(map[string]*metrics.Value)
-	for _, code := range []string{"ok", "deadline", "draining", "invalid", "notfound"} {
+	for _, code := range []string{"ok", "deadline", "draining", "invalid", "notfound", "unavailable"} {
 		s.requestCounters[code] = reg.Counter("adaptivelink_link_requests_total",
 			"Link requests by outcome.", fmt.Sprintf("code=%q", code))
 	}
@@ -355,6 +367,35 @@ func (s *Service) Version() VersionInfo {
 	return v
 }
 
+// ClusterInfo is the /v1/cluster payload: the process role and, for a
+// router, the routing table with live replica health.
+type ClusterInfo struct {
+	// Role is "router" for a fan-out process, "node" otherwise (a plain
+	// daemon is a cluster of one from the router's point of view).
+	Role string `json:"role"`
+	// Shards is the cluster's logical shard count (routers only).
+	Shards int `json:"shards,omitempty"`
+	// Groups is the shard→node assignment with per-replica health
+	// (routers only).
+	Groups []cluster.GroupHealth `json:"groups,omitempty"`
+	// Indexes lists the routed indexes (routers only).
+	Indexes []string `json:"indexes,omitempty"`
+}
+
+// Cluster reports the process's cluster role; a router probes every
+// replica's health on the way (bounded by ctx).
+func (s *Service) Cluster(ctx context.Context) ClusterInfo {
+	if s.cfg.Cluster == nil {
+		return ClusterInfo{Role: "node"}
+	}
+	return ClusterInfo{
+		Role:    "router",
+		Shards:  s.cfg.Cluster.Map().Shards,
+		Groups:  s.cfg.Cluster.Health(ctx),
+		Indexes: s.cfg.Cluster.Names(),
+	}
+}
+
 // CreateIndex registers a new resident index built from tuples and
 // returns its info as stored (the same CreatedAt later reads report).
 // With a data dir configured the index is durable from birth: the
@@ -371,7 +412,12 @@ func (s *Service) CreateIndex(name string, opts adaptivelink.IndexOptions, tuple
 	}
 	var ix *adaptivelink.Index
 	var err error
-	if s.cfg.DataDir != "" {
+	if s.cfg.Cluster != nil {
+		ix, err = s.createClusterIndex(name, opts, tuples)
+		if err != nil {
+			return IndexInfo{}, err
+		}
+	} else if s.cfg.DataDir != "" {
 		opts.Storage.Dir = filepath.Join(s.cfg.DataDir, name)
 		opts.Storage.WALSync = s.cfg.WALSync
 		if _, serr := os.Stat(opts.Storage.Dir); serr == nil {
@@ -395,6 +441,58 @@ func (s *Service) CreateIndex(name string, opts adaptivelink.IndexOptions, tuple
 	s.log.Info("created index", "index", name, "tuples", ix.Len(),
 		"shards", ix.Options().Shards, "durable", ix.Durable())
 	return mi.info(), nil
+}
+
+// createClusterIndex registers the index with the fan-out client (which
+// creates it empty on every node), wraps the cluster resident in the
+// standard facade — the router runs the exact probe/session code path a
+// single process would, which is what keeps routed responses
+// byte-identical — and loads the initial tuples through the routed
+// upsert path so they land on the owning nodes' write-ahead logs.
+func (s *Service) createClusterIndex(name string, opts adaptivelink.IndexOptions, tuples []adaptivelink.Tuple) (*adaptivelink.Index, error) {
+	// The engine configuration the nodes match under. Defaults mirror
+	// IndexOptions resolution; Profile stays empty on the nodes — the
+	// router owns normalization and ships already-normalised keys.
+	ecfg := join.Config{
+		Q:       opts.Q,
+		Theta:   opts.Theta,
+		Measure: simfn.TokenMeasure(opts.Measure),
+		Initial: join.LexRex,
+	}
+	if ecfg.Q == 0 {
+		ecfg.Q = 3
+	}
+	if ecfg.Theta == 0 {
+		ecfg.Theta = join.DefaultTheta
+	}
+	// Shards reported for a routed index is the cluster's logical shard
+	// count — the placement constant — not a node-local structure.
+	opts.Shards = s.cfg.Cluster.Map().Shards
+	if err := s.cfg.Cluster.CreateIndex(name, ecfg); err != nil {
+		return nil, err
+	}
+	res, err := s.cfg.Cluster.Resident(name)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := adaptivelink.NewRemoteIndex(res, opts)
+	if err != nil {
+		s.cfg.Cluster.DeleteIndex(name)
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	// The single-process create loads tuples through a Source, which
+	// assigns sequential IDs in arrival order (FromTuples discards wire
+	// IDs; only upserts preserve them). Mirror it exactly — the routed
+	// answers must be byte-identical, IDs included.
+	seq := make([]adaptivelink.Tuple, len(tuples))
+	for i, t := range tuples {
+		seq[i] = adaptivelink.Tuple{ID: i, Key: t.Key, Attrs: t.Attrs}
+	}
+	if _, _, err := ix.Upsert(seq...); err != nil {
+		s.cfg.Cluster.DeleteIndex(name)
+		return nil, err
+	}
+	return ix, nil
 }
 
 // LoadStored reopens every index directory under the configured data
@@ -468,6 +566,16 @@ func (s *Service) SnapshotIndex(name string) (IndexInfo, error) {
 	if err != nil {
 		return IndexInfo{}, err
 	}
+	if s.cfg.Cluster != nil {
+		// Routed: checkpoint every replica of every group in place.
+		t0 := time.Now()
+		if err := s.cfg.Cluster.SnapshotIndex(name); err != nil {
+			return IndexInfo{}, err
+		}
+		s.log.Info("checkpointed cluster index", "index", name, "tuples", mi.ix.Len(),
+			"duration", time.Since(t0).Round(time.Millisecond))
+		return mi.info(), nil
+	}
 	if !mi.ix.Durable() {
 		return IndexInfo{}, fmt.Errorf("%w: index %q is in-memory (start the server with a data dir for durable indexes)", ErrInvalid, name)
 	}
@@ -511,6 +619,9 @@ func (s *Service) DeleteIndex(name string) error {
 	s.indexGauge.Set(float64(len(s.indexes)))
 	s.mu.Unlock()
 	s.log.Info("deleted index", "index", name, "durable", mi.ix.Durable())
+	if s.cfg.Cluster != nil {
+		return s.cfg.Cluster.DeleteIndex(name)
+	}
 	if mi.ix.Durable() {
 		if err := mi.ix.Close(); err != nil {
 			return err
@@ -667,6 +778,21 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	// Routed mode: bind a request-scoped cluster view — it inherits the
+	// request budget (per-node deadlines derive from ctx) and carries the
+	// fan-out's sticky transport error — and run the standard session
+	// machinery over it.
+	ix := mi.ix
+	var view *cluster.View
+	if s.cfg.Cluster != nil {
+		view, err = s.cfg.Cluster.Bind(ctx, req.Index)
+		if err != nil {
+			s.countRequest("notfound")
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, req.Index)
+		}
+		ix = mi.ix.WithResident(view)
+	}
+
 	// Tracing: tr is nil for unsampled requests; every use below is
 	// nil-safe and allocation-free in that case.
 	tr := obs.TraceFrom(ctx)
@@ -692,7 +818,7 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 		s.queueWait.Observe(wait.Seconds())
 		tr.AddSpanDur("queue", admitted, wait)
 		ss := time.Now()
-		sess, err := mi.ix.NewSession(adaptivelink.SessionOptions{
+		sess, err := ix.NewSession(adaptivelink.SessionOptions{
 			Strategy:  strategy,
 			FutilityK: req.FutilityK,
 			Explain:   req.Explain,
@@ -732,6 +858,15 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 			cs := time.Now()
 			copy(results[lo:hi], sess.ProbeBatch(req.Keys[lo:hi]))
 			tr.AddSpan("probe", cs)
+			// A routed chunk that lost a node group mid-fan-out recorded
+			// the failure on the view; fail the batch as a whole — never a
+			// silent partial result.
+			if view != nil {
+				if terr := view.TransportErr(); terr != nil {
+					jobErr = terr
+					break
+				}
+			}
 		}
 		st := sess.Stats()
 		mi.probes.Add(float64(st.Probes))
@@ -758,6 +893,11 @@ func (s *Service) Link(ctx context.Context, req LinkRequest) (*LinkResponse, err
 		s.log.Warn("link deadline exceeded", "request_id", obs.RequestID(ctx),
 			"index", req.Index, "keys", len(req.Keys), "timeout", timeout)
 		return nil, fmt.Errorf("link %q: %w", req.Index, err)
+	case errors.Is(err, cluster.ErrNodeUnavailable):
+		s.countRequest("unavailable")
+		s.log.Warn("link node unavailable", "request_id", obs.RequestID(ctx),
+			"index", req.Index, "keys", len(req.Keys), "error", err)
+		return nil, err
 	default:
 		s.countRequest("invalid")
 		return nil, err

@@ -1,0 +1,54 @@
+package adaptivelink
+
+import (
+	"fmt"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/relation"
+)
+
+// fallibleUpserter is the optional error-aware write contract a
+// Resident may provide. join.Resident's Upsert cannot fail — local
+// engines apply in memory — but a remote resident (the cluster fan-out
+// client) can lose a node mid-write. When the resident implements this
+// interface the facade routes writes through it, so Index.Upsert's
+// error return is honest for remote indexes too.
+type fallibleUpserter interface {
+	UpsertChecked(tuples []relation.Tuple) (inserted, updated int, err error)
+}
+
+// NewRemoteIndex wraps an externally provided Resident — typically a
+// cluster fan-out client — in the standard Index facade: the same
+// normalization, probe, session and statistics machinery runs over it,
+// which is what keeps a routed cluster byte-identical to a single
+// process (the router re-uses this exact code path rather than
+// re-implementing it). The facade owns normalization: the resident only
+// ever sees normalised keys, exactly as a local engine would.
+//
+// The options must describe the matching configuration the resident
+// was built for; Storage must be zero (durability lives on the remote
+// nodes, behind the resident).
+func NewRemoteIndex(res join.Resident, opts IndexOptions) (*Index, error) {
+	if res == nil {
+		return nil, fmt.Errorf("adaptivelink: nil resident")
+	}
+	if opts.Storage.Dir != "" {
+		return nil, fmt.Errorf("adaptivelink: a remote index has no local storage; Storage.Dir %q must be empty", opts.Storage.Dir)
+	}
+	opts, err := opts.resolved()
+	if err != nil {
+		return nil, err
+	}
+	return &Index{res: res, opts: opts, norm: opts.normalizer()}, nil
+}
+
+// WithResident returns a shallow view of the index running over a
+// different Resident under the same options and normalization pipeline.
+// The router uses it to bind a request-scoped resident (carrying the
+// request's context and transport-error state) while sharing the
+// managed index's configuration. The view is in-memory only — it never
+// touches the original's storage — and is as safe for concurrent use as
+// its resident.
+func (ix *Index) WithResident(res join.Resident) *Index {
+	return &Index{res: res, opts: ix.opts, norm: ix.norm}
+}

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# cluster-smoke: end-to-end check of the sharded serving mode. Boots
+# three stock node daemons (group A = two replicas, group B = one), a
+# router fronting them, and asserts:
+#
+#   1. linkbench through the router completes with every request 2xx
+#   2. /v1/cluster reports the routing table with all replicas healthy
+#   3. killing one replica of group A MID-RUN is absorbed: the bench in
+#      flight still ends with zero failed requests (reads fail over,
+#      linkbench retries transient dials), and /v1/cluster flips the
+#      dead replica to unhealthy
+#   4. killing group B entirely makes routed batches fail WHOLE with
+#      the node_unavailable envelope (502) — never silent partials
+#   5. the router and the surviving node both drain cleanly on SIGTERM
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/adaptivelinkd" ./cmd/adaptivelinkd
+go build -o "$tmp/linkbench" ./cmd/linkbench
+
+# start_daemon <name> [extra flags...]: launch one daemon on an
+# ephemeral port; records its pid in $pids and address in $tmp/<name>.addr.
+start_daemon() {
+    local name=$1
+    shift
+    "$tmp/adaptivelinkd" -addr 127.0.0.1:0 -addr-file "$tmp/$name.addr" "$@" \
+        >"$tmp/$name.log" 2>&1 &
+    pids+=($!)
+    eval "${name}_pid=$!"
+    for _ in $(seq 100); do
+        [ -s "$tmp/$name.addr" ] && break
+        sleep 0.1
+    done
+    [ -s "$tmp/$name.addr" ] || {
+        echo "cluster-smoke: $name did not start" >&2
+        cat "$tmp/$name.log" >&2
+        exit 1
+    }
+    eval "${name}_addr=\$(cat "$tmp/$name.addr")"
+}
+
+# stop_daemon <name> <pid>: SIGTERM + assert the clean-drain banner.
+stop_daemon() {
+    local name=$1 p=$2
+    kill -TERM "$p"
+    local rc=0
+    wait "$p" || rc=$?
+    if [ "$rc" -ne 0 ] || ! grep -q "drained, bye" "$tmp/$name.log"; then
+        echo "cluster-smoke: $name exited $rc without a clean drain" >&2
+        cat "$tmp/$name.log" >&2
+        exit 1
+    fi
+}
+
+start_daemon a1
+start_daemon a2
+start_daemon b1
+start_daemon router -cluster "http://$a1_addr,http://$a2_addr;http://$b1_addr" -cluster-shards 4
+
+# 1. Load through the router: linkbench creates the routed index and
+#    fails the run if any request is non-2xx.
+"$tmp/linkbench" -addr "http://$router_addr" -n 100 -c 32 -batch 4 -parent 400
+
+# 2. The routing table, fully healthy.
+curl -sS "http://$router_addr/v1/cluster" >"$tmp/cluster1.json"
+jq -e '.role == "router"
+    and (.groups | length) == 2
+    and ([.groups[].replicas[] | select(.healthy)] | length) == 3
+    and (.indexes == ["bench"])' "$tmp/cluster1.json" >/dev/null || {
+    echo "cluster-smoke: unexpected /v1/cluster before failure:" >&2
+    cat "$tmp/cluster1.json" >&2
+    exit 1
+}
+
+# 3. Kill a replica while a bench is in flight: failover + linkbench's
+#    transient-dial retries must absorb it — zero failed requests.
+"$tmp/linkbench" -addr "http://$router_addr" -n 2000 -c 16 -batch 4 -parent 400 \
+    >"$tmp/bench_failover.log" 2>&1 &
+bench_pid=$!
+sleep 0.3
+kill -9 "$a2_pid"
+wait "$a2_pid" 2>/dev/null || true
+if ! wait "$bench_pid"; then
+    echo "cluster-smoke: bench failed across the replica kill" >&2
+    cat "$tmp/bench_failover.log" >&2
+    exit 1
+fi
+curl -sS "http://$router_addr/v1/cluster" >"$tmp/cluster2.json"
+jq -e --arg dead "http://$a2_addr" \
+    '[.groups[].replicas[] | select(.addr == $dead and (.healthy | not))] | length == 1' \
+    "$tmp/cluster2.json" >/dev/null || {
+    echo "cluster-smoke: killed replica still reported healthy:" >&2
+    cat "$tmp/cluster2.json" >&2
+    exit 1
+}
+
+# 4. Kill group B outright: routed batches must fail whole with the
+#    node_unavailable envelope, not succeed partially.
+kill -9 "$b1_pid"
+wait "$b1_pid" 2>/dev/null || true
+# Eight varied keys: their union of signature shards covers every group.
+probe_keys='"corso lago maggiore nord 1","via monte bianco sud 2","piazza valle verde est 3","viale porta nuova ovest 4","strada colle alto nord 5","largo ponte vecchio sud 6","borgo santa lucia est 7","canale grande ribera ovest 8"'
+code=$(curl -sS -o "$tmp/unavail.json" -w '%{http_code}' -X POST "http://$router_addr/v1/link" \
+    -d "{\"index\":\"bench\",\"keys\":[$probe_keys],\"strategy\":\"approximate\"}")
+[ "$code" = 502 ] || {
+    echo "cluster-smoke: link with a dead group answered $code, want 502" >&2
+    cat "$tmp/unavail.json" >&2
+    exit 1
+}
+jq -e '.error.code == "node_unavailable"' "$tmp/unavail.json" >/dev/null || {
+    echo "cluster-smoke: wrong envelope for a dead group:" >&2
+    cat "$tmp/unavail.json" >&2
+    exit 1
+}
+
+# 5. Clean drains for the router and the surviving replica.
+stop_daemon router "$router_pid"
+stop_daemon a1 "$a1_pid"
+echo "cluster-smoke: OK (routed load, replica failover mid-run, whole-batch failure on group loss, clean drains)"
