@@ -7,7 +7,7 @@ GO ?= go
 # Raise it (never lower it) when a PR lifts coverage.
 COVER_MIN ?= 86.5
 
-.PHONY: all build vet fmt test race bench cover serve-smoke obs-smoke cluster-smoke fuzz bench-service bench-probe bench-store alloc check
+.PHONY: all build vet fmt test race bench cover serve-smoke obs-smoke cluster-smoke chaos fuzz bench-service bench-probe bench-store alloc check
 
 all: check
 
@@ -61,13 +61,26 @@ obs-smoke:
 	./scripts/obs_smoke.sh
 
 # End-to-end cluster smoke: three node daemons (one group with two
-# replicas) behind a router, linkbench driven through the router, a
-# replica SIGKILLed mid-run (failover must keep every request 2xx and
-# /v1/cluster must report the corpse unhealthy), a whole group killed
-# (routed batches must fail whole with node_unavailable, never answer
-# partially), and clean SIGTERM drains for the survivors.
+# replicas) behind a quorum-1 router, linkbench driven through the
+# router, a replica SIGKILLed mid-run (failover must keep every request
+# 2xx and /v1/cluster must report the corpse unhealthy), writes landing
+# while it is dead, the replica revived blank at its recorded address
+# (hinted handoff + anti-entropy resync must converge the group's
+# content digests), a whole group killed (routed batches must fail
+# whole with node_unavailable, never answer partially), and clean
+# SIGTERM drains for the survivors.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Scripted fault suite under the race detector: crash-consistency
+# sweeps and WAL poisoning in the store, snapshot/restore repair paths,
+# quorum writes with hinted handoff, circuit breakers, anti-entropy
+# resync, and the transport-level chaos schedules (replica killed /
+# black-holed under write+probe load, revival, digest convergence).
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Crash|Torn|Poison|Orphan|Digest|Resync|Restore|Import|Quorum|Hint|Breaker|Repair|Chaos|Heal|Prefer' \
+		. ./internal/store ./internal/fault ./internal/cluster ./internal/service
 
 # Short fuzz passes, one invariant each: torn reads (concurrent upserts
 # racing probes must never expose a half-applied payload), snapshot
@@ -118,4 +131,4 @@ alloc:
 
 # `cover` runs the whole suite under -race, so the `race` and `test`
 # targets would be redundant here.
-check: build vet fmt cover alloc bench fuzz serve-smoke obs-smoke cluster-smoke
+check: build vet fmt cover alloc bench fuzz chaos serve-smoke obs-smoke cluster-smoke

@@ -169,14 +169,40 @@
 // clusters with replicas.
 //
 // Consistency is per-node snapshot isolation, the single-process model
-// per shard group: writes fan to every replica of each owning group
-// and are acknowledged — and globally sequenced — only when all
-// replicas applied them; reads hit one replica per group, round-robin,
-// failing over within the group on transport errors and draining
-// envelopes. A group with no answering replica fails the whole batch
-// with the node_unavailable envelope (never a silent partial result),
-// a node-side timeout surfaces as the standard deadline envelope, and
-// GET /v1/cluster reports the routing table with per-replica health.
+// per shard group: writes are attempted on every replica of each
+// owning group and are acknowledged — and globally sequenced — once
+// the group's write quorum applied them (Config.WriteQuorum, default
+// majority); reads hit one replica per group, round-robin, preferring
+// replicas with no repair debt and failing over within the group on
+// transport errors and draining envelopes. A group with no answering
+// replica — or below quorum — fails the whole batch with the
+// node_unavailable envelope naming the group and its shard range
+// (never a silent partial result), a node-side timeout surfaces as the
+// standard deadline envelope, and GET /v1/cluster reports the routing
+// table with per-replica health and repair state.
+//
+// Replicas that missed a quorum write converge through three
+// escalating repair paths. Hinted handoff queues each missed copy
+// router-side, per replica, in original sequence order, and a drainer
+// replays the queue with jittered exponential backoff once the replica
+// answers; new writes to a lagging replica queue behind its pending
+// hints so replay order is preserved. A replica gone past the bounded
+// hint horizon (Config.HintCapacity) has its queue cleared and the
+// affected indexes marked needs_resync; anti-entropy then streams a
+// full snapshot from a healthy replica (the index export/resync
+// endpoints), which also bootstraps a blank replacement node. On
+// Config.RepairInterval (or Client.Repair on demand) the router
+// compares per-index content digests within each group, elects the
+// reference copy by modal digest, and resyncs divergent replicas —
+// catching corruption the hint path cannot see. A per-replica
+// closed/open/half-open circuit breaker, fed passively by live traffic
+// and optionally by an active /healthz prober (Config.ProbeInterval),
+// short-circuits writes to the hint queue and demotes reads while a
+// replica is down. internal/fault provides the deterministic harness
+// the chaos suite (make chaos) scripts these failures with: a
+// rule-driven http.RoundTripper that fails, black-holes or delays
+// matching requests, and a simulated filesystem that injects
+// crash-at-byte, torn-write and fsync failures under the store.
 //
 // # Durability
 //

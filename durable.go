@@ -105,7 +105,9 @@ func Open(dir string, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: opening %s: %w", dir, err)
 	}
-	return &Index{res: ri, opts: opts, norm: opts.normalizer(), dir: d, rec: rec}, nil
+	ix := newIndex(ri, opts)
+	ix.dir, ix.rec = d, rec
+	return ix, nil
 }
 
 // BulkLoad builds a resident index from the reference source through
@@ -138,7 +140,7 @@ func BulkLoad(ref Source, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: %w", err)
 	}
-	ix := &Index{res: ri, opts: opts, norm: norm}
+	ix := newIndex(ri, opts)
 	if opts.Storage.Dir != "" {
 		d, err := store.Create(opts.Storage.Dir, ri, opts.Storage.WALSync.store())
 		if err != nil {
@@ -163,9 +165,9 @@ func (ix *Index) Save(dir string) error {
 	if ix.closed {
 		return ErrIndexClosed
 	}
-	sr, ok := ix.res.(*join.ShardedRefIndex)
+	sr, ok := ix.resident().(*join.ShardedRefIndex)
 	if !ok {
-		return fmt.Errorf("adaptivelink: index backend %T does not snapshot", ix.res)
+		return fmt.Errorf("adaptivelink: index backend %T does not snapshot", ix.resident())
 	}
 	if dir == "" || (ix.dir != nil && sameDir(dir, ix.dir.Path())) {
 		if ix.dir == nil {
@@ -203,7 +205,7 @@ func (ix *Index) Close() error {
 	ix.closed = true
 	var err error
 	if ix.opts.Storage.SnapshotOnClose {
-		if sr, ok := ix.res.(*join.ShardedRefIndex); ok {
+		if sr, ok := ix.resident().(*join.ShardedRefIndex); ok {
 			err = ix.dir.Checkpoint(sr)
 		}
 	}

@@ -77,16 +77,16 @@ func (s *Session) probeExplain(key string) []ProbeMatch {
 	switch s.strategy {
 	case ExactOnly:
 		d.Mode = join.Exact.String()
-		res = s.ix.res.ProbeExact(key)
+		res = s.ix.resident().ProbeExact(key)
 	case ApproximateOnly:
 		d.Mode = join.Approx.String()
-		res = s.ix.res.ProbeApprox(key)
+		res = s.ix.resident().ProbeApprox(key)
 	default:
 		mode := s.loop.Mode()
 		d.Mode = mode.String()
-		res = s.ix.res.Probe(mode, key)
+		res = s.ix.resident().Probe(mode, key)
 		if s.loop.NoteProbe(s.ix.Len(), len(res) > 0, countApprox(res)) {
-			res = s.ix.res.ProbeApprox(key)
+			res = s.ix.resident().ProbeApprox(key)
 			s.loop.NoteEscalation(len(res) > 0, countApprox(res))
 			s.stats.Escalations++
 			d.Escalated = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"adaptivelink/internal/adaptive"
 	"adaptivelink/internal/join"
@@ -130,7 +131,10 @@ type ProbeMatch struct {
 // per-client state and are NOT safe for concurrent use — give each
 // goroutine its own.
 type Index struct {
-	res  join.Resident
+	// res holds the resident engine behind an atomic pointer so a full
+	// snapshot restore (anti-entropy resync) can swap the whole backend
+	// while probes stay lock-free; everyday reads go through resident().
+	res  atomic.Pointer[join.Resident]
 	opts IndexOptions
 	// norm is the resolved Profile pipeline; every key entering the
 	// index — by upsert or by probe — passes through it, so the engine
@@ -147,6 +151,23 @@ type Index struct {
 	// rec records what Open reconstructed (nil unless the index came
 	// from Open); see RecoveryInfo.
 	rec *store.Recovery
+}
+
+// resident loads the current engine. One atomic load; the interface
+// value is copied out of the pointee, so probe paths stay
+// allocation-free.
+func (ix *Index) resident() join.Resident { return *ix.res.Load() }
+
+// setResident publishes a replacement engine. Writers hold ix.mu when
+// the swap must be ordered against the WAL (RestoreSnapshot does);
+// construction stores before the index escapes.
+func (ix *Index) setResident(r join.Resident) { ix.res.Store(&r) }
+
+// newIndex wires an Index around a resident engine.
+func newIndex(r join.Resident, opts IndexOptions) *Index {
+	ix := &Index{opts: opts, norm: opts.normalizer()}
+	ix.setResident(r)
+	return ix
 }
 
 // NewIndex drains the reference source and builds a resident index over
@@ -180,7 +201,7 @@ func NewIndex(ref Source, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adaptivelink: %w", err)
 	}
-	ix := &Index{res: ri, opts: opts, norm: opts.normalizer()}
+	ix := newIndex(ri, opts)
 	batch, err := drainSource(ref)
 	if err != nil {
 		return nil, err
@@ -275,7 +296,7 @@ func drainSource(ref Source) ([]Tuple, error) {
 }
 
 // Len returns the number of resident reference tuples.
-func (ix *Index) Len() int { return ix.res.Len() }
+func (ix *Index) Len() int { return ix.resident().Len() }
 
 // Options returns the index's matching configuration.
 func (ix *Index) Options() IndexOptions { return ix.opts }
@@ -305,10 +326,10 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int, err error) {
 	if ix.dir == nil {
 		// A remote resident can fail a write (a cluster node down); honor
 		// its error-aware contract when it has one.
-		if fu, ok := ix.res.(fallibleUpserter); ok {
+		if fu, ok := ix.resident().(fallibleUpserter); ok {
 			return fu.UpsertChecked(rts)
 		}
-		inserted, updated = ix.res.Upsert(rts)
+		inserted, updated = ix.resident().Upsert(rts)
 		return inserted, updated, nil
 	}
 	ix.mu.Lock()
@@ -319,7 +340,7 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int, err error) {
 	if err := ix.dir.Append(rts); err != nil {
 		return 0, 0, fmt.Errorf("adaptivelink: logging upsert: %w", err)
 	}
-	inserted, updated = ix.res.Upsert(rts)
+	inserted, updated = ix.resident().Upsert(rts)
 	return inserted, updated, nil
 }
 
@@ -332,9 +353,9 @@ func (ix *Index) Upsert(tuples ...Tuple) (inserted, updated int, err error) {
 // statistically when it is not.
 func (ix *Index) Probe(key string) []ProbeMatch {
 	key = ix.normKey(key)
-	res := ix.res.ProbeExact(key)
+	res := ix.resident().ProbeExact(key)
 	if len(res) == 0 {
-		res = ix.res.ProbeApprox(key)
+		res = ix.resident().ProbeApprox(key)
 	}
 	return publicMatches(res)
 }
@@ -352,7 +373,7 @@ func (ix *Index) ProbeBatch(keys ...string) [][]ProbeMatch {
 	keys = ix.normKeys(keys)
 	var missIdx []int
 	var missKeys []string
-	for i, rm := range ix.res.ProbeBatch(join.Exact, keys) {
+	for i, rm := range ix.resident().ProbeBatch(join.Exact, keys) {
 		if len(rm) == 0 {
 			missIdx = append(missIdx, i)
 			missKeys = append(missKeys, keys[i])
@@ -361,7 +382,7 @@ func (ix *Index) ProbeBatch(keys ...string) [][]ProbeMatch {
 		results[i] = publicMatches(rm)
 	}
 	if len(missKeys) > 0 {
-		for j, rm := range ix.res.ProbeBatch(join.Approx, missKeys) {
+		for j, rm := range ix.resident().ProbeBatch(join.Approx, missKeys) {
 			results[missIdx[j]] = publicMatches(rm)
 		}
 	}
@@ -485,13 +506,13 @@ func (s *Session) Probe(key string) []ProbeMatch {
 	var res []join.RefMatch
 	switch s.strategy {
 	case ExactOnly:
-		res = s.ix.res.ProbeExact(key)
+		res = s.ix.resident().ProbeExact(key)
 	case ApproximateOnly:
-		res = s.ix.res.ProbeApprox(key)
+		res = s.ix.resident().ProbeApprox(key)
 	default:
-		res = s.ix.res.Probe(s.loop.Mode(), key)
+		res = s.ix.resident().Probe(s.loop.Mode(), key)
 		if s.loop.NoteProbe(s.ix.Len(), len(res) > 0, countApprox(res)) {
-			res = s.ix.res.ProbeApprox(key)
+			res = s.ix.resident().ProbeApprox(key)
 			s.loop.NoteEscalation(len(res) > 0, countApprox(res))
 			s.stats.Escalations++
 		}
@@ -537,7 +558,7 @@ func (s *Session) ProbeBatch(keys []string) [][]ProbeMatch {
 		if s.strategy == ApproximateOnly {
 			mode = join.Approx
 		}
-		for i, rm := range s.ix.res.ProbeBatch(mode, keys) {
+		for i, rm := range s.ix.resident().ProbeBatch(mode, keys) {
 			s.note(rm)
 			results[i] = publicMatches(rm)
 		}
@@ -556,7 +577,7 @@ func (s *Session) ProbeBatch(keys []string) [][]ProbeMatch {
 		if mode == join.Approx && len(sub) > approxSpeculate {
 			sub = sub[:approxSpeculate]
 		}
-		rms := s.ix.res.ProbeBatch(mode, sub)
+		rms := s.ix.resident().ProbeBatch(mode, sub)
 		outs := make([]adaptive.BatchOutcome, len(rms))
 		for j, rm := range rms {
 			outs[j] = adaptive.BatchOutcome{Hit: len(rm) > 0, ApproxMatches: countApprox(rm)}
@@ -565,7 +586,7 @@ func (s *Session) ProbeBatch(keys []string) [][]ProbeMatch {
 		for j := 0; j < consumed; j++ {
 			rm := rms[j]
 			if escalate && j == consumed-1 {
-				rm = s.ix.res.ProbeApprox(keys[i+j])
+				rm = s.ix.resident().ProbeApprox(keys[i+j])
 				s.loop.NoteEscalation(len(rm) > 0, countApprox(rm))
 				s.stats.Escalations++
 			}

@@ -13,7 +13,9 @@ import (
 // public session machinery can run over the retained single-shard
 // reference implementation.
 func newIndexOn(res join.Resident, opts IndexOptions) *Index {
-	return &Index{res: res, opts: opts}
+	ix := &Index{opts: opts}
+	ix.setResident(res)
+	return ix
 }
 
 func batchFixture(t *testing.T) (parent, probes []Tuple) {

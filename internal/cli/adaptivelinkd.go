@@ -59,6 +59,10 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 		slowlogCap  = fs.Int("slowlog-cap", obs.DefaultSlowCapacity, "retained slow-request traces")
 		clusterSpec = fs.String("cluster", "", "run as the cluster router over these node groups: groups separated by ';', replicas within a group by ',' (e.g. \"http://a:8080,http://b:8080;http://c:8080\")")
 		clusterN    = fs.Int("cluster-shards", 0, "logical shard count M for -cluster routing (0 = one per group); a placement constant for the cluster's lifetime")
+		clusterWQ   = fs.Int("cluster-write-quorum", 0, "replicas per group that must acknowledge a write (0 = majority); the rest converge via hinted handoff")
+		clusterHint = fs.Int("cluster-hint-cap", 0, "hinted-handoff queue capacity per replica (0 = default 512); overflow escalates to a full resync")
+		clusterPI   = fs.Duration("cluster-probe-interval", 2*time.Second, "active /healthz probe interval feeding the replica circuit breakers (0 = passive only)")
+		clusterRI   = fs.Duration("cluster-repair-interval", 3*time.Second, "anti-entropy interval: compare replica digests and resync divergence (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,12 +112,19 @@ func runAdaptiveLinkd(ctx context.Context, args []string, stdout, stderr io.Writ
 			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
 			return 2
 		}
-		clusterClient, err = cluster.New(cluster.Config{Map: m})
+		clusterClient, err = cluster.New(cluster.Config{
+			Map:            m,
+			WriteQuorum:    *clusterWQ,
+			HintCapacity:   *clusterHint,
+			ProbeInterval:  *clusterPI,
+			RepairInterval: *clusterRI,
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "adaptivelinkd: %v\n", err)
 			return 2
 		}
-		log.Info("cluster router", "groups", len(m.Groups), "shards", m.Shards)
+		log.Info("cluster router", "groups", len(m.Groups), "shards", m.Shards,
+			"write_quorum", *clusterWQ, "probe_interval", *clusterPI, "repair_interval", *clusterRI)
 	}
 
 	svc := service.New(service.Config{

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,30 @@ type Config struct {
 	// Metrics, when set, receives per-node request counters
 	// (adaptivelink_cluster_node_requests_total{node=...,outcome=...}).
 	Metrics *metrics.Registry
+
+	// WriteQuorum is the per-group write acknowledgement threshold: a
+	// fan-out succeeds once this many replicas of each touched group
+	// acknowledged; the rest converge via hinted handoff. 0 selects a
+	// majority (len(replicas)/2+1 — every write with a single replica
+	// per group, matching the pre-quorum behaviour); values above the
+	// replica count clamp to it. Below-quorum fails the batch whole, and
+	// no hints are queued: the caller retries the batch.
+	WriteQuorum int
+	// HintCapacity bounds each replica's hinted-handoff queue. A replica
+	// whose queue would overflow is past the hint horizon: the queue is
+	// cleared and its indexes are marked for full resync instead of
+	// silently dropping writes. Default 512.
+	HintCapacity int
+	// ProbeInterval enables the active /healthz prober feeding the
+	// per-replica circuit breakers. <=0 disables it (the default —
+	// breakers still learn passively from live traffic); the daemon
+	// enables it via -cluster-probe-interval.
+	ProbeInterval time.Duration
+	// RepairInterval enables the background anti-entropy loop (digest
+	// comparison and full resync of diverged replicas). <=0 disables it
+	// (the default); the daemon enables it via -cluster-repair-interval.
+	// Repair can also be driven explicitly via Client.Repair.
+	RepairInterval time.Duration
 }
 
 // Client is the cluster fan-out client: it holds the routing table, the
@@ -54,10 +79,27 @@ type Client struct {
 	mu      sync.RWMutex
 	indexes map[string]*indexState
 
+	// reps mirrors Map.Groups with per-replica resilience state (circuit
+	// breaker, hint queue, anti-entropy flags); byAddr indexes it for the
+	// transport layer's breaker notes.
+	reps   [][]*replicaState
+	byAddr map[string]*replicaState
+
+	// ctx/cancel/wg scope the background goroutines (hint drainers, the
+	// prober, the anti-entropy loop); Close cancels and waits.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
 	// nodeOK/nodeErr are per-node-address request counters, resolved at
 	// construction so the probe path never formats labels.
 	nodeOK  map[string]*metrics.Value
 	nodeErr map[string]*metrics.Value
+	// Self-healing counters (nil when metrics are disabled; inc guards).
+	hintsQueued, hintsReplayed, hintsDropped *metrics.Value
+	repairsHint, repairsResync               *metrics.Value
+	breakerOpens, breakerHalfOpens           *metrics.Value
+	breakerCloses                            *metrics.Value
 }
 
 // indexState is the router-side state of one cluster index: the engine
@@ -87,18 +129,55 @@ func New(cfg Config) (*Client, error) {
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{}
 	}
+	if cfg.HintCapacity <= 0 {
+		cfg.HintCapacity = 512
+	}
 	c := &Client{
 		cfg:     cfg,
 		ranges:  cfg.Map.Ranges(),
 		rr:      make([]atomic.Uint64, len(cfg.Map.Groups)),
 		indexes: make(map[string]*indexState),
+		byAddr:  make(map[string]*replicaState),
 		nodeOK:  make(map[string]*metrics.Value),
 		nodeErr: make(map[string]*metrics.Value),
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.reps = make([][]*replicaState, len(cfg.Map.Groups))
+	for g, reps := range cfg.Map.Groups {
+		c.reps[g] = make([]*replicaState, len(reps))
+		for i, addr := range reps {
+			rs := newReplicaState(g, addr)
+			c.reps[g][i] = rs
+			if _, dup := c.byAddr[addr]; !dup {
+				c.byAddr[addr] = rs
+			}
+		}
 	}
 	if cfg.Metrics != nil {
 		c.EnableMetrics(cfg.Metrics)
 	}
+	if cfg.ProbeInterval > 0 {
+		c.wg.Add(1)
+		go c.probeLoop()
+	}
+	if cfg.RepairInterval > 0 {
+		c.wg.Add(1)
+		go c.repairLoop()
+	}
 	return c, nil
+}
+
+// quorum returns group g's effective write quorum.
+func (c *Client) quorum(g int) int {
+	n := len(c.cfg.Map.Groups[g])
+	q := c.cfg.WriteQuorum
+	if q <= 0 {
+		return n/2 + 1
+	}
+	if q > n {
+		return n
+	}
+	return q
 }
 
 // EnableMetrics resolves the per-node request counters in reg. The
@@ -116,6 +195,20 @@ func (c *Client) EnableMetrics(reg *metrics.Registry) {
 				fmt.Sprintf("node=%q,outcome=%q", addr, "error"))
 		}
 	}
+	const hintsName = "adaptivelink_cluster_hints_total"
+	const hintsHelp = "Hinted-handoff writes, by outcome (queued, replayed, dropped)."
+	c.hintsQueued = reg.Counter(hintsName, hintsHelp, `outcome="queued"`)
+	c.hintsReplayed = reg.Counter(hintsName, hintsHelp, `outcome="replayed"`)
+	c.hintsDropped = reg.Counter(hintsName, hintsHelp, `outcome="dropped"`)
+	const repairsName = "adaptivelink_cluster_repairs_total"
+	const repairsHelp = "Replica repairs completed, by kind."
+	c.repairsHint = reg.Counter(repairsName, repairsHelp, `kind="hint_replay"`)
+	c.repairsResync = reg.Counter(repairsName, repairsHelp, `kind="full_resync"`)
+	const brName = "adaptivelink_cluster_breaker_transitions_total"
+	const brHelp = "Circuit-breaker state transitions across all replicas."
+	c.breakerOpens = reg.Counter(brName, brHelp, `state="open"`)
+	c.breakerHalfOpens = reg.Counter(brName, brHelp, `state="half_open"`)
+	c.breakerCloses = reg.Counter(brName, brHelp, `state="closed"`)
 }
 
 // Map returns the routing table.
@@ -165,11 +258,16 @@ func (c *Client) CreateIndex(name string, cfg join.Config) error {
 	c.indexes[name] = st
 	c.mu.Unlock()
 
+	// Shards is pinned to the router's local default so every replica of
+	// a group builds the identical shard layout: content digests are
+	// compared byte-for-byte across replicas by anti-entropy, and a
+	// heterogeneous default would read as permanent divergence.
 	req := createReq{
 		Name: name, Q: cfg.Q, Theta: cfg.Theta, Measure: cfg.Measure.String(),
+		Shards: runtime.GOMAXPROCS(0),
 		Tuples: []tupleDTO{},
 	}
-	if err := c.fanOutAll(http.MethodPost, "/v1/indexes", req, http.StatusCreated); err != nil {
+	if err := c.fanOutAll(name, http.MethodPost, "/v1/indexes", req, http.StatusCreated); err != nil {
 		c.mu.Lock()
 		delete(c.indexes, name)
 		c.mu.Unlock()
@@ -185,7 +283,7 @@ func (c *Client) DeleteIndex(name string) error {
 	if _, ok := c.state(name); !ok {
 		return fmt.Errorf("cluster: index %q not registered", name)
 	}
-	err := c.fanOutAll(http.MethodDelete, "/v1/indexes/"+name, nil, http.StatusNoContent, http.StatusNotFound)
+	err := c.fanOutAll(name, http.MethodDelete, "/v1/indexes/"+name, nil, http.StatusNoContent, http.StatusNotFound)
 	if err != nil {
 		return err
 	}
@@ -200,20 +298,22 @@ func (c *Client) SnapshotIndex(name string) error {
 	if _, ok := c.state(name); !ok {
 		return fmt.Errorf("cluster: index %q not registered", name)
 	}
-	return c.fanOutAll(http.MethodPost, "/v1/indexes/"+name+"/snapshot", nil, http.StatusOK)
+	return c.fanOutAll(name, http.MethodPost, "/v1/indexes/"+name+"/snapshot", nil, http.StatusOK)
 }
 
 // fanOutAll issues the same request to every replica of every group,
-// concurrently, with the write timeout per call. Any failure fails the
-// fan-out (wrapped in ErrNodeUnavailable for transport errors).
-func (c *Client) fanOutAll(method, path string, payload any, okStatuses ...int) error {
+// concurrently, with the write timeout per call. index names the index
+// the operation belongs to (the hint-queue and resync unit). Any group
+// falling below quorum fails the fan-out (wrapped in ErrNodeUnavailable
+// for transport errors).
+func (c *Client) fanOutAll(index, method, path string, payload any, okStatuses ...int) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.cfg.Map.Groups))
 	for g := range c.cfg.Map.Groups {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			errs[g] = c.groupWrite(g, method, path, payload, okStatuses...)
+			errs[g] = c.groupWrite(g, index, method, path, payload, okStatuses...)
 		}(g)
 	}
 	wg.Wait()
@@ -221,57 +321,127 @@ func (c *Client) fanOutAll(method, path string, payload any, okStatuses ...int) 
 }
 
 // groupWrite issues one maintenance request to EVERY replica of a group
-// — writes must land on all replicas or the group diverges — and fails
-// on the first replica that cannot be reached or refuses.
-func (c *Client) groupWrite(g int, method, path string, payload any, okStatuses ...int) error {
+// concurrently and succeeds once the group's write quorum acknowledged.
+// Replicas that missed the write (transport failure, open breaker, or
+// writes already queued behind earlier hints — order is the contract)
+// get the write queued as a hint for in-order replay. A replica that
+// answers but semantically refuses fails the batch whole: that is
+// divergence, not unavailability, and must surface. Below quorum the
+// batch fails whole with an error naming the group and its shard range,
+// and no hints are queued — the caller retries the batch.
+func (c *Client) groupWrite(g int, index, method, path string, payload any, okStatuses ...int) error {
+	raw, err := marshalPayload(payload)
+	if err != nil {
+		return err
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.WriteTimeout)
 	defer cancel()
-	for _, addr := range c.cfg.Map.Groups[g] {
-		status, body, err := c.do(ctx, addr, method, path, payload)
-		if err != nil {
-			return fmt.Errorf("%w: %s %s%s: %v", ErrNodeUnavailable, method, addr, path, err)
+	reps := c.cfg.Map.Groups[g]
+	type outcome struct {
+		acked bool
+		hard  error // semantic refusal: fail the batch whole
+		miss  error // transport failure or deferral: hintable
+	}
+	outs := make([]outcome, len(reps))
+	var wg sync.WaitGroup
+	for i, addr := range reps {
+		if rs := c.replica(g, i); rs != nil && rs.deferWrite(c) {
+			outs[i].miss = fmt.Errorf("%s: deferred behind queued hints", addr)
+			continue
 		}
-		ok := false
-		for _, s := range okStatuses {
-			if status == s {
-				ok = true
-				break
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			status, body, err := c.doRaw(ctx, addr, method, path, raw, "application/json")
+			if err != nil {
+				outs[i].miss = fmt.Errorf("%s: %v", addr, err)
+				return
 			}
+			if statusIn(okStatuses, status) {
+				outs[i].acked = true
+				return
+			}
+			outs[i].hard = fmt.Errorf("%w: group %d (shards %d-%d): %s %s%s: node answered %d: %s",
+				ErrNodeUnavailable, g, c.ranges[g].Lo, c.ranges[g].Hi, method, addr, path, status, envelopeMessage(body))
+		}(i, addr)
+	}
+	wg.Wait()
+
+	acks := 0
+	var miss error
+	for i := range outs {
+		if outs[i].hard != nil {
+			return outs[i].hard
 		}
-		if !ok {
-			return fmt.Errorf("%w: %s %s%s: node answered %d: %s", ErrNodeUnavailable, method, addr, path, status, envelopeMessage(body))
+		if outs[i].acked {
+			acks++
+		} else if miss == nil {
+			miss = outs[i].miss
+		}
+	}
+	if q := c.quorum(g); acks < q {
+		return fmt.Errorf("%w: group %d (shards %d-%d): %d of %d replicas acknowledged %s %s (quorum %d): %v",
+			ErrNodeUnavailable, g, c.ranges[g].Lo, c.ranges[g].Hi, acks, len(reps), method, path, q, miss)
+	}
+	// Quorum met: the batch is durable. Queue the missed replicas' copies
+	// for in-order replay so the group converges.
+	for i := range outs {
+		if !outs[i].acked {
+			c.enqueueHint(g, i, hint{index: index, method: method, path: path, payload: raw, ok: okStatuses})
 		}
 	}
 	return nil
 }
 
-// do issues one node request and counts it. The context carries the
-// deadline (the request budget on the probe path, the write timeout on
-// maintenance paths).
+// marshalPayload pre-marshals a JSON payload (nil stays nil) so hints
+// replay byte-identical requests.
+func marshalPayload(payload any) ([]byte, error) {
+	if payload == nil {
+		return nil, nil
+	}
+	return json.Marshal(payload)
+}
+
+// do issues one JSON node request and counts it. The context carries
+// the deadline (the request budget on the probe path, the write timeout
+// on maintenance paths).
 func (c *Client) do(ctx context.Context, addr, method, path string, payload any) (int, []byte, error) {
+	raw, err := marshalPayload(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return c.doRaw(ctx, addr, method, path, raw, "application/json")
+}
+
+// doRaw issues one node request with a pre-encoded body, counts it, and
+// feeds the replica's circuit breaker: a transport failure is a breaker
+// strike; any HTTP answer (even an error status) proves liveness.
+func (c *Client) doRaw(ctx context.Context, addr, method, path string, raw []byte, contentType string) (int, []byte, error) {
 	var rd io.Reader
-	if payload != nil {
-		raw, err := json.Marshal(payload)
-		if err != nil {
-			return 0, nil, err
-		}
+	if raw != nil {
 		rd = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, addr+path, rd)
 	if err != nil {
 		return 0, nil, err
 	}
-	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if raw != nil && contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		if v := c.nodeErr[addr]; v != nil {
 			v.Inc()
 		}
+		if rs := c.byAddr[addr]; rs != nil {
+			rs.noteFailure(c)
+		}
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
+	if rs := c.byAddr[addr]; rs != nil {
+		rs.noteSuccess(c)
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		if v := c.nodeErr[addr]; v != nil {
@@ -289,10 +459,17 @@ func (c *Client) do(ctx context.Context, addr, method, path string, payload any)
 	return resp.StatusCode, body, nil
 }
 
-// NodeHealth is one replica's health as probed by Health.
+// NodeHealth is one replica's health as probed by Health, plus the
+// router's resilience state for it: circuit-breaker position, hinted
+// writes still queued (the replica's write lag), indexes awaiting a
+// full resync, and the content digests last observed by anti-entropy.
 type NodeHealth struct {
-	Addr    string `json:"addr"`
-	Healthy bool   `json:"healthy"`
+	Addr         string            `json:"addr"`
+	Healthy      bool              `json:"healthy"`
+	Breaker      string            `json:"breaker,omitempty"`
+	HintsPending int               `json:"hints_pending,omitempty"`
+	NeedsResync  []string          `json:"needs_resync,omitempty"`
+	Digests      map[string]string `json:"digests,omitempty"`
 }
 
 // GroupHealth is one node group's shard range and replica health.
@@ -316,7 +493,21 @@ func (c *Client) Health(ctx context.Context) []GroupHealth {
 				hctx, cancel := context.WithTimeout(ctx, time.Second)
 				defer cancel()
 				status, _, err := c.do(hctx, addr, http.MethodGet, "/healthz", nil)
-				out[g].Replicas[i] = NodeHealth{Addr: addr, Healthy: err == nil && status == http.StatusOK}
+				nh := NodeHealth{Addr: addr, Healthy: err == nil && status == http.StatusOK}
+				if rs := c.replica(g, i); rs != nil {
+					rs.mu.Lock()
+					nh.Breaker = rs.effectiveBreaker(c).String()
+					nh.HintsPending = len(rs.hints)
+					nh.NeedsResync = sortedKeys(rs.needsResync)
+					if len(rs.digests) > 0 {
+						nh.Digests = make(map[string]string, len(rs.digests))
+						for k, v := range rs.digests {
+							nh.Digests[k] = v
+						}
+					}
+					rs.mu.Unlock()
+				}
+				out[g].Replicas[i] = nh
 			}(g, i, addr)
 		}
 	}
@@ -338,6 +529,7 @@ type createReq struct {
 	Q       int        `json:"q,omitempty"`
 	Theta   float64    `json:"theta,omitempty"`
 	Measure string     `json:"measure,omitempty"`
+	Shards  int        `json:"shards,omitempty"`
 	Tuples  []tupleDTO `json:"tuples"`
 }
 

@@ -1,0 +1,567 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"adaptivelink/internal/metrics"
+)
+
+// Self-healing machinery: every replica the router knows carries a
+// replicaState — a circuit breaker fed by every request's transport
+// outcome, a bounded hinted-handoff queue for writes the replica missed
+// while a quorum acknowledged them, and the anti-entropy bookkeeping
+// (observed content digests, the needs-full-resync flag). Three repair
+// paths converge a diverged replica, cheapest first:
+//
+//  1. Hint replay: a missed write is queued router-side and replayed in
+//     original order once the replica answers again.
+//  2. Full resync: when the hint queue overflows (the replica was gone
+//     past the hint horizon) or a hint is semantically refused, the
+//     replica's copy is replaced wholesale from a healthy replica's
+//     snapshot stream.
+//  3. Anti-entropy: a background loop compares per-replica content
+//     digests and full-resyncs any divergence the first two paths
+//     missed (a replica that lost its disk, a write applied around the
+//     router, a torn recovery).
+
+// breakerState is a replica's circuit-breaker position.
+type breakerState int
+
+const (
+	// breakerClosed: the replica answers; requests flow normally.
+	breakerClosed breakerState = iota
+	// breakerOpen: consecutive transport failures; writes skip the
+	// replica (straight to hints) until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen: cooldown elapsed; the next request is the trial
+	// that closes the breaker (success) or re-opens it (failure).
+	breakerHalfOpen
+)
+
+func (b breakerState) String() string {
+	switch b {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+const (
+	// breakerFailThreshold consecutive transport failures open the
+	// breaker.
+	breakerFailThreshold = 3
+	// breakerCooldown is how long an open breaker rejects writes before
+	// allowing the half-open trial.
+	breakerCooldown = 500 * time.Millisecond
+	// hintBackoffMin/Max bound the drainer's exponential backoff between
+	// replay attempts against a replica that is still down.
+	hintBackoffMin = 25 * time.Millisecond
+	hintBackoffMax = time.Second
+)
+
+// hint is one missed write, queued for replay in sequence order.
+type hint struct {
+	// seq is the replica-local enqueue sequence (diagnostics; order is
+	// the queue's).
+	seq int64
+	// index names the index the write targets — the unit a semantic
+	// replay failure escalates to full resync.
+	index  string
+	method string
+	path   string
+	// payload is the pre-marshaled JSON body (nil for bodyless ops), so
+	// replay sends byte-identical requests.
+	payload []byte
+	// ok lists the statuses that count as applied on replay — the same
+	// tolerance the original fan-out used (a delete finding nothing left
+	// to delete has converged, not failed).
+	ok []int
+}
+
+// replicaState is the router's per-replica resilience state.
+type replicaState struct {
+	addr  string
+	group int
+
+	mu       sync.Mutex
+	breaker  breakerState
+	fails    int       // consecutive transport failures
+	openedAt time.Time // when the breaker last opened
+
+	hints    []hint
+	hintSeq  int64
+	draining bool // a drainer goroutine owns the queue
+	replayed int64
+
+	// needsResync marks indexes whose divergence outgrew the hint queue
+	// (or whose hint replay was refused): only a full snapshot resync
+	// repairs them now.
+	needsResync map[string]bool
+	// digests holds the last content digest observed per index by the
+	// anti-entropy loop, for /v1/cluster visibility.
+	digests map[string]string
+}
+
+func newReplicaState(g int, addr string) *replicaState {
+	return &replicaState{
+		addr: addr, group: g,
+		needsResync: make(map[string]bool),
+		digests:     make(map[string]string),
+	}
+}
+
+// noteSuccess records transport-level contact (any HTTP response, even
+// an error status, proves the replica is reachable).
+func (rs *replicaState) noteSuccess(c *Client) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.fails = 0
+	if rs.breaker != breakerClosed {
+		rs.breaker = breakerClosed
+		c.incBreaker("closed")
+	}
+}
+
+// noteFailure records a transport failure and trips the breaker at the
+// threshold.
+func (rs *replicaState) noteFailure(c *Client) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.fails++
+	switch rs.breaker {
+	case breakerClosed:
+		if rs.fails >= breakerFailThreshold {
+			rs.breaker = breakerOpen
+			rs.openedAt = time.Now()
+			c.incBreaker("open")
+		}
+	case breakerHalfOpen:
+		// The trial failed; back to open with a fresh cooldown.
+		rs.breaker = breakerOpen
+		rs.openedAt = time.Now()
+		c.incBreaker("open")
+	}
+}
+
+// effectiveBreaker returns the breaker position, promoting open to
+// half-open once the cooldown has elapsed. Call with rs.mu held.
+func (rs *replicaState) effectiveBreaker(c *Client) breakerState {
+	if rs.breaker == breakerOpen && time.Since(rs.openedAt) >= breakerCooldown {
+		rs.breaker = breakerHalfOpen
+		c.incBreaker("half_open")
+	}
+	return rs.breaker
+}
+
+// deferWrite reports whether a quorum write should skip attempting this
+// replica and go straight to the hint queue: hints are pending (a new
+// write must queue behind them or arrive out of order), the replica
+// awaits a full resync (the resync stream will carry the write), or the
+// breaker is open.
+func (rs *replicaState) deferWrite(c *Client) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.hints) > 0 || len(rs.needsResync) > 0 {
+		return true
+	}
+	return rs.effectiveBreaker(c) == breakerOpen
+}
+
+// dirtyRead reports whether reads should prefer another replica: this
+// one is known to be missing acknowledged writes (pending hints or a
+// scheduled resync) or its breaker is open. Dirty replicas remain the
+// fallback — availability over freshness when no clean replica answers.
+func (rs *replicaState) dirtyRead(c *Client) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.hints) > 0 || len(rs.needsResync) > 0 {
+		return true
+	}
+	return rs.effectiveBreaker(c) == breakerOpen
+}
+
+// replica returns the state of group g's i-th replica (nil only before
+// New wired the table).
+func (c *Client) replica(g, i int) *replicaState {
+	if g >= len(c.reps) || i >= len(c.reps[g]) {
+		return nil
+	}
+	return c.reps[g][i]
+}
+
+// enqueueHint queues one missed write for replay, escalating to
+// needs-full-resync when the queue is at capacity: the replica has been
+// gone past the hint horizon, and dropping the oldest hints silently
+// would replay a gapped sequence. The queue is cleared — the resync
+// stream subsumes every queued write.
+func (c *Client) enqueueHint(g, i int, h hint) {
+	rs := c.replica(g, i)
+	if rs == nil {
+		return
+	}
+	rs.mu.Lock()
+	if rs.needsResync[h.index] {
+		// Already past the horizon for this index; the resync carries
+		// this write too (the reference replica acknowledged it).
+		rs.mu.Unlock()
+		c.inc(c.hintsDropped, 1)
+		return
+	}
+	if len(rs.hints) >= c.cfg.HintCapacity {
+		dropped := len(rs.hints) + 1
+		for _, q := range rs.hints {
+			rs.needsResync[q.index] = true
+		}
+		rs.needsResync[h.index] = true
+		rs.hints = nil
+		rs.mu.Unlock()
+		c.inc(c.hintsDropped, float64(dropped))
+		return
+	}
+	rs.hintSeq++
+	h.seq = rs.hintSeq
+	rs.hints = append(rs.hints, h)
+	start := !rs.draining
+	if start {
+		rs.draining = true
+	}
+	rs.mu.Unlock()
+	c.inc(c.hintsQueued, 1)
+	if start {
+		c.wg.Add(1)
+		go c.drainHints(rs)
+	}
+}
+
+// drainHints replays a replica's queued writes in order, with jittered
+// exponential backoff while the replica stays unreachable. It exits
+// when the queue empties (counting one hint_replay repair if anything
+// was replayed) or the client closes.
+func (c *Client) drainHints(rs *replicaState) {
+	defer c.wg.Done()
+	backoff := hintBackoffMin
+	replayed := 0
+	for {
+		if c.ctx.Err() != nil {
+			rs.mu.Lock()
+			rs.draining = false
+			rs.mu.Unlock()
+			return
+		}
+		rs.mu.Lock()
+		if len(rs.hints) == 0 {
+			rs.draining = false
+			rs.replayed += int64(replayed)
+			rs.mu.Unlock()
+			if replayed > 0 {
+				c.inc(c.repairsHint, 1)
+			}
+			return
+		}
+		h := rs.hints[0]
+		rs.mu.Unlock()
+
+		ctx, cancel := context.WithTimeout(c.ctx, c.cfg.WriteTimeout)
+		status, _, err := c.doRaw(ctx, rs.addr, h.method, h.path, h.payload, "application/json")
+		cancel()
+		if err != nil {
+			// Still unreachable: back off (jittered so replicas of a
+			// revived node do not replay in lockstep) and retry the same
+			// hint — order is the contract.
+			d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+			select {
+			case <-time.After(d):
+			case <-c.ctx.Done():
+			}
+			if backoff *= 2; backoff > hintBackoffMax {
+				backoff = hintBackoffMax
+			}
+			continue
+		}
+		backoff = hintBackoffMin
+		if statusIn(h.ok, status) {
+			rs.mu.Lock()
+			if len(rs.hints) > 0 && rs.hints[0].seq == h.seq {
+				rs.hints = rs.hints[1:]
+			}
+			rs.mu.Unlock()
+			replayed++
+			c.inc(c.hintsReplayed, 1)
+			continue
+		}
+		// Semantic refusal: replaying further hints for this index could
+		// interleave a gapped sequence. Escalate the whole index to full
+		// resync and drop its queued hints (the resync subsumes them).
+		rs.mu.Lock()
+		kept := rs.hints[:0]
+		dropped := 0
+		for _, q := range rs.hints {
+			if q.index == h.index {
+				dropped++
+				continue
+			}
+			kept = append(kept, q)
+		}
+		rs.hints = kept
+		rs.needsResync[h.index] = true
+		rs.mu.Unlock()
+		c.inc(c.hintsDropped, float64(dropped))
+	}
+}
+
+func statusIn(ok []int, status int) bool {
+	for _, s := range ok {
+		if s == status {
+			return true
+		}
+	}
+	return false
+}
+
+// probeLoop actively probes every replica's /healthz on the configured
+// interval, feeding the circuit breakers — so a revived replica is
+// noticed (and its hints drained, its breaker closed) without waiting
+// for live traffic to trip over it.
+func (c *Client) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+		}
+		var wg sync.WaitGroup
+		for g := range c.reps {
+			for i := range c.reps[g] {
+				wg.Add(1)
+				go func(rs *replicaState) {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(c.ctx, time.Second)
+					defer cancel()
+					// doRaw feeds the breaker on both outcomes.
+					c.doRaw(ctx, rs.addr, http.MethodGet, "/healthz", nil, "")
+				}(c.reps[g][i])
+			}
+		}
+		wg.Wait()
+	}
+}
+
+// repairLoop runs anti-entropy on the configured interval.
+func (c *Client) repairLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.RepairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+		}
+		c.Repair(c.ctx)
+	}
+}
+
+// digestDTO mirrors the node's /digest payload.
+type digestDTO struct {
+	Combined   string `json:"combined"`
+	Tuples     int    `json:"tuples"`
+	WALRecords int64  `json:"wal_records"`
+}
+
+// Repair runs one anti-entropy pass over every registered index and
+// every group: fetch each replica's content digest, elect the reference
+// copy (modal digest; ties prefer more tuples, then a longer applied
+// log, then the lower replica), and full-resync every reachable replica
+// that disagrees — including a replica that answers but no longer has
+// the index at all (a blank revived node bootstraps from the stream).
+// Replicas with hints still queued are left to the cheaper replay path;
+// unreachable replicas are left alone until they answer again.
+//
+// The background loop calls this on RepairInterval; tests and operators
+// can call it directly for a deterministic pass.
+func (c *Client) Repair(ctx context.Context) {
+	for _, name := range c.Names() {
+		for g := range c.cfg.Map.Groups {
+			c.repairGroup(ctx, name, g)
+		}
+	}
+}
+
+// repairGroup is one (index, group) anti-entropy step.
+func (c *Client) repairGroup(ctx context.Context, name string, g int) {
+	reps := c.cfg.Map.Groups[g]
+	type obs struct {
+		alive  bool // answered HTTP (any status)
+		has    bool // answered 200 with a digest
+		digest digestDTO
+	}
+	seen := make([]obs, len(reps))
+	var wg sync.WaitGroup
+	for i, addr := range reps {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			dctx, cancel := context.WithTimeout(ctx, c.cfg.WriteTimeout)
+			defer cancel()
+			status, body, err := c.doRaw(dctx, addr, http.MethodGet, "/v1/indexes/"+name+"/digest", nil, "")
+			if err != nil {
+				return
+			}
+			seen[i].alive = true
+			if status != http.StatusOK {
+				return
+			}
+			var d digestDTO
+			if json.Unmarshal(body, &d) == nil && d.Combined != "" {
+				seen[i].has = true
+				seen[i].digest = d
+			}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	// Elect the reference copy among replicas that reported a digest.
+	votes := make(map[string]int)
+	for i := range seen {
+		if seen[i].has {
+			votes[seen[i].digest.Combined]++
+		}
+	}
+	if len(votes) == 0 {
+		return // nobody reachable holds the index; nothing to repair from
+	}
+	ref := -1
+	for i := range seen {
+		if !seen[i].has {
+			continue
+		}
+		if ref == -1 {
+			ref = i
+			continue
+		}
+		a, b := seen[i], seen[ref]
+		switch {
+		case votes[a.digest.Combined] != votes[b.digest.Combined]:
+			if votes[a.digest.Combined] > votes[b.digest.Combined] {
+				ref = i
+			}
+		case a.digest.Tuples != b.digest.Tuples:
+			if a.digest.Tuples > b.digest.Tuples {
+				ref = i
+			}
+		case a.digest.WALRecords > b.digest.WALRecords:
+			ref = i
+		}
+	}
+	refDigest := seen[ref].digest.Combined
+
+	for i := range reps {
+		rs := c.replica(g, i)
+		if rs == nil || !seen[i].alive {
+			continue
+		}
+		if seen[i].has {
+			rs.mu.Lock()
+			rs.digests[name] = seen[i].digest.Combined
+			rs.mu.Unlock()
+		}
+		if seen[i].has && seen[i].digest.Combined == refDigest {
+			rs.mu.Lock()
+			delete(rs.needsResync, name)
+			rs.mu.Unlock()
+			continue
+		}
+		rs.mu.Lock()
+		pending := len(rs.hints) > 0
+		rs.mu.Unlock()
+		if pending {
+			continue // the replay path is still converging this replica
+		}
+		if err := c.resyncReplica(ctx, name, g, ref, i); err != nil {
+			continue // transient; the next pass retries
+		}
+		rs.mu.Lock()
+		delete(rs.needsResync, name)
+		rs.digests[name] = refDigest
+		rs.mu.Unlock()
+		c.inc(c.repairsResync, 1)
+	}
+}
+
+// resyncReplica streams the reference replica's snapshot into the stale
+// one.
+func (c *Client) resyncReplica(ctx context.Context, name string, g, ref, stale int) error {
+	reps := c.cfg.Map.Groups[g]
+	ectx, cancel := context.WithTimeout(ctx, c.cfg.WriteTimeout)
+	defer cancel()
+	status, blob, err := c.doRaw(ectx, reps[ref], http.MethodGet, "/v1/indexes/"+name+"/export", nil, "")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cluster: export from %s answered %d", reps[ref], status)
+	}
+	rctx, cancel2 := context.WithTimeout(ctx, c.cfg.WriteTimeout)
+	defer cancel2()
+	status, body, err := c.doRaw(rctx, reps[stale], http.MethodPost, "/v1/indexes/"+name+"/resync", blob, "application/octet-stream")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cluster: resync on %s answered %d: %s", reps[stale], status, envelopeMessage(body))
+	}
+	return nil
+}
+
+// Close stops the client's background goroutines (hint drainers, the
+// health prober, the anti-entropy loop) and waits for them to exit.
+// Queued hints are abandoned; anti-entropy on the next router start
+// repairs whatever they would have.
+func (c *Client) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// inc adds to a metrics counter, tolerating disabled metrics.
+func (c *Client) inc(v *metrics.Value, n float64) {
+	if v != nil {
+		v.Add(n)
+	}
+}
+
+func (c *Client) incBreaker(state string) {
+	switch state {
+	case "open":
+		c.inc(c.breakerOpens, 1)
+	case "half_open":
+		c.inc(c.breakerHalfOpens, 1)
+	case "closed":
+		c.inc(c.breakerCloses, 1)
+	}
+}
+
+// sortedKeys returns a map's keys sorted (stable /v1/cluster output).
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -150,7 +150,7 @@ func (v *View) UpsertChecked(tuples []relation.Tuple) (inserted, updated int, er
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			errs[g] = v.c.groupWrite(g, http.MethodPost, "/v1/indexes/"+v.st.name+"/upsert",
+			errs[g] = v.c.groupWrite(g, v.st.name, http.MethodPost, "/v1/indexes/"+v.st.name+"/upsert",
 				upsertReq{Tuples: subs[g]}, http.StatusOK)
 		}(g)
 	}
@@ -362,9 +362,24 @@ func (v *View) groupLink(g int, strategy string, keys []string) ([][]join.RefMat
 	}
 	reps := v.c.cfg.Map.Groups[g]
 	start := int(v.c.rr[g].Add(1)-1) % len(reps)
-	var lastErr error
+	// Prefer clean replicas: one with hinted writes still queued (or a
+	// full resync pending, or an open breaker) is known to be missing
+	// acknowledged writes, so it answers only as the last resort —
+	// availability over freshness when nobody clean responds.
+	order := make([]int, 0, len(reps))
+	var dirty []int
 	for i := 0; i < len(reps); i++ {
-		addr := reps[(start+i)%len(reps)]
+		ri := (start + i) % len(reps)
+		if rs := v.c.replica(g, ri); rs != nil && rs.dirtyRead(v.c) {
+			dirty = append(dirty, ri)
+			continue
+		}
+		order = append(order, ri)
+	}
+	order = append(order, dirty...)
+	var lastErr error
+	for _, ri := range order {
+		addr := reps[ri]
 		status, body, err := v.c.do(ctx, addr, http.MethodPost, "/v1/link", req)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// A crash at op n fails that operation and everything after it; ops
+// before proceed; a torn write persists its prefix.
+func TestSimFSCrashSchedule(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+
+	fs := NewSimFS().CrashAt(2).TornBytes(2)
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil { // op 0
+		t.Fatalf("pre-crash write: %v", err)
+	}
+	if err := f.Sync(); err != nil { // op 1
+		t.Fatalf("pre-crash sync: %v", err)
+	}
+	if _, err := f.Write([]byte("efgh")); !errors.Is(err, ErrCrashed) { // op 2: crash, torn
+		t.Fatalf("crashing write err = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() false after the crash")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if _, err := fs.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatal("post-crash open succeeded")
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatal("post-crash rename succeeded")
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdef" {
+		t.Fatalf("file = %q, want the acked bytes plus the 2-byte torn prefix", got)
+	}
+	if fs.WriteOps() != 3 {
+		t.Fatalf("WriteOps = %d, want 3", fs.WriteOps())
+	}
+}
+
+// FailOp fails exactly the nth occurrence, once, without crashing.
+func TestSimFSFailOp(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	fs := NewSimFS().FailOp(OpSync, 2, boom)
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync 2 = %v, want injected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v (the injection is once)", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if fs.Crashed() {
+		t.Fatal("FailOp crashed the fs")
+	}
+}
+
+// The transport applies the first firing rule: count windows, Off/On,
+// black holes bounded by the request context.
+func TestTransportRules(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil)
+	client := &http.Client{Transport: tr}
+
+	boom := errors.New("cut")
+	rule := tr.Add(&Rule{Node: srv.Listener.Addr().String(), From: 1, Count: 1, Action: Fail, Err: boom})
+
+	if _, err := client.Get(srv.URL); err != nil { // match 0: passes
+		t.Fatalf("request 1: %v", err)
+	}
+	if _, err := client.Get(srv.URL); err == nil || !errors.Is(err, boom) { // match 1: fails
+		t.Fatalf("request 2 err = %v, want injected", err)
+	}
+	if _, err := client.Get(srv.URL); err != nil { // match 2: window passed
+		t.Fatalf("request 3: %v", err)
+	}
+
+	hole := tr.Add(&Rule{Path: "/swallow", Action: BlackHole})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/swallow", nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("black-holed request returned")
+	}
+	hole.Off()
+	if _, err := client.Get(srv.URL + "/swallow"); err != nil {
+		t.Fatalf("after Off: %v", err)
+	}
+	hole.On()
+
+	slow := tr.Add(&Rule{Path: "/slow", Action: Delay, Dur: time.Millisecond})
+	if _, err := client.Get(srv.URL + "/slow"); err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	_ = rule
+	_ = slow
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action is what a matching Rule does to a request.
+type Action int
+
+const (
+	// Fail returns a transport error immediately — a refused connection.
+	Fail Action = iota
+	// BlackHole blocks until the request context expires — a partition
+	// that swallows packets.
+	BlackHole
+	// Delay sleeps, then lets the request through.
+	Delay
+)
+
+// Rule matches requests by node, path and a request-count window, and
+// applies its Action. Matching counts per rule: the window [From,
+// From+Count) is over this rule's own matches, so "fail the 3rd and 4th
+// upsert to node B" is {Node: B, Path: "/upsert", From: 2, Count: 2}.
+// Count <= 0 means unbounded.
+type Rule struct {
+	// Node is a substring of the target URL's host (""" matches every
+	// node); Path a substring of the request path ("" matches all).
+	Node string
+	// Path is a substring match on the request path.
+	Path string
+	// From and Count bound which matches act (0-based; Count<=0 = all).
+	From, Count int
+	// Action is what to do; Err overrides the returned error for Fail.
+	Action Action
+	// Dur is the Delay duration.
+	Dur time.Duration
+	// Err is the error Fail returns (ErrInjected when nil).
+	Err error
+
+	mu       sync.Mutex
+	seen     int
+	disabled bool
+}
+
+// Off disables the rule (the schedule's "heal" step); On re-enables it.
+func (r *Rule) Off() { r.mu.Lock(); r.disabled = true; r.mu.Unlock() }
+
+// On re-enables a disabled rule.
+func (r *Rule) On() { r.mu.Lock(); r.disabled = false; r.mu.Unlock() }
+
+// decide consumes one match and reports whether the action fires.
+func (r *Rule) decide() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.disabled {
+		return false
+	}
+	n := r.seen
+	r.seen++
+	return n >= r.From && (r.Count <= 0 || n < r.From+r.Count)
+}
+
+// Transport is a deterministic fault-injecting http.RoundTripper: every
+// request runs the rule list in order and the first firing rule acts.
+// Wrap the cluster client's http.Client with one and a failure test
+// becomes a scripted chaos schedule.
+type Transport struct {
+	// Base performs the un-faulted requests (http.DefaultTransport when
+	// nil).
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	rules []*Rule
+}
+
+// NewTransport returns a Transport over base with no rules.
+func NewTransport(base http.RoundTripper) *Transport {
+	return &Transport{Base: base}
+}
+
+// Add appends a rule and returns it (for later Off/On).
+func (t *Transport) Add(r *Rule) *Rule {
+	t.mu.Lock()
+	t.rules = append(t.rules, r)
+	t.mu.Unlock()
+	return r
+}
+
+// RoundTrip applies the first matching, firing rule, then (for Delay or
+// no match) forwards to Base.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	rules := make([]*Rule, len(t.rules))
+	copy(rules, t.rules)
+	t.mu.Unlock()
+	for _, r := range rules {
+		if r.Node != "" && !strings.Contains(req.URL.Host, r.Node) {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(req.URL.Path, r.Path) {
+			continue
+		}
+		if !r.decide() {
+			continue
+		}
+		switch r.Action {
+		case Fail:
+			if r.Err != nil {
+				return nil, r.Err
+			}
+			return nil, ErrInjected
+		case BlackHole:
+			<-req.Context().Done()
+			return nil, req.Context().Err()
+		case Delay:
+			select {
+			case <-time.After(r.Dur):
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+		}
+		break
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -100,18 +100,25 @@ func TestClusterNodeDownFailsBatchWhole(t *testing.T) {
 	if code != http.StatusBadGateway {
 		t.Fatalf("post-failure link: %d %s (want 502)", code, body)
 	}
-	if ec, msg := envelope(t, body); ec != CodeNodeUnavailable || !strings.Contains(msg, "cluster node unavailable") {
+	// The envelope names the failing group and its shard range, so an
+	// operator reads WHICH slice of the keyspace is dark from the error.
+	if ec, msg := envelope(t, body); ec != CodeNodeUnavailable ||
+		!strings.Contains(msg, "cluster node unavailable") ||
+		!strings.Contains(msg, "group 1 (shards 2-4)") {
 		t.Fatalf("post-failure envelope: code %q message %q", ec, msg)
 	}
 
-	// Routed writes need every owning group's WAL: they fail whole too.
+	// Routed writes need quorum on every owning group: they fail whole
+	// too, naming the below-quorum group and its shard range.
 	code, body = f.router.do(t, "POST", "/v1/indexes/atlas/upsert",
 		`{"tuples":[{"key":"borgo santa lucia nord 900"}]}`)
 	if code != http.StatusBadGateway {
 		t.Fatalf("post-failure upsert: %d %s (want 502)", code, body)
 	}
-	if ec, _ := envelope(t, body); ec != CodeNodeUnavailable {
-		t.Fatalf("post-failure upsert envelope code %q", ec)
+	if ec, msg := envelope(t, body); ec != CodeNodeUnavailable ||
+		!strings.Contains(msg, "group 1 (shards 2-4)") ||
+		!strings.Contains(msg, "quorum") {
+		t.Fatalf("post-failure upsert envelope: code %q message %q", ec, msg)
 	}
 }
 

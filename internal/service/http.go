@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -145,6 +146,9 @@ const (
 // maxBodyBytes bounds request bodies (tuple uploads included).
 const maxBodyBytes = 64 << 20
 
+// maxSnapshotBytes bounds a resync's binary snapshot body.
+const maxSnapshotBytes = 1 << 30
+
 // NewHandler exposes the service over HTTP/JSON (stdlib routing only):
 //
 //	POST   /v1/indexes                  create an index from tuples
@@ -152,6 +156,9 @@ const maxBodyBytes = 64 << 20
 //	GET    /v1/indexes/{name}           one index's info (incl. persistence state)
 //	POST   /v1/indexes/{name}/upsert    incremental reference maintenance
 //	POST   /v1/indexes/{name}/snapshot  checkpoint a durable index in place
+//	GET    /v1/indexes/{name}/digest    content fingerprint for replica comparison (nodes)
+//	GET    /v1/indexes/{name}/export    stream the snapshot encoding (nodes)
+//	POST   /v1/indexes/{name}/resync    replace content from a snapshot stream (nodes)
 //	DELETE /v1/indexes/{name}           drop an index (and its stored data)
 //	POST   /v1/link                     probe one index (single key or batch)
 //	GET    /v1/stats                    service counters as JSON
@@ -213,6 +220,44 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/indexes/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		info, err := s.SnapshotIndex(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("GET /v1/indexes/{name}/digest", func(w http.ResponseWriter, r *http.Request) {
+		d, err := s.DigestIndex(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
+	})
+	mux.HandleFunc("GET /v1/indexes/{name}/export", func(w http.ResponseWriter, r *http.Request) {
+		// Stream the snapshot encoding; a failure before the first byte is
+		// a normal error response, a failure mid-stream truncates the body
+		// and the importer's checksum rejects it.
+		name := r.PathValue("name")
+		if _, err := s.GetIndex(name); err != nil && s.Config().Cluster == nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := s.ExportIndex(name, w); err != nil {
+			writeError(w, err)
+		}
+	})
+	mux.HandleFunc("POST /v1/indexes/{name}/resync", func(w http.ResponseWriter, r *http.Request) {
+		// The body is raw snapshot bytes, not JSON; snapshots outgrow the
+		// JSON body cap, so resync carries its own.
+		r.Body = http.MaxBytesReader(w, r.Body, maxSnapshotBytes)
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: reading snapshot body: %v", ErrInvalid, err))
+			return
+		}
+		info, err := s.ResyncIndex(r.PathValue("name"), data)
 		if err != nil {
 			writeError(w, err)
 			return

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"adaptivelink"
+)
+
+func getDigest(t *testing.T, base, name string) adaptivelink.IndexDigest {
+	t.Helper()
+	code, body := doJSON(t, "GET", base+"/v1/indexes/"+name+"/digest", nil)
+	if code != http.StatusOK {
+		t.Fatalf("digest: %d %s", code, body)
+	}
+	var d adaptivelink.IndexDigest
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("digest body: %v", err)
+	}
+	return d
+}
+
+func postResync(t *testing.T, base, name string, blob []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/indexes/"+name+"/resync", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// TestHTTPDigestExportResync drives the node-side anti-entropy surface
+// end to end: a diverged replica pulls the reference export, resyncs,
+// and converges to the reference digest; a blank node bootstraps a
+// missing index from the same stream.
+func TestHTTPDigestExportResync(t *testing.T) {
+	_, ref := newTestServer(t)
+	createAtlas(t, ref.URL)
+
+	d0 := getDigest(t, ref.URL, "atlas")
+	if d0.Tuples != 3 || d0.Combined == "" || len(d0.Shards) == 0 {
+		t.Fatalf("digest shape: %+v", d0)
+	}
+	// Digest is stable across reads, and changes with content.
+	if d := getDigest(t, ref.URL, "atlas"); d.Combined != d0.Combined {
+		t.Fatalf("digest unstable: %s then %s", d0.Combined, d.Combined)
+	}
+	code, body := doJSON(t, "POST", ref.URL+"/v1/indexes/atlas/upsert", UpsertRequest{
+		Tuples: []TupleDTO{{ID: 9, Key: "passo dello stelvio 48"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("upsert: %d %s", code, body)
+	}
+	d1 := getDigest(t, ref.URL, "atlas")
+	if d1.Combined == d0.Combined {
+		t.Fatal("digest did not change after an upsert")
+	}
+
+	resp, err := http.Get(ref.URL + "/v1/indexes/atlas/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("export content type %q", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %d %v", resp.StatusCode, err)
+	}
+
+	// A diverged replica (same name, older content) converges via resync.
+	_, stale := newTestServer(t)
+	createAtlas(t, stale.URL)
+	if d := getDigest(t, stale.URL, "atlas"); d.Combined == d1.Combined {
+		t.Fatal("stale replica already converged; fixture degenerate")
+	}
+	code, body = postResync(t, stale.URL, "atlas", blob)
+	if code != http.StatusOK {
+		t.Fatalf("resync: %d %s", code, body)
+	}
+	if d := getDigest(t, stale.URL, "atlas"); d.Combined != d1.Combined {
+		t.Fatalf("post-resync digest %s, reference %s", d.Combined, d1.Combined)
+	}
+	// The repaired replica answers probes over the new content.
+	code, body = doJSON(t, "POST", stale.URL+"/v1/link", LinkRequestDTO{Index: "atlas", Key: "passo dello stelvio 48"})
+	if code != http.StatusOK {
+		t.Fatalf("link after resync: %d %s", code, body)
+	}
+	var lr LinkResponseDTO
+	if err := json.Unmarshal(body, &lr); err != nil || len(lr.Results[0].Matches) == 0 {
+		t.Fatalf("probe on resynced key found nothing: %s", body)
+	}
+
+	// A blank replacement node bootstraps the index from the stream.
+	_, blank := newTestServer(t)
+	code, body = postResync(t, blank.URL, "atlas", blob)
+	if code != http.StatusOK {
+		t.Fatalf("bootstrap resync: %d %s", code, body)
+	}
+	var info IndexInfo
+	if err := json.Unmarshal(body, &info); err != nil || info.Size != 4 {
+		t.Fatalf("bootstrap info: %s", body)
+	}
+	if d := getDigest(t, blank.URL, "atlas"); d.Combined != d1.Combined {
+		t.Fatalf("bootstrap digest %s, reference %s", d.Combined, d1.Combined)
+	}
+
+	// Corrupt bytes are rejected; the replica keeps its state.
+	code, body = postResync(t, stale.URL, "atlas", blob[:len(blob)-2])
+	if code != http.StatusBadRequest {
+		t.Fatalf("corrupt resync = %d %s", code, body)
+	}
+	if d := getDigest(t, stale.URL, "atlas"); d.Combined != d1.Combined {
+		t.Fatal("failed resync changed the replica's content")
+	}
+	// Unknown index digests are 404.
+	if code, _ := doJSON(t, "GET", ref.URL+"/v1/indexes/ghost/digest", nil); code != http.StatusNotFound {
+		t.Fatalf("ghost digest = %d", code)
+	}
+}
+
+// TestHTTPResyncDurable pins that a resynced durable node persists the
+// repaired state: reopening the data dir recovers the resynced content.
+func TestHTTPResyncDurable(t *testing.T) {
+	_, ref := newTestServer(t)
+	createAtlas(t, ref.URL)
+	want := getDigest(t, ref.URL, "atlas")
+	resp, err := http.Get(ref.URL + "/v1/indexes/atlas/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	dataDir := t.TempDir()
+	s := New(Config{Workers: 2, QueueDepth: 16, DataDir: dataDir})
+	ts := httptest.NewServer(NewHandler(s))
+	if code, body := postResync(t, ts.URL, "atlas", blob); code != http.StatusOK {
+		t.Fatalf("durable bootstrap resync: %d %s", code, body)
+	}
+	if d := getDigest(t, ts.URL, "atlas"); d.Combined != want.Combined {
+		t.Fatalf("durable resync digest %s, want %s", d.Combined, want.Combined)
+	}
+	ts.Close()
+	s.Close()
+
+	s2 := New(Config{Workers: 2, QueueDepth: 16, DataDir: dataDir})
+	defer s2.Close()
+	names, err := s2.LoadStored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(names) != "[atlas]" {
+		t.Fatalf("reloaded %v, want [atlas]", names)
+	}
+	ts2 := httptest.NewServer(NewHandler(s2))
+	defer ts2.Close()
+	if d := getDigest(t, ts2.URL, "atlas"); d.Combined != want.Combined {
+		t.Fatalf("reopened digest %s, want %s", d.Combined, want.Combined)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"path/filepath"
@@ -588,6 +589,94 @@ func (s *Service) SnapshotIndex(name string) (IndexInfo, error) {
 	return mi.info(), nil
 }
 
+// DigestIndex fingerprints the named index's content for replica
+// comparison. Nodes only: a router holds no replica state of its own —
+// it asks the nodes and compares.
+func (s *Service) DigestIndex(name string) (adaptivelink.IndexDigest, error) {
+	if s.cfg.Cluster != nil {
+		return adaptivelink.IndexDigest{}, fmt.Errorf("%w: a router holds no replica state; digests come from the nodes", ErrInvalid)
+	}
+	mi, err := s.lookup(name)
+	if err != nil {
+		return adaptivelink.IndexDigest{}, err
+	}
+	d, err := mi.ix.Digest()
+	if err != nil {
+		return adaptivelink.IndexDigest{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return d, nil
+}
+
+// ExportIndex streams the named index's state in the snapshot format —
+// the sending half of a replica resync. Nodes only.
+func (s *Service) ExportIndex(name string, w io.Writer) error {
+	if s.cfg.Cluster != nil {
+		return fmt.Errorf("%w: a router holds no replica state; export from the nodes", ErrInvalid)
+	}
+	mi, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	return mi.ix.ExportSnapshotTo(w)
+}
+
+// ResyncIndex replaces the named index's content wholesale with the
+// given snapshot bytes (as exported from a healthy replica) — the
+// receiving half of anti-entropy repair. An index the node does not
+// have yet is bootstrapped from the snapshot (a replacement replica
+// arrives blank), adopting the snapshot's stored configuration; with a
+// data dir it is persisted before it starts serving. Nodes only.
+func (s *Service) ResyncIndex(name string, data []byte) (IndexInfo, error) {
+	if s.cfg.Cluster != nil {
+		return IndexInfo{}, fmt.Errorf("%w: a router holds no replica state; resync targets the nodes", ErrInvalid)
+	}
+	if !nameRe.MatchString(name) {
+		return IndexInfo{}, fmt.Errorf("%w: index name %q (want %s)", ErrInvalid, name, nameRe)
+	}
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
+	if mi, err := s.lookup(name); err == nil {
+		t0 := time.Now()
+		if err := mi.ix.RestoreSnapshot(data); err != nil {
+			return IndexInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		mi.size.Set(float64(mi.ix.Len()))
+		s.log.Info("resynced index", "index", name, "tuples", mi.ix.Len(),
+			"duration", time.Since(t0).Round(time.Millisecond))
+		return mi.info(), nil
+	}
+	t0 := time.Now()
+	ix, err := adaptivelink.ImportSnapshot(data, adaptivelink.IndexOptions{})
+	if err != nil {
+		return IndexInfo{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if s.cfg.DataDir != "" {
+		dir := filepath.Join(s.cfg.DataDir, name)
+		if _, serr := os.Stat(dir); serr == nil {
+			return IndexInfo{}, fmt.Errorf("%w: %q has a surviving directory the boot scan did not load; remove it before resyncing", ErrInvalid, name)
+		}
+		if err := ix.Save(dir); err != nil {
+			return IndexInfo{}, err
+		}
+		ix, err = adaptivelink.Open(dir, adaptivelink.IndexOptions{
+			Storage: adaptivelink.StorageOptions{WALSync: s.cfg.WALSync},
+		})
+		if err != nil {
+			return IndexInfo{}, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mi := s.newManaged(name, ix)
+	s.indexes[name] = mi
+	mi.size.Set(float64(ix.Len()))
+	mi.shards.Set(float64(ix.Options().Shards))
+	s.indexGauge.Set(float64(len(s.indexes)))
+	s.log.Info("bootstrapped index from resync", "index", name, "tuples", ix.Len(),
+		"durable", ix.Durable(), "duration", time.Since(t0).Round(time.Millisecond))
+	return mi.info(), nil
+}
+
 func (mi *managedIndex) info() IndexInfo {
 	info := IndexInfo{
 		Name: mi.name, Size: mi.ix.Len(), Shards: mi.ix.Options().Shards, CreatedAt: mi.created,
@@ -934,6 +1023,11 @@ func (s *Service) Drain(ctx context.Context) error {
 // Drain.
 func (s *Service) Close() {
 	s.pool.close()
+	if s.cfg.Cluster != nil {
+		// Stop the router's background goroutines (hint drainers, the
+		// health prober, anti-entropy) before tearing indexes down.
+		s.cfg.Cluster.Close()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, mi := range s.indexes {

@@ -59,6 +59,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"adaptivelink/internal/fault"
 	"adaptivelink/internal/hashidx"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/relation"
@@ -222,6 +223,26 @@ func WriteSnapshot(w io.Writer, v *join.SnapshotView) error {
 	e.u32(uint32(len(v.Cfg.Profile)))
 	e.write([]byte(v.Cfg.Profile))
 
+	encodeTupleSection(e, v)
+	for i := range v.Shards {
+		encodeShardSection(e, &v.Shards[i])
+	}
+	if e.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", e.err)
+	}
+	sum := e.crc.Sum32()
+	e.u32(sum)
+	if e.err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", e.err)
+	}
+	return nil
+}
+
+// encodeTupleSection writes the global store section (tuple IDs, keys,
+// ragged attr lists) — shared by WriteSnapshot and the content digest,
+// so a digest fingerprints exactly the bytes a snapshot would hold.
+func encodeTupleSection(e *writer, v *join.SnapshotView) {
+	n := len(v.Tuples)
 	keys := make([]string, n)
 	var attrTotal int
 	for i, t := range v.Tuples {
@@ -243,24 +264,17 @@ func WriteSnapshot(w io.Writer, v *join.SnapshotView) error {
 		flatAttrs = append(flatAttrs, t.Attrs...)
 	}
 	e.stringBlob(flatAttrs)
+}
 
-	for _, sh := range v.Shards {
-		e.u32slice(sh.Globals)
-		e.stringBlob(sh.QGrams.Grams)
-		e.raggedI32(sh.QGrams.Postings)
-		e.u32slice(sh.QGrams.Sizes)
-		e.raggedU32(sh.QGrams.Sigs)
-		e.u32(uint32(sh.QGrams.SigFloor))
-	}
-	if e.err != nil {
-		return fmt.Errorf("store: writing snapshot: %w", e.err)
-	}
-	sum := e.crc.Sum32()
-	e.u32(sum)
-	if e.err != nil {
-		return fmt.Errorf("store: writing snapshot: %w", e.err)
-	}
-	return nil
+// encodeShardSection writes one shard's section (globals + the
+// dictionary-encoded q-gram index) — shared with the content digest.
+func encodeShardSection(e *writer, sh *join.ShardExport) {
+	e.u32slice(sh.Globals)
+	e.stringBlob(sh.QGrams.Grams)
+	e.raggedI32(sh.QGrams.Postings)
+	e.u32slice(sh.QGrams.Sizes)
+	e.raggedU32(sh.QGrams.Sigs)
+	e.u32(uint32(sh.QGrams.SigFloor))
 }
 
 // reader is a bounds-checked cursor over an in-memory artifact with a
@@ -548,19 +562,28 @@ func ReadSnapshotFile(path string) (*join.SnapshotView, error) {
 }
 
 // WriteSnapshotFile writes the snapshot atomically: encode to a
-// temporary file in the same directory, fsync, rename over the target.
-// A crash mid-write leaves the previous snapshot (or none) intact,
-// never a torn file under the live name.
-func WriteSnapshotFile(path string, v *join.SnapshotView) (err error) {
+// temporary file in the same directory, fsync, rename over the target,
+// fsync the directory. A crash mid-write leaves the previous snapshot
+// (or none) intact, never a torn file under the live name; the final
+// directory fsync makes the rename itself durable — without it, power
+// loss after a "successful" checkpoint could resurrect the old
+// snapshot, or worse, a directory entry pointing at nothing.
+func WriteSnapshotFile(path string, v *join.SnapshotView) error {
+	return WriteSnapshotFileFS(fault.OS, path, v)
+}
+
+// WriteSnapshotFileFS is WriteSnapshotFile through an injectable
+// filesystem.
+func WriteSnapshotFileFS(fsys fault.FS, path string, v *join.SnapshotView) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	bw := bufio.NewWriterSize(tmp, 1<<16)
@@ -576,5 +599,8 @@ func WriteSnapshotFile(path string, v *join.SnapshotView) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }

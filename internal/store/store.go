@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"adaptivelink/internal/fault"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/relation"
 	"adaptivelink/internal/simfn"
@@ -30,6 +31,7 @@ const (
 type Dir struct {
 	path string
 	meta Meta
+	fs   fault.FS
 	wal  *WAL
 
 	lastSnapshot time.Time
@@ -154,8 +156,24 @@ func peekWALMeta(path string) (*Meta, error) {
 // configuration are rejected with a descriptive error, as is any
 // corrupt artifact — Open never yields a partial index.
 func Open(dir string, meta Meta, sync SyncPolicy) (*Dir, *join.ShardedRefIndex, *Recovery, error) {
+	return OpenFS(fault.OS, dir, meta, sync)
+}
+
+// OpenFS is Open through an injectable filesystem — the fault shim's
+// entry point for crash-consistency schedules.
+func OpenFS(fsys fault.FS, dir string, meta Meta, sync SyncPolicy) (*Dir, *join.ShardedRefIndex, *Recovery, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, nil, err
+	}
+	// A crash mid-checkpoint can strand the snapshot's temporary file
+	// (written beside the target, renamed into place only when complete).
+	// Orphans are garbage by construction — the rename never happened, so
+	// the previous snapshot is still the live one — and are swept here so
+	// a crash-looping process cannot fill the disk with them.
+	if orphans, err := filepath.Glob(filepath.Join(dir, SnapshotFile+".tmp*")); err == nil {
+		for _, o := range orphans {
+			_ = fsys.Remove(o)
+		}
 	}
 	rec := &Recovery{}
 	var ix *join.ShardedRefIndex
@@ -183,7 +201,7 @@ func Open(dir string, meta Meta, sync SyncPolicy) (*Dir, *join.ShardedRefIndex, 
 			return nil, nil, nil, err
 		}
 	}
-	wal, replay, err := OpenWAL(filepath.Join(dir, WALFile), meta, sync)
+	wal, replay, err := OpenWALFS(fsys, filepath.Join(dir, WALFile), meta, sync)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -192,7 +210,7 @@ func Open(dir string, meta Meta, sync SyncPolicy) (*Dir, *join.ShardedRefIndex, 
 	}
 	rec.WALRecords = replay.Records
 	rec.TornTail = replay.TornTail
-	return &Dir{path: dir, meta: meta, wal: wal, lastSnapshot: lastSnap}, ix, rec, nil
+	return &Dir{path: dir, meta: meta, fs: fsys, wal: wal, lastSnapshot: lastSnap}, ix, rec, nil
 }
 
 // Create makes dir durable for an index built in memory (the bulk-load
@@ -200,6 +218,11 @@ func Open(dir string, meta Meta, sync SyncPolicy) (*Dir, *join.ShardedRefIndex, 
 // for the initial rows — and opens a fresh WAL for what comes after. A
 // directory that already holds an index is refused; Open it instead.
 func Create(dir string, ix *join.ShardedRefIndex, sync SyncPolicy) (*Dir, error) {
+	return CreateFS(fault.OS, dir, ix, sync)
+}
+
+// CreateFS is Create through an injectable filesystem.
+func CreateFS(fsys fault.FS, dir string, ix *join.ShardedRefIndex, sync SyncPolicy) (*Dir, error) {
 	if m, err := PeekMeta(dir); err != nil {
 		return nil, err
 	} else if m != nil {
@@ -212,14 +235,14 @@ func Create(dir string, ix *join.ShardedRefIndex, sync SyncPolicy) (*Dir, error)
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteSnapshotFile(filepath.Join(dir, SnapshotFile), v); err != nil {
+	if err := WriteSnapshotFileFS(fsys, filepath.Join(dir, SnapshotFile), v); err != nil {
 		return nil, err
 	}
-	wal, _, err := OpenWAL(filepath.Join(dir, WALFile), MetaOf(v), sync)
+	wal, _, err := OpenWALFS(fsys, filepath.Join(dir, WALFile), MetaOf(v), sync)
 	if err != nil {
 		return nil, err
 	}
-	return &Dir{path: dir, meta: MetaOf(v), wal: wal, lastSnapshot: time.Now()}, nil
+	return &Dir{path: dir, meta: MetaOf(v), fs: fsys, wal: wal, lastSnapshot: time.Now()}, nil
 }
 
 // metaConfig expands a compatibility tuple to the join configuration of
@@ -249,7 +272,7 @@ func (d *Dir) Checkpoint(ix *join.ShardedRefIndex) error {
 	if err := d.meta.Check(MetaOf(v)); err != nil {
 		return err
 	}
-	if err := WriteSnapshotFile(filepath.Join(d.path, SnapshotFile), v); err != nil {
+	if err := WriteSnapshotFileFS(d.fs, filepath.Join(d.path, SnapshotFile), v); err != nil {
 		return err
 	}
 	d.lastSnapshot = time.Now()
@@ -264,6 +287,10 @@ func (d *Dir) Checkpoint(ix *join.ShardedRefIndex) error {
 // WALRecords is the number of upsert batches logged since the last
 // checkpoint.
 func (d *Dir) WALRecords() int64 { return d.wal.Records() }
+
+// Poisoned reports the I/O failure that poisoned the WAL (appends are
+// refused until a successful Checkpoint or a reopen), nil when healthy.
+func (d *Dir) Poisoned() error { return d.wal.Poisoned() }
 
 // LastSnapshot is when the current snapshot was written (zero if the
 // directory has no snapshot yet).

@@ -9,6 +9,7 @@ import (
 	"os"
 	"time"
 
+	"adaptivelink/internal/fault"
 	"adaptivelink/internal/join"
 	"adaptivelink/internal/relation"
 	"adaptivelink/internal/simfn"
@@ -119,7 +120,7 @@ func (m Meta) Check(other Meta) error {
 // frame whose CRC or structure fails is a hard error: bit rot is not
 // silently skipped.
 type WAL struct {
-	f       *os.File
+	f       fault.File
 	path    string
 	sync    SyncPolicy
 	records int64
@@ -127,6 +128,15 @@ type WAL struct {
 	// hdrSize is this file's header length (version- and
 	// profile-dependent); Reset truncates back to it.
 	hdrSize int64
+	// poisoned is set when an append left the log's on-disk state
+	// unknowable (a failed write may have landed a partial frame, a
+	// failed fsync may have lost an acknowledged-looking one — the
+	// fsyncgate lesson: after a failed fsync the kernel may have dropped
+	// the dirty pages, so retrying as if nothing happened silently loses
+	// data). Every subsequent Append refuses with a descriptive error;
+	// only a successful Reset (which discards the unknowable region
+	// wholesale) or a reopen clears it.
+	poisoned error
 
 	// Latency telemetry; see WALStats. Only Append updates them, and
 	// Append is caller-serialised, so plain fields suffice. appends
@@ -174,7 +184,13 @@ type Replay struct {
 // replays its intact frames into the returned Replay. The WAL is then
 // positioned for appending.
 func OpenWAL(path string, meta Meta, sync SyncPolicy) (*WAL, *Replay, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(fault.OS, path, meta, sync)
+}
+
+// OpenWALFS is OpenWAL through an injectable filesystem — the fault
+// shim's entry point for crash and fsync-failure schedules.
+func OpenWALFS(fsys fault.FS, path string, meta Meta, sync SyncPolicy) (*WAL, *Replay, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -190,6 +206,26 @@ func OpenWAL(path string, meta Meta, sync SyncPolicy) (*WAL, *Replay, error) {
 			return nil, nil, err
 		}
 		return w, &Replay{}, nil
+	}
+	// A crash during the very first header write can leave a strict
+	// prefix of the header we were about to produce. Such a file cannot
+	// contain an acknowledged record (records only ever follow a complete
+	// header), so it is recreated rather than reported corrupt — the
+	// torn-header analogue of dropping a torn frame tail.
+	if hdr, herr := headerBytes(meta); herr == nil && len(data) < len(hdr) && string(data) == string(hdr[:len(data)]) {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := w.writeHeader(meta); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, &Replay{TornTail: true}, nil
 	}
 	dec, err := decodeWALBytes(data)
 	if err != nil {
@@ -217,9 +253,11 @@ func OpenWAL(path string, meta Meta, sync SyncPolicy) (*WAL, *Replay, error) {
 	return w, &Replay{Batches: dec.batches, Records: int64(len(dec.batches)), TornTail: dec.torn}, nil
 }
 
-func (w *WAL) writeHeader(meta Meta) error {
+// headerBytes renders the v2 header a fresh WAL bound to meta starts
+// with.
+func headerBytes(meta Meta) ([]byte, error) {
 	if len(meta.Profile) > maxProfileLen {
-		return fmt.Errorf("store: normalization profile name %d bytes long, cap is %d", len(meta.Profile), maxProfileLen)
+		return nil, fmt.Errorf("store: normalization profile name %d bytes long, cap is %d", len(meta.Profile), maxProfileLen)
 	}
 	buf := make([]byte, walFixedHeaderSize+4, walFixedHeaderSize+4+len(meta.Profile))
 	copy(buf[:8], walMagic[:])
@@ -229,7 +267,14 @@ func (w *WAL) writeHeader(meta Meta) error {
 	binary.LittleEndian.PutUint32(buf[20:], uint32(meta.Shards))
 	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(meta.Theta))
 	binary.LittleEndian.PutUint32(buf[walFixedHeaderSize:], uint32(len(meta.Profile)))
-	buf = append(buf, meta.Profile...)
+	return append(buf, meta.Profile...), nil
+}
+
+func (w *WAL) writeHeader(meta Meta) error {
+	buf, err := headerBytes(meta)
+	if err != nil {
+		return err
+	}
 	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
@@ -241,6 +286,9 @@ func (w *WAL) writeHeader(meta Meta) error {
 // before Append returns; the caller may then acknowledge the upsert,
 // knowing replay will reproduce it after any crash.
 func (w *WAL) Append(tuples []relation.Tuple) error {
+	if w.poisoned != nil {
+		return fmt.Errorf("store: WAL poisoned by an earlier I/O failure (%v): the log's on-disk tail is unknowable, appends are refused until a successful checkpoint resets it or the index is reopened", w.poisoned)
+	}
 	t0 := time.Now()
 	p := w.enc[:0]
 	p = append(p, walKindUpsert)
@@ -263,17 +311,24 @@ func (w *WAL) Append(tuples []relation.Tuple) error {
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(p)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(p, castagnoli))
 	// One writev-shaped append: header then payload. A crash between the
-	// two writes leaves a torn tail that replay drops.
+	// two writes leaves a torn tail that replay drops. A *failed* write
+	// is worse than a crash: the process lives on with partial frame
+	// bytes possibly on disk, where a retried append would extend them
+	// into a frame whose length prefix lies — so any failure here
+	// poisons the log (see WAL.poisoned).
 	if _, err := w.f.Write(hdr[:]); err != nil {
-		return err
+		w.poisoned = err
+		return fmt.Errorf("store: WAL append failed mid-frame, log poisoned: %w", err)
 	}
 	if _, err := w.f.Write(p); err != nil {
-		return err
+		w.poisoned = err
+		return fmt.Errorf("store: WAL append failed mid-frame, log poisoned: %w", err)
 	}
 	if w.sync == SyncAlways {
 		ts := time.Now()
 		if err := w.f.Sync(); err != nil {
-			return err
+			w.poisoned = err
+			return fmt.Errorf("store: WAL fsync failed, log poisoned: %w", err)
 		}
 		w.fsyncNanos += time.Since(ts).Nanoseconds()
 	}
@@ -288,19 +343,32 @@ func (w *WAL) Records() int64 { return w.records }
 
 // Reset truncates the log back to its header — called after a snapshot
 // has captured everything the log held, making those frames redundant.
+// A successful Reset also clears poisoning: the unknowable tail a
+// poisoned log carried is discarded wholesale, so the file is clean
+// again (this is the recovery path — a checkpoint after a poisoned
+// append writes the acknowledged state to the snapshot and Reset makes
+// the log trustworthy again).
 func (w *WAL) Reset() error {
 	if err := w.f.Truncate(w.hdrSize); err != nil {
+		w.poisoned = err
 		return err
 	}
 	if _, err := w.f.Seek(w.hdrSize, io.SeekStart); err != nil {
+		w.poisoned = err
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
+		w.poisoned = err
 		return err
 	}
 	w.records = 0
+	w.poisoned = nil
 	return nil
 }
+
+// Poisoned returns the I/O failure that poisoned the log, nil when the
+// log is healthy.
+func (w *WAL) Poisoned() error { return w.poisoned }
 
 // Close flushes and closes the log file.
 func (w *WAL) Close() error {

@@ -39,7 +39,7 @@ func NewRemoteIndex(res join.Resident, opts IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{res: res, opts: opts, norm: opts.normalizer()}, nil
+	return newIndex(res, opts), nil
 }
 
 // WithResident returns a shallow view of the index running over a
@@ -50,5 +50,7 @@ func NewRemoteIndex(res join.Resident, opts IndexOptions) (*Index, error) {
 // touches the original's storage — and is as safe for concurrent use as
 // its resident.
 func (ix *Index) WithResident(res join.Resident) *Index {
-	return &Index{res: res, opts: ix.opts, norm: ix.norm}
+	view := &Index{opts: ix.opts, norm: ix.norm}
+	view.setResident(res)
+	return view
 }

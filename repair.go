@@ -1,0 +1,190 @@
+package adaptivelink
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"adaptivelink/internal/join"
+	"adaptivelink/internal/store"
+)
+
+// IndexDigest is a cheap content fingerprint for replica comparison:
+// CRC-32C digests over the index's canonical snapshot encoding — the
+// same export a checkpoint writes, computed straight from the resident
+// representation without re-hashing a single gram — plus the WAL
+// position. Two replicas that applied the same upsert stream report the
+// same Combined digest, so anti-entropy can detect divergence by
+// exchanging a few dozen bytes instead of snapshots.
+type IndexDigest struct {
+	// Combined folds the tuple-store digest and every shard digest into
+	// one hex word — the value replicas compare.
+	Combined string `json:"combined"`
+	// Store is the tuple-store section's digest; Shards the per-shard
+	// section digests, for narrowing a divergence to a shard.
+	Store  string   `json:"store"`
+	Shards []string `json:"shards"`
+	// Tuples is the resident tuple count the digest covers.
+	Tuples int `json:"tuples"`
+	// WALRecords is the number of upsert batches logged since the last
+	// checkpoint (0 for in-memory indexes) — the replica's log position,
+	// read atomically with the digest.
+	WALRecords int64 `json:"wal_records"`
+}
+
+// snapshotExporter gates the repair surface to residents that can
+// export their state (the local sharded engine; remote residents
+// cannot).
+func (ix *Index) snapshotExporter() (*join.ShardedRefIndex, error) {
+	sr, ok := ix.resident().(*join.ShardedRefIndex)
+	if !ok {
+		return nil, fmt.Errorf("adaptivelink: index backend %T does not snapshot", ix.resident())
+	}
+	return sr, nil
+}
+
+// Digest fingerprints the index's current content. On a durable index
+// the digest and WAL position are read under the write lock, so the
+// pair is a consistent point: a replica reporting the same Combined
+// digest and record count holds byte-identical state.
+func (ix *Index) Digest() (IndexDigest, error) {
+	sr, err := ix.snapshotExporter()
+	if err != nil {
+		return IndexDigest{}, err
+	}
+	var walRecords int64
+	if ix.dir != nil {
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		walRecords = ix.dir.WALRecords()
+	}
+	v, err := sr.ExportSnapshot()
+	if err != nil {
+		return IndexDigest{}, err
+	}
+	d := store.DigestView(v)
+	return IndexDigest{
+		Combined:   d.Combined,
+		Store:      d.Store,
+		Shards:     d.Shards,
+		Tuples:     d.Tuples,
+		WALRecords: walRecords,
+	}, nil
+}
+
+// ExportSnapshotTo streams the index's state in the snapshot format —
+// the same bytes a checkpoint writes — without touching the index's own
+// storage. This is the sending half of a replica resync; the receiver
+// applies it with RestoreSnapshot.
+func (ix *Index) ExportSnapshotTo(w io.Writer) error {
+	sr, err := ix.snapshotExporter()
+	if err != nil {
+		return err
+	}
+	v, err := sr.ExportSnapshot()
+	if err != nil {
+		return err
+	}
+	return store.WriteSnapshot(w, v)
+}
+
+// ExportSnapshotBytes is ExportSnapshotTo into memory.
+func (ix *Index) ExportSnapshotBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := ix.ExportSnapshotTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreSnapshot replaces the index's entire content with the given
+// snapshot (as produced by ExportSnapshotTo on a healthy replica) —
+// the receiving half of a replica resync. The snapshot must carry the
+// index's own matching configuration: Q, θsim, measure and
+// normalization profile always have to match, and a durable index's
+// shard count too (its stored artifacts are bound to it); an in-memory
+// index adopts the incoming shard layout, since resharding a resident
+// engine is free at replacement time.
+//
+// The swap is atomic with respect to probes: in-flight probes finish
+// against the old content, later probes see the new one, and on a
+// durable index the restored state is checkpointed before the swap —
+// so an acknowledged restore survives a crash and the WAL never mixes
+// pre- and post-restore batches. A failed restore leaves the index
+// unchanged.
+func (ix *Index) RestoreSnapshot(data []byte) error {
+	v, err := store.DecodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("adaptivelink: restoring snapshot: %w", err)
+	}
+	incoming := store.MetaOf(v)
+	want := ix.opts.meta()
+	if ix.dir == nil {
+		// In-memory replicas adopt the snapshot's shard layout.
+		want.Shards = incoming.Shards
+	}
+	if err := want.Check(incoming); err != nil {
+		return fmt.Errorf("adaptivelink: restoring snapshot: %w", err)
+	}
+	ri, err := join.NewShardedRefIndexFromSnapshot(v)
+	if err != nil {
+		return fmt.Errorf("adaptivelink: restoring snapshot: %w", err)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrIndexClosed
+	}
+	if ix.dir != nil {
+		// Persist first: if the checkpoint fails the resident engine is
+		// untouched and memory still equals disk.
+		if err := ix.dir.Checkpoint(ri); err != nil {
+			return fmt.Errorf("adaptivelink: persisting restored snapshot: %w", err)
+		}
+	}
+	ix.setResident(ri)
+	return nil
+}
+
+// ImportSnapshot builds a fresh in-memory index from exported snapshot
+// bytes — how a blank replacement replica bootstraps before catching up
+// through normal upserts. Options left zero adopt the snapshot's stored
+// configuration; options set explicitly must match it. Storage must be
+// zero (Save the imported index afterwards to make it durable).
+func ImportSnapshot(data []byte, opts IndexOptions) (*Index, error) {
+	if opts.Storage.Dir != "" {
+		return nil, fmt.Errorf("adaptivelink: ImportSnapshot builds in-memory indexes; Save to %q afterwards to persist", opts.Storage.Dir)
+	}
+	v, err := store.DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: importing snapshot: %w", err)
+	}
+	m := store.MetaOf(v)
+	if opts.Q == 0 {
+		opts.Q = m.Q
+	}
+	if opts.Theta == 0 {
+		opts.Theta = m.Theta
+	}
+	if opts.Measure == 0 {
+		opts.Measure = Measure(m.Measure)
+	}
+	if opts.Shards == 0 {
+		opts.Shards = m.Shards
+	}
+	if opts.Profile == "" {
+		opts.Profile = m.Profile
+	}
+	opts, err = opts.resolved()
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.meta().Check(m); err != nil {
+		return nil, fmt.Errorf("adaptivelink: importing snapshot: %w", err)
+	}
+	ri, err := join.NewShardedRefIndexFromSnapshot(v)
+	if err != nil {
+		return nil, fmt.Errorf("adaptivelink: importing snapshot: %w", err)
+	}
+	return newIndex(ri, opts), nil
+}

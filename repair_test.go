@@ -1,0 +1,129 @@
+package adaptivelink
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDigestExportRestoreRoundTrip pins the repair surface: a restored
+// replica reports the source's digest, keeps answering probes, and an
+// imported blank replica adopts the stored configuration.
+func TestDigestExportRestoreRoundTrip(t *testing.T) {
+	data, err := GenerateTestData(7, 120, 40, PatternFewHigh, 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewIndex(FromTuples(data.Parent), IndexOptions{Shards: 2, Profile: "latin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := src.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Tuples == 0 || d1.Combined == "" || len(d1.Shards) != 2 || d1.WALRecords != 0 {
+		t.Fatalf("digest shape: %+v", d1)
+	}
+
+	blob, err := src.ExportSnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A diverged replica converges to the source's digest after restore.
+	stale, err := NewIndex(FromTuples(data.Parent[:50]), IndexOptions{Shards: 4, Profile: "latin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds, _ := stale.Digest(); ds.Combined == d1.Combined {
+		t.Fatal("stale replica already matches; fixture is degenerate")
+	}
+	if err := stale.RestoreSnapshot(blob); err != nil {
+		t.Fatalf("restore onto in-memory replica (shard adoption): %v", err)
+	}
+	d2, err := stale.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Combined != d1.Combined {
+		t.Fatalf("restored digest %s != source %s", d2.Combined, d1.Combined)
+	}
+	key := data.Parent[3].Key
+	if got, want := len(stale.Probe(key)), len(src.Probe(key)); got != want || got == 0 {
+		t.Fatalf("restored probe %q: %d matches, source %d", key, got, want)
+	}
+
+	// A blank replacement bootstraps via ImportSnapshot, adopting config.
+	imp, err := ImportSnapshot(blob, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Options().Profile != "latin" || imp.Options().Shards != 2 {
+		t.Fatalf("imported options %+v did not adopt stored config", imp.Options())
+	}
+	if d3, _ := imp.Digest(); d3.Combined != d1.Combined {
+		t.Fatalf("imported digest %s != source %s", d3.Combined, d1.Combined)
+	}
+
+	// Mismatched matching configuration is refused, named in the error.
+	if err := stale.RestoreSnapshot(blob[:len(blob)-1]); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	other, err := NewIndex(FromTuples(nil), IndexOptions{Q: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreSnapshot(blob); err == nil || !strings.Contains(err.Error(), "q 4 vs 3") {
+		t.Fatalf("q-mismatch restore = %v, want a q mismatch error", err)
+	}
+	if _, err := ImportSnapshot(blob, IndexOptions{Q: 4}); err == nil {
+		t.Fatal("q-mismatch import accepted")
+	}
+}
+
+// TestRestoreSnapshotDurable pins the durable restore path: the
+// restored state is checkpointed (WAL reset) and survives a reopen.
+func TestRestoreSnapshotDurable(t *testing.T) {
+	data, err := GenerateTestData(11, 80, 10, PatternFewHigh, 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewIndex(FromTuples(data.Parent), IndexOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := src.ExportSnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := src.Digest()
+
+	dir := t.TempDir()
+	dst, err := Open(dir, IndexOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dst.Upsert(data.Parent[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.RestoreSnapshot(blob); err != nil {
+		t.Fatalf("durable restore: %v", err)
+	}
+	if got, _ := dst.Digest(); got.Combined != want.Combined {
+		t.Fatalf("restored digest %s != source %s", got.Combined, want.Combined)
+	}
+	if dst.WALRecords() != 0 {
+		t.Fatalf("restore left %d WAL records; checkpoint should have reset the log", dst.WALRecords())
+	}
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, _ := re.Digest(); got.Combined != want.Combined {
+		t.Fatalf("reopened digest %s != restored %s", got.Combined, want.Combined)
+	}
+}

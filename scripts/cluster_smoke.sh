@@ -7,11 +7,16 @@
 #   2. /v1/cluster reports the routing table with all replicas healthy
 #   3. killing one replica of group A MID-RUN is absorbed: the bench in
 #      flight still ends with zero failed requests (reads fail over,
-#      linkbench retries transient dials), and /v1/cluster flips the
-#      dead replica to unhealthy
-#   4. killing group B entirely makes routed batches fail WHOLE with
+#      linkbench retries transient dials; writes meet the quorum of 1),
+#      and /v1/cluster flips the dead replica to unhealthy
+#   4. self-healing: writes keep landing while the replica is dead
+#      (hinted handoff), the replica revives BLANK at its recorded
+#      address, and hint replay + anti-entropy resync converge the
+#      group until /v1/cluster reports matching content digests with
+#      no pending hints or resync debt
+#   5. killing group B entirely makes routed batches fail WHOLE with
 #      the node_unavailable envelope (502) — never silent partials
-#   5. the router and the surviving node both drain cleanly on SIGTERM
+#   6. the router and the surviving node both drain cleanly on SIGTERM
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,7 +68,12 @@ stop_daemon() {
 start_daemon a1
 start_daemon a2
 start_daemon b1
-start_daemon router -cluster "http://$a1_addr,http://$a2_addr;http://$b1_addr" -cluster-shards 4
+# Quorum 1: a write succeeds once any replica of each owning group
+# acknowledged; the rest converge via hinted handoff — so a dead
+# replica never blocks writes. Probe/repair intervals are shortened so
+# the smoke observes convergence quickly.
+start_daemon router -cluster "http://$a1_addr,http://$a2_addr;http://$b1_addr" -cluster-shards 4 \
+    -cluster-write-quorum 1 -cluster-probe-interval 500ms -cluster-repair-interval 1s
 
 # 1. Load through the router: linkbench creates the routed index and
 #    fails the run if any request is non-2xx.
@@ -102,7 +112,59 @@ jq -e --arg dead "http://$a2_addr" \
     exit 1
 }
 
-# 4. Kill group B outright: routed batches must fail whole with the
+# 4. Self-healing: writes land through the router while a2 stays dead
+#    — quorum 1 is met by a1, and a2's copies queue as hints. Then a2
+#    revives BLANK (in-memory daemon, nothing survives the SIGKILL) at
+#    its recorded address; hint replay fails semantically on the blank
+#    node (no index), escalates to a full resync, and anti-entropy
+#    bootstraps the index from a1's snapshot stream. /v1/cluster must
+#    converge to matching digests with no hints or resync debt left.
+for i in $(seq 1 8); do
+    code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$router_addr/v1/indexes/bench/upsert" \
+        -d "{\"tuples\":[{\"key\":\"smoke chaos street nord $i\"}]}")
+    [ "$code" = 200 ] || {
+        echo "cluster-smoke: quorum-1 upsert $i with a dead replica answered $code, want 200" >&2
+        exit 1
+    }
+done
+start_daemon a2r -addr "$a2_addr"
+converged=
+for _ in $(seq 150); do
+    curl -sS "http://$router_addr/v1/cluster" >"$tmp/cluster3.json"
+    if jq -e --arg n1 "http://$a1_addr" --arg n2 "http://$a2_addr" '
+        [.groups[] | select(any(.replicas[]; .addr == $n2))][0] as $g
+        | ($g.replicas | map(select(.addr == $n1 or .addr == $n2))) as $reps
+        | ($reps | length) == 2
+          and all($reps[]; .healthy and ((.hints_pending // 0) == 0) and (((.needs_resync // []) | length) == 0))
+          and ($reps[0].digests.bench != null)
+          and ($reps[0].digests.bench == $reps[1].digests.bench)
+    ' "$tmp/cluster3.json" >/dev/null; then
+        converged=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$converged" ] || {
+    echo "cluster-smoke: revived replica never converged:" >&2
+    cat "$tmp/cluster3.json" >&2
+    cat "$tmp/a2r.log" >&2
+    exit 1
+}
+# The keys written during the outage answer through the router.
+code=$(curl -sS -o "$tmp/healed.json" -w '%{http_code}' -X POST "http://$router_addr/v1/link" \
+    -d '{"index":"bench","keys":["smoke chaos street nord 3"],"strategy":"exact"}')
+[ "$code" = 200 ] || {
+    echo "cluster-smoke: post-heal link answered $code" >&2
+    cat "$tmp/healed.json" >&2
+    exit 1
+}
+jq -e '.results[0].matches | length >= 1' "$tmp/healed.json" >/dev/null || {
+    echo "cluster-smoke: outage-era key lost after healing:" >&2
+    cat "$tmp/healed.json" >&2
+    exit 1
+}
+
+# 5. Kill group B outright: routed batches must fail whole with the
 #    node_unavailable envelope, not succeed partially.
 kill -9 "$b1_pid"
 wait "$b1_pid" 2>/dev/null || true
@@ -121,7 +183,8 @@ jq -e '.error.code == "node_unavailable"' "$tmp/unavail.json" >/dev/null || {
     exit 1
 }
 
-# 5. Clean drains for the router and the surviving replica.
+# 6. Clean drains for the router and the surviving replicas.
 stop_daemon router "$router_pid"
 stop_daemon a1 "$a1_pid"
-echo "cluster-smoke: OK (routed load, replica failover mid-run, whole-batch failure on group loss, clean drains)"
+stop_daemon a2r "$a2r_pid"
+echo "cluster-smoke: OK (routed load, replica failover mid-run, hinted handoff + resync convergence after revival, whole-batch failure on group loss, clean drains)"

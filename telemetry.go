@@ -97,7 +97,7 @@ type EngineStats struct {
 // Reading it is lock-free and safe concurrently with probes and
 // upserts.
 func (ix *Index) EngineStats() EngineStats {
-	sr, ok := ix.res.(*join.ShardedRefIndex)
+	sr, ok := ix.resident().(*join.ShardedRefIndex)
 	if !ok {
 		return EngineStats{}
 	}
